@@ -1,0 +1,35 @@
+//! # rtds-baselines — comparison policies for the RTDS evaluation
+//!
+//! The paper's qualitative claims ("a limited number of sites and
+//! communication links", "an increase of the number of accepted jobs") only
+//! make sense relative to alternatives. This crate provides the policies the
+//! experiment harness compares RTDS against:
+//!
+//! * [`local_only`] — accept a job only if the arrival site can guarantee it
+//!   locally (no cooperation at all): the lower bound on acceptance,
+//! * [`random_offload`] — on local failure, forward the whole job to a random
+//!   neighbor with a bounded number of forwarding hops (a naive cooperation
+//!   scheme with very low overhead),
+//! * [`broadcast_bidding`] — focused addressing / bidding in the style of
+//!   Cheng, Stankovic and Ramamritham [4]: on local failure the initiator
+//!   floods a request for bids over the *whole* network, collects surplus
+//!   bids during a bidding window and then offers the job to the best
+//!   bidders; acceptance is good but the message cost grows with the network
+//!   size — exactly what the Computing Sphere is designed to avoid,
+//! * [`centralized`] — an omniscient centralized scheduler with exact global
+//!   knowledge and zero protocol cost; an upper bound on what any on-line
+//!   distribution scheme could accept,
+//! * [`policy`] — the common report type shared by every policy so the
+//!   harness can print comparable rows.
+
+pub mod broadcast_bidding;
+pub mod centralized;
+pub mod local_only;
+pub mod policy;
+pub mod random_offload;
+
+pub use broadcast_bidding::{run_broadcast_bidding, BiddingConfig};
+pub use centralized::run_centralized_oracle;
+pub use local_only::run_local_only;
+pub use policy::PolicyReport;
+pub use random_offload::{run_random_offload, RandomOffloadConfig};

@@ -1,0 +1,71 @@
+//! The report format shared by every distribution policy.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome summary of running one policy over one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolicyReport {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs accepted on their arrival site.
+    pub accepted_locally: u64,
+    /// Jobs accepted somewhere else (after offloading / bidding /
+    /// distribution).
+    pub accepted_remotely: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Accepted jobs that missed their deadline at run time (must stay 0 for
+    /// every sound policy — reported as a safety check).
+    pub deadline_misses: u64,
+    /// Protocol messages exchanged to distribute jobs (excludes any one-time
+    /// initialisation traffic).
+    pub distribution_messages: u64,
+}
+
+impl PolicyReport {
+    /// Total number of accepted jobs.
+    pub fn accepted(&self) -> u64 {
+        self.accepted_locally + self.accepted_remotely
+    }
+
+    /// Guarantee ratio (1.0 for an empty workload).
+    pub fn guarantee_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.accepted() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Average number of distribution messages per submitted job.
+    pub fn messages_per_job(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.distribution_messages as f64 / self.submitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let r = PolicyReport::default();
+        assert_eq!(r.guarantee_ratio(), 1.0);
+        assert_eq!(r.messages_per_job(), 0.0);
+        let r = PolicyReport {
+            submitted: 10,
+            accepted_locally: 4,
+            accepted_remotely: 3,
+            rejected: 3,
+            deadline_misses: 0,
+            distribution_messages: 50,
+        };
+        assert_eq!(r.accepted(), 7);
+        assert!((r.guarantee_ratio() - 0.7).abs() < 1e-12);
+        assert!((r.messages_per_job() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: one full RTDS deployment (PCS construction + a hotspot
+//! workload distributed over Computing Spheres) on networks of increasing
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_bench::{workload, WorkloadSpec};
+use rtds_core::{RtdsConfig, RtdsSystem};
+use rtds_net::generators::{grid, DelayDistribution};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for &side in &[4usize, 6, 8] {
+        let network = grid(side, side, false, DelayDistribution::Constant(1.0), 1);
+        let jobs = workload(
+            &network,
+            WorkloadSpec {
+                rate: 0.05,
+                horizon: 150.0,
+                hotspots: 3,
+                tasks_per_job: 6,
+                seed: 2,
+                ..WorkloadSpec::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("{}sites_{}jobs", side * side, jobs.len())),
+            &(network, jobs),
+            |b, (network, jobs)| {
+                b.iter(|| {
+                    let mut system =
+                        RtdsSystem::new(network.clone(), RtdsConfig::default(), 1);
+                    system.submit_workload(jobs.clone());
+                    black_box(system.run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

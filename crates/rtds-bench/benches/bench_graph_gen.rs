@@ -1,0 +1,55 @@
+//! Criterion bench: workload generation (DAG families and critical-path
+//! analysis), the substrate every experiment relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_graph::critical_path_tasks;
+use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    let shapes: Vec<(&str, DagShape)> = vec![
+        ("layered", DagShape::LayeredRandom { layers: 5, edge_prob: 0.2 }),
+        ("erdos_renyi", DagShape::ErdosRenyi { edge_prob: 0.1 }),
+        ("fork_join", DagShape::ForkJoin),
+        ("gaussian", DagShape::GaussianElimination),
+        ("fft", DagShape::FftButterfly),
+    ];
+    for (name, shape) in shapes {
+        for &n in &[32usize, 256] {
+            let cfg = GeneratorConfig {
+                task_count: n,
+                shape,
+                costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+                ccr: 0.5,
+                laxity_factor: (2.0, 3.0),
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let mut generator = DagGenerator::new(*cfg, 3);
+                        black_box(generator.generate_job(0, 0.0))
+                    })
+                },
+            );
+        }
+    }
+    // Critical-path analysis on a large graph.
+    let cfg = GeneratorConfig {
+        task_count: 1000,
+        shape: DagShape::LayeredRandom { layers: 10, edge_prob: 0.05 },
+        costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+        ccr: 0.0,
+        laxity_factor: (2.0, 3.0),
+    };
+    let graph = DagGenerator::new(cfg, 9).generate_graph();
+    group.bench_function("critical_path_1000", |b| {
+        b.iter(|| black_box(critical_path_tasks(&graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_gen);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: the §5 local admission test and the §10 satisfiability
+//! test against plans of increasing occupancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use rtds_graph::{JobId, TaskId};
+use rtds_sched::admission::admit_dag_locally;
+use rtds_sched::feasibility::{satisfiable, TaskRequest};
+use rtds_sched::{Reservation, SchedulePlan};
+use std::hint::black_box;
+
+fn loaded_plan(reservations: usize) -> SchedulePlan {
+    let mut plan = SchedulePlan::new();
+    for i in 0..reservations {
+        let start = i as f64 * 20.0;
+        plan.insert(Reservation {
+            job: JobId(1000 + i as u64),
+            task: TaskId(0),
+            start,
+            end: start + 12.0,
+        })
+        .unwrap();
+    }
+    plan
+}
+
+fn bench_local_sched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_sched");
+    for &existing in &[0usize, 20, 100] {
+        let plan = loaded_plan(existing);
+        let cfg = GeneratorConfig {
+            task_count: 12,
+            shape: DagShape::LayeredRandom {
+                layers: 3,
+                edge_prob: 0.3,
+            },
+            costs: CostDistribution::Uniform { min: 1.0, max: 6.0 },
+            ccr: 0.0,
+            laxity_factor: (3.0, 3.0),
+        };
+        let job = DagGenerator::new(cfg, 5).generate_job(0, 0.0);
+        group.bench_with_input(
+            BenchmarkId::new("admit_dag", existing),
+            &(plan.clone(), job.clone()),
+            |b, (plan, job)| {
+                b.iter(|| black_box(admit_dag_locally(plan, job, 0.0, 1.0, false)))
+            },
+        );
+        let requests: Vec<TaskRequest> = (0..10)
+            .map(|i| TaskRequest {
+                job: JobId(5),
+                task: TaskId(i),
+                release: i as f64 * 5.0,
+                deadline: i as f64 * 5.0 + 400.0,
+                duration: 4.0,
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("satisfiable", existing),
+            &(plan, requests),
+            |b, (plan, requests)| b.iter(|| black_box(satisfiable(plan, requests, false))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_sched);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: the §12 Mapper (list scheduling + EFT + S*) as a function
+//! of DAG size and ACS width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_core::{adjust_mapping, map_dag, LaxityDispatch, MapperInput, ProcessorSpec};
+use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use std::hint::black_box;
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapper");
+    for &tasks in &[10usize, 50, 200] {
+        for &procs in &[2usize, 8] {
+            let cfg = GeneratorConfig {
+                task_count: tasks,
+                shape: DagShape::LayeredRandom {
+                    layers: 5,
+                    edge_prob: 0.2,
+                },
+                costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+                ccr: 0.0,
+                laxity_factor: (2.0, 2.0),
+            };
+            let graph = DagGenerator::new(cfg, 7).generate_graph();
+            let processors: Vec<ProcessorSpec> = (0..procs)
+                .map(|i| ProcessorSpec::with_surplus(0.3 + 0.7 * (i as f64 + 1.0) / procs as f64))
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new("map_dag", format!("{tasks}t_{procs}p")),
+                &(graph.clone(), processors.clone()),
+                |b, (graph, processors)| {
+                    b.iter(|| {
+                        let input = MapperInput::new(graph, 0.0, processors, 3.0);
+                        black_box(map_dag(&input).unwrap())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("map_and_adjust", format!("{tasks}t_{procs}p")),
+                &(graph, processors),
+                |b, (graph, processors)| {
+                    b.iter(|| {
+                        let input = MapperInput::new(graph, 0.0, processors, 3.0);
+                        let result = map_dag(&input).unwrap();
+                        let window = result.makespan * 1.5;
+                        black_box(adjust_mapping(
+                            graph,
+                            &result,
+                            0.0,
+                            window,
+                            processors,
+                            LaxityDispatch::Uniform,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench: Hopcroft–Karp maximum matching (the §10 coupling) as a
+//! function of the ACS size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rtds_core::maximum_bipartite_matching;
+use std::hint::black_box;
+
+fn random_bipartite(left: usize, right: usize, p: f64, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..left)
+        .map(|_| (0..right).filter(|_| rng.random_bool(p)).collect())
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for &n in &[8usize, 32, 128, 512] {
+        let edges = random_bipartite(n, n, 0.2, 3);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &edges, |b, edges| {
+            b.iter(|| black_box(maximum_bipartite_matching(n, n, edges)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: the interrupted distributed Bellman–Ford (§7) and sphere
+//! extraction as a function of network size and sphere radius.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtds_net::bellman_ford::phased_apsp;
+use rtds_net::generators::{grid, DelayDistribution};
+use rtds_net::sphere::Sphere;
+use std::hint::black_box;
+
+fn bench_pcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcs");
+    for &side in &[4usize, 8, 16] {
+        let net = grid(side, side, false, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 1);
+        for &h in &[2usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("phased_apsp", format!("{}sites_h{h}", side * side)),
+                &net,
+                |b, net| b.iter(|| black_box(phased_apsp(net, 2 * h))),
+            );
+        }
+        let result = phased_apsp(&net, 4);
+        group.bench_with_input(
+            BenchmarkId::new("sphere_extraction", side * side),
+            &result,
+            |b, result| {
+                b.iter(|| {
+                    black_box(Sphere::from_tables(&result.tables[0], &result.tables, 2))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pcs);
+criterion_main!(benches);

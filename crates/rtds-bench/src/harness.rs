@@ -1,0 +1,271 @@
+//! Shared experiment utilities: workload construction, policy comparison and
+//! a small parallel sweep driver.
+
+use rtds_baselines::{
+    run_broadcast_bidding, run_centralized_oracle, run_local_only, run_random_offload,
+    BiddingConfig, PolicyReport, RandomOffloadConfig,
+};
+use rtds_core::{RtdsConfig, RtdsSystem, RunReport};
+use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use rtds_graph::Job;
+use rtds_net::{Network, SiteId};
+use rtds_sim::arrivals::{ArrivalProcess, ArrivalSchedule};
+
+/// Description of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Per-site Poisson arrival rate (jobs per time unit).
+    pub rate: f64,
+    /// Simulation horizon for arrivals.
+    pub horizon: f64,
+    /// Tasks per job.
+    pub tasks_per_job: usize,
+    /// Deadline laxity factor range.
+    pub laxity: (f64, f64),
+    /// Restrict arrivals to the first `hotspots` sites (0 = all sites).
+    pub hotspots: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            rate: 0.01,
+            horizon: 300.0,
+            tasks_per_job: 8,
+            laxity: (1.6, 2.6),
+            hotspots: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Builds the workload described by `spec` for the given network.
+pub fn workload(network: &Network, spec: WorkloadSpec) -> Vec<Job> {
+    let schedule = if spec.hotspots == 0 {
+        ArrivalSchedule::generate(
+            ArrivalProcess::Poisson { rate: spec.rate },
+            network.site_count(),
+            spec.horizon,
+            spec.seed,
+        )
+    } else {
+        let sites: Vec<SiteId> = network.sites().take(spec.hotspots).collect();
+        ArrivalSchedule::generate_on_sites(
+            ArrivalProcess::Poisson { rate: spec.rate },
+            &sites,
+            spec.horizon,
+            spec.seed,
+        )
+    };
+    let cfg = GeneratorConfig {
+        task_count: spec.tasks_per_job,
+        shape: DagShape::LayeredRandom {
+            layers: 3,
+            edge_prob: 0.3,
+        },
+        costs: CostDistribution::Uniform { min: 2.0, max: 9.0 },
+        ccr: 0.0,
+        laxity_factor: spec.laxity,
+    };
+    let mut generator = DagGenerator::new(cfg, spec.seed.wrapping_mul(97).wrapping_add(13));
+    schedule
+        .arrivals()
+        .iter()
+        .map(|a| generator.generate_job(a.site.index(), a.time))
+        .collect()
+}
+
+/// One row of a policy-comparison table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Policy label.
+    pub policy: String,
+    /// Jobs accepted.
+    pub accepted: u64,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Guarantee ratio.
+    pub ratio: f64,
+    /// Deadline misses among accepted jobs (must be zero).
+    pub misses: u64,
+    /// Distribution messages per submitted job.
+    pub messages_per_job: f64,
+}
+
+impl ComparisonRow {
+    fn from_policy(label: &str, report: &PolicyReport) -> Self {
+        ComparisonRow {
+            policy: label.to_string(),
+            accepted: report.accepted(),
+            submitted: report.submitted,
+            ratio: report.guarantee_ratio(),
+            misses: report.deadline_misses,
+            messages_per_job: report.messages_per_job(),
+        }
+    }
+
+    fn from_rtds(label: &str, report: &RunReport) -> Self {
+        ComparisonRow {
+            policy: label.to_string(),
+            accepted: report.guarantee.accepted(),
+            submitted: report.jobs_submitted,
+            ratio: report.guarantee_ratio(),
+            misses: report.deadline_misses(),
+            messages_per_job: report.messages_per_job,
+        }
+    }
+
+    /// Renders the row for a fixed-width table.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<22} {:>8}/{:<8} {:>7.3} {:>7} {:>12.1}",
+            self.policy, self.accepted, self.submitted, self.ratio, self.misses, self.messages_per_job
+        )
+    }
+}
+
+/// Header matching [`ComparisonRow::render`].
+pub fn comparison_header() -> String {
+    format!(
+        "{:<22} {:>8}/{:<8} {:>7} {:>7} {:>12}",
+        "policy", "accepted", "submitted", "ratio", "misses", "msgs/job"
+    )
+}
+
+/// Runs RTDS (full protocol) and returns its comparison row.
+pub fn comparison_row(
+    label: &str,
+    network: &Network,
+    jobs: &[Job],
+    config: RtdsConfig,
+    seed: u64,
+) -> ComparisonRow {
+    let mut system = RtdsSystem::new(network.clone(), config, seed);
+    system.submit_workload(jobs.to_vec());
+    let report = system.run();
+    ComparisonRow::from_rtds(label, &report)
+}
+
+/// Runs RTDS plus all four baselines on the same workload.
+pub fn policy_comparison(
+    network: &Network,
+    jobs: &[Job],
+    config: RtdsConfig,
+    seed: u64,
+) -> Vec<ComparisonRow> {
+    let mut rows = Vec::new();
+    rows.push(comparison_row("rtds", network, jobs, config, seed));
+    rows.push(ComparisonRow::from_policy(
+        "local-only",
+        &run_local_only(network, jobs, config.preemptive),
+    ));
+    rows.push(ComparisonRow::from_policy(
+        "random-offload",
+        &run_random_offload(
+            network,
+            jobs,
+            RandomOffloadConfig {
+                seed,
+                preemptive: config.preemptive,
+                ..RandomOffloadConfig::default()
+            },
+        ),
+    ));
+    rows.push(ComparisonRow::from_policy(
+        "broadcast-bidding",
+        &run_broadcast_bidding(
+            network,
+            jobs,
+            BiddingConfig {
+                preemptive: config.preemptive,
+                ..BiddingConfig::default()
+            },
+        ),
+    ));
+    rows.push(ComparisonRow::from_policy(
+        "centralized-oracle",
+        &run_centralized_oracle(network, jobs, config.preemptive),
+    ));
+    rows
+}
+
+/// Runs `work` for every element of `inputs` in parallel (one scoped thread
+/// per input — sweeps are small) and returns the results in input order.
+/// Each unit of work is itself a deterministic single-threaded simulation, so
+/// the sweep as a whole is reproducible.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, work: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    crossbeam::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .map(|input| scope.spawn(move |_| work(input)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_net::generators::{ring, DelayDistribution};
+
+    #[test]
+    fn workload_is_reproducible_and_respects_hotspots() {
+        let net = ring(8, DelayDistribution::Constant(1.0), 0);
+        let spec = WorkloadSpec {
+            hotspots: 2,
+            ..WorkloadSpec::default()
+        };
+        let a = workload(&net, spec);
+        let b = workload(&net, spec);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|j| j.arrival_site < 2));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival_site, y.arrival_site);
+            assert_eq!(x.params, y.params);
+        }
+    }
+
+    #[test]
+    fn comparison_runs_all_policies() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let jobs = workload(
+            &net,
+            WorkloadSpec {
+                rate: 0.02,
+                horizon: 100.0,
+                ..WorkloadSpec::default()
+            },
+        );
+        let rows = policy_comparison(&net, &jobs, RtdsConfig::default(), 1);
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().all(|r| r.misses == 0));
+        assert!(rows.iter().all(|r| r.submitted == jobs.len() as u64));
+        // Header and rows render with consistent widths.
+        assert!(!comparison_header().is_empty());
+        for r in &rows {
+            assert!(r.render().contains(&r.policy));
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order() {
+        let out = parallel_sweep(vec![3u64, 1, 2], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+        let empty: Vec<u64> = parallel_sweep(Vec::<u64>::new(), |x| x);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! # rtds-bench — experiment harness and micro-benchmarks
+//!
+//! This crate regenerates every exhibit of the paper and the simulation-grade
+//! evaluation of its claims (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! * binaries (`src/bin/`):
+//!   * `exp_fig1_overview` — a traced walk through the Fig. 1 protocol
+//!     pipeline for one distributed job,
+//!   * `exp_table1_example` — Fig. 2 instance, Fig. 3 schedule `S`,
+//!     Fig. 4 schedule `S*`, Table 1 adjusted windows,
+//!   * `exp_acceptance_vs_load` — E1: guarantee ratio vs. arrival rate for
+//!     RTDS and the baselines,
+//!   * `exp_overhead_vs_size` — E2: messages per job vs. network size,
+//!   * `exp_sphere_radius` — E3: the sphere-radius `h` trade-off,
+//!   * `exp_laxity_tightness` — E4: acceptance vs. deadline tightness
+//!     (which exercises adjustment cases (i)/(ii)/(iii)),
+//!   * `exp_extensions_ablation` — E5: the §13 extension switches,
+//! * Criterion benches (`benches/`): the Mapper, the Hopcroft–Karp matching,
+//!   the phased routing exchange, the local admission test, DAG generation
+//!   and an end-to-end job distribution.
+//!
+//! The harness utilities in this library build reproducible workloads and run
+//! policy comparisons in parallel across CPU cores (one simulation per
+//! thread; each individual simulation stays deterministic).
+
+pub mod harness;
+
+pub use harness::{
+    comparison_row, parallel_sweep, policy_comparison, workload, ComparisonRow, WorkloadSpec,
+};

@@ -1,0 +1,210 @@
+//! Available Computing Sphere construction (§8) — initiator-side bookkeeping.
+//!
+//! When a job cannot be guaranteed locally, the initiator `k` enrols a subset
+//! of its PCS. Each enrolled site locks itself for `k` and replies with its
+//! surplus. [`AcsCollection`] tracks the outstanding answers and produces the
+//! final ACS — the logical-processor list handed to the Mapper, sorted by
+//! decreasing surplus as §9 requires — once every contacted site has
+//! answered.
+
+use crate::mapper::ProcessorSpec;
+use rtds_net::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One member of a constructed ACS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcsMember {
+    /// The member site.
+    pub site: SiteId,
+    /// Its reported surplus.
+    pub surplus: f64,
+    /// Its relative computing power.
+    pub speed: f64,
+    /// Minimum known delay from the initiator to this site (0 for the
+    /// initiator itself).
+    pub delay: f64,
+}
+
+/// Initiator-side state of one ACS construction round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcsCollection {
+    /// Sites contacted and not yet heard from.
+    outstanding: BTreeMap<SiteId, f64>,
+    /// Positive answers, including the initiator's own entry.
+    members: Vec<AcsMember>,
+    /// Sites that answered busy.
+    busy: Vec<SiteId>,
+}
+
+impl AcsCollection {
+    /// Starts a collection round. `own` is the initiator's own entry
+    /// (surplus, speed); `contacted` lists the enrolled candidates with the
+    /// initiator-to-candidate delay.
+    pub fn new(initiator: SiteId, own_surplus: f64, own_speed: f64, contacted: &[(SiteId, f64)]) -> Self {
+        let outstanding: BTreeMap<SiteId, f64> = contacted.iter().copied().collect();
+        AcsCollection {
+            outstanding,
+            members: vec![AcsMember {
+                site: initiator,
+                surplus: own_surplus,
+                speed: own_speed,
+                delay: 0.0,
+            }],
+            busy: Vec::new(),
+        }
+    }
+
+    /// Records a positive answer. Unknown senders are ignored (stale
+    /// replies).
+    pub fn record_ack(&mut self, from: SiteId, surplus: f64, speed: f64) {
+        if let Some(delay) = self.outstanding.remove(&from) {
+            self.members.push(AcsMember {
+                site: from,
+                surplus,
+                speed,
+                delay,
+            });
+        }
+    }
+
+    /// Records a negative (busy) answer.
+    pub fn record_busy(&mut self, from: SiteId) {
+        if self.outstanding.remove(&from).is_some() {
+            self.busy.push(from);
+        }
+    }
+
+    /// Returns `true` once every contacted site has answered.
+    pub fn is_complete(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Number of answers still outstanding.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The members collected so far (initiator first, then in answer order).
+    pub fn members(&self) -> &[AcsMember] {
+        &self.members
+    }
+
+    /// Sites that refused (were locked).
+    pub fn busy_sites(&self) -> &[SiteId] {
+        &self.busy
+    }
+
+    /// Produces the Mapper input: members sorted by decreasing surplus (§9),
+    /// with ties broken by increasing delay then site id for determinism.
+    /// Returns the ordered members and the matching [`ProcessorSpec`] list.
+    pub fn sorted_for_mapper(&self) -> (Vec<AcsMember>, Vec<ProcessorSpec>) {
+        let mut ordered = self.members.clone();
+        ordered.sort_by(|a, b| {
+            b.surplus
+                .partial_cmp(&a.surplus)
+                .unwrap()
+                .then(a.delay.partial_cmp(&b.delay).unwrap())
+                .then(a.site.0.cmp(&b.site.0))
+        });
+        let specs = ordered
+            .iter()
+            .map(|m| ProcessorSpec {
+                surplus: m.surplus,
+                speed: m.speed,
+            })
+            .collect();
+        (ordered, specs)
+    }
+
+    /// Conservative ACS delay-diameter computable from the initiator's local
+    /// knowledge only: `max_{a,b} (δ(k,a) + δ(k,b))` over distinct members.
+    pub fn local_diameter_estimate(&self) -> f64 {
+        let mut best = 0.0f64;
+        for (i, a) in self.members.iter().enumerate() {
+            for (j, b) in self.members.iter().enumerate() {
+                if i != j {
+                    best = best.max(a.delay + b.delay);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_round_tracks_answers() {
+        let contacted = vec![(SiteId(1), 2.0), (SiteId(2), 5.0), (SiteId(3), 1.0)];
+        let mut acs = AcsCollection::new(SiteId(0), 0.8, 1.0, &contacted);
+        assert!(!acs.is_complete());
+        assert_eq!(acs.outstanding_count(), 3);
+        acs.record_ack(SiteId(2), 0.4, 1.0);
+        acs.record_busy(SiteId(3));
+        assert!(!acs.is_complete());
+        acs.record_ack(SiteId(1), 0.5, 2.0);
+        assert!(acs.is_complete());
+        assert_eq!(acs.members().len(), 3); // initiator + 2 acks
+        assert_eq!(acs.busy_sites(), &[SiteId(3)]);
+        // Stale/duplicate answers are ignored.
+        acs.record_ack(SiteId(2), 0.9, 1.0);
+        acs.record_busy(SiteId(9));
+        assert_eq!(acs.members().len(), 3);
+        assert_eq!(acs.busy_sites().len(), 1);
+    }
+
+    #[test]
+    fn mapper_order_is_by_decreasing_surplus() {
+        let contacted = vec![(SiteId(1), 2.0), (SiteId(2), 5.0)];
+        let mut acs = AcsCollection::new(SiteId(0), 0.5, 1.0, &contacted);
+        acs.record_ack(SiteId(1), 0.9, 1.0);
+        acs.record_ack(SiteId(2), 0.7, 1.5);
+        let (ordered, specs) = acs.sorted_for_mapper();
+        assert_eq!(
+            ordered.iter().map(|m| m.site).collect::<Vec<_>>(),
+            vec![SiteId(1), SiteId(2), SiteId(0)]
+        );
+        assert_eq!(specs[0].surplus, 0.9);
+        assert_eq!(specs[1].speed, 1.5);
+        assert_eq!(specs[2].surplus, 0.5);
+    }
+
+    #[test]
+    fn surplus_ties_break_by_delay_then_id() {
+        let contacted = vec![(SiteId(5), 3.0), (SiteId(2), 1.0)];
+        let mut acs = AcsCollection::new(SiteId(0), 0.5, 1.0, &contacted);
+        acs.record_ack(SiteId(5), 0.5, 1.0);
+        acs.record_ack(SiteId(2), 0.5, 1.0);
+        let (ordered, _) = acs.sorted_for_mapper();
+        // All surpluses equal: initiator (delay 0) first, then site 2
+        // (delay 1), then site 5 (delay 3).
+        assert_eq!(
+            ordered.iter().map(|m| m.site).collect::<Vec<_>>(),
+            vec![SiteId(0), SiteId(2), SiteId(5)]
+        );
+    }
+
+    #[test]
+    fn diameter_estimate() {
+        let contacted = vec![(SiteId(1), 2.0), (SiteId(2), 5.0)];
+        let mut acs = AcsCollection::new(SiteId(0), 0.5, 1.0, &contacted);
+        assert_eq!(acs.local_diameter_estimate(), 0.0); // only the initiator
+        acs.record_ack(SiteId(1), 0.9, 1.0);
+        assert_eq!(acs.local_diameter_estimate(), 2.0); // k <-> 1
+        acs.record_ack(SiteId(2), 0.7, 1.0);
+        assert_eq!(acs.local_diameter_estimate(), 7.0); // 1 <-> 2 via k
+    }
+
+    #[test]
+    fn empty_contact_list_is_immediately_complete() {
+        let acs = AcsCollection::new(SiteId(0), 1.0, 1.0, &[]);
+        assert!(acs.is_complete());
+        assert_eq!(acs.members().len(), 1);
+        let (ordered, specs) = acs.sorted_for_mapper();
+        assert_eq!(ordered.len(), 1);
+        assert_eq!(specs.len(), 1);
+    }
+}

@@ -1,0 +1,511 @@
+//! Adjustment of the per-task releases and deadlines (§12.2).
+//!
+//! The Mapper's schedule `S` gives raw values `r_i` (start) and `d_i`
+//! (finish) that ignore the job deadline `d`. §12.2 rescales them to the job
+//! window `[r, d]`:
+//!
+//! * **case (i)** — `M* > d − r`: even at 100 % surplus the mapping cannot
+//!   fit the window, the job is **rejected**;
+//! * **case (ii)** — `M ≤ d − r`: the window is at least as long as the
+//!   surplus-scaled schedule, so deadlines are scaled by `(d − r) / M`
+//!   (eq. 3) and releases recomputed from predecessors (eq. 5), in
+//!   topological order;
+//! * **case (iii)** — `M* ≤ d − r < M`: the window lies between the two
+//!   makespans; the extra laxity `d − r − M*` is scattered over the tasks
+//!   (`ℓ = (d − r − M*) / η` with `η` the maximum number of tasks on any
+//!   critical path of `S*`), deadlines are propagated backwards (eq. 4, in
+//!   reverse topological order) and releases forwards (eq. 5).
+//!
+//! §13 adds *busyness-weighted* laxity dispatching: tasks running on busy
+//! processors receive a proportionally larger share of the extra laxity.
+
+use crate::config::LaxityDispatch;
+use crate::mapper::{MapperResult, ProcessorSpec};
+use rtds_graph::{TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Which adjustment case of §12.2 applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjustCase {
+    /// Case (ii): deadlines scaled by `(d − r) / M`.
+    ScaledByWindow,
+    /// Case (iii): extra laxity scattered along critical paths.
+    LaxityScattered,
+}
+
+/// Outcome of the adjustment step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdjustOutcome {
+    /// Case (i): the job cannot meet its deadline with this mapping.
+    Rejected {
+        /// The limiting lower bound `M*`.
+        makespan_star: f64,
+        /// The available window `d − r`.
+        window: f64,
+    },
+    /// The mapping was adjusted; per-task releases and deadlines are
+    /// absolute times.
+    Adjusted {
+        /// Which case applied.
+        case: AdjustCase,
+        /// Adjusted release `r(t_i)` per task.
+        release: Vec<f64>,
+        /// Adjusted deadline `d(t_i)` per task.
+        deadline: Vec<f64>,
+    },
+}
+
+impl AdjustOutcome {
+    /// Returns the adjusted windows, if the job was not rejected.
+    pub fn windows(&self) -> Option<(&[f64], &[f64])> {
+        match self {
+            AdjustOutcome::Adjusted {
+                release, deadline, ..
+            } => Some((release, deadline)),
+            AdjustOutcome::Rejected { .. } => None,
+        }
+    }
+
+    /// Returns `true` for case (i).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, AdjustOutcome::Rejected { .. })
+    }
+}
+
+/// Computes `η`: the maximum number of tasks on any critical path of the
+/// schedule `S*`. The schedule's constraint graph has an edge for every DAG
+/// precedence (weighted by the communication delay used in `S*`) and for
+/// every pair of consecutive tasks on the same processor (weight 0); a task
+/// is critical when it has zero slack with respect to the makespan `M*`.
+pub fn eta_of_star_schedule(graph: &TaskGraph, result: &MapperResult) -> usize {
+    let n = graph.task_count();
+    if n == 0 {
+        return 0;
+    }
+    const EPS: f64 = 1e-9;
+    let makespan_end = result.release + result.makespan_star;
+
+    // Constraint edges: DAG precedences plus same-processor succession.
+    let mut succ_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for t in graph.task_ids() {
+        for s in graph.successors(t) {
+            let w = if result.assignment[t.0] == result.assignment[s.0] {
+                0.0
+            } else {
+                result.comm_delay
+            };
+            succ_edges[t.0].push((s.0, w));
+        }
+    }
+    for order in &result.processor_order {
+        for w in order.windows(2) {
+            succ_edges[w[0].0].push((w[1].0, 0.0));
+        }
+    }
+
+    // A task is on a critical path of S* when its start equals the earliest
+    // possible start (it already does, S* is an as-soon-as-possible replay)
+    // and its latest start — propagated backwards from the makespan — equals
+    // its start.
+    let duration =
+        |t: usize| -> f64 { result.star_finish[t] - result.star_start[t] };
+    let mut latest_finish = vec![makespan_end; n];
+    // Process in reverse topological order of the *constraint* graph; the
+    // global list order used by the mapper is a valid topological order of
+    // both precedence and processor-succession edges, so reuse it via the
+    // star start times (stable sort by start, descending).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|a, b| {
+        result.star_start[*b]
+            .partial_cmp(&result.star_start[*a])
+            .unwrap()
+            .then(b.cmp(a))
+    });
+    for &t in &order {
+        for &(s, w) in &succ_edges[t] {
+            let lf = latest_finish[s] - duration(s) - w;
+            latest_finish[t] = latest_finish[t].min(lf);
+        }
+    }
+    let critical: Vec<bool> = (0..n)
+        .map(|t| (latest_finish[t] - result.star_finish[t]).abs() <= EPS)
+        .collect();
+
+    // Longest chain (in number of tasks) through critical tasks along
+    // zero-slack constraint edges.
+    let mut chain = vec![0usize; n];
+    let mut best = 0usize;
+    let mut forward: Vec<usize> = (0..n).collect();
+    forward.sort_by(|a, b| {
+        result.star_start[*a]
+            .partial_cmp(&result.star_start[*b])
+            .unwrap()
+            .then(a.cmp(b))
+    });
+    for &t in &forward {
+        if !critical[t] {
+            continue;
+        }
+        chain[t] = chain[t].max(1);
+        best = best.max(chain[t]);
+        for &(s, w) in &succ_edges[t] {
+            if !critical[s] {
+                continue;
+            }
+            // The edge is tight when s starts exactly when t's finish plus
+            // the edge weight says it must.
+            if (result.star_start[s] - (result.star_finish[t] + w)).abs() <= EPS {
+                chain[s] = chain[s].max(chain[t] + 1);
+                best = best.max(chain[s]);
+            }
+        }
+    }
+    best.max(1)
+}
+
+/// Runs the §12.2 adjustment.
+///
+/// * `graph` — the job's task graph.
+/// * `result` — the Mapper's output (schedules `S` and `S*`).
+/// * `release`, `deadline` — the job's window `[r, d]`.
+/// * `processors` — the logical processors offered to the Mapper (needed for
+///   the busyness-weighted laxity variant).
+/// * `laxity` — how the case-(iii) laxity is dispatched.
+pub fn adjust_mapping(
+    graph: &TaskGraph,
+    result: &MapperResult,
+    release: f64,
+    deadline: f64,
+    processors: &[ProcessorSpec],
+    laxity: LaxityDispatch,
+) -> AdjustOutcome {
+    let window = deadline - release;
+    let n = graph.task_count();
+    const EPS: f64 = 1e-9;
+
+    // Case (i): even the ideal schedule overruns the window.
+    if result.makespan_star > window + EPS {
+        return AdjustOutcome::Rejected {
+            makespan_star: result.makespan_star,
+            window,
+        };
+    }
+
+    let topo = graph
+        .topological_order()
+        .expect("the job graph is acyclic by construction");
+
+    let mut adj_release = vec![release; n];
+    let mut adj_deadline = vec![deadline; n];
+
+    let comm = |a: TaskId, b: TaskId| -> f64 {
+        if result.assignment[a.0] == result.assignment[b.0] {
+            0.0
+        } else {
+            result.comm_delay
+        }
+    };
+
+    if result.makespan <= window + EPS {
+        // Case (ii): scale the S deadlines by (d - r) / M, then recompute
+        // releases from predecessors in topological order (eqs. 3 and 5).
+        let scale = if result.makespan > 0.0 {
+            window / result.makespan
+        } else {
+            1.0
+        };
+        for t in &topo {
+            adj_deadline[t.0] = release + (result.finish[t.0] - release) * scale;
+        }
+        for t in &topo {
+            adj_release[t.0] = if graph.in_degree(*t) == 0 {
+                release
+            } else {
+                graph
+                    .predecessors(*t)
+                    .map(|p| adj_deadline[p.0] + comm(p, *t))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+        }
+        AdjustOutcome::Adjusted {
+            case: AdjustCase::ScaledByWindow,
+            release: adj_release,
+            deadline: adj_deadline,
+        }
+    } else {
+        // Case (iii): M* <= d - r < M. Scatter the extra laxity.
+        let eta = eta_of_star_schedule(graph, result).max(1);
+        let slack = (window - result.makespan_star).max(0.0);
+        let uniform_laxity = slack / eta as f64;
+        // Per-task laxity share.
+        let laxity_of: Vec<f64> = match laxity {
+            LaxityDispatch::Uniform => vec![uniform_laxity; n],
+            LaxityDispatch::BusynessWeighted => {
+                // Weight by the busyness of the processor each task runs on,
+                // normalised so the *average* share still equals the uniform
+                // one (tasks on fully idle processors get no extra laxity,
+                // tasks on busy processors get more).
+                let busyness: Vec<f64> = (0..n)
+                    .map(|t| {
+                        let p = result.assignment[t];
+                        1.0 - processors
+                            .get(p)
+                            .map(|s| s.surplus.clamp(0.0, 1.0))
+                            .unwrap_or(1.0)
+                    })
+                    .collect();
+                let mean: f64 = if n > 0 {
+                    busyness.iter().sum::<f64>() / n as f64
+                } else {
+                    0.0
+                };
+                if mean <= EPS {
+                    vec![uniform_laxity; n]
+                } else {
+                    busyness
+                        .iter()
+                        .map(|b| uniform_laxity * (b / mean))
+                        .collect()
+                }
+            }
+        };
+        // Eq. (4): deadlines in reverse topological order, anchored on the
+        // job deadline for sink tasks; durations use the raw computational
+        // complexity (the S* model).
+        for t in topo.iter().rev() {
+            if graph.out_degree(*t) == 0 {
+                adj_deadline[t.0] = deadline;
+            } else {
+                adj_deadline[t.0] = graph
+                    .successors(*t)
+                    .map(|s| {
+                        adj_deadline[s.0] - laxity_of[s.0] - graph.cost(s) - comm(*t, s)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+            }
+        }
+        // Eq. (5): releases in topological order.
+        for t in &topo {
+            adj_release[t.0] = if graph.in_degree(*t) == 0 {
+                release
+            } else {
+                graph
+                    .predecessors(*t)
+                    .map(|p| adj_deadline[p.0] + comm(p, *t))
+                    .fold(f64::NEG_INFINITY, f64::max)
+            };
+        }
+        AdjustOutcome::Adjusted {
+            case: AdjustCase::LaxityScattered,
+            release: adj_release,
+            deadline: adj_deadline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::{map_dag, MapperInput};
+    use rtds_graph::paper_instance::{
+        paper_task_graph, EXPECTED_TABLE1, PAPER_ACS_DIAMETER, PAPER_DEADLINE, PAPER_RELEASE,
+        PAPER_SURPLUS_P1, PAPER_SURPLUS_P2,
+    };
+
+    fn paper_result() -> (rtds_graph::TaskGraph, MapperResult, Vec<ProcessorSpec>) {
+        let graph = paper_task_graph();
+        let processors = vec![
+            ProcessorSpec::with_surplus(PAPER_SURPLUS_P1),
+            ProcessorSpec::with_surplus(PAPER_SURPLUS_P2),
+        ];
+        let input = MapperInput::new(&graph, PAPER_RELEASE, &processors, PAPER_ACS_DIAMETER);
+        let result = map_dag(&input).unwrap();
+        (graph, result, processors)
+    }
+
+    #[test]
+    fn reproduces_table_1_exactly() {
+        let (graph, result, processors) = paper_result();
+        let outcome = adjust_mapping(
+            &graph,
+            &result,
+            PAPER_RELEASE,
+            PAPER_DEADLINE,
+            &processors,
+            LaxityDispatch::Uniform,
+        );
+        let AdjustOutcome::Adjusted {
+            case,
+            release,
+            deadline,
+        } = outcome
+        else {
+            panic!("the paper example must not be rejected");
+        };
+        // d - r = 66 >= M = 33, so case (ii) applies with scale factor 2.
+        assert_eq!(case, AdjustCase::ScaledByWindow);
+        for (task, ri, di, r_adj, d_adj) in EXPECTED_TABLE1 {
+            assert!((result.start[task] - ri).abs() < 1e-9, "r_{task}");
+            assert!((result.finish[task] - di).abs() < 1e-9, "d_{task}");
+            assert!(
+                (release[task] - r_adj).abs() < 1e-9,
+                "adjusted r(t{}) = {} expected {r_adj}",
+                task + 1,
+                release[task]
+            );
+            assert!(
+                (deadline[task] - d_adj).abs() < 1e-9,
+                "adjusted d(t{}) = {} expected {d_adj}",
+                task + 1,
+                deadline[task]
+            );
+        }
+    }
+
+    #[test]
+    fn case_i_rejects_when_even_the_ideal_schedule_overruns() {
+        let (graph, result, processors) = paper_result();
+        // M* = 19, so a window of 15 triggers case (i).
+        let outcome = adjust_mapping(
+            &graph,
+            &result,
+            0.0,
+            15.0,
+            &processors,
+            LaxityDispatch::Uniform,
+        );
+        assert!(outcome.is_rejected());
+        assert!(outcome.windows().is_none());
+        match outcome {
+            AdjustOutcome::Rejected {
+                makespan_star,
+                window,
+            } => {
+                assert!((makespan_star - 19.0).abs() < 1e-9);
+                assert!((window - 15.0).abs() < 1e-9);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn case_iii_windows_are_consistent() {
+        let (graph, result, processors) = paper_result();
+        // M* = 19, M = 33: a window of 25 lands in case (iii).
+        let outcome = adjust_mapping(
+            &graph,
+            &result,
+            0.0,
+            25.0,
+            &processors,
+            LaxityDispatch::Uniform,
+        );
+        let AdjustOutcome::Adjusted {
+            case,
+            release,
+            deadline,
+        } = outcome
+        else {
+            panic!("case (iii) must not reject");
+        };
+        assert_eq!(case, AdjustCase::LaxityScattered);
+        for t in graph.task_ids() {
+            // Every task window lies inside the job window.
+            assert!(release[t.0] >= 0.0 - 1e-9);
+            assert!(deadline[t.0] <= 25.0 + 1e-9, "d(t{}) = {}", t.0, deadline[t.0]);
+            // The window can hold the raw computational complexity.
+            assert!(
+                deadline[t.0] - release[t.0] + 1e-9 >= graph.cost(t),
+                "window of t{} too small: [{}, {}] for cost {}",
+                t.0,
+                release[t.0],
+                deadline[t.0],
+                graph.cost(t)
+            );
+        }
+        // Sink deadline is anchored at the job deadline.
+        assert!((deadline[4] - 25.0).abs() < 1e-9);
+        // Precedence consistency: a successor's release is never before its
+        // predecessor's deadline plus the communication delay.
+        for t in graph.task_ids() {
+            for p in graph.predecessors(t) {
+                let w = if result.assignment[p.0] == result.assignment[t.0] {
+                    0.0
+                } else {
+                    result.comm_delay
+                };
+                assert!(release[t.0] + 1e-9 >= deadline[p.0] + w);
+            }
+        }
+    }
+
+    #[test]
+    fn busyness_weighted_laxity_still_produces_valid_windows() {
+        let (graph, result, processors) = paper_result();
+        let outcome = adjust_mapping(
+            &graph,
+            &result,
+            0.0,
+            25.0,
+            &processors,
+            LaxityDispatch::BusynessWeighted,
+        );
+        let AdjustOutcome::Adjusted {
+            release, deadline, ..
+        } = outcome
+        else {
+            panic!("must adjust");
+        };
+        for t in graph.task_ids() {
+            assert!(deadline[t.0] <= 25.0 + 1e-9);
+            assert!(deadline[t.0] - release[t.0] + 1e-9 >= graph.cost(t));
+        }
+    }
+
+    #[test]
+    fn eta_of_the_paper_star_schedule() {
+        let (graph, result, _) = paper_result();
+        // The S* critical chain is t2 -> t4 -> t5 through the comm delay
+        // (4 + 3 + 2 + 3 + 5 = wait) — compute: the makespan path ends at
+        // t5's finish 19; t5 starts at 14 because of t4's finish 11 + 3; t4
+        // starts at 9 because of t1's finish 6 + 3; t1 starts at 0.
+        // So the critical chain is t1 -> t4 -> t5: 3 tasks.
+        assert_eq!(eta_of_star_schedule(&graph, &result), 3);
+    }
+
+    #[test]
+    fn eta_of_empty_graph_is_zero() {
+        let graph = rtds_graph::TaskGraph::new();
+        let processors = vec![ProcessorSpec::with_surplus(1.0)];
+        let input = MapperInput::new(&graph, 0.0, &processors, 0.0);
+        let result = map_dag(&input).unwrap();
+        assert_eq!(eta_of_star_schedule(&graph, &result), 0);
+    }
+
+    #[test]
+    fn case_ii_boundary_window_equal_to_makespan() {
+        let (graph, result, processors) = paper_result();
+        // Window exactly M = 33: scale factor 1, adjusted values equal the
+        // raw schedule's (releases recomputed via eq. 5 may exceed the raw
+        // start because eq. 5 charges the comm delay even when the schedule
+        // absorbed it in processor idle time — they must stay feasible).
+        let outcome = adjust_mapping(
+            &graph,
+            &result,
+            0.0,
+            33.0,
+            &processors,
+            LaxityDispatch::Uniform,
+        );
+        let AdjustOutcome::Adjusted {
+            case, deadline, ..
+        } = outcome
+        else {
+            panic!("must adjust");
+        };
+        assert_eq!(case, AdjustCase::ScaledByWindow);
+        for t in graph.task_ids() {
+            assert!((deadline[t.0] - result.finish[t.0]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Configuration of an RTDS deployment.
+
+use serde::{Deserialize, Serialize};
+
+/// How the extra laxity of case (iii) is scattered over the tasks (§12.2 and
+/// the §13 "Laxity Dispatching" generalisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaxityDispatch {
+    /// The base rule: every task receives the same laxity
+    /// `ℓ = (d - r - M*) / η`.
+    Uniform,
+    /// §13: tasks on the longest critical paths receive laxity proportional
+    /// to the busyness `1 - I` of the processor they are mapped on.
+    BusynessWeighted,
+}
+
+/// Tunable parameters of the RTDS protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RtdsConfig {
+    /// Hop radius `h` of the Potential Computing Sphere. The distributed
+    /// routing exchange runs for `2h` phases (§7.2).
+    pub sphere_radius: usize,
+    /// Length of the observation window over which the §2 surplus is
+    /// computed.
+    pub observation_window: f64,
+    /// Maximum number of PCS peers enrolled into an ACS (0 = no cap, enrol
+    /// the whole PCS). Candidates are taken closest-first in delay.
+    pub max_acs_size: usize,
+    /// §13: allow tasks to be split across idle windows (preemptive model).
+    pub preemptive: bool,
+    /// §13: respect per-site relative computing powers (uniform machines).
+    /// When `false` every site is treated as unit speed regardless of the
+    /// topology's speed annotations.
+    pub uniform_machines: bool,
+    /// §13: how the extra laxity of adjustment case (iii) is dispatched.
+    pub laxity_dispatch: LaxityDispatch,
+    /// §13: account for per-edge data volumes in communication delays
+    /// (delay = propagation + volume / throughput).
+    pub data_volume_aware: bool,
+    /// Link throughput used when `data_volume_aware` is set (volume units per
+    /// time unit).
+    pub throughput: f64,
+    /// Lower bound on the surplus used by the Mapper so duration estimates
+    /// `c / I` stay finite on a fully busy site.
+    pub surplus_floor: f64,
+    /// When `true` the ACS delay-diameter is computed exactly from global
+    /// routing knowledge; when `false` (the default, and the only information
+    /// actually available to the initiator in the distributed setting) it is
+    /// over-estimated as `max_{a,b ∈ ACS} (δ(k,a) + δ(k,b))`.
+    pub exact_acs_diameter: bool,
+}
+
+impl Default for RtdsConfig {
+    fn default() -> Self {
+        RtdsConfig {
+            sphere_radius: 2,
+            observation_window: 200.0,
+            max_acs_size: 0,
+            preemptive: false,
+            uniform_machines: false,
+            laxity_dispatch: LaxityDispatch::Uniform,
+            data_volume_aware: false,
+            throughput: 1.0,
+            surplus_floor: 0.05,
+            exact_acs_diameter: false,
+        }
+    }
+}
+
+impl RtdsConfig {
+    /// Number of routing-exchange phases run at initialisation (§7.2: `2h`).
+    pub fn pcs_phases(&self) -> usize {
+        2 * self.sphere_radius
+    }
+
+    /// Checks the configuration for nonsensical values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.observation_window <= 0.0 {
+            return Err("observation_window must be positive".into());
+        }
+        if !(self.surplus_floor > 0.0 && self.surplus_floor <= 1.0) {
+            return Err("surplus_floor must lie in (0, 1]".into());
+        }
+        if self.data_volume_aware && self.throughput <= 0.0 {
+            return Err("throughput must be positive when data_volume_aware".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let c = RtdsConfig::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.pcs_phases(), 4);
+        assert_eq!(c.laxity_dispatch, LaxityDispatch::Uniform);
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let mut c = RtdsConfig::default();
+        c.observation_window = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = RtdsConfig::default();
+        c.surplus_floor = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = RtdsConfig::default();
+        c.surplus_floor = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = RtdsConfig::default();
+        c.data_volume_aware = true;
+        c.throughput = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pcs_phase_count_follows_radius() {
+        let c = RtdsConfig {
+            sphere_radius: 5,
+            ..RtdsConfig::default()
+        };
+        assert_eq!(c.pcs_phases(), 10);
+    }
+}

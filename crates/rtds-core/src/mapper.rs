@@ -1,0 +1,436 @@
+//! The Mapper (§9 and §12): Trial-Mapping construction.
+//!
+//! The Mapper partitions a DAG over the logical processors of the ACS. The
+//! paper deliberately leaves the heuristic open ("almost any heuristic can be
+//! adapted to our purpose") and then details one concrete instance in §12,
+//! which is exactly what this module implements:
+//!
+//! * **task selection** — list scheduling by critical-path priority: the
+//!   priority of `t_i` is the length of the longest node-weight path from
+//!   `t_i` to a sink, `t_i` included; only *free* tasks (all predecessors
+//!   already mapped) are eligible,
+//! * **processor selection** — greedy: the processor giving the earliest
+//!   finishing time for the selected task,
+//! * **durations** — the execution of `t_i` on processor `p_j` is estimated
+//!   as `c(t_i) / I_j` (surplus-scaled); the §13 uniform-machine extension
+//!   additionally divides by the processor's relative speed,
+//! * **communication delays** — over-estimated by the delay-diameter `ω` of
+//!   the current ACS for tasks mapped on different processors (0 on the same
+//!   processor),
+//! * **start times** — a task starts no sooner than the end of the previous
+//!   task mapped on its processor, nor before `d_j + ω` for every immediate
+//!   predecessor `t_j` on another processor.
+//!
+//! The Mapper also computes the reference schedule `S*` — same assignment and
+//! per-processor task order, but with every surplus set to 100 % — whose
+//! makespan `M*` lower-bounds `M` and drives the §12.2 adjustment cases.
+
+use rtds_graph::{critical_path_tasks, TaskGraph, TaskId};
+use rtds_sched::admission::priority_order;
+use serde::{Deserialize, Serialize};
+
+/// One logical processor offered to the Mapper: a site of the ACS described
+/// by its surplus (and, for the §13 uniform-machines extension, its relative
+/// speed).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// §2 surplus `I_j ∈ (0, 1]` of the site.
+    pub surplus: f64,
+    /// Relative computing power (1.0 = reference machine).
+    pub speed: f64,
+}
+
+impl ProcessorSpec {
+    /// A unit-speed processor with the given surplus.
+    pub fn with_surplus(surplus: f64) -> Self {
+        ProcessorSpec {
+            surplus,
+            speed: 1.0,
+        }
+    }
+}
+
+/// Input of one Mapper invocation.
+pub struct MapperInput<'a> {
+    /// The job's task graph.
+    pub graph: &'a TaskGraph,
+    /// Job release `r` (absolute time; the schedule starts no earlier).
+    pub release: f64,
+    /// Logical processors, *sorted by decreasing surplus* as §9 prescribes
+    /// (the Mapper itself does not re-sort; the ACS layer provides the order).
+    pub processors: &'a [ProcessorSpec],
+    /// Communication-delay over-estimate `ω` (the ACS delay-diameter).
+    pub comm_delay: f64,
+    /// Optional per-edge extra delay: data volume divided by throughput
+    /// (§13). Zero when the base propagation-only model is used.
+    pub data_volume_delay: Option<&'a dyn Fn(TaskId, TaskId) -> f64>,
+    /// Lower bound applied to surpluses so duration estimates stay finite.
+    pub surplus_floor: f64,
+}
+
+impl<'a> MapperInput<'a> {
+    /// Convenience constructor for the common propagation-only case.
+    pub fn new(
+        graph: &'a TaskGraph,
+        release: f64,
+        processors: &'a [ProcessorSpec],
+        comm_delay: f64,
+    ) -> Self {
+        MapperInput {
+            graph,
+            release,
+            processors,
+            comm_delay,
+            data_volume_delay: None,
+            surplus_floor: 1e-3,
+        }
+    }
+}
+
+/// Output of the Mapper: the trial schedule `S`, the reference schedule `S*`
+/// and the processor assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapperResult {
+    /// `assignment[t]` is the logical processor (index into the input
+    /// processor list) chosen for task `t`.
+    pub assignment: Vec<usize>,
+    /// Start time of each task in `S` (the paper's `r_i`).
+    pub start: Vec<f64>,
+    /// Finish time of each task in `S` (the paper's `d_i`).
+    pub finish: Vec<f64>,
+    /// Start time of each task in `S*` (surpluses = 100 %).
+    pub star_start: Vec<f64>,
+    /// Finish time of each task in `S*`.
+    pub star_finish: Vec<f64>,
+    /// Makespan `M` of `S`, measured from the job release.
+    pub makespan: f64,
+    /// Makespan `M*` of `S*`, measured from the job release.
+    pub makespan_star: f64,
+    /// Job release the schedules are anchored at.
+    pub release: f64,
+    /// Communication-delay over-estimate used.
+    pub comm_delay: f64,
+    /// Logical processors actually used (indices into the input list),
+    /// in increasing index order — this is the paper's set `U`.
+    pub used_processors: Vec<usize>,
+    /// Per-processor task order of `S` (task ids in increasing start time),
+    /// indexed like the input processor list.
+    pub processor_order: Vec<Vec<TaskId>>,
+}
+
+impl MapperResult {
+    /// The number of logical processors `|U|` the mapping relies on.
+    pub fn used_count(&self) -> usize {
+        self.used_processors.len()
+    }
+
+    /// Tasks assigned to the given logical processor, in execution order.
+    pub fn tasks_on(&self, processor: usize) -> &[TaskId] {
+        &self.processor_order[processor]
+    }
+}
+
+/// Runs the §12 Mapper. Returns `None` only for degenerate inputs (no
+/// processors offered, or an empty processor list after filtering); an empty
+/// graph maps to an empty schedule.
+pub fn map_dag(input: &MapperInput<'_>) -> Option<MapperResult> {
+    let graph = input.graph;
+    let n = graph.task_count();
+    let m = input.processors.len();
+    if m == 0 {
+        return None;
+    }
+    let info = critical_path_tasks(graph);
+    let order = priority_order(graph, &info.upward);
+
+    // Effective execution rates per processor for S (surplus-scaled) and for
+    // S* (full surplus). Both honour the uniform-machine speed.
+    let rate_s: Vec<f64> = input
+        .processors
+        .iter()
+        .map(|p| (p.surplus.max(input.surplus_floor) * p.speed).max(input.surplus_floor))
+        .collect();
+    let rate_star: Vec<f64> = input.processors.iter().map(|p| p.speed.max(1e-12)).collect();
+
+    let comm = |from: TaskId, to: TaskId, same_processor: bool| -> f64 {
+        if same_processor {
+            0.0
+        } else {
+            let extra = input
+                .data_volume_delay
+                .map(|f| f(from, to))
+                .unwrap_or(0.0);
+            input.comm_delay + extra
+        }
+    };
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
+    let mut avail = vec![input.release; m];
+    let mut processor_order: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+
+    // Greedy EFT list scheduling for S.
+    for &t in &order {
+        let mut best: Option<(usize, f64, f64)> = None; // (proc, start, finish)
+        for p in 0..m {
+            let mut est = avail[p].max(input.release);
+            for pred in graph.predecessors(t) {
+                let same = assignment[pred.0] == p;
+                est = est.max(finish[pred.0] + comm(pred, t, same));
+            }
+            let dur = graph.cost(t) / rate_s[p];
+            let eft = est + dur;
+            let better = match best {
+                None => true,
+                Some((_, _, best_eft)) => eft < best_eft - 1e-12,
+            };
+            if better {
+                best = Some((p, est, eft));
+            }
+        }
+        let (p, s, f) = best.expect("at least one processor");
+        assignment[t.0] = p;
+        start[t.0] = s;
+        finish[t.0] = f;
+        avail[p] = f;
+        processor_order[p].push(t);
+    }
+
+    // S*: same assignment, same per-processor order, surpluses at 100 %.
+    let mut star_start = vec![0.0f64; n];
+    let mut star_finish = vec![0.0f64; n];
+    {
+        let mut avail = vec![input.release; m];
+        // Replay tasks in the same global list order (which is consistent with
+        // both the precedence constraints and the per-processor orders of S).
+        for &t in &order {
+            let p = assignment[t.0];
+            let mut est = avail[p].max(input.release);
+            for pred in graph.predecessors(t) {
+                let same = assignment[pred.0] == p;
+                est = est.max(star_finish[pred.0] + comm(pred, t, same));
+            }
+            let dur = graph.cost(t) / rate_star[p];
+            star_start[t.0] = est;
+            star_finish[t.0] = est + dur;
+            avail[p] = est + dur;
+        }
+    }
+
+    let makespan = finish
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(input.release)
+        - input.release;
+    let makespan_star = star_finish
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(input.release)
+        - input.release;
+    let mut used_processors: Vec<usize> = assignment
+        .iter()
+        .copied()
+        .filter(|p| *p != usize::MAX)
+        .collect();
+    used_processors.sort_unstable();
+    used_processors.dedup();
+
+    Some(MapperResult {
+        assignment,
+        start,
+        finish,
+        star_start,
+        star_finish,
+        makespan,
+        makespan_star,
+        release: input.release,
+        comm_delay: input.comm_delay,
+        used_processors,
+        processor_order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_graph::paper_instance::{
+        paper_task_graph, EXPECTED_MAKESPAN_S, EXPECTED_MAKESPAN_S_STAR, EXPECTED_SCHEDULE_S,
+        EXPECTED_SCHEDULE_S_STAR, PAPER_ACS_DIAMETER, PAPER_SURPLUS_P1, PAPER_SURPLUS_P2,
+    };
+
+    fn paper_processors() -> Vec<ProcessorSpec> {
+        vec![
+            ProcessorSpec::with_surplus(PAPER_SURPLUS_P1),
+            ProcessorSpec::with_surplus(PAPER_SURPLUS_P2),
+        ]
+    }
+
+    #[test]
+    fn reproduces_the_paper_schedule_s() {
+        let graph = paper_task_graph();
+        let processors = paper_processors();
+        let input = MapperInput::new(&graph, 0.0, &processors, PAPER_ACS_DIAMETER);
+        let result = map_dag(&input).unwrap();
+        for (task, proc, start, finish) in EXPECTED_SCHEDULE_S {
+            assert_eq!(result.assignment[task], proc, "task {task} processor");
+            assert!(
+                (result.start[task] - start).abs() < 1e-9,
+                "task {task} start: {} vs {start}",
+                result.start[task]
+            );
+            assert!(
+                (result.finish[task] - finish).abs() < 1e-9,
+                "task {task} finish: {} vs {finish}",
+                result.finish[task]
+            );
+        }
+        assert!((result.makespan - EXPECTED_MAKESPAN_S).abs() < 1e-9);
+        assert_eq!(result.used_processors, vec![0, 1]);
+        assert_eq!(result.used_count(), 2);
+        assert_eq!(
+            result.tasks_on(0),
+            &[TaskId(0), TaskId(2), TaskId(4)],
+            "p1 runs t1, t3, t5"
+        );
+        assert_eq!(result.tasks_on(1), &[TaskId(1), TaskId(3)]);
+    }
+
+    #[test]
+    fn reproduces_the_paper_schedule_s_star() {
+        let graph = paper_task_graph();
+        let processors = paper_processors();
+        let input = MapperInput::new(&graph, 0.0, &processors, PAPER_ACS_DIAMETER);
+        let result = map_dag(&input).unwrap();
+        for (task, proc, start, finish) in EXPECTED_SCHEDULE_S_STAR {
+            assert_eq!(result.assignment[task], proc);
+            assert!(
+                (result.star_start[task] - start).abs() < 1e-9,
+                "task {task} S* start: {} vs {start}",
+                result.star_start[task]
+            );
+            assert!(
+                (result.star_finish[task] - finish).abs() < 1e-9,
+                "task {task} S* finish: {} vs {finish}",
+                result.star_finish[task]
+            );
+        }
+        assert!((result.makespan_star - EXPECTED_MAKESPAN_S_STAR).abs() < 1e-9);
+        assert!(result.makespan_star <= result.makespan + 1e-9);
+    }
+
+    #[test]
+    fn empty_processor_list_is_rejected() {
+        let graph = paper_task_graph();
+        let input = MapperInput::new(&graph, 0.0, &[], 3.0);
+        assert!(map_dag(&input).is_none());
+    }
+
+    #[test]
+    fn empty_graph_maps_to_empty_schedule() {
+        let graph = TaskGraph::new();
+        let processors = vec![ProcessorSpec::with_surplus(1.0)];
+        let input = MapperInput::new(&graph, 5.0, &processors, 2.0);
+        let result = map_dag(&input).unwrap();
+        assert!(result.assignment.is_empty());
+        assert_eq!(result.makespan, 0.0);
+        assert_eq!(result.makespan_star, 0.0);
+        assert!(result.used_processors.is_empty());
+    }
+
+    #[test]
+    fn single_processor_serialises_the_dag() {
+        let graph = paper_task_graph();
+        let processors = vec![ProcessorSpec::with_surplus(1.0)];
+        let input = MapperInput::new(&graph, 0.0, &processors, 100.0);
+        let result = map_dag(&input).unwrap();
+        // Everything on processor 0, no communication delays, so the makespan
+        // is the total cost 21.
+        assert!(result.assignment.iter().all(|&p| p == 0));
+        assert!((result.makespan - 21.0).abs() < 1e-9);
+        assert_eq!(result.used_count(), 1);
+    }
+
+    #[test]
+    fn release_anchors_the_schedule() {
+        let graph = paper_task_graph();
+        let processors = paper_processors();
+        let input = MapperInput::new(&graph, 100.0, &processors, PAPER_ACS_DIAMETER);
+        let result = map_dag(&input).unwrap();
+        // Same shape as the paper schedule, shifted by the release.
+        for (task, _, start, finish) in EXPECTED_SCHEDULE_S {
+            assert!((result.start[task] - (start + 100.0)).abs() < 1e-9);
+            assert!((result.finish[task] - (finish + 100.0)).abs() < 1e-9);
+        }
+        assert!((result.makespan - EXPECTED_MAKESPAN_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_machine_speed_shortens_durations() {
+        let graph = paper_task_graph();
+        let slow = vec![ProcessorSpec::with_surplus(1.0)];
+        let fast = vec![ProcessorSpec {
+            surplus: 1.0,
+            speed: 2.0,
+        }];
+        let m_slow = map_dag(&MapperInput::new(&graph, 0.0, &slow, 0.0)).unwrap();
+        let m_fast = map_dag(&MapperInput::new(&graph, 0.0, &fast, 0.0)).unwrap();
+        assert!((m_slow.makespan - 2.0 * m_fast.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_volume_delays_are_added_between_processors() {
+        // Two tasks in a chain on two processors: the extra data-volume delay
+        // must show up in the successor's start time.
+        let mut graph = TaskGraph::from_costs(&[4.0, 4.0]);
+        graph.add_edge(TaskId(0), TaskId(1)).unwrap();
+        let processors = vec![
+            ProcessorSpec::with_surplus(1.0),
+            ProcessorSpec::with_surplus(1.0),
+        ];
+        let volume_delay = |_from: TaskId, _to: TaskId| 3.0;
+        let input = MapperInput {
+            graph: &graph,
+            release: 0.0,
+            processors: &processors,
+            comm_delay: 1.0,
+            data_volume_delay: Some(&volume_delay),
+            surplus_floor: 1e-3,
+        };
+        let result = map_dag(&input).unwrap();
+        // EFT keeps both tasks on processor 0 here (4 + 4 = 8 is better than
+        // waiting 4 + 1 + 3 + 4 = 12 on processor 1), which is itself the
+        // correct greedy decision under the inflated communication cost.
+        assert_eq!(result.assignment, vec![0, 0]);
+        assert!((result.makespan - 8.0).abs() < 1e-9);
+        // With zero computation on the second processor's queue and a huge
+        // first-processor load the mapper splits and pays the delay.
+        let skewed = vec![
+            ProcessorSpec::with_surplus(0.1),
+            ProcessorSpec::with_surplus(1.0),
+        ];
+        let input = MapperInput {
+            graph: &graph,
+            release: 0.0,
+            processors: &skewed,
+            comm_delay: 1.0,
+            data_volume_delay: Some(&volume_delay),
+            surplus_floor: 1e-3,
+        };
+        let result = map_dag(&input).unwrap();
+        assert_eq!(result.assignment, vec![1, 1]);
+    }
+
+    #[test]
+    fn surplus_floor_prevents_infinite_durations() {
+        let graph = paper_task_graph();
+        let processors = vec![ProcessorSpec::with_surplus(0.0)];
+        let mut input = MapperInput::new(&graph, 0.0, &processors, 0.0);
+        input.surplus_floor = 0.01;
+        let result = map_dag(&input).unwrap();
+        assert!(result.makespan.is_finite());
+        assert!(result.makespan > 0.0);
+    }
+}

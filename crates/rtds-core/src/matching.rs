@@ -1,0 +1,238 @@
+//! Maximum bipartite matching (the §10 "maximum coupling").
+//!
+//! During Trial-Mapping validation the initiator receives, from every site
+//! `j` of the ACS, the list of logical processors whose task sets `T_i` the
+//! site could locally satisfy. It then computes "a maximum coupling
+//! (classical problem in graph theory solved in polynomial time)" between
+//! sites and logical processors. If the coupling has cardinality `|U|`, the
+//! induced permutation assigns each logical processor to a distinct physical
+//! site; otherwise the job is rejected.
+//!
+//! We implement Hopcroft–Karp (`O(E √V)`), plus a brute-force reference used
+//! by the property tests.
+
+/// Computes a maximum matching in a bipartite graph.
+///
+/// * `left_count` — number of left vertices (logical processors).
+/// * `right_count` — number of right vertices (candidate sites).
+/// * `edges[l]` — the right vertices adjacent to left vertex `l`.
+///
+/// Returns `assignment[l] = Some(r)` for matched left vertices. The matching
+/// is deterministic for a given input ordering.
+pub fn maximum_bipartite_matching(
+    left_count: usize,
+    right_count: usize,
+    edges: &[Vec<usize>],
+) -> Vec<Option<usize>> {
+    assert_eq!(edges.len(), left_count, "one adjacency list per left vertex");
+    for adj in edges {
+        for &r in adj {
+            assert!(r < right_count, "right vertex {r} out of range");
+        }
+    }
+    const NIL: usize = usize::MAX;
+    let mut match_left = vec![NIL; left_count];
+    let mut match_right = vec![NIL; right_count];
+    let mut dist = vec![0usize; left_count];
+
+    // Breadth-first phase of Hopcroft–Karp: layer the free left vertices.
+    let bfs = |match_left: &[usize], match_right: &[usize], dist: &mut [usize]| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        const INF: usize = usize::MAX;
+        for l in 0..left_count {
+            if match_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &edges[l] {
+                let next = match_right[r];
+                if next == NIL {
+                    found_augmenting = true;
+                } else if dist[next] == INF {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        found_augmenting
+    };
+
+    // Depth-first phase: find augmenting paths along the BFS layering.
+    fn dfs(
+        l: usize,
+        edges: &[Vec<usize>],
+        match_left: &mut [usize],
+        match_right: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        const NIL: usize = usize::MAX;
+        const INF: usize = usize::MAX;
+        for idx in 0..edges[l].len() {
+            let r = edges[l][idx];
+            let next = match_right[r];
+            let ok = if next == NIL {
+                true
+            } else if dist[next] == dist[l].wrapping_add(1) {
+                dfs(next, edges, match_left, match_right, dist)
+            } else {
+                false
+            };
+            if ok {
+                match_left[l] = r;
+                match_right[r] = l;
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    while bfs(&match_left, &match_right, &mut dist) {
+        for l in 0..left_count {
+            if match_left[l] == NIL {
+                dfs(l, edges, &mut match_left, &mut match_right, &mut dist);
+            }
+        }
+    }
+
+    match_left
+        .into_iter()
+        .map(|r| if r == NIL { None } else { Some(r) })
+        .collect()
+}
+
+/// Size of a matching returned by [`maximum_bipartite_matching`].
+pub fn matching_size(assignment: &[Option<usize>]) -> usize {
+    assignment.iter().filter(|a| a.is_some()).count()
+}
+
+/// Brute-force maximum matching size (exponential; only for small instances
+/// in tests).
+pub fn brute_force_matching_size(
+    left_count: usize,
+    right_count: usize,
+    edges: &[Vec<usize>],
+) -> usize {
+    fn go(
+        l: usize,
+        left_count: usize,
+        edges: &[Vec<usize>],
+        used_right: &mut Vec<bool>,
+    ) -> usize {
+        if l == left_count {
+            return 0;
+        }
+        // Option 1: leave l unmatched.
+        let mut best = go(l + 1, left_count, edges, used_right);
+        // Option 2: match l with any free neighbor.
+        for &r in &edges[l] {
+            if !used_right[r] {
+                used_right[r] = true;
+                best = best.max(1 + go(l + 1, left_count, edges, used_right));
+                used_right[r] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; right_count];
+    go(0, left_count, edges, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let edges = vec![vec![0], vec![1], vec![2]];
+        let m = maximum_bipartite_matching(3, 3, &edges);
+        assert_eq!(m, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(matching_size(&m), 3);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // l0 can only use r0; l1 can use r0 or r1. Greedy l1 -> r0 would block
+        // l0; the maximum matching must re-route l1 to r1.
+        let edges = vec![vec![0], vec![0, 1]];
+        let m = maximum_bipartite_matching(2, 2, &edges);
+        assert_eq!(matching_size(&m), 2);
+        assert_eq!(m[0], Some(0));
+        assert_eq!(m[1], Some(1));
+    }
+
+    #[test]
+    fn no_edges_no_matching() {
+        let edges = vec![vec![], vec![]];
+        let m = maximum_bipartite_matching(2, 3, &edges);
+        assert_eq!(m, vec![None, None]);
+        assert_eq!(matching_size(&m), 0);
+    }
+
+    #[test]
+    fn imperfect_matching_when_one_site_serves_everyone() {
+        // Three logical processors but every one can only run on site 0: the
+        // coupling has size 1 < |U| = 3, so the §10 validation rejects.
+        let edges = vec![vec![0], vec![0], vec![0]];
+        let m = maximum_bipartite_matching(3, 1, &edges);
+        assert_eq!(matching_size(&m), 1);
+    }
+
+    #[test]
+    fn matching_respects_adjacency() {
+        let edges = vec![vec![2, 3], vec![0], vec![0, 1], vec![1, 3]];
+        let m = maximum_bipartite_matching(4, 4, &edges);
+        assert_eq!(matching_size(&m), 4);
+        for (l, r) in m.iter().enumerate() {
+            let r = r.unwrap();
+            assert!(edges[l].contains(&r), "edge ({l}, {r}) does not exist");
+        }
+        // Distinct right vertices.
+        let mut rights: Vec<usize> = m.iter().map(|r| r.unwrap()).collect();
+        rights.sort_unstable();
+        rights.dedup();
+        assert_eq!(rights.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_right_vertex_panics() {
+        let edges = vec![vec![5]];
+        let _ = maximum_bipartite_matching(1, 2, &edges);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Hopcroft–Karp matches the brute-force optimum on random small
+        /// bipartite graphs, and the returned assignment is a valid matching.
+        #[test]
+        fn hopcroft_karp_is_maximum(
+            left in 1usize..7,
+            right in 1usize..7,
+            edge_bits in proptest::collection::vec(proptest::bool::ANY, 49),
+        ) {
+            let edges: Vec<Vec<usize>> = (0..left)
+                .map(|l| (0..right).filter(|r| edge_bits[l * 7 + r]).collect())
+                .collect();
+            let m = maximum_bipartite_matching(left, right, &edges);
+            // Validity: matched pairs are edges, rights are distinct.
+            let mut seen = std::collections::HashSet::new();
+            for (l, r) in m.iter().enumerate() {
+                if let Some(r) = r {
+                    prop_assert!(edges[l].contains(r));
+                    prop_assert!(seen.insert(*r));
+                }
+            }
+            // Optimality.
+            let best = brute_force_matching_size(left, right, &edges);
+            prop_assert_eq!(matching_size(&m), best);
+        }
+    }
+}

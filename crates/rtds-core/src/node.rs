@@ -1,0 +1,789 @@
+//! The per-site RTDS state machine.
+//!
+//! Each [`RtdsNode`] is the system-management processor of one site. It runs
+//! every stage of the paper's protocol (Fig. 1):
+//!
+//! 1. at start-up, the §7 PCS construction (routing exchange for `2h`
+//!    phases),
+//! 2. on a job arrival, the §5 local guarantee test,
+//! 3. on local failure, the §8 ACS enrollment (locks + surplus collection),
+//! 4. the §9/§12 Mapper and the §12.2 release/deadline adjustment,
+//! 5. the §10 validation round concluded by a maximum coupling,
+//! 6. the §11 permutation dispatch and reservation commit.
+//!
+//! Implementation notes (documented deviations, see DESIGN.md):
+//!
+//! * locked sites answer `EnrollBusy` instead of staying silent, so the
+//!   initiator's collection round terminates without a timeout;
+//! * while a site is locked it defers its *own* new job arrivals (they are
+//!   queued and re-examined at unlock time), which guarantees that the plan a
+//!   site validated against is exactly the plan it commits into when the
+//!   permutation arrives;
+//! * the Mapper anchors the trial schedule at
+//!   `max(job release, now + 3 × max ACS delay)` — the §13 remark that "the
+//!   job release must be augmented by the computation time taken by the
+//!   mapper, the time taken by Trial-Mapping validation and also by the
+//!   dispatching of tasks code" — so committed reservations never start in
+//!   the past.
+
+use crate::acs::{AcsCollection, AcsMember};
+use crate::adjust::{adjust_mapping, AdjustOutcome};
+use crate::config::RtdsConfig;
+use crate::mapper::{map_dag, MapperInput};
+use crate::messages::{RtdsMsg, TaskSpec};
+use crate::pcs::PcsState;
+use crate::validate::{endorsable_logical_processors, ValidationOutcome, ValidationRound};
+use rtds_graph::{Job, JobId, TaskId};
+use rtds_net::sphere::Sphere;
+use rtds_net::SiteId;
+use rtds_sched::admission::admit_dag_locally;
+use rtds_sched::feasibility::{satisfiable, TaskRequest};
+use rtds_sched::SchedulePlan;
+use rtds_sim::engine::Context;
+use rtds_sim::stats::GuaranteeStats;
+use rtds_sim::Protocol;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Exact pairwise site distances, shared by all nodes when the
+/// `exact_acs_diameter` configuration is enabled.
+pub type GlobalDistances = Arc<Vec<Vec<f64>>>;
+
+/// A job accepted by this site acting as initiator (used by the post-run
+/// verification in the system layer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptedJob {
+    /// The job id.
+    pub job: JobId,
+    /// Its absolute deadline.
+    pub deadline: f64,
+    /// Whether it was distributed over an ACS (vs. kept local).
+    pub distributed: bool,
+}
+
+/// Initiator-side state of one in-flight distribution.
+#[derive(Debug, Clone)]
+struct Inflight {
+    job: Job,
+    acs: AcsCollection,
+    members: Vec<AcsMember>,
+    tasks_per_logical: Vec<Vec<TaskSpec>>,
+    validation: Option<ValidationRound>,
+}
+
+/// The RTDS protocol instance running on one site.
+#[derive(Debug, Clone)]
+pub struct RtdsNode {
+    site: SiteId,
+    config: RtdsConfig,
+    /// Relative computing power of this site (honoured only when the
+    /// uniform-machines extension is enabled).
+    speed: f64,
+    pcs: PcsState,
+    sphere: Option<Sphere>,
+    /// Committed reservations of the computation processor.
+    pub plan: SchedulePlan,
+    /// Current lock: the initiator holding it and the job it serves.
+    lock: Option<(SiteId, JobId)>,
+    /// Arrivals deferred while locked.
+    queued: VecDeque<Job>,
+    /// In-flight distributions initiated by this site.
+    inflight: BTreeMap<JobId, Inflight>,
+    /// Outcome counters for jobs that arrived at this site.
+    pub guarantee: GuaranteeStats,
+    /// Jobs this site accepted (locally or after distribution).
+    pub accepted: Vec<AcceptedJob>,
+    /// Optional exact global distances (ablation of the ACS-diameter
+    /// estimate).
+    global_distances: Option<GlobalDistances>,
+}
+
+impl RtdsNode {
+    /// Creates the node for `site` with the given adjacency, speed and
+    /// configuration.
+    pub fn new(
+        site: SiteId,
+        neighbors: Vec<(SiteId, f64)>,
+        speed: f64,
+        config: RtdsConfig,
+        global_distances: Option<GlobalDistances>,
+    ) -> Self {
+        let pcs = PcsState::new(site, neighbors, config.sphere_radius);
+        RtdsNode {
+            site,
+            config,
+            speed,
+            pcs,
+            sphere: None,
+            plan: SchedulePlan::new(),
+            lock: None,
+            queued: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            guarantee: GuaranteeStats::default(),
+            accepted: Vec::new(),
+            global_distances,
+        }
+    }
+
+    /// The site this node runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The Potential Computing Sphere, once the §7 construction finished.
+    pub fn sphere(&self) -> Option<&Sphere> {
+        self.sphere.as_ref()
+    }
+
+    /// Returns `true` if the node currently holds a lock.
+    pub fn is_locked(&self) -> bool {
+        self.lock.is_some()
+    }
+
+    /// Number of deferred arrivals.
+    pub fn queued_len(&self) -> usize {
+        self.queued.len()
+    }
+
+    fn effective_speed(&self) -> f64 {
+        if self.config.uniform_machines {
+            self.speed
+        } else {
+            1.0
+        }
+    }
+
+    fn route_delay(&self, to: SiteId) -> f64 {
+        self.pcs
+            .table()
+            .distance(to)
+            .unwrap_or_else(|| self.sphere.as_ref().map(|s| s.delay_diameter).unwrap_or(0.0))
+    }
+
+    fn send_protocol(&self, ctx: &mut Context<'_, RtdsMsg>, to: SiteId, msg: RtdsMsg) {
+        let kind = msg.kind();
+        ctx.count(kind, 1);
+        if msg.is_distribution_message() {
+            ctx.count("distribution_messages", 1);
+            if let Some(hops) = self.pcs.table().hops(to) {
+                ctx.count("link_traversals", hops as u64);
+            }
+        }
+        let delay = self.route_delay(to);
+        ctx.send_routed(to, delay, msg);
+    }
+
+    fn ensure_sphere(&mut self) {
+        if self.sphere.is_none() && self.pcs.is_finished() {
+            self.sphere = Some(self.pcs.sphere());
+        }
+    }
+
+    // ----- job arrival handling (initiator side) -------------------------
+
+    fn handle_arrival(&mut self, job: Job, ctx: &mut Context<'_, RtdsMsg>, count_submission: bool) {
+        if count_submission {
+            self.guarantee.submitted += 1;
+        }
+        // Defer the job while the site is locked for another distribution or
+        // while the one-time PCS construction has not completed yet (the
+        // paper assumes PCS construction happens at system initialisation,
+        // before any job arrives).
+        if self.lock.is_some() || !self.pcs.is_finished() {
+            let reason = if self.lock.is_some() { "site locked" } else { "PCS under construction" };
+            ctx.trace("arrival-deferred", format!("{} ({reason})", job_label(&job)));
+            self.queued.push_back(job);
+            return;
+        }
+        ctx.trace("local-test", job_label(&job));
+        let now = ctx.now();
+        // §5 local guarantee test.
+        if let Some(admission) = admit_dag_locally(
+            &self.plan,
+            &job,
+            now,
+            self.effective_speed(),
+            self.config.preemptive,
+        ) {
+            self.plan
+                .insert_all(&admission.reservations)
+                .expect("admission placements are compatible by construction");
+            self.guarantee.accepted_locally += 1;
+            self.accepted.push(AcceptedJob {
+                job: job.id,
+                deadline: job.deadline(),
+                distributed: false,
+            });
+            ctx.count("accepted_local", 1);
+            ctx.trace(
+                "local-accept",
+                format!("{} completes at {:.3}", job_label(&job), admission.completion),
+            );
+            return;
+        }
+        ctx.trace("local-reject", job_label(&job));
+        self.start_distribution(job, ctx);
+    }
+
+    fn start_distribution(&mut self, job: Job, ctx: &mut Context<'_, RtdsMsg>) {
+        self.ensure_sphere();
+        let now = ctx.now();
+        let peers: Vec<(SiteId, f64)> = match &self.sphere {
+            Some(sphere) => {
+                let mut peers: Vec<(SiteId, f64)> = sphere
+                    .peers()
+                    .map(|p| (p, sphere.delay_to(p).unwrap_or(0.0)))
+                    .collect();
+                peers.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+                if self.config.max_acs_size > 0 {
+                    peers.truncate(self.config.max_acs_size);
+                }
+                peers
+            }
+            None => Vec::new(),
+        };
+        if peers.is_empty() {
+            // No neighborhood to distribute over: the job is rejected.
+            self.guarantee.rejected += 1;
+            ctx.count("rejected_no_acs", 1);
+            ctx.trace("reject", format!("{} (empty computing sphere)", job_label(&job)));
+            return;
+        }
+        // Lock ourselves: our own arrivals queue until this job is resolved.
+        self.lock = Some((self.site, job.id));
+        let own_surplus = self
+            .plan
+            .surplus(now, self.config.observation_window)
+            .max(self.config.surplus_floor);
+        let acs = AcsCollection::new(self.site, own_surplus, self.effective_speed(), &peers);
+        ctx.trace(
+            "acs-enroll",
+            format!("{} contacting {} PCS peers", job_label(&job), peers.len()),
+        );
+        for (peer, _) in &peers {
+            self.send_protocol(
+                ctx,
+                *peer,
+                RtdsMsg::Enroll {
+                    initiator: self.site,
+                    job: job.id,
+                },
+            );
+        }
+        self.inflight.insert(
+            job.id,
+            Inflight {
+                job,
+                acs,
+                members: Vec::new(),
+                tasks_per_logical: Vec::new(),
+                validation: None,
+            },
+        );
+    }
+
+    fn try_finish_enrollment(&mut self, job_id: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        let Some(inflight) = self.inflight.get(&job_id) else {
+            return;
+        };
+        if !inflight.acs.is_complete() {
+            return;
+        }
+        self.run_mapper_and_validate(job_id, ctx);
+    }
+
+    fn run_mapper_and_validate(&mut self, job_id: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        let Some(mut inflight) = self.inflight.remove(&job_id) else {
+            return;
+        };
+        let now = ctx.now();
+        let (members, specs) = inflight.acs.sorted_for_mapper();
+        ctx.count("acs_members", members.len() as u64);
+
+        // Communication-delay over-estimate ω: the ACS delay-diameter.
+        let comm_delay = if self.config.exact_acs_diameter {
+            self.exact_diameter(&members)
+                .unwrap_or_else(|| inflight.acs.local_diameter_estimate())
+        } else {
+            inflight.acs.local_diameter_estimate()
+        };
+
+        // §13: the job release is pushed past the mapper + validation +
+        // dispatch pipeline so no reservation starts in the past.
+        let max_member_delay = members
+            .iter()
+            .map(|m| m.delay)
+            .fold(0.0f64, f64::max);
+        let pipeline_margin = 3.0 * max_member_delay;
+        let release_floor = inflight.job.release().max(now + pipeline_margin);
+
+        let graph = &inflight.job.graph;
+        let throughput = self.config.throughput;
+        let volume_fn = |from: TaskId, to: TaskId| -> f64 {
+            graph.data_volume(from, to).unwrap_or(0.0) / throughput
+        };
+        let input = MapperInput {
+            graph,
+            release: release_floor,
+            processors: &specs,
+            comm_delay,
+            data_volume_delay: if self.config.data_volume_aware {
+                Some(&volume_fn)
+            } else {
+                None
+            },
+            surplus_floor: self.config.surplus_floor,
+        };
+        let Some(result) = map_dag(&input) else {
+            self.finish_rejected(&inflight, ctx, "mapper produced no mapping");
+            return;
+        };
+        ctx.trace(
+            "trial-mapping",
+            format!(
+                "{}: |U| = {}, M = {:.3}, M* = {:.3}, omega = {:.3}",
+                job_label(&inflight.job),
+                result.used_count(),
+                result.makespan,
+                result.makespan_star,
+                comm_delay
+            ),
+        );
+        let adjusted = adjust_mapping(
+            graph,
+            &result,
+            release_floor,
+            inflight.job.deadline(),
+            &specs,
+            self.config.laxity_dispatch,
+        );
+        let AdjustOutcome::Adjusted {
+            release, deadline, ..
+        } = adjusted
+        else {
+            self.finish_rejected(&inflight, ctx, "adjustment case (i): M* exceeds the window");
+            return;
+        };
+
+        // Build T_i per logical processor (compact numbering over the used
+        // processors of the mapping).
+        let tasks_per_logical: Vec<Vec<TaskSpec>> = result
+            .used_processors
+            .iter()
+            .map(|&p| {
+                result
+                    .tasks_on(p)
+                    .iter()
+                    .map(|&t| TaskSpec {
+                        task: t,
+                        release: release[t.0],
+                        deadline: deadline[t.0],
+                        cost: graph.cost(t),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // §10: broadcast the mapping in the ACS and collect validation lists.
+        let expected: Vec<SiteId> = members.iter().map(|m| m.site).collect();
+        let mut validation = ValidationRound::new(tasks_per_logical.len(), expected);
+        for member in &members {
+            if member.site == self.site {
+                let endorsable = endorsable_logical_processors(
+                    &self.plan,
+                    job_id,
+                    &tasks_per_logical,
+                    self.effective_speed(),
+                    self.config.preemptive,
+                );
+                validation.record_reply(self.site, endorsable);
+            } else {
+                self.send_protocol(
+                    ctx,
+                    member.site,
+                    RtdsMsg::TrialMapping {
+                        job: job_id,
+                        tasks_per_logical: tasks_per_logical.clone(),
+                    },
+                );
+            }
+        }
+        inflight.members = members;
+        inflight.tasks_per_logical = tasks_per_logical;
+        inflight.validation = Some(validation);
+        self.inflight.insert(job_id, inflight);
+        self.try_finish_validation(job_id, ctx);
+    }
+
+    fn exact_diameter(&self, members: &[AcsMember]) -> Option<f64> {
+        let dist = self.global_distances.as_ref()?;
+        let mut best = 0.0f64;
+        for a in members {
+            for b in members {
+                if a.site != b.site {
+                    best = best.max(dist[a.site.0][b.site.0]);
+                }
+            }
+        }
+        Some(best)
+    }
+
+    fn try_finish_validation(&mut self, job_id: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        let complete = match self.inflight.get(&job_id) {
+            Some(inflight) => inflight
+                .validation
+                .as_ref()
+                .map(|v| v.is_complete())
+                .unwrap_or(false),
+            None => false,
+        };
+        if !complete {
+            return;
+        }
+        let inflight = self.inflight.remove(&job_id).expect("checked above");
+        let outcome = inflight
+            .validation
+            .as_ref()
+            .expect("validation round exists")
+            .conclude();
+        match outcome {
+            ValidationOutcome::Accepted { assignment } => {
+                ctx.trace(
+                    "mapping-validated",
+                    format!(
+                        "{} coupling of size {} found",
+                        job_label(&inflight.job),
+                        assignment.len()
+                    ),
+                );
+                self.dispatch_permutation(&inflight, &assignment, ctx);
+            }
+            ValidationOutcome::Rejected {
+                coupling_size,
+                required,
+            } => {
+                self.finish_rejected(
+                    &inflight,
+                    ctx,
+                    &format!("coupling {coupling_size} < |U| = {required}"),
+                );
+            }
+        }
+    }
+
+    fn dispatch_permutation(
+        &mut self,
+        inflight: &Inflight,
+        assignment: &[SiteId],
+        ctx: &mut Context<'_, RtdsMsg>,
+    ) {
+        let job_id = inflight.job.id;
+        // Which logical processor (if any) each member must endorse.
+        let mut per_site: BTreeMap<SiteId, Option<usize>> = inflight
+            .members
+            .iter()
+            .map(|m| (m.site, None))
+            .collect();
+        for (logical, site) in assignment.iter().enumerate() {
+            per_site.insert(*site, Some(logical));
+        }
+        for member in &inflight.members {
+            let logical = per_site.get(&member.site).copied().flatten();
+            if member.site == self.site {
+                if let Some(l) = logical {
+                    self.commit_logical(job_id, &inflight.tasks_per_logical[l], ctx);
+                }
+            } else {
+                let tasks = logical
+                    .map(|l| inflight.tasks_per_logical[l].clone())
+                    .unwrap_or_default();
+                self.send_protocol(
+                    ctx,
+                    member.site,
+                    RtdsMsg::Permutation {
+                        job: job_id,
+                        logical,
+                        tasks,
+                    },
+                );
+            }
+        }
+        self.guarantee.accepted_distributed += 1;
+        self.accepted.push(AcceptedJob {
+            job: job_id,
+            deadline: inflight.job.deadline(),
+            distributed: true,
+        });
+        ctx.count("accepted_distributed", 1);
+        ctx.trace("job-accepted", job_label(&inflight.job));
+        self.release_own_lock(job_id, ctx);
+    }
+
+    fn finish_rejected(&mut self, inflight: &Inflight, ctx: &mut Context<'_, RtdsMsg>, reason: &str) {
+        let job_id = inflight.job.id;
+        // Unlock every remote member that positively enrolled.
+        let remote_members: Vec<SiteId> = inflight
+            .acs
+            .members()
+            .iter()
+            .map(|m| m.site)
+            .filter(|s| *s != self.site)
+            .collect();
+        for site in remote_members {
+            self.send_protocol(ctx, site, RtdsMsg::Unlock { job: job_id });
+        }
+        self.guarantee.rejected += 1;
+        ctx.count("rejected_distributed", 1);
+        ctx.trace("reject", format!("{} ({reason})", job_label(&inflight.job)));
+        self.release_own_lock(job_id, ctx);
+    }
+
+    fn release_own_lock(&mut self, job_id: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        if let Some((holder, locked_job)) = self.lock {
+            if holder == self.site && locked_job == job_id {
+                self.lock = None;
+            }
+        }
+        self.process_queue(ctx);
+    }
+
+    fn process_queue(&mut self, ctx: &mut Context<'_, RtdsMsg>) {
+        if !self.pcs.is_finished() {
+            return;
+        }
+        while self.lock.is_none() {
+            let Some(job) = self.queued.pop_front() else {
+                break;
+            };
+            self.handle_arrival(job, ctx, false);
+        }
+    }
+
+    // ----- member side ----------------------------------------------------
+
+    fn handle_enroll(&mut self, initiator: SiteId, job: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        if self.lock.is_some() {
+            self.send_protocol(ctx, initiator, RtdsMsg::EnrollBusy { job });
+            ctx.count("enroll_refused", 1);
+            return;
+        }
+        self.lock = Some((initiator, job));
+        let surplus = self
+            .plan
+            .surplus(ctx.now(), self.config.observation_window)
+            .max(self.config.surplus_floor);
+        ctx.trace(
+            "acs-joined",
+            format!("locked for {initiator}, surplus {surplus:.3}"),
+        );
+        self.send_protocol(
+            ctx,
+            initiator,
+            RtdsMsg::EnrollAck {
+                job,
+                surplus,
+                speed: self.effective_speed(),
+            },
+        );
+    }
+
+    fn handle_trial_mapping(
+        &mut self,
+        from: SiteId,
+        job: JobId,
+        tasks_per_logical: Vec<Vec<TaskSpec>>,
+        ctx: &mut Context<'_, RtdsMsg>,
+    ) {
+        let endorsable = endorsable_logical_processors(
+            &self.plan,
+            job,
+            &tasks_per_logical,
+            self.effective_speed(),
+            self.config.preemptive,
+        );
+        ctx.trace(
+            "validation",
+            format!("can endorse {} of {} logical processors", endorsable.len(), tasks_per_logical.len()),
+        );
+        self.send_protocol(
+            ctx,
+            from,
+            RtdsMsg::ValidationReply {
+                job,
+                endorsable,
+            },
+        );
+    }
+
+    fn handle_permutation(
+        &mut self,
+        job: JobId,
+        logical: Option<usize>,
+        tasks: Vec<TaskSpec>,
+        ctx: &mut Context<'_, RtdsMsg>,
+    ) {
+        if let Some(l) = logical {
+            ctx.trace("execute", format!("{job} as logical processor {l}"));
+            self.commit_logical(job, &tasks, ctx);
+        } else {
+            ctx.trace("not-selected", format!("{job}"));
+        }
+        self.unlock_for(job, ctx);
+    }
+
+    fn commit_logical(&mut self, job: JobId, tasks: &[TaskSpec], ctx: &mut Context<'_, RtdsMsg>) {
+        let speed = self.effective_speed();
+        let requests: Vec<TaskRequest> = tasks
+            .iter()
+            .map(|s| TaskRequest {
+                job,
+                task: s.task,
+                release: s.release,
+                deadline: s.deadline,
+                duration: s.cost / speed,
+            })
+            .collect();
+        match satisfiable(&self.plan, &requests, self.config.preemptive) {
+            Some(placements) => {
+                self.plan
+                    .insert_all(&placements)
+                    .expect("satisfiable placements are non-overlapping");
+                ctx.count("tasks_committed", placements.len() as u64);
+            }
+            None => {
+                // Cannot happen while the locking discipline is respected
+                // (the plan is frozen between validation and commit); counted
+                // so experiments would surface a protocol bug immediately.
+                ctx.count("placement_failures", 1);
+                ctx.trace("placement-failure", format!("{job}"));
+            }
+        }
+    }
+
+    fn unlock_for(&mut self, job: JobId, ctx: &mut Context<'_, RtdsMsg>) {
+        if let Some((_, locked_job)) = self.lock {
+            if locked_job == job {
+                self.lock = None;
+            }
+        }
+        self.process_queue(ctx);
+    }
+}
+
+fn job_label(job: &Job) -> String {
+    format!(
+        "{} ({} tasks, d = {:.1})",
+        job.id,
+        job.graph.task_count(),
+        job.deadline()
+    )
+}
+
+impl Protocol for RtdsNode {
+    type Msg = RtdsMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, RtdsMsg>) {
+        for send in self.pcs.start() {
+            ctx.count("routing_update", 1);
+            ctx.send(send.to, RtdsMsg::RoutingUpdate {
+                phase: send.phase,
+                lines: send.lines,
+            });
+        }
+        self.ensure_sphere();
+    }
+
+    fn on_message(&mut self, from: SiteId, msg: RtdsMsg, ctx: &mut Context<'_, RtdsMsg>) {
+        match msg {
+            RtdsMsg::RoutingUpdate { phase, lines } => {
+                for send in self.pcs.on_update(from, phase, lines) {
+                    ctx.count("routing_update", 1);
+                    ctx.send(send.to, RtdsMsg::RoutingUpdate {
+                        phase: send.phase,
+                        lines: send.lines,
+                    });
+                }
+                self.ensure_sphere();
+                // Arrivals deferred during the PCS construction can now be
+                // examined.
+                if self.pcs.is_finished() {
+                    self.process_queue(ctx);
+                }
+            }
+            RtdsMsg::JobArrival { job } => {
+                self.handle_arrival(job, ctx, true);
+            }
+            RtdsMsg::Enroll { initiator, job } => {
+                self.handle_enroll(initiator, job, ctx);
+            }
+            RtdsMsg::EnrollAck { job, surplus, speed } => {
+                if let Some(inflight) = self.inflight.get_mut(&job) {
+                    inflight.acs.record_ack(from, surplus, speed);
+                }
+                self.try_finish_enrollment(job, ctx);
+            }
+            RtdsMsg::EnrollBusy { job } => {
+                if let Some(inflight) = self.inflight.get_mut(&job) {
+                    inflight.acs.record_busy(from);
+                }
+                self.try_finish_enrollment(job, ctx);
+            }
+            RtdsMsg::TrialMapping {
+                job,
+                tasks_per_logical,
+            } => {
+                self.handle_trial_mapping(from, job, tasks_per_logical, ctx);
+            }
+            RtdsMsg::ValidationReply { job, endorsable } => {
+                if let Some(inflight) = self.inflight.get_mut(&job) {
+                    if let Some(validation) = inflight.validation.as_mut() {
+                        validation.record_reply(from, endorsable);
+                    }
+                }
+                self.try_finish_validation(job, ctx);
+            }
+            RtdsMsg::Permutation { job, logical, tasks } => {
+                self.handle_permutation(job, logical, tasks, ctx);
+            }
+            RtdsMsg::Unlock { job } => {
+                ctx.trace("unlocked", format!("{job}"));
+                self.unlock_for(job, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_net::generators::{line, DelayDistribution};
+
+    #[test]
+    fn node_construction_and_accessors() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let node = RtdsNode::new(
+            SiteId(1),
+            net.neighbors(SiteId(1)).to_vec(),
+            1.0,
+            RtdsConfig::default(),
+            None,
+        );
+        assert_eq!(node.site(), SiteId(1));
+        assert!(!node.is_locked());
+        assert_eq!(node.queued_len(), 0);
+        assert!(node.sphere().is_none());
+        assert!(node.plan.is_empty());
+        assert_eq!(node.guarantee.submitted, 0);
+    }
+
+    #[test]
+    fn effective_speed_follows_uniform_machines_flag() {
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut cfg = RtdsConfig::default();
+        let node = RtdsNode::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 2.5, cfg, None);
+        assert_eq!(node.effective_speed(), 1.0);
+        cfg.uniform_machines = true;
+        let node = RtdsNode::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 2.5, cfg, None);
+        assert_eq!(node.effective_speed(), 2.5);
+    }
+}

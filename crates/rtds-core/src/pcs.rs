@@ -1,0 +1,306 @@
+//! Distributed construction of the Potential Computing Sphere (§7).
+//!
+//! Every site runs the interrupted Bellman–Ford exchange for `2h` phases.
+//! Because the simulated network is asynchronous (per-link delays differ),
+//! the phases are synchronised per neighbor: a site only advances to phase
+//! `p + 1` once it has received every neighbor's phase-`p` table (a standard
+//! α-synchroniser, which is exactly what "a phase is composed of send step
+//! and reception of all neighbor routing tables" describes).
+//!
+//! The state machine is pure (no simulator types): the node layer feeds it
+//! received messages and forwards the messages it emits, which keeps it
+//! independently unit-testable and lets the property tests compare its result
+//! against the centralized [`rtds_net::bellman_ford::phased_apsp`] reference.
+
+use rtds_net::routing::{RouteEntry, RoutingTable};
+use rtds_net::sphere::Sphere;
+use rtds_net::SiteId;
+use std::collections::BTreeMap;
+
+/// Outgoing routing-update message produced by the PCS state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcsSend {
+    /// Neighbor to send to.
+    pub to: SiteId,
+    /// Phase this table belongs to.
+    pub phase: usize,
+    /// Routing-table lines.
+    pub lines: Vec<RouteEntry>,
+}
+
+/// Per-site state of the §7 PCS construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcsState {
+    owner: SiteId,
+    neighbors: Vec<(SiteId, f64)>,
+    table: RoutingTable,
+    /// Total number of phases to run (`2h`).
+    total_phases: usize,
+    /// Phase currently being collected (1-based). `current > total_phases`
+    /// means the construction is finished.
+    current_phase: usize,
+    /// Tables received for the current phase, keyed by sender.
+    pending: BTreeMap<SiteId, Vec<RouteEntry>>,
+    /// Tables received early for future phases.
+    future: BTreeMap<usize, BTreeMap<SiteId, Vec<RouteEntry>>>,
+    /// Sphere radius `h`.
+    radius: usize,
+}
+
+impl PcsState {
+    /// Creates the PCS state for a site with the given adjacency and radius.
+    pub fn new(owner: SiteId, neighbors: Vec<(SiteId, f64)>, radius: usize) -> Self {
+        let table = RoutingTable::initial(owner, &neighbors);
+        PcsState {
+            owner,
+            neighbors,
+            table,
+            total_phases: 2 * radius,
+            current_phase: 1,
+            pending: BTreeMap::new(),
+            future: BTreeMap::new(),
+            radius,
+        }
+    }
+
+    /// The messages to send at start-up: the initial table, tagged phase 1,
+    /// to every neighbor. Returns an empty vector when the radius is zero
+    /// (the sphere is just the site itself) or the site is isolated.
+    pub fn start(&mut self) -> Vec<PcsSend> {
+        if self.total_phases == 0 || self.neighbors.is_empty() {
+            self.current_phase = self.total_phases + 1;
+            return Vec::new();
+        }
+        self.broadcast(1)
+    }
+
+    /// Handles a routing update from a neighbor. Returns the messages to send
+    /// in response (the next phase's broadcast, once the current phase
+    /// completes).
+    pub fn on_update(&mut self, from: SiteId, phase: usize, lines: Vec<RouteEntry>) -> Vec<PcsSend> {
+        if self.is_finished() {
+            return Vec::new();
+        }
+        if phase == self.current_phase {
+            self.pending.insert(from, lines);
+        } else if phase > self.current_phase {
+            self.future.entry(phase).or_default().insert(from, lines);
+        }
+        // else: stale message from an already-completed phase; ignore.
+        self.try_advance()
+    }
+
+    fn try_advance(&mut self) -> Vec<PcsSend> {
+        let mut out = Vec::new();
+        while !self.is_finished() && self.pending.len() == self.neighbors.len() {
+            // Merge everything received in this phase.
+            let received = std::mem::take(&mut self.pending);
+            for (from, lines) in received {
+                let delay = self
+                    .neighbors
+                    .iter()
+                    .find(|(n, _)| *n == from)
+                    .map(|(_, d)| *d)
+                    .expect("update from a non-neighbor");
+                self.table.merge_from_neighbor(from, delay, &lines);
+            }
+            self.current_phase += 1;
+            if self.is_finished() {
+                break;
+            }
+            // Pull in any messages that arrived early for the new phase.
+            if let Some(early) = self.future.remove(&self.current_phase) {
+                self.pending = early;
+            }
+            out.extend(self.broadcast(self.current_phase));
+        }
+        out
+    }
+
+    fn broadcast(&self, phase: usize) -> Vec<PcsSend> {
+        let lines = self.table.lines();
+        self.neighbors
+            .iter()
+            .map(|(n, _)| PcsSend {
+                to: *n,
+                phase,
+                lines: lines.clone(),
+            })
+            .collect()
+    }
+
+    /// Returns `true` once all `2h` phases have completed.
+    pub fn is_finished(&self) -> bool {
+        self.current_phase > self.total_phases
+    }
+
+    /// The routing table accumulated so far.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// The Potential Computing Sphere of this site: every destination whose
+    /// recorded route uses at most `h` hops. The delay diameter is the
+    /// conservative over-estimate available from purely local knowledge,
+    /// `max_{a,b} (δ(k,a) + δ(k,b))`.
+    pub fn sphere(&self) -> Sphere {
+        let members = self.table.destinations_within_hops(self.radius);
+        let delays: Vec<f64> = members
+            .iter()
+            .map(|m| self.table.distance(*m).unwrap_or(0.0))
+            .collect();
+        let mut diameter = 0.0f64;
+        for (i, &a) in delays.iter().enumerate() {
+            for (j, &b) in delays.iter().enumerate() {
+                if i != j {
+                    diameter = diameter.max(a + b);
+                }
+            }
+        }
+        Sphere {
+            center: self.owner,
+            radius: self.radius,
+            members,
+            delays,
+            delay_diameter: diameter,
+        }
+    }
+
+    /// Sphere radius `h`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_net::bellman_ford::phased_apsp;
+    use rtds_net::generators::{erdos_renyi_connected, line, ring, DelayDistribution};
+    use rtds_net::Network;
+
+    /// Drives a set of PcsStates to completion by synchronously delivering
+    /// every emitted message (delivery order follows a FIFO queue, which is a
+    /// valid asynchronous execution).
+    fn run_pcs(net: &Network, radius: usize) -> Vec<PcsState> {
+        let mut states: Vec<PcsState> = net
+            .sites()
+            .map(|s| PcsState::new(s, net.neighbors(s).to_vec(), radius))
+            .collect();
+        let mut queue: std::collections::VecDeque<(SiteId, SiteId, usize, Vec<RouteEntry>)> =
+            std::collections::VecDeque::new();
+        for s in net.sites() {
+            for send in states[s.0].start() {
+                queue.push_back((s, send.to, send.phase, send.lines));
+            }
+        }
+        let mut processed = 0usize;
+        while let Some((from, to, phase, lines)) = queue.pop_front() {
+            processed += 1;
+            assert!(processed < 1_000_000, "PCS construction did not terminate");
+            for send in states[to.0].on_update(from, phase, lines) {
+                queue.push_back((to, send.to, send.phase, send.lines));
+            }
+        }
+        states
+    }
+
+    #[test]
+    fn distributed_pcs_matches_centralized_reference() {
+        for (net, radius) in [
+            (ring(10, DelayDistribution::Constant(1.0), 0), 2usize),
+            (line(8, DelayDistribution::Uniform { min: 1.0, max: 4.0 }, 1), 3),
+            (
+                erdos_renyi_connected(15, 0.2, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 2),
+                2,
+            ),
+        ] {
+            let states = run_pcs(&net, radius);
+            let reference = phased_apsp(&net, 2 * radius);
+            for s in net.sites() {
+                assert!(states[s.0].is_finished(), "site {s} did not finish");
+                for d in net.sites() {
+                    let got = states[s.0].table().distance(d);
+                    let want = reference.tables[s.0].distance(d);
+                    match (got, want) {
+                        (Some(g), Some(w)) => assert!(
+                            (g - w).abs() < 1e-9,
+                            "{s} -> {d}: distributed {g} vs reference {w}"
+                        ),
+                        (None, None) => {}
+                        other => panic!("{s} -> {d}: mismatch {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_members_match_reference_sphere() {
+        let net = ring(12, DelayDistribution::Constant(2.0), 0);
+        let radius = 2;
+        let states = run_pcs(&net, radius);
+        let reference = phased_apsp(&net, 2 * radius);
+        for s in net.sites() {
+            let dist_sphere = states[s.0].sphere();
+            let ref_sphere = Sphere::from_tables(&reference.tables[s.0], &reference.tables, radius);
+            assert_eq!(dist_sphere.members, ref_sphere.members, "site {s}");
+            // The locally computable diameter over-estimates the exact one.
+            assert!(dist_sphere.delay_diameter + 1e-9 >= ref_sphere.delay_diameter);
+        }
+    }
+
+    #[test]
+    fn zero_radius_finishes_immediately() {
+        let net = ring(4, DelayDistribution::Constant(1.0), 0);
+        let mut state = PcsState::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 0);
+        assert!(state.start().is_empty());
+        assert!(state.is_finished());
+        let sphere = state.sphere();
+        assert_eq!(sphere.members, vec![SiteId(0)]);
+        assert_eq!(sphere.delay_diameter, 0.0);
+    }
+
+    #[test]
+    fn isolated_site_finishes_immediately() {
+        let mut state = PcsState::new(SiteId(0), vec![], 3);
+        assert!(state.start().is_empty());
+        assert!(state.is_finished());
+        assert_eq!(state.sphere().members, vec![SiteId(0)]);
+        assert_eq!(state.radius(), 3);
+    }
+
+    #[test]
+    fn early_messages_are_buffered_not_lost() {
+        // Two sites, one link: site 0 receives site 1's phase-2 table before
+        // finishing phase 1 must still converge.
+        let mut net = Network::new(2);
+        net.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        let mut a = PcsState::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 1);
+        let mut b = PcsState::new(SiteId(1), net.neighbors(SiteId(1)).to_vec(), 1);
+        let a_start = a.start();
+        let b_start = b.start();
+        assert_eq!(a_start.len(), 1);
+        assert_eq!(b_start.len(), 1);
+        // Deliver b's phase-1 to a: a advances and emits phase 2.
+        let a_out = a.on_update(SiteId(1), 1, b_start[0].lines.clone());
+        assert_eq!(a_out.len(), 1);
+        assert_eq!(a_out[0].phase, 2);
+        // Deliver a's phase-2 to b *before* a's phase-1: must be buffered.
+        let out = b.on_update(SiteId(0), 2, a_out[0].lines.clone());
+        assert!(out.is_empty());
+        assert!(!b.is_finished());
+        // Now deliver a's phase-1: b advances through phase 1 and, with the
+        // buffered phase-2 table already present, through phase 2 as well.
+        let out = b.on_update(SiteId(0), 1, a_start[0].lines.clone());
+        // b emits its phase-2 broadcast while advancing.
+        assert_eq!(out.len(), 1);
+        assert!(b.is_finished());
+        // Finish a.
+        let out_b2: Vec<_> = out;
+        let _ = a.on_update(SiteId(1), 2, out_b2[0].lines.clone());
+        assert!(a.is_finished());
+        assert_eq!(a.table().distance(SiteId(1)), Some(1.0));
+        assert_eq!(b.table().distance(SiteId(0)), Some(1.0));
+    }
+}

@@ -1,0 +1,364 @@
+//! One-call deployment of an RTDS system over the simulator.
+//!
+//! [`RtdsSystem`] assembles a network, one [`RtdsNode`] per site and the
+//! discrete-event engine, accepts a workload of jobs, runs the simulation to
+//! quiescence and produces a [`RunReport`] with the paper's metrics:
+//! guarantee ratio, distribution ratio, message overhead, per-job outcomes
+//! and the run-time safety check (accepted jobs never miss their deadline).
+
+use crate::config::RtdsConfig;
+use crate::messages::RtdsMsg;
+use crate::node::{GlobalDistances, RtdsNode};
+use rtds_graph::{Job, JobId};
+use rtds_net::dijkstra::all_pairs_shortest_paths;
+use rtds_net::{Network, SiteId};
+use rtds_sched::executor;
+use rtds_sched::SchedulePlan;
+use rtds_sim::stats::{GuaranteeStats, SimStats};
+use rtds_sim::{Simulator, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How a submitted job ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcomeKind {
+    /// Guaranteed by the arrival site's local scheduler.
+    AcceptedLocally,
+    /// Guaranteed after distribution over a Computing Sphere.
+    AcceptedDistributed,
+    /// Rejected (could not be guaranteed in time).
+    Rejected,
+}
+
+/// Per-job record of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The job.
+    pub job: JobId,
+    /// Arrival site.
+    pub arrival_site: usize,
+    /// Outcome.
+    pub outcome: JobOutcomeKind,
+    /// Completion time across all sites (None for rejected jobs).
+    pub completion: Option<f64>,
+    /// Absolute deadline of the job.
+    pub deadline: f64,
+    /// Whether an accepted job finished by its deadline (always true under
+    /// faithful execution; kept as an explicit safety check).
+    pub met_deadline: bool,
+}
+
+/// Aggregate report of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of jobs submitted.
+    pub jobs_submitted: u64,
+    /// Aggregated real-time outcome counters.
+    pub guarantee: GuaranteeStats,
+    /// Engine and protocol counters.
+    pub stats: SimStats,
+    /// Per-job outcomes, ordered by job id.
+    pub jobs: Vec<JobReport>,
+    /// Final simulated time.
+    pub finished_at: f64,
+    /// Average number of distribution messages per submitted job.
+    pub messages_per_job: f64,
+}
+
+impl RunReport {
+    /// Guarantee ratio of the run.
+    pub fn guarantee_ratio(&self) -> f64 {
+        self.guarantee.guarantee_ratio()
+    }
+
+    /// Number of accepted jobs that missed their deadline (must be zero).
+    pub fn deadline_misses(&self) -> u64 {
+        self.guarantee.deadline_misses
+    }
+}
+
+/// A deployed RTDS system: network + nodes + simulator + workload.
+pub struct RtdsSystem {
+    sim: Simulator<RtdsNode>,
+    submitted: Vec<(JobId, usize, f64)>,
+    #[allow(dead_code)]
+    seed: u64,
+}
+
+impl RtdsSystem {
+    /// Builds a system over `network` with the given configuration. The seed
+    /// is kept for future stochastic extensions and for symmetry with the
+    /// baseline policies (the RTDS protocol itself is deterministic).
+    pub fn new(network: Network, config: RtdsConfig, seed: u64) -> Self {
+        config
+            .validate()
+            .expect("invalid RTDS configuration");
+        let global: Option<GlobalDistances> = if config.exact_acs_diameter {
+            let aps = all_pairs_shortest_paths(&network);
+            Some(Arc::new(aps.into_iter().map(|sp| sp.dist).collect()))
+        } else {
+            None
+        };
+        let topology = network.clone();
+        let sim = Simulator::new(network, |site: SiteId| {
+            RtdsNode::new(
+                site,
+                topology.neighbors(site).to_vec(),
+                topology.speed(site),
+                config,
+                global.clone(),
+            )
+        });
+        RtdsSystem {
+            sim,
+            submitted: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Enables structured tracing (used by the Fig. 1 walkthrough binary).
+    pub fn enable_trace(&mut self) {
+        self.sim.enable_trace();
+    }
+
+    /// The structured trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        self.sim.trace()
+    }
+
+    /// Read access to the simulated network.
+    pub fn network(&self) -> &Network {
+        self.sim.network()
+    }
+
+    /// Read access to a node (after or between runs).
+    pub fn node(&self, site: SiteId) -> &RtdsNode {
+        self.sim.node(site)
+    }
+
+    /// Submits one job: it will arrive at `job.arrival_site` at its release
+    /// time.
+    pub fn submit_job(&mut self, job: Job) {
+        let site = SiteId(job.arrival_site);
+        assert!(
+            site.0 < self.sim.network().site_count(),
+            "arrival site {site} does not exist"
+        );
+        self.submitted
+            .push((job.id, job.arrival_site, job.deadline()));
+        let time = job.arrival_time.max(0.0);
+        self.sim.inject_at(time, site, RtdsMsg::JobArrival { job });
+    }
+
+    /// Submits a whole workload.
+    pub fn submit_workload(&mut self, jobs: Vec<Job>) {
+        for job in jobs {
+            self.submit_job(job);
+        }
+    }
+
+    /// Runs the simulation to quiescence and produces the report.
+    pub fn run(&mut self) -> RunReport {
+        self.sim.run_to_quiescence();
+        self.build_report()
+    }
+
+    /// Runs the simulation up to the given horizon and produces the report.
+    pub fn run_until(&mut self, horizon: f64) -> RunReport {
+        self.sim.run_until(horizon);
+        self.build_report()
+    }
+
+    fn build_report(&self) -> RunReport {
+        let mut guarantee = GuaranteeStats::default();
+        let mut accepted: BTreeMap<JobId, (bool, f64)> = BTreeMap::new();
+        for node in self.sim.nodes() {
+            guarantee.merge(&node.guarantee);
+            for a in &node.accepted {
+                accepted.insert(a.job, (a.distributed, a.deadline));
+            }
+        }
+        let plans: Vec<&SchedulePlan> = self.sim.nodes().map(|n| &n.plan).collect();
+
+        let mut jobs = Vec::new();
+        for (job, site, deadline) in &self.submitted {
+            let (outcome, completion, met) = match accepted.get(job) {
+                Some((distributed, _)) => {
+                    let completion = executor::job_completion(&plans, *job);
+                    let met = completion.map(|c| c <= *deadline + 1e-9).unwrap_or(false);
+                    let kind = if *distributed {
+                        JobOutcomeKind::AcceptedDistributed
+                    } else {
+                        JobOutcomeKind::AcceptedLocally
+                    };
+                    (kind, completion, met)
+                }
+                None => (JobOutcomeKind::Rejected, None, false),
+            };
+            jobs.push(JobReport {
+                job: *job,
+                arrival_site: *site,
+                outcome,
+                completion,
+                deadline: *deadline,
+                met_deadline: met,
+            });
+        }
+        jobs.sort_by_key(|j| j.job);
+
+        // Run-time verification: every accepted job must meet its deadline.
+        for j in &jobs {
+            match j.outcome {
+                JobOutcomeKind::AcceptedLocally | JobOutcomeKind::AcceptedDistributed => {
+                    if j.met_deadline {
+                        guarantee.completed_on_time += 1;
+                    } else {
+                        guarantee.deadline_misses += 1;
+                    }
+                }
+                JobOutcomeKind::Rejected => {}
+            }
+        }
+
+        let stats = self.sim.stats().clone();
+        let submitted_count = self.submitted.len() as u64;
+        let messages_per_job = if submitted_count > 0 {
+            stats.named("distribution_messages") as f64 / submitted_count as f64
+        } else {
+            0.0
+        };
+        RunReport {
+            jobs_submitted: submitted_count,
+            guarantee,
+            stats,
+            jobs,
+            finished_at: self.sim.now(),
+            messages_per_job,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_graph::paper_instance::paper_job;
+    use rtds_graph::{Job, JobParams, TaskGraph, TaskId};
+    use rtds_net::generators::{line, ring, DelayDistribution};
+
+    fn chain_job(id: u64, costs: &[f64], release: f64, deadline: f64, site: usize) -> Job {
+        let mut g = TaskGraph::from_costs(costs);
+        for i in 1..costs.len() {
+            g.add_edge(TaskId(i - 1), TaskId(i)).unwrap();
+        }
+        Job::new(JobId(id), g, JobParams::new(release, deadline), site)
+    }
+
+    #[test]
+    fn single_feasible_job_is_accepted_locally() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let mut system = RtdsSystem::new(net, RtdsConfig::default(), 1);
+        system.submit_job(chain_job(1, &[5.0, 5.0], 0.0, 50.0, 2));
+        let report = system.run();
+        assert_eq!(report.jobs_submitted, 1);
+        assert_eq!(report.guarantee.accepted_locally, 1);
+        assert_eq!(report.guarantee.rejected, 0);
+        assert_eq!(report.deadline_misses(), 0);
+        assert_eq!(report.jobs[0].outcome, JobOutcomeKind::AcceptedLocally);
+        assert!(report.jobs[0].met_deadline);
+        assert!(report.guarantee_ratio() > 0.99);
+        // Only routing messages were needed.
+        assert_eq!(report.stats.named("enroll"), 0);
+    }
+
+    #[test]
+    fn overloaded_site_distributes_over_the_sphere() {
+        // Site 2 of a 6-ring receives two heavy jobs with the same window:
+        // the second cannot be guaranteed locally and must be distributed.
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let mut system = RtdsSystem::new(net, RtdsConfig::default(), 1);
+        system.submit_job(chain_job(1, &[30.0], 0.0, 40.0, 2));
+        system.submit_job(chain_job(2, &[30.0], 0.0, 40.0, 2));
+        let report = system.run();
+        assert_eq!(report.jobs_submitted, 2);
+        assert_eq!(report.guarantee.accepted_locally, 1);
+        assert_eq!(
+            report.guarantee.accepted_distributed + report.guarantee.rejected,
+            1
+        );
+        // The distribution machinery was exercised.
+        assert!(report.stats.named("enroll") > 0);
+        assert_eq!(report.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn paper_job_runs_through_the_full_protocol() {
+        let net = line(4, DelayDistribution::Constant(1.0), 0);
+        let mut system = RtdsSystem::new(
+            net,
+            RtdsConfig {
+                sphere_radius: 2,
+                ..RtdsConfig::default()
+            },
+            7,
+        );
+        system.enable_trace();
+        // Pre-load site 1 so the paper job cannot be guaranteed locally.
+        system.submit_job(chain_job(10, &[60.0], 0.0, 70.0, 1));
+        system.submit_job(paper_job(JobId(11), 1));
+        let report = system.run();
+        assert_eq!(report.jobs_submitted, 2);
+        assert_eq!(report.deadline_misses(), 0);
+        // The first job is local; the paper job must have been distributed
+        // (or rejected — but with three idle neighbors it is accepted).
+        assert_eq!(report.guarantee.accepted_locally, 1);
+        assert_eq!(report.guarantee.accepted_distributed, 1);
+        let paper_report = report.jobs.iter().find(|j| j.job == JobId(11)).unwrap();
+        assert_eq!(paper_report.outcome, JobOutcomeKind::AcceptedDistributed);
+        assert!(paper_report.met_deadline);
+        // The trace shows the full Fig. 1 pipeline.
+        let trace = system.trace();
+        assert!(trace.of_kind("local-reject").count() >= 1);
+        assert!(trace.of_kind("acs-enroll").count() >= 1);
+        assert!(trace.of_kind("trial-mapping").count() >= 1);
+        assert!(trace.of_kind("mapping-validated").count() >= 1);
+        assert!(trace.of_kind("job-accepted").count() >= 1);
+    }
+
+    #[test]
+    fn impossible_job_is_rejected_without_deadline_misses() {
+        let net = ring(5, DelayDistribution::Constant(1.0), 0);
+        let mut system = RtdsSystem::new(net, RtdsConfig::default(), 3);
+        // 100 units of serial work in a 20-unit window: nobody can run it.
+        system.submit_job(chain_job(1, &[50.0, 50.0], 0.0, 20.0, 0));
+        let report = system.run();
+        assert_eq!(report.guarantee.rejected, 1);
+        assert_eq!(report.guarantee.accepted(), 0);
+        assert_eq!(report.deadline_misses(), 0);
+        assert_eq!(report.jobs[0].outcome, JobOutcomeKind::Rejected);
+        assert_eq!(report.jobs[0].completion, None);
+    }
+
+    #[test]
+    fn exact_diameter_mode_runs() {
+        let net = ring(6, DelayDistribution::Uniform { min: 1.0, max: 3.0 }, 5);
+        let config = RtdsConfig {
+            exact_acs_diameter: true,
+            ..RtdsConfig::default()
+        };
+        let mut system = RtdsSystem::new(net, config, 1);
+        system.submit_job(chain_job(1, &[30.0], 0.0, 40.0, 2));
+        system.submit_job(chain_job(2, &[30.0], 0.0, 40.0, 2));
+        let report = system.run();
+        assert_eq!(report.jobs_submitted, 2);
+        assert_eq!(report.deadline_misses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival site")]
+    fn submitting_to_a_missing_site_panics() {
+        let net = ring(3, DelayDistribution::Constant(1.0), 0);
+        let mut system = RtdsSystem::new(net, RtdsConfig::default(), 1);
+        system.submit_job(chain_job(1, &[1.0], 0.0, 10.0, 9));
+    }
+}

@@ -1,0 +1,265 @@
+//! Trial-Mapping validation (§10).
+//!
+//! Two halves:
+//!
+//! * the *member side* — given the trial mapping and the site's own
+//!   scheduling plan, compute the list of logical processors whose task set
+//!   `T_i` is locally satisfiable ([`endorsable_logical_processors`]),
+//! * the *initiator side* — collect those lists, compute the maximum
+//!   coupling between logical processors and sites, and either extract the
+//!   execution permutation (coupling of size `|U|`) or reject the job
+//!   ([`ValidationRound`]).
+
+use crate::matching::{matching_size, maximum_bipartite_matching};
+use crate::messages::TaskSpec;
+use rtds_graph::JobId;
+use rtds_net::SiteId;
+use rtds_sched::feasibility::{satisfiable, TaskRequest};
+use rtds_sched::SchedulePlan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Member side: which logical processors of the trial mapping can this site
+/// endorse, given its committed plan?
+///
+/// * `speed` — the site's relative computing power (durations are
+///   `cost / speed`),
+/// * `preemptive` — whether tasks may be split across idle windows.
+pub fn endorsable_logical_processors(
+    plan: &SchedulePlan,
+    job: JobId,
+    tasks_per_logical: &[Vec<TaskSpec>],
+    speed: f64,
+    preemptive: bool,
+) -> Vec<usize> {
+    assert!(speed > 0.0, "site speed must be positive");
+    let mut endorsable = Vec::new();
+    for (i, specs) in tasks_per_logical.iter().enumerate() {
+        let requests: Vec<TaskRequest> = specs
+            .iter()
+            .map(|s| TaskRequest {
+                job,
+                task: s.task,
+                release: s.release,
+                deadline: s.deadline,
+                duration: s.cost / speed,
+            })
+            .collect();
+        if satisfiable(plan, &requests, preemptive).is_some() {
+            endorsable.push(i);
+        }
+    }
+    endorsable
+}
+
+/// Outcome of the initiator-side validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ValidationOutcome {
+    /// A perfect coupling exists: `assignment[i]` is the site chosen to
+    /// endorse logical processor `i`.
+    Accepted {
+        /// Per-logical-processor selected site.
+        assignment: Vec<SiteId>,
+    },
+    /// The maximum coupling is smaller than `|U|`: the job is rejected.
+    Rejected {
+        /// Size of the best coupling found.
+        coupling_size: usize,
+        /// Required size `|U|`.
+        required: usize,
+    },
+}
+
+/// Initiator-side state: collects validation replies from the ACS members and
+/// computes the coupling once everyone has answered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRound {
+    logical_count: usize,
+    expected: Vec<SiteId>,
+    replies: BTreeMap<SiteId, Vec<usize>>,
+}
+
+impl ValidationRound {
+    /// Starts a round for `logical_count` logical processors, expecting a
+    /// reply from every listed site.
+    pub fn new(logical_count: usize, expected: Vec<SiteId>) -> Self {
+        ValidationRound {
+            logical_count,
+            expected,
+            replies: BTreeMap::new(),
+        }
+    }
+
+    /// Records a member's reply (unknown or duplicate senders are ignored).
+    pub fn record_reply(&mut self, from: SiteId, endorsable: Vec<usize>) {
+        if self.expected.contains(&from) {
+            self.replies.entry(from).or_insert(endorsable);
+        }
+    }
+
+    /// Returns `true` once every expected site has answered.
+    pub fn is_complete(&self) -> bool {
+        self.replies.len() == self.expected.len()
+    }
+
+    /// Number of replies still missing.
+    pub fn outstanding(&self) -> usize {
+        self.expected.len() - self.replies.len()
+    }
+
+    /// Computes the §10 maximum coupling and extracts the permutation.
+    ///
+    /// # Panics
+    /// Panics if called before the round is complete.
+    pub fn conclude(&self) -> ValidationOutcome {
+        assert!(self.is_complete(), "validation round is not complete");
+        // Sites in deterministic order.
+        let sites: Vec<SiteId> = self.replies.keys().copied().collect();
+        // Bipartite graph: left = logical processors, right = sites.
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); self.logical_count];
+        for (right_idx, site) in sites.iter().enumerate() {
+            for &logical in &self.replies[site] {
+                if logical < self.logical_count {
+                    edges[logical].push(right_idx);
+                }
+            }
+        }
+        let matching = maximum_bipartite_matching(self.logical_count, sites.len(), &edges);
+        let size = matching_size(&matching);
+        if size < self.logical_count {
+            return ValidationOutcome::Rejected {
+                coupling_size: size,
+                required: self.logical_count,
+            };
+        }
+        let assignment = matching
+            .into_iter()
+            .map(|r| sites[r.expect("perfect matching")])
+            .collect();
+        ValidationOutcome::Accepted { assignment }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_graph::TaskId;
+    use rtds_sched::Reservation;
+
+    fn spec(task: usize, release: f64, deadline: f64, cost: f64) -> TaskSpec {
+        TaskSpec {
+            task: TaskId(task),
+            release,
+            deadline,
+            cost,
+        }
+    }
+
+    #[test]
+    fn member_side_endorsement() {
+        // Plan busy on [0, 30): logical processor 0 (needs [0, 20)) cannot be
+        // endorsed, logical processor 1 (window up to 60) can.
+        let mut plan = SchedulePlan::new();
+        plan.insert(Reservation {
+            job: JobId(9),
+            task: TaskId(0),
+            start: 0.0,
+            end: 30.0,
+        })
+        .unwrap();
+        let mapping = vec![
+            vec![spec(0, 0.0, 20.0, 10.0)],
+            vec![spec(1, 0.0, 60.0, 10.0), spec(2, 0.0, 60.0, 5.0)],
+        ];
+        let endorsable = endorsable_logical_processors(&plan, JobId(1), &mapping, 1.0, false);
+        assert_eq!(endorsable, vec![1]);
+        // A fast site (speed 4) can also endorse processor 0: 10/4 = 2.5
+        // units... still needs idle time before t = 20, which does not exist.
+        let endorsable_fast = endorsable_logical_processors(&plan, JobId(1), &mapping, 4.0, false);
+        assert_eq!(endorsable_fast, vec![1]);
+        // An empty plan endorses everything.
+        let idle = SchedulePlan::new();
+        let endorsable_idle = endorsable_logical_processors(&idle, JobId(1), &mapping, 1.0, false);
+        assert_eq!(endorsable_idle, vec![0, 1]);
+        // An empty mapping is trivially endorsed (no logical processors).
+        assert!(endorsable_logical_processors(&idle, JobId(1), &[], 1.0, false).is_empty());
+    }
+
+    #[test]
+    fn round_accepts_with_perfect_coupling() {
+        let mut round = ValidationRound::new(2, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert!(!round.is_complete());
+        assert_eq!(round.outstanding(), 3);
+        round.record_reply(SiteId(0), vec![0]);
+        round.record_reply(SiteId(1), vec![0, 1]);
+        round.record_reply(SiteId(2), vec![]);
+        assert!(round.is_complete());
+        match round.conclude() {
+            ValidationOutcome::Accepted { assignment } => {
+                assert_eq!(assignment.len(), 2);
+                // Logical 0 must go to site 0 (the only way to cover both).
+                assert_eq!(assignment[0], SiteId(0));
+                assert_eq!(assignment[1], SiteId(1));
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_rejects_without_perfect_coupling() {
+        let mut round = ValidationRound::new(2, vec![SiteId(0), SiteId(1)]);
+        round.record_reply(SiteId(0), vec![1]);
+        round.record_reply(SiteId(1), vec![1]);
+        match round.conclude() {
+            ValidationOutcome::Rejected {
+                coupling_size,
+                required,
+            } => {
+                assert_eq!(coupling_size, 1);
+                assert_eq!(required, 2);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_and_unknown_replies_are_ignored() {
+        let mut round = ValidationRound::new(1, vec![SiteId(0)]);
+        round.record_reply(SiteId(5), vec![0]); // unknown
+        assert!(!round.is_complete());
+        round.record_reply(SiteId(0), vec![0]);
+        round.record_reply(SiteId(0), vec![]); // duplicate, ignored
+        assert!(round.is_complete());
+        match round.conclude() {
+            ValidationOutcome::Accepted { assignment } => assert_eq!(assignment, vec![SiteId(0)]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_logical_processors_is_vacuously_accepted() {
+        let mut round = ValidationRound::new(0, vec![SiteId(0)]);
+        round.record_reply(SiteId(0), vec![]);
+        match round.conclude() {
+            ValidationOutcome::Accepted { assignment } => assert!(assignment.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not complete")]
+    fn concluding_early_panics() {
+        let round = ValidationRound::new(1, vec![SiteId(0)]);
+        let _ = round.conclude();
+    }
+
+    #[test]
+    fn out_of_range_endorsements_are_ignored() {
+        let mut round = ValidationRound::new(1, vec![SiteId(0)]);
+        round.record_reply(SiteId(0), vec![0, 7]); // 7 does not exist
+        match round.conclude() {
+            ValidationOutcome::Accepted { assignment } => assert_eq!(assignment, vec![SiteId(0)]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

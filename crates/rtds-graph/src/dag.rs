@@ -1,0 +1,441 @@
+//! The precedence structure `G = (T, E)` of a job.
+//!
+//! [`TaskGraph`] stores tasks and directed precedence edges. Edges may carry
+//! a *data volume* (paper §13: communication delays can be adjusted by the
+//! ratio data volume / throughput when links have identical throughput).
+//! The structure enforces acyclicity lazily: edges can be added freely, and
+//! [`TaskGraph::validate`] / [`TaskGraph::topological_order`] detect cycles.
+
+use crate::task::{Task, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Attributes attached to a precedence edge `(pred -> succ)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeData {
+    /// Data volume shipped from the predecessor to the successor when they
+    /// run on different sites. Ignored by the core paper model (propagation
+    /// delay only) and used by the §13 data-volume extension.
+    pub data_volume: f64,
+}
+
+impl Default for EdgeData {
+    fn default() -> Self {
+        EdgeData { data_volume: 0.0 }
+    }
+}
+
+/// Errors produced by structural validation of a [`TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph contains a cycle, so it is not a DAG.
+    Cycle,
+    /// An edge references a task id outside `0..task_count`.
+    UnknownTask(TaskId),
+    /// The same edge was inserted twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// A self-loop `t -> t` was inserted.
+    SelfLoop(TaskId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Cycle => write!(f, "task graph contains a cycle"),
+            GraphError::UnknownTask(t) => write!(f, "edge references unknown task {t}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::SelfLoop(t) => write!(f, "self loop on task {t}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic graph of tasks with precedence constraints.
+///
+/// Tasks are stored densely and addressed by [`TaskId`]. Predecessor and
+/// successor adjacency lists are kept in insertion order, which makes
+/// traversals deterministic — an important property for reproducible
+/// simulations and golden tests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    /// `succs[i]` lists `(j, edge)` for every edge `i -> j`.
+    succs: Vec<Vec<(TaskId, EdgeData)>>,
+    /// `preds[i]` lists `(j, edge)` for every edge `j -> i`.
+    preds: Vec<Vec<(TaskId, EdgeData)>>,
+    edge_count: usize,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Creates a graph with `n` tasks whose costs are given by `costs`.
+    pub fn from_costs(costs: &[f64]) -> Self {
+        let mut g = TaskGraph::new();
+        for &c in costs {
+            g.add_task(c);
+        }
+        g
+    }
+
+    /// Adds a task with the given computational complexity and returns its id.
+    pub fn add_task(&mut self, cost: f64) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task::new(id, cost));
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds a labelled task.
+    pub fn add_labelled_task(&mut self, cost: f64, label: impl Into<String>) -> TaskId {
+        let id = self.add_task(cost);
+        self.tasks[id.0].label = Some(label.into());
+        id
+    }
+
+    /// Adds a precedence edge `pred -> succ` with default edge data.
+    pub fn add_edge(&mut self, pred: TaskId, succ: TaskId) -> Result<(), GraphError> {
+        self.add_edge_with(pred, succ, EdgeData::default())
+    }
+
+    /// Adds a precedence edge `pred -> succ` carrying a data volume.
+    pub fn add_edge_with_volume(
+        &mut self,
+        pred: TaskId,
+        succ: TaskId,
+        data_volume: f64,
+    ) -> Result<(), GraphError> {
+        self.add_edge_with(pred, succ, EdgeData { data_volume })
+    }
+
+    /// Adds a precedence edge with explicit edge data.
+    pub fn add_edge_with(
+        &mut self,
+        pred: TaskId,
+        succ: TaskId,
+        data: EdgeData,
+    ) -> Result<(), GraphError> {
+        let n = self.tasks.len();
+        if pred.0 >= n {
+            return Err(GraphError::UnknownTask(pred));
+        }
+        if succ.0 >= n {
+            return Err(GraphError::UnknownTask(succ));
+        }
+        if pred == succ {
+            return Err(GraphError::SelfLoop(pred));
+        }
+        if self.succs[pred.0].iter().any(|(s, _)| *s == succ) {
+            return Err(GraphError::DuplicateEdge(pred, succ));
+        }
+        self.succs[pred.0].push((succ, data));
+        self.preds[succ.0].push((pred, data));
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of precedence edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// Computational complexity of a task (`c(t)`).
+    pub fn cost(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].cost
+    }
+
+    /// Total computational complexity of all tasks.
+    pub fn total_cost(&self) -> f64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Iterator over all tasks in id order.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter()
+    }
+
+    /// Iterator over all task ids.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Immediate successors `Γ⁺(t)` of a task.
+    pub fn successors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.succs[id.0].iter().map(|(s, _)| *s)
+    }
+
+    /// Immediate predecessors `Γ⁻(t)` of a task.
+    pub fn predecessors(&self, id: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.preds[id.0].iter().map(|(p, _)| *p)
+    }
+
+    /// Immediate successors with their edge data.
+    pub fn successor_edges(&self, id: TaskId) -> &[(TaskId, EdgeData)] {
+        &self.succs[id.0]
+    }
+
+    /// Immediate predecessors with their edge data.
+    pub fn predecessor_edges(&self, id: TaskId) -> &[(TaskId, EdgeData)] {
+        &self.preds[id.0]
+    }
+
+    /// Data volume on an edge, if the edge exists.
+    pub fn data_volume(&self, pred: TaskId, succ: TaskId) -> Option<f64> {
+        self.succs[pred.0]
+            .iter()
+            .find(|(s, _)| *s == succ)
+            .map(|(_, d)| d.data_volume)
+    }
+
+    /// Number of immediate predecessors of a task.
+    pub fn in_degree(&self, id: TaskId) -> usize {
+        self.preds[id.0].len()
+    }
+
+    /// Number of immediate successors of a task.
+    pub fn out_degree(&self, id: TaskId) -> usize {
+        self.succs[id.0].len()
+    }
+
+    /// Tasks with no predecessors (the job's entry tasks).
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.in_degree(*t) == 0).collect()
+    }
+
+    /// Tasks with no successors (the job's exit tasks).
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.out_degree(*t) == 0).collect()
+    }
+
+    /// Kahn topological sort. Returns `Err(GraphError::Cycle)` if the graph is
+    /// not acyclic. The order is deterministic: among ready tasks, the lowest
+    /// id is emitted first.
+    pub fn topological_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let n = self.tasks.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        // A simple ordered frontier: we repeatedly pick the smallest ready id.
+        // Using a sorted VecDeque keeps determinism without a heap dependency.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.sort_unstable();
+        let mut ready: VecDeque<usize> = ready.into();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = ready.pop_front() {
+            order.push(TaskId(u));
+            let mut newly_ready = Vec::new();
+            for (v, _) in &self.succs[u] {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    newly_ready.push(v.0);
+                }
+            }
+            newly_ready.sort_unstable();
+            // Merge while keeping the frontier sorted (frontiers are small).
+            for v in newly_ready {
+                let pos = ready.iter().position(|&x| x > v).unwrap_or(ready.len());
+                ready.insert(pos, v);
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+
+    /// Reverse topological order (sinks first).
+    pub fn reverse_topological_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let mut order = self.topological_order()?;
+        order.reverse();
+        Ok(order)
+    }
+
+    /// Returns `true` iff the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_ok()
+    }
+
+    /// Full structural validation: acyclicity (edge-level invariants are
+    /// enforced at insertion time).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        self.topological_order().map(|_| ())
+    }
+
+    /// Returns `true` if `ancestor` can reach `descendant` through precedence
+    /// edges (used by property tests and by the preemptive extension).
+    pub fn reaches(&self, ancestor: TaskId, descendant: TaskId) -> bool {
+        if ancestor == descendant {
+            return true;
+        }
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![ancestor];
+        seen[ancestor.0] = true;
+        while let Some(u) = stack.pop() {
+            for (v, _) in &self.succs[u.0] {
+                if *v == descendant {
+                    return true;
+                }
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    stack.push(*v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Length (in number of tasks) of the longest chain in the graph.
+    pub fn longest_chain_len(&self) -> usize {
+        let Ok(order) = self.topological_order() else {
+            return 0;
+        };
+        let mut depth = vec![1usize; self.tasks.len()];
+        for &u in &order {
+            for (v, _) in &self.succs[u.0] {
+                depth[v.0] = depth[v.0].max(depth[u.0] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = TaskGraph::from_costs(&[1.0, 2.0, 3.0, 4.0]);
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        g.add_edge(TaskId(0), TaskId(2)).unwrap();
+        g.add_edge(TaskId(1), TaskId(3)).unwrap();
+        g.add_edge(TaskId(2), TaskId(3)).unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = diamond();
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(!g.is_empty());
+        assert_eq!(g.total_cost(), 10.0);
+        assert_eq!(g.cost(TaskId(2)), 3.0);
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let g = diamond();
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn topological_order_is_valid_and_deterministic() {
+        let g = diamond();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+        let rev = g.reverse_topological_order().unwrap();
+        assert_eq!(rev[0], TaskId(3));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = TaskGraph::from_costs(&[1.0, 1.0, 1.0]);
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        g.add_edge(TaskId(1), TaskId(2)).unwrap();
+        g.add_edge(TaskId(2), TaskId(0)).unwrap();
+        assert!(!g.is_acyclic());
+        assert_eq!(g.topological_order(), Err(GraphError::Cycle));
+        assert_eq!(g.validate(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn edge_error_cases() {
+        let mut g = TaskGraph::from_costs(&[1.0, 1.0]);
+        assert_eq!(
+            g.add_edge(TaskId(0), TaskId(5)),
+            Err(GraphError::UnknownTask(TaskId(5)))
+        );
+        assert_eq!(
+            g.add_edge(TaskId(7), TaskId(1)),
+            Err(GraphError::UnknownTask(TaskId(7)))
+        );
+        assert_eq!(
+            g.add_edge(TaskId(0), TaskId(0)),
+            Err(GraphError::SelfLoop(TaskId(0)))
+        );
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(
+            g.add_edge(TaskId(0), TaskId(1)),
+            Err(GraphError::DuplicateEdge(TaskId(0), TaskId(1)))
+        );
+        // Errors render as readable strings.
+        assert!(GraphError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(TaskId(0), TaskId(3)));
+        assert!(g.reaches(TaskId(1), TaskId(3)));
+        assert!(!g.reaches(TaskId(1), TaskId(2)));
+        assert!(g.reaches(TaskId(2), TaskId(2)));
+        assert!(!g.reaches(TaskId(3), TaskId(0)));
+    }
+
+    #[test]
+    fn data_volumes() {
+        let mut g = TaskGraph::from_costs(&[1.0, 1.0]);
+        g.add_edge_with_volume(TaskId(0), TaskId(1), 42.0).unwrap();
+        assert_eq!(g.data_volume(TaskId(0), TaskId(1)), Some(42.0));
+        assert_eq!(g.data_volume(TaskId(1), TaskId(0)), None);
+        assert_eq!(g.successor_edges(TaskId(0))[0].1.data_volume, 42.0);
+        assert_eq!(g.predecessor_edges(TaskId(1))[0].1.data_volume, 42.0);
+    }
+
+    #[test]
+    fn longest_chain() {
+        let g = diamond();
+        assert_eq!(g.longest_chain_len(), 3);
+        let mut chain = TaskGraph::from_costs(&[1.0; 5]);
+        for i in 0..4 {
+            chain.add_edge(TaskId(i), TaskId(i + 1)).unwrap();
+        }
+        assert_eq!(chain.longest_chain_len(), 5);
+        let empty = TaskGraph::new();
+        assert_eq!(empty.longest_chain_len(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn labelled_tasks() {
+        let mut g = TaskGraph::new();
+        let id = g.add_labelled_task(2.0, "source");
+        assert_eq!(g.task(id).label.as_deref(), Some("source"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # rtds-graph — the job model of the RTDS paper
+//!
+//! A *job* in the RTDS paper (Butelle, Finta, Hakem, IPPS 2007) is a Directed
+//! Acyclic Graph `G = (T, E)` of tasks with arbitrary precedence relations.
+//! Every task `t` carries a *Computational Complexity* `c(t)` (its execution
+//! time on an idle, unit-speed site) and the job as a whole carries a release
+//! `r` and a deadline `d`.
+//!
+//! This crate provides:
+//!
+//! * [`TaskGraph`] — the precedence structure with cycle detection,
+//!   topological orders and structural queries,
+//! * [`critical_path`] — upward/downward ranks and critical-path extraction
+//!   (node weights only, exactly as §12 of the paper prescribes for the
+//!   Mapper's list-scheduling priority),
+//! * [`Job`] — a DAG plus real-time parameters and arrival metadata,
+//! * [`generators`] — synthetic workload generators (layered random DAGs,
+//!   Erdős–Rényi DAGs, chains, fork-joins, diamonds, trees, Gaussian
+//!   elimination, FFT butterflies) with configurable cost, data-volume and
+//!   deadline-laxity distributions,
+//! * [`paper_instance`] — the exact five-task instance of the paper's Fig. 2,
+//!   reconstructed from the published schedules and Table 1.
+//!
+//! The crate is deliberately free of any scheduling or networking logic so it
+//! can be reused by the local scheduler, the Mapper and the baselines alike.
+
+pub mod critical_path;
+pub mod dag;
+pub mod generators;
+pub mod job;
+pub mod paper_instance;
+pub mod task;
+
+pub use critical_path::{critical_path_tasks, downward_ranks, upward_ranks, CriticalPathInfo};
+pub use dag::{EdgeData, TaskGraph};
+pub use generators::{DagGenerator, DagShape, GeneratorConfig};
+pub use job::{Job, JobId, JobParams};
+pub use task::{Task, TaskId};

@@ -1,0 +1,146 @@
+//! The exact worked example of the paper (§12.1, Fig. 2).
+//!
+//! The figure itself is not included in the text, but the instance is fully
+//! determined by the published schedules S (Fig. 3), S* (Fig. 4) and the
+//! adjusted parameters of Table 1, together with the stated surpluses
+//! (`I1 = 0.5`, `I2 = 0.4`), ACS delay-diameter 3, release 0 and deadline 66:
+//!
+//! * five tasks with computational complexities `c = (6, 4, 4, 2, 5)`
+//!   (1-based task numbering as in the paper),
+//! * precedence edges `1→3`, `2→3`, `1→4`, `3→5`, `4→5`.
+//!
+//! With these values the Mapper of §12 produces exactly the published
+//! schedules: `S` has makespan `M = 33`, `S*` has makespan `M* = 19`, the
+//! scaling factor of case (ii) is `(d-r)/M = 2`, and the adjusted
+//! releases/deadlines match Table 1 line for line. The golden tests in
+//! `rtds-core` verify every one of those values.
+
+use crate::dag::TaskGraph;
+use crate::job::{Job, JobId, JobParams};
+use crate::task::TaskId;
+
+/// Surplus of processor `p1` in the worked example.
+pub const PAPER_SURPLUS_P1: f64 = 0.5;
+/// Surplus of processor `p2` in the worked example.
+pub const PAPER_SURPLUS_P2: f64 = 0.4;
+/// ACS delay-diameter assumed by the worked example.
+pub const PAPER_ACS_DIAMETER: f64 = 3.0;
+/// Job release of the worked example.
+pub const PAPER_RELEASE: f64 = 0.0;
+/// Job deadline of the worked example.
+pub const PAPER_DEADLINE: f64 = 66.0;
+
+/// Task costs of the Fig. 2 instance, indexed by 0-based task id.
+pub const PAPER_COSTS: [f64; 5] = [6.0, 4.0, 4.0, 2.0, 5.0];
+
+/// Precedence edges of the Fig. 2 instance (0-based ids).
+pub const PAPER_EDGES: [(usize, usize); 5] = [(0, 2), (1, 2), (0, 3), (2, 4), (3, 4)];
+
+/// Builds the Fig. 2 task graph.
+pub fn paper_task_graph() -> TaskGraph {
+    let mut g = TaskGraph::from_costs(&PAPER_COSTS);
+    for (a, b) in PAPER_EDGES {
+        g.add_edge(TaskId(a), TaskId(b))
+            .expect("paper instance edges are valid");
+    }
+    g
+}
+
+/// Builds the Fig. 2 job (release 0, deadline 66) arriving at `arrival_site`.
+pub fn paper_job(id: JobId, arrival_site: usize) -> Job {
+    Job::new(
+        id,
+        paper_task_graph(),
+        JobParams::new(PAPER_RELEASE, PAPER_DEADLINE),
+        arrival_site,
+    )
+}
+
+/// Expected mapper schedule `S` of Fig. 3 as `(task, processor, start, finish)`
+/// tuples with 0-based task ids and logical processors 0 (= paper `p1`) and
+/// 1 (= paper `p2`).
+pub const EXPECTED_SCHEDULE_S: [(usize, usize, f64, f64); 5] = [
+    (0, 0, 0.0, 12.0),
+    (1, 1, 0.0, 10.0),
+    (2, 0, 13.0, 21.0),
+    (3, 1, 15.0, 20.0),
+    (4, 0, 23.0, 33.0),
+];
+
+/// Expected schedule `S*` of Fig. 4 (surpluses = 100 %).
+pub const EXPECTED_SCHEDULE_S_STAR: [(usize, usize, f64, f64); 5] = [
+    (0, 0, 0.0, 6.0),
+    (1, 1, 0.0, 4.0),
+    (2, 0, 7.0, 11.0),
+    (3, 1, 9.0, 11.0),
+    (4, 0, 14.0, 19.0),
+];
+
+/// Makespan `M` of schedule `S` (Fig. 3).
+pub const EXPECTED_MAKESPAN_S: f64 = 33.0;
+/// Makespan `M*` of schedule `S*` (Fig. 4).
+pub const EXPECTED_MAKESPAN_S_STAR: f64 = 19.0;
+
+/// Table 1 of the paper: `(task, r_i, d_i, adjusted r(t_i), adjusted d(t_i))`
+/// with 0-based task ids.
+pub const EXPECTED_TABLE1: [(usize, f64, f64, f64, f64); 5] = [
+    (0, 0.0, 12.0, 0.0, 24.0),
+    (1, 0.0, 10.0, 0.0, 20.0),
+    (2, 13.0, 21.0, 24.0, 42.0),
+    (3, 15.0, 20.0, 27.0, 40.0),
+    (4, 23.0, 33.0, 43.0, 66.0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::critical_path::critical_path_tasks;
+
+    #[test]
+    fn instance_structure() {
+        let g = paper_task_graph();
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.is_acyclic());
+        assert_eq!(g.sources(), vec![TaskId(0), TaskId(1)]);
+        assert_eq!(g.sinks(), vec![TaskId(4)]);
+    }
+
+    #[test]
+    fn instance_critical_path() {
+        let g = paper_task_graph();
+        let info = critical_path_tasks(&g);
+        // Longest node-weight path: t1 -> t3 -> t5 = 6 + 4 + 5 = 15.
+        assert_eq!(info.length, 15.0);
+        assert_eq!(info.critical_tasks, vec![TaskId(0), TaskId(2), TaskId(4)]);
+        // Mapper priorities used in §12: 15, 13, 9, 7, 5.
+        assert_eq!(info.upward, vec![15.0, 13.0, 9.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn paper_job_window() {
+        let job = paper_job(JobId(1), 0);
+        assert_eq!(job.release(), 0.0);
+        assert_eq!(job.deadline(), 66.0);
+        assert_eq!(job.window(), 66.0);
+        assert_eq!(job.total_cost(), 21.0);
+    }
+
+    #[test]
+    fn expected_tables_are_self_consistent() {
+        // Durations in S must equal c / I of the assigned processor.
+        for (t, p, start, finish) in EXPECTED_SCHEDULE_S {
+            let surplus = if p == 0 { PAPER_SURPLUS_P1 } else { PAPER_SURPLUS_P2 };
+            let expected = PAPER_COSTS[t] / surplus;
+            assert!((finish - start - expected).abs() < 1e-9, "task {t}");
+        }
+        // Durations in S* equal the raw costs.
+        for (t, _, start, finish) in EXPECTED_SCHEDULE_S_STAR {
+            assert!((finish - start - PAPER_COSTS[t]).abs() < 1e-9, "task {t}");
+        }
+        // Table 1 adjusted deadlines are the case (ii) scaling of d_i by 2.
+        for (t, _ri, di, _r_adj, d_adj) in EXPECTED_TABLE1 {
+            assert!((d_adj - 2.0 * di).abs() < 1e-9, "task {t}");
+        }
+    }
+}

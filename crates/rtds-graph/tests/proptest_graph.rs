@@ -1,0 +1,156 @@
+//! Property-based tests for the DAG model.
+
+use proptest::prelude::*;
+use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use rtds_graph::{critical_path_tasks, downward_ranks, upward_ranks, TaskGraph, TaskId};
+
+fn arbitrary_shape() -> impl Strategy<Value = DagShape> {
+    prop_oneof![
+        Just(DagShape::Chain),
+        Just(DagShape::ForkJoin),
+        Just(DagShape::Independent),
+        (2usize..6, 0.0f64..0.6).prop_map(|(layers, p)| DagShape::LayeredRandom {
+            layers,
+            edge_prob: p
+        }),
+        (0.05f64..0.5).prop_map(|p| DagShape::ErdosRenyi { edge_prob: p }),
+        (2usize..4).prop_map(|b| DagShape::OutTree { branching: b }),
+        (2usize..4).prop_map(|b| DagShape::InTree { branching: b }),
+        Just(DagShape::GaussianElimination),
+        Just(DagShape::FftButterfly),
+    ]
+}
+
+fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
+    (arbitrary_shape(), 1usize..40, 1.0f64..10.0).prop_map(|(shape, n, max_cost)| {
+        GeneratorConfig {
+            task_count: n,
+            shape,
+            costs: CostDistribution::Uniform {
+                min: 0.5,
+                max: max_cost.max(0.6),
+            },
+            ccr: 0.0,
+            laxity_factor: (1.5, 4.0),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated graph is acyclic and its topological order is valid:
+    /// each task appears after all of its predecessors.
+    #[test]
+    fn generated_graphs_have_valid_topological_orders(
+        cfg in arbitrary_config(),
+        seed in 0u64..1_000,
+    ) {
+        let g = DagGenerator::new(cfg, seed).generate_graph();
+        prop_assert!(g.is_acyclic());
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.task_count());
+        let mut pos = vec![0usize; g.task_count()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.0] = i;
+        }
+        for t in g.task_ids() {
+            for p in g.predecessors(t) {
+                prop_assert!(pos[p.0] < pos[t.0], "{p} must precede {t}");
+            }
+        }
+    }
+
+    /// The upward rank of a task is at least its own cost, at least the rank
+    /// of any successor, and the critical-path length is bounded by the total
+    /// cost of the graph.
+    #[test]
+    fn rank_invariants(cfg in arbitrary_config(), seed in 0u64..1_000) {
+        let g = DagGenerator::new(cfg, seed).generate_graph();
+        let up = upward_ranks(&g);
+        let down = downward_ranks(&g);
+        let info = critical_path_tasks(&g);
+        for t in g.task_ids() {
+            prop_assert!(up[t.0] >= g.cost(t) - 1e-9);
+            for s in g.successors(t) {
+                prop_assert!(up[t.0] >= up[s.0] + g.cost(t) - 1e-9);
+                prop_assert!(down[s.0] >= down[t.0] + g.cost(t) - 1e-9);
+            }
+            // Every path through t is bounded by the critical path length.
+            prop_assert!(down[t.0] + up[t.0] <= info.length + 1e-9);
+        }
+        prop_assert!(info.length <= g.total_cost() + 1e-9);
+        prop_assert!(!info.critical_tasks.is_empty() || g.is_empty());
+        prop_assert!(info.max_critical_task_count <= g.longest_chain_len());
+    }
+
+    /// Generated jobs always leave at least the critical-path length of slack
+    /// (laxity factor >= 1.5 by construction here).
+    #[test]
+    fn generated_jobs_are_feasible_in_isolation(
+        cfg in arbitrary_config(),
+        seed in 0u64..1_000,
+    ) {
+        let mut generator = DagGenerator::new(cfg, seed);
+        let job = generator.generate_job(0, 100.0);
+        prop_assert!(job.deadline() > job.release());
+        prop_assert!(job.window() + 1e-9 >= 1.5 * job.critical_path_length());
+    }
+
+    /// Reachability is consistent with topological positions.
+    #[test]
+    fn reachability_respects_topological_order(
+        cfg in arbitrary_config(),
+        seed in 0u64..1_000,
+    ) {
+        let g = DagGenerator::new(cfg, seed).generate_graph();
+        let order = g.topological_order().unwrap();
+        let mut pos = vec![0usize; g.task_count()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.0] = i;
+        }
+        for (i, &a) in order.iter().enumerate().take(10) {
+            for &b in order.iter().skip(i + 1).take(10) {
+                if g.reaches(a, b) {
+                    prop_assert!(pos[a.0] <= pos[b.0]);
+                }
+                // A later task never reaches an earlier one (acyclicity).
+                prop_assert!(!(g.reaches(b, a) && a != b));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Randomly built explicit DAGs (not via generators): inserting only
+    /// forward edges over a permutation always yields an acyclic graph whose
+    /// edge queries are symmetric between successor and predecessor views.
+    #[test]
+    fn manual_forward_edges_are_acyclic(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..100, 0usize..100), 0..120),
+        seed in 0u64..100,
+    ) {
+        use rand::prelude::*;
+        use rand::rngs::StdRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut g = TaskGraph::from_costs(&vec![1.0; n]);
+        for (a, b) in edges {
+            let (i, j) = (a % n, b % n);
+            if i == j { continue; }
+            // Orient the edge along the permutation.
+            let (from, to) = if order[i] < order[j] { (i, j) } else { (j, i) };
+            let _ = g.add_edge(TaskId(from), TaskId(to));
+        }
+        prop_assert!(g.is_acyclic());
+        for t in g.task_ids() {
+            for s in g.successors(t) {
+                prop_assert!(g.predecessors(s).any(|p| p == t));
+            }
+        }
+    }
+}

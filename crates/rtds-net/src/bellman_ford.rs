@@ -1,0 +1,186 @@
+//! The interrupted distributed All-Pairs Shortest Paths algorithm of §7.
+//!
+//! The paper adapts the Bertsekas–Gallager distributed asynchronous
+//! Bellman–Ford algorithm by (a) organising it into logical *phases* — one
+//! phase is "send your routing table to every neighbor, then receive all your
+//! neighbors' tables" — and (b) *interrupting* it after a fixed number of
+//! phases to avoid flooding an arbitrarily wide network.
+//!
+//! After `p` phases every site's routing table contains, for every
+//! destination, the minimum delay achievable over paths of at most `p + 1`
+//! links (phase 0 being the initial table that already knows the direct
+//! neighbors). Stopping after `2h` phases therefore guarantees that every
+//! member of the Potential Computing Sphere of radius `h` rooted at `k` knows
+//! a minimum-delay route (within the `2h`-hop horizon) to every other member
+//! of that sphere — which is exactly the property §7.2 asks for.
+//!
+//! This module is the *pure, synchronous-round* reference implementation.
+//! The message-level protocol driven by the discrete-event simulator lives in
+//! `rtds-core::pcs` and is tested for equivalence against this one.
+
+use crate::routing::RoutingTable;
+use crate::topology::Network;
+
+/// Outcome of the phased APSP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedApspResult {
+    /// One routing table per site.
+    pub tables: Vec<RoutingTable>,
+    /// Number of phases actually executed (may be lower than requested when
+    /// the algorithm converged early — no table changed in a phase).
+    pub phases_run: usize,
+    /// Total number of routing-update messages a real execution would have
+    /// exchanged: one message per (site, neighbor) pair per executed phase,
+    /// counting only sites whose table changed in the previous phase (the
+    /// §7.1 "updates are sent whenever entries change" rule).
+    pub messages: usize,
+}
+
+/// Runs the phase-synchronous interrupted Bellman–Ford for `phases` phases.
+///
+/// Phase semantics follow §7.2: in each phase every site whose table changed
+/// (or every site, in the very first phase) sends its current table to all its
+/// neighbors, and every site then merges everything it received. The
+/// algorithm stops early if a phase changes no table at all.
+pub fn phased_apsp(net: &Network, phases: usize) -> PhasedApspResult {
+    let n = net.site_count();
+    let mut tables: Vec<RoutingTable> = net
+        .sites()
+        .map(|s| RoutingTable::initial(s, net.neighbors(s)))
+        .collect();
+    let mut dirty = vec![true; n];
+    let mut messages = 0usize;
+    let mut phases_run = 0usize;
+
+    for _ in 0..phases {
+        // Send step: snapshot the tables of the sites that will transmit.
+        let snapshots: Vec<Option<Vec<crate::routing::RouteEntry>>> = (0..n)
+            .map(|i| if dirty[i] { Some(tables[i].lines()) } else { None })
+            .collect();
+        if snapshots.iter().all(|s| s.is_none()) {
+            break;
+        }
+        phases_run += 1;
+        let mut next_dirty = vec![false; n];
+        // Receive step: every site merges the tables its neighbors sent.
+        for receiver in net.sites() {
+            for &(sender, link_delay) in net.neighbors(receiver) {
+                if let Some(lines) = &snapshots[sender.0] {
+                    messages += 1;
+                    if tables[receiver.0].merge_from_neighbor(sender, link_delay, lines) {
+                        next_dirty[receiver.0] = true;
+                    }
+                }
+            }
+        }
+        dirty = next_dirty;
+    }
+
+    PhasedApspResult {
+        tables,
+        phases_run,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::{hop_limited_distance, shortest_paths};
+    use crate::generators::{erdos_renyi_connected, line, ring, DelayDistribution};
+    use crate::topology::SiteId;
+
+    #[test]
+    fn converges_to_dijkstra_on_small_networks() {
+        let net = erdos_renyi_connected(20, 0.15, DelayDistribution::Uniform { min: 1.0, max: 5.0 }, 3);
+        // Enough phases to fully converge.
+        let result = phased_apsp(&net, 64);
+        for s in net.sites() {
+            let sp = shortest_paths(&net, s);
+            for d in net.sites() {
+                let table_dist = result.tables[s.0].distance(d).unwrap();
+                assert!(
+                    (table_dist - sp.dist[d.0]).abs() < 1e-9,
+                    "site {s} dest {d}: {table_dist} vs {}",
+                    sp.dist[d.0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_run_matches_hop_limited_distances() {
+        // Delays violating the triangle inequality: multi-hop detours are
+        // cheaper, so the hop budget matters.
+        let mut net = Network::new(5);
+        net.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        net.add_link(SiteId(1), SiteId(2), 1.0).unwrap();
+        net.add_link(SiteId(2), SiteId(3), 1.0).unwrap();
+        net.add_link(SiteId(3), SiteId(4), 1.0).unwrap();
+        net.add_link(SiteId(0), SiteId(4), 10.0).unwrap();
+        for phases in 0..5 {
+            let result = phased_apsp(&net, phases);
+            // After `p` phases, routes use at most p + 1 links.
+            let limit = phases + 1;
+            for s in net.sites() {
+                let reference = hop_limited_distance(&net, s, limit);
+                for d in net.sites() {
+                    let via_table = result.tables[s.0].distance(d).unwrap_or(f64::INFINITY);
+                    assert!(
+                        (via_table - reference[d.0]).abs() < 1e-9
+                            || (via_table.is_infinite() && reference[d.0].is_infinite()),
+                        "phases {phases}, {s} -> {d}: {via_table} vs {}",
+                        reference[d.0]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_phases_keeps_initial_tables() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let result = phased_apsp(&net, 0);
+        assert_eq!(result.phases_run, 0);
+        assert_eq!(result.messages, 0);
+        for s in net.sites() {
+            // Only itself and its two ring neighbors.
+            assert_eq!(result.tables[s.0].len(), 3);
+        }
+    }
+
+    #[test]
+    fn early_termination_when_converged() {
+        let net = line(4, DelayDistribution::Constant(1.0), 0);
+        let result = phased_apsp(&net, 100);
+        // A 4-site line converges in at most 3 phases; allow one extra phase
+        // for the final no-change detection round.
+        assert!(result.phases_run <= 4, "ran {} phases", result.phases_run);
+        // All distances known afterwards.
+        for s in net.sites() {
+            assert_eq!(result.tables[s.0].len(), 4);
+        }
+    }
+
+    #[test]
+    fn message_count_grows_with_phases() {
+        let net = ring(8, DelayDistribution::Constant(1.0), 0);
+        let one = phased_apsp(&net, 1);
+        let two = phased_apsp(&net, 2);
+        assert!(one.messages > 0);
+        assert!(two.messages > one.messages);
+        // Phase 1: every site is dirty, every site sends to 2 neighbors.
+        assert_eq!(one.messages, 16);
+    }
+
+    #[test]
+    fn hop_counts_respect_phase_budget() {
+        let net = line(10, DelayDistribution::Constant(1.0), 0);
+        let result = phased_apsp(&net, 3);
+        for s in net.sites() {
+            for e in result.tables[s.0].entries() {
+                assert!(e.hops <= 4, "entry {e:?} exceeds the 4-hop horizon");
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # rtds-net — the communication network substrate of the RTDS paper
+//!
+//! The paper assumes (§2) an *arbitrary connected graph* of sites joined by
+//! bidirectional communication links. Each site knows the delay of its
+//! adjacent links; the delays need not satisfy the triangle inequality; the
+//! links are faithful, loss-less and order-preserving, and the number of
+//! sites is unknown (the network may be "arbitrarily wide").
+//!
+//! This crate provides:
+//!
+//! * [`Network`] — the weighted site graph with structural queries,
+//! * [`generators`] — topology families (rings, grids, tori, hypercubes,
+//!   random geometric graphs, connected Erdős–Rényi, Barabási–Albert,
+//!   random trees, stars, complete graphs) with configurable delay
+//!   distributions,
+//! * [`dijkstra`] — reference shortest paths, eccentricities and diameters
+//!   used to validate the distributed algorithm,
+//! * [`routing`] — the `<destination, distance, next hop>` routing tables of
+//!   §7.1,
+//! * [`bellman_ford`] — the *interrupted* phase-synchronous distributed
+//!   All-Pairs Shortest Paths algorithm of §7.2 (Bertsekas–Gallager style),
+//! * [`sphere`] — hop-bounded sphere extraction: the structural core of the
+//!   Potential Computing Sphere.
+
+pub mod bellman_ford;
+pub mod dijkstra;
+pub mod generators;
+pub mod routing;
+pub mod sphere;
+pub mod topology;
+
+pub use bellman_ford::{phased_apsp, PhasedApspResult};
+pub use dijkstra::{all_pairs_shortest_paths, shortest_paths, ShortestPaths};
+pub use generators::DelayDistribution;
+pub use routing::{RouteEntry, RoutingTable};
+pub use sphere::Sphere;
+pub use topology::{Network, SiteId};

@@ -1,0 +1,269 @@
+//! Routing tables as maintained by the distributed algorithm of §7.1.
+//!
+//! "Each node maintains a routing table consisting of route lines like
+//! `<destination, distance, next hop>`." We additionally record the hop count
+//! of the route so the Potential Computing Sphere — whose radius is defined
+//! in *hops* — can be read straight off the table.
+
+use crate::topology::SiteId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One line of a routing table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// Destination site.
+    pub destination: SiteId,
+    /// Minimum known delay to the destination.
+    pub distance: f64,
+    /// Neighbor to which messages for the destination are forwarded
+    /// (`None` only for the self-entry).
+    pub next_hop: Option<SiteId>,
+    /// Number of links of the recorded route.
+    pub hops: usize,
+}
+
+/// Routing table of one site: destination → best known route.
+///
+/// The map is ordered (`BTreeMap`) so that iteration — and therefore the
+/// contents of routing-update messages — is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    owner: SiteId,
+    entries: BTreeMap<SiteId, RouteEntry>,
+}
+
+impl RoutingTable {
+    /// Creates the initial routing table of a site: one self-entry of
+    /// distance 0 plus one entry per adjacent link (§7.1 start conditions).
+    pub fn initial(owner: SiteId, neighbors: &[(SiteId, f64)]) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            owner,
+            RouteEntry {
+                destination: owner,
+                distance: 0.0,
+                next_hop: None,
+                hops: 0,
+            },
+        );
+        for &(nb, delay) in neighbors {
+            entries.insert(
+                nb,
+                RouteEntry {
+                    destination: nb,
+                    distance: delay,
+                    next_hop: Some(nb),
+                    hops: 1,
+                },
+            );
+        }
+        RoutingTable { owner, entries }
+    }
+
+    /// The site owning this table.
+    pub fn owner(&self) -> SiteId {
+        self.owner
+    }
+
+    /// Number of known destinations (including the owner itself).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table only knows the owner.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+
+    /// Route to a destination, if known.
+    pub fn route(&self, destination: SiteId) -> Option<&RouteEntry> {
+        self.entries.get(&destination)
+    }
+
+    /// Minimum known delay to a destination.
+    pub fn distance(&self, destination: SiteId) -> Option<f64> {
+        self.route(destination).map(|e| e.distance)
+    }
+
+    /// Hop count of the best known route to a destination.
+    pub fn hops(&self, destination: SiteId) -> Option<usize> {
+        self.route(destination).map(|e| e.hops)
+    }
+
+    /// Next hop towards a destination (None for the owner itself).
+    pub fn next_hop(&self, destination: SiteId) -> Option<SiteId> {
+        self.route(destination).and_then(|e| e.next_hop)
+    }
+
+    /// Iterator over all route lines in destination order.
+    pub fn entries(&self) -> impl Iterator<Item = &RouteEntry> {
+        self.entries.values()
+    }
+
+    /// All destinations whose recorded route uses at most `max_hops` links —
+    /// the membership test behind the Potential Computing Sphere.
+    pub fn destinations_within_hops(&self, max_hops: usize) -> Vec<SiteId> {
+        self.entries
+            .values()
+            .filter(|e| e.hops <= max_hops)
+            .map(|e| e.destination)
+            .collect()
+    }
+
+    /// Receiving step of §7.1: merge a neighbor's route lines, reached over a
+    /// link of delay `link_delay`. Returns `true` if any entry changed (the
+    /// classical "send updates only when the vector changed" optimisation).
+    pub fn merge_from_neighbor(
+        &mut self,
+        neighbor: SiteId,
+        link_delay: f64,
+        lines: &[RouteEntry],
+    ) -> bool {
+        let mut changed = false;
+        for line in lines {
+            let dest = line.destination;
+            if dest == self.owner {
+                continue;
+            }
+            let candidate = RouteEntry {
+                destination: dest,
+                distance: line.distance + link_delay,
+                next_hop: Some(neighbor),
+                hops: line.hops + 1,
+            };
+            let better = match self.entries.get(&dest) {
+                None => true,
+                Some(existing) => {
+                    candidate.distance < existing.distance - 1e-12
+                        || ((candidate.distance - existing.distance).abs() <= 1e-12
+                            && candidate.hops < existing.hops)
+                }
+            };
+            if better {
+                self.entries.insert(dest, candidate);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Snapshot of the route lines, suitable for inclusion in a routing-update
+    /// message (the §7.1 send step).
+    pub fn lines(&self) -> Vec<RouteEntry> {
+        self.entries.values().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_table() {
+        let t = RoutingTable::initial(SiteId(0), &[(SiteId(1), 2.0), (SiteId(2), 4.0)]);
+        assert_eq!(t.owner(), SiteId(0));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.distance(SiteId(0)), Some(0.0));
+        assert_eq!(t.distance(SiteId(1)), Some(2.0));
+        assert_eq!(t.hops(SiteId(2)), Some(1));
+        assert_eq!(t.next_hop(SiteId(1)), Some(SiteId(1)));
+        assert_eq!(t.next_hop(SiteId(0)), None);
+        assert_eq!(t.distance(SiteId(9)), None);
+        let isolated = RoutingTable::initial(SiteId(5), &[]);
+        assert!(isolated.is_empty());
+    }
+
+    #[test]
+    fn merge_improves_routes() {
+        // Owner 0 with neighbors 1 (delay 2) and 2 (delay 10).
+        let mut t = RoutingTable::initial(SiteId(0), &[(SiteId(1), 2.0), (SiteId(2), 10.0)]);
+        // Neighbor 1 knows 2 at distance 3 and 3 at distance 1.
+        let lines = vec![
+            RouteEntry {
+                destination: SiteId(2),
+                distance: 3.0,
+                next_hop: Some(SiteId(2)),
+                hops: 1,
+            },
+            RouteEntry {
+                destination: SiteId(3),
+                distance: 1.0,
+                next_hop: Some(SiteId(3)),
+                hops: 1,
+            },
+            RouteEntry {
+                destination: SiteId(0),
+                distance: 2.0,
+                next_hop: Some(SiteId(0)),
+                hops: 1,
+            },
+        ];
+        let changed = t.merge_from_neighbor(SiteId(1), 2.0, &lines);
+        assert!(changed);
+        // 0 -> 2 now goes through 1: 2 + 3 = 5 < 10.
+        assert_eq!(t.distance(SiteId(2)), Some(5.0));
+        assert_eq!(t.next_hop(SiteId(2)), Some(SiteId(1)));
+        assert_eq!(t.hops(SiteId(2)), Some(2));
+        // New destination 3 learned at 2 + 1 = 3.
+        assert_eq!(t.distance(SiteId(3)), Some(3.0));
+        // The self-entry is never overwritten.
+        assert_eq!(t.distance(SiteId(0)), Some(0.0));
+        // Merging the same lines again changes nothing.
+        assert!(!t.merge_from_neighbor(SiteId(1), 2.0, &lines));
+    }
+
+    #[test]
+    fn merge_prefers_fewer_hops_on_delay_ties() {
+        let mut t = RoutingTable::initial(SiteId(0), &[(SiteId(1), 1.0)]);
+        // Learn destination 5 via a 3-hop route of total delay 4.
+        t.merge_from_neighbor(
+            SiteId(1),
+            1.0,
+            &[RouteEntry {
+                destination: SiteId(5),
+                distance: 3.0,
+                next_hop: Some(SiteId(4)),
+                hops: 3,
+            }],
+        );
+        assert_eq!(t.hops(SiteId(5)), Some(4));
+        // A same-delay but shorter-hop route replaces it.
+        let changed = t.merge_from_neighbor(
+            SiteId(1),
+            1.0,
+            &[RouteEntry {
+                destination: SiteId(5),
+                distance: 3.0,
+                next_hop: Some(SiteId(5)),
+                hops: 1,
+            }],
+        );
+        assert!(changed);
+        assert_eq!(t.hops(SiteId(5)), Some(2));
+        assert_eq!(t.distance(SiteId(5)), Some(4.0));
+    }
+
+    #[test]
+    fn destinations_within_hops() {
+        let mut t = RoutingTable::initial(SiteId(0), &[(SiteId(1), 1.0)]);
+        t.merge_from_neighbor(
+            SiteId(1),
+            1.0,
+            &[RouteEntry {
+                destination: SiteId(2),
+                distance: 1.0,
+                next_hop: Some(SiteId(2)),
+                hops: 1,
+            }],
+        );
+        assert_eq!(t.destinations_within_hops(0), vec![SiteId(0)]);
+        assert_eq!(t.destinations_within_hops(1), vec![SiteId(0), SiteId(1)]);
+        assert_eq!(
+            t.destinations_within_hops(2),
+            vec![SiteId(0), SiteId(1), SiteId(2)]
+        );
+        assert_eq!(t.lines().len(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Hop-bounded spheres — the structural core of the Computing Sphere (§6).
+//!
+//! A sphere of radius `h` rooted at site `k` is the set of sites whose best
+//! known route from `k` uses at most `h` links. §6 lists the properties the
+//! Computing Sphere enjoys once the interrupted APSP has run for `2h` phases:
+//!
+//! * every member has a unique minimum-communication-delay path to `k`
+//!   (materialised here by the `next_hop` chain of `k`'s routing table),
+//! * the hop diameter of the sphere is bounded by a constant (`≤ 2h`),
+//! * minimum-delay paths exist between any pair of sphere members (within the
+//!   `2h`-hop horizon), which is what allows the delay-diameter of the sphere
+//!   to be computed and later over-approximate task-to-task communication in
+//!   the Mapper (§12).
+
+use crate::routing::RoutingTable;
+use crate::topology::SiteId;
+use serde::{Deserialize, Serialize};
+
+/// A hop-bounded sphere around a centre site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sphere {
+    /// The root site `k`.
+    pub center: SiteId,
+    /// Hop radius `h`.
+    pub radius: usize,
+    /// Members of the sphere (always includes the centre), sorted by site id.
+    pub members: Vec<SiteId>,
+    /// Minimum delay from the centre to each member (same order as
+    /// `members`).
+    pub delays: Vec<f64>,
+    /// Delay diameter of the sphere: the largest pairwise minimum delay known
+    /// between two members (used by the Mapper as the communication-delay
+    /// over-estimate ω).
+    pub delay_diameter: f64,
+}
+
+impl Sphere {
+    /// Builds the sphere of hop radius `h` around the owner of `center_table`,
+    /// using the member tables to compute the pairwise delay diameter.
+    ///
+    /// `tables` must contain a routing table for every site id referenced by
+    /// the centre table (indexed by site id); tables of non-member sites are
+    /// simply ignored.
+    pub fn from_tables(center_table: &RoutingTable, tables: &[RoutingTable], radius: usize) -> Self {
+        let center = center_table.owner();
+        let mut members = center_table.destinations_within_hops(radius);
+        members.sort_unstable();
+        let delays = members
+            .iter()
+            .map(|m| center_table.distance(*m).unwrap_or(f64::INFINITY))
+            .collect::<Vec<_>>();
+        let mut diameter = 0.0f64;
+        for &a in &members {
+            for &b in &members {
+                if a == b {
+                    continue;
+                }
+                if let Some(d) = tables.get(a.0).and_then(|t| t.distance(b)) {
+                    diameter = diameter.max(d);
+                }
+            }
+        }
+        Sphere {
+            center,
+            radius,
+            members,
+            delays,
+            delay_diameter: diameter,
+        }
+    }
+
+    /// Number of member sites (including the centre).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the sphere contains only its centre.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Returns `true` if the given site belongs to the sphere.
+    pub fn contains(&self, s: SiteId) -> bool {
+        self.members.binary_search(&s).is_ok()
+    }
+
+    /// Minimum known delay from the centre to a member site.
+    pub fn delay_to(&self, s: SiteId) -> Option<f64> {
+        self.members
+            .binary_search(&s)
+            .ok()
+            .map(|idx| self.delays[idx])
+    }
+
+    /// Members other than the centre.
+    pub fn peers(&self) -> impl Iterator<Item = SiteId> + '_ {
+        let center = self.center;
+        self.members.iter().copied().filter(move |m| *m != center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::phased_apsp;
+    use crate::generators::{line, ring, DelayDistribution};
+    use crate::topology::Network;
+
+    #[test]
+    fn sphere_on_a_line() {
+        let net = line(9, DelayDistribution::Constant(2.0), 0);
+        let result = phased_apsp(&net, 8);
+        let sphere = Sphere::from_tables(&result.tables[4], &result.tables, 2);
+        assert_eq!(sphere.center, SiteId(4));
+        assert_eq!(
+            sphere.members,
+            vec![SiteId(2), SiteId(3), SiteId(4), SiteId(5), SiteId(6)]
+        );
+        assert_eq!(sphere.len(), 5);
+        assert!(!sphere.is_empty());
+        assert!(sphere.contains(SiteId(2)));
+        assert!(!sphere.contains(SiteId(0)));
+        assert_eq!(sphere.delay_to(SiteId(6)), Some(4.0));
+        assert_eq!(sphere.delay_to(SiteId(0)), None);
+        // Farthest pair inside the sphere: sites 2 and 6, delay 8.
+        assert_eq!(sphere.delay_diameter, 8.0);
+        assert_eq!(sphere.peers().count(), 4);
+    }
+
+    #[test]
+    fn radius_zero_is_only_the_center() {
+        let net = ring(5, DelayDistribution::Constant(1.0), 0);
+        let result = phased_apsp(&net, 4);
+        let sphere = Sphere::from_tables(&result.tables[0], &result.tables, 0);
+        assert_eq!(sphere.members, vec![SiteId(0)]);
+        assert!(sphere.is_empty());
+        assert_eq!(sphere.delay_diameter, 0.0);
+    }
+
+    #[test]
+    fn sphere_respects_2h_phase_budget() {
+        // With only 2h phases of table exchange, the sphere of radius h is
+        // complete and pairwise distances inside it are known.
+        let h = 2;
+        let net = ring(12, DelayDistribution::Constant(1.0), 0);
+        let result = phased_apsp(&net, 2 * h);
+        let sphere = Sphere::from_tables(&result.tables[0], &result.tables, h);
+        // On a ring, radius-2 sphere = 5 consecutive sites.
+        assert_eq!(sphere.len(), 5);
+        // Diameter between extreme members (2 hops each side of the centre) is
+        // 4 links of delay 1 — and it is visible within the 2h-hop horizon.
+        assert_eq!(sphere.delay_diameter, 4.0);
+    }
+
+    #[test]
+    fn delay_diameter_uses_member_tables_not_center_only() {
+        // Star with distinct delays: the diameter is between two leaves, a
+        // quantity the centre's own table alone cannot provide.
+        let mut net = Network::new(4);
+        net.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        net.add_link(SiteId(0), SiteId(2), 5.0).unwrap();
+        net.add_link(SiteId(0), SiteId(3), 2.0).unwrap();
+        let result = phased_apsp(&net, 4);
+        let sphere = Sphere::from_tables(&result.tables[0], &result.tables, 1);
+        assert_eq!(sphere.len(), 4);
+        // Leaf 2 to leaf 3 = 5 + 2 = 7, the largest pairwise distance.
+        assert_eq!(sphere.delay_diameter, 7.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The weighted site graph.
+//!
+//! Sites are identified by dense indices ([`SiteId`]). Links are undirected
+//! (the paper's bidirectional communication links) and carry a propagation
+//! delay. Delays do *not* have to satisfy the triangle inequality (§2), which
+//! is why minimum-delay paths between physically adjacent sites may traverse
+//! several links — the routing layer handles that.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a site (a node of the communication network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SiteId(pub usize);
+
+impl SiteId {
+    /// Raw index of the site.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for SiteId {
+    fn from(v: usize) -> Self {
+        SiteId(v)
+    }
+}
+
+/// Errors raised while building a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A link endpoint is not a valid site.
+    UnknownSite(SiteId),
+    /// A self-link was requested.
+    SelfLink(SiteId),
+    /// The two sites are already linked.
+    DuplicateLink(SiteId, SiteId),
+    /// A negative or non-finite delay was supplied.
+    InvalidDelay(f64),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownSite(s) => write!(f, "unknown site {s}"),
+            NetworkError::SelfLink(s) => write!(f, "self link on {s}"),
+            NetworkError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
+            NetworkError::InvalidDelay(d) => write!(f, "invalid link delay {d}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// An arbitrary connected communication network: sites plus weighted,
+/// bidirectional links.
+///
+/// Each site is assumed (paper §2) to consist of a computation processor and
+/// a system-management processor; that distinction lives in the simulation
+/// layer — the topology only records connectivity and delays, plus an
+/// optional per-site relative *computing power* used by the §13
+/// uniform-machines extension (1.0 for the identical-machines base model).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    /// `adjacency[i]` lists `(neighbor, delay)` pairs in insertion order.
+    adjacency: Vec<Vec<(SiteId, f64)>>,
+    /// Relative computing power of every site (1.0 = reference speed).
+    speeds: Vec<f64>,
+    link_count: usize,
+}
+
+impl Network {
+    /// Creates a network with `n` isolated sites of unit computing power.
+    pub fn new(n: usize) -> Self {
+        Network {
+            adjacency: vec![Vec::new(); n],
+            speeds: vec![1.0; n],
+            link_count: 0,
+        }
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) links.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Iterator over all site ids.
+    pub fn sites(&self) -> impl Iterator<Item = SiteId> {
+        (0..self.adjacency.len()).map(SiteId)
+    }
+
+    /// Adds an undirected link with the given propagation delay.
+    pub fn add_link(&mut self, a: SiteId, b: SiteId, delay: f64) -> Result<(), NetworkError> {
+        let n = self.adjacency.len();
+        if a.0 >= n {
+            return Err(NetworkError::UnknownSite(a));
+        }
+        if b.0 >= n {
+            return Err(NetworkError::UnknownSite(b));
+        }
+        if a == b {
+            return Err(NetworkError::SelfLink(a));
+        }
+        if !(delay.is_finite() && delay >= 0.0) {
+            return Err(NetworkError::InvalidDelay(delay));
+        }
+        if self.adjacency[a.0].iter().any(|(s, _)| *s == b) {
+            return Err(NetworkError::DuplicateLink(a, b));
+        }
+        self.adjacency[a.0].push((b, delay));
+        self.adjacency[b.0].push((a, delay));
+        self.link_count += 1;
+        Ok(())
+    }
+
+    /// Neighbors of a site with link delays.
+    pub fn neighbors(&self, s: SiteId) -> &[(SiteId, f64)] {
+        &self.adjacency[s.0]
+    }
+
+    /// Neighbor ids of a site.
+    pub fn neighbor_ids(&self, s: SiteId) -> impl Iterator<Item = SiteId> + '_ {
+        self.adjacency[s.0].iter().map(|(n, _)| *n)
+    }
+
+    /// Degree of a site.
+    pub fn degree(&self, s: SiteId) -> usize {
+        self.adjacency[s.0].len()
+    }
+
+    /// Delay of the direct link between two sites, if any.
+    pub fn link_delay(&self, a: SiteId, b: SiteId) -> Option<f64> {
+        self.adjacency[a.0]
+            .iter()
+            .find(|(s, _)| *s == b)
+            .map(|(_, d)| *d)
+    }
+
+    /// Returns `true` if a direct link exists between two sites.
+    pub fn has_link(&self, a: SiteId, b: SiteId) -> bool {
+        self.link_delay(a, b).is_some()
+    }
+
+    /// Iterator over every undirected link as `(a, b, delay)` with `a < b`.
+    pub fn links(&self) -> impl Iterator<Item = (SiteId, SiteId, f64)> + '_ {
+        self.sites().flat_map(move |a| {
+            self.adjacency[a.0]
+                .iter()
+                .filter(move |(b, _)| a.0 < b.0)
+                .map(move |(b, d)| (a, *b, *d))
+        })
+    }
+
+    /// Relative computing power of a site (§13 uniform machines; 1.0 for the
+    /// identical-machines base model).
+    pub fn speed(&self, s: SiteId) -> f64 {
+        self.speeds[s.0]
+    }
+
+    /// Sets the relative computing power of a site.
+    ///
+    /// # Panics
+    /// Panics if the speed is not strictly positive.
+    pub fn set_speed(&mut self, s: SiteId, speed: f64) {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
+        self.speeds[s.0] = speed;
+    }
+
+    /// Returns `true` iff every site can reach every other site.
+    pub fn is_connected(&self) -> bool {
+        let n = self.site_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(SiteId(0));
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in &self.adjacency[u.0] {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    count += 1;
+                    queue.push_back(*v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Hop distances (breadth-first, ignoring delays) from `src` to every
+    /// site; unreachable sites get `usize::MAX`.
+    pub fn hop_distances(&self, src: SiteId) -> Vec<usize> {
+        let n = self.site_count();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[src.0] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in &self.adjacency[u.0] {
+                if dist[v.0] == usize::MAX {
+                    dist[v.0] = dist[u.0] + 1;
+                    queue.push_back(*v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Maximum hop-eccentricity over all sites (the hop diameter); `None` if
+    /// the network is disconnected or empty.
+    pub fn hop_diameter(&self) -> Option<usize> {
+        if self.site_count() == 0 {
+            return None;
+        }
+        let mut max = 0usize;
+        for s in self.sites() {
+            let d = self.hop_distances(s);
+            for &x in &d {
+                if x == usize::MAX {
+                    return None;
+                }
+                max = max.max(x);
+            }
+        }
+        Some(max)
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.site_count() == 0 {
+            return 0.0;
+        }
+        2.0 * self.link_count as f64 / self.site_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Network {
+        let mut n = Network::new(3);
+        n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        n.add_link(SiteId(1), SiteId(2), 2.0).unwrap();
+        n.add_link(SiteId(0), SiteId(2), 5.0).unwrap();
+        n
+    }
+
+    #[test]
+    fn construction_and_queries() {
+        let n = triangle();
+        assert_eq!(n.site_count(), 3);
+        assert_eq!(n.link_count(), 3);
+        assert_eq!(n.degree(SiteId(0)), 2);
+        assert_eq!(n.link_delay(SiteId(0), SiteId(2)), Some(5.0));
+        assert_eq!(n.link_delay(SiteId(2), SiteId(0)), Some(5.0));
+        assert_eq!(n.link_delay(SiteId(0), SiteId(0)), None);
+        assert!(n.has_link(SiteId(0), SiteId(1)));
+        assert_eq!(n.links().count(), 3);
+        assert_eq!(n.average_degree(), 2.0);
+        assert_eq!(format!("{}", SiteId(3)), "s3");
+        assert_eq!(SiteId::from(2).index(), 2);
+    }
+
+    #[test]
+    fn link_errors() {
+        let mut n = Network::new(2);
+        assert_eq!(
+            n.add_link(SiteId(0), SiteId(9), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        assert_eq!(
+            n.add_link(SiteId(9), SiteId(0), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        assert_eq!(
+            n.add_link(SiteId(0), SiteId(0), 1.0),
+            Err(NetworkError::SelfLink(SiteId(0)))
+        );
+        assert_eq!(
+            n.add_link(SiteId(0), SiteId(1), -2.0),
+            Err(NetworkError::InvalidDelay(-2.0))
+        );
+        n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        assert_eq!(
+            n.add_link(SiteId(1), SiteId(0), 2.0),
+            Err(NetworkError::DuplicateLink(SiteId(1), SiteId(0)))
+        );
+        assert!(NetworkError::SelfLink(SiteId(0)).to_string().contains("self"));
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut n = Network::new(4);
+        n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        n.add_link(SiteId(2), SiteId(3), 1.0).unwrap();
+        assert!(!n.is_connected());
+        n.add_link(SiteId(1), SiteId(2), 1.0).unwrap();
+        assert!(n.is_connected());
+        assert!(Network::new(0).is_connected());
+        assert!(Network::new(1).is_connected());
+    }
+
+    #[test]
+    fn hop_distances_and_diameter() {
+        let mut n = Network::new(4);
+        n.add_link(SiteId(0), SiteId(1), 10.0).unwrap();
+        n.add_link(SiteId(1), SiteId(2), 10.0).unwrap();
+        n.add_link(SiteId(2), SiteId(3), 10.0).unwrap();
+        assert_eq!(n.hop_distances(SiteId(0)), vec![0, 1, 2, 3]);
+        assert_eq!(n.hop_diameter(), Some(3));
+        let disconnected = Network::new(2);
+        assert_eq!(disconnected.hop_diameter(), None);
+        assert_eq!(Network::new(0).hop_diameter(), None);
+    }
+
+    #[test]
+    fn speeds() {
+        let mut n = Network::new(2);
+        assert_eq!(n.speed(SiteId(0)), 1.0);
+        n.set_speed(SiteId(1), 2.5);
+        assert_eq!(n.speed(SiteId(1)), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_speed_rejected() {
+        let mut n = Network::new(1);
+        n.set_speed(SiteId(0), 0.0);
+    }
+}

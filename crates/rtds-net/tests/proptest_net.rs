@@ -1,0 +1,186 @@
+//! Property-based tests for the network substrate: the interrupted
+//! distributed Bellman–Ford must agree with centralized references, and
+//! spheres must satisfy the §6 structural properties.
+
+use proptest::prelude::*;
+use rtds_net::bellman_ford::phased_apsp;
+use rtds_net::dijkstra::{hop_limited_distance, shortest_paths};
+use rtds_net::generators::{
+    barabasi_albert, erdos_renyi_connected, grid, random_geometric, ring, DelayDistribution,
+};
+use rtds_net::sphere::Sphere;
+use rtds_net::topology::{Network, SiteId};
+
+#[derive(Debug, Clone, Copy)]
+enum Topo {
+    Ring(usize),
+    Grid(usize, usize),
+    ErdosRenyi(usize),
+    BarabasiAlbert(usize),
+    Geometric(usize),
+}
+
+fn build(topo: Topo, delays: DelayDistribution, seed: u64) -> Network {
+    match topo {
+        Topo::Ring(n) => ring(n, delays, seed),
+        Topo::Grid(w, h) => grid(w, h, false, delays, seed),
+        Topo::ErdosRenyi(n) => erdos_renyi_connected(n, 0.12, delays, seed),
+        Topo::BarabasiAlbert(n) => barabasi_albert(n, 2, delays, seed),
+        Topo::Geometric(n) => random_geometric(n, 0.25, delays, seed),
+    }
+}
+
+fn arbitrary_topo() -> impl Strategy<Value = Topo> {
+    prop_oneof![
+        (3usize..20).prop_map(Topo::Ring),
+        ((2usize..6), (2usize..6)).prop_map(|(w, h)| Topo::Grid(w, h)),
+        (5usize..25).prop_map(Topo::ErdosRenyi),
+        (5usize..25).prop_map(Topo::BarabasiAlbert),
+        (5usize..20).prop_map(Topo::Geometric),
+    ]
+}
+
+fn arbitrary_delays() -> impl Strategy<Value = DelayDistribution> {
+    prop_oneof![
+        (0.5f64..5.0).prop_map(DelayDistribution::Constant),
+        (0.5f64..2.0, 2.0f64..8.0).prop_map(|(min, max)| DelayDistribution::Uniform { min, max }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All generated topologies are connected and their links are symmetric.
+    #[test]
+    fn generated_networks_are_connected(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+    ) {
+        let net = build(topo, delays, seed);
+        prop_assert!(net.is_connected());
+        for (a, b, d) in net.links() {
+            prop_assert_eq!(net.link_delay(a, b), Some(d));
+            prop_assert_eq!(net.link_delay(b, a), Some(d));
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    /// Run long enough, the interrupted Bellman–Ford converges exactly to
+    /// Dijkstra's distances from every source.
+    #[test]
+    fn phased_apsp_converges_to_dijkstra(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+    ) {
+        let net = build(topo, delays, seed);
+        let n = net.site_count();
+        let result = phased_apsp(&net, n + 2);
+        for s in net.sites() {
+            let sp = shortest_paths(&net, s);
+            for d in net.sites() {
+                let got = result.tables[s.0].distance(d).unwrap_or(f64::INFINITY);
+                prop_assert!((got - sp.dist[d.0]).abs() < 1e-6,
+                    "{s}->{d}: table {got} vs dijkstra {}", sp.dist[d.0]);
+            }
+        }
+    }
+
+    /// Interrupted after `p` phases, every table distance equals the best
+    /// delay over paths of at most `p + 1` links — never better, never worse.
+    #[test]
+    fn interrupted_apsp_is_hop_limited_optimal(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+        phases in 0usize..6,
+    ) {
+        let net = build(topo, delays, seed);
+        let result = phased_apsp(&net, phases);
+        for s in net.sites() {
+            let reference = hop_limited_distance(&net, s, phases + 1);
+            for d in net.sites() {
+                let got = result.tables[s.0].distance(d).unwrap_or(f64::INFINITY);
+                if reference[d.0].is_infinite() {
+                    prop_assert!(got.is_infinite());
+                } else {
+                    prop_assert!((got - reference[d.0]).abs() < 1e-6,
+                        "{s}->{d} at {phases} phases: {got} vs {}", reference[d.0]);
+                }
+            }
+        }
+    }
+
+    /// §6 sphere properties: after 2h phases the sphere of radius h around any
+    /// site contains exactly the sites at hop distance <= h, its delays match
+    /// hop-limited optima, and the members' mutual distances bound the
+    /// delay diameter.
+    #[test]
+    fn spheres_satisfy_structural_properties(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+        h in 1usize..4,
+    ) {
+        let net = build(topo, delays, seed);
+        let result = phased_apsp(&net, 2 * h);
+        for s in net.sites().take(5) {
+            let sphere = Sphere::from_tables(&result.tables[s.0], &result.tables, h);
+            prop_assert!(sphere.contains(s));
+            prop_assert_eq!(sphere.center, s);
+            // Membership compared against BFS hop distances: every site at
+            // hop distance <= h must be a member. (The converse need not hold
+            // with non-uniform delays: the delay-minimal route to a hop-close
+            // site may use more than h links, excluding it from the table's
+            // h-hop view — the paper accepts this, the sphere is built from
+            // the routing table only.)
+            let hops = net.hop_distances(s);
+            for d in net.sites() {
+                if hops[d.0] <= h {
+                    prop_assert!(
+                        sphere.contains(d) || result.tables[s.0].hops(d).map(|x| x > h).unwrap_or(false),
+                        "site {d} at hop distance {} missing from radius-{h} sphere of {s}",
+                        hops[d.0]
+                    );
+                }
+            }
+            // Delays from the centre are consistent with the routing table.
+            for &m in &sphere.members {
+                let delay = sphere.delay_to(m).unwrap();
+                prop_assert!((delay - result.tables[s.0].distance(m).unwrap()).abs() < 1e-9);
+            }
+            // The delay diameter is at least the largest centre-to-member
+            // delay (the centre is itself a member).
+            let max_center_delay = sphere
+                .delays
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max);
+            prop_assert!(sphere.delay_diameter + 1e-9 >= max_center_delay);
+        }
+    }
+
+    /// Dijkstra path reconstruction yields paths whose total delay equals the
+    /// reported distance.
+    #[test]
+    fn dijkstra_paths_are_consistent(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+    ) {
+        let net = build(topo, delays, seed);
+        let sp = shortest_paths(&net, SiteId(0));
+        for d in net.sites() {
+            let path = sp.path_to(d).expect("connected network");
+            prop_assert_eq!(path[0], SiteId(0));
+            prop_assert_eq!(*path.last().unwrap(), d);
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                total += net.link_delay(w[0], w[1]).expect("path uses existing links");
+            }
+            prop_assert!((total - sp.dist[d.0]).abs() < 1e-6);
+            prop_assert_eq!(path.len() - 1, sp.hops[d.0]);
+        }
+    }
+}

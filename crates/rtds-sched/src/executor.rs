@@ -1,0 +1,130 @@
+//! Run-time execution of committed plans.
+//!
+//! Once a job's tasks are inserted into the scheduling plans of the selected
+//! sites (§11), execution is deterministic: the computation processor simply
+//! honours its reservations. The executor extracts per-job completion times
+//! from a set of plans and checks the paper's run-time safety property —
+//! an accepted job never misses its deadline under faithful execution —
+//! which the integration tests and the simulation report rely on.
+
+use crate::plan::SchedulePlan;
+use rtds_graph::JobId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Execution outcome of one job across every site that hosts part of it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// Number of task reservations committed for this job (chunks count
+    /// individually in the preemptive model).
+    pub reservations: usize,
+    /// Completion time: the latest reservation end across all sites.
+    pub completion: f64,
+}
+
+/// Collects the outcome of every job appearing in any of the given plans.
+pub fn collect_outcomes(plans: &[&SchedulePlan]) -> Vec<JobOutcome> {
+    let mut agg: BTreeMap<JobId, (usize, f64)> = BTreeMap::new();
+    for plan in plans {
+        for r in plan.reservations() {
+            let entry = agg.entry(r.job).or_insert((0, f64::NEG_INFINITY));
+            entry.0 += 1;
+            entry.1 = entry.1.max(r.end);
+        }
+    }
+    agg.into_iter()
+        .map(|(job, (reservations, completion))| JobOutcome {
+            job,
+            reservations,
+            completion,
+        })
+        .collect()
+}
+
+/// Completion time of a single job across the given plans, if any of its
+/// tasks are committed anywhere.
+pub fn job_completion(plans: &[&SchedulePlan], job: JobId) -> Option<f64> {
+    plans
+        .iter()
+        .filter_map(|p| p.job_completion(job))
+        .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+}
+
+/// Checks that a job committed across the given plans meets its deadline.
+pub fn meets_deadline(plans: &[&SchedulePlan], job: JobId, deadline: f64) -> bool {
+    match job_completion(plans, job) {
+        Some(c) => c <= deadline + 1e-9,
+        None => false,
+    }
+}
+
+/// Utilization of one site over `[from, to)`: busy time divided by window
+/// length.
+pub fn utilization(plan: &SchedulePlan, from: f64, to: f64) -> f64 {
+    let window = to - from;
+    if window <= 0.0 {
+        return 0.0;
+    }
+    (plan.busy_time(from, to) / window).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Reservation;
+    use rtds_graph::TaskId;
+
+    fn res(job: u64, task: usize, start: f64, end: f64) -> Reservation {
+        Reservation {
+            job: JobId(job),
+            task: TaskId(task),
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn outcomes_across_sites() {
+        let mut p1 = SchedulePlan::new();
+        p1.insert(res(1, 0, 0.0, 10.0)).unwrap();
+        p1.insert(res(1, 2, 15.0, 20.0)).unwrap();
+        p1.insert(res(2, 0, 20.0, 30.0)).unwrap();
+        let mut p2 = SchedulePlan::new();
+        p2.insert(res(1, 1, 0.0, 12.0)).unwrap();
+        let plans = [&p1, &p2];
+
+        let outcomes = collect_outcomes(&plans);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].job, JobId(1));
+        assert_eq!(outcomes[0].reservations, 3);
+        assert_eq!(outcomes[0].completion, 20.0);
+        assert_eq!(outcomes[1].job, JobId(2));
+        assert_eq!(outcomes[1].completion, 30.0);
+
+        assert_eq!(job_completion(&plans, JobId(1)), Some(20.0));
+        assert_eq!(job_completion(&plans, JobId(9)), None);
+        assert!(meets_deadline(&plans, JobId(1), 20.0));
+        assert!(meets_deadline(&plans, JobId(1), 25.0));
+        assert!(!meets_deadline(&plans, JobId(1), 19.0));
+        assert!(!meets_deadline(&plans, JobId(9), 100.0));
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let mut p = SchedulePlan::new();
+        p.insert(res(1, 0, 0.0, 50.0)).unwrap();
+        assert_eq!(utilization(&p, 0.0, 100.0), 0.5);
+        assert_eq!(utilization(&p, 0.0, 50.0), 1.0);
+        assert_eq!(utilization(&p, 50.0, 100.0), 0.0);
+        assert_eq!(utilization(&p, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn empty_plans_have_no_outcomes() {
+        let p = SchedulePlan::new();
+        assert!(collect_outcomes(&[&p]).is_empty());
+        assert!(collect_outcomes(&[]).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # rtds-sched — the per-site local scheduler of the RTDS paper
+//!
+//! Every site runs its own local scheduler (§1, §5): it keeps a *scheduling
+//! plan* of task reservations already accepted, answers the §5 local
+//! guarantee test ("can all tasks of this DAG be scheduled in-between tasks
+//! already accepted, before the deadline?"), answers the §10 validation
+//! question ("is this set of tasks with releases and deadlines locally
+//! satisfiable?"), and exposes the §2 *surplus* (idle time over an
+//! observation window) used by the Mapper to estimate execution durations on
+//! remote sites.
+//!
+//! Modules:
+//!
+//! * [`interval`] — closed-open time intervals and idle-window arithmetic,
+//! * [`plan`] — [`plan::SchedulePlan`]: committed reservations, idle-window
+//!   enumeration, non-preemptive and preemptive insertion, surplus,
+//! * [`admission`] — the §5 whole-DAG local guarantee test,
+//! * [`feasibility`] — the §10 per-logical-processor satisfiability test,
+//! * [`surplus`] — observation-window surplus and busyness helpers,
+//! * [`executor`] — turns committed reservations into completion records and
+//!   deadline-miss checks (the run-time side of the computation processor).
+
+pub mod admission;
+pub mod executor;
+pub mod feasibility;
+pub mod interval;
+pub mod plan;
+pub mod surplus;
+
+pub use admission::{admit_dag_locally, DagAdmission};
+pub use feasibility::{satisfiable, TaskRequest};
+pub use interval::TimeInterval;
+pub use plan::{PlanError, Reservation, SchedulePlan};
+pub use surplus::{busyness, surplus};

@@ -1,0 +1,69 @@
+//! Surplus and busyness (§2, §13).
+//!
+//! "The surplus `I_k` of a site `k` is computed as the ratio of its available
+//! (or idle) time divided by the size of the observational window" (§2).
+//! The busyness `1 - I` is used by the §13 laxity-dispatching extension to
+//! give tasks running on busy processors a larger share of the extra laxity.
+
+use crate::plan::SchedulePlan;
+
+/// Surplus of a plan over the observation window `[now, now + window)`.
+///
+/// For the §13 uniform-machines extension the caller scales the result by the
+/// site's relative computing power (`surplus × speed`), which is how the
+/// Mapper converts a remote site's idle ratio into an effective execution
+/// rate.
+pub fn surplus(plan: &SchedulePlan, now: f64, window: f64) -> f64 {
+    plan.surplus(now, window)
+}
+
+/// Busyness of a plan over the observation window: `1 - surplus`.
+pub fn busyness(plan: &SchedulePlan, now: f64, window: f64) -> f64 {
+    1.0 - surplus(plan, now, window)
+}
+
+/// Effective execution rate of a site for the Mapper: surplus scaled by the
+/// site's relative computing power, clamped to a minimum so that the
+/// duration estimate `c / rate` stays finite even for a fully busy site.
+pub fn effective_rate(plan: &SchedulePlan, now: f64, window: f64, speed: f64, floor: f64) -> f64 {
+    (surplus(plan, now, window) * speed).max(floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Reservation;
+    use rtds_graph::{JobId, TaskId};
+
+    fn busy_half() -> SchedulePlan {
+        let mut plan = SchedulePlan::new();
+        plan.insert(Reservation {
+            job: JobId(1),
+            task: TaskId(0),
+            start: 0.0,
+            end: 50.0,
+        })
+        .unwrap();
+        plan
+    }
+
+    #[test]
+    fn surplus_and_busyness_are_complementary() {
+        let plan = busy_half();
+        assert_eq!(surplus(&plan, 0.0, 100.0), 0.5);
+        assert_eq!(busyness(&plan, 0.0, 100.0), 0.5);
+        assert_eq!(surplus(&plan, 50.0, 100.0), 1.0);
+        assert_eq!(busyness(&plan, 50.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn effective_rate_scales_and_floors() {
+        let plan = busy_half();
+        // Identical machines: rate equals the surplus.
+        assert_eq!(effective_rate(&plan, 0.0, 100.0, 1.0, 0.01), 0.5);
+        // A twice-as-fast uniform machine doubles the rate (§13).
+        assert_eq!(effective_rate(&plan, 0.0, 100.0, 2.0, 0.01), 1.0);
+        // A fully busy window hits the floor instead of collapsing to zero.
+        assert_eq!(effective_rate(&plan, 0.0, 50.0, 1.0, 0.05), 0.05);
+    }
+}

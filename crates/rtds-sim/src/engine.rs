@@ -1,0 +1,521 @@
+//! The simulation engine: protocols, contexts and the simulator loop.
+//!
+//! A *protocol* is the code running on the system-management processor of a
+//! site (§2): it reacts to start-up, to message deliveries and to timers, and
+//! it may send messages to neighbors or to any site it knows a route to (the
+//! engine forwards along the routing substrate only in the sense of charging
+//! the end-to-end delay supplied by the caller — routing decisions themselves
+//! belong to the protocol, as in the paper).
+
+use crate::event::{EventPayload, EventQueue};
+use crate::stats::SimStats;
+use crate::trace::{Trace, TraceEvent};
+use rtds_net::{Network, SiteId};
+use std::fmt::Debug;
+
+/// Behaviour of one site. `Msg` is the wire-message type of the protocol.
+pub trait Protocol: Sized {
+    /// Message type exchanged between sites (and injected externally).
+    type Msg: Clone + Debug + PartialEq;
+
+    /// Called once per site before any event is processed.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a message is delivered to this site.
+    fn on_message(&mut self, from: SiteId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer set by this site fires. The default implementation
+    /// ignores timers.
+    fn on_timer(&mut self, _timer_id: u64, _ctx: &mut Context<'_, Self::Msg>) {}
+}
+
+/// Outgoing actions buffered during one handler invocation.
+#[derive(Debug)]
+enum Outgoing<M> {
+    /// Send `msg` to `to`, charging `delay` time units. `None` delay means
+    /// "use the direct link delay" and is an error if no direct link exists.
+    Send {
+        to: SiteId,
+        msg: M,
+        delay: Option<f64>,
+    },
+    Timer {
+        delay: f64,
+        timer_id: u64,
+    },
+}
+
+/// Handler-side view of the simulation: lets a protocol inspect the current
+/// time and topology, send messages, set timers, bump named counters and
+/// record trace events.
+pub struct Context<'a, M> {
+    site: SiteId,
+    now: f64,
+    network: &'a Network,
+    outgoing: Vec<Outgoing<M>>,
+    stats: &'a mut SimStats,
+    trace: &'a mut Trace,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The site this handler runs on.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The network topology (read-only).
+    pub fn network(&self) -> &Network {
+        self.network
+    }
+
+    /// Neighbors of the current site with their link delays.
+    pub fn neighbors(&self) -> &[(SiteId, f64)] {
+        self.network.neighbors(self.site)
+    }
+
+    /// Sends a message over the *direct link* to a neighbor. The propagation
+    /// delay is the link delay.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a direct neighbor — protocols must route
+    /// explicitly, exactly as in the paper (messages to non-neighbors travel
+    /// via the routing table, see [`Context::send_routed`]).
+    pub fn send(&mut self, to: SiteId, msg: M) {
+        assert!(
+            self.network.has_link(self.site, to),
+            "site {} has no direct link to {} — use send_routed",
+            self.site,
+            to
+        );
+        self.outgoing.push(Outgoing::Send {
+            to,
+            msg,
+            delay: None,
+        });
+    }
+
+    /// Sends a message to an arbitrary site, charging an explicit end-to-end
+    /// delay (typically the minimum-delay route distance taken from a routing
+    /// table). The engine models the path as a single delayed delivery; the
+    /// intermediate relays belong to the management plane and are accounted
+    /// for in the statistics by the caller via [`Context::count`].
+    ///
+    /// # Panics
+    /// Panics if the delay is negative or not finite.
+    pub fn send_routed(&mut self, to: SiteId, delay: f64, msg: M) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "routed delay must be finite and non-negative, got {delay}"
+        );
+        self.outgoing.push(Outgoing::Send {
+            to,
+            msg,
+            delay: Some(delay),
+        });
+    }
+
+    /// Sets a timer firing `delay` time units from now.
+    pub fn set_timer(&mut self, delay: f64, timer_id: u64) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "timer delay must be finite and non-negative, got {delay}"
+        );
+        self.outgoing.push(Outgoing::Timer { delay, timer_id });
+    }
+
+    /// Increments a named statistics counter.
+    pub fn count(&mut self, name: &str, amount: u64) {
+        self.stats.add(name, amount);
+    }
+
+    /// Records a structured trace event for this site at the current time.
+    pub fn trace(&mut self, kind: &str, detail: impl Into<String>) {
+        self.trace.record(TraceEvent {
+            time: self.now,
+            site: self.site,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+}
+
+/// The discrete-event simulator: a network, one protocol instance per site,
+/// an event queue and accumulated statistics.
+pub struct Simulator<P: Protocol> {
+    network: Network,
+    nodes: Vec<P>,
+    queue: EventQueue<P::Msg>,
+    now: f64,
+    started: bool,
+    stats: SimStats,
+    trace: Trace,
+    max_events: u64,
+    events_processed: u64,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates a simulator from a network and a node factory (called once per
+    /// site in id order).
+    pub fn new(network: Network, mut factory: impl FnMut(SiteId) -> P) -> Self {
+        let nodes: Vec<P> = network.sites().map(&mut factory).collect();
+        Simulator {
+            network,
+            nodes,
+            queue: EventQueue::new(),
+            now: 0.0,
+            started: false,
+            stats: SimStats::default(),
+            trace: Trace::disabled(),
+            max_events: u64::MAX,
+            events_processed: 0,
+        }
+    }
+
+    /// Enables structured tracing (disabled by default to keep long runs
+    /// cheap).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// Caps the number of processed events (a safety net against protocol
+    /// bugs that would otherwise loop forever).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, s: SiteId) -> &P {
+        &self.nodes[s.0]
+    }
+
+    /// Mutable access to a node (used by experiment drivers between runs; not
+    /// available to protocols during a run).
+    pub fn node_mut(&mut self, s: SiteId) -> &mut P {
+        &mut self.nodes[s.0]
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Structured trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Injects an external stimulus (for example a job arrival) at an
+    /// absolute simulated time.
+    pub fn inject_at(&mut self, time: f64, site: SiteId, msg: P::Msg) {
+        assert!(
+            time + 1e-12 >= self.now,
+            "cannot inject an event in the past (now {}, requested {time})",
+            self.now
+        );
+        self.queue
+            .push(time, site, EventPayload::External { message: msg });
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.dispatch_with_ctx(SiteId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue is empty (or the event cap is reached).
+    /// Returns the final simulated time.
+    pub fn run_to_quiescence(&mut self) -> f64 {
+        self.run_until(f64::INFINITY)
+    }
+
+    /// Runs until the queue is empty or the next event would fire after
+    /// `horizon`. Returns the final simulated time.
+    pub fn run_until(&mut self, horizon: f64) -> f64 {
+        self.ensure_started();
+        while let Some(next_time) = self.queue.peek_time() {
+            if next_time > horizon {
+                break;
+            }
+            if self.events_processed >= self.max_events {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event exists");
+            self.events_processed += 1;
+            debug_assert!(event.time + 1e-9 >= self.now, "time went backwards");
+            self.now = self.now.max(event.time);
+            let target = event.target;
+            match event.payload {
+                EventPayload::Deliver { from, message } => {
+                    self.stats.messages_delivered += 1;
+                    self.dispatch_with_ctx(target, |node, ctx| {
+                        node.on_message(from, message, ctx)
+                    });
+                }
+                EventPayload::External { message } => {
+                    self.dispatch_with_ctx(target, |node, ctx| {
+                        node.on_message(target, message, ctx)
+                    });
+                }
+                EventPayload::Timer { timer_id } => {
+                    self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
+                }
+            }
+        }
+        self.now
+    }
+
+    fn dispatch_with_ctx(
+        &mut self,
+        site: SiteId,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) {
+        let mut ctx = Context {
+            site,
+            now: self.now,
+            network: &self.network,
+            outgoing: Vec::new(),
+            stats: &mut self.stats,
+            trace: &mut self.trace,
+        };
+        f(&mut self.nodes[site.0], &mut ctx);
+        let outgoing = ctx.outgoing;
+        for action in outgoing {
+            match action {
+                Outgoing::Send { to, msg, delay } => {
+                    let delay = match delay {
+                        Some(d) => d,
+                        None => self
+                            .network
+                            .link_delay(site, to)
+                            .expect("checked by Context::send"),
+                    };
+                    self.stats.messages_sent += 1;
+                    self.queue.push(
+                        self.now + delay,
+                        to,
+                        EventPayload::Deliver {
+                            from: site,
+                            message: msg,
+                        },
+                    );
+                }
+                Outgoing::Timer { delay, timer_id } => {
+                    self.queue
+                        .push(self.now + delay, site, EventPayload::Timer { timer_id });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_net::generators::{line, ring, DelayDistribution};
+
+    /// A tiny flooding protocol: site 0 floods a token; every site records the
+    /// time it first saw it and forwards it once to all neighbors.
+    #[derive(Debug, Default)]
+    struct Flood {
+        seen_at: Option<f64>,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.site() == SiteId(0) {
+                self.seen_at = Some(ctx.now());
+                let neighbors: Vec<SiteId> = ctx.neighbors().iter().map(|(n, _)| *n).collect();
+                for n in neighbors {
+                    ctx.send(n, 7);
+                }
+                ctx.count("floods", 1);
+            }
+        }
+
+        fn on_message(&mut self, _from: SiteId, msg: u32, ctx: &mut Context<'_, u32>) {
+            assert_eq!(msg, 7);
+            if self.seen_at.is_none() {
+                self.seen_at = Some(ctx.now());
+                ctx.trace("first-seen", format!("t={}", ctx.now()));
+                let neighbors: Vec<SiteId> = ctx.neighbors().iter().map(|(n, _)| *n).collect();
+                for n in neighbors {
+                    ctx.send(n, 7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_every_site_at_shortest_delay_on_a_line() {
+        let net = line(5, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| Flood::default());
+        sim.enable_trace();
+        let end = sim.run_to_quiescence();
+        // The last event is the echo of site 4's forward arriving back at
+        // site 3 (which ignores it) at t = 10.
+        assert_eq!(end, 10.0);
+        for (i, node) in sim.nodes().enumerate() {
+            assert_eq!(node.seen_at, Some(2.0 * i as f64), "site {i}");
+        }
+        assert_eq!(sim.stats().named("floods"), 1);
+        assert!(sim.stats().messages_sent >= 4);
+        assert_eq!(sim.trace().events().len(), 4); // sites 1..4 record once
+    }
+
+    #[test]
+    fn ring_flood_takes_both_directions() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| Flood::default());
+        sim.run_to_quiescence();
+        // On a 6-ring the farthest site is 3 hops away.
+        assert_eq!(sim.node(SiteId(3)).seen_at, Some(3.0));
+        assert_eq!(sim.node(SiteId(5)).seen_at, Some(1.0));
+    }
+
+    /// A protocol exercising timers and routed sends.
+    #[derive(Debug, Default)]
+    struct TimerEcho {
+        fired: Vec<u64>,
+        received: Vec<(SiteId, &'static str)>,
+    }
+
+    impl Protocol for TimerEcho {
+        type Msg = &'static str;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+            if ctx.site() == SiteId(0) {
+                ctx.set_timer(5.0, 1);
+                ctx.set_timer(2.0, 2);
+            }
+        }
+
+        fn on_message(&mut self, from: SiteId, msg: &'static str, _ctx: &mut Context<'_, &'static str>) {
+            self.received.push((from, msg));
+        }
+
+        fn on_timer(&mut self, timer_id: u64, ctx: &mut Context<'_, &'static str>) {
+            self.fired.push(timer_id);
+            if timer_id == 1 && ctx.network().site_count() > 3 {
+                // Route a message to the far end of the line, charging an
+                // explicit end-to-end delay of 6.
+                ctx.send_routed(SiteId(3), 6.0, "hello");
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_routed_sends_arrive() {
+        let net = line(4, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        let end = sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(0)).fired, vec![2, 1]);
+        assert_eq!(sim.node(SiteId(3)).received, vec![(SiteId(0), "hello")]);
+        assert_eq!(end, 11.0); // timer at 5 + routed delay 6
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn external_injection_behaves_like_self_message() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.inject_at(4.0, SiteId(2), "arrival");
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(2)).received, vec![(SiteId(2), "arrival")]);
+        assert_eq!(sim.now(), 5.0_f64.max(4.0).max(sim.now()));
+    }
+
+    #[test]
+    fn run_until_respects_the_horizon() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.inject_at(10.0, SiteId(1), "late");
+        let t = sim.run_until(6.0);
+        assert!(t <= 6.0);
+        assert!(sim.node(SiteId(1)).received.is_empty());
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(1)).received.len(), 1);
+    }
+
+    #[test]
+    fn event_cap_stops_runaway_protocols() {
+        /// A protocol that ping-pongs forever between sites 0 and 1.
+        #[derive(Debug, Default)]
+        struct PingPong;
+        impl Protocol for PingPong {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if ctx.site() == SiteId(0) {
+                    ctx.send(SiteId(1), 0);
+                }
+            }
+            fn on_message(&mut self, from: SiteId, _msg: u8, ctx: &mut Context<'_, u8>) {
+                ctx.send(from, 0);
+            }
+        }
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| PingPong);
+        sim.set_max_events(100);
+        sim.run_to_quiescence();
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no direct link")]
+    fn direct_send_to_non_neighbor_panics() {
+        #[derive(Debug, Default)]
+        struct Bad;
+        impl Protocol for Bad {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+                if ctx.site() == SiteId(0) {
+                    ctx.send(SiteId(2), 0); // not adjacent on a 3-line
+                }
+            }
+            fn on_message(&mut self, _: SiteId, _: u8, _: &mut Context<'_, u8>) {}
+        }
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| Bad);
+        sim.run_to_quiescence();
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn injecting_in_the_past_panics() {
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.inject_at(3.0, SiteId(0), "x");
+        sim.run_to_quiescence();
+        sim.inject_at(1.0, SiteId(0), "too-late");
+    }
+}

@@ -1,0 +1,175 @@
+//! Simulation events and the event queue.
+//!
+//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
+//! number is assigned at scheduling time and strictly increases, which gives
+//! two guarantees the paper relies on:
+//!
+//! * determinism — ties in simulated time are broken by scheduling order, so
+//!   a run is a pure function of its inputs;
+//! * per-link FIFO — two messages sent over the same link experience the same
+//!   propagation delay, hence the earlier-sent one is delivered first
+//!   (order-preserving links, §2).
+
+use rtds_net::SiteId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventPayload<M> {
+    /// A message from `from` is delivered to the target site.
+    Deliver { from: SiteId, message: M },
+    /// A timer previously set by the target site fires.
+    Timer { timer_id: u64 },
+    /// An external stimulus injected by the experiment driver (for example a
+    /// job arrival). Delivered like a message from the site to itself.
+    External { message: M },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<M> {
+    /// Simulated time at which the event fires.
+    pub time: f64,
+    /// Scheduling sequence number (total order tie-breaker).
+    pub seq: u64,
+    /// Site handling the event.
+    pub target: SiteId,
+    /// Payload.
+    pub payload: EventPayload<M>,
+}
+
+impl<M: PartialEq> Eq for Event<M> {}
+
+impl<M: PartialEq> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M: PartialEq> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Debug)]
+pub struct EventQueue<M: PartialEq> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M: PartialEq> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M: PartialEq> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event, assigning it the next sequence number.
+    pub fn push(&mut self, time: f64, target: SiteId, payload: EventPayload<M>) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            target,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(5.0, SiteId(0), EventPayload::Timer { timer_id: 1 });
+        q.push(1.0, SiteId(1), EventPayload::Timer { timer_id: 2 });
+        q.push(3.0, SiteId(2), EventPayload::Timer { timer_id: 3 });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(1.0));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Deliver {
+                from: SiteId(1),
+                message: "first",
+            },
+        );
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Deliver {
+                from: SiteId(1),
+                message: "second",
+            },
+        );
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        match (a.payload, b.payload) {
+            (
+                EventPayload::Deliver { message: m1, .. },
+                EventPayload::Deliver { message: m2, .. },
+            ) => {
+                assert_eq!(m1, "first");
+                assert_eq!(m2, "second");
+            }
+            other => panic!("unexpected payloads {other:?}"),
+        }
+        assert!(a.seq < b.seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_times_rejected() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(f64::NAN, SiteId(0), EventPayload::Timer { timer_id: 0 });
+    }
+}

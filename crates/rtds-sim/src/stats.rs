@@ -1,0 +1,182 @@
+//! Simulation statistics.
+//!
+//! Two kinds of figures matter for the paper's claims:
+//!
+//! * *communication overhead* — how many messages a job distribution costs
+//!   (the Computing Sphere is advertised as using "a limited number of sites
+//!   and communication links"), captured by the engine-level message counters
+//!   plus protocol-defined named counters,
+//! * *guarantee ratio* — the fraction of submitted jobs that the system
+//!   accepts and completes by their deadline ("this leads to an increase of
+//!   the number of accepted (executed) jobs"), captured by
+//!   [`GuaranteeStats`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Engine-level and protocol-level counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Messages handed to the engine for delivery.
+    pub messages_sent: u64,
+    /// Messages actually delivered (equal to `messages_sent` once the run is
+    /// quiescent).
+    pub messages_delivered: u64,
+    /// Named protocol counters (for example `"enroll"`, `"trial_mapping"`,
+    /// `"bid"`), kept ordered for deterministic reports.
+    named: BTreeMap<String, u64>,
+}
+
+impl SimStats {
+    /// Adds to a named counter, creating it at zero if needed.
+    pub fn add(&mut self, name: &str, amount: u64) {
+        *self.named.entry(name.to_string()).or_insert(0) += amount;
+    }
+
+    /// Value of a named counter (zero if never touched).
+    pub fn named(&self, name: &str) -> u64 {
+        self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// All named counters in name order.
+    pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.named.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Sum of all named counters whose name starts with the given prefix.
+    pub fn named_with_prefix(&self, prefix: &str) -> u64 {
+        self.named
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merges another statistics record into this one (used when aggregating
+    /// across independent simulation runs).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        for (k, v) in &other.named {
+            *self.named.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+}
+
+/// Real-time outcome counters for a workload of jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuaranteeStats {
+    /// Jobs submitted to the system.
+    pub submitted: u64,
+    /// Jobs accepted locally by their arrival site (no distribution needed).
+    pub accepted_locally: u64,
+    /// Jobs accepted after distribution over a Computing Sphere (or by the
+    /// baseline's distribution mechanism).
+    pub accepted_distributed: u64,
+    /// Jobs rejected (could not be guaranteed anywhere in time).
+    pub rejected: u64,
+    /// Accepted jobs whose execution finished by the deadline.
+    pub completed_on_time: u64,
+    /// Accepted jobs that missed their deadline at run time (must stay zero
+    /// under faithful execution — it is a correctness alarm, not a tunable).
+    pub deadline_misses: u64,
+}
+
+impl GuaranteeStats {
+    /// Total number of accepted jobs.
+    pub fn accepted(&self) -> u64 {
+        self.accepted_locally + self.accepted_distributed
+    }
+
+    /// Guarantee ratio: accepted / submitted (1.0 for an empty workload).
+    pub fn guarantee_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.accepted() as f64 / self.submitted as f64
+        }
+    }
+
+    /// Fraction of accepted jobs that were distributed rather than kept
+    /// local.
+    pub fn distribution_ratio(&self) -> f64 {
+        let acc = self.accepted();
+        if acc == 0 {
+            0.0
+        } else {
+            self.accepted_distributed as f64 / acc as f64
+        }
+    }
+
+    /// Merges counters from another record.
+    pub fn merge(&mut self, other: &GuaranteeStats) {
+        self.submitted += other.submitted;
+        self.accepted_locally += other.accepted_locally;
+        self.accepted_distributed += other.accepted_distributed;
+        self.rejected += other.rejected;
+        self.completed_on_time += other.completed_on_time;
+        self.deadline_misses += other.deadline_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters() {
+        let mut s = SimStats::default();
+        assert_eq!(s.named("enroll"), 0);
+        s.add("enroll", 2);
+        s.add("enroll", 3);
+        s.add("bid", 1);
+        assert_eq!(s.named("enroll"), 5);
+        assert_eq!(s.named("bid"), 1);
+        let all: Vec<(&str, u64)> = s.named_counters().collect();
+        assert_eq!(all, vec![("bid", 1), ("enroll", 5)]);
+        s.add("enroll_ack", 4);
+        assert_eq!(s.named_with_prefix("enroll"), 9);
+    }
+
+    #[test]
+    fn merge_stats() {
+        let mut a = SimStats::default();
+        a.messages_sent = 10;
+        a.messages_delivered = 10;
+        a.add("x", 1);
+        let mut b = SimStats::default();
+        b.messages_sent = 5;
+        b.messages_delivered = 4;
+        b.add("x", 2);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 15);
+        assert_eq!(a.messages_delivered, 14);
+        assert_eq!(a.named("x"), 3);
+        assert_eq!(a.named("y"), 7);
+    }
+
+    #[test]
+    fn guarantee_ratios() {
+        let mut g = GuaranteeStats::default();
+        assert_eq!(g.guarantee_ratio(), 1.0);
+        assert_eq!(g.distribution_ratio(), 0.0);
+        g.submitted = 10;
+        g.accepted_locally = 4;
+        g.accepted_distributed = 2;
+        g.rejected = 4;
+        g.completed_on_time = 6;
+        assert_eq!(g.accepted(), 6);
+        assert!((g.guarantee_ratio() - 0.6).abs() < 1e-12);
+        assert!((g.distribution_ratio() - 2.0 / 6.0).abs() < 1e-12);
+
+        let mut h = GuaranteeStats::default();
+        h.submitted = 10;
+        h.accepted_locally = 10;
+        h.completed_on_time = 10;
+        g.merge(&h);
+        assert_eq!(g.submitted, 20);
+        assert_eq!(g.accepted(), 16);
+        assert_eq!(g.deadline_misses, 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's worked example (§12.1, Figs. 2–4, Table 1), end to end.
+//!
+//! Reconstructs the Fig. 2 task graph, runs the §12 Mapper with the published
+//! surpluses (I1 = 0.5, I2 = 0.4) and ACS diameter 3, prints the schedules S
+//! and S* and the adjusted releases/deadlines of Table 1, and checks them
+//! against the values published in the paper.
+//!
+//! Run with: `cargo run --example paper_example`
+
+use rtds::core::{
+    adjust_mapping, gantt_rows, map_dag, table1_rows, LaxityDispatch, MapperInput, ProcessorSpec,
+};
+use rtds::core::analysis::{render_gantt, render_table1};
+use rtds::graph::paper_instance::{
+    paper_task_graph, EXPECTED_TABLE1, PAPER_ACS_DIAMETER, PAPER_DEADLINE, PAPER_RELEASE,
+    PAPER_SURPLUS_P1, PAPER_SURPLUS_P2,
+};
+
+fn main() {
+    let graph = paper_task_graph();
+    println!("Fig. 2 task graph (reconstructed):");
+    for t in graph.task_ids() {
+        let succs: Vec<String> = graph
+            .successors(t)
+            .map(|s| format!("t{}", s.0 + 1))
+            .collect();
+        println!(
+            "  t{}  c = {:>4.1}  -> [{}]",
+            t.0 + 1,
+            graph.cost(t),
+            succs.join(", ")
+        );
+    }
+
+    let processors = vec![
+        ProcessorSpec::with_surplus(PAPER_SURPLUS_P1),
+        ProcessorSpec::with_surplus(PAPER_SURPLUS_P2),
+    ];
+    let input = MapperInput::new(&graph, PAPER_RELEASE, &processors, PAPER_ACS_DIAMETER);
+    let result = map_dag(&input).expect("the paper instance always maps");
+
+    println!();
+    println!("Fig. 3 — schedule S (I1 = 0.5, I2 = 0.4, omega = 3):");
+    print!("{}", render_gantt(&gantt_rows(&result, false)));
+    println!("  makespan M  = {}", result.makespan);
+
+    println!();
+    println!("Fig. 4 — schedule S* (surpluses = 100 %):");
+    print!("{}", render_gantt(&gantt_rows(&result, true)));
+    println!("  makespan M* = {}", result.makespan_star);
+
+    let adjusted = adjust_mapping(
+        &graph,
+        &result,
+        PAPER_RELEASE,
+        PAPER_DEADLINE,
+        &processors,
+        LaxityDispatch::Uniform,
+    );
+    let rows = table1_rows(&graph, &result, &adjusted).expect("case (ii) applies");
+    println!();
+    println!(
+        "Table 1 — adjusted r(ti), d(ti) (d = {PAPER_DEADLINE}, scale = {}):",
+        PAPER_DEADLINE / result.makespan
+    );
+    print!("{}", render_table1(&rows));
+
+    // Cross-check every value against the published table.
+    for (task, ri, di, r_adj, d_adj) in EXPECTED_TABLE1 {
+        let row = rows.iter().find(|r| r.task == task).unwrap();
+        assert!((row.r_raw - ri).abs() < 1e-9);
+        assert!((row.d_raw - di).abs() < 1e-9);
+        assert!((row.r_adjusted - r_adj).abs() < 1e-9);
+        assert!((row.d_adjusted - d_adj).abs() < 1e-9);
+    }
+    println!();
+    println!("all values match the paper exactly.");
+}

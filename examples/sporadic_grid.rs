@@ -1,0 +1,115 @@
+//! Sporadic Poisson workload on a grid: RTDS against the baseline policies.
+//!
+//! Mirrors the intro scenario of the paper — sporadic jobs with deadlines
+//! arriving anywhere on a distributed system — and prints a comparison of the
+//! guarantee ratio and message overhead across policies.
+//!
+//! Run with: `cargo run --release --example sporadic_grid`
+
+use rtds::baselines::{
+    run_broadcast_bidding, run_centralized_oracle, run_local_only, run_random_offload,
+    BiddingConfig, RandomOffloadConfig,
+};
+use rtds::core::{RtdsConfig, RtdsSystem};
+use rtds::graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use rtds::graph::Job;
+use rtds::net::generators::{grid, DelayDistribution};
+use rtds::sim::arrivals::{ArrivalProcess, ArrivalSchedule};
+
+fn workload(site_count: usize, rate: f64, horizon: f64, seed: u64) -> Vec<Job> {
+    let schedule = ArrivalSchedule::generate(ArrivalProcess::Poisson { rate }, site_count, horizon, seed);
+    let cfg = GeneratorConfig {
+        task_count: 10,
+        shape: DagShape::LayeredRandom {
+            layers: 3,
+            edge_prob: 0.3,
+        },
+        costs: CostDistribution::Uniform { min: 2.0, max: 8.0 },
+        ccr: 0.0,
+        laxity_factor: (1.8, 3.0),
+    };
+    let mut generator = DagGenerator::new(cfg, seed.wrapping_mul(31).wrapping_add(7));
+    schedule
+        .arrivals()
+        .iter()
+        .map(|a| generator.generate_job(a.site.index(), a.time))
+        .collect()
+}
+
+fn main() {
+    let width = 5;
+    let network = grid(width, width, false, DelayDistribution::Constant(1.0), 3);
+    let horizon = 400.0;
+    let rate = 0.004; // jobs per site per time unit
+    let jobs = workload(network.site_count(), rate, horizon, 11);
+    println!(
+        "{} sites, {} jobs over {:.0} time units (Poisson rate {} per site)",
+        network.site_count(),
+        jobs.len(),
+        horizon,
+        rate
+    );
+    println!();
+    println!("{:<22} {:>9} {:>9} {:>9} {:>10} {:>12}", "policy", "accepted", "rejected", "ratio", "misses", "msgs/job");
+
+    // RTDS (full message-level protocol).
+    let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 5);
+    system.submit_workload(jobs.clone());
+    let rtds = system.run();
+    println!(
+        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+        "rtds (h = 2)",
+        rtds.guarantee.accepted(),
+        rtds.guarantee.rejected,
+        rtds.guarantee_ratio(),
+        rtds.deadline_misses(),
+        rtds.messages_per_job
+    );
+
+    let local = run_local_only(&network, &jobs, false);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+        "local-only",
+        local.accepted(),
+        local.rejected,
+        local.guarantee_ratio(),
+        local.deadline_misses,
+        local.messages_per_job()
+    );
+
+    let random = run_random_offload(&network, &jobs, RandomOffloadConfig::default());
+    println!(
+        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+        "random-offload",
+        random.accepted(),
+        random.rejected,
+        random.guarantee_ratio(),
+        random.deadline_misses,
+        random.messages_per_job()
+    );
+
+    let bidding = run_broadcast_bidding(&network, &jobs, BiddingConfig::default());
+    println!(
+        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+        "broadcast-bidding",
+        bidding.accepted(),
+        bidding.rejected,
+        bidding.guarantee_ratio(),
+        bidding.deadline_misses,
+        bidding.messages_per_job()
+    );
+
+    let oracle = run_centralized_oracle(&network, &jobs, false);
+    println!(
+        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+        "centralized-oracle",
+        oracle.accepted(),
+        oracle.rejected,
+        oracle.guarantee_ratio(),
+        oracle.deadline_misses,
+        oracle.messages_per_job()
+    );
+
+    assert_eq!(rtds.deadline_misses(), 0);
+    assert!(rtds.guarantee.accepted() >= local.accepted());
+}

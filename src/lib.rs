@@ -1,0 +1,45 @@
+//! # rtds — Real-Time Distributed Scheduling of Precedence Graphs on Arbitrary Wide Networks
+//!
+//! Facade crate re-exporting the whole RTDS reproduction workspace
+//! (Butelle, Finta, Hakem — IPPS 2007). See the individual crates for the
+//! detailed documentation:
+//!
+//! * [`graph`] — the DAG job model (tasks, precedence, critical paths,
+//!   workload generators, the paper's Fig. 2 instance),
+//! * [`net`] — network topologies, routing tables, the phased distributed
+//!   Bellman–Ford of §7 and hop-bounded spheres,
+//! * [`sim`] — the deterministic discrete-event simulation engine (sites,
+//!   messages, sporadic arrivals, statistics),
+//! * [`sched`] — the per-site local scheduler (§5): reservation plans, idle
+//!   intervals, admission tests and surplus,
+//! * [`core`] — the RTDS protocol itself: Potential/Available Computing
+//!   Spheres, the Mapper, release/deadline adjustment, Trial-Mapping
+//!   validation by maximum matching and distributed execution,
+//! * [`baselines`] — the comparison policies (local-only, random offload,
+//!   broadcast bidding à la focused addressing, centralized oracle).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtds::core::{RtdsConfig, RtdsSystem};
+//! use rtds::graph::paper_instance::paper_job;
+//! use rtds::graph::JobId;
+//! use rtds::net::generators::{ring, DelayDistribution};
+//!
+//! // A nine-site ring with unit link delays and a sphere radius of 2 hops.
+//! let network = ring(9, DelayDistribution::Constant(1.0), 1);
+//! let config = RtdsConfig { sphere_radius: 2, ..RtdsConfig::default() };
+//! let mut system = RtdsSystem::new(network, config, 7);
+//!
+//! // Submit the paper's worked-example job at site 0 and run to quiescence.
+//! system.submit_job(paper_job(JobId(1), 0));
+//! let report = system.run();
+//! assert_eq!(report.jobs_submitted, 1);
+//! ```
+
+pub use rtds_baselines as baselines;
+pub use rtds_core as core;
+pub use rtds_graph as graph;
+pub use rtds_net as net;
+pub use rtds_sched as sched;
+pub use rtds_sim as sim;

@@ -1,0 +1,249 @@
+//! Cross-crate integration tests: full RTDS deployments on various
+//! topologies, safety properties and comparisons against the baselines.
+
+use rtds::baselines::{run_broadcast_bidding, run_local_only, BiddingConfig};
+use rtds::core::{JobOutcomeKind, LaxityDispatch, RtdsConfig, RtdsSystem};
+use rtds::graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
+use rtds::graph::{Job, JobId, JobParams, TaskGraph, TaskId};
+use rtds::net::generators::{erdos_renyi_connected, grid, ring, DelayDistribution};
+use rtds::net::{Network, SiteId};
+use rtds::sim::arrivals::{ArrivalProcess, ArrivalSchedule};
+
+fn chain_job(id: u64, costs: &[f64], release: f64, deadline: f64, site: usize) -> Job {
+    let mut g = TaskGraph::from_costs(costs);
+    for i in 1..costs.len() {
+        g.add_edge(TaskId(i - 1), TaskId(i)).unwrap();
+    }
+    Job::new(JobId(id), g, JobParams::new(release, deadline), site)
+}
+
+fn poisson_workload(network: &Network, rate: f64, horizon: f64, seed: u64) -> Vec<Job> {
+    let schedule = ArrivalSchedule::generate(
+        ArrivalProcess::Poisson { rate },
+        network.site_count(),
+        horizon,
+        seed,
+    );
+    let cfg = GeneratorConfig {
+        task_count: 8,
+        shape: DagShape::LayeredRandom {
+            layers: 3,
+            edge_prob: 0.3,
+        },
+        costs: CostDistribution::Uniform { min: 2.0, max: 8.0 },
+        ccr: 0.0,
+        laxity_factor: (1.6, 2.6),
+    };
+    let mut generator = DagGenerator::new(cfg, seed);
+    schedule
+        .arrivals()
+        .iter()
+        .map(|a| generator.generate_job(a.site.index(), a.time))
+        .collect()
+}
+
+/// Safety: no site's plan ever contains overlapping reservations, and every
+/// accepted job meets its deadline — across topologies and loads.
+#[test]
+fn accepted_jobs_never_miss_deadlines() {
+    let topologies: Vec<Network> = vec![
+        ring(10, DelayDistribution::Constant(1.0), 0),
+        grid(4, 4, false, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 1),
+        erdos_renyi_connected(20, 0.15, DelayDistribution::Uniform { min: 1.0, max: 3.0 }, 2),
+    ];
+    for (i, network) in topologies.into_iter().enumerate() {
+        let jobs = poisson_workload(&network, 0.01, 300.0, 40 + i as u64);
+        let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), i as u64);
+        system.submit_workload(jobs.clone());
+        let report = system.run();
+        assert_eq!(report.jobs_submitted as usize, jobs.len());
+        assert_eq!(report.deadline_misses(), 0, "topology {i}");
+        assert_eq!(report.stats.named("placement_failures"), 0, "topology {i}");
+        // Plans are internally consistent.
+        for site in network.sites() {
+            assert!(system.node(site).plan.check_invariants(), "site {site}");
+        }
+        // Accounting is consistent.
+        assert_eq!(
+            report.guarantee.accepted() + report.guarantee.rejected,
+            report.jobs_submitted
+        );
+    }
+}
+
+/// The paper's headline claim: cooperation over Computing Spheres accepts at
+/// least as many jobs as no cooperation at all, and strictly more when the
+/// arrival pattern overloads individual sites.
+#[test]
+fn rtds_accepts_more_than_local_only_under_hotspots() {
+    let network = grid(4, 4, false, DelayDistribution::Constant(1.0), 7);
+    // All jobs arrive at two hotspot sites.
+    let hot = [SiteId(5), SiteId(6)];
+    let schedule = ArrivalSchedule::generate_on_sites(
+        ArrivalProcess::Poisson { rate: 0.05 },
+        &hot,
+        400.0,
+        9,
+    );
+    let cfg = GeneratorConfig {
+        task_count: 6,
+        shape: DagShape::ForkJoin,
+        costs: CostDistribution::Uniform { min: 3.0, max: 10.0 },
+        ccr: 0.0,
+        laxity_factor: (1.8, 2.8),
+    };
+    let mut generator = DagGenerator::new(cfg, 123);
+    let jobs: Vec<Job> = schedule
+        .arrivals()
+        .iter()
+        .map(|a| generator.generate_job(a.site.index(), a.time))
+        .collect();
+    assert!(jobs.len() > 20, "workload too small to be meaningful");
+
+    let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 3);
+    system.submit_workload(jobs.clone());
+    let rtds = system.run();
+    let local = run_local_only(&network, &jobs, false);
+
+    assert_eq!(rtds.deadline_misses(), 0);
+    assert!(
+        rtds.guarantee.accepted() > local.accepted(),
+        "RTDS {} vs local-only {}",
+        rtds.guarantee.accepted(),
+        local.accepted()
+    );
+    // And some of those acceptances really were distributed.
+    assert!(rtds.guarantee.accepted_distributed > 0);
+}
+
+/// Bounded spheres: the number of distribution messages per job does not grow
+/// with the network, unlike broadcast bidding.
+#[test]
+fn sphere_overhead_is_independent_of_network_size() {
+    let mut rtds_cost = Vec::new();
+    let mut bidding_cost = Vec::new();
+    for &n in &[16usize, 64, 144] {
+        let side = (n as f64).sqrt() as usize;
+        let network = grid(side, side, false, DelayDistribution::Constant(1.0), 2);
+        // Jobs arrive only at one hotspot so the distribution machinery runs.
+        let schedule = ArrivalSchedule::generate_on_sites(
+            ArrivalProcess::Poisson { rate: 0.05 },
+            &[SiteId(0)],
+            200.0,
+            5,
+        );
+        let cfg = GeneratorConfig {
+            task_count: 6,
+            shape: DagShape::ForkJoin,
+            costs: CostDistribution::Uniform { min: 3.0, max: 9.0 },
+            ccr: 0.0,
+            laxity_factor: (1.6, 2.4),
+        };
+        let mut generator = DagGenerator::new(cfg, 31);
+        let jobs: Vec<Job> = schedule
+            .arrivals()
+            .iter()
+            .map(|a| generator.generate_job(a.site.index(), a.time))
+            .collect();
+
+        let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 1);
+        system.submit_workload(jobs.clone());
+        let report = system.run();
+        rtds_cost.push(report.messages_per_job);
+
+        let bidding = run_broadcast_bidding(&network, &jobs, BiddingConfig::default());
+        bidding_cost.push(bidding.messages_per_job());
+    }
+    // RTDS cost varies with the sphere, not the network: within a small
+    // constant factor across a 9x network growth.
+    assert!(
+        rtds_cost[2] <= rtds_cost[0] * 2.0 + 5.0,
+        "rtds cost grew with the network: {rtds_cost:?}"
+    );
+    // Broadcast bidding grows roughly linearly with the network size.
+    assert!(
+        bidding_cost[2] > bidding_cost[0] * 4.0,
+        "bidding cost should scale with the network: {bidding_cost:?}"
+    );
+}
+
+/// Lock contention: several hotspots distributing at once must still
+/// terminate, keep counters consistent and never double-book a site.
+#[test]
+fn concurrent_distributions_respect_locks() {
+    let network = ring(8, DelayDistribution::Constant(1.0), 0);
+    let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 11);
+    // Every site gets two overlapping heavy jobs at the same instant.
+    let mut id = 0;
+    for site in 0..8 {
+        for _ in 0..2 {
+            system.submit_job(chain_job(id, &[30.0], 0.0, 45.0, site));
+            id += 1;
+        }
+    }
+    let report = system.run();
+    assert_eq!(report.jobs_submitted, 16);
+    assert_eq!(
+        report.guarantee.accepted() + report.guarantee.rejected,
+        16
+    );
+    assert_eq!(report.deadline_misses(), 0);
+    assert_eq!(report.stats.named("placement_failures"), 0);
+    for site in network.sites() {
+        assert!(system.node(site).plan.check_invariants());
+        assert!(!system.node(site).is_locked(), "site {site} left locked");
+        assert_eq!(system.node(site).queued_len(), 0, "site {site} left queued jobs");
+    }
+}
+
+/// The §13 extension switches all run end to end without violating safety.
+#[test]
+fn extension_configurations_are_safe() {
+    let network = {
+        let mut net = ring(10, DelayDistribution::Constant(1.0), 3);
+        for s in 0..10 {
+            if s % 2 == 0 {
+                net.set_speed(SiteId(s), 2.0);
+            }
+        }
+        net
+    };
+    let jobs = poisson_workload(&network, 0.012, 250.0, 77);
+    let configs = vec![
+        RtdsConfig { preemptive: true, ..RtdsConfig::default() },
+        RtdsConfig { uniform_machines: true, ..RtdsConfig::default() },
+        RtdsConfig { laxity_dispatch: LaxityDispatch::BusynessWeighted, ..RtdsConfig::default() },
+        RtdsConfig { data_volume_aware: true, throughput: 2.0, ..RtdsConfig::default() },
+        RtdsConfig { exact_acs_diameter: true, ..RtdsConfig::default() },
+        RtdsConfig { max_acs_size: 2, ..RtdsConfig::default() },
+        RtdsConfig { sphere_radius: 1, ..RtdsConfig::default() },
+        RtdsConfig { sphere_radius: 4, ..RtdsConfig::default() },
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        let mut system = RtdsSystem::new(network.clone(), config, i as u64);
+        system.submit_workload(jobs.clone());
+        let report = system.run();
+        assert_eq!(report.deadline_misses(), 0, "config {i}");
+        assert_eq!(report.stats.named("placement_failures"), 0, "config {i}");
+        assert_eq!(
+            report.guarantee.accepted() + report.guarantee.rejected,
+            report.jobs_submitted,
+            "config {i}"
+        );
+    }
+}
+
+/// A job that cannot run anywhere is rejected everywhere, never half-placed.
+#[test]
+fn infeasible_jobs_leave_no_residue() {
+    let network = ring(6, DelayDistribution::Constant(1.0), 0);
+    let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 0);
+    system.submit_job(chain_job(1, &[100.0, 100.0], 0.0, 50.0, 0));
+    let report = system.run();
+    assert_eq!(report.guarantee.rejected, 1);
+    assert_eq!(report.jobs[0].outcome, JobOutcomeKind::Rejected);
+    for site in network.sites() {
+        assert!(system.node(site).plan.is_empty(), "site {site} kept reservations");
+        assert!(!system.node(site).is_locked());
+    }
+}

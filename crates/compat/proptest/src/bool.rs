@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The strategy behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random booleans (`proptest::bool::ANY`).
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}

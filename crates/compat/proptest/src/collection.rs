@@ -1,0 +1,55 @@
+//! Collection strategies (only `vec` is needed).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Length specification for [`vec`]: either a half-open range or an exact
+/// size, mirroring proptest's `SizeRange` conversions.
+#[derive(Debug, Clone)]
+pub struct SizeRange(core::ops::Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(!range.is_empty(), "empty length range for collection::vec");
+        SizeRange(range)
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = range.into_inner();
+        assert!(lo <= hi, "empty length range for collection::vec");
+        SizeRange(lo..hi + 1)
+    }
+}
+
+/// Strategy for `Vec`s with element strategy `S` and a length drawn from a
+/// [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `proptest::collection::vec(element, len)` — `len` may be a `usize`, a
+/// `Range<usize>` or a `RangeInclusive<usize>`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.0.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stub for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! the subset of the proptest API the RTDS test suites use: the `proptest!`
+//! macro, `Strategy` with `prop_map`, range/tuple/`Just` strategies,
+//! `prop_oneof!`, `proptest::collection::vec`, `proptest::bool::ANY`,
+//! `ProptestConfig::with_cases` and the `prop_assert*` macros.
+//!
+//! Semantics versus the real crate:
+//!
+//! * Cases are sampled from a [`rand`] `StdRng` seeded from the test
+//!   function's name, so every run explores the same deterministic sequence
+//!   of inputs (the real proptest randomizes and persists regressions).
+//! * There is **no shrinking**. On failure the offending case is printed in
+//!   full via a drop guard instead.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately rather than
+//!   returning `TestCaseError`.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+#[doc(hidden)]
+pub use ::rand as __rand;
+
+/// Defines deterministic property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0.0f64..1.0, 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        $crate::test_runner::name_seed(stringify!($name)),
+                    );
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __guard = $crate::test_runner::PanicGuard::new(
+                        stringify!($name),
+                        __case,
+                        format!(concat!("" $(, stringify!($arg), " = {:?}; ")*) $(, &$arg)*),
+                    );
+                    { $body }
+                    drop(__guard);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice between heterogeneous strategies producing the same value
+/// type. Weighted variants (`w => strat`) are not supported by this stub.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Property assertion; panics immediately (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Property equality assertion; panics immediately (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Property inequality assertion; panics immediately (no shrinking in this stub).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}

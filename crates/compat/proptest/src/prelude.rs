@@ -1,0 +1,5 @@
+//! Convenience re-exports mirroring `proptest::prelude`.
+
+pub use crate::strategy::{boxed, BoxedStrategy, Just, Map, Strategy, Union};
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -1,0 +1,59 @@
+//! Runner configuration and failure reporting for the `proptest!` macro.
+
+/// Subset of proptest's `ProptestConfig`: only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps un-configured suites fast while
+        // still exercising a meaningful spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Stable per-test seed derived from the test name (FNV-1a), so each property
+/// explores its own deterministic input sequence.
+pub fn name_seed(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Prints the failing case on unwind. Since this stub has no shrinking, the
+/// printed values are the exact inputs that violated the property; rerunning
+/// the test reproduces them (sampling is deterministic).
+pub struct PanicGuard {
+    test: &'static str,
+    case: u32,
+    values: String,
+}
+
+impl PanicGuard {
+    pub fn new(test: &'static str, case: u32, values: String) -> Self {
+        PanicGuard { test, case, values }
+    }
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[proptest stub] property `{}` failed at case {} with inputs: {}",
+                self.test, self.case, self.values
+            );
+        }
+    }
+}

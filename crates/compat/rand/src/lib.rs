@@ -1,0 +1,211 @@
+//! Offline stub for `rand` (0.9-style API surface).
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal deterministic reimplementation of exactly the surface the RTDS
+//! workspace uses:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`],
+//! * [`Rng::random_range`] / [`Rng::random_bool`],
+//! * slice [`SliceRandom::shuffle`] / [`SliceRandom::choose`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64. Its output is
+//! **not** value-compatible with the real `rand` crate, but it is stable
+//! across runs, platforms and Rust versions — which is the property the
+//! deterministic simulation actually depends on. Integer range sampling uses
+//! plain modulo reduction; the bias is ~2^-64 per draw and irrelevant for
+//! test workload generation.
+
+pub mod prelude;
+pub mod rngs;
+
+/// Core source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types that can produce a uniform sample — the subset of rand's
+/// `SampleRange`/`SampleUniform` machinery the workspace needs.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range passed to random_range");
+                let span = self.end as u128 - self.start as u128;
+                (self.start as u128 + rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range passed to random_range");
+                let span = hi as u128 - lo as u128 + 1;
+                (lo as u128 + rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range passed to random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range passed to random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sint_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range passed to random_range");
+                let x = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                // Floating-point rounding can land exactly on the excluded
+                // endpoint; fold that measure-zero case back to the start.
+                if x < self.end { x } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range passed to random_range");
+                let x = lo + (hi - lo) * unit_f64(rng) as $t;
+                if x <= hi { x } else { hi }
+            }
+        }
+    )*};
+}
+impl_float_range!(f32, f64);
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of [0, 1]: {p}");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random selection and permutation on slices.
+pub trait SliceRandom {
+    type Item;
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    /// Fisher–Yates in-place shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.random_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let v = rng.random_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&v));
+            let w = rng.random_range(0.5f64..5.0);
+            assert!((0.5..5.0).contains(&w));
+            let s = rng.random_range(-8i64..-1);
+            assert!((-8..-1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_selects_members() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle virtually never fixes all points"
+        );
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

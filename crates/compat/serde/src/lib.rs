@@ -1,0 +1,15 @@
+//! Offline stub for `serde`.
+//!
+//! Only the derive macros are used anywhere in the RTDS workspace (types are
+//! annotated `#[derive(Serialize, Deserialize)]` for forward compatibility
+//! but never serialized), so this stub re-exports no-op derives plus empty
+//! marker traits under the usual names. Swap in the real `serde` once the
+//! build environment has registry access (see crates/compat/README.md).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; never implemented or required.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never implemented or required.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! Offline stub for `serde_derive`.
+//!
+//! The RTDS workspace builds in an environment without crates.io access, and
+//! the codebase only ever *derives* `Serialize`/`Deserialize` — nothing is
+//! serialized at runtime. These derives therefore expand to nothing: the
+//! annotated types compile unchanged and carry no serialization impls. If a
+//! future PR actually needs serialization, replace the `crates/compat` stubs
+//! with the real crates (see crates/compat/README.md).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,9 +44,13 @@ pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool)
             if !transfer.is_finite() {
                 continue;
             }
-            if let Some(adm) =
-                admit_dag_locally(&plans[s.0], job, now + transfer, network.speed(s), preemptive)
-            {
+            if let Some(adm) = admit_dag_locally(
+                &plans[s.0],
+                job,
+                now + transfer,
+                network.speed(s),
+                preemptive,
+            ) {
                 let better = best
                     .as_ref()
                     .map(|(_, c, _)| adm.completion < *c - 1e-12)
@@ -70,9 +74,7 @@ pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool)
         }
         // Multi-site split with exact knowledge.
         if let Some(placements) = split_across_sites(network, &aps, &plans, job, now, preemptive) {
-            let remote = placements
-                .iter()
-                .any(|(site, _)| *site != arrival);
+            let remote = placements.iter().any(|(site, _)| *site != arrival);
             for (site, reservation) in &placements {
                 plans[site.0]
                     .insert(*reservation)

@@ -25,12 +25,14 @@ fn bench_end_to_end(c: &mut Criterion) {
             },
         );
         group.bench_with_input(
-            BenchmarkId::new("simulate", format!("{}sites_{}jobs", side * side, jobs.len())),
+            BenchmarkId::new(
+                "simulate",
+                format!("{}sites_{}jobs", side * side, jobs.len()),
+            ),
             &(network, jobs),
             |b, (network, jobs)| {
                 b.iter(|| {
-                    let mut system =
-                        RtdsSystem::new(network.clone(), RtdsConfig::default(), 1);
+                    let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 1);
                     system.submit_workload(jobs.clone());
                     black_box(system.run())
                 })

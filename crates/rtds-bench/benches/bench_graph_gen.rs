@@ -9,7 +9,13 @@ use std::hint::black_box;
 fn bench_graph_gen(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_gen");
     let shapes: Vec<(&str, DagShape)> = vec![
-        ("layered", DagShape::LayeredRandom { layers: 5, edge_prob: 0.2 }),
+        (
+            "layered",
+            DagShape::LayeredRandom {
+                layers: 5,
+                edge_prob: 0.2,
+            },
+        ),
         ("erdos_renyi", DagShape::ErdosRenyi { edge_prob: 0.1 }),
         ("fork_join", DagShape::ForkJoin),
         ("gaussian", DagShape::GaussianElimination),
@@ -20,27 +26,32 @@ fn bench_graph_gen(c: &mut Criterion) {
             let cfg = GeneratorConfig {
                 task_count: n,
                 shape,
-                costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+                costs: CostDistribution::Uniform {
+                    min: 1.0,
+                    max: 10.0,
+                },
                 ccr: 0.5,
                 laxity_factor: (2.0, 3.0),
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let mut generator = DagGenerator::new(*cfg, 3);
-                        black_box(generator.generate_job(0, 0.0))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut generator = DagGenerator::new(*cfg, 3);
+                    black_box(generator.generate_job(0, 0.0))
+                })
+            });
         }
     }
     // Critical-path analysis on a large graph.
     let cfg = GeneratorConfig {
         task_count: 1000,
-        shape: DagShape::LayeredRandom { layers: 10, edge_prob: 0.05 },
-        costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+        shape: DagShape::LayeredRandom {
+            layers: 10,
+            edge_prob: 0.05,
+        },
+        costs: CostDistribution::Uniform {
+            min: 1.0,
+            max: 10.0,
+        },
         ccr: 0.0,
         laxity_factor: (2.0, 3.0),
     };

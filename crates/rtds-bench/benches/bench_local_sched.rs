@@ -42,9 +42,7 @@ fn bench_local_sched(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("admit_dag", existing),
             &(plan.clone(), job.clone()),
-            |b, (plan, job)| {
-                b.iter(|| black_box(admit_dag_locally(plan, job, 0.0, 1.0, false)))
-            },
+            |b, (plan, job)| b.iter(|| black_box(admit_dag_locally(plan, job, 0.0, 1.0, false))),
         );
         let requests: Vec<TaskRequest> = (0..10)
             .map(|i| TaskRequest {

@@ -16,7 +16,10 @@ fn bench_mapper(c: &mut Criterion) {
                     layers: 5,
                     edge_prob: 0.2,
                 },
-                costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+                costs: CostDistribution::Uniform {
+                    min: 1.0,
+                    max: 10.0,
+                },
                 ccr: 0.0,
                 laxity_factor: (2.0, 2.0),
             };

@@ -10,7 +10,13 @@ use std::hint::black_box;
 fn bench_pcs(c: &mut Criterion) {
     let mut group = c.benchmark_group("pcs");
     for &side in &[4usize, 8, 16] {
-        let net = grid(side, side, false, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 1);
+        let net = grid(
+            side,
+            side,
+            false,
+            DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+            1,
+        );
         for &h in &[2usize, 4] {
             group.bench_with_input(
                 BenchmarkId::new("phased_apsp", format!("{}sites_h{h}", side * side)),
@@ -23,9 +29,7 @@ fn bench_pcs(c: &mut Criterion) {
             BenchmarkId::new("sphere_extraction", side * side),
             &result,
             |b, result| {
-                b.iter(|| {
-                    black_box(Sphere::from_tables(&result.tables[0], &result.tables, 2))
-                })
+                b.iter(|| black_box(Sphere::from_tables(&result.tables[0], &result.tables, 2)))
             },
         );
     }

@@ -35,7 +35,8 @@ fn main() {
     println!();
     print!("{}", system.trace().render());
     println!();
-    println!("submitted {}, accepted locally {}, accepted distributed {}, rejected {}",
+    println!(
+        "submitted {}, accepted locally {}, accepted distributed {}, rejected {}",
         report.jobs_submitted,
         report.guarantee.accepted_locally,
         report.guarantee.accepted_distributed,

@@ -20,7 +20,10 @@ fn main() {
             ..WorkloadSpec::default()
         },
     );
-    println!("== E3: sphere radius h sweep (36-site grid, 3 hotspots, {} jobs) ==", jobs.len());
+    println!(
+        "== E3: sphere radius h sweep (36-site grid, 3 hotspots, {} jobs) ==",
+        jobs.len()
+    );
     println!();
     println!(
         "{:>3} | {:>9} {:>9} {:>8} | {:>12} {:>14} {:>14}",
@@ -41,11 +44,9 @@ fn main() {
     });
     for (h, report) in rows {
         let distributions = report.stats.named("acs_members");
-        let attempts = report
-            .stats
-            .named("accepted_distributed")
-            .max(1)
-            .max(report.stats.named("rejected_distributed") + report.stats.named("accepted_distributed"));
+        let attempts = (report.stats.named("accepted_distributed")
+            + report.stats.named("rejected_distributed"))
+        .max(1);
         let mean_acs = distributions as f64 / attempts as f64;
         println!(
             "{:>3} | {:>9} {:>9} {:>8.3} | {:>12.1} {:>14} {:>14.1}",

@@ -14,8 +14,16 @@ fn main() {
     let graph = paper_task_graph();
     println!("== Fig. 2: example task graph (reconstructed) ==");
     for t in graph.task_ids() {
-        let succs: Vec<String> = graph.successors(t).map(|s| format!("t{}", s.0 + 1)).collect();
-        println!("t{}: c = {:>4.1}  successors: {}", t.0 + 1, graph.cost(t), succs.join(" "));
+        let succs: Vec<String> = graph
+            .successors(t)
+            .map(|s| format!("t{}", s.0 + 1))
+            .collect();
+        println!(
+            "t{}: c = {:>4.1}  successors: {}",
+            t.0 + 1,
+            graph.cost(t),
+            succs.join(" ")
+        );
     }
 
     let processors = vec![
@@ -28,12 +36,18 @@ fn main() {
     println!();
     println!("== Fig. 3: schedule S (I1 = 0.5, I2 = 0.4, omega = 3) ==");
     print!("{}", render_gantt(&gantt_rows(&result, false)));
-    println!("makespan M  = {}   (paper: {})", result.makespan, EXPECTED_MAKESPAN_S);
+    println!(
+        "makespan M  = {}   (paper: {})",
+        result.makespan, EXPECTED_MAKESPAN_S
+    );
 
     println!();
     println!("== Fig. 4: schedule S* (surpluses = 100 %) ==");
     print!("{}", render_gantt(&gantt_rows(&result, true)));
-    println!("makespan M* = {}   (paper: {})", result.makespan_star, EXPECTED_MAKESPAN_S_STAR);
+    println!(
+        "makespan M* = {}   (paper: {})",
+        result.makespan_star, EXPECTED_MAKESPAN_S_STAR
+    );
 
     let adjusted = adjust_mapping(
         &graph,
@@ -69,7 +83,10 @@ fn main() {
     }
     println!();
     if mismatches == 0 {
-        println!("RESULT: all {} values of Table 1 (plus M and M*) match the paper exactly.", EXPECTED_TABLE1.len() * 4);
+        println!(
+            "RESULT: all {} values of Table 1 (plus M and M*) match the paper exactly.",
+            EXPECTED_TABLE1.len() * 4
+        );
     } else {
         println!("RESULT: {mismatches} mismatches against the paper.");
         std::process::exit(1);

@@ -121,7 +121,12 @@ impl ComparisonRow {
     pub fn render(&self) -> String {
         format!(
             "{:<22} {:>8}/{:<8} {:>7.3} {:>7} {:>12.1}",
-            self.policy, self.accepted, self.submitted, self.ratio, self.misses, self.messages_per_job
+            self.policy,
+            self.accepted,
+            self.submitted,
+            self.ratio,
+            self.misses,
+            self.messages_per_job
         )
     }
 }
@@ -155,40 +160,40 @@ pub fn policy_comparison(
     config: RtdsConfig,
     seed: u64,
 ) -> Vec<ComparisonRow> {
-    let mut rows = Vec::new();
-    rows.push(comparison_row("rtds", network, jobs, config, seed));
-    rows.push(ComparisonRow::from_policy(
-        "local-only",
-        &run_local_only(network, jobs, config.preemptive),
-    ));
-    rows.push(ComparisonRow::from_policy(
-        "random-offload",
-        &run_random_offload(
-            network,
-            jobs,
-            RandomOffloadConfig {
-                seed,
-                preemptive: config.preemptive,
-                ..RandomOffloadConfig::default()
-            },
+    vec![
+        comparison_row("rtds", network, jobs, config, seed),
+        ComparisonRow::from_policy(
+            "local-only",
+            &run_local_only(network, jobs, config.preemptive),
         ),
-    ));
-    rows.push(ComparisonRow::from_policy(
-        "broadcast-bidding",
-        &run_broadcast_bidding(
-            network,
-            jobs,
-            BiddingConfig {
-                preemptive: config.preemptive,
-                ..BiddingConfig::default()
-            },
+        ComparisonRow::from_policy(
+            "random-offload",
+            &run_random_offload(
+                network,
+                jobs,
+                RandomOffloadConfig {
+                    seed,
+                    preemptive: config.preemptive,
+                    ..RandomOffloadConfig::default()
+                },
+            ),
         ),
-    ));
-    rows.push(ComparisonRow::from_policy(
-        "centralized-oracle",
-        &run_centralized_oracle(network, jobs, config.preemptive),
-    ));
-    rows
+        ComparisonRow::from_policy(
+            "broadcast-bidding",
+            &run_broadcast_bidding(
+                network,
+                jobs,
+                BiddingConfig {
+                    preemptive: config.preemptive,
+                    ..BiddingConfig::default()
+                },
+            ),
+        ),
+        ComparisonRow::from_policy(
+            "centralized-oracle",
+            &run_centralized_oracle(network, jobs, config.preemptive),
+        ),
+    ]
 }
 
 /// Runs `work` for every element of `inputs` in parallel (one scoped thread
@@ -201,18 +206,17 @@ where
     O: Send,
     F: Fn(I) -> O + Sync,
 {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let work = &work;
         let handles: Vec<_> = inputs
             .into_iter()
-            .map(|input| scope.spawn(move |_| work(input)))
+            .map(|input| scope.spawn(move || work(input)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     })
-    .expect("sweep scope panicked")
 }
 
 #[cfg(test)]

@@ -41,7 +41,12 @@ impl AcsCollection {
     /// Starts a collection round. `own` is the initiator's own entry
     /// (surplus, speed); `contacted` lists the enrolled candidates with the
     /// initiator-to-candidate delay.
-    pub fn new(initiator: SiteId, own_surplus: f64, own_speed: f64, contacted: &[(SiteId, f64)]) -> Self {
+    pub fn new(
+        initiator: SiteId,
+        own_surplus: f64,
+        own_speed: f64,
+        contacted: &[(SiteId, f64)],
+    ) -> Self {
         let outstanding: BTreeMap<SiteId, f64> = contacted.iter().copied().collect();
         AcsCollection {
             outstanding,

@@ -107,8 +107,7 @@ pub fn eta_of_star_schedule(graph: &TaskGraph, result: &MapperResult) -> usize {
     // possible start (it already does, S* is an as-soon-as-possible replay)
     // and its latest start — propagated backwards from the makespan — equals
     // its start.
-    let duration =
-        |t: usize| -> f64 { result.star_finish[t] - result.star_start[t] };
+    let duration = |t: usize| -> f64 { result.star_finish[t] - result.star_start[t] };
     let mut latest_finish = vec![makespan_end; n];
     // Process in reverse topological order of the *constraint* graph; the
     // global list order used by the mapper is a valid topological order of
@@ -278,9 +277,7 @@ pub fn adjust_mapping(
             } else {
                 adj_deadline[t.0] = graph
                     .successors(*t)
-                    .map(|s| {
-                        adj_deadline[s.0] - laxity_of[s.0] - graph.cost(s) - comm(*t, s)
-                    })
+                    .map(|s| adj_deadline[s.0] - laxity_of[s.0] - graph.cost(s) - comm(*t, s))
                     .fold(f64::INFINITY, f64::min);
             }
         }
@@ -412,7 +409,12 @@ mod tests {
         for t in graph.task_ids() {
             // Every task window lies inside the job window.
             assert!(release[t.0] >= 0.0 - 1e-9);
-            assert!(deadline[t.0] <= 25.0 + 1e-9, "d(t{}) = {}", t.0, deadline[t.0]);
+            assert!(
+                deadline[t.0] <= 25.0 + 1e-9,
+                "d(t{}) = {}",
+                t.0,
+                deadline[t.0]
+            );
             // The window can hold the raw computational complexity.
             assert!(
                 deadline[t.0] - release[t.0] + 1e-9 >= graph.cost(t),
@@ -497,10 +499,7 @@ mod tests {
             &processors,
             LaxityDispatch::Uniform,
         );
-        let AdjustOutcome::Adjusted {
-            case, deadline, ..
-        } = outcome
-        else {
+        let AdjustOutcome::Adjusted { case, deadline, .. } = outcome else {
             panic!("must adjust");
         };
         assert_eq!(case, AdjustCase::ScaledByWindow);

@@ -46,7 +46,11 @@ pub fn gantt_rows(result: &MapperResult, star: bool) -> Vec<GanttRow> {
         .map(|t| GanttRow {
             task: t,
             processor: result.assignment[t],
-            start: if star { result.star_start[t] } else { result.start[t] },
+            start: if star {
+                result.star_start[t]
+            } else {
+                result.start[t]
+            },
             finish: if star {
                 result.star_finish[t]
             } else {
@@ -203,7 +207,14 @@ mod tests {
             ProcessorSpec::with_surplus(PAPER_SURPLUS_P1),
             ProcessorSpec::with_surplus(PAPER_SURPLUS_P2),
         ];
-        let rejected = adjust_mapping(&graph, &result, 0.0, 10.0, &processors, LaxityDispatch::Uniform);
+        let rejected = adjust_mapping(
+            &graph,
+            &result,
+            0.0,
+            10.0,
+            &processors,
+            LaxityDispatch::Uniform,
+        );
         assert!(table1_rows(&graph, &result, &rejected).is_none());
     }
 }

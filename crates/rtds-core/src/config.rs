@@ -102,18 +102,26 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_reported() {
-        let mut c = RtdsConfig::default();
-        c.observation_window = 0.0;
+        let c = RtdsConfig {
+            observation_window: 0.0,
+            ..RtdsConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RtdsConfig::default();
-        c.surplus_floor = 0.0;
+        let c = RtdsConfig {
+            surplus_floor: 0.0,
+            ..RtdsConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RtdsConfig::default();
-        c.surplus_floor = 2.0;
+        let c = RtdsConfig {
+            surplus_floor: 2.0,
+            ..RtdsConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RtdsConfig::default();
-        c.data_volume_aware = true;
-        c.throughput = 0.0;
+        let c = RtdsConfig {
+            data_volume_aware: true,
+            throughput: 0.0,
+            ..RtdsConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -150,16 +150,17 @@ pub fn map_dag(input: &MapperInput<'_>) -> Option<MapperResult> {
         .iter()
         .map(|p| (p.surplus.max(input.surplus_floor) * p.speed).max(input.surplus_floor))
         .collect();
-    let rate_star: Vec<f64> = input.processors.iter().map(|p| p.speed.max(1e-12)).collect();
+    let rate_star: Vec<f64> = input
+        .processors
+        .iter()
+        .map(|p| p.speed.max(1e-12))
+        .collect();
 
     let comm = |from: TaskId, to: TaskId, same_processor: bool| -> f64 {
         if same_processor {
             0.0
         } else {
-            let extra = input
-                .data_volume_delay
-                .map(|f| f(from, to))
-                .unwrap_or(0.0);
+            let extra = input.data_volume_delay.map(|f| f(from, to)).unwrap_or(0.0);
             input.comm_delay + extra
         }
     };

@@ -24,7 +24,11 @@ pub fn maximum_bipartite_matching(
     right_count: usize,
     edges: &[Vec<usize>],
 ) -> Vec<Option<usize>> {
-    assert_eq!(edges.len(), left_count, "one adjacency list per left vertex");
+    assert_eq!(
+        edges.len(),
+        left_count,
+        "one adjacency list per left vertex"
+    );
     for adj in edges {
         for &r in adj {
             assert!(r < right_count, "right vertex {r} out of range");
@@ -118,12 +122,7 @@ pub fn brute_force_matching_size(
     right_count: usize,
     edges: &[Vec<usize>],
 ) -> usize {
-    fn go(
-        l: usize,
-        left_count: usize,
-        edges: &[Vec<usize>],
-        used_right: &mut Vec<bool>,
-    ) -> usize {
+    fn go(l: usize, left_count: usize, edges: &[Vec<usize>], used_right: &mut Vec<bool>) -> usize {
         if l == left_count {
             return 0;
         }
@@ -205,6 +204,30 @@ mod tests {
     fn out_of_range_right_vertex_panics() {
         let edges = vec![vec![5]];
         let _ = maximum_bipartite_matching(1, 2, &edges);
+    }
+
+    /// Seeded cross-check on rectangular instances (the §10 validation sees
+    /// more logical processors than candidate sites and vice versa), with
+    /// varying edge densities, beyond the square-ish graphs the property
+    /// test samples.
+    #[test]
+    fn hopcroft_karp_matches_brute_force_on_rectangular_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2007);
+        for case in 0..300 {
+            let left = rng.random_range(1usize..=9);
+            let right = rng.random_range(1usize..=5);
+            let density = rng.random_range(0.05f64..0.9);
+            let edges: Vec<Vec<usize>> = (0..left)
+                .map(|_| (0..right).filter(|_| rng.random_bool(density)).collect())
+                .collect();
+            let m = maximum_bipartite_matching(left, right, &edges);
+            assert_eq!(
+                matching_size(&m),
+                brute_force_matching_size(left, right, &edges),
+                "case {case}: left={left} right={right} edges={edges:?}"
+            );
+        }
     }
 
     proptest! {

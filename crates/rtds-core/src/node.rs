@@ -154,10 +154,12 @@ impl RtdsNode {
     }
 
     fn route_delay(&self, to: SiteId) -> f64 {
-        self.pcs
-            .table()
-            .distance(to)
-            .unwrap_or_else(|| self.sphere.as_ref().map(|s| s.delay_diameter).unwrap_or(0.0))
+        self.pcs.table().distance(to).unwrap_or_else(|| {
+            self.sphere
+                .as_ref()
+                .map(|s| s.delay_diameter)
+                .unwrap_or(0.0)
+        })
     }
 
     fn send_protocol(&self, ctx: &mut Context<'_, RtdsMsg>, to: SiteId, msg: RtdsMsg) {
@@ -190,8 +192,15 @@ impl RtdsNode {
         // paper assumes PCS construction happens at system initialisation,
         // before any job arrives).
         if self.lock.is_some() || !self.pcs.is_finished() {
-            let reason = if self.lock.is_some() { "site locked" } else { "PCS under construction" };
-            ctx.trace("arrival-deferred", format!("{} ({reason})", job_label(&job)));
+            let reason = if self.lock.is_some() {
+                "site locked"
+            } else {
+                "PCS under construction"
+            };
+            ctx.trace(
+                "arrival-deferred",
+                format!("{} ({reason})", job_label(&job)),
+            );
             self.queued.push_back(job);
             return;
         }
@@ -217,7 +226,11 @@ impl RtdsNode {
             ctx.count("accepted_local", 1);
             ctx.trace(
                 "local-accept",
-                format!("{} completes at {:.3}", job_label(&job), admission.completion),
+                format!(
+                    "{} completes at {:.3}",
+                    job_label(&job),
+                    admission.completion
+                ),
             );
             return;
         }
@@ -246,7 +259,10 @@ impl RtdsNode {
             // No neighborhood to distribute over: the job is rejected.
             self.guarantee.rejected += 1;
             ctx.count("rejected_no_acs", 1);
-            ctx.trace("reject", format!("{} (empty computing sphere)", job_label(&job)));
+            ctx.trace(
+                "reject",
+                format!("{} (empty computing sphere)", job_label(&job)),
+            );
             return;
         }
         // Lock ourselves: our own arrivals queue until this job is resolved.
@@ -310,10 +326,7 @@ impl RtdsNode {
 
         // §13: the job release is pushed past the mapper + validation +
         // dispatch pipeline so no reservation starts in the past.
-        let max_member_delay = members
-            .iter()
-            .map(|m| m.delay)
-            .fold(0.0f64, f64::max);
+        let max_member_delay = members.iter().map(|m| m.delay).fold(0.0f64, f64::max);
         let pipeline_margin = 3.0 * max_member_delay;
         let release_floor = inflight.job.release().max(now + pipeline_margin);
 
@@ -479,11 +492,8 @@ impl RtdsNode {
     ) {
         let job_id = inflight.job.id;
         // Which logical processor (if any) each member must endorse.
-        let mut per_site: BTreeMap<SiteId, Option<usize>> = inflight
-            .members
-            .iter()
-            .map(|m| (m.site, None))
-            .collect();
+        let mut per_site: BTreeMap<SiteId, Option<usize>> =
+            inflight.members.iter().map(|m| (m.site, None)).collect();
         for (logical, site) in assignment.iter().enumerate() {
             per_site.insert(*site, Some(logical));
         }
@@ -519,7 +529,12 @@ impl RtdsNode {
         self.release_own_lock(job_id, ctx);
     }
 
-    fn finish_rejected(&mut self, inflight: &Inflight, ctx: &mut Context<'_, RtdsMsg>, reason: &str) {
+    fn finish_rejected(
+        &mut self,
+        inflight: &Inflight,
+        ctx: &mut Context<'_, RtdsMsg>,
+        reason: &str,
+    ) {
         let job_id = inflight.job.id;
         // Unlock every remote member that positively enrolled.
         let remote_members: Vec<SiteId> = inflight
@@ -603,16 +618,13 @@ impl RtdsNode {
         );
         ctx.trace(
             "validation",
-            format!("can endorse {} of {} logical processors", endorsable.len(), tasks_per_logical.len()),
+            format!(
+                "can endorse {} of {} logical processors",
+                endorsable.len(),
+                tasks_per_logical.len()
+            ),
         );
-        self.send_protocol(
-            ctx,
-            from,
-            RtdsMsg::ValidationReply {
-                job,
-                endorsable,
-            },
-        );
+        self.send_protocol(ctx, from, RtdsMsg::ValidationReply { job, endorsable });
     }
 
     fn handle_permutation(
@@ -685,10 +697,13 @@ impl Protocol for RtdsNode {
     fn on_start(&mut self, ctx: &mut Context<'_, RtdsMsg>) {
         for send in self.pcs.start() {
             ctx.count("routing_update", 1);
-            ctx.send(send.to, RtdsMsg::RoutingUpdate {
-                phase: send.phase,
-                lines: send.lines,
-            });
+            ctx.send(
+                send.to,
+                RtdsMsg::RoutingUpdate {
+                    phase: send.phase,
+                    lines: send.lines,
+                },
+            );
         }
         self.ensure_sphere();
     }
@@ -698,10 +713,13 @@ impl Protocol for RtdsNode {
             RtdsMsg::RoutingUpdate { phase, lines } => {
                 for send in self.pcs.on_update(from, phase, lines) {
                     ctx.count("routing_update", 1);
-                    ctx.send(send.to, RtdsMsg::RoutingUpdate {
-                        phase: send.phase,
-                        lines: send.lines,
-                    });
+                    ctx.send(
+                        send.to,
+                        RtdsMsg::RoutingUpdate {
+                            phase: send.phase,
+                            lines: send.lines,
+                        },
+                    );
                 }
                 self.ensure_sphere();
                 // Arrivals deferred during the PCS construction can now be
@@ -716,7 +734,11 @@ impl Protocol for RtdsNode {
             RtdsMsg::Enroll { initiator, job } => {
                 self.handle_enroll(initiator, job, ctx);
             }
-            RtdsMsg::EnrollAck { job, surplus, speed } => {
+            RtdsMsg::EnrollAck {
+                job,
+                surplus,
+                speed,
+            } => {
                 if let Some(inflight) = self.inflight.get_mut(&job) {
                     inflight.acs.record_ack(from, surplus, speed);
                 }
@@ -742,7 +764,11 @@ impl Protocol for RtdsNode {
                 }
                 self.try_finish_validation(job, ctx);
             }
-            RtdsMsg::Permutation { job, logical, tasks } => {
+            RtdsMsg::Permutation {
+                job,
+                logical,
+                tasks,
+            } => {
                 self.handle_permutation(job, logical, tasks, ctx);
             }
             RtdsMsg::Unlock { job } => {

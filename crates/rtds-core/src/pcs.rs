@@ -77,7 +77,12 @@ impl PcsState {
     /// Handles a routing update from a neighbor. Returns the messages to send
     /// in response (the next phase's broadcast, once the current phase
     /// completes).
-    pub fn on_update(&mut self, from: SiteId, phase: usize, lines: Vec<RouteEntry>) -> Vec<PcsSend> {
+    pub fn on_update(
+        &mut self,
+        from: SiteId,
+        phase: usize,
+        lines: Vec<RouteEntry>,
+    ) -> Vec<PcsSend> {
         if self.is_finished() {
             return Vec::new();
         }
@@ -209,9 +214,17 @@ mod tests {
     fn distributed_pcs_matches_centralized_reference() {
         for (net, radius) in [
             (ring(10, DelayDistribution::Constant(1.0), 0), 2usize),
-            (line(8, DelayDistribution::Uniform { min: 1.0, max: 4.0 }, 1), 3),
             (
-                erdos_renyi_connected(15, 0.2, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 2),
+                line(8, DelayDistribution::Uniform { min: 1.0, max: 4.0 }, 1),
+                3,
+            ),
+            (
+                erdos_renyi_connected(
+                    15,
+                    0.2,
+                    DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+                    2,
+                ),
                 2,
             ),
         ] {

@@ -91,9 +91,7 @@ impl RtdsSystem {
     /// is kept for future stochastic extensions and for symmetry with the
     /// baseline policies (the RTDS protocol itself is deterministic).
     pub fn new(network: Network, config: RtdsConfig, seed: u64) -> Self {
-        config
-            .validate()
-            .expect("invalid RTDS configuration");
+        config.validate().expect("invalid RTDS configuration");
         let global: Option<GlobalDistances> = if config.exact_acs_diameter {
             let aps = all_pairs_shortest_paths(&network);
             Some(Arc::new(aps.into_iter().map(|sp| sp.dist).collect()))

@@ -222,12 +222,16 @@ impl TaskGraph {
 
     /// Tasks with no predecessors (the job's entry tasks).
     pub fn sources(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.in_degree(*t) == 0).collect()
+        self.task_ids()
+            .filter(|t| self.in_degree(*t) == 0)
+            .collect()
     }
 
     /// Tasks with no successors (the job's exit tasks).
     pub fn sinks(&self) -> Vec<TaskId> {
-        self.task_ids().filter(|t| self.out_degree(*t) == 0).collect()
+        self.task_ids()
+            .filter(|t| self.out_degree(*t) == 0)
+            .collect()
     }
 
     /// Kahn topological sort. Returns `Err(GraphError::Cycle)` if the graph is

@@ -129,7 +129,10 @@ impl Default for GeneratorConfig {
                 layers: 4,
                 edge_prob: 0.3,
             },
-            costs: CostDistribution::Uniform { min: 1.0, max: 10.0 },
+            costs: CostDistribution::Uniform {
+                min: 1.0,
+                max: 10.0,
+            },
             ccr: 0.0,
             laxity_factor: (2.0, 4.0),
         }
@@ -196,7 +199,12 @@ impl DagGenerator {
         let window = (cp * factor).max(1e-6);
         let id = JobId(self.next_job);
         self.next_job += 1;
-        Job::new(id, graph, JobParams::new(release, release + window), arrival_site)
+        Job::new(
+            id,
+            graph,
+            JobParams::new(release, release + window),
+            arrival_site,
+        )
     }
 
     fn sample_cost(&mut self) -> f64 {
@@ -204,10 +212,12 @@ impl DagGenerator {
     }
 
     fn add_tasks(&mut self, graph: &mut TaskGraph, n: usize) -> Vec<TaskId> {
-        (0..n).map(|_| {
-            let c = self.sample_cost();
-            graph.add_task(c)
-        }).collect()
+        (0..n)
+            .map(|_| {
+                let c = self.sample_cost();
+                graph.add_task(c)
+            })
+            .collect()
     }
 
     fn chain(&mut self, n: usize) -> TaskGraph {
@@ -277,8 +287,8 @@ impl DagGenerator {
                 let forced = prev[self.rng.random_range(0..prev.len())];
                 let _ = g.add_edge(forced, t);
                 // Extra edges from any earlier layer with probability edge_prob.
-                for earlier in 0..l {
-                    for &p in &layer_members[earlier] {
+                for members in layer_members.iter().take(l) {
+                    for &p in members {
                         if p != forced && self.rng.random_bool(edge_prob.clamp(0.0, 1.0)) {
                             let _ = g.add_edge(p, t);
                         }
@@ -553,7 +563,7 @@ mod tests {
             assert_eq!(job.release(), i as f64 * 5.0);
             assert!(job.deadline() > job.release());
             let lf = job.laxity_factor();
-            assert!(lf >= 2.0 - 1e-9 && lf <= 3.0 + 1e-9, "laxity {lf}");
+            assert!((2.0 - 1e-9..=3.0 + 1e-9).contains(&lf), "laxity {lf}");
         }
     }
 

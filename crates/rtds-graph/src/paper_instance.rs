@@ -130,7 +130,11 @@ mod tests {
     fn expected_tables_are_self_consistent() {
         // Durations in S must equal c / I of the assigned processor.
         for (t, p, start, finish) in EXPECTED_SCHEDULE_S {
-            let surplus = if p == 0 { PAPER_SURPLUS_P1 } else { PAPER_SURPLUS_P2 };
+            let surplus = if p == 0 {
+                PAPER_SURPLUS_P1
+            } else {
+                PAPER_SURPLUS_P2
+            };
             let expected = PAPER_COSTS[t] / surplus;
             assert!((finish - start - expected).abs() < 1e-9, "task {t}");
         }

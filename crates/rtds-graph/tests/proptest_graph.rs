@@ -22,17 +22,15 @@ fn arbitrary_shape() -> impl Strategy<Value = DagShape> {
 }
 
 fn arbitrary_config() -> impl Strategy<Value = GeneratorConfig> {
-    (arbitrary_shape(), 1usize..40, 1.0f64..10.0).prop_map(|(shape, n, max_cost)| {
-        GeneratorConfig {
-            task_count: n,
-            shape,
-            costs: CostDistribution::Uniform {
-                min: 0.5,
-                max: max_cost.max(0.6),
-            },
-            ccr: 0.0,
-            laxity_factor: (1.5, 4.0),
-        }
+    (arbitrary_shape(), 1usize..40, 1.0f64..10.0).prop_map(|(shape, n, max_cost)| GeneratorConfig {
+        task_count: n,
+        shape,
+        costs: CostDistribution::Uniform {
+            min: 0.5,
+            max: max_cost.max(0.6),
+        },
+        ccr: 0.0,
+        laxity_factor: (1.5, 4.0),
     })
 }
 

@@ -55,7 +55,13 @@ pub fn phased_apsp(net: &Network, phases: usize) -> PhasedApspResult {
     for _ in 0..phases {
         // Send step: snapshot the tables of the sites that will transmit.
         let snapshots: Vec<Option<Vec<crate::routing::RouteEntry>>> = (0..n)
-            .map(|i| if dirty[i] { Some(tables[i].lines()) } else { None })
+            .map(|i| {
+                if dirty[i] {
+                    Some(tables[i].lines())
+                } else {
+                    None
+                }
+            })
             .collect();
         if snapshots.iter().all(|s| s.is_none()) {
             break;
@@ -92,7 +98,12 @@ mod tests {
 
     #[test]
     fn converges_to_dijkstra_on_small_networks() {
-        let net = erdos_renyi_connected(20, 0.15, DelayDistribution::Uniform { min: 1.0, max: 5.0 }, 3);
+        let net = erdos_renyi_connected(
+            20,
+            0.15,
+            DelayDistribution::Uniform { min: 1.0, max: 5.0 },
+            3,
+        );
         // Enough phases to fully converge.
         let result = phased_apsp(&net, 64);
         for s in net.sites() {

@@ -102,7 +102,12 @@ pub fn shortest_paths(net: &Network, source: SiteId) -> ShortestPaths {
         hops: 0,
         site: source,
     });
-    while let Some(HeapEntry { dist: d, hops: h, site: u }) = heap.pop() {
+    while let Some(HeapEntry {
+        dist: d,
+        hops: h,
+        site: u,
+    }) = heap.pop()
+    {
         if done[u.0] {
             continue;
         }
@@ -110,8 +115,8 @@ pub fn shortest_paths(net: &Network, source: SiteId) -> ShortestPaths {
         for &(v, w) in net.neighbors(u) {
             let nd = d + w;
             let nh = h + 1;
-            let better = nd < dist[v.0] - 1e-12
-                || ((nd - dist[v.0]).abs() <= 1e-12 && nh < hops[v.0]);
+            let better =
+                nd < dist[v.0] - 1e-12 || ((nd - dist[v.0]).abs() <= 1e-12 && nh < hops[v.0]);
             if better {
                 dist[v.0] = nd;
                 hops[v.0] = nh;
@@ -208,7 +213,10 @@ mod tests {
         let sp = shortest_paths(&net, SiteId(0));
         assert_eq!(sp.dist, vec![0.0, 1.0, 3.0]);
         assert_eq!(sp.hops, vec![0, 1, 2]);
-        assert_eq!(sp.path_to(SiteId(2)), Some(vec![SiteId(0), SiteId(1), SiteId(2)]));
+        assert_eq!(
+            sp.path_to(SiteId(2)),
+            Some(vec![SiteId(0), SiteId(1), SiteId(2)])
+        );
         assert_eq!(sp.next_hop_to(SiteId(2)), Some(SiteId(1)));
         assert_eq!(sp.next_hop_to(SiteId(0)), None);
         assert_eq!(sp.eccentricity(), 3.0);

@@ -106,7 +106,13 @@ pub fn complete(n: usize, delays: DelayDistribution, seed: u64) -> Network {
 }
 
 /// A `width × height` 2-D grid; `wrap = true` produces a torus.
-pub fn grid(width: usize, height: usize, wrap: bool, delays: DelayDistribution, seed: u64) -> Network {
+pub fn grid(
+    width: usize,
+    height: usize,
+    wrap: bool,
+    delays: DelayDistribution,
+    seed: u64,
+) -> Network {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = width * height;
     let mut net = Network::new(n);
@@ -411,7 +417,10 @@ mod tests {
         assert!(g.link_count() >= 99);
         let max_degree = g.sites().map(|s| g.degree(s)).max().unwrap();
         let min_degree = g.sites().map(|s| g.degree(s)).min().unwrap();
-        assert!(max_degree >= 4 * min_degree.max(1), "expected a hub: max {max_degree}, min {min_degree}");
+        assert!(
+            max_degree >= 4 * min_degree.max(1),
+            "expected a hub: max {max_degree}, min {min_degree}"
+        );
     }
 
     #[test]
@@ -443,8 +452,18 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        let a = erdos_renyi_connected(25, 0.1, DelayDistribution::Uniform { min: 1.0, max: 5.0 }, 7);
-        let b = erdos_renyi_connected(25, 0.1, DelayDistribution::Uniform { min: 1.0, max: 5.0 }, 7);
+        let a = erdos_renyi_connected(
+            25,
+            0.1,
+            DelayDistribution::Uniform { min: 1.0, max: 5.0 },
+            7,
+        );
+        let b = erdos_renyi_connected(
+            25,
+            0.1,
+            DelayDistribution::Uniform { min: 1.0, max: 5.0 },
+            7,
+        );
         assert_eq!(a, b);
     }
 }

@@ -41,7 +41,11 @@ impl Sphere {
     /// `tables` must contain a routing table for every site id referenced by
     /// the centre table (indexed by site id); tables of non-member sites are
     /// simply ignored.
-    pub fn from_tables(center_table: &RoutingTable, tables: &[RoutingTable], radius: usize) -> Self {
+    pub fn from_tables(
+        center_table: &RoutingTable,
+        tables: &[RoutingTable],
+        radius: usize,
+    ) -> Self {
         let center = center_table.owner();
         let mut members = center_table.destinations_within_hops(radius);
         members.sort_unstable();

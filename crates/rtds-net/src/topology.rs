@@ -301,7 +301,9 @@ mod tests {
             n.add_link(SiteId(1), SiteId(0), 2.0),
             Err(NetworkError::DuplicateLink(SiteId(1), SiteId(0)))
         );
-        assert!(NetworkError::SelfLink(SiteId(0)).to_string().contains("self"));
+        assert!(NetworkError::SelfLink(SiteId(0))
+            .to_string()
+            .contains("self"));
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub fn satisfiable(
     let mut added = Vec::new();
     for req in ordered {
         if preemptive {
-            let chunks = scratch.earliest_fit_preemptive(req.release, req.deadline, req.duration)?;
+            let chunks =
+                scratch.earliest_fit_preemptive(req.release, req.deadline, req.duration)?;
             for chunk in chunks {
                 let r = Reservation {
                     job: req.job,

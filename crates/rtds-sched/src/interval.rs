@@ -88,7 +88,10 @@ pub fn subtract_busy(window: TimeInterval, busy: &[TimeInterval]) -> Vec<TimeInt
 
 /// Total idle time inside a window given busy intervals.
 pub fn idle_time(window: TimeInterval, busy: &[TimeInterval]) -> f64 {
-    subtract_busy(window, busy).iter().map(|i| i.duration()).sum()
+    subtract_busy(window, busy)
+        .iter()
+        .map(|i| i.duration())
+        .sum()
 }
 
 #[cfg(test)]
@@ -127,10 +130,7 @@ mod tests {
     #[test]
     fn subtract_busy_basic() {
         let window = TimeInterval::new(0.0, 100.0);
-        let busy = vec![
-            TimeInterval::new(10.0, 20.0),
-            TimeInterval::new(40.0, 60.0),
-        ];
+        let busy = vec![TimeInterval::new(10.0, 20.0), TimeInterval::new(40.0, 60.0)];
         let idle = subtract_busy(window, &busy);
         assert_eq!(
             idle,
@@ -175,7 +175,10 @@ mod tests {
         assert_eq!(subtract_busy(window, &[]), vec![window]);
         // Busy exactly aligned with the window boundaries.
         assert_eq!(
-            subtract_busy(window, &[TimeInterval::new(10.0, 12.0), TimeInterval::new(18.0, 20.0)]),
+            subtract_busy(
+                window,
+                &[TimeInterval::new(10.0, 12.0), TimeInterval::new(18.0, 20.0)]
+            ),
             vec![TimeInterval::new(12.0, 18.0)]
         );
     }

@@ -255,9 +255,9 @@ impl SchedulePlan {
     /// Checks the internal non-overlap invariant (used by property tests and
     /// debug assertions in the protocol layer).
     pub fn check_invariants(&self) -> bool {
-        self.reservations.windows(2).all(|w| {
-            w[0].start <= w[1].start + TIME_EPS && w[0].end <= w[1].start + TIME_EPS
-        })
+        self.reservations
+            .windows(2)
+            .all(|w| w[0].start <= w[1].start + TIME_EPS && w[0].end <= w[1].start + TIME_EPS)
     }
 }
 

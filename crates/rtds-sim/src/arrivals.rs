@@ -41,12 +41,7 @@ pub struct ArrivalSchedule {
 impl ArrivalSchedule {
     /// Generates a schedule for `site_count` sites over `[0, horizon)`, all
     /// sites sharing the same arrival process, using a seeded RNG.
-    pub fn generate(
-        process: ArrivalProcess,
-        site_count: usize,
-        horizon: f64,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(process: ArrivalProcess, site_count: usize, horizon: f64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut arrivals = Vec::new();
         for site in 0..site_count {
@@ -272,14 +267,20 @@ mod tests {
     #[test]
     fn degenerate_processes_are_empty() {
         assert!(ArrivalSchedule::generate(
-            ArrivalProcess::Periodic { period: 0.0, jitter: 0.0 },
+            ArrivalProcess::Periodic {
+                period: 0.0,
+                jitter: 0.0
+            },
             3,
             100.0,
             0
         )
         .is_empty());
         assert!(ArrivalSchedule::generate(
-            ArrivalProcess::Bursty { window: 10.0, burst_size: 0 },
+            ArrivalProcess::Bursty {
+                window: 10.0,
+                burst_size: 0
+            },
             3,
             100.0,
             0

@@ -276,9 +276,7 @@ impl<P: Protocol> Simulator<P> {
             match event.payload {
                 EventPayload::Deliver { from, message } => {
                     self.stats.messages_delivered += 1;
-                    self.dispatch_with_ctx(target, |node, ctx| {
-                        node.on_message(from, message, ctx)
-                    });
+                    self.dispatch_with_ctx(target, |node, ctx| node.on_message(from, message, ctx));
                 }
                 EventPayload::External { message } => {
                     self.dispatch_with_ctx(target, |node, ctx| {
@@ -420,7 +418,12 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, from: SiteId, msg: &'static str, _ctx: &mut Context<'_, &'static str>) {
+        fn on_message(
+            &mut self,
+            from: SiteId,
+            msg: &'static str,
+            _ctx: &mut Context<'_, &'static str>,
+        ) {
             self.received.push((from, msg));
         }
 

@@ -140,13 +140,17 @@ mod tests {
 
     #[test]
     fn merge_stats() {
-        let mut a = SimStats::default();
-        a.messages_sent = 10;
-        a.messages_delivered = 10;
+        let mut a = SimStats {
+            messages_sent: 10,
+            messages_delivered: 10,
+            ..SimStats::default()
+        };
         a.add("x", 1);
-        let mut b = SimStats::default();
-        b.messages_sent = 5;
-        b.messages_delivered = 4;
+        let mut b = SimStats {
+            messages_sent: 5,
+            messages_delivered: 4,
+            ..SimStats::default()
+        };
         b.add("x", 2);
         b.add("y", 7);
         a.merge(&b);
@@ -158,22 +162,27 @@ mod tests {
 
     #[test]
     fn guarantee_ratios() {
-        let mut g = GuaranteeStats::default();
-        assert_eq!(g.guarantee_ratio(), 1.0);
-        assert_eq!(g.distribution_ratio(), 0.0);
-        g.submitted = 10;
-        g.accepted_locally = 4;
-        g.accepted_distributed = 2;
-        g.rejected = 4;
-        g.completed_on_time = 6;
+        let empty = GuaranteeStats::default();
+        assert_eq!(empty.guarantee_ratio(), 1.0);
+        assert_eq!(empty.distribution_ratio(), 0.0);
+        let mut g = GuaranteeStats {
+            submitted: 10,
+            accepted_locally: 4,
+            accepted_distributed: 2,
+            rejected: 4,
+            completed_on_time: 6,
+            ..GuaranteeStats::default()
+        };
         assert_eq!(g.accepted(), 6);
         assert!((g.guarantee_ratio() - 0.6).abs() < 1e-12);
         assert!((g.distribution_ratio() - 2.0 / 6.0).abs() < 1e-12);
 
-        let mut h = GuaranteeStats::default();
-        h.submitted = 10;
-        h.accepted_locally = 10;
-        h.completed_on_time = 10;
+        let h = GuaranteeStats {
+            submitted: 10,
+            accepted_locally: 10,
+            completed_on_time: 10,
+            ..GuaranteeStats::default()
+        };
         g.merge(&h);
         assert_eq!(g.submitted, 20);
         assert_eq!(g.accepted(), 16);

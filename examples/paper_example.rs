@@ -7,10 +7,10 @@
 //!
 //! Run with: `cargo run --example paper_example`
 
+use rtds::core::analysis::{render_gantt, render_table1};
 use rtds::core::{
     adjust_mapping, gantt_rows, map_dag, table1_rows, LaxityDispatch, MapperInput, ProcessorSpec,
 };
-use rtds::core::analysis::{render_gantt, render_table1};
 use rtds::graph::paper_instance::{
     paper_task_graph, EXPECTED_TABLE1, PAPER_ACS_DIAMETER, PAPER_DEADLINE, PAPER_RELEASE,
     PAPER_SURPLUS_P1, PAPER_SURPLUS_P2,

@@ -45,8 +45,14 @@ fn main() {
 
     println!();
     println!("jobs submitted        : {}", report.jobs_submitted);
-    println!("accepted locally      : {}", report.guarantee.accepted_locally);
-    println!("accepted distributed  : {}", report.guarantee.accepted_distributed);
+    println!(
+        "accepted locally      : {}",
+        report.guarantee.accepted_locally
+    );
+    println!(
+        "accepted distributed  : {}",
+        report.guarantee.accepted_distributed
+    );
     println!("rejected              : {}", report.guarantee.rejected);
     println!("guarantee ratio       : {:.2}", report.guarantee_ratio());
     println!("deadline misses       : {}", report.deadline_misses());
@@ -58,5 +64,9 @@ fn main() {
             job.job, job.arrival_site, job.outcome, job.completion
         );
     }
-    assert_eq!(report.deadline_misses(), 0, "accepted jobs never miss deadlines");
+    assert_eq!(
+        report.deadline_misses(),
+        0,
+        "accepted jobs never miss deadlines"
+    );
 }

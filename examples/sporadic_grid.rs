@@ -17,7 +17,8 @@ use rtds::net::generators::{grid, DelayDistribution};
 use rtds::sim::arrivals::{ArrivalProcess, ArrivalSchedule};
 
 fn workload(site_count: usize, rate: f64, horizon: f64, seed: u64) -> Vec<Job> {
-    let schedule = ArrivalSchedule::generate(ArrivalProcess::Poisson { rate }, site_count, horizon, seed);
+    let schedule =
+        ArrivalSchedule::generate(ArrivalProcess::Poisson { rate }, site_count, horizon, seed);
     let cfg = GeneratorConfig {
         task_count: 10,
         shape: DagShape::LayeredRandom {
@@ -50,7 +51,10 @@ fn main() {
         rate
     );
     println!();
-    println!("{:<22} {:>9} {:>9} {:>9} {:>10} {:>12}", "policy", "accepted", "rejected", "ratio", "misses", "msgs/job");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>10} {:>12}",
+        "policy", "accepted", "rejected", "ratio", "misses", "msgs/job"
+    );
 
     // RTDS (full message-level protocol).
     let mut system = RtdsSystem::new(network.clone(), RtdsConfig::default(), 5);

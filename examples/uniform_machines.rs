@@ -35,7 +35,10 @@ fn workload(site_count: usize, seed: u64, ccr: f64) -> Vec<Job> {
             layers: 3,
             edge_prob: 0.35,
         },
-        costs: CostDistribution::Uniform { min: 2.0, max: 10.0 },
+        costs: CostDistribution::Uniform {
+            min: 2.0,
+            max: 10.0,
+        },
         ccr,
         laxity_factor: (1.5, 2.2),
     };

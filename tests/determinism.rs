@@ -1,0 +1,64 @@
+//! Seeded determinism: a full RTDS deployment — network generation, workload
+//! generation and the protocol run itself — is a pure function of its seeds.
+//! Two runs with the same seeds must agree on every observable of the report:
+//! per-job outcomes, completion times, message counters and final time.
+
+use rtds::core::{RtdsConfig, RtdsSystem, RunReport};
+use rtds::net::generators::{grid, DelayDistribution};
+use rtds_bench::{workload, WorkloadSpec};
+
+fn run_once(net_seed: u64, workload_seed: u64, system_seed: u64) -> RunReport {
+    let network = grid(
+        4,
+        3,
+        false,
+        DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+        net_seed,
+    );
+    let jobs = workload(
+        &network,
+        WorkloadSpec {
+            rate: 0.03,
+            horizon: 120.0,
+            seed: workload_seed,
+            ..WorkloadSpec::default()
+        },
+    );
+    let mut system = RtdsSystem::new(network, RtdsConfig::default(), system_seed);
+    system.submit_workload(jobs);
+    system.run()
+}
+
+#[test]
+fn identical_seeds_produce_identical_reports() {
+    let first = run_once(11, 42, 7);
+    let second = run_once(11, 42, 7);
+    // Spot-check the observables the paper's evaluation hinges on...
+    assert_eq!(first.jobs_submitted, second.jobs_submitted);
+    assert!(first.jobs_submitted > 0, "the workload must be non-trivial");
+    assert_eq!(first.jobs, second.jobs, "per-job outcomes must match");
+    assert_eq!(first.stats.messages_sent, second.stats.messages_sent);
+    assert_eq!(
+        first.stats.messages_delivered,
+        second.stats.messages_delivered
+    );
+    assert_eq!(first.guarantee, second.guarantee);
+    // ...and then the whole report structurally.
+    assert_eq!(first, second);
+}
+
+#[test]
+fn changing_network_or_workload_seed_changes_the_run() {
+    // The system seed is deliberately not varied here: the protocol itself
+    // is currently deterministic given its inputs, so only the network and
+    // workload seeds are observable in the report.
+    let base = run_once(11, 42, 7);
+    // A different workload seed yields different arrivals, hence different
+    // job reports.
+    let other_workload = run_once(11, 43, 7);
+    assert_ne!(base.jobs, other_workload.jobs);
+    // A different network seed changes link delays, which shifts message
+    // timing and distribution decisions.
+    let other_network = run_once(12, 42, 7);
+    assert_ne!(base, other_network);
+}

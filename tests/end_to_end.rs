@@ -48,8 +48,19 @@ fn poisson_workload(network: &Network, rate: f64, horizon: f64, seed: u64) -> Ve
 fn accepted_jobs_never_miss_deadlines() {
     let topologies: Vec<Network> = vec![
         ring(10, DelayDistribution::Constant(1.0), 0),
-        grid(4, 4, false, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 1),
-        erdos_renyi_connected(20, 0.15, DelayDistribution::Uniform { min: 1.0, max: 3.0 }, 2),
+        grid(
+            4,
+            4,
+            false,
+            DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+            1,
+        ),
+        erdos_renyi_connected(
+            20,
+            0.15,
+            DelayDistribution::Uniform { min: 1.0, max: 3.0 },
+            2,
+        ),
     ];
     for (i, network) in topologies.into_iter().enumerate() {
         let jobs = poisson_workload(&network, 0.01, 300.0, 40 + i as u64);
@@ -79,16 +90,15 @@ fn rtds_accepts_more_than_local_only_under_hotspots() {
     let network = grid(4, 4, false, DelayDistribution::Constant(1.0), 7);
     // All jobs arrive at two hotspot sites.
     let hot = [SiteId(5), SiteId(6)];
-    let schedule = ArrivalSchedule::generate_on_sites(
-        ArrivalProcess::Poisson { rate: 0.05 },
-        &hot,
-        400.0,
-        9,
-    );
+    let schedule =
+        ArrivalSchedule::generate_on_sites(ArrivalProcess::Poisson { rate: 0.05 }, &hot, 400.0, 9);
     let cfg = GeneratorConfig {
         task_count: 6,
         shape: DagShape::ForkJoin,
-        costs: CostDistribution::Uniform { min: 3.0, max: 10.0 },
+        costs: CostDistribution::Uniform {
+            min: 3.0,
+            max: 10.0,
+        },
         ccr: 0.0,
         laxity_factor: (1.8, 2.8),
     };
@@ -183,16 +193,17 @@ fn concurrent_distributions_respect_locks() {
     }
     let report = system.run();
     assert_eq!(report.jobs_submitted, 16);
-    assert_eq!(
-        report.guarantee.accepted() + report.guarantee.rejected,
-        16
-    );
+    assert_eq!(report.guarantee.accepted() + report.guarantee.rejected, 16);
     assert_eq!(report.deadline_misses(), 0);
     assert_eq!(report.stats.named("placement_failures"), 0);
     for site in network.sites() {
         assert!(system.node(site).plan.check_invariants());
         assert!(!system.node(site).is_locked(), "site {site} left locked");
-        assert_eq!(system.node(site).queued_len(), 0, "site {site} left queued jobs");
+        assert_eq!(
+            system.node(site).queued_len(),
+            0,
+            "site {site} left queued jobs"
+        );
     }
 }
 
@@ -210,14 +221,39 @@ fn extension_configurations_are_safe() {
     };
     let jobs = poisson_workload(&network, 0.012, 250.0, 77);
     let configs = vec![
-        RtdsConfig { preemptive: true, ..RtdsConfig::default() },
-        RtdsConfig { uniform_machines: true, ..RtdsConfig::default() },
-        RtdsConfig { laxity_dispatch: LaxityDispatch::BusynessWeighted, ..RtdsConfig::default() },
-        RtdsConfig { data_volume_aware: true, throughput: 2.0, ..RtdsConfig::default() },
-        RtdsConfig { exact_acs_diameter: true, ..RtdsConfig::default() },
-        RtdsConfig { max_acs_size: 2, ..RtdsConfig::default() },
-        RtdsConfig { sphere_radius: 1, ..RtdsConfig::default() },
-        RtdsConfig { sphere_radius: 4, ..RtdsConfig::default() },
+        RtdsConfig {
+            preemptive: true,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            uniform_machines: true,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            laxity_dispatch: LaxityDispatch::BusynessWeighted,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            data_volume_aware: true,
+            throughput: 2.0,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            exact_acs_diameter: true,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            max_acs_size: 2,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            sphere_radius: 1,
+            ..RtdsConfig::default()
+        },
+        RtdsConfig {
+            sphere_radius: 4,
+            ..RtdsConfig::default()
+        },
     ];
     for (i, config) in configs.into_iter().enumerate() {
         let mut system = RtdsSystem::new(network.clone(), config, i as u64);
@@ -243,7 +279,10 @@ fn infeasible_jobs_leave_no_residue() {
     assert_eq!(report.guarantee.rejected, 1);
     assert_eq!(report.jobs[0].outcome, JobOutcomeKind::Rejected);
     for site in network.sites() {
-        assert!(system.node(site).plan.is_empty(), "site {site} kept reservations");
+        assert!(
+            system.node(site).plan.is_empty(),
+            "site {site} kept reservations"
+        );
         assert!(!system.node(site).is_locked());
     }
 }

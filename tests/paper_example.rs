@@ -2,12 +2,18 @@
 //! (§12.1/§12.2, Figs. 2–4, Table 1), exercised through the public facade.
 
 use rtds::core::{
-    adjust_mapping, gantt_rows, map_dag, table1_rows, AdjustCase, AdjustOutcome, LaxityDispatch,
-    MapperInput, ProcessorSpec,
+    adjust_mapping, gantt_rows, map_dag, table1_rows, AdjustCase, AdjustOutcome, JobOutcomeKind,
+    LaxityDispatch, MapperInput, ProcessorSpec, RtdsConfig, RtdsSystem,
 };
 use rtds::graph::paper_instance::*;
+use rtds::graph::JobId;
+use rtds::net::generators::{line, DelayDistribution};
 
-fn paper_mapping() -> (rtds::graph::TaskGraph, rtds::core::MapperResult, Vec<ProcessorSpec>) {
+fn paper_mapping() -> (
+    rtds::graph::TaskGraph,
+    rtds::core::MapperResult,
+    Vec<ProcessorSpec>,
+) {
     let graph = paper_task_graph();
     let processors = vec![
         ProcessorSpec::with_surplus(PAPER_SURPLUS_P1),
@@ -26,9 +32,7 @@ fn figure_2_instance_structure() {
     let costs: Vec<f64> = graph.tasks().map(|t| t.cost).collect();
     assert_eq!(costs, PAPER_COSTS.to_vec());
     for (a, b) in PAPER_EDGES {
-        assert!(graph
-            .successors(rtds::graph::TaskId(a))
-            .any(|s| s.0 == b));
+        assert!(graph.successors(rtds::graph::TaskId(a)).any(|s| s.0 == b));
     }
 }
 
@@ -40,7 +44,11 @@ fn figure_3_schedule_s() {
         let row = rows.iter().find(|r| r.task == task).unwrap();
         assert_eq!(row.processor, proc, "task {}", task + 1);
         assert!((row.start - start).abs() < 1e-9, "task {} start", task + 1);
-        assert!((row.finish - finish).abs() < 1e-9, "task {} finish", task + 1);
+        assert!(
+            (row.finish - finish).abs() < 1e-9,
+            "task {} finish",
+            task + 1
+        );
     }
     assert!((result.makespan - EXPECTED_MAKESPAN_S).abs() < 1e-9);
 }
@@ -52,8 +60,16 @@ fn figure_4_schedule_s_star() {
     for (task, proc, start, finish) in EXPECTED_SCHEDULE_S_STAR {
         let row = rows.iter().find(|r| r.task == task).unwrap();
         assert_eq!(row.processor, proc);
-        assert!((row.start - start).abs() < 1e-9, "task {} S* start", task + 1);
-        assert!((row.finish - finish).abs() < 1e-9, "task {} S* finish", task + 1);
+        assert!(
+            (row.start - start).abs() < 1e-9,
+            "task {} S* start",
+            task + 1
+        );
+        assert!(
+            (row.finish - finish).abs() < 1e-9,
+            "task {} S* finish",
+            task + 1
+        );
     }
     assert!((result.makespan_star - EXPECTED_MAKESPAN_S_STAR).abs() < 1e-9);
 }
@@ -105,7 +121,12 @@ fn adjustment_cases_cover_the_window_spectrum() {
             LaxityDispatch::Uniform,
         );
         assert_eq!(outcome.is_rejected(), expect_reject, "deadline {deadline}");
-        if let AdjustOutcome::Adjusted { case, release, deadline: d } = outcome {
+        if let AdjustOutcome::Adjusted {
+            case,
+            release,
+            deadline: d,
+        } = outcome
+        {
             assert_eq!(Some(case), expect_case, "deadline {deadline}");
             // All windows inside the job window and able to hold their cost.
             for t in graph.task_ids() {
@@ -115,4 +136,36 @@ fn adjustment_cases_cover_the_window_spectrum() {
             }
         }
     }
+}
+
+#[test]
+fn fig2_job_meets_its_deadline_end_to_end_on_the_papers_topology() {
+    // §12.1 runs the Fig. 2 job across two processors joined by an ACS of
+    // delay-diameter 3: a two-site line with link delay 3 reproduces that
+    // topology. Submitted through the full protocol, the job must be
+    // guaranteed and complete within the published deadline of 66.
+    let network = line(2, DelayDistribution::Constant(PAPER_ACS_DIAMETER), 1);
+    let config = RtdsConfig {
+        sphere_radius: 1,
+        ..RtdsConfig::default()
+    };
+    let mut system = RtdsSystem::new(network, config, 7);
+    system.submit_job(paper_job(JobId(1), 0));
+    let report = system.run();
+
+    assert_eq!(report.jobs_submitted, 1);
+    assert_eq!(report.deadline_misses(), 0);
+    let job = &report.jobs[0];
+    assert_ne!(
+        job.outcome,
+        JobOutcomeKind::Rejected,
+        "the paper's worked example is feasible on its own topology"
+    );
+    assert!(job.met_deadline);
+    assert!((job.deadline - PAPER_DEADLINE).abs() < 1e-9);
+    let completion = job.completion.expect("accepted jobs report completion");
+    assert!(
+        completion <= PAPER_DEADLINE + 1e-9,
+        "completion {completion} exceeds the paper deadline {PAPER_DEADLINE}"
+    );
 }

@@ -43,18 +43,20 @@ fn arbitrary_config() -> impl Strategy<Value = RtdsConfig> {
         proptest::bool::ANY,
         0usize..4,
     )
-        .prop_map(|(radius, preemptive, uniform, busyness, max_acs)| RtdsConfig {
-            sphere_radius: radius,
-            preemptive,
-            uniform_machines: uniform,
-            laxity_dispatch: if busyness {
-                LaxityDispatch::BusynessWeighted
-            } else {
-                LaxityDispatch::Uniform
+        .prop_map(
+            |(radius, preemptive, uniform, busyness, max_acs)| RtdsConfig {
+                sphere_radius: radius,
+                preemptive,
+                uniform_machines: uniform,
+                laxity_dispatch: if busyness {
+                    LaxityDispatch::BusynessWeighted
+                } else {
+                    LaxityDispatch::Uniform
+                },
+                max_acs_size: max_acs,
+                ..RtdsConfig::default()
             },
-            max_acs_size: max_acs,
-            ..RtdsConfig::default()
-        })
+        )
 }
 
 fn workload(network: &Network, rate: f64, seed: u64) -> Vec<Job> {

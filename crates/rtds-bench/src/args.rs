@@ -1,0 +1,176 @@
+//! A tiny shared argument parser for the experiment binaries (no external
+//! dependencies — the build environment has no registry access).
+//!
+//! Every `exp_*` binary accepts at least:
+//!
+//! * `--seed <u64>` — the workload/system seed that used to be a hard-coded
+//!   constant (each binary documents its default);
+//! * `--json <path>` — write the experiment's machine-readable report to
+//!   `path` in addition to the human-readable stdout tables.
+//!
+//! Binaries may layer extra flags (`exp_scenarios` adds `--list`,
+//! `--scenario`, `--seeds`, `--threads`) through [`ExpArgs::value_of`] /
+//! [`ExpArgs::has`]. Unknown flags abort with a usage message rather than
+//! being silently ignored.
+
+use rtds_scenarios::Json;
+
+/// Parsed command-line arguments of one experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    binary: String,
+    args: Vec<String>,
+    known: Vec<&'static str>,
+}
+
+impl ExpArgs {
+    /// Parses the process arguments, accepting `--seed` and `--json` plus
+    /// the given extra value-taking or boolean flags (names without `--`).
+    pub fn parse(extra_flags: &[&'static str]) -> ExpArgs {
+        let mut argv = std::env::args();
+        let binary = argv.next().unwrap_or_else(|| "exp".into());
+        Self::from_vec(&binary, argv.collect(), extra_flags)
+    }
+
+    /// Testable constructor from an explicit argument vector.
+    pub fn from_vec(binary: &str, args: Vec<String>, extra_flags: &[&'static str]) -> ExpArgs {
+        let mut known = vec!["seed", "json"];
+        known.extend_from_slice(extra_flags);
+        let parsed = ExpArgs {
+            binary: binary.to_string(),
+            args,
+            known,
+        };
+        let mut previous_was_flag = false;
+        for arg in &parsed.args {
+            match arg.strip_prefix("--") {
+                Some(name) => {
+                    if !parsed.known.contains(&name) {
+                        parsed.usage_error(&format!("unknown flag --{name}"));
+                    }
+                    previous_was_flag = true;
+                }
+                // A bare token is only legal as the value of the flag right
+                // before it; a stray positional argument (e.g. a scenario
+                // name without --scenario) must not be silently ignored.
+                None if previous_was_flag => previous_was_flag = false,
+                None => parsed.usage_error(&format!("unexpected argument {arg:?}")),
+            }
+        }
+        parsed
+    }
+
+    fn usage_error(&self, message: &str) -> ! {
+        eprintln!("{}: {message}", self.binary);
+        eprintln!(
+            "usage: {} {}",
+            self.binary,
+            self.known
+                .iter()
+                .map(|f| format!("[--{f} <value>]"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    }
+
+    /// Returns `true` if the boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == &format!("--{flag}"))
+    }
+
+    /// The value following `--flag`, if any.
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        let needle = format!("--{flag}");
+        let mut iter = self.args.iter();
+        while let Some(arg) = iter.next() {
+            if arg == &needle {
+                match iter.next() {
+                    Some(value) if !value.starts_with("--") => return Some(value),
+                    _ => self.usage_error(&format!("--{flag} needs a value")),
+                }
+            }
+        }
+        None
+    }
+
+    /// The `--seed` value, or `default` (the binary's historical constant).
+    pub fn seed(&self, default: u64) -> u64 {
+        match self.value_of("seed") {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| self.usage_error(&format!("--seed: not a u64: {raw:?}"))),
+        }
+    }
+
+    /// A generic `usize` flag with a default.
+    pub fn usize_of(&self, flag: &str, default: usize) -> usize {
+        match self.value_of(flag) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| self.usage_error(&format!("--{flag}: not a usize: {raw:?}"))),
+        }
+    }
+
+    /// The `--json` output path, if requested.
+    pub fn json_path(&self) -> Option<&str> {
+        self.value_of("json")
+    }
+
+    /// Writes the report to the `--json` path when one was given.
+    pub fn write_json(&self, report: &Json) {
+        if let Some(path) = self.json_path() {
+            write_json_report(path, &report.render());
+        }
+    }
+}
+
+/// Writes an already-rendered JSON document to `path`, aborting the
+/// experiment on I/O errors.
+pub fn write_json_report(path: &str, body: &str) {
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("cannot write JSON report to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote JSON report to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> ExpArgs {
+        ExpArgs::from_vec(
+            "exp_test",
+            v.iter().map(|s| s.to_string()).collect(),
+            &["list"],
+        )
+    }
+
+    #[test]
+    fn defaults_and_values() {
+        let a = args(&[]);
+        assert_eq!(a.seed(42), 42);
+        assert_eq!(a.json_path(), None);
+        assert!(!a.has("list"));
+
+        let a = args(&["--seed", "7", "--json", "/tmp/out.json", "--list"]);
+        assert_eq!(a.seed(42), 7);
+        assert_eq!(a.json_path(), Some("/tmp/out.json"));
+        assert!(a.has("list"));
+        assert_eq!(a.usize_of("seed", 0), 7);
+        assert_eq!(a.usize_of("missing", 9), 9);
+    }
+
+    #[test]
+    fn json_report_round_trips_to_disk() {
+        let path = std::env::temp_dir().join("rtds_args_test.json");
+        let path = path.to_str().unwrap();
+        write_json_report(path, &Json::object(vec![("x", Json::Int(1))]).render());
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body, "{\n  \"x\": 1\n}\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -3,12 +3,16 @@
 //! with hotspot arrivals.
 //!
 //! Run with: `cargo run --release -p rtds-bench --bin exp_acceptance_vs_load`
+//! (`--seed <u64>` defaults to 42, `--json <path>` dumps the table).
 
-use rtds_bench::{parallel_sweep, policy_comparison, workload, WorkloadSpec};
+use rtds_bench::{parallel_sweep, policy_comparison, workload, ExpArgs, WorkloadSpec};
 use rtds_core::RtdsConfig;
 use rtds_net::generators::{grid, DelayDistribution};
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(42);
     let network = grid(5, 5, false, DelayDistribution::Constant(1.0), 3);
     let rates = vec![0.01, 0.02, 0.04, 0.08, 0.16];
     println!("== E1: acceptance ratio vs. arrival rate (25-site grid, 4 hotspot sites) ==");
@@ -25,13 +29,14 @@ fn main() {
                 rate,
                 horizon: 300.0,
                 hotspots: 4,
-                seed: 42,
+                seed,
                 ..WorkloadSpec::default()
             },
         );
         let rows = policy_comparison(&net, &jobs, RtdsConfig::default(), 7);
         (rate, jobs.len(), rows)
     });
+    let mut json_rows = Vec::new();
     for (rate, njobs, rows) in rows {
         let ratio = |name: &str| {
             rows.iter()
@@ -50,7 +55,21 @@ fn main() {
             ratio("centralized-oracle"),
         );
         assert!(rows.iter().all(|r| r.misses == 0), "deadline miss detected");
+        json_rows.push(Json::object(vec![
+            ("rate", Json::Num(rate)),
+            ("jobs", Json::UInt(njobs as u64)),
+            ("rtds", Json::Num(ratio("rtds"))),
+            ("local_only", Json::Num(ratio("local-only"))),
+            ("random_offload", Json::Num(ratio("random-offload"))),
+            ("broadcast_bidding", Json::Num(ratio("broadcast-bidding"))),
+            ("centralized_oracle", Json::Num(ratio("centralized-oracle"))),
+        ]));
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("acceptance_vs_load")),
+        ("seed", Json::UInt(seed)),
+        ("rows", Json::Array(json_rows)),
+    ]));
     println!();
     println!("Expected shape (paper §14): RTDS accepts more jobs than no cooperation");
     println!("(local-only) and blind forwarding, approaches the broadcast/oracle curve");

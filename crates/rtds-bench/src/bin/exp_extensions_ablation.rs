@@ -4,13 +4,17 @@
 //! configuration on the same workload.
 //!
 //! Run with: `cargo run --release -p rtds-bench --bin exp_extensions_ablation`
+//! (`--seed <u64>` defaults to 8, `--json <path>` dumps the table).
 
-use rtds_bench::{comparison_row, workload, WorkloadSpec};
+use rtds_bench::{comparison_row, workload, ExpArgs, WorkloadSpec};
 use rtds_core::{LaxityDispatch, RtdsConfig};
 use rtds_net::generators::{ring, DelayDistribution};
 use rtds_net::SiteId;
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(8);
     // Heterogeneous ring: even sites are twice as fast.
     let mut network = ring(16, DelayDistribution::Constant(1.0), 2);
     for s in 0..16 {
@@ -24,7 +28,7 @@ fn main() {
             rate: 0.03,
             horizon: 250.0,
             hotspots: 4,
-            seed: 8,
+            seed,
             laxity: (1.4, 2.2),
             ..WorkloadSpec::default()
         },
@@ -76,6 +80,7 @@ fn main() {
             },
         ),
     ];
+    let mut json_rows = Vec::new();
     for (label, config) in configs {
         let row = comparison_row(label, &network, &jobs, config, 4);
         println!(
@@ -83,7 +88,19 @@ fn main() {
             label, row.accepted, row.submitted, row.ratio, row.misses, row.messages_per_job
         );
         assert_eq!(row.misses, 0);
+        json_rows.push(Json::object(vec![
+            ("configuration", Json::str(label)),
+            ("accepted", Json::UInt(row.accepted)),
+            ("submitted", Json::UInt(row.submitted)),
+            ("ratio", Json::Num(row.ratio)),
+            ("messages_per_job", Json::Num(row.messages_per_job)),
+        ]));
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("extensions_ablation")),
+        ("seed", Json::UInt(seed)),
+        ("rows", Json::Array(json_rows)),
+    ]));
     println!();
     println!("Expected shape: preemption and uniform-machine awareness add a few accepted");
     println!("jobs (more insertion freedom, faster sites charged correctly); the exact ACS");

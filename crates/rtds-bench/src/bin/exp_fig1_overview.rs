@@ -3,11 +3,15 @@
 //! execution) on a small network.
 //!
 //! Run with: `cargo run -p rtds-bench --bin exp_fig1_overview`
+//! (`--seed <u64>` defaults to 1 and seeds the system; `--json <path>`
+//! dumps the stage counts).
 
+use rtds_bench::ExpArgs;
 use rtds_core::{RtdsConfig, RtdsSystem};
 use rtds_graph::paper_instance::paper_job;
 use rtds_graph::{Job, JobId, JobParams, TaskGraph, TaskId};
 use rtds_net::generators::{line, DelayDistribution};
+use rtds_scenarios::Json;
 
 fn blocking_job(id: u64, site: usize) -> Job {
     // A 60-unit filler job that keeps the arrival site busy so the paper job
@@ -18,12 +22,14 @@ fn blocking_job(id: u64, site: usize) -> Job {
 }
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(1);
     let network = line(4, DelayDistribution::Constant(1.0), 0);
     let config = RtdsConfig {
         sphere_radius: 2,
         ..RtdsConfig::default()
     };
-    let mut system = RtdsSystem::new(network, config, 1);
+    let mut system = RtdsSystem::new(network, config, seed);
     system.enable_trace();
 
     // Load site 1, then submit the paper's worked-example job there.
@@ -45,6 +51,7 @@ fn main() {
     println!("deadline misses: {}", report.deadline_misses());
     println!();
     // The stages of Fig. 1, in order, must all appear in the trace.
+    let mut json_stages = Vec::new();
     for stage in [
         "local-test",
         "local-reject",
@@ -59,7 +66,22 @@ fn main() {
         let n = system.trace().of_kind(stage).count();
         println!("stage {:<20} observed {} time(s)", stage, n);
         assert!(n > 0, "protocol stage {stage} missing from the trace");
+        json_stages.push(Json::object(vec![
+            ("stage", Json::str(stage)),
+            ("observed", Json::UInt(n as u64)),
+        ]));
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("fig1_overview")),
+        ("seed", Json::UInt(seed)),
+        ("jobs_submitted", Json::UInt(report.jobs_submitted)),
+        (
+            "accepted_distributed",
+            Json::UInt(report.guarantee.accepted_distributed),
+        ),
+        ("deadline_misses", Json::UInt(report.deadline_misses())),
+        ("stages", Json::Array(json_stages)),
+    ]));
     println!();
     println!("RESULT: every stage of the Fig. 1 pipeline was exercised.");
 }

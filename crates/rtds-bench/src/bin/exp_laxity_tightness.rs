@@ -4,12 +4,16 @@
 //! as windows shrink.
 //!
 //! Run with: `cargo run --release -p rtds-bench --bin exp_laxity_tightness`
+//! (`--seed <u64>` defaults to 33, `--json <path>` dumps the table).
 
-use rtds_bench::{parallel_sweep, policy_comparison, workload, WorkloadSpec};
+use rtds_bench::{parallel_sweep, policy_comparison, workload, ExpArgs, WorkloadSpec};
 use rtds_core::RtdsConfig;
 use rtds_net::generators::{grid, DelayDistribution};
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(33);
     let network = grid(5, 5, false, DelayDistribution::Constant(1.0), 4);
     let laxities = vec![1.1, 1.3, 1.6, 2.0, 3.0, 4.0];
     println!("== E4: guarantee ratio vs. deadline tightness (25-site grid, 4 hotspots) ==");
@@ -27,13 +31,14 @@ fn main() {
                 horizon: 250.0,
                 hotspots: 4,
                 laxity: (laxity, laxity + 0.2),
-                seed: 33,
+                seed,
                 ..WorkloadSpec::default()
             },
         );
         let rows = policy_comparison(&net, &jobs, RtdsConfig::default(), 9);
         (laxity, jobs.len(), rows)
     });
+    let mut json_rows = Vec::new();
     for (laxity, njobs, rows) in rows {
         let ratio = |name: &str| {
             rows.iter()
@@ -51,7 +56,20 @@ fn main() {
             ratio("centralized-oracle"),
         );
         assert!(rows.iter().all(|r| r.misses == 0));
+        json_rows.push(Json::object(vec![
+            ("laxity", Json::Num(laxity)),
+            ("jobs", Json::UInt(njobs as u64)),
+            ("rtds", Json::Num(ratio("rtds"))),
+            ("local_only", Json::Num(ratio("local-only"))),
+            ("broadcast_bidding", Json::Num(ratio("broadcast-bidding"))),
+            ("centralized_oracle", Json::Num(ratio("centralized-oracle"))),
+        ]));
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("laxity_tightness")),
+        ("seed", Json::UInt(seed)),
+        ("rows", Json::Array(json_rows)),
+    ]));
     println!();
     println!("Expected shape: with laxity close to 1 the remote option barely helps");
     println!("(communication eats the slack, adjustment case (i) rejects most mappings);");

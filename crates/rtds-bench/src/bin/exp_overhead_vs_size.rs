@@ -4,13 +4,17 @@
 //! the network", §3).
 //!
 //! Run with: `cargo run --release -p rtds-bench --bin exp_overhead_vs_size`
+//! (`--seed <u64>` defaults to 5, `--json <path>` dumps the table).
 
 use rtds_baselines::{run_broadcast_bidding, BiddingConfig};
-use rtds_bench::{comparison_row, parallel_sweep, workload, WorkloadSpec};
+use rtds_bench::{comparison_row, parallel_sweep, workload, ExpArgs, WorkloadSpec};
 use rtds_core::RtdsConfig;
 use rtds_net::generators::{barabasi_albert, DelayDistribution};
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(5);
     let sizes = vec![16usize, 32, 64, 128, 256, 512];
     println!("== E2: messages per job vs. network size (Barabasi-Albert, m = 2, 4 hotspots) ==");
     println!();
@@ -26,7 +30,7 @@ fn main() {
                 rate: 0.03,
                 horizon: 250.0,
                 hotspots: 4,
-                seed: 5,
+                seed,
                 tasks_per_job: 6,
                 ..WorkloadSpec::default()
             },
@@ -43,6 +47,7 @@ fn main() {
         (n, jobs.len(), rtds, bcast)
     });
     let mut rtds_costs = Vec::new();
+    let mut json_rows = Vec::new();
     for (n, njobs, rtds, bcast) in results {
         println!(
             "{:>7} {:>6} | {:>14.1} {:>14.1} | {:>10.3} {:>10.3}",
@@ -54,8 +59,24 @@ fn main() {
             bcast.guarantee_ratio(),
         );
         assert_eq!(rtds.misses, 0);
+        json_rows.push(Json::object(vec![
+            ("sites", Json::UInt(n as u64)),
+            ("jobs", Json::UInt(njobs as u64)),
+            ("rtds_messages_per_job", Json::Num(rtds.messages_per_job)),
+            (
+                "broadcast_messages_per_job",
+                Json::Num(bcast.messages_per_job()),
+            ),
+            ("rtds_ratio", Json::Num(rtds.ratio)),
+            ("broadcast_ratio", Json::Num(bcast.guarantee_ratio())),
+        ]));
         rtds_costs.push(rtds.messages_per_job);
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("overhead_vs_size")),
+        ("seed", Json::UInt(seed)),
+        ("rows", Json::Array(json_rows)),
+    ]));
     println!();
     let first = rtds_costs.first().copied().unwrap_or(0.0);
     let last = rtds_costs.last().copied().unwrap_or(0.0);

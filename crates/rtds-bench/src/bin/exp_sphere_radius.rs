@@ -2,12 +2,16 @@
 //! acceptance) but costs more messages per job and a longer PCS construction.
 //!
 //! Run with: `cargo run --release -p rtds-bench --bin exp_sphere_radius`
+//! (`--seed <u64>` defaults to 19, `--json <path>` dumps the table).
 
-use rtds_bench::{parallel_sweep, workload, WorkloadSpec};
+use rtds_bench::{parallel_sweep, workload, ExpArgs, WorkloadSpec};
 use rtds_core::{RtdsConfig, RtdsSystem};
 use rtds_net::generators::{grid, DelayDistribution};
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let seed = args.seed(19);
     let network = grid(6, 6, false, DelayDistribution::Constant(1.0), 1);
     let jobs = workload(
         &network,
@@ -15,7 +19,7 @@ fn main() {
             rate: 0.05,
             horizon: 250.0,
             hotspots: 3,
-            seed: 19,
+            seed,
             tasks_per_job: 8,
             ..WorkloadSpec::default()
         },
@@ -42,6 +46,7 @@ fn main() {
         let report = system.run();
         (h, report)
     });
+    let mut json_rows = Vec::new();
     for (h, report) in rows {
         let distributions = report.stats.named("acs_members");
         let attempts = (report.stats.named("accepted_distributed")
@@ -59,7 +64,24 @@ fn main() {
             mean_acs,
         );
         assert_eq!(report.deadline_misses(), 0);
+        json_rows.push(Json::object(vec![
+            ("h", Json::UInt(h as u64)),
+            ("accepted", Json::UInt(report.guarantee.accepted())),
+            ("rejected", Json::UInt(report.guarantee.rejected)),
+            ("ratio", Json::Num(report.guarantee_ratio())),
+            ("messages_per_job", Json::Num(report.messages_per_job)),
+            (
+                "routing_messages",
+                Json::UInt(report.stats.named("routing_update")),
+            ),
+            ("mean_acs_size", Json::Num(mean_acs)),
+        ]));
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("sphere_radius")),
+        ("seed", Json::UInt(seed)),
+        ("rows", Json::Array(json_rows)),
+    ]));
     println!();
     println!("Expected shape: acceptance rises quickly from h = 1 and saturates once the");
     println!("sphere covers enough idle capacity; message cost per job and the one-time");

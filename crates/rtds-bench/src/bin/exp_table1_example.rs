@@ -3,14 +3,20 @@
 //! value against the published numbers.
 //!
 //! Run with: `cargo run -p rtds-bench --bin exp_table1_example`
+//! (`--seed` is accepted for interface uniformity but unused — the paper
+//! instance is fixed; `--json <path>` dumps the makespans and Table 1).
 
+use rtds_bench::ExpArgs;
 use rtds_core::analysis::{render_gantt, render_table1};
 use rtds_core::{
     adjust_mapping, gantt_rows, map_dag, table1_rows, LaxityDispatch, MapperInput, ProcessorSpec,
 };
 use rtds_graph::paper_instance::*;
+use rtds_scenarios::Json;
 
 fn main() {
+    let args = ExpArgs::parse(&[]);
+    let _ = args.seed(0); // fixed paper instance: the seed changes nothing
     let graph = paper_task_graph();
     println!("== Fig. 2: example task graph (reconstructed) ==");
     for t in graph.task_ids() {
@@ -81,6 +87,29 @@ fn main() {
             }
         }
     }
+    args.write_json(&Json::object(vec![
+        ("experiment", Json::str("table1_example")),
+        ("makespan", Json::Num(result.makespan)),
+        ("makespan_star", Json::Num(result.makespan_star)),
+        ("mismatches", Json::UInt(mismatches)),
+        (
+            "table1",
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::object(vec![
+                            ("task", Json::UInt(r.task as u64)),
+                            ("r_raw", Json::Num(r.r_raw)),
+                            ("d_raw", Json::Num(r.d_raw)),
+                            ("r_adjusted", Json::Num(r.r_adjusted)),
+                            ("d_adjusted", Json::Num(r.d_adjusted)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]));
+
     println!();
     if mismatches == 0 {
         println!(

@@ -15,16 +15,26 @@
 //!   * `exp_laxity_tightness` — E4: acceptance vs. deadline tightness
 //!     (which exercises adjustment cases (i)/(ii)/(iii)),
 //!   * `exp_extensions_ablation` — E5: the §13 extension switches,
+//!   * `exp_scenarios` — the declarative scenario engine: registry listing,
+//!     fault-injection scenarios and the sharded seed sweep (see
+//!     `rtds-scenarios`),
 //! * Criterion benches (`benches/`): the Mapper, the Hopcroft–Karp matching,
 //!   the phased routing exchange, the local admission test, DAG generation
 //!   and an end-to-end job distribution.
 //!
 //! The harness utilities in this library build reproducible workloads and run
 //! policy comparisons in parallel across CPU cores (one simulation per
-//! thread; each individual simulation stays deterministic).
+//! thread; each individual simulation stays deterministic). Every binary
+//! accepts `--seed <u64>` and `--json <path>` through the shared [`args`]
+//! parser.
 
+pub mod args;
 pub mod harness;
 
+pub use args::{write_json_report, ExpArgs};
 pub use harness::{
     comparison_row, parallel_sweep, policy_comparison, workload, ComparisonRow, WorkloadSpec,
 };
+// The sharded generalisation of `parallel_sweep` lives with the scenario
+// sweep runner; re-exported here so harness users find both in one place.
+pub use rtds_scenarios::parallel_sweep_sharded;

@@ -15,7 +15,7 @@ use rtds_net::{Network, SiteId};
 use rtds_sched::executor;
 use rtds_sched::SchedulePlan;
 use rtds_sim::stats::{GuaranteeStats, SimStats};
-use rtds_sim::{Simulator, Trace};
+use rtds_sim::{FaultEvent, Simulator, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -154,6 +154,34 @@ impl RtdsSystem {
         for job in jobs {
             self.submit_job(job);
         }
+    }
+
+    /// Schedules a perturbation (link jitter/failure, site crash, message
+    /// loss) at an absolute simulated time. Used by the scenario layer to
+    /// stress the §13 dynamic-network extensions.
+    pub fn schedule_fault(&mut self, time: f64, fault: FaultEvent) {
+        self.sim.schedule_fault(time, fault);
+    }
+
+    /// Seeds the RNG used exclusively for message-loss draws (the protocol
+    /// itself stays deterministic either way).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.sim.set_fault_seed(seed);
+    }
+
+    /// Sets the message-loss probability immediately.
+    pub fn set_message_loss(&mut self, probability: f64) {
+        self.sim.set_message_loss(probability);
+    }
+
+    /// Number of simulation events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Caps the number of processed events (safety net for perturbed runs).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.sim.set_max_events(max);
     }
 
     /// Runs the simulation to quiescence and produces the report.
@@ -350,6 +378,57 @@ mod tests {
         let report = system.run();
         assert_eq!(report.jobs_submitted, 2);
         assert_eq!(report.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn crashed_arrival_site_loses_its_jobs() {
+        // Identical workloads; in the perturbed run the arrival site is down
+        // over the arrival window, so its jobs are lost and end up rejected.
+        let run = |crash: bool| {
+            let net = ring(6, DelayDistribution::Constant(1.0), 0);
+            let mut system = RtdsSystem::new(net, RtdsConfig::default(), 1);
+            if crash {
+                system.schedule_fault(5.0, FaultEvent::SiteDown { site: SiteId(2) });
+                system.schedule_fault(40.0, FaultEvent::SiteUp { site: SiteId(2) });
+            }
+            system.submit_job(chain_job(1, &[5.0, 5.0], 10.0, 90.0, 2));
+            system.submit_job(chain_job(2, &[5.0, 5.0], 50.0, 140.0, 2));
+            system.run()
+        };
+        let healthy = run(false);
+        let crashed = run(true);
+        assert_eq!(healthy.guarantee.accepted(), 2);
+        assert_eq!(crashed.guarantee.accepted(), 1);
+        assert_eq!(crashed.jobs[0].outcome, JobOutcomeKind::Rejected);
+        assert_eq!(crashed.jobs[1].outcome, JobOutcomeKind::AcceptedLocally);
+        assert_eq!(crashed.deadline_misses(), 0);
+        assert_eq!(crashed.stats.named("sim_dropped_arrival_site_down"), 1);
+    }
+
+    #[test]
+    fn message_loss_degrades_distribution() {
+        // Two heavy same-window jobs force a distribution. Loss starts only
+        // after the one-time PCS construction (loss from t = 0 would defer
+        // every arrival forever — the routing exchange could not finish);
+        // with total loss the ACS machinery cannot complete, so the second
+        // job is rejected instead of accepted remotely.
+        let run = |loss: f64| {
+            let net = ring(6, DelayDistribution::Constant(1.0), 0);
+            let mut system = RtdsSystem::new(net, RtdsConfig::default(), 1);
+            system.set_fault_seed(7);
+            system.schedule_fault(10.0, FaultEvent::SetMessageLoss { probability: loss });
+            system.submit_job(chain_job(1, &[30.0], 20.0, 60.0, 2));
+            system.submit_job(chain_job(2, &[30.0], 20.0, 60.0, 2));
+            system.run()
+        };
+        let clean = run(0.0);
+        let lossy = run(1.0);
+        assert_eq!(clean.guarantee.accepted_locally, 1);
+        assert_eq!(lossy.guarantee.accepted_locally, 1);
+        assert!(lossy.guarantee.accepted() < clean.guarantee.accepted());
+        assert_eq!(lossy.guarantee.accepted_distributed, 0);
+        assert!(lossy.stats.named("sim_lost_random") > 0);
+        assert_eq!(lossy.deadline_misses(), 0);
     }
 
     #[test]

@@ -45,6 +45,8 @@ pub enum NetworkError {
     DuplicateLink(SiteId, SiteId),
     /// A negative or non-finite delay was supplied.
     InvalidDelay(f64),
+    /// The two sites are not linked (raised by mutation of a missing link).
+    MissingLink(SiteId, SiteId),
 }
 
 impl fmt::Display for NetworkError {
@@ -54,6 +56,7 @@ impl fmt::Display for NetworkError {
             NetworkError::SelfLink(s) => write!(f, "self link on {s}"),
             NetworkError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
             NetworkError::InvalidDelay(d) => write!(f, "invalid link delay {d}"),
+            NetworkError::MissingLink(a, b) => write!(f, "no link {a} -- {b}"),
         }
     }
 }
@@ -126,6 +129,51 @@ impl Network {
         Ok(())
     }
 
+    /// Changes the propagation delay of an existing link (dynamic-network
+    /// support: latency jitter applied by the fault-injection layer).
+    pub fn set_link_delay(&mut self, a: SiteId, b: SiteId, delay: f64) -> Result<(), NetworkError> {
+        let n = self.adjacency.len();
+        if a.0 >= n {
+            return Err(NetworkError::UnknownSite(a));
+        }
+        if b.0 >= n {
+            return Err(NetworkError::UnknownSite(b));
+        }
+        if !(delay.is_finite() && delay >= 0.0) {
+            return Err(NetworkError::InvalidDelay(delay));
+        }
+        let forward = self.adjacency[a.0].iter_mut().find(|(s, _)| *s == b);
+        match forward {
+            Some((_, d)) => *d = delay,
+            None => return Err(NetworkError::MissingLink(a, b)),
+        }
+        let backward = self.adjacency[b.0]
+            .iter_mut()
+            .find(|(s, _)| *s == a)
+            .expect("adjacency lists are symmetric");
+        backward.1 = delay;
+        Ok(())
+    }
+
+    /// Removes an undirected link, returning its delay (dynamic-network
+    /// support: link failure applied by the fault-injection layer). Returns
+    /// `None` if the link does not exist.
+    pub fn remove_link(&mut self, a: SiteId, b: SiteId) -> Option<f64> {
+        let n = self.adjacency.len();
+        if a.0 >= n || b.0 >= n {
+            return None;
+        }
+        let pos = self.adjacency[a.0].iter().position(|(s, _)| *s == b)?;
+        let (_, delay) = self.adjacency[a.0].remove(pos);
+        let rev = self.adjacency[b.0]
+            .iter()
+            .position(|(s, _)| *s == a)
+            .expect("adjacency lists are symmetric");
+        self.adjacency[b.0].remove(rev);
+        self.link_count -= 1;
+        Some(delay)
+    }
+
     /// Neighbors of a site with link delays.
     pub fn neighbors(&self, s: SiteId) -> &[(SiteId, f64)] {
         &self.adjacency[s.0]
@@ -177,6 +225,17 @@ impl Network {
     pub fn set_speed(&mut self, s: SiteId, speed: f64) {
         assert!(speed > 0.0 && speed.is_finite(), "speed must be positive");
         self.speeds[s.0] = speed;
+    }
+
+    /// Returns `true` iff a path of links joins `a` and `b` (used by the
+    /// fault-injection layer to decide whether a routed management-plane
+    /// message can physically traverse the network).
+    pub fn has_path(&self, a: SiteId, b: SiteId) -> bool {
+        let n = self.site_count();
+        if a.0 >= n || b.0 >= n {
+            return false;
+        }
+        self.hop_distances(a)[b.0] != usize::MAX
     }
 
     /// Returns `true` iff every site can reach every other site.
@@ -319,6 +378,20 @@ mod tests {
     }
 
     #[test]
+    fn pairwise_reachability() {
+        let mut n = Network::new(4);
+        n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        n.add_link(SiteId(2), SiteId(3), 1.0).unwrap();
+        assert!(n.has_path(SiteId(0), SiteId(1)));
+        assert!(n.has_path(SiteId(1), SiteId(0)));
+        assert!(!n.has_path(SiteId(0), SiteId(2)));
+        assert!(n.has_path(SiteId(2), SiteId(2)));
+        assert!(!n.has_path(SiteId(0), SiteId(9)));
+        n.add_link(SiteId(1), SiteId(2), 1.0).unwrap();
+        assert!(n.has_path(SiteId(0), SiteId(3)));
+    }
+
+    #[test]
     fn hop_distances_and_diameter() {
         let mut n = Network::new(4);
         n.add_link(SiteId(0), SiteId(1), 10.0).unwrap();
@@ -329,6 +402,51 @@ mod tests {
         let disconnected = Network::new(2);
         assert_eq!(disconnected.hop_diameter(), None);
         assert_eq!(Network::new(0).hop_diameter(), None);
+    }
+
+    #[test]
+    fn link_delay_mutation() {
+        let mut n = triangle();
+        n.set_link_delay(SiteId(0), SiteId(1), 4.5).unwrap();
+        assert_eq!(n.link_delay(SiteId(0), SiteId(1)), Some(4.5));
+        assert_eq!(n.link_delay(SiteId(1), SiteId(0)), Some(4.5));
+        assert_eq!(
+            n.set_link_delay(SiteId(0), SiteId(1), -1.0),
+            Err(NetworkError::InvalidDelay(-1.0))
+        );
+        assert_eq!(
+            n.set_link_delay(SiteId(0), SiteId(9), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        assert_eq!(
+            n.set_link_delay(SiteId(9), SiteId(0), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        let mut m = Network::new(3);
+        m.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        assert_eq!(
+            m.set_link_delay(SiteId(0), SiteId(2), 1.0),
+            Err(NetworkError::MissingLink(SiteId(0), SiteId(2)))
+        );
+        assert!(NetworkError::MissingLink(SiteId(0), SiteId(2))
+            .to_string()
+            .contains("no link"));
+    }
+
+    #[test]
+    fn link_removal_and_restoration() {
+        let mut n = triangle();
+        assert_eq!(n.remove_link(SiteId(0), SiteId(1)), Some(1.0));
+        assert_eq!(n.link_count(), 2);
+        assert!(!n.has_link(SiteId(0), SiteId(1)));
+        assert!(!n.has_link(SiteId(1), SiteId(0)));
+        assert!(n.is_connected()); // still connected through site 2
+        assert_eq!(n.remove_link(SiteId(0), SiteId(1)), None);
+        assert_eq!(n.remove_link(SiteId(0), SiteId(9)), None);
+        // Restoring the link brings the triangle back.
+        n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
+        assert_eq!(n.link_count(), 3);
+        assert_eq!(n.link_delay(SiteId(0), SiteId(1)), Some(1.0));
     }
 
     #[test]

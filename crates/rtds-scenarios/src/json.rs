@@ -1,0 +1,178 @@
+//! A minimal, deterministic JSON value and writer.
+//!
+//! The build environment has no registry access, so the workspace's `serde`
+//! is a no-op stub (see `crates/compat/README.md`); sweep reports therefore
+//! serialize through this hand-rolled value type. Everything about the
+//! output is pinned: object keys keep insertion order, numbers render via
+//! Rust's shortest-round-trip formatting, and non-finite floats become
+//! `null` — so a report is byte-identical across runs, thread counts and
+//! platforms.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (renders without a decimal point).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order for deterministic output.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(&str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as a compact JSON document plus a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => write_f64(out, *x),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float formatting ("1.0",
+        // "0.25", "1e-7"), stable across platforms and always JSON-legal
+        // for finite values.
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::UInt(7).render(), "7\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+        assert_eq!(Json::Num(2.0).render(), "2.0\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn containers_render_with_stable_order() {
+        let doc = Json::object(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Array(vec![Json::Int(2), Json::str("x")])),
+            ("empty_arr", Json::Array(vec![])),
+            ("empty_obj", Json::Object(vec![])),
+        ]);
+        let rendered = doc.render();
+        // Keys stay in insertion order (b before a), nested indentation is
+        // two spaces per level.
+        let expected = "{\n  \"b\": 1,\n  \"a\": [\n    2,\n    \"x\"\n  ],\n  \"empty_arr\": [],\n  \"empty_obj\": {}\n}\n";
+        assert_eq!(rendered, expected);
+        // Rendering is a pure function.
+        assert_eq!(rendered, doc.render());
+    }
+}

@@ -1,0 +1,244 @@
+//! The built-in scenario registry.
+//!
+//! Ten named scenarios spanning the paper's baseline and the §13 extensions
+//! it only sketches: sporadic overload, dynamic networks (flaky links,
+//! partitions), heterogeneous sites, wide low-degree topologies, hard
+//! workload shapes and outright fault storms. Every perturbation plan
+//! starts at `t >= 30`, after the one-time PCS construction (see
+//! [`crate::perturb`]).
+//!
+//! `lossy-messages` and `site-crash-wave` intentionally share the
+//! paper-baseline topology and workload recipes: with the same sweep seed
+//! they run the *same jobs on the same network*, so any acceptance-ratio
+//! difference is attributable to the injected faults alone.
+
+use crate::perturb::{Perturbation, PerturbationPlan};
+use crate::spec::{Scenario, SpeedRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe};
+use rtds_core::RtdsConfig;
+use rtds_graph::generators::{CostDistribution, DagShape};
+use rtds_net::generators::DelayDistribution;
+use rtds_sim::arrivals::ArrivalProcess;
+
+fn paper_baseline() -> Scenario {
+    let mut s = Scenario::named(
+        "paper-baseline",
+        "25-site grid, Poisson hotspot arrivals, layered DAGs - the paper's evaluation setting",
+    );
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+        horizon: 240.0,
+        hotspots: 4,
+        ..WorkloadRecipe::default()
+    };
+    s
+}
+
+/// The built-in scenarios, in registry order.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    scenarios.push(paper_baseline());
+
+    let mut s = paper_baseline();
+    s.name = "overload-burst".into();
+    s.description =
+        "synchronized job bursts on three hotspot sites - sporadic overload stressing ACS locks"
+            .into();
+    s.workload.arrivals = ArrivalProcess::Bursty {
+        window: 60.0,
+        burst_size: 5,
+    };
+    s.workload.hotspots = 3;
+    s.workload.laxity = (1.5, 2.5);
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "flaky-links",
+        "tree links fail, recover and jitter - every failure severs part of the network",
+    );
+    // On a tree every link is a bridge, so each failure physically cuts
+    // routed traffic (on a grid the management plane would just reroute).
+    s.topology.recipe = TopologyRecipe::RandomTree { sites: 32 };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.04 },
+        horizon: 240.0,
+        hotspots: 4,
+        ..WorkloadRecipe::default()
+    };
+    s.perturbations = PerturbationPlan::new(vec![
+        Perturbation::LinkFailures {
+            start: 30.0,
+            end: 220.0,
+            count: 20,
+            downtime: 25.0,
+        },
+        Perturbation::LinkJitter {
+            start: 30.0,
+            end: 220.0,
+            period: 20.0,
+            fraction: 0.15,
+            factor: (0.5, 4.0),
+        },
+    ]);
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "partition-and-heal",
+        "the network splits into two halves mid-run and heals later",
+    );
+    s.topology.recipe = TopologyRecipe::Grid {
+        width: 6,
+        height: 4,
+        wrap: false,
+    };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.02 },
+        horizon: 240.0,
+        ..WorkloadRecipe::default()
+    };
+    s.perturbations = PerturbationPlan::new(vec![Perturbation::Partition {
+        at: 80.0,
+        heal_at: 160.0,
+    }]);
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "hetero-speed-sites",
+        "random graph with 6x speed spread - the uniform-machines extension",
+    );
+    s.topology = TopologySpec {
+        recipe: TopologyRecipe::ErdosRenyi {
+            sites: 24,
+            edge_prob: 0.12,
+        },
+        delays: DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+        speeds: SpeedRecipe::UniformRandom { min: 0.5, max: 3.0 },
+    };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.04 },
+        horizon: 240.0,
+        hotspots: 4,
+        ..WorkloadRecipe::default()
+    };
+    s.config = RtdsConfig {
+        uniform_machines: true,
+        ..RtdsConfig::default()
+    };
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "wide-low-degree",
+        "64-site random tree - an arbitrarily wide network with minimal connectivity",
+    );
+    s.topology.recipe = TopologyRecipe::RandomTree { sites: 64 };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.01 },
+        horizon: 240.0,
+        ..WorkloadRecipe::default()
+    };
+    s.config = RtdsConfig {
+        sphere_radius: 3,
+        ..RtdsConfig::default()
+    };
+    scenarios.push(s);
+
+    let mut s = paper_baseline();
+    s.name = "deep-chain-dags".into();
+    s.description =
+        "12-task chain jobs - maximal precedence depth, no intra-job parallelism to exploit".into();
+    s.workload.tasks_per_job = 12;
+    s.workload.shape = DagShape::Chain;
+    s.workload.costs = CostDistribution::Uniform { min: 1.0, max: 5.0 };
+    s.workload.laxity = (1.8, 2.8);
+    scenarios.push(s);
+
+    let mut s = paper_baseline();
+    s.name = "tight-laxity-storm".into();
+    s.description =
+        "high arrival rate with laxity factors near 1 - adjustment case (i) territory".into();
+    s.workload.arrivals = ArrivalProcess::Poisson { rate: 0.08 };
+    s.workload.laxity = (1.25, 1.7);
+    scenarios.push(s);
+
+    let mut s = paper_baseline();
+    s.name = "lossy-messages".into();
+    s.description =
+        "paper baseline plus 35% message loss mid-run - distribution rounds silently fail".into();
+    s.perturbations = PerturbationPlan::new(vec![Perturbation::MessageLoss {
+        start: 30.0,
+        end: 220.0,
+        probability: 0.35,
+    }]);
+    scenarios.push(s);
+
+    let mut s = paper_baseline();
+    s.name = "site-crash-wave".into();
+    s.description = "six site crashes with 40-unit outages - arrivals and traffic are lost".into();
+    s.workload.hotspots = 0;
+    s.workload.arrivals = ArrivalProcess::Poisson { rate: 0.012 };
+    s.perturbations = PerturbationPlan::new(vec![Perturbation::SiteCrashes {
+        start: 40.0,
+        end: 200.0,
+        count: 6,
+        downtime: 40.0,
+    }]);
+    scenarios.push(s);
+
+    scenarios
+}
+
+/// Looks up a built-in scenario by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    builtin_scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// Names of all built-in scenarios, in registry order.
+pub fn scenario_names() -> Vec<String> {
+    builtin_scenarios().into_iter().map(|s| s.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn registry_has_at_least_eight_unique_buildable_scenarios() {
+        let scenarios = builtin_scenarios();
+        assert!(scenarios.len() >= 8, "only {} scenarios", scenarios.len());
+        let names: BTreeSet<&str> = scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+        for s in &scenarios {
+            assert!(!s.description.is_empty(), "{}", s.name);
+            let net = s.build_network(1);
+            assert!(net.is_connected(), "{}", s.name);
+            let jobs = s.build_workload(&net, 1);
+            assert!(!jobs.is_empty(), "{} generates no jobs", s.name);
+            s.config
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            // Perturbation plans expand cleanly and never start before the
+            // PCS construction window.
+            for (t, _) in s.perturbations.expand(&net, 1) {
+                assert!(t >= 30.0, "{} perturbs at {t} < 30", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(find_scenario("paper-baseline").is_some());
+        assert!(find_scenario("flaky-links").is_some());
+        assert!(find_scenario("no-such-scenario").is_none());
+        assert_eq!(scenario_names().len(), builtin_scenarios().len());
+    }
+
+    #[test]
+    fn fault_twins_share_the_baseline_recipes() {
+        let base = find_scenario("paper-baseline").unwrap();
+        let lossy = find_scenario("lossy-messages").unwrap();
+        assert_eq!(base.topology, lossy.topology);
+        assert_eq!(base.workload, lossy.workload);
+        assert!(!lossy.perturbations.is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! The sharded, seed-deterministic parallel sweep runner.
+//!
+//! A sweep is the cross product `scenarios × seeds`. Every cell is one
+//! fully deterministic single-threaded simulation; the runner shards cells
+//! round-robin over a fixed number of worker threads and reassembles results
+//! in input order, so the aggregate report — including its JSON rendering —
+//! is byte-identical for any thread count (generalising
+//! `rtds_bench::parallel_sweep`, which spawned one thread per input).
+
+use crate::json::Json;
+use crate::spec::{mix_seed, Scenario};
+use rtds_core::{JobOutcomeKind, RtdsSystem, RunReport};
+
+/// Runs `work` over `inputs` on `threads` worker threads (round-robin
+/// sharding, one scoped thread per shard) and returns the results in input
+/// order. With `threads <= 1` everything runs on the calling thread.
+pub fn parallel_sweep_sharded<I, O, F>(inputs: Vec<I>, threads: usize, work: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = threads.max(1).min(inputs.len().max(1));
+    if threads <= 1 {
+        return inputs.into_iter().map(work).collect();
+    }
+    let indexed: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
+    let mut shards: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (index, input) in indexed {
+        shards[index % threads].push((index, input));
+    }
+    let mut results: Vec<Option<O>> = Vec::new();
+    let total: usize = shards.iter().map(Vec::len).sum();
+    results.resize_with(total, || None);
+    let work = &work;
+    let outputs: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                scope.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(index, input)| (index, work(input)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    for shard in outputs {
+        for (index, output) in shard {
+            results[index] = Some(output);
+        }
+    }
+    results
+        .into_iter()
+        .map(|o| o.expect("every index filled"))
+        .collect()
+}
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Sweep seeds; each `(scenario, seed)` pair is one cell.
+    pub seeds: Vec<u64>,
+    /// Worker threads (cells are sharded round-robin; the report does not
+    /// depend on this).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// `count` consecutive seeds starting at `base`, on `threads` threads.
+    pub fn new(base: u64, count: usize, threads: usize) -> Self {
+        SweepConfig {
+            seeds: (0..count as u64).map(|i| base + i).collect(),
+            threads,
+        }
+    }
+}
+
+/// Metrics of one `(scenario, seed)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Sweep seed.
+    pub seed: u64,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs accepted by their arrival site.
+    pub accepted_locally: u64,
+    /// Jobs accepted after distribution.
+    pub accepted_distributed: u64,
+    /// Jobs rejected (or lost to faults).
+    pub rejected: u64,
+    /// Accepted jobs that missed their deadline (must stay zero).
+    pub deadline_misses: u64,
+    /// Guarantee ratio.
+    pub guarantee_ratio: f64,
+    /// Distribution messages per submitted job.
+    pub messages_per_job: f64,
+    /// Engine-level messages handed in for delivery.
+    pub messages_sent: u64,
+    /// Engine-level messages delivered.
+    pub messages_delivered: u64,
+    /// Mean slack (deadline minus completion) over accepted jobs.
+    pub mean_slack: f64,
+    /// Minimum slack over accepted jobs.
+    pub min_slack: f64,
+    /// Fault events applied by the engine.
+    pub faults_injected: u64,
+    /// Messages lost or dropped by fault injection (all causes).
+    pub messages_lost: u64,
+    /// Final simulated time.
+    pub finished_at: f64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+}
+
+impl CellReport {
+    fn from_run(scenario: &str, seed: u64, report: &RunReport, events_processed: u64) -> Self {
+        let mut slack_sum = 0.0;
+        let mut slack_min = f64::INFINITY;
+        let mut accepted = 0u64;
+        for job in &report.jobs {
+            if matches!(
+                job.outcome,
+                JobOutcomeKind::AcceptedLocally | JobOutcomeKind::AcceptedDistributed
+            ) {
+                if let Some(completion) = job.completion {
+                    let slack = job.deadline - completion;
+                    slack_sum += slack;
+                    slack_min = slack_min.min(slack);
+                    accepted += 1;
+                }
+            }
+        }
+        let (mean_slack, min_slack) = if accepted > 0 {
+            (slack_sum / accepted as f64, slack_min)
+        } else {
+            (0.0, 0.0)
+        };
+        let stats = &report.stats;
+        let messages_lost = stats.named("sim_lost_random")
+            + stats.named("sim_lost_link_down")
+            + stats.named("sim_lost_unreachable")
+            + stats.named("sim_dropped_site_down")
+            + stats.named("sim_dropped_arrival_site_down")
+            + stats.named("sim_dropped_timer_site_down");
+        CellReport {
+            scenario: scenario.to_string(),
+            seed,
+            submitted: report.jobs_submitted,
+            accepted_locally: report.guarantee.accepted_locally,
+            accepted_distributed: report.guarantee.accepted_distributed,
+            rejected: report.jobs_submitted
+                - report.guarantee.accepted_locally
+                - report.guarantee.accepted_distributed,
+            deadline_misses: report.deadline_misses(),
+            guarantee_ratio: report.guarantee_ratio(),
+            messages_per_job: report.messages_per_job,
+            messages_sent: stats.messages_sent,
+            messages_delivered: stats.messages_delivered,
+            mean_slack,
+            min_slack,
+            faults_injected: stats.named("sim_fault_events"),
+            messages_lost,
+            finished_at: report.finished_at,
+            events_processed,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("seed", Json::UInt(self.seed)),
+            ("submitted", Json::UInt(self.submitted)),
+            ("accepted_locally", Json::UInt(self.accepted_locally)),
+            (
+                "accepted_distributed",
+                Json::UInt(self.accepted_distributed),
+            ),
+            ("rejected", Json::UInt(self.rejected)),
+            ("deadline_misses", Json::UInt(self.deadline_misses)),
+            ("guarantee_ratio", Json::Num(self.guarantee_ratio)),
+            ("messages_per_job", Json::Num(self.messages_per_job)),
+            ("messages_sent", Json::UInt(self.messages_sent)),
+            ("messages_delivered", Json::UInt(self.messages_delivered)),
+            ("mean_slack", Json::Num(self.mean_slack)),
+            ("min_slack", Json::Num(self.min_slack)),
+            ("faults_injected", Json::UInt(self.faults_injected)),
+            ("messages_lost", Json::UInt(self.messages_lost)),
+            ("finished_at", Json::Num(self.finished_at)),
+            ("events_processed", Json::UInt(self.events_processed)),
+        ])
+    }
+}
+
+/// Per-scenario aggregate over all sweep seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario description.
+    pub description: String,
+    /// One cell per seed, in seed order.
+    pub cells: Vec<CellReport>,
+    /// Mean guarantee ratio across seeds.
+    pub mean_guarantee_ratio: f64,
+    /// Minimum guarantee ratio across seeds.
+    pub min_guarantee_ratio: f64,
+    /// Maximum guarantee ratio across seeds.
+    pub max_guarantee_ratio: f64,
+    /// Mean distribution messages per job across seeds.
+    pub mean_messages_per_job: f64,
+    /// Mean slack of accepted jobs across seeds.
+    pub mean_slack: f64,
+    /// Total deadline misses across seeds (must stay zero).
+    pub total_deadline_misses: u64,
+    /// Total fault events across seeds.
+    pub total_faults_injected: u64,
+    /// Total lost/dropped messages across seeds.
+    pub total_messages_lost: u64,
+}
+
+impl ScenarioSummary {
+    fn aggregate(name: &str, description: &str, cells: Vec<CellReport>) -> Self {
+        let n = cells.len().max(1) as f64;
+        let mean = |f: fn(&CellReport) -> f64| cells.iter().map(f).sum::<f64>() / n;
+        let mean_guarantee_ratio = mean(|c| c.guarantee_ratio);
+        let min_guarantee_ratio = cells
+            .iter()
+            .map(|c| c.guarantee_ratio)
+            .fold(f64::INFINITY, f64::min);
+        let max_guarantee_ratio = cells
+            .iter()
+            .map(|c| c.guarantee_ratio)
+            .fold(f64::NEG_INFINITY, f64::max);
+        ScenarioSummary {
+            name: name.to_string(),
+            description: description.to_string(),
+            mean_guarantee_ratio,
+            min_guarantee_ratio: if min_guarantee_ratio.is_finite() {
+                min_guarantee_ratio
+            } else {
+                0.0
+            },
+            max_guarantee_ratio: if max_guarantee_ratio.is_finite() {
+                max_guarantee_ratio
+            } else {
+                0.0
+            },
+            mean_messages_per_job: mean(|c| c.messages_per_job),
+            mean_slack: mean(|c| c.mean_slack),
+            total_deadline_misses: cells.iter().map(|c| c.deadline_misses).sum(),
+            total_faults_injected: cells.iter().map(|c| c.faults_injected).sum(),
+            total_messages_lost: cells.iter().map(|c| c.messages_lost).sum(),
+            cells,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::str(&self.name)),
+            ("description", Json::str(&self.description)),
+            ("mean_guarantee_ratio", Json::Num(self.mean_guarantee_ratio)),
+            ("min_guarantee_ratio", Json::Num(self.min_guarantee_ratio)),
+            ("max_guarantee_ratio", Json::Num(self.max_guarantee_ratio)),
+            (
+                "mean_messages_per_job",
+                Json::Num(self.mean_messages_per_job),
+            ),
+            ("mean_slack", Json::Num(self.mean_slack)),
+            (
+                "total_deadline_misses",
+                Json::UInt(self.total_deadline_misses),
+            ),
+            (
+                "total_faults_injected",
+                Json::UInt(self.total_faults_injected),
+            ),
+            ("total_messages_lost", Json::UInt(self.total_messages_lost)),
+            (
+                "cells",
+                Json::Array(self.cells.iter().map(CellReport::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The aggregate report of one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Sweep seeds, in input order.
+    pub seeds: Vec<u64>,
+    /// One summary per scenario, in input order.
+    pub scenarios: Vec<ScenarioSummary>,
+}
+
+impl SweepReport {
+    /// Renders the report as deterministic JSON (byte-identical across runs
+    /// and thread counts for the same scenarios and seeds).
+    pub fn to_json(&self) -> String {
+        Json::object(vec![
+            (
+                "seeds",
+                Json::Array(self.seeds.iter().map(|s| Json::UInt(*s)).collect()),
+            ),
+            (
+                "scenarios",
+                Json::Array(
+                    self.scenarios
+                        .iter()
+                        .map(ScenarioSummary::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Summary lookup by scenario name.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioSummary> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// Runs one `(scenario, seed)` cell: builds the network and workload,
+/// expands and schedules the perturbation plan, runs to quiescence and
+/// extracts the cell metrics.
+pub fn run_cell(scenario: &Scenario, seed: u64) -> CellReport {
+    let network = scenario.build_network(seed);
+    let jobs = scenario.build_workload(&network, seed);
+    let faults = scenario.perturbations.expand(&network, mix_seed(seed, 3));
+    let mut system = RtdsSystem::new(network, scenario.config, mix_seed(seed, 5));
+    system.set_fault_seed(mix_seed(seed, 4));
+    system.set_max_events(scenario.max_events);
+    for (time, fault) in faults {
+        system.schedule_fault(time.max(0.0), fault);
+    }
+    system.submit_workload(jobs);
+    let report = system.run();
+    CellReport::from_run(&scenario.name, seed, &report, system.events_processed())
+}
+
+/// Runs the full sweep `scenarios × config.seeds` on `config.threads`
+/// worker threads and aggregates per-scenario summaries.
+pub fn run_sweep(scenarios: &[Scenario], config: &SweepConfig) -> SweepReport {
+    let cells: Vec<(usize, u64)> = (0..scenarios.len())
+        .flat_map(|i| config.seeds.iter().map(move |&seed| (i, seed)))
+        .collect();
+    let mut reports = parallel_sweep_sharded(cells, config.threads, |(index, seed)| {
+        run_cell(&scenarios[index], seed)
+    })
+    .into_iter();
+    // Results come back in input order (scenario-major), so each scenario's
+    // cells are the next `seeds.len()` reports — name collisions between
+    // scenarios cannot cross-contaminate summaries.
+    let mut summaries = Vec::new();
+    for scenario in scenarios {
+        let cells: Vec<CellReport> = reports.by_ref().take(config.seeds.len()).collect();
+        summaries.push(ScenarioSummary::aggregate(
+            &scenario.name,
+            &scenario.description,
+            cells,
+        ));
+    }
+    SweepReport {
+        seeds: config.seeds.clone(),
+        scenarios: summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::find_scenario;
+
+    #[test]
+    fn sharded_sweep_preserves_order_for_any_thread_count() {
+        let inputs: Vec<u64> = (0..23).collect();
+        let expected: Vec<u64> = inputs.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 4, 7, 64] {
+            let out = parallel_sweep_sharded(inputs.clone(), threads, |x| x * 3);
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+        let empty: Vec<u64> = parallel_sweep_sharded(Vec::<u64>::new(), 4, |x| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cell_runs_are_reproducible() {
+        let scenario = find_scenario("paper-baseline").unwrap();
+        let a = run_cell(&scenario, 11);
+        let b = run_cell(&scenario, 11);
+        assert_eq!(a, b);
+        assert!(a.submitted > 0);
+        assert_eq!(a.deadline_misses, 0);
+        let c = run_cell(&scenario, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sweep_report_is_thread_count_invariant() {
+        let scenarios = vec![
+            find_scenario("paper-baseline").unwrap(),
+            find_scenario("partition-and-heal").unwrap(),
+        ];
+        let single = run_sweep(&scenarios, &SweepConfig::new(1, 2, 1));
+        let parallel = run_sweep(&scenarios, &SweepConfig::new(1, 2, 4));
+        assert_eq!(single, parallel);
+        assert_eq!(single.to_json(), parallel.to_json());
+        assert_eq!(single.scenarios.len(), 2);
+        assert!(single.scenario("paper-baseline").is_some());
+        assert!(single.scenario("nope").is_none());
+        for summary in &single.scenarios {
+            assert_eq!(summary.cells.len(), 2);
+            assert_eq!(summary.total_deadline_misses, 0);
+            assert!(summary.mean_guarantee_ratio > 0.0);
+            let json = single.to_json();
+            assert!(json.contains(&summary.name));
+        }
+    }
+
+    #[test]
+    fn duplicate_scenario_names_do_not_cross_contaminate() {
+        // A scenario swept against a mutated copy of itself (same name) must
+        // keep exactly seeds.len() cells per summary.
+        let base = find_scenario("paper-baseline").unwrap();
+        let mut tweaked = base.clone();
+        tweaked.workload.horizon = 120.0;
+        let report = run_sweep(&[base, tweaked], &SweepConfig::new(1, 2, 2));
+        assert_eq!(report.scenarios.len(), 2);
+        for summary in &report.scenarios {
+            assert_eq!(summary.cells.len(), 2);
+        }
+        // The shorter horizon admits fewer jobs, so the copies must differ.
+        assert_ne!(
+            report.scenarios[0].cells[0].submitted,
+            report.scenarios[1].cells[0].submitted
+        );
+    }
+
+    #[test]
+    fn faults_actually_fire_in_perturbed_cells() {
+        let scenario = find_scenario("site-crash-wave").unwrap();
+        let cell = run_cell(&scenario, 2);
+        assert!(cell.faults_injected > 0);
+        assert_eq!(cell.deadline_misses, 0);
+    }
+}

@@ -8,6 +8,7 @@
 //! belong to the protocol, as in the paper).
 
 use crate::event::{EventPayload, EventQueue};
+use crate::faults::{FaultEvent, FaultState};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
 use rtds_net::{Network, SiteId};
@@ -52,6 +53,7 @@ pub struct Context<'a, M> {
     site: SiteId,
     now: f64,
     network: &'a Network,
+    faults: &'a FaultState,
     outgoing: Vec<Outgoing<M>>,
     stats: &'a mut SimStats,
     trace: &'a mut Trace,
@@ -79,15 +81,16 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Sends a message over the *direct link* to a neighbor. The propagation
-    /// delay is the link delay.
+    /// delay is the link delay. If the link is currently failed by fault
+    /// injection, the message is silently lost (the sender cannot know).
     ///
     /// # Panics
-    /// Panics if `to` is not a direct neighbor — protocols must route
-    /// explicitly, exactly as in the paper (messages to non-neighbors travel
-    /// via the routing table, see [`Context::send_routed`]).
+    /// Panics if `to` has never been a direct neighbor — protocols must
+    /// route explicitly, exactly as in the paper (messages to non-neighbors
+    /// travel via the routing table, see [`Context::send_routed`]).
     pub fn send(&mut self, to: SiteId, msg: M) {
         assert!(
-            self.network.has_link(self.site, to),
+            self.network.has_link(self.site, to) || self.faults.link_is_failed(self.site, to),
             "site {} has no direct link to {} — use send_routed",
             self.site,
             to
@@ -154,6 +157,7 @@ pub struct Simulator<P: Protocol> {
     started: bool,
     stats: SimStats,
     trace: Trace,
+    faults: FaultState,
     max_events: u64,
     events_processed: u64,
 }
@@ -163,6 +167,7 @@ impl<P: Protocol> Simulator<P> {
     /// site in id order).
     pub fn new(network: Network, mut factory: impl FnMut(SiteId) -> P) -> Self {
         let nodes: Vec<P> = network.sites().map(&mut factory).collect();
+        let faults = FaultState::new(nodes.len(), 0);
         Simulator {
             network,
             nodes,
@@ -171,6 +176,7 @@ impl<P: Protocol> Simulator<P> {
             started: false,
             stats: SimStats::default(),
             trace: Trace::disabled(),
+            faults,
             max_events: u64::MAX,
             events_processed: 0,
         }
@@ -241,6 +247,37 @@ impl<P: Protocol> Simulator<P> {
             .push(time, site, EventPayload::External { message: msg });
     }
 
+    /// Schedules a perturbation at an absolute simulated time. At equal
+    /// timestamps faults apply before any protocol event (see the event
+    /// total order in [`crate::event`]).
+    pub fn schedule_fault(&mut self, time: f64, fault: FaultEvent) {
+        assert!(
+            time + 1e-12 >= self.now,
+            "cannot schedule a fault in the past (now {}, requested {time})",
+            self.now
+        );
+        // Faults target no particular site; SiteId(0) is a placeholder.
+        self.queue
+            .push(time, SiteId(0), EventPayload::Fault { fault });
+    }
+
+    /// Seeds the RNG used exclusively for message-loss draws. Call before
+    /// the run; protocol determinism is unaffected either way.
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.faults.reseed(seed);
+    }
+
+    /// Sets the message-loss probability immediately (faults can change it
+    /// mid-run via [`FaultEvent::SetMessageLoss`]).
+    pub fn set_message_loss(&mut self, probability: f64) {
+        self.faults.set_loss_probability(probability);
+    }
+
+    /// Read access to the fault plane (down sites, failed links, loss).
+    pub fn faults(&self) -> &FaultState {
+        &self.faults
+    }
+
     fn ensure_started(&mut self) {
         if self.started {
             return;
@@ -275,16 +312,32 @@ impl<P: Protocol> Simulator<P> {
             let target = event.target;
             match event.payload {
                 EventPayload::Deliver { from, message } => {
+                    if self.faults.site_is_down(target) {
+                        self.stats.add("sim_dropped_site_down", 1);
+                        continue;
+                    }
                     self.stats.messages_delivered += 1;
                     self.dispatch_with_ctx(target, |node, ctx| node.on_message(from, message, ctx));
                 }
                 EventPayload::External { message } => {
+                    if self.faults.site_is_down(target) {
+                        self.stats.add("sim_dropped_arrival_site_down", 1);
+                        continue;
+                    }
                     self.dispatch_with_ctx(target, |node, ctx| {
                         node.on_message(target, message, ctx)
                     });
                 }
                 EventPayload::Timer { timer_id } => {
+                    if self.faults.site_is_down(target) {
+                        self.stats.add("sim_dropped_timer_site_down", 1);
+                        continue;
+                    }
                     self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
+                }
+                EventPayload::Fault { fault } => {
+                    self.stats.add("sim_fault_events", 1);
+                    self.faults.apply(fault, &mut self.network);
                 }
             }
         }
@@ -300,6 +353,7 @@ impl<P: Protocol> Simulator<P> {
             site,
             now: self.now,
             network: &self.network,
+            faults: &self.faults,
             outgoing: Vec::new(),
             stats: &mut self.stats,
             trace: &mut self.trace,
@@ -309,14 +363,33 @@ impl<P: Protocol> Simulator<P> {
         for action in outgoing {
             match action {
                 Outgoing::Send { to, msg, delay } => {
-                    let delay = match delay {
-                        Some(d) => d,
-                        None => self
-                            .network
-                            .link_delay(site, to)
-                            .expect("checked by Context::send"),
-                    };
                     self.stats.messages_sent += 1;
+                    let delay = match delay {
+                        Some(d) => {
+                            // A routed send models a multi-hop management
+                            // path; if link failures have physically cut
+                            // the sender off from the target, it is lost.
+                            if self.faults.has_failed_links() && !self.network.has_path(site, to) {
+                                self.stats.add("sim_lost_unreachable", 1);
+                                continue;
+                            }
+                            d
+                        }
+                        None => match self.network.link_delay(site, to) {
+                            Some(d) => d,
+                            None => {
+                                // Checked by Context::send: the link exists
+                                // or is failed — here it must be failed.
+                                debug_assert!(self.faults.link_is_failed(site, to));
+                                self.stats.add("sim_lost_link_down", 1);
+                                continue;
+                            }
+                        },
+                    };
+                    if self.faults.roll_message_loss() {
+                        self.stats.add("sim_lost_random", 1);
+                        continue;
+                    }
                     self.queue.push(
                         self.now + delay,
                         to,
@@ -491,6 +564,233 @@ mod tests {
         sim.set_max_events(100);
         sim.run_to_quiescence();
         assert_eq!(sim.events_processed(), 100);
+    }
+
+    /// A flood that snapshots its neighbor list at start-up — like real
+    /// protocol nodes do — so it keeps sending over links that fail later.
+    #[derive(Debug, Default)]
+    struct CachedFlood {
+        neighbors: Vec<SiteId>,
+        seen_at: Option<f64>,
+    }
+
+    impl Protocol for CachedFlood {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            self.neighbors = ctx.neighbors().iter().map(|(n, _)| *n).collect();
+            if ctx.site() == SiteId(0) {
+                self.seen_at = Some(ctx.now());
+                for n in self.neighbors.clone() {
+                    ctx.send(n, 7);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _from: SiteId, _msg: u32, ctx: &mut Context<'_, u32>) {
+            if self.seen_at.is_none() {
+                self.seen_at = Some(ctx.now());
+                for n in self.neighbors.clone() {
+                    ctx.send(n, 7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failed_link_loses_messages_until_recovery() {
+        // Line 0-1-2-3: fail link 1-2 before the flood crosses it — sites 2
+        // and 3 never see the token; site 1's send into the failed link is
+        // lost, not a panic.
+        let net = line(4, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| CachedFlood::default());
+        sim.schedule_fault(
+            1.0,
+            FaultEvent::LinkDown {
+                a: SiteId(1),
+                b: SiteId(2),
+            },
+        );
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(1)).seen_at, Some(2.0));
+        assert_eq!(sim.node(SiteId(2)).seen_at, None);
+        assert_eq!(sim.node(SiteId(3)).seen_at, None);
+        assert_eq!(sim.stats().named("sim_lost_link_down"), 1);
+        assert_eq!(sim.stats().named("sim_fault_events"), 1);
+        assert!(sim.faults().link_is_failed(SiteId(1), SiteId(2)));
+    }
+
+    #[test]
+    fn recovered_link_carries_messages_again() {
+        let net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.schedule_fault(
+            0.0,
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.schedule_fault(
+            4.0,
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.inject_at(6.0, SiteId(0), "go");
+        sim.run_to_quiescence();
+        assert!(!sim.faults().link_is_failed(SiteId(0), SiteId(1)));
+        assert_eq!(sim.network().link_delay(SiteId(0), SiteId(1)), Some(2.0));
+    }
+
+    #[test]
+    fn routed_sends_are_lost_only_when_physically_cut_off() {
+        /// Sends a routed message from site 0 to site 3 when timer 1 fires.
+        #[derive(Debug, Default)]
+        struct RoutedPing {
+            received: Vec<&'static str>,
+        }
+        impl Protocol for RoutedPing {
+            type Msg = &'static str;
+            fn on_start(&mut self, ctx: &mut Context<'_, &'static str>) {
+                if ctx.site() == SiteId(0) {
+                    ctx.set_timer(5.0, 1);
+                    ctx.set_timer(20.0, 2);
+                }
+            }
+            fn on_message(
+                &mut self,
+                _from: SiteId,
+                msg: &'static str,
+                _ctx: &mut Context<'_, &'static str>,
+            ) {
+                self.received.push(msg);
+            }
+            fn on_timer(&mut self, timer_id: u64, ctx: &mut Context<'_, &'static str>) {
+                let msg = if timer_id == 1 { "cut" } else { "healed" };
+                ctx.send_routed(SiteId(3), 3.0, msg);
+            }
+        }
+        // Ring of 4 (0-1-2-3-0): failing ONE link (0-1) leaves the 0-3-2
+        // path, the routed send survives; also failing 3-0 isolates site 0.
+        let net = ring(4, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| RoutedPing::default());
+        sim.schedule_fault(
+            1.0,
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.schedule_fault(
+            10.0,
+            FaultEvent::LinkDown {
+                a: SiteId(3),
+                b: SiteId(0),
+            },
+        );
+        sim.run_to_quiescence();
+        // Timer 1 (t = 5, one failed link, still connected): delivered.
+        // Timer 2 (t = 20, site 0 isolated): lost.
+        assert_eq!(sim.node(SiteId(3)).received, vec!["cut"]);
+        assert_eq!(sim.stats().named("sim_lost_unreachable"), 1);
+    }
+
+    #[test]
+    fn same_time_fault_applies_before_delivery() {
+        // The fault at t = 2 (scheduled after the flood started) still beats
+        // the delivery at t = 2 thanks to the (time, class, seq) order.
+        let net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| Flood::default());
+        sim.schedule_fault(2.0, FaultEvent::SiteDown { site: SiteId(1) });
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(1)).seen_at, None);
+        assert_eq!(sim.stats().named("sim_dropped_site_down"), 1);
+    }
+
+    #[test]
+    fn crashed_site_drops_messages_timers_and_arrivals_until_recovery() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        // Site 0's timers (t = 2 and t = 5) are set in on_start; crash site 0
+        // from t = 1 to t = 3 so only the second timer fires.
+        sim.schedule_fault(1.0, FaultEvent::SiteDown { site: SiteId(0) });
+        sim.schedule_fault(3.0, FaultEvent::SiteUp { site: SiteId(0) });
+        // An arrival at the crashed site is lost; one after recovery lands.
+        sim.inject_at(2.0, SiteId(0), "lost");
+        sim.inject_at(4.0, SiteId(0), "kept");
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(SiteId(0)).fired, vec![1]);
+        assert_eq!(sim.node(SiteId(0)).received, vec![(SiteId(0), "kept")]);
+        assert_eq!(sim.stats().named("sim_dropped_timer_site_down"), 1);
+        assert_eq!(sim.stats().named("sim_dropped_arrival_site_down"), 1);
+    }
+
+    #[test]
+    fn total_message_loss_stops_the_flood_deterministically() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| Flood::default());
+        sim.set_fault_seed(9);
+        sim.set_message_loss(1.0);
+        sim.run_to_quiescence();
+        for (i, node) in sim.nodes().enumerate() {
+            if i == 0 {
+                assert!(node.seen_at.is_some());
+            } else {
+                assert_eq!(node.seen_at, None, "site {i}");
+            }
+        }
+        assert_eq!(sim.stats().named("sim_lost_random"), 2);
+        assert_eq!(sim.stats().messages_delivered, 0);
+    }
+
+    #[test]
+    fn partial_message_loss_is_reproducible() {
+        let run = |seed: u64| {
+            let net = ring(8, DelayDistribution::Constant(1.0), 0);
+            let mut sim = Simulator::new(net, |_| Flood::default());
+            sim.set_fault_seed(seed);
+            sim.schedule_fault(0.0, FaultEvent::SetMessageLoss { probability: 0.4 });
+            sim.run_to_quiescence();
+            let seen: Vec<Option<f64>> = sim.nodes().map(|n| n.seen_at).collect();
+            (seen, sim.stats().named("sim_lost_random"))
+        };
+        let (seen_a, lost_a) = run(3);
+        let (seen_b, lost_b) = run(3);
+        assert_eq!(seen_a, seen_b);
+        assert_eq!(lost_a, lost_b);
+        assert!(
+            lost_a > 0,
+            "p = 0.4 over a ring flood should lose something"
+        );
+    }
+
+    #[test]
+    fn jitter_fault_changes_delivery_time() {
+        let net = line(2, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.schedule_fault(
+            0.0,
+            FaultEvent::SetLinkDelay {
+                a: SiteId(0),
+                b: SiteId(1),
+                delay: 7.0,
+            },
+        );
+        sim.inject_at(1.0, SiteId(0), "kick");
+        sim.run_to_quiescence();
+        assert_eq!(sim.network().link_delay(SiteId(0), SiteId(1)), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_a_fault_in_the_past_panics() {
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.inject_at(5.0, SiteId(0), "x");
+        sim.run_to_quiescence();
+        sim.schedule_fault(1.0, FaultEvent::SiteDown { site: SiteId(0) });
     }
 
     #[test]

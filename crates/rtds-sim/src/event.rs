@@ -1,15 +1,31 @@
 //! Simulation events and the event queue.
 //!
-//! The queue is a binary heap keyed by `(time, sequence)`. The sequence
-//! number is assigned at scheduling time and strictly increases, which gives
-//! two guarantees the paper relies on:
+//! The queue is a binary heap keyed by the explicit total order
+//! `(time, class, sequence)`:
 //!
-//! * determinism — ties in simulated time are broken by scheduling order, so
-//!   a run is a pure function of its inputs;
-//! * per-link FIFO — two messages sent over the same link experience the same
-//!   propagation delay, hence the earlier-sent one is delivered first
-//!   (order-preserving links, §2).
+//! * `time` — simulated firing time;
+//! * `class` — [`EventPayload::class_rank`]: fault/perturbation events rank
+//!   before protocol events at the same timestamp, so a link that fails at
+//!   time `t` already affects every message delivered at `t` and the
+//!   interleaving of perturbations with protocol traffic is pinned rather
+//!   than an accident of scheduling order;
+//! * `sequence` — assigned at scheduling time and strictly increasing.
+//!
+//! This order gives two guarantees the paper relies on:
+//!
+//! * determinism — ties in simulated time are broken by the explicit class
+//!   rank and then by scheduling order, so a run is a pure function of its
+//!   inputs;
+//! * per-link FIFO — while a link's delay is constant, two messages sent
+//!   over it experience the same propagation delay, hence the earlier-sent
+//!   one is delivered first (order-preserving links, §2). A latency-jitter
+//!   fault ([`FaultEvent::SetLinkDelay`]) deliberately breaks this for
+//!   messages straddling the change: a message sent after a delay *drop*
+//!   can overtake one still in flight — exactly the reordering a dynamic
+//!   network inflicts, and part of what jitter scenarios test. Unperturbed
+//!   runs keep the full FIFO guarantee.
 
+use crate::faults::FaultEvent;
 use rtds_net::SiteId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -24,6 +40,23 @@ pub enum EventPayload<M> {
     /// An external stimulus injected by the experiment driver (for example a
     /// job arrival). Delivered like a message from the site to itself.
     External { message: M },
+    /// A perturbation applied by the engine itself (never dispatched to a
+    /// protocol handler). The target site is ignored.
+    Fault { fault: FaultEvent },
+}
+
+impl<M> EventPayload<M> {
+    /// Tie-breaking class of the payload at equal timestamps: faults apply
+    /// before any protocol event, protocol events keep their scheduling
+    /// order relative to each other.
+    pub fn class_rank(&self) -> u8 {
+        match self {
+            EventPayload::Fault { .. } => 0,
+            EventPayload::Deliver { .. }
+            | EventPayload::Timer { .. }
+            | EventPayload::External { .. } => 1,
+        }
+    }
 }
 
 /// A scheduled event.
@@ -43,11 +76,13 @@ impl<M: PartialEq> Eq for Event<M> {}
 
 impl<M: PartialEq> Ord for Event<M> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert to get earliest-first.
+        // BinaryHeap is a max-heap; invert to get earliest-first under the
+        // explicit total order (time, class, seq).
         other
             .time
             .partial_cmp(&self.time)
             .unwrap_or(Ordering::Equal)
+            .then(other.payload.class_rank().cmp(&self.payload.class_rank()))
             .then(other.seq.cmp(&self.seq))
     }
 }
@@ -164,6 +199,48 @@ mod tests {
             other => panic!("unexpected payloads {other:?}"),
         }
         assert!(a.seq < b.seq);
+    }
+
+    #[test]
+    fn faults_rank_before_protocol_events_at_the_same_time() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Scheduled last, but a same-time fault must pop first.
+        q.push(2.0, SiteId(0), EventPayload::Timer { timer_id: 1 });
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Deliver {
+                from: SiteId(1),
+                message: 9,
+            },
+        );
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Fault {
+                fault: FaultEvent::SiteDown { site: SiteId(0) },
+            },
+        );
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.payload.class_rank())
+            .collect();
+        assert_eq!(order, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn earlier_protocol_events_still_precede_later_faults() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Fault {
+                fault: FaultEvent::SetMessageLoss { probability: 0.5 },
+            },
+        );
+        q.push(1.0, SiteId(0), EventPayload::Timer { timer_id: 1 });
+        let first = q.pop().unwrap();
+        assert_eq!(first.time, 1.0);
+        assert_eq!(first.payload.class_rank(), 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   across *runs*, not inside one run),
 //! * [`arrivals`] generates sporadic job-arrival processes (Poisson,
 //!   periodic-with-jitter, bursty),
+//! * [`faults`] injects timed perturbations beyond the paper's base model
+//!   (link latency jitter, link failure/recovery, site crash/recovery,
+//!   probabilistic message loss) for the §13 dynamic-network scenarios; a
+//!   quiet fault plane leaves runs bit-identical to the unperturbed engine,
 //! * [`stats`] aggregates message counts, named protocol counters and the
 //!   real-time metrics the paper's claims are judged by (guarantee ratio),
 //! * [`trace`] records structured per-site events for debugging, golden tests
@@ -25,11 +29,13 @@
 pub mod arrivals;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod stats;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, ArrivalSchedule};
 pub use engine::{Context, Protocol, Simulator};
 pub use event::{Event, EventPayload};
+pub use faults::{FaultEvent, FaultState};
 pub use stats::{GuaranteeStats, SimStats};
 pub use trace::{Trace, TraceEvent};

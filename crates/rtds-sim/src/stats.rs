@@ -20,7 +20,7 @@ pub struct SimStats {
     /// Messages handed to the engine for delivery.
     pub messages_sent: u64,
     /// Messages actually delivered (equal to `messages_sent` once the run is
-    /// quiescent).
+    /// quiescent, unless fault injection lost or dropped some).
     pub messages_delivered: u64,
     /// Named protocol counters (for example `"enroll"`, `"trial_mapping"`,
     /// `"bid"`), kept ordered for deterministic reports.

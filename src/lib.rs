@@ -16,7 +16,11 @@
 //!   Spheres, the Mapper, release/deadline adjustment, Trial-Mapping
 //!   validation by maximum matching and distributed execution,
 //! * [`baselines`] — the comparison policies (local-only, random offload,
-//!   broadcast bidding à la focused addressing, centralized oracle).
+//!   broadcast bidding à la focused addressing, centralized oracle),
+//! * [`scenarios`] — the declarative scenario engine: named seeded
+//!   scenarios composing topology, workload and fault-injection recipes
+//!   (link jitter/failure, partitions, site crashes, message loss), a
+//!   built-in registry and a sharded deterministic sweep runner.
 //!
 //! ## Quickstart
 //!
@@ -41,5 +45,6 @@ pub use rtds_baselines as baselines;
 pub use rtds_core as core;
 pub use rtds_graph as graph;
 pub use rtds_net as net;
+pub use rtds_scenarios as scenarios;
 pub use rtds_sched as sched;
 pub use rtds_sim as sim;

@@ -5,6 +5,7 @@
 
 use rtds::core::{RtdsConfig, RtdsSystem, RunReport};
 use rtds::net::generators::{grid, DelayDistribution};
+use rtds::scenarios::{find_scenario, run_cell, run_sweep, SweepConfig};
 use rtds_bench::{workload, WorkloadSpec};
 
 fn run_once(net_seed: u64, workload_seed: u64, system_seed: u64) -> RunReport {
@@ -61,4 +62,26 @@ fn changing_network_or_workload_seed_changes_the_run() {
     // timing and distribution decisions.
     let other_network = run_once(12, 42, 7);
     assert_ne!(base, other_network);
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_for_any_thread_count() {
+    // The scenario sweep shards (scenario, seed) cells over worker threads;
+    // the aggregate report — including its JSON rendering — must not depend
+    // on how many threads did the work, nor on the run.
+    let scenarios = vec![
+        find_scenario("paper-baseline").unwrap(),
+        find_scenario("lossy-messages").unwrap(),
+        find_scenario("partition-and-heal").unwrap(),
+    ];
+    let reference = run_sweep(&scenarios, &SweepConfig::new(7, 2, 1));
+    let reference_json = reference.to_json();
+    for threads in [2, 3, 16] {
+        let report = run_sweep(&scenarios, &SweepConfig::new(7, 2, threads));
+        assert_eq!(reference, report, "threads = {threads}");
+        assert_eq!(reference_json, report.to_json(), "threads = {threads}");
+    }
+    // And a perturbed single cell is bit-reproducible on its own.
+    let scenario = find_scenario("site-crash-wave").unwrap();
+    assert_eq!(run_cell(&scenario, 3), run_cell(&scenario, 3));
 }

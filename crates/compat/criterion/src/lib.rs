@@ -73,7 +73,23 @@ impl Bencher {
     }
 }
 
-fn run_one(group: &str, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+/// Per-iteration work declared by a benchmark, so the harness can report a
+/// rate (elements or bytes per second) next to the raw time — the same API
+/// as real criterion's `Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+fn run_one(
+    group: &str,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
     let mut bencher = Bencher { measured: None };
     f(&mut bencher);
     let label = if group.is_empty() {
@@ -84,8 +100,17 @@ fn run_one(group: &str, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
     match bencher.measured {
         Some((iters, elapsed)) => {
             let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!(" {:>12.0} elem/s", n as f64 / per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!(" {:>12.0} B/s", n as f64 / per_iter)
+                }
+                None => String::new(),
+            };
             println!(
-                "bench {label:<50} {:>12.3} µs/iter ({iters} iters)",
+                "bench {label:<50} {:>12.3} µs/iter ({iters} iters){rate}",
                 per_iter * 1e6
             );
         }
@@ -96,6 +121,7 @@ fn run_one(group: &str, id: &BenchmarkId, f: impl FnOnce(&mut Bencher)) {
 /// A named collection of benchmarks sharing configuration.
 pub struct BenchmarkGroup<'a> {
     name: String,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -111,12 +137,19 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the per-iteration work of subsequent benchmarks in this
+    /// group; the harness prints the implied rate next to the time.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let mut f = f;
-        run_one(&self.name, &id.into(), |b| f(b));
+        run_one(&self.name, &id.into(), self.throughput, |b| f(b));
         self
     }
 
@@ -131,7 +164,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let mut f = f;
-        run_one(&self.name, &id.into(), |b| f(b, input));
+        run_one(&self.name, &id.into(), self.throughput, |b| f(b, input));
         self
     }
 
@@ -146,6 +179,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
+            throughput: None,
             _criterion: self,
         }
     }
@@ -155,7 +189,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut f = f;
-        run_one("", &id.into(), |b| f(b));
+        run_one("", &id.into(), None, |b| f(b));
         self
     }
 
@@ -170,7 +204,7 @@ impl Criterion {
         F: FnMut(&mut Bencher, &I),
     {
         let mut f = f;
-        run_one("", &id.into(), |b| f(b, input));
+        run_one("", &id.into(), None, |b| f(b, input));
         self
     }
 

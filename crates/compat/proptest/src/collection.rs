@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Length specification for [`vec`]: either a half-open range or an exact
+/// Length specification for [`fn@vec`]: either a half-open range or an exact
 /// size, mirroring proptest's `SizeRange` conversions.
 #[derive(Debug, Clone)]
 pub struct SizeRange(core::ops::Range<usize>);

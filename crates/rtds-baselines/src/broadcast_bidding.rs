@@ -1,7 +1,7 @@
 //! Broadcast focused-addressing / bidding, in the style of Cheng, Stankovic
-//! and Ramamritham [4].
+//! and Ramamritham \[4\].
 //!
-//! The paper singles out [4] as the only previous distributed scheme for
+//! The paper singles out \[4\] as the only previous distributed scheme for
 //! competitive DAGs and criticises it for broadcasting surplus information
 //! over the entire network. This baseline reproduces that mechanism at the
 //! level of detail the reference provides:

@@ -11,7 +11,7 @@
 //!   neighbor with a bounded number of forwarding hops (a naive cooperation
 //!   scheme with very low overhead),
 //! * [`broadcast_bidding`] — focused addressing / bidding in the style of
-//!   Cheng, Stankovic and Ramamritham [4]: on local failure the initiator
+//!   Cheng, Stankovic and Ramamritham \[4\]: on local failure the initiator
 //!   floods a request for bids over the *whole* network, collects surplus
 //!   bids during a bidding window and then offers the job to the best
 //!   bidders; acceptance is good but the message cost grows with the network
@@ -21,6 +21,11 @@
 //!   distribution scheme could accept,
 //! * [`policy`] — the common report type shared by every policy so the
 //!   harness can print comparable rows.
+//!
+//! Every policy consumes the same ingredients as RTDS itself — networks from
+//! [`rtds_net`], jobs from [`rtds_graph`], plans from [`rtds_sched`] — and is
+//! driven side-by-side with [`rtds_core`](../rtds_core/index.html) by the
+//! comparison harness in [`rtds_bench`](../rtds_bench/index.html).
 
 pub mod broadcast_bidding;
 pub mod centralized;

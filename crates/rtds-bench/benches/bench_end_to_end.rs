@@ -2,7 +2,7 @@
 //! workload distributed over Computing Spheres) on networks of increasing
 //! size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtds_bench::{workload, WorkloadSpec};
 use rtds_core::{RtdsConfig, RtdsSystem};
 use rtds_net::generators::{grid, DelayDistribution};
@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
-    for &side in &[4usize, 6, 8] {
+    for &side in &[4usize, 6, 8, 16] {
         let network = grid(side, side, false, DelayDistribution::Constant(1.0), 1);
         let jobs = workload(
             &network,
@@ -24,6 +24,8 @@ fn bench_end_to_end(c: &mut Criterion) {
                 ..WorkloadSpec::default()
             },
         );
+        // Rate unit: submitted jobs pushed through the full protocol.
+        group.throughput(Throughput::Elements(jobs.len() as u64));
         group.bench_with_input(
             BenchmarkId::new(
                 "simulate",

@@ -1,7 +1,7 @@
 //! Criterion bench: workload generation (DAG families and critical-path
 //! analysis), the substrate every experiment relies on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtds_graph::critical_path_tasks;
 use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
 use std::hint::black_box;
@@ -22,7 +22,7 @@ fn bench_graph_gen(c: &mut Criterion) {
         ("fft", DagShape::FftButterfly),
     ];
     for (name, shape) in shapes {
-        for &n in &[32usize, 256] {
+        for &n in &[32usize, 256, 1024] {
             let cfg = GeneratorConfig {
                 task_count: n,
                 shape,
@@ -33,6 +33,7 @@ fn bench_graph_gen(c: &mut Criterion) {
                 ccr: 0.5,
                 laxity_factor: (2.0, 3.0),
             };
+            group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new(name, n), &cfg, |b, cfg| {
                 b.iter(|| {
                     let mut generator = DagGenerator::new(*cfg, 3);
@@ -56,6 +57,7 @@ fn bench_graph_gen(c: &mut Criterion) {
         laxity_factor: (2.0, 3.0),
     };
     let graph = DagGenerator::new(cfg, 9).generate_graph();
+    group.throughput(Throughput::Elements(1000));
     group.bench_function("critical_path_1000", |b| {
         b.iter(|| black_box(critical_path_tasks(&graph)))
     });

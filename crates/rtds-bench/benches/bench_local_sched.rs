@@ -1,7 +1,7 @@
 //! Criterion bench: the §5 local admission test and the §10 satisfiability
 //! test against plans of increasing occupancy.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
 use rtds_graph::{JobId, TaskId};
 use rtds_sched::admission::admit_dag_locally;
@@ -26,7 +26,7 @@ fn loaded_plan(reservations: usize) -> SchedulePlan {
 
 fn bench_local_sched(c: &mut Criterion) {
     let mut group = c.benchmark_group("local_sched");
-    for &existing in &[0usize, 20, 100] {
+    for &existing in &[0usize, 20, 100, 500] {
         let plan = loaded_plan(existing);
         let cfg = GeneratorConfig {
             task_count: 12,
@@ -39,6 +39,8 @@ fn bench_local_sched(c: &mut Criterion) {
             laxity_factor: (3.0, 3.0),
         };
         let job = DagGenerator::new(cfg, 5).generate_job(0, 0.0);
+        // Rate unit: tasks placed (or probed) per second against the plan.
+        group.throughput(Throughput::Elements(cfg.task_count as u64));
         group.bench_with_input(
             BenchmarkId::new("admit_dag", existing),
             &(plan.clone(), job.clone()),
@@ -53,6 +55,7 @@ fn bench_local_sched(c: &mut Criterion) {
                 duration: 4.0,
             })
             .collect();
+        group.throughput(Throughput::Elements(10));
         group.bench_with_input(
             BenchmarkId::new("satisfiable", existing),
             &(plan, requests),

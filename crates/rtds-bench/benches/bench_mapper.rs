@@ -1,15 +1,16 @@
 //! Criterion bench: the §12 Mapper (list scheduling + EFT + S*) as a function
 //! of DAG size and ACS width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtds_core::{adjust_mapping, map_dag, LaxityDispatch, MapperInput, ProcessorSpec};
 use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
 use std::hint::black_box;
 
 fn bench_mapper(c: &mut Criterion) {
     let mut group = c.benchmark_group("mapper");
-    for &tasks in &[10usize, 50, 200] {
+    for &tasks in &[10usize, 50, 200, 800] {
         for &procs in &[2usize, 8] {
+            group.throughput(Throughput::Elements(tasks as u64));
             let cfg = GeneratorConfig {
                 task_count: tasks,
                 shape: DagShape::LayeredRandom {

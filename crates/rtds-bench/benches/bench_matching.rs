@@ -1,10 +1,10 @@
 //! Criterion bench: Hopcroft–Karp maximum matching (the §10 coupling) as a
 //! function of the ACS size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rtds_core::maximum_bipartite_matching;
+use rtds_core::{maximum_bipartite_matching, maximum_bipartite_matching_csr, BipartiteCsr};
 use std::hint::black_box;
 
 fn random_bipartite(left: usize, right: usize, p: f64, seed: u64) -> Vec<Vec<usize>> {
@@ -16,10 +16,22 @@ fn random_bipartite(left: usize, right: usize, p: f64, seed: u64) -> Vec<Vec<usi
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
-    for &n in &[8usize, 32, 128, 512] {
-        let edges = random_bipartite(n, n, 0.2, 3);
+    for &n in &[8usize, 32, 128, 512, 2048] {
+        // Density scaled so edge counts (the solver's unit of work) grow
+        // linearly with n instead of quadratically.
+        let p = (16.0 / n as f64).min(0.5);
+        let edges = random_bipartite(n, n, p, 3);
+        let edge_count: usize = edges.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(edge_count as u64));
         group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &edges, |b, edges| {
             b.iter(|| black_box(maximum_bipartite_matching(n, n, edges)))
+        });
+        // CSR fast path with a caller-held scratch (what the validation
+        // round runs): no per-solve allocation at all.
+        let csr = BipartiteCsr::from_lists(&edges, n);
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp_csr", n), &csr, |b, csr| {
+            let mut scratch = rtds_core::MatchScratch::default();
+            b.iter(|| black_box(maximum_bipartite_matching_csr(csr, &mut scratch)))
         });
     }
     group.finish();

@@ -1,7 +1,7 @@
 //! Criterion bench: the interrupted distributed Bellman–Ford (§7) and sphere
 //! extraction as a function of network size and sphere radius.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rtds_net::bellman_ford::phased_apsp;
 use rtds_net::generators::{grid, DelayDistribution};
 use rtds_net::sphere::Sphere;
@@ -9,7 +9,8 @@ use std::hint::black_box;
 
 fn bench_pcs(c: &mut Criterion) {
     let mut group = c.benchmark_group("pcs");
-    for &side in &[4usize, 8, 16] {
+    for &side in &[4usize, 8, 16, 24] {
+        let sites = side * side;
         let net = grid(
             side,
             side,
@@ -17,16 +18,17 @@ fn bench_pcs(c: &mut Criterion) {
             DelayDistribution::Uniform { min: 0.5, max: 2.0 },
             1,
         );
+        group.throughput(Throughput::Elements(sites as u64));
         for &h in &[2usize, 4] {
             group.bench_with_input(
-                BenchmarkId::new("phased_apsp", format!("{}sites_h{h}", side * side)),
+                BenchmarkId::new("phased_apsp", format!("{sites}sites_h{h}")),
                 &net,
                 |b, net| b.iter(|| black_box(phased_apsp(net, 2 * h))),
             );
         }
         let result = phased_apsp(&net, 4);
         group.bench_with_input(
-            BenchmarkId::new("sphere_extraction", side * side),
+            BenchmarkId::new("sphere_extraction", sites),
             &result,
             |b, result| {
                 b.iter(|| black_box(Sphere::from_tables(&result.tables[0], &result.tables, 2)))

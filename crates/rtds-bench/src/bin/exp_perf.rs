@@ -1,0 +1,60 @@
+//! `exp_perf` — the fixed performance suite behind the `BENCH_<n>.json`
+//! trajectory.
+//!
+//! Runs the paper-baseline scenario plus three registry scenarios scaled to
+//! 16/64/256 sites (see [`rtds_bench::perf`]), printing a throughput table
+//! and writing the deterministic-schema JSON report. Timings (`wall_ms`,
+//! `events_per_sec`) are the only nondeterministic fields; everything else
+//! is a pure function of `--seed`.
+//!
+//! ```text
+//! exp_perf [--seed <u64>] [--json <path>] [--smoke]
+//! ```
+//!
+//! `--smoke` runs only the native paper baseline and the 16-site tier (the
+//! CI smoke configuration).
+
+use rtds_bench::perf::{run_perf_suite, PERF_TIERS};
+use rtds_bench::{write_json_report, ExpArgs};
+
+fn main() {
+    let args = ExpArgs::parse(&["smoke"]);
+    let seed = args.seed(7);
+    let smoke = args.has("smoke");
+    println!(
+        "exp_perf: fixed suite, seed {seed}{}",
+        if smoke { ", smoke tier only" } else { "" }
+    );
+    println!();
+    println!(
+        "{:<26} {:>5} {:>5} {:>6} {:>9} {:>9} {:>10} {:>9} {:>12}",
+        "workload", "sites", "jobs", "ratio", "msgs", "msgs/job", "events", "wall ms", "events/s"
+    );
+    let report = run_perf_suite(seed, smoke);
+    for w in &report.workloads {
+        println!(
+            "{:<26} {:>5} {:>5} {:>6.3} {:>9} {:>9.1} {:>10} {:>9.1} {:>12.0}",
+            w.name,
+            w.sites,
+            w.submitted,
+            w.guarantee_ratio,
+            w.messages_sent,
+            w.messages_per_job,
+            w.events_processed,
+            w.wall.as_secs_f64() * 1e3,
+            w.events_per_sec()
+        );
+    }
+    println!();
+    for &tier in &PERF_TIERS {
+        if report.workloads.iter().any(|w| w.tier == tier) {
+            println!(
+                "tier {tier:>3} sites: {:>12.0} events/s",
+                report.tier_events_per_sec(tier)
+            );
+        }
+    }
+    if let Some(path) = args.json_path() {
+        write_json_report(path, &report.to_json(true));
+    }
+}

@@ -17,7 +17,9 @@
 //!   * `exp_extensions_ablation` — E5: the §13 extension switches,
 //!   * `exp_scenarios` — the declarative scenario engine: registry listing,
 //!     fault-injection scenarios and the sharded seed sweep (see
-//!     `rtds-scenarios`),
+//!     [`rtds_scenarios`]),
+//!   * `exp_perf` — the fixed performance suite behind the recorded
+//!     `BENCH_<n>.json` trajectory (see [`perf`] and `docs/PERFORMANCE.md`),
 //! * Criterion benches (`benches/`): the Mapper, the Hopcroft–Karp matching,
 //!   the phased routing exchange, the local admission test, DAG generation
 //!   and an end-to-end job distribution.
@@ -30,6 +32,9 @@
 
 pub mod args;
 pub mod harness;
+pub mod perf;
+
+pub use perf::{run_perf_suite, PerfReport};
 
 pub use args::{write_json_report, ExpArgs};
 pub use harness::{

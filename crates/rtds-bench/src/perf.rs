@@ -1,0 +1,354 @@
+//! The `exp_perf` fixed performance suite — the recorded perf trajectory.
+//!
+//! Every PR extends `BENCH_<n>.json`: a deterministic-schema report over a
+//! fixed set of seeded workloads. The suite is the paper-baseline registry
+//! scenario (its native 25-site grid) plus three registry scenarios
+//! re-scaled to 16, 64 and 256 sites:
+//!
+//! * `paper-baseline` — the 5×5 evaluation grid with Poisson hotspots,
+//! * `paper-baseline/N` — the same recipe on 4×4 / 8×8 / 16×16 grids,
+//! * `wide-low-degree/N` — a random spanning tree (every link a bridge,
+//!   sphere radius 3 — the routing exchange runs six phases),
+//! * `hetero-speed-sites/N` — a connected Erdős–Rényi graph with ~3 average
+//!   degree and a 6× speed spread under the §13 uniform-machines extension.
+//!
+//! Each workload is one fully deterministic single-threaded simulation; the
+//! only nondeterministic fields of the report are the timings (`wall_ms`,
+//! `events_per_sec`). Everything else — event counts, message counts,
+//! acceptance outcomes — is a pure function of the seed, which is what the
+//! determinism suite pins (two `exp_perf --seed 7` runs must agree on every
+//! non-timing field).
+
+use rtds_core::{JobOutcomeKind, RtdsSystem};
+use rtds_scenarios::{find_scenario, mix_seed, Json, Scenario, TopologyRecipe};
+use std::time::{Duration, Instant};
+
+/// Identifier of the report schema (bump on breaking field changes).
+pub const PERF_SCHEMA: &str = "rtds-exp-perf/1";
+
+/// The site-count tiers of the scaled scenarios.
+pub const PERF_TIERS: [usize; 3] = [16, 64, 256];
+
+/// One workload of the fixed suite: a scenario pinned to a size tier.
+#[derive(Debug, Clone)]
+pub struct PerfWorkload {
+    /// Report name (`scenario` or `scenario/sites`).
+    pub name: String,
+    /// Scenario to run.
+    pub scenario: Scenario,
+    /// Size tier the workload belongs to (0 for the native paper baseline).
+    pub tier: usize,
+}
+
+/// Re-scales a registry scenario to a site-count tier.
+///
+/// # Panics
+/// Panics on an unknown scenario name or a tier that is not a square for
+/// grid-based scenarios.
+pub fn scaled_scenario(name: &str, sites: usize) -> Scenario {
+    let mut scenario =
+        find_scenario(name).unwrap_or_else(|| panic!("unknown registry scenario {name:?}"));
+    scenario.topology.recipe = match scenario.topology.recipe {
+        TopologyRecipe::Grid { wrap, .. } => {
+            let side = (sites as f64).sqrt().round() as usize;
+            assert_eq!(side * side, sites, "grid tier {sites} is not a square");
+            TopologyRecipe::Grid {
+                width: side,
+                height: side,
+                wrap,
+            }
+        }
+        TopologyRecipe::RandomTree { .. } => TopologyRecipe::RandomTree { sites },
+        TopologyRecipe::ErdosRenyi { .. } => TopologyRecipe::ErdosRenyi {
+            sites,
+            // Keep the average degree near 3 at every tier so the tiers
+            // stress network size, not density.
+            edge_prob: 3.0 / (sites as f64 - 1.0),
+        },
+        other => panic!("scenario {name:?} has an unscalable topology {other:?}"),
+    };
+    scenario.name = format!("{name}/{sites}");
+    scenario
+}
+
+/// The fixed suite, in run order. `smoke` keeps only the native paper
+/// baseline and the smallest tier (the CI smoke configuration).
+pub fn perf_suite(smoke: bool) -> Vec<PerfWorkload> {
+    let mut suite = vec![PerfWorkload {
+        name: "paper-baseline".into(),
+        scenario: find_scenario("paper-baseline").expect("registry scenario"),
+        tier: 0,
+    }];
+    let tiers: &[usize] = if smoke {
+        &PERF_TIERS[..1]
+    } else {
+        &PERF_TIERS[..]
+    };
+    for scenario in ["paper-baseline", "wide-low-degree", "hetero-speed-sites"] {
+        for &sites in tiers {
+            let scaled = scaled_scenario(scenario, sites);
+            suite.push(PerfWorkload {
+                name: scaled.name.clone(),
+                scenario: scaled,
+                tier: sites,
+            });
+        }
+    }
+    suite
+}
+
+/// Result of one workload: deterministic metrics plus the wall-clock timing.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name.
+    pub name: String,
+    /// Size tier (0 for the native paper baseline).
+    pub tier: usize,
+    /// Sites of the instantiated network.
+    pub sites: usize,
+    /// Links of the instantiated network.
+    pub links: usize,
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs accepted by their arrival site.
+    pub accepted_locally: u64,
+    /// Jobs accepted after distribution.
+    pub accepted_distributed: u64,
+    /// Jobs rejected.
+    pub rejected: u64,
+    /// Accepted jobs that missed their deadline (must stay zero).
+    pub deadline_misses: u64,
+    /// Guarantee ratio.
+    pub guarantee_ratio: f64,
+    /// Engine-level messages handed in for delivery.
+    pub messages_sent: u64,
+    /// Engine-level messages delivered.
+    pub messages_delivered: u64,
+    /// Distribution messages per submitted job.
+    pub messages_per_job: f64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Final simulated time.
+    pub finished_at: f64,
+    /// Wall-clock time of the simulation run (nondeterministic).
+    pub wall: Duration,
+}
+
+impl WorkloadResult {
+    /// Events per wall-clock second (nondeterministic).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_processed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self, timings: bool) -> Json {
+        let timing = |v: f64| if timings { Json::Num(v) } else { Json::Null };
+        Json::object(vec![
+            ("name", Json::str(&self.name)),
+            ("tier", Json::UInt(self.tier as u64)),
+            ("sites", Json::UInt(self.sites as u64)),
+            ("links", Json::UInt(self.links as u64)),
+            ("submitted", Json::UInt(self.submitted)),
+            ("accepted_locally", Json::UInt(self.accepted_locally)),
+            (
+                "accepted_distributed",
+                Json::UInt(self.accepted_distributed),
+            ),
+            ("rejected", Json::UInt(self.rejected)),
+            ("deadline_misses", Json::UInt(self.deadline_misses)),
+            ("guarantee_ratio", Json::Num(self.guarantee_ratio)),
+            ("messages_sent", Json::UInt(self.messages_sent)),
+            ("messages_delivered", Json::UInt(self.messages_delivered)),
+            ("messages_per_job", Json::Num(self.messages_per_job)),
+            ("events_processed", Json::UInt(self.events_processed)),
+            ("finished_at", Json::Num(self.finished_at)),
+            ("wall_ms", timing(self.wall.as_secs_f64() * 1e3)),
+            ("events_per_sec", timing(self.events_per_sec())),
+        ])
+    }
+}
+
+/// The aggregate report of one `exp_perf` run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Suite seed.
+    pub seed: u64,
+    /// Whether the smoke subset ran.
+    pub smoke: bool,
+    /// One result per workload, in suite order.
+    pub workloads: Vec<WorkloadResult>,
+}
+
+impl PerfReport {
+    /// Aggregate events/sec of one size tier (nondeterministic).
+    pub fn tier_events_per_sec(&self, tier: usize) -> f64 {
+        let (events, wall) = self
+            .workloads
+            .iter()
+            .filter(|w| w.tier == tier)
+            .fold((0u64, 0.0f64), |(e, s), w| {
+                (e + w.events_processed, s + w.wall.as_secs_f64())
+            });
+        events as f64 / wall.max(1e-9)
+    }
+
+    /// Renders the report. With `timings: false` every nondeterministic
+    /// field renders as `null` — the canonical form the determinism suite
+    /// compares.
+    pub fn to_json(&self, timings: bool) -> String {
+        let timing = |v: f64| if timings { Json::Num(v) } else { Json::Null };
+        let total_events: u64 = self.workloads.iter().map(|w| w.events_processed).sum();
+        let total_wall: f64 = self.workloads.iter().map(|w| w.wall.as_secs_f64()).sum();
+        let mut tiers = Vec::new();
+        for &tier in PERF_TIERS.iter() {
+            if self.workloads.iter().any(|w| w.tier == tier) {
+                let events: u64 = self
+                    .workloads
+                    .iter()
+                    .filter(|w| w.tier == tier)
+                    .map(|w| w.events_processed)
+                    .sum();
+                tiers.push(Json::object(vec![
+                    ("sites", Json::UInt(tier as u64)),
+                    ("events_processed", Json::UInt(events)),
+                    ("events_per_sec", timing(self.tier_events_per_sec(tier))),
+                ]));
+            }
+        }
+        Json::object(vec![
+            ("schema", Json::str(PERF_SCHEMA)),
+            ("seed", Json::UInt(self.seed)),
+            ("smoke", Json::Bool(self.smoke)),
+            (
+                "workloads",
+                Json::Array(self.workloads.iter().map(|w| w.to_json(timings)).collect()),
+            ),
+            ("tiers", Json::Array(tiers)),
+            (
+                "totals",
+                Json::object(vec![
+                    ("events_processed", Json::UInt(total_events)),
+                    ("wall_ms", timing(total_wall * 1e3)),
+                    (
+                        "events_per_sec",
+                        timing(total_events as f64 / total_wall.max(1e-9)),
+                    ),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// Runs one workload: instantiates the scenario for the seed, times the
+/// simulation run (network/workload construction is excluded from the
+/// timing) and extracts the deterministic metrics.
+pub fn run_workload(workload: &PerfWorkload, seed: u64) -> WorkloadResult {
+    let scenario = &workload.scenario;
+    let network = scenario.build_network(seed);
+    let sites = network.site_count();
+    let links = network.link_count();
+    let jobs = scenario.build_workload(&network, seed);
+    let faults = scenario.perturbations.expand(&network, mix_seed(seed, 3));
+    let mut system = RtdsSystem::new(network, scenario.config, mix_seed(seed, 5));
+    system.set_fault_seed(mix_seed(seed, 4));
+    system.set_max_events(scenario.max_events);
+    for (time, fault) in faults {
+        system.schedule_fault(time.max(0.0), fault);
+    }
+    system.submit_workload(jobs);
+    let start = Instant::now();
+    let report = system.run();
+    let wall = start.elapsed();
+    let rejected = report.jobs_submitted
+        - report.guarantee.accepted_locally
+        - report.guarantee.accepted_distributed;
+    debug_assert!(report
+        .jobs
+        .iter()
+        .all(|j| j.outcome != JobOutcomeKind::Rejected || j.completion.is_none()));
+    WorkloadResult {
+        name: workload.name.clone(),
+        tier: workload.tier,
+        sites,
+        links,
+        submitted: report.jobs_submitted,
+        accepted_locally: report.guarantee.accepted_locally,
+        accepted_distributed: report.guarantee.accepted_distributed,
+        rejected,
+        deadline_misses: report.deadline_misses(),
+        guarantee_ratio: report.guarantee_ratio(),
+        messages_sent: report.stats.messages_sent,
+        messages_delivered: report.stats.messages_delivered,
+        messages_per_job: report.messages_per_job,
+        events_processed: system.events_processed(),
+        finished_at: report.finished_at,
+        wall,
+    }
+}
+
+/// Runs the full (or smoke) suite for one seed.
+pub fn run_perf_suite(seed: u64, smoke: bool) -> PerfReport {
+    let workloads = perf_suite(smoke)
+        .iter()
+        .map(|w| run_workload(w, seed))
+        .collect();
+    PerfReport {
+        seed,
+        smoke,
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shape_is_fixed() {
+        let full = perf_suite(false);
+        assert_eq!(full.len(), 1 + 3 * PERF_TIERS.len());
+        let smoke = perf_suite(true);
+        assert_eq!(smoke.len(), 4);
+        assert!(smoke.iter().all(|w| w.tier <= 16));
+        // Names are unique.
+        let mut names: Vec<&str> = full.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), full.len());
+    }
+
+    #[test]
+    fn scaled_scenarios_hit_their_tier_exactly() {
+        for name in ["paper-baseline", "wide-low-degree", "hetero-speed-sites"] {
+            for &sites in &PERF_TIERS {
+                let scenario = scaled_scenario(name, sites);
+                let net = scenario.build_network(7);
+                assert_eq!(net.site_count(), sites, "{name}/{sites}");
+                assert!(net.is_connected(), "{name}/{sites}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown registry scenario")]
+    fn scaling_an_unknown_scenario_panics() {
+        let _ = scaled_scenario("no-such-scenario", 16);
+    }
+
+    #[test]
+    fn smoke_suite_runs_and_non_timing_fields_are_deterministic() {
+        let a = run_perf_suite(7, true);
+        let b = run_perf_suite(7, true);
+        assert_eq!(a.to_json(false), b.to_json(false));
+        assert_ne!(a.to_json(false), a.to_json(true));
+        for w in &a.workloads {
+            assert_eq!(w.deadline_misses, 0, "{}", w.name);
+            assert!(w.events_processed > 0, "{}", w.name);
+            assert!(w.events_per_sec() > 0.0, "{}", w.name);
+        }
+        // The canonical form nulls every timing field.
+        let canonical = a.to_json(false);
+        assert!(!canonical.contains("\"wall_ms\": 0."));
+        assert!(canonical.contains("\"wall_ms\": null"));
+    }
+}

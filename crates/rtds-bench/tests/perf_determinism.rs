@@ -1,0 +1,59 @@
+//! The exp_perf determinism contract: two runs of the binary with the same
+//! seed must agree on every non-timing field of the JSON report — the only
+//! nondeterministic fields are `wall_ms` and `events_per_sec`.
+
+use std::process::Command;
+
+const TIMING_FIELDS: [&str; 2] = ["wall_ms", "events_per_sec"];
+
+fn run_exp_perf(json_path: &std::path::Path, extra: &[&str]) -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_exp_perf"))
+        .args(["--seed", "7", "--json"])
+        .arg(json_path)
+        .args(extra)
+        .output()
+        .expect("exp_perf runs");
+    assert!(
+        output.status.success(),
+        "exp_perf failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = std::fs::read_to_string(json_path).expect("report written");
+    let _ = std::fs::remove_file(json_path);
+    report
+}
+
+/// Keeps only the deterministic lines of a report.
+fn strip_timings(report: &str) -> String {
+    report
+        .lines()
+        .filter(|line| !TIMING_FIELDS.iter().any(|f| line.contains(f)))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn two_seed_7_runs_agree_on_every_non_timing_field() {
+    let dir = std::env::temp_dir();
+    let first = run_exp_perf(&dir.join("rtds_perf_det_a.json"), &["--smoke"]);
+    let second = run_exp_perf(&dir.join("rtds_perf_det_b.json"), &["--smoke"]);
+    // The reports carry real timings (so they differ as a whole) …
+    assert!(first.contains("\"wall_ms\": "));
+    assert!(!first.contains("\"wall_ms\": null"));
+    // … but agree byte-for-byte once the timing fields are stripped.
+    assert_eq!(strip_timings(&first), strip_timings(&second));
+}
+
+#[test]
+fn smoke_report_has_the_fixed_schema() {
+    let report = run_exp_perf(
+        &std::env::temp_dir().join("rtds_perf_schema.json"),
+        &["--smoke"],
+    );
+    assert!(report.contains("\"schema\": \"rtds-exp-perf/1\""));
+    assert!(report.contains("\"seed\": 7"));
+    assert!(report.contains("\"smoke\": true"));
+    assert!(report.contains("\"name\": \"paper-baseline\""));
+    assert!(report.contains("\"name\": \"wide-low-degree/16\""));
+    assert!(report.contains("\"deadline_misses\": 0"));
+}

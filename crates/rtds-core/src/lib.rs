@@ -42,7 +42,9 @@ pub use adjust::{adjust_mapping, AdjustCase, AdjustOutcome};
 pub use analysis::{gantt_rows, table1_rows, GanttRow, Table1Row};
 pub use config::{LaxityDispatch, RtdsConfig};
 pub use mapper::{map_dag, MapperInput, MapperResult, ProcessorSpec};
-pub use matching::maximum_bipartite_matching;
+pub use matching::{
+    maximum_bipartite_matching, maximum_bipartite_matching_csr, BipartiteCsr, MatchScratch,
+};
 pub use messages::{RtdsMsg, TaskSpec};
 pub use node::RtdsNode;
 pub use system::{JobOutcomeKind, JobReport, RtdsSystem, RunReport};

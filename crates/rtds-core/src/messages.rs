@@ -22,6 +22,7 @@ use rtds_graph::{Job, JobId, TaskId};
 use rtds_net::routing::RouteEntry;
 use rtds_net::SiteId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Description of one task of a trial mapping as shipped to a validating /
 /// executing site. Durations are *not* included: the receiving site derives
@@ -47,8 +48,10 @@ pub enum RtdsMsg {
     RoutingUpdate {
         /// Phase number (1-based).
         phase: usize,
-        /// The sender's current routing-table lines.
-        lines: Vec<RouteEntry>,
+        /// The sender's current routing-table lines. Shared (`Arc`) because
+        /// one phase broadcast sends the *same* snapshot to every neighbor —
+        /// cloning the message clones a pointer, not `O(n)` route lines.
+        lines: Arc<[RouteEntry]>,
     },
     /// A job arrives at the receiving site (external injection).
     JobArrival {
@@ -82,8 +85,9 @@ pub enum RtdsMsg {
         /// The job being distributed.
         job: JobId,
         /// `tasks_per_logical[i]` is `T_i`, the task set of logical
-        /// processor `i`.
-        tasks_per_logical: Vec<Vec<TaskSpec>>,
+        /// processor `i`. Shared (`Arc`): the §10 broadcast ships one
+        /// mapping to every ACS member.
+        tasks_per_logical: Arc<[Vec<TaskSpec>]>,
     },
     /// A member's answer: the logical processors whose task set it could
     /// satisfy locally.
@@ -155,7 +159,7 @@ mod tests {
         assert!(m.is_distribution_message());
         let r = RtdsMsg::RoutingUpdate {
             phase: 1,
-            lines: vec![],
+            lines: Vec::new().into(),
         };
         assert_eq!(r.kind(), "routing_update");
         assert!(!r.is_distribution_message());
@@ -175,7 +179,7 @@ mod tests {
         assert_eq!(v.kind(), "validation_reply");
         let t = RtdsMsg::TrialMapping {
             job: JobId(3),
-            tasks_per_logical: vec![vec![]],
+            tasks_per_logical: vec![vec![]].into(),
         };
         assert_eq!(t.kind(), "trial_mapping");
         let a = RtdsMsg::EnrollAck {

@@ -67,7 +67,9 @@ struct Inflight {
     job: Job,
     acs: AcsCollection,
     members: Vec<AcsMember>,
-    tasks_per_logical: Vec<Vec<TaskSpec>>,
+    /// Shared with the §10 `TrialMapping` broadcast (one `Arc` for the
+    /// initiator's own copy and every member's message).
+    tasks_per_logical: Arc<[Vec<TaskSpec>]>,
     validation: Option<ValidationRound>,
 }
 
@@ -292,7 +294,7 @@ impl RtdsNode {
                 job,
                 acs,
                 members: Vec::new(),
-                tasks_per_logical: Vec::new(),
+                tasks_per_logical: Vec::new().into(),
                 validation: None,
             },
         );
@@ -379,8 +381,10 @@ impl RtdsNode {
         };
 
         // Build T_i per logical processor (compact numbering over the used
-        // processors of the mapping).
-        let tasks_per_logical: Vec<Vec<TaskSpec>> = result
+        // processors of the mapping). One shared allocation serves the local
+        // endorsement, every member's TrialMapping message and the in-flight
+        // record.
+        let tasks_per_logical: Arc<[Vec<TaskSpec>]> = result
             .used_processors
             .iter()
             .map(|&p| {
@@ -416,7 +420,7 @@ impl RtdsNode {
                     member.site,
                     RtdsMsg::TrialMapping {
                         job: job_id,
-                        tasks_per_logical: tasks_per_logical.clone(),
+                        tasks_per_logical: Arc::clone(&tasks_per_logical),
                     },
                 );
             }
@@ -606,7 +610,7 @@ impl RtdsNode {
         &mut self,
         from: SiteId,
         job: JobId,
-        tasks_per_logical: Vec<Vec<TaskSpec>>,
+        tasks_per_logical: Arc<[Vec<TaskSpec>]>,
         ctx: &mut Context<'_, RtdsMsg>,
     ) {
         let endorsable = endorsable_logical_processors(

@@ -16,6 +16,7 @@ use rtds_net::routing::{RouteEntry, RoutingTable};
 use rtds_net::sphere::Sphere;
 use rtds_net::SiteId;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Outgoing routing-update message produced by the PCS state machine.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +25,9 @@ pub struct PcsSend {
     pub to: SiteId,
     /// Phase this table belongs to.
     pub phase: usize,
-    /// Routing-table lines.
-    pub lines: Vec<RouteEntry>,
+    /// Routing-table lines — one shared snapshot per phase broadcast (every
+    /// neighbor receives the same `Arc`).
+    pub lines: Arc<[RouteEntry]>,
 }
 
 /// Per-site state of the §7 PCS construction.
@@ -40,9 +42,9 @@ pub struct PcsState {
     /// means the construction is finished.
     current_phase: usize,
     /// Tables received for the current phase, keyed by sender.
-    pending: BTreeMap<SiteId, Vec<RouteEntry>>,
+    pending: BTreeMap<SiteId, Arc<[RouteEntry]>>,
     /// Tables received early for future phases.
-    future: BTreeMap<usize, BTreeMap<SiteId, Vec<RouteEntry>>>,
+    future: BTreeMap<usize, BTreeMap<SiteId, Arc<[RouteEntry]>>>,
     /// Sphere radius `h`.
     radius: usize,
 }
@@ -81,7 +83,7 @@ impl PcsState {
         &mut self,
         from: SiteId,
         phase: usize,
-        lines: Vec<RouteEntry>,
+        lines: Arc<[RouteEntry]>,
     ) -> Vec<PcsSend> {
         if self.is_finished() {
             return Vec::new();
@@ -123,13 +125,14 @@ impl PcsState {
     }
 
     fn broadcast(&self, phase: usize) -> Vec<PcsSend> {
-        let lines = self.table.lines();
+        // One snapshot, shared by every neighbor's message.
+        let lines: Arc<[RouteEntry]> = self.table.lines().into();
         self.neighbors
             .iter()
             .map(|(n, _)| PcsSend {
                 to: *n,
                 phase,
-                lines: lines.clone(),
+                lines: Arc::clone(&lines),
             })
             .collect()
     }
@@ -162,13 +165,7 @@ impl PcsState {
                 }
             }
         }
-        Sphere {
-            center: self.owner,
-            radius: self.radius,
-            members,
-            delays,
-            delay_diameter: diameter,
-        }
+        Sphere::new(self.owner, self.radius, members, delays, diameter)
     }
 
     /// Sphere radius `h`.
@@ -192,7 +189,7 @@ mod tests {
             .sites()
             .map(|s| PcsState::new(s, net.neighbors(s).to_vec(), radius))
             .collect();
-        let mut queue: std::collections::VecDeque<(SiteId, SiteId, usize, Vec<RouteEntry>)> =
+        let mut queue: std::collections::VecDeque<(SiteId, SiteId, usize, Arc<[RouteEntry]>)> =
             std::collections::VecDeque::new();
         for s in net.sites() {
             for send in states[s.0].start() {

@@ -10,7 +10,7 @@
 //!   execution permutation (coupling of size `|U|`) or reject the job
 //!   ([`ValidationRound`]).
 
-use crate::matching::{matching_size, maximum_bipartite_matching};
+use crate::matching::{matching_size, maximum_bipartite_matching_csr, with_matching_workspace};
 use crate::messages::TaskSpec;
 use rtds_graph::JobId;
 use rtds_net::SiteId;
@@ -115,16 +115,20 @@ impl ValidationRound {
         assert!(self.is_complete(), "validation round is not complete");
         // Sites in deterministic order.
         let sites: Vec<SiteId> = self.replies.keys().copied().collect();
-        // Bipartite graph: left = logical processors, right = sites.
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); self.logical_count];
-        for (right_idx, site) in sites.iter().enumerate() {
-            for &logical in &self.replies[site] {
-                if logical < self.logical_count {
-                    edges[logical].push(right_idx);
-                }
-            }
-        }
-        let matching = maximum_bipartite_matching(self.logical_count, sites.len(), &edges);
+        // Bipartite CSR: left = logical processors, right = sites. Pairs are
+        // fed right-major, reproducing the historical per-left edge order
+        // (and thereby the exact permutation the solver extracts);
+        // out-of-range logical indices are dropped by the builder. The CSR
+        // and solver scratch are thread-locals reused across every
+        // Trial-Mapping validation of the run.
+        let pairs = sites
+            .iter()
+            .enumerate()
+            .flat_map(|(right_idx, site)| self.replies[site].iter().map(move |&l| (l, right_idx)));
+        let matching = with_matching_workspace(|csr, scratch| {
+            csr.rebuild_from_pairs(self.logical_count, sites.len(), pairs);
+            maximum_bipartite_matching_csr(csr, scratch)
+        });
         let size = matching_size(&matching);
         if size < self.logical_count {
             return ValidationOutcome::Rejected {

@@ -22,7 +22,11 @@
 //!   reconstructed from the published schedules and Table 1.
 //!
 //! The crate is deliberately free of any scheduling or networking logic so it
-//! can be reused by the local scheduler, the Mapper and the baselines alike.
+//! can be reused by the local scheduler ([`rtds_sched`](../rtds_sched/index.html)),
+//! the Mapper and protocol ([`rtds_core`](../rtds_core/index.html)) and the
+//! baselines ([`rtds_baselines`](../rtds_baselines/index.html)) alike; the
+//! scenario layer ([`rtds_scenarios`](../rtds_scenarios/index.html)) drives
+//! [`generators`] to synthesize whole workloads.
 
 pub mod critical_path;
 pub mod dag;

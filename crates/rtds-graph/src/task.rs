@@ -11,7 +11,7 @@ use std::fmt;
 
 /// Identifier of a task inside one job.
 ///
-/// Task ids are dense indices (`0..n`) into the owning [`TaskGraph`]
+/// Task ids are dense indices (`0..n`) into the owning [`TaskGraph`](crate::TaskGraph)
 /// (crate::TaskGraph); they are *not* globally unique across jobs. The paper's
 /// worked example numbers tasks from 1; the crate uses 0-based ids internally
 /// and the paper-facing binaries print them 1-based.

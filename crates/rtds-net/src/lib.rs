@@ -16,16 +16,23 @@
 //! * [`dijkstra`] — reference shortest paths, eccentricities and diameters
 //!   used to validate the distributed algorithm,
 //! * [`routing`] — the `<destination, distance, next hop>` routing tables of
-//!   §7.1,
+//!   §7.1, stored densely (a vector indexed by destination site id),
 //! * [`bellman_ford`] — the *interrupted* phase-synchronous distributed
 //!   All-Pairs Shortest Paths algorithm of §7.2 (Bertsekas–Gallager style),
 //! * [`sphere`] — hop-bounded sphere extraction: the structural core of the
-//!   Potential Computing Sphere.
+//!   Potential Computing Sphere,
+//! * [`siteset`] — the fixed-width [`SiteSet`] bitset answering sphere
+//!   membership in O(1).
+//!
+//! The protocol layers on top live in [`rtds_core`](../rtds_core/index.html);
+//! the discrete-event engine driving them is
+//! [`rtds_sim`](../rtds_sim/index.html).
 
 pub mod bellman_ford;
 pub mod dijkstra;
 pub mod generators;
 pub mod routing;
+pub mod siteset;
 pub mod sphere;
 pub mod topology;
 
@@ -33,5 +40,6 @@ pub use bellman_ford::{phased_apsp, PhasedApspResult};
 pub use dijkstra::{all_pairs_shortest_paths, shortest_paths, ShortestPaths};
 pub use generators::DelayDistribution;
 pub use routing::{RouteEntry, RoutingTable};
+pub use siteset::SiteSet;
 pub use sphere::Sphere;
 pub use topology::{Network, SiteId};

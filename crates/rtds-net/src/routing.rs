@@ -7,7 +7,6 @@
 
 use crate::topology::SiteId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// One line of a routing table.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -25,40 +24,72 @@ pub struct RouteEntry {
 
 /// Routing table of one site: destination → best known route.
 ///
-/// The map is ordered (`BTreeMap`) so that iteration — and therefore the
-/// contents of routing-update messages — is deterministic.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// Site ids are dense, so the table is a plain vector indexed by destination
+/// (`entries[d]` is the best known route to site `d`, `None` while the
+/// destination is unknown). Iteration runs in index — and therefore
+/// destination — order, so routing-update messages stay deterministic and
+/// byte-identical to the historical ordered-map representation; lookups and
+/// the §7.1 merge are O(1) per destination instead of tree walks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoutingTable {
     owner: SiteId,
-    entries: BTreeMap<SiteId, RouteEntry>,
+    entries: Vec<Option<RouteEntry>>,
+    /// Number of `Some` entries (known destinations).
+    known: usize,
+}
+
+impl PartialEq for RoutingTable {
+    /// Two tables are equal when they record the same routes — trailing
+    /// unknown slots (an artifact of how far each table has grown) are
+    /// ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.owner == other.owner && self.known == other.known && self.entries().eq(other.entries())
+    }
 }
 
 impl RoutingTable {
     /// Creates the initial routing table of a site: one self-entry of
     /// distance 0 plus one entry per adjacent link (§7.1 start conditions).
     pub fn initial(owner: SiteId, neighbors: &[(SiteId, f64)]) -> Self {
-        let mut entries = BTreeMap::new();
-        entries.insert(
+        let capacity = neighbors
+            .iter()
+            .map(|(n, _)| n.0)
+            .chain(std::iter::once(owner.0))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut table = RoutingTable {
             owner,
-            RouteEntry {
-                destination: owner,
-                distance: 0.0,
-                next_hop: None,
-                hops: 0,
-            },
-        );
+            entries: vec![None; capacity],
+            known: 0,
+        };
+        table.set(RouteEntry {
+            destination: owner,
+            distance: 0.0,
+            next_hop: None,
+            hops: 0,
+        });
         for &(nb, delay) in neighbors {
-            entries.insert(
-                nb,
-                RouteEntry {
-                    destination: nb,
-                    distance: delay,
-                    next_hop: Some(nb),
-                    hops: 1,
-                },
-            );
+            table.set(RouteEntry {
+                destination: nb,
+                distance: delay,
+                next_hop: Some(nb),
+                hops: 1,
+            });
         }
-        RoutingTable { owner, entries }
+        table
+    }
+
+    /// Inserts or replaces the route line for its destination.
+    fn set(&mut self, entry: RouteEntry) {
+        let idx = entry.destination.0;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        if self.entries[idx].is_none() {
+            self.known += 1;
+        }
+        self.entries[idx] = Some(entry);
     }
 
     /// The site owning this table.
@@ -68,17 +99,18 @@ impl RoutingTable {
 
     /// Number of known destinations (including the owner itself).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.known
     }
 
     /// Returns `true` if the table only knows the owner.
     pub fn is_empty(&self) -> bool {
-        self.entries.len() <= 1
+        self.known <= 1
     }
 
     /// Route to a destination, if known.
+    #[inline]
     pub fn route(&self, destination: SiteId) -> Option<&RouteEntry> {
-        self.entries.get(&destination)
+        self.entries.get(destination.0).and_then(|e| e.as_ref())
     }
 
     /// Minimum known delay to a destination.
@@ -98,14 +130,13 @@ impl RoutingTable {
 
     /// Iterator over all route lines in destination order.
     pub fn entries(&self) -> impl Iterator<Item = &RouteEntry> {
-        self.entries.values()
+        self.entries.iter().filter_map(|e| e.as_ref())
     }
 
     /// All destinations whose recorded route uses at most `max_hops` links —
     /// the membership test behind the Potential Computing Sphere.
     pub fn destinations_within_hops(&self, max_hops: usize) -> Vec<SiteId> {
-        self.entries
-            .values()
+        self.entries()
             .filter(|e| e.hops <= max_hops)
             .map(|e| e.destination)
             .collect()
@@ -132,7 +163,7 @@ impl RoutingTable {
                 next_hop: Some(neighbor),
                 hops: line.hops + 1,
             };
-            let better = match self.entries.get(&dest) {
+            let better = match self.route(dest) {
                 None => true,
                 Some(existing) => {
                     candidate.distance < existing.distance - 1e-12
@@ -141,7 +172,7 @@ impl RoutingTable {
                 }
             };
             if better {
-                self.entries.insert(dest, candidate);
+                self.set(candidate);
                 changed = true;
             }
         }
@@ -151,7 +182,7 @@ impl RoutingTable {
     /// Snapshot of the route lines, suitable for inclusion in a routing-update
     /// message (the §7.1 send step).
     pub fn lines(&self) -> Vec<RouteEntry> {
-        self.entries.values().copied().collect()
+        self.entries().copied().collect()
     }
 }
 

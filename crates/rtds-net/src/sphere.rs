@@ -13,10 +13,21 @@
 //!   the Mapper (§12).
 
 use crate::routing::RoutingTable;
+use crate::siteset::SiteSet;
 use crate::topology::SiteId;
 use serde::{Deserialize, Serialize};
 
 /// A hop-bounded sphere around a centre site.
+///
+/// Membership is answered by a fixed-width [`SiteSet`] bitset (O(1) per
+/// probe); the sorted `members` vector is kept alongside it for ordered
+/// iteration and the parallel `delays`.
+///
+/// The bitset is derived from `members` by the constructors and is the
+/// *only* source [`Sphere::contains`] consults — a sphere is an immutable
+/// snapshot. Do not mutate the public fields in place; build a new sphere
+/// via [`Sphere::new`] instead, or `contains` will disagree with the
+/// vector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sphere {
     /// The root site `k`.
@@ -32,9 +43,33 @@ pub struct Sphere {
     /// between two members (used by the Mapper as the communication-delay
     /// over-estimate ω).
     pub delay_diameter: f64,
+    /// Bitset over `members` (derived, kept in sync by the constructor).
+    members_set: SiteSet,
 }
 
 impl Sphere {
+    /// Assembles a sphere from its parts, deriving the membership bitset.
+    /// `members` must be sorted by site id with `delays` parallel to it.
+    pub fn new(
+        center: SiteId,
+        radius: usize,
+        members: Vec<SiteId>,
+        delays: Vec<f64>,
+        delay_diameter: f64,
+    ) -> Self {
+        debug_assert_eq!(members.len(), delays.len());
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members sorted");
+        let members_set = SiteSet::from_sites(&members);
+        Sphere {
+            center,
+            radius,
+            members,
+            delays,
+            delay_diameter,
+            members_set,
+        }
+    }
+
     /// Builds the sphere of hop radius `h` around the owner of `center_table`,
     /// using the member tables to compute the pairwise delay diameter.
     ///
@@ -64,13 +99,7 @@ impl Sphere {
                 }
             }
         }
-        Sphere {
-            center,
-            radius,
-            members,
-            delays,
-            delay_diameter: diameter,
-        }
+        Sphere::new(center, radius, members, delays, diameter)
     }
 
     /// Number of member sites (including the centre).
@@ -83,9 +112,16 @@ impl Sphere {
         self.members.len() <= 1
     }
 
-    /// Returns `true` if the given site belongs to the sphere.
+    /// Returns `true` if the given site belongs to the sphere (O(1) bitset
+    /// probe).
+    #[inline]
     pub fn contains(&self, s: SiteId) -> bool {
-        self.members.binary_search(&s).is_ok()
+        self.members_set.contains(s)
+    }
+
+    /// The membership bitset.
+    pub fn member_set(&self) -> &SiteSet {
+        &self.members_set
     }
 
     /// Minimum known delay from the centre to a member site.

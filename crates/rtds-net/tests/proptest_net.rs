@@ -1,6 +1,8 @@
 //! Property-based tests for the network substrate: the interrupted
-//! distributed Bellman–Ford must agree with centralized references, and
-//! spheres must satisfy the §6 structural properties.
+//! distributed Bellman–Ford must agree with centralized references, spheres
+//! must satisfy the §6 structural properties, and the dense (vector-indexed)
+//! routing table must behave identically to the ordered-map representation
+//! it replaced.
 
 use proptest::prelude::*;
 use rtds_net::bellman_ford::phased_apsp;
@@ -8,8 +10,84 @@ use rtds_net::dijkstra::{hop_limited_distance, shortest_paths};
 use rtds_net::generators::{
     barabasi_albert, erdos_renyi_connected, grid, random_geometric, ring, DelayDistribution,
 };
+use rtds_net::routing::{RouteEntry, RoutingTable};
+use rtds_net::siteset::SiteSet;
 use rtds_net::sphere::Sphere;
 use rtds_net::topology::{Network, SiteId};
+use std::collections::BTreeMap;
+
+/// The historical `BTreeMap`-backed routing table, kept verbatim as the
+/// behavioral reference the dense representation is pinned against.
+#[derive(Debug, Clone)]
+struct MapRoutingTable {
+    owner: SiteId,
+    entries: BTreeMap<SiteId, RouteEntry>,
+}
+
+impl MapRoutingTable {
+    fn initial(owner: SiteId, neighbors: &[(SiteId, f64)]) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            owner,
+            RouteEntry {
+                destination: owner,
+                distance: 0.0,
+                next_hop: None,
+                hops: 0,
+            },
+        );
+        for &(nb, delay) in neighbors {
+            entries.insert(
+                nb,
+                RouteEntry {
+                    destination: nb,
+                    distance: delay,
+                    next_hop: Some(nb),
+                    hops: 1,
+                },
+            );
+        }
+        MapRoutingTable { owner, entries }
+    }
+
+    fn merge_from_neighbor(
+        &mut self,
+        neighbor: SiteId,
+        link_delay: f64,
+        lines: &[RouteEntry],
+    ) -> bool {
+        let mut changed = false;
+        for line in lines {
+            let dest = line.destination;
+            if dest == self.owner {
+                continue;
+            }
+            let candidate = RouteEntry {
+                destination: dest,
+                distance: line.distance + link_delay,
+                next_hop: Some(neighbor),
+                hops: line.hops + 1,
+            };
+            let better = match self.entries.get(&dest) {
+                None => true,
+                Some(existing) => {
+                    candidate.distance < existing.distance - 1e-12
+                        || ((candidate.distance - existing.distance).abs() <= 1e-12
+                            && candidate.hops < existing.hops)
+                }
+            };
+            if better {
+                self.entries.insert(dest, candidate);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn lines(&self) -> Vec<RouteEntry> {
+        self.entries.values().copied().collect()
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 enum Topo {
@@ -158,6 +236,87 @@ proptest! {
                 .copied()
                 .fold(0.0f64, f64::max);
             prop_assert!(sphere.delay_diameter + 1e-9 >= max_center_delay);
+        }
+    }
+
+    /// The dense routing table is line-for-line equivalent to the historical
+    /// ordered-map representation over a full phased exchange on randomized
+    /// topologies: same change flags, same message contents (order included),
+    /// same final routes.
+    #[test]
+    fn dense_routing_table_matches_map_reference(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+        phases in 1usize..6,
+    ) {
+        let net = build(topo, delays, seed);
+        let mut dense: Vec<RoutingTable> = net
+            .sites()
+            .map(|s| RoutingTable::initial(s, net.neighbors(s)))
+            .collect();
+        let mut reference: Vec<MapRoutingTable> = net
+            .sites()
+            .map(|s| MapRoutingTable::initial(s, net.neighbors(s)))
+            .collect();
+        for _ in 0..phases {
+            // The send step: every site snapshots its lines. The snapshots —
+            // the wire contents of routing-update messages — must be
+            // identical, ordering included.
+            let dense_lines: Vec<Vec<RouteEntry>> = dense.iter().map(|t| t.lines()).collect();
+            let reference_lines: Vec<Vec<RouteEntry>> =
+                reference.iter().map(|t| t.lines()).collect();
+            prop_assert_eq!(&dense_lines, &reference_lines);
+            // The receive step: merge every neighbor's snapshot.
+            for s in net.sites() {
+                for &(nb, delay) in net.neighbors(s) {
+                    let changed_dense =
+                        dense[s.0].merge_from_neighbor(nb, delay, &dense_lines[nb.0]);
+                    let changed_reference =
+                        reference[s.0].merge_from_neighbor(nb, delay, &reference_lines[nb.0]);
+                    prop_assert_eq!(changed_dense, changed_reference, "site {} from {}", s, nb);
+                }
+            }
+        }
+        for s in net.sites() {
+            prop_assert_eq!(dense[s.0].lines(), reference[s.0].lines(), "site {}", s);
+            prop_assert_eq!(dense[s.0].len(), reference[s.0].entries.len());
+            for d in net.sites() {
+                prop_assert_eq!(
+                    dense[s.0].route(d).copied(),
+                    reference[s.0].entries.get(&d).copied(),
+                    "route {} -> {}", s, d
+                );
+            }
+        }
+    }
+
+    /// The sphere's bitset membership agrees with binary search over the
+    /// sorted member vector for every site of the network.
+    #[test]
+    fn sphere_bitset_matches_sorted_members(
+        topo in arbitrary_topo(),
+        delays in arbitrary_delays(),
+        seed in 0u64..500,
+        h in 1usize..4,
+    ) {
+        let net = build(topo, delays, seed);
+        let result = phased_apsp(&net, 2 * h);
+        for s in net.sites().take(4) {
+            let sphere = Sphere::from_tables(&result.tables[s.0], &result.tables, h);
+            let set = SiteSet::from_sites(&sphere.members);
+            prop_assert_eq!(sphere.member_set(), &set);
+            prop_assert_eq!(set.len(), sphere.members.len());
+            prop_assert_eq!(set.iter().collect::<Vec<_>>(), sphere.members.clone());
+            for d in net.sites() {
+                prop_assert_eq!(
+                    sphere.contains(d),
+                    sphere.members.binary_search(&d).is_ok(),
+                    "membership of {} in sphere of {}", d, s
+                );
+            }
+            // Out-of-range probes are simply absent.
+            prop_assert!(!sphere.contains(SiteId(net.site_count() + 1000)));
         }
     }
 

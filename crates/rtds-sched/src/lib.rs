@@ -16,9 +16,15 @@
 //!   enumeration, non-preemptive and preemptive insertion, surplus,
 //! * [`admission`] — the §5 whole-DAG local guarantee test,
 //! * [`feasibility`] — the §10 per-logical-processor satisfiability test,
-//! * [`surplus`] — observation-window surplus and busyness helpers,
+//! * [`mod@surplus`] — observation-window surplus and busyness helpers,
 //! * [`executor`] — turns committed reservations into completion records and
 //!   deadline-miss checks (the run-time side of the computation processor).
+//!
+//! Jobs and task graphs come from [`rtds_graph`]; the admission and
+//! satisfiability answers computed here feed the protocol node of
+//! [`rtds_core`](../rtds_core/index.html) (§5 local test, §10 validation)
+//! and every baseline in
+//! [`rtds_baselines`](../rtds_baselines/index.html).
 
 pub mod admission;
 pub mod executor;

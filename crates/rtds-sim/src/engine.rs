@@ -131,9 +131,29 @@ impl<'a, M> Context<'a, M> {
         self.outgoing.push(Outgoing::Timer { delay, timer_id });
     }
 
-    /// Increments a named statistics counter.
-    pub fn count(&mut self, name: &str, amount: u64) {
+    /// Increments a named statistics counter. Names are `&'static str` so
+    /// that per-message counter bumps never allocate.
+    pub fn count(&mut self, name: &'static str, amount: u64) {
         self.stats.add(name, amount);
+    }
+
+    /// Sends `msg` over every direct link of this site (the broadcast step
+    /// of flooding-style protocols). Equivalent to calling [`Context::send`]
+    /// for each neighbor in adjacency order, but borrows the neighbor list
+    /// from the topology instead of forcing the protocol to clone it to
+    /// appease the borrow checker.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        let neighbors = self.network.neighbors(self.site);
+        for (to, _) in neighbors {
+            self.outgoing.push(Outgoing::Send {
+                to: *to,
+                msg: msg.clone(),
+                delay: None,
+            });
+        }
     }
 
     /// Records a structured trace event for this site at the current time.
@@ -160,18 +180,25 @@ pub struct Simulator<P: Protocol> {
     faults: FaultState,
     max_events: u64,
     events_processed: u64,
+    /// Reused buffer behind every [`Context`]'s outgoing-action list, so
+    /// dispatching an event does not allocate once the high-water mark is
+    /// reached.
+    outgoing_scratch: Vec<Outgoing<P::Msg>>,
 }
 
 impl<P: Protocol> Simulator<P> {
     /// Creates a simulator from a network and a node factory (called once per
-    /// site in id order).
+    /// site in id order). The event heap is pre-sized for the start-up
+    /// broadcast wave (a few events per link) so early pushes do not
+    /// repeatedly regrow it.
     pub fn new(network: Network, mut factory: impl FnMut(SiteId) -> P) -> Self {
         let nodes: Vec<P> = network.sites().map(&mut factory).collect();
         let faults = FaultState::new(nodes.len(), 0);
+        let queue = EventQueue::with_capacity(4 * network.link_count() + 16);
         Simulator {
             network,
             nodes,
-            queue: EventQueue::new(),
+            queue,
             now: 0.0,
             started: false,
             stats: SimStats::default(),
@@ -179,6 +206,7 @@ impl<P: Protocol> Simulator<P> {
             faults,
             max_events: u64::MAX,
             events_processed: 0,
+            outgoing_scratch: Vec::new(),
         }
     }
 
@@ -354,13 +382,13 @@ impl<P: Protocol> Simulator<P> {
             now: self.now,
             network: &self.network,
             faults: &self.faults,
-            outgoing: Vec::new(),
+            outgoing: std::mem::take(&mut self.outgoing_scratch),
             stats: &mut self.stats,
             trace: &mut self.trace,
         };
         f(&mut self.nodes[site.0], &mut ctx);
-        let outgoing = ctx.outgoing;
-        for action in outgoing {
+        let mut outgoing = ctx.outgoing;
+        for action in outgoing.drain(..) {
             match action {
                 Outgoing::Send { to, msg, delay } => {
                     self.stats.messages_sent += 1;
@@ -405,6 +433,7 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
         }
+        self.outgoing_scratch = outgoing;
     }
 }
 
@@ -426,10 +455,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
             if ctx.site() == SiteId(0) {
                 self.seen_at = Some(ctx.now());
-                let neighbors: Vec<SiteId> = ctx.neighbors().iter().map(|(n, _)| *n).collect();
-                for n in neighbors {
-                    ctx.send(n, 7);
-                }
+                ctx.broadcast(7);
                 ctx.count("floods", 1);
             }
         }
@@ -439,10 +465,7 @@ mod tests {
             if self.seen_at.is_none() {
                 self.seen_at = Some(ctx.now());
                 ctx.trace("first-seen", format!("t={}", ctx.now()));
-                let neighbors: Vec<SiteId> = ctx.neighbors().iter().map(|(n, _)| *n).collect();
-                for n in neighbors {
-                    ctx.send(n, 7);
-                }
+                ctx.broadcast(7);
             }
         }
     }
@@ -581,7 +604,9 @@ mod tests {
             self.neighbors = ctx.neighbors().iter().map(|(n, _)| *n).collect();
             if ctx.site() == SiteId(0) {
                 self.seen_at = Some(ctx.now());
-                for n in self.neighbors.clone() {
+                // `self` and `ctx` are disjoint borrows: the snapshot can be
+                // iterated directly, no per-broadcast clone needed.
+                for &n in &self.neighbors {
                     ctx.send(n, 7);
                 }
             }
@@ -590,7 +615,7 @@ mod tests {
         fn on_message(&mut self, _from: SiteId, _msg: u32, ctx: &mut Context<'_, u32>) {
             if self.seen_at.is_none() {
                 self.seen_at = Some(ctx.now());
-                for n in self.neighbors.clone() {
+                for &n in &self.neighbors {
                     ctx.send(n, 7);
                 }
             }

@@ -115,6 +115,16 @@ impl<M: PartialEq> EventQueue<M> {
         Self::default()
     }
 
+    /// Creates an empty queue whose heap is pre-sized for `capacity` pending
+    /// events (the simulator sizes this off the topology so the start-up
+    /// wave does not regrow the heap).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules an event, assigning it the next sequence number.
     pub fn push(&mut self, time: f64, target: SiteId, payload: EventPayload<M>) {
         assert!(time.is_finite(), "event time must be finite");

@@ -25,6 +25,14 @@
 //!   real-time metrics the paper's claims are judged by (guarantee ratio),
 //! * [`trace`] records structured per-site events for debugging, golden tests
 //!   and the Fig. 1 protocol-walkthrough binary.
+//!
+//! The topology the engine simulates over comes from [`rtds_net`]; the
+//! production [`engine::Protocol`] implementation is the RTDS node of
+//! [`rtds_core`](../rtds_core/index.html), and declarative fault plans are
+//! expanded onto [`faults`] by
+//! [`rtds_scenarios`](../rtds_scenarios/index.html). See
+//! `docs/ARCHITECTURE.md` for the event-ordering and fault-interleaving
+//! state machines.
 
 pub mod arrivals;
 pub mod engine;

@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Engine-level and protocol-level counters.
+///
+/// Counter names are `&'static str`: every name in the workspace is a
+/// literal, and the hot path (`Context::count` fires several times per
+/// protocol message) must not allocate a `String` per bump.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Messages handed to the engine for delivery.
@@ -24,13 +28,13 @@ pub struct SimStats {
     pub messages_delivered: u64,
     /// Named protocol counters (for example `"enroll"`, `"trial_mapping"`,
     /// `"bid"`), kept ordered for deterministic reports.
-    named: BTreeMap<String, u64>,
+    named: BTreeMap<&'static str, u64>,
 }
 
 impl SimStats {
     /// Adds to a named counter, creating it at zero if needed.
-    pub fn add(&mut self, name: &str, amount: u64) {
-        *self.named.entry(name.to_string()).or_insert(0) += amount;
+    pub fn add(&mut self, name: &'static str, amount: u64) {
+        *self.named.entry(name).or_insert(0) += amount;
     }
 
     /// Value of a named counter (zero if never touched).
@@ -40,7 +44,7 @@ impl SimStats {
 
     /// All named counters in name order.
     pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.named.iter().map(|(k, v)| (k.as_str(), *v))
+        self.named.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Sum of all named counters whose name starts with the given prefix.
@@ -58,7 +62,7 @@ impl SimStats {
         self.messages_sent += other.messages_sent;
         self.messages_delivered += other.messages_delivered;
         for (k, v) in &other.named {
-            *self.named.entry(k.clone()).or_insert(0) += v;
+            *self.named.entry(k).or_insert(0) += v;
         }
     }
 }

@@ -22,6 +22,10 @@
 //!   (link jitter/failure, partitions, site crashes, message loss), a
 //!   built-in registry and a sharded deterministic sweep runner.
 //!
+//! Architecture notes with protocol state-machine diagrams live in
+//! `docs/ARCHITECTURE.md`; the measurement methodology behind the recorded
+//! `BENCH_<n>.json` performance trajectory lives in `docs/PERFORMANCE.md`.
+//!
 //! ## Quickstart
 //!
 //! ```

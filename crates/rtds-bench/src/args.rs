@@ -8,90 +8,155 @@
 //! * `--json <path>` — write the experiment's machine-readable report to
 //!   `path` in addition to the human-readable stdout tables.
 //!
-//! Binaries may layer extra flags (`exp_scenarios` adds `--list`,
-//! `--scenario`, `--seeds`, `--threads`) through [`ExpArgs::value_of`] /
-//! [`ExpArgs::has`]. Unknown flags abort with a usage message rather than
-//! being silently ignored.
+//! Binaries may layer extra value-taking flags (`exp_scenarios` adds
+//! `--scenario`, `--seeds`, `--threads`; `exp_workloads` adds
+//! `--jobs`/`--rate`/`--record`/`--replay`) and boolean flags (`--list`,
+//! `--smoke`) through [`ExpArgs::value_of`] / [`ExpArgs::has`]. Both
+//! `--flag value` and `--flag=value` spellings are accepted for value
+//! flags; boolean flags take no value, so a bare token after one is a
+//! stray positional. Unknown flags and stray positional arguments abort
+//! with a usage message rather than being silently ignored; the fallible
+//! core ([`ExpArgs::try_from_vec`]) is exposed so that rejection behaviour
+//! is unit-testable instead of living behind `process::exit`.
 
 use rtds_scenarios::Json;
 
-/// Parsed command-line arguments of one experiment binary.
+/// Parsed command-line arguments of one experiment binary: an ordered list
+/// of `(flag, optional value)` pairs.
 #[derive(Debug, Clone)]
 pub struct ExpArgs {
     binary: String,
-    args: Vec<String>,
+    parsed: Vec<(String, Option<String>)>,
     known: Vec<&'static str>,
+    booleans: Vec<&'static str>,
 }
 
 impl ExpArgs {
     /// Parses the process arguments, accepting `--seed` and `--json` plus
-    /// the given extra value-taking or boolean flags (names without `--`).
-    pub fn parse(extra_flags: &[&'static str]) -> ExpArgs {
+    /// the given extra value-taking flags and boolean flags (names without
+    /// `--`). Aborts with a usage message on unknown flags, stray
+    /// positionals, or a value handed to a boolean flag.
+    pub fn parse(value_flags: &[&'static str], bool_flags: &[&'static str]) -> ExpArgs {
         let mut argv = std::env::args();
         let binary = argv.next().unwrap_or_else(|| "exp".into());
-        Self::from_vec(&binary, argv.collect(), extra_flags)
+        Self::from_vec(&binary, argv.collect(), value_flags, bool_flags)
     }
 
-    /// Testable constructor from an explicit argument vector.
-    pub fn from_vec(binary: &str, args: Vec<String>, extra_flags: &[&'static str]) -> ExpArgs {
-        let mut known = vec!["seed", "json"];
-        known.extend_from_slice(extra_flags);
-        let parsed = ExpArgs {
-            binary: binary.to_string(),
-            args,
-            known,
-        };
-        let mut previous_was_flag = false;
-        for arg in &parsed.args {
-            match arg.strip_prefix("--") {
-                Some(name) => {
-                    if !parsed.known.contains(&name) {
-                        parsed.usage_error(&format!("unknown flag --{name}"));
-                    }
-                    previous_was_flag = true;
-                }
-                // A bare token is only legal as the value of the flag right
-                // before it; a stray positional argument (e.g. a scenario
-                // name without --scenario) must not be silently ignored.
-                None if previous_was_flag => previous_was_flag = false,
-                None => parsed.usage_error(&format!("unexpected argument {arg:?}")),
+    /// Infallible constructor from an explicit argument vector (exits the
+    /// process with the usage message on malformed input, like `parse`).
+    pub fn from_vec(
+        binary: &str,
+        args: Vec<String>,
+        value_flags: &[&'static str],
+        bool_flags: &[&'static str],
+    ) -> ExpArgs {
+        match Self::try_from_vec(binary, args, value_flags, bool_flags) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
             }
         }
-        parsed
+    }
+
+    /// Fallible core of the parser: rejects unknown flags (`--nope`),
+    /// stray positional arguments (`foo` with no preceding flag — including
+    /// a bare token after a boolean flag, which takes no value) and
+    /// malformed `--=x` tokens, returning the full usage message.
+    pub fn try_from_vec(
+        binary: &str,
+        args: Vec<String>,
+        value_flags: &[&'static str],
+        bool_flags: &[&'static str],
+    ) -> Result<ExpArgs, String> {
+        let mut known = vec!["seed", "json"];
+        known.extend_from_slice(value_flags);
+        known.extend_from_slice(bool_flags);
+        let booleans = bool_flags.to_vec();
+        let mut parsed: Vec<(String, Option<String>)> = Vec::new();
+        for arg in &args {
+            match arg.strip_prefix("--") {
+                Some(body) => {
+                    let (name, inline_value) = match body.split_once('=') {
+                        Some((n, v)) => (n, Some(v.to_string())),
+                        None => (body, None),
+                    };
+                    if name.is_empty() || !known.contains(&name) {
+                        return Err(usage(
+                            binary,
+                            &known,
+                            &booleans,
+                            &format!("unknown flag --{name}"),
+                        ));
+                    }
+                    if booleans.contains(&name) && inline_value.is_some() {
+                        return Err(usage(
+                            binary,
+                            &known,
+                            &booleans,
+                            &format!("--{name} does not take a value"),
+                        ));
+                    }
+                    parsed.push((name.to_string(), inline_value));
+                }
+                // A bare token is only legal as the value of the
+                // value-taking flag right before it; a stray positional
+                // argument (e.g. a scenario name without --scenario, or a
+                // path after a boolean flag) must not be silently ignored.
+                None => match parsed.last_mut() {
+                    Some((name, value @ None)) if !booleans.contains(&name.as_str()) => {
+                        *value = Some(arg.clone())
+                    }
+                    _ => {
+                        return Err(usage(
+                            binary,
+                            &known,
+                            &booleans,
+                            &format!("unexpected argument {arg:?}"),
+                        ))
+                    }
+                },
+            }
+        }
+        Ok(ExpArgs {
+            binary: binary.to_string(),
+            parsed,
+            known,
+            booleans,
+        })
     }
 
     fn usage_error(&self, message: &str) -> ! {
-        eprintln!("{}: {message}", self.binary);
         eprintln!(
-            "usage: {} {}",
-            self.binary,
-            self.known
-                .iter()
-                .map(|f| format!("[--{f} <value>]"))
-                .collect::<Vec<_>>()
-                .join(" ")
+            "{}",
+            usage(&self.binary, &self.known, &self.booleans, message)
         );
         std::process::exit(2);
     }
 
-    /// Returns `true` if the boolean flag is present.
-    pub fn has(&self, flag: &str) -> bool {
-        self.args.iter().any(|a| a == &format!("--{flag}"))
+    /// The last occurrence of a flag (later spellings override earlier
+    /// ones, the conventional CLI behaviour).
+    fn lookup(&self, flag: &str) -> Option<&Option<String>> {
+        self.parsed
+            .iter()
+            .rev()
+            .find(|(name, _)| name == flag)
+            .map(|(_, value)| value)
     }
 
-    /// The value following `--flag`, if any.
+    /// Returns `true` if the flag is present (with or without a value).
+    pub fn has(&self, flag: &str) -> bool {
+        self.lookup(flag).is_some()
+    }
+
+    /// The value following `--flag`, if the flag is present. A flag given
+    /// without a value aborts with a usage message.
     pub fn value_of(&self, flag: &str) -> Option<&str> {
-        let needle = format!("--{flag}");
-        let mut iter = self.args.iter();
-        while let Some(arg) = iter.next() {
-            if arg == &needle {
-                match iter.next() {
-                    Some(value) if !value.starts_with("--") => return Some(value),
-                    _ => self.usage_error(&format!("--{flag} needs a value")),
-                }
-            }
+        match self.lookup(flag) {
+            None => None,
+            Some(Some(value)) => Some(value),
+            Some(None) => self.usage_error(&format!("--{flag} needs a value")),
         }
-        None
     }
 
     /// The `--seed` value, or `default` (the binary's historical constant).
@@ -114,6 +179,27 @@ impl ExpArgs {
         }
     }
 
+    /// A generic `u64` flag with a default.
+    pub fn u64_of(&self, flag: &str, default: u64) -> u64 {
+        match self.value_of(flag) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| self.usage_error(&format!("--{flag}: not a u64: {raw:?}"))),
+        }
+    }
+
+    /// A generic finite `f64` flag with a default.
+    pub fn f64_of(&self, flag: &str, default: f64) -> f64 {
+        match self.value_of(flag) {
+            None => default,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(x) if x.is_finite() => x,
+                _ => self.usage_error(&format!("--{flag}: not a finite number: {raw:?}")),
+            },
+        }
+    }
+
     /// The `--json` output path, if requested.
     pub fn json_path(&self) -> Option<&str> {
         self.value_of("json")
@@ -125,6 +211,23 @@ impl ExpArgs {
             write_json_report(path, &report.render());
         }
     }
+}
+
+fn usage(binary: &str, known: &[&'static str], booleans: &[&'static str], message: &str) -> String {
+    format!(
+        "{binary}: {message}\nusage: {binary} {}",
+        known
+            .iter()
+            .map(|f| {
+                if booleans.contains(f) {
+                    format!("[--{f}]")
+                } else {
+                    format!("[--{f} <value>]")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    )
 }
 
 /// Writes an already-rendered JSON document to `path`, aborting the
@@ -142,9 +245,14 @@ mod tests {
     use super::*;
 
     fn args(v: &[&str]) -> ExpArgs {
-        ExpArgs::from_vec(
+        try_args(v).expect("valid arguments")
+    }
+
+    fn try_args(v: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::try_from_vec(
             "exp_test",
             v.iter().map(|s| s.to_string()).collect(),
+            &["rate"],
             &["list"],
         )
     }
@@ -162,6 +270,54 @@ mod tests {
         assert!(a.has("list"));
         assert_eq!(a.usize_of("seed", 0), 7);
         assert_eq!(a.usize_of("missing", 9), 9);
+        assert_eq!(a.u64_of("seed", 0), 7);
+        assert_eq!(a.f64_of("rate", 0.25), 0.25);
+    }
+
+    #[test]
+    fn equals_syntax_and_repeats() {
+        let a = args(&["--seed=9", "--rate=0.75"]);
+        assert_eq!(a.seed(0), 9);
+        assert_eq!(a.f64_of("rate", 0.0), 0.75);
+        // The last spelling wins.
+        let a = args(&["--seed", "1", "--seed=2"]);
+        assert_eq!(a.seed(0), 2);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_usage() {
+        let err = try_args(&["--nope"]).unwrap_err();
+        assert!(err.contains("unknown flag --nope"), "{err}");
+        assert!(err.contains("usage: exp_test"), "{err}");
+        assert!(err.contains("--seed"), "{err}");
+        // The `=` spelling reports the flag name, not the whole token.
+        let err = try_args(&["--bogus=3"]).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        assert!(try_args(&["--="]).is_err());
+    }
+
+    #[test]
+    fn stray_positionals_are_rejected() {
+        let err = try_args(&["paper-baseline"]).unwrap_err();
+        assert!(err.contains("unexpected argument"), "{err}");
+        // A token after a flag that already has a value is stray too.
+        let err = try_args(&["--seed=1", "extra"]).unwrap_err();
+        assert!(err.contains("unexpected argument \"extra\""), "{err}");
+        // ...but a token right after a bare value flag is its value.
+        assert!(try_args(&["--seed", "1"]).is_ok());
+    }
+
+    #[test]
+    fn boolean_flags_never_absorb_values() {
+        // A forgotten flag name must not vanish into a boolean flag
+        // (e.g. `exp_perf --smoke BENCH_1.json` missing `--baseline`).
+        let err = try_args(&["--list", "whoops.json"]).unwrap_err();
+        assert!(err.contains("unexpected argument \"whoops.json\""), "{err}");
+        let err = try_args(&["--list=yes"]).unwrap_err();
+        assert!(err.contains("--list does not take a value"), "{err}");
+        // Usage renders booleans without a value placeholder.
+        assert!(err.contains("[--list]"), "{err}");
+        assert!(err.contains("[--rate <value>]"), "{err}");
     }
 
     #[test]

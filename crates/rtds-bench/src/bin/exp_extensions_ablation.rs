@@ -13,7 +13,7 @@ use rtds_net::SiteId;
 use rtds_scenarios::Json;
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(8);
     // Heterogeneous ring: even sites are twice as fast.
     let mut network = ring(16, DelayDistribution::Constant(1.0), 2);

@@ -22,7 +22,7 @@ fn blocking_job(id: u64, site: usize) -> Job {
 }
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(1);
     let network = line(4, DelayDistribution::Constant(1.0), 0);
     let config = RtdsConfig {

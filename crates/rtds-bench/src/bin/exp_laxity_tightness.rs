@@ -12,7 +12,7 @@ use rtds_net::generators::{grid, DelayDistribution};
 use rtds_scenarios::Json;
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(33);
     let network = grid(5, 5, false, DelayDistribution::Constant(1.0), 4);
     let laxities = vec![1.1, 1.3, 1.6, 2.0, 3.0, 4.0];

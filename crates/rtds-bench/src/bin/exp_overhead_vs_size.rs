@@ -13,7 +13,7 @@ use rtds_net::generators::{barabasi_albert, DelayDistribution};
 use rtds_scenarios::Json;
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(5);
     let sizes = vec![16usize, 32, 64, 128, 256, 512];
     println!("== E2: messages per job vs. network size (Barabasi-Albert, m = 2, 4 hotspots) ==");

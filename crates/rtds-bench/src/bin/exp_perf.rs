@@ -8,17 +8,24 @@
 //! is a pure function of `--seed`.
 //!
 //! ```text
-//! exp_perf [--seed <u64>] [--json <path>] [--smoke]
+//! exp_perf [--seed <u64>] [--json <path>] [--smoke] [--baseline <BENCH_N.json>]
 //! ```
 //!
 //! `--smoke` runs only the native paper baseline and the 16-site tier (the
-//! CI smoke configuration).
+//! CI smoke configuration). `--baseline <path>` diffs this run against a
+//! previously recorded report: any deterministic-field mismatch, or an
+//! aggregate events/sec regression of more than 20 % against the recorded
+//! throughput, exits nonzero — `exp_perf --baseline BENCH_1.json` is the
+//! one-line "did I break or slow down the engine" check.
 
-use rtds_bench::perf::{run_perf_suite, PERF_TIERS};
+use rtds_bench::perf::{compare_with_baseline, run_perf_suite, PERF_TIERS};
 use rtds_bench::{write_json_report, ExpArgs};
 
+/// Tolerated aggregate events/sec drop before `--baseline` fails the run.
+const REGRESSION_TOLERANCE: f64 = 0.2;
+
 fn main() {
-    let args = ExpArgs::parse(&["smoke"]);
+    let args = ExpArgs::parse(&["baseline"], &["smoke"]);
     let seed = args.seed(7);
     let smoke = args.has("smoke");
     println!(
@@ -56,5 +63,49 @@ fn main() {
     }
     if let Some(path) = args.json_path() {
         write_json_report(path, &report.to_json(true));
+    }
+    if let Some(path) = args.value_of("baseline") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let comparison = compare_with_baseline(&report, &text).unwrap_or_else(|e| {
+            eprintln!("baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        println!();
+        let mut failed = false;
+        if comparison.fields_match() {
+            println!("baseline {path}: deterministic fields match byte-for-byte");
+        } else {
+            failed = true;
+            eprintln!("baseline {path}: deterministic fields DIVERGED:");
+            for line in &comparison.mismatches {
+                eprintln!("  {line}");
+            }
+        }
+        match comparison.baseline_events_per_sec {
+            Some(base) => {
+                println!(
+                    "throughput: {:.0} events/s vs recorded {:.0} ({:+.1} %)",
+                    comparison.current_events_per_sec,
+                    base,
+                    100.0 * (comparison.current_events_per_sec / base - 1.0)
+                );
+                if comparison.regressed(REGRESSION_TOLERANCE) {
+                    failed = true;
+                    eprintln!(
+                        "throughput regressed more than {:.0} % against the baseline",
+                        REGRESSION_TOLERANCE * 100.0
+                    );
+                }
+            }
+            None => println!(
+                "baseline records no events/sec (timings nulled); skipping the regression check"
+            ),
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

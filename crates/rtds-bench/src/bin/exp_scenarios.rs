@@ -18,7 +18,7 @@ use rtds_bench::ExpArgs;
 use rtds_scenarios::{builtin_scenarios, find_scenario, run_sweep, Scenario, SweepConfig};
 
 fn main() {
-    let args = ExpArgs::parse(&["list", "scenario", "seeds", "threads"]);
+    let args = ExpArgs::parse(&["scenario", "seeds", "threads"], &["list"]);
     let scenarios = builtin_scenarios();
 
     if args.has("list") {

@@ -10,7 +10,7 @@ use rtds_net::generators::{grid, DelayDistribution};
 use rtds_scenarios::Json;
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(19);
     let network = grid(6, 6, false, DelayDistribution::Constant(1.0), 1);
     let jobs = workload(

@@ -15,7 +15,7 @@ use rtds_graph::paper_instance::*;
 use rtds_scenarios::Json;
 
 fn main() {
-    let args = ExpArgs::parse(&[]);
+    let args = ExpArgs::parse(&[], &[]);
     let _ = args.seed(0); // fixed paper instance: the seed changes nothing
     let graph = paper_task_graph();
     println!("== Fig. 2: example task graph (reconstructed) ==");

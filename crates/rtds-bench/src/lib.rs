@@ -19,7 +19,13 @@
 //!     fault-injection scenarios and the sharded seed sweep (see
 //!     [`rtds_scenarios`]),
 //!   * `exp_perf` — the fixed performance suite behind the recorded
-//!     `BENCH_<n>.json` trajectory (see [`perf`] and `docs/PERFORMANCE.md`),
+//!     `BENCH_<n>.json` trajectory (see [`perf`] and `docs/PERFORMANCE.md`);
+//!     its `--baseline <BENCH_N.json>` mode diffs a run against a recorded
+//!     report and exits nonzero on deterministic-field mismatches or a
+//!     >20 % events/sec regression,
+//!   * `exp_workloads` — streaming open-loop workload runs (the million-job
+//!     driver) with JSONL trace `--record`/`--replay` round-trips (see
+//!     [`rtds_workload`] and `docs/WORKLOADS.md`),
 //! * Criterion benches (`benches/`): the Mapper, the Hopcroft–Karp matching,
 //!   the phased routing exchange, the local admission test, DAG generation
 //!   and an end-to-end job distribution.

@@ -239,6 +239,114 @@ impl PerfReport {
     }
 }
 
+/// Recursively nulls every nondeterministic timing field (`wall_ms`,
+/// `events_per_sec`) of a parsed report, producing the canonical form that
+/// [`PerfReport::to_json`] emits with `timings: false`.
+pub fn null_timings(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            for (key, value) in fields {
+                if key == "wall_ms" || key == "events_per_sec" {
+                    *value = Json::Null;
+                } else {
+                    null_timings(value);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                null_timings(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Result of diffing a run against a recorded `BENCH_<n>.json` baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// Line-level differences between the canonical (timings-nulled)
+    /// renderings, capped at a handful for readability. Empty = the
+    /// deterministic fields match byte-for-byte.
+    pub mismatches: Vec<String>,
+    /// The baseline's recorded aggregate events/sec, if present.
+    pub baseline_events_per_sec: Option<f64>,
+    /// This run's aggregate events/sec.
+    pub current_events_per_sec: f64,
+}
+
+impl BaselineComparison {
+    /// Whether the deterministic report fields diverged.
+    pub fn fields_match(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Whether throughput regressed by more than `tolerance` (e.g. `0.2`
+    /// = 20 %) against the baseline's recorded events/sec. Wall-clock
+    /// numbers are machine-dependent, so this is a tripwire, not a
+    /// deterministic check.
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        match self.baseline_events_per_sec {
+            Some(base) if base > 0.0 => self.current_events_per_sec < (1.0 - tolerance) * base,
+            _ => false,
+        }
+    }
+}
+
+/// Diffs this run against a previously recorded report (`--baseline`): the
+/// deterministic fields must match byte-for-byte after nulling timings, and
+/// the recorded aggregate events/sec is surfaced for the regression
+/// tripwire. Fails if the baseline is not valid JSON of the same schema,
+/// seed and suite shape cue (`smoke`).
+pub fn compare_with_baseline(
+    current: &PerfReport,
+    baseline_text: &str,
+) -> Result<BaselineComparison, String> {
+    let mut baseline =
+        Json::parse(baseline_text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let schema = baseline.get("schema").and_then(Json::as_str);
+    if schema != Some(PERF_SCHEMA) {
+        return Err(format!(
+            "baseline schema {schema:?} does not match {PERF_SCHEMA:?}"
+        ));
+    }
+    let baseline_events_per_sec = baseline
+        .get("totals")
+        .and_then(|t| t.get("events_per_sec"))
+        .and_then(Json::as_f64);
+    null_timings(&mut baseline);
+    let canonical_baseline = baseline.render();
+    let canonical_current = current.to_json(false);
+    let mut mismatches = Vec::new();
+    if canonical_baseline != canonical_current {
+        let old: Vec<&str> = canonical_baseline.lines().collect();
+        let new: Vec<&str> = canonical_current.lines().collect();
+        for i in 0..old.len().max(new.len()) {
+            let a = old.get(i).copied().unwrap_or("<missing>");
+            let b = new.get(i).copied().unwrap_or("<missing>");
+            if a != b {
+                mismatches.push(format!("line {}: baseline {a:?} vs current {b:?}", i + 1));
+                if mismatches.len() >= 8 {
+                    mismatches.push("...".to_string());
+                    break;
+                }
+            }
+        }
+        if mismatches.is_empty() {
+            // Same lines, different layout (should not happen with the
+            // deterministic renderer) — still a mismatch.
+            mismatches.push("renderings differ".to_string());
+        }
+    }
+    let total_events: u64 = current.workloads.iter().map(|w| w.events_processed).sum();
+    let total_wall: f64 = current.workloads.iter().map(|w| w.wall.as_secs_f64()).sum();
+    Ok(BaselineComparison {
+        mismatches,
+        baseline_events_per_sec,
+        current_events_per_sec: total_events as f64 / total_wall.max(1e-9),
+    })
+}
+
 /// Runs one workload: instantiates the scenario for the seed, times the
 /// simulation run (network/workload construction is excluded from the
 /// timing) and extracts the deterministic metrics.
@@ -333,6 +441,28 @@ mod tests {
     #[should_panic(expected = "unknown registry scenario")]
     fn scaling_an_unknown_scenario_panics() {
         let _ = scaled_scenario("no-such-scenario", 16);
+    }
+
+    #[test]
+    fn baseline_comparison_accepts_self_and_flags_differences() {
+        let report = run_perf_suite(7, true);
+        // A report always matches its own recording (timings and all).
+        let cmp = compare_with_baseline(&report, &report.to_json(true)).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+        assert!(cmp.baseline_events_per_sec.is_some());
+        assert!(!cmp.regressed(0.2));
+        // A doctored deterministic field is caught with a line diff.
+        let tampered = report.to_json(true).replace("\"seed\": 7", "\"seed\": 8");
+        let cmp = compare_with_baseline(&report, &tampered).unwrap();
+        assert!(!cmp.fields_match());
+        assert!(cmp.mismatches[0].contains("seed"), "{:?}", cmp.mismatches);
+        // A sky-high recorded throughput trips the regression wire.
+        let mut inflated = cmp;
+        inflated.baseline_events_per_sec = Some(inflated.current_events_per_sec * 100.0);
+        assert!(inflated.regressed(0.2));
+        // Garbage and wrong-schema baselines are rejected.
+        assert!(compare_with_baseline(&report, "not json").is_err());
+        assert!(compare_with_baseline(&report, "{\"schema\": \"other/1\"}\n").is_err());
     }
 
     #[test]

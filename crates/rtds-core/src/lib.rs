@@ -23,6 +23,11 @@
 //!   over the discrete-event simulator,
 //! * [`system`] — [`RtdsSystem`]: a one-call deployment used by the examples,
 //!   integration tests and the experiment harness,
+//! * [`streaming`] — the open-loop execution path: jobs pulled on demand
+//!   from a [`streaming::JobSource`], committed reservations pruned behind
+//!   the clock, aggregate [`streaming::StreamReport`] instead of a per-job
+//!   vector — memory bounded by in-flight work (the workload generators and
+//!   trace record/replay live in the `rtds-workload` crate),
 //! * [`analysis`] — Gantt/Table extraction used to regenerate the paper's
 //!   Figs. 3–4 and Table 1.
 
@@ -35,6 +40,7 @@ pub mod matching;
 pub mod messages;
 pub mod node;
 pub mod pcs;
+pub mod streaming;
 pub mod system;
 pub mod validate;
 
@@ -47,4 +53,5 @@ pub use matching::{
 };
 pub use messages::{RtdsMsg, TaskSpec};
 pub use node::RtdsNode;
+pub use streaming::{JobSource, StreamOptions, StreamReport};
 pub use system::{JobOutcomeKind, JobReport, RtdsSystem, RunReport};

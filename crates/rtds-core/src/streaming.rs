@@ -1,0 +1,492 @@
+//! Open-loop streaming execution: jobs are pulled on demand as the clock
+//! advances, and per-job state is harvested and released behind the clock.
+//!
+//! [`RtdsSystem::run`] materializes the whole workload up front: every job
+//! sits in the event heap, every committed reservation is kept forever (the
+//! final report reads completion times out of the accumulated plans), and a
+//! million-job run needs memory for a million jobs. This module adds the
+//! production-shaped alternative:
+//!
+//! * a [`JobSource`] yields jobs lazily in arrival order (the `rtds-workload`
+//!   crate provides open-loop generators and trace replayers; any sorted
+//!   `Vec<Job>` iterator works too),
+//! * [`RtdsSystem::run_streaming`] drives the engine's pull-based
+//!   [`rtds_sim::engine::ArrivalSource`] integration in *harvest chunks*: it
+//!   simulates a bounded slice of time, then prunes every committed
+//!   reservation that lies wholly in the past
+//!   ([`rtds_sched::SchedulePlan::drain_completed`]) while folding the
+//!   drained completion times into aggregate statistics, and finalizes every
+//!   job whose deadline has passed — so the resident state is bounded by the
+//!   *in-flight* work, not by the length of the run,
+//! * the result is a [`StreamReport`]: the same guarantee/overhead counters
+//!   as [`crate::system::RunReport`] in aggregate form (no per-job vector),
+//!   plus the memory high-water marks that prove the boundedness claim.
+//!
+//! Determinism: the streaming path processes the exact same events in the
+//! exact same order as a pre-materialized run of the same jobs (external
+//! arrivals outrank deliveries/timers at equal timestamps — see
+//! [`rtds_sim::event`]), and pruning only removes reservations no admission
+//! or validation test can ever look at again (those examine `[now, ·)`
+//! windows only). Two streaming runs of the same source are bit-identical,
+//! which is what makes trace record/replay reproducible to the byte.
+
+use crate::messages::RtdsMsg;
+use crate::node::RtdsNode;
+use crate::system::RtdsSystem;
+use rtds_graph::{Job, JobId};
+use rtds_net::SiteId;
+use rtds_sim::engine::ArrivalSource;
+use rtds_sim::stats::{GuaranteeStats, SimStats};
+use rtds_sim::Simulator;
+use std::collections::BTreeMap;
+
+/// A pull-based stream of jobs in non-decreasing `arrival_time` order.
+pub trait JobSource {
+    /// The next job, or `None` when the workload is exhausted.
+    fn next_job(&mut self) -> Option<Job>;
+}
+
+/// Any job iterator is a source (used to stream pre-materialized workloads,
+/// e.g. in the streaming-vs-batch equivalence tests).
+impl JobSource for std::vec::IntoIter<Job> {
+    fn next_job(&mut self) -> Option<Job> {
+        self.next()
+    }
+}
+
+/// Tuning of the streaming loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOptions {
+    /// Simulated time between harvests (plan pruning + job finalization).
+    /// Smaller values bound memory tighter at slightly more bookkeeping.
+    pub harvest_interval: f64,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            harvest_interval: 25.0,
+        }
+    }
+}
+
+/// Aggregate report of one streaming run. Every field is a pure function of
+/// the job stream and the seeds — there is no per-job vector, so the report
+/// itself is O(1) in the number of jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// Outcome counters. `submitted` counts injected arrivals (like
+    /// [`crate::system::RunReport::jobs_submitted`]); `rejected` is
+    /// `submitted - accepted`, so arrivals lost to site crashes count as
+    /// rejections, matching the batch path.
+    pub guarantee: GuaranteeStats,
+    /// Engine and protocol counters.
+    pub stats: SimStats,
+    /// Final simulated time.
+    pub finished_at: f64,
+    /// Events processed by the engine.
+    pub events_processed: u64,
+    /// Distribution messages per submitted job.
+    pub messages_per_job: f64,
+    /// Mean slack (deadline minus completion) over on-time completions.
+    pub mean_slack: f64,
+    /// Minimum slack over on-time completions (0 when none completed).
+    pub min_slack: f64,
+    /// High-water mark of jobs submitted but not yet finalized — the
+    /// "resident job count" a bounded-memory run keeps far below the total.
+    pub peak_inflight_jobs: u64,
+    /// High-water mark of committed reservations at any single site,
+    /// sampled at harvest points (pruning keeps this near the active
+    /// window instead of the whole history).
+    pub peak_plan_reservations: u64,
+    /// High-water mark of pending engine events, sampled at harvest points.
+    pub peak_queue_len: u64,
+    /// Number of harvest passes performed.
+    pub harvests: u64,
+    /// Accepted jobs finalized without a recorded completion (a protocol
+    /// invariant violation — must stay zero).
+    pub unharvested_completions: u64,
+}
+
+impl StreamReport {
+    /// Guarantee ratio of the run.
+    pub fn guarantee_ratio(&self) -> f64 {
+        self.guarantee.guarantee_ratio()
+    }
+
+    /// Accepted jobs that missed their deadline (must stay zero).
+    pub fn deadline_misses(&self) -> u64 {
+        self.guarantee.deadline_misses
+    }
+}
+
+/// Per-job bookkeeping between injection and finalization.
+struct Pending {
+    deadline: f64,
+    accepted: bool,
+}
+
+/// Accumulators of the harvest loop.
+#[derive(Default)]
+struct HarvestState {
+    inflight: BTreeMap<JobId, Pending>,
+    completions: BTreeMap<JobId, f64>,
+    injected: u64,
+    completed_on_time: u64,
+    misses: u64,
+    unharvested: u64,
+    slack_sum: f64,
+    slack_min: f64,
+    peak_inflight: u64,
+    peak_plan: u64,
+    peak_queue: u64,
+    harvests: u64,
+}
+
+/// Adapter from a [`JobSource`] to the engine's [`ArrivalSource`]: pulls one
+/// job ahead, registers injected jobs in the in-flight table and validates
+/// the stream ordering.
+struct StreamAdapter<'a> {
+    source: &'a mut dyn JobSource,
+    buffered: &'a mut Option<Job>,
+    inflight: &'a mut BTreeMap<JobId, Pending>,
+    injected: &'a mut u64,
+    peak_inflight: &'a mut u64,
+    site_count: usize,
+}
+
+impl ArrivalSource<RtdsMsg> for StreamAdapter<'_> {
+    fn peek_time(&mut self) -> Option<f64> {
+        self.buffered.as_ref().map(|j| j.arrival_time.max(0.0))
+    }
+
+    fn take(&mut self) -> Option<(f64, SiteId, RtdsMsg)> {
+        let job = self.buffered.take()?;
+        *self.buffered = self.source.next_job();
+        if let Some(next) = self.buffered.as_ref() {
+            assert!(
+                next.arrival_time >= job.arrival_time,
+                "job source must be sorted by arrival time ({} after {})",
+                next.arrival_time,
+                job.arrival_time
+            );
+        }
+        assert!(
+            job.arrival_site < self.site_count,
+            "arrival site {} does not exist",
+            job.arrival_site
+        );
+        *self.injected += 1;
+        self.inflight.insert(
+            job.id,
+            Pending {
+                deadline: job.deadline(),
+                accepted: false,
+            },
+        );
+        *self.peak_inflight = (*self.peak_inflight).max(self.inflight.len() as u64);
+        let time = job.arrival_time.max(0.0);
+        let site = SiteId(job.arrival_site);
+        Some((time, site, RtdsMsg::JobArrival { job }))
+    }
+}
+
+/// One harvest pass: absorb acceptance records, drain reservations that
+/// completed by `cutoff`, and finalize every job whose deadline has passed
+/// (all of an accepted job's reservations end by its deadline, so its
+/// completion is fully known once the clock passes it).
+fn harvest(sim: &mut Simulator<RtdsNode>, cutoff: f64, st: &mut HarvestState) {
+    st.harvests += 1;
+    st.peak_queue = st.peak_queue.max(sim.queue_len() as u64);
+    let site_count = sim.network().site_count();
+    for s in 0..site_count {
+        let node = sim.node_mut(SiteId(s));
+        st.peak_plan = st.peak_plan.max(node.plan.len() as u64);
+        for accepted in std::mem::take(&mut node.accepted) {
+            if let Some(pending) = st.inflight.get_mut(&accepted.job) {
+                pending.accepted = true;
+            }
+        }
+        for reservation in node.plan.drain_completed(cutoff) {
+            let latest = st
+                .completions
+                .entry(reservation.job)
+                .or_insert(f64::NEG_INFINITY);
+            if reservation.end > *latest {
+                *latest = reservation.end;
+            }
+        }
+    }
+    let due: Vec<JobId> = st
+        .inflight
+        .iter()
+        .filter(|(_, p)| p.deadline <= cutoff + 1e-9)
+        .map(|(id, _)| *id)
+        .collect();
+    for id in due {
+        let pending = st.inflight.remove(&id).expect("listed above");
+        let completion = st.completions.remove(&id);
+        if !pending.accepted {
+            // Rejected (or lost to faults): counted via the guarantee
+            // counters; nothing to harvest.
+            continue;
+        }
+        match completion {
+            Some(c) if c <= pending.deadline + 1e-9 => {
+                st.completed_on_time += 1;
+                let slack = pending.deadline - c;
+                st.slack_sum += slack;
+                if slack < st.slack_min {
+                    st.slack_min = slack;
+                }
+            }
+            Some(_) => st.misses += 1,
+            None => st.unharvested += 1,
+        }
+    }
+}
+
+impl RtdsSystem {
+    /// Runs an open-loop workload to exhaustion and quiescence, pulling each
+    /// job from `source` only when the clock reaches its arrival and
+    /// releasing per-job state as deadlines pass. Memory is bounded by the
+    /// in-flight work (see [`StreamReport::peak_inflight_jobs`]), so run
+    /// length is limited by time, not by workload size.
+    ///
+    /// Faults scheduled via [`RtdsSystem::schedule_fault`] apply exactly as
+    /// in the batch path. The event cap ([`RtdsSystem::set_max_events`])
+    /// stops both the engine and the arrival pull.
+    pub fn run_streaming(
+        &mut self,
+        source: &mut dyn JobSource,
+        options: &StreamOptions,
+    ) -> StreamReport {
+        assert!(
+            options.harvest_interval.is_finite() && options.harvest_interval > 0.0,
+            "harvest interval must be positive and finite, got {}",
+            options.harvest_interval
+        );
+        let site_count = self.network().site_count();
+        let mut buffered = source.next_job();
+        let mut st = HarvestState {
+            slack_min: f64::INFINITY,
+            ..HarvestState::default()
+        };
+        loop {
+            let target = match buffered.as_ref() {
+                // Chunk to the harvest cadence, but never stall short of the
+                // next arrival: with an idle engine the chunk must reach it.
+                Some(job) => (self.sim().now() + options.harvest_interval).max(job.arrival_time),
+                None => f64::INFINITY,
+            };
+            let before = self.sim().events_processed();
+            {
+                let mut adapter = StreamAdapter {
+                    source,
+                    buffered: &mut buffered,
+                    inflight: &mut st.inflight,
+                    injected: &mut st.injected,
+                    peak_inflight: &mut st.peak_inflight,
+                    site_count,
+                };
+                self.sim_mut().run_streaming(&mut adapter, target);
+            }
+            let now = self.sim().now();
+            harvest(self.sim_mut(), now, &mut st);
+            let quiescent = self.sim().queue_len() == 0;
+            if buffered.is_none() && quiescent {
+                break;
+            }
+            if self.sim().events_processed() == before {
+                // No progress with work left: the event cap was reached.
+                break;
+            }
+        }
+        // Final pass: drain every remaining reservation and settle every
+        // remaining job (reservations may extend past the last event time).
+        harvest(self.sim_mut(), f64::INFINITY, &mut st);
+
+        let mut guarantee = GuaranteeStats::default();
+        for node in self.sim().nodes() {
+            guarantee.merge(&node.guarantee);
+        }
+        guarantee.submitted = st.injected;
+        guarantee.rejected = st.injected.saturating_sub(guarantee.accepted());
+        guarantee.completed_on_time = st.completed_on_time;
+        guarantee.deadline_misses = st.misses;
+        let stats = self.sim().stats().clone();
+        let messages_per_job = if st.injected > 0 {
+            stats.named("distribution_messages") as f64 / st.injected as f64
+        } else {
+            0.0
+        };
+        let (mean_slack, min_slack) = if st.completed_on_time > 0 {
+            (st.slack_sum / st.completed_on_time as f64, st.slack_min)
+        } else {
+            (0.0, 0.0)
+        };
+        StreamReport {
+            guarantee,
+            finished_at: self.sim().now(),
+            events_processed: self.sim().events_processed(),
+            messages_per_job,
+            mean_slack,
+            min_slack,
+            peak_inflight_jobs: st.peak_inflight,
+            peak_plan_reservations: st.peak_plan,
+            peak_queue_len: st.peak_queue,
+            harvests: st.harvests,
+            unharvested_completions: st.unharvested,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RtdsConfig;
+    use crate::system::JobOutcomeKind;
+    use rtds_graph::generators::{DagGenerator, GeneratorConfig};
+    use rtds_net::generators::{grid, DelayDistribution};
+
+    fn workload(count: usize, seed: u64) -> Vec<Job> {
+        let mut generator = DagGenerator::new(
+            GeneratorConfig {
+                task_count: 6,
+                ..GeneratorConfig::default()
+            },
+            seed,
+        );
+        (0..count)
+            .map(|i| generator.generate_job(i % 9, 1.0 + i as f64 * 3.0))
+            .collect()
+    }
+
+    fn fresh_system(seed: u64) -> RtdsSystem {
+        let net = grid(3, 3, false, DelayDistribution::Constant(1.0), seed);
+        RtdsSystem::new(net, RtdsConfig::default(), seed)
+    }
+
+    #[test]
+    fn streaming_matches_the_batch_path() {
+        let jobs = workload(40, 5);
+        let mut batch = fresh_system(1);
+        batch.submit_workload(jobs.clone());
+        let batch_report = batch.run();
+
+        let mut streaming = fresh_system(1);
+        let mut source = jobs.clone().into_iter();
+        let stream_report = streaming.run_streaming(&mut source, &StreamOptions::default());
+
+        assert_eq!(
+            stream_report.guarantee.submitted,
+            batch_report.jobs_submitted
+        );
+        assert_eq!(
+            stream_report.guarantee.accepted_locally,
+            batch_report.guarantee.accepted_locally
+        );
+        assert_eq!(
+            stream_report.guarantee.accepted_distributed,
+            batch_report.guarantee.accepted_distributed
+        );
+        assert_eq!(stream_report.events_processed, batch.events_processed());
+        assert_eq!(stream_report.finished_at, batch_report.finished_at);
+        assert_eq!(stream_report.stats, batch_report.stats);
+        assert_eq!(stream_report.deadline_misses(), 0);
+        assert_eq!(stream_report.unharvested_completions, 0);
+        assert_eq!(
+            stream_report.guarantee.completed_on_time,
+            batch_report.guarantee.completed_on_time
+        );
+        // Slack aggregates match the per-job report (associativity of the
+        // sums differs, hence the tolerance).
+        let mut slack_sum = 0.0;
+        let mut slack_min = f64::INFINITY;
+        let mut on_time = 0u64;
+        for job in &batch_report.jobs {
+            if matches!(
+                job.outcome,
+                JobOutcomeKind::AcceptedLocally | JobOutcomeKind::AcceptedDistributed
+            ) {
+                if let Some(c) = job.completion {
+                    slack_sum += job.deadline - c;
+                    slack_min = slack_min.min(job.deadline - c);
+                    on_time += 1;
+                }
+            }
+        }
+        assert_eq!(stream_report.guarantee.completed_on_time, on_time);
+        assert!((stream_report.mean_slack - slack_sum / on_time as f64).abs() < 1e-6);
+        assert!((stream_report.min_slack - slack_min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_is_deterministic() {
+        let run = || {
+            let mut system = fresh_system(3);
+            let mut source = workload(60, 9).into_iter();
+            system.run_streaming(&mut source, &StreamOptions::default())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resident_state_stays_bounded() {
+        // 300 well-spaced jobs: at any instant only a handful are in flight,
+        // and pruning keeps every plan far below 300 * tasks reservations.
+        let jobs = workload(300, 11);
+        let total = jobs.len() as u64;
+        let mut system = fresh_system(2);
+        let mut source = jobs.into_iter();
+        let report = system.run_streaming(
+            &mut source,
+            &StreamOptions {
+                harvest_interval: 20.0,
+            },
+        );
+        assert_eq!(report.guarantee.submitted, total);
+        assert!(report.harvests > 10);
+        assert!(
+            report.peak_inflight_jobs < total / 4,
+            "peak in-flight {} vs {} total",
+            report.peak_inflight_jobs,
+            total
+        );
+        assert!(
+            report.peak_plan_reservations < 6 * total / 4,
+            "peak plan {}",
+            report.peak_plan_reservations
+        );
+        assert_eq!(report.deadline_misses(), 0);
+        assert_eq!(report.unharvested_completions, 0);
+        // Every node's plan was fully drained by the final harvest.
+        for s in 0..system.network().site_count() {
+            assert!(system.node(SiteId(s)).plan.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival time")]
+    fn unsorted_sources_panic() {
+        let mut jobs = workload(5, 1);
+        jobs.reverse();
+        let mut system = fresh_system(1);
+        let mut source = jobs.into_iter();
+        system.run_streaming(&mut source, &StreamOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "harvest interval")]
+    fn invalid_harvest_interval_panics() {
+        let mut system = fresh_system(1);
+        let mut source = Vec::new().into_iter();
+        system.run_streaming(
+            &mut source,
+            &StreamOptions {
+                harvest_interval: 0.0,
+            },
+        );
+    }
+}

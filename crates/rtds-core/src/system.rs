@@ -184,6 +184,17 @@ impl RtdsSystem {
         self.sim.set_max_events(max);
     }
 
+    /// Engine access for the streaming execution path (see
+    /// [`crate::streaming`]).
+    pub(crate) fn sim(&self) -> &Simulator<RtdsNode> {
+        &self.sim
+    }
+
+    /// Mutable engine access for the streaming execution path.
+    pub(crate) fn sim_mut(&mut self) -> &mut Simulator<RtdsNode> {
+        &mut self.sim
+    }
+
     /// Runs the simulation to quiescence and produces the report.
     pub fn run(&mut self) -> RunReport {
         self.sim.run_to_quiescence();

@@ -19,8 +19,15 @@
 //!   fan out over worker threads, and the aggregate guarantee-ratio /
 //!   message-overhead / slack report (with its JSON rendering) is
 //!   byte-identical for any thread count,
-//! * [`json`] — the deterministic JSON writer behind the reports (the
-//!   workspace `serde` is an offline no-op stub).
+//! * streaming scenarios — a [`Scenario`] may carry a [`StreamRecipe`]
+//!   instead of a pre-materialized workload: arrivals are then pulled from
+//!   an open-loop `rtds-workload` source (optionally via an in-memory
+//!   record/replay round-trip) through the bounded-memory streaming
+//!   execution path of `rtds-core`.
+//!
+//! The deterministic JSON writer behind the reports lives in
+//! [`rtds_sim::json`] (re-exported here as [`json`]); the workspace `serde`
+//! is an offline no-op stub.
 //!
 //! ## Quickstart
 //!
@@ -35,17 +42,22 @@
 //! assert!(summary.mean_guarantee_ratio > 0.0);
 //! ```
 
-pub mod json;
 pub mod perturb;
 pub mod registry;
 pub mod runner;
 pub mod spec;
 
-pub use json::Json;
+// The deterministic JSON layer moved down to `rtds-sim` so the workload
+// trace format can use it without a dependency cycle; re-exported here to
+// keep `rtds_scenarios::json::Json` paths working.
 pub use perturb::{Perturbation, PerturbationPlan};
 pub use registry::{builtin_scenarios, find_scenario, scenario_names};
+pub use rtds_sim::json;
+pub use rtds_sim::json::Json;
 pub use runner::{
     parallel_sweep_sharded, run_cell, run_sweep, CellReport, ScenarioSummary, SweepConfig,
     SweepReport,
 };
-pub use spec::{mix_seed, Scenario, SpeedRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe};
+pub use spec::{
+    mix_seed, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe,
+};

@@ -1,11 +1,14 @@
 //! The built-in scenario registry.
 //!
-//! Ten named scenarios spanning the paper's baseline and the §13 extensions
-//! it only sketches: sporadic overload, dynamic networks (flaky links,
-//! partitions), heterogeneous sites, wide low-degree topologies, hard
-//! workload shapes and outright fault storms. Every perturbation plan
-//! starts at `t >= 30`, after the one-time PCS construction (see
-//! [`crate::perturb`]).
+//! Thirteen named scenarios spanning the paper's baseline and the §13
+//! extensions it only sketches: sporadic overload, dynamic networks (flaky
+//! links, partitions), heterogeneous sites, wide low-degree topologies,
+//! hard workload shapes, outright fault storms, and three *streaming*
+//! scenarios (diurnal-wave, pareto-burst, replayed-trace) whose arrivals
+//! are pulled lazily from open-loop `rtds-workload` sources — the last one
+//! routing every cell through an in-memory trace record/replay round-trip.
+//! Every perturbation plan starts at `t >= 30`, after the one-time PCS
+//! construction (see [`crate::perturb`]).
 //!
 //! `lossy-messages` and `site-crash-wave` intentionally share the
 //! paper-baseline topology and workload recipes: with the same sweep seed
@@ -13,11 +16,14 @@
 //! difference is attributable to the injected faults alone.
 
 use crate::perturb::{Perturbation, PerturbationPlan};
-use crate::spec::{Scenario, SpeedRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe};
+use crate::spec::{
+    Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe,
+};
 use rtds_core::RtdsConfig;
 use rtds_graph::generators::{CostDistribution, DagShape};
 use rtds_net::generators::DelayDistribution;
 use rtds_sim::arrivals::ArrivalProcess;
+use rtds_workload::{OpenLoopSpec, RateProcess, SizeMix};
 
 fn paper_baseline() -> Scenario {
     let mut s = Scenario::named(
@@ -184,6 +190,70 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     }]);
     scenarios.push(s);
 
+    // --- streaming scenarios (open-loop rtds-workload sources) -----------
+
+    let mut s = Scenario::named(
+        "diurnal-wave",
+        "streamed diurnal rate curve - load swells to a midday crest and ebbs back",
+    );
+    s.stream = Some(StreamRecipe {
+        open_loop: OpenLoopSpec {
+            process: RateProcess::Diurnal {
+                base: 0.05,
+                peak: 0.9,
+                period: 240.0,
+            },
+            sizes: SizeMix::Uniform { min: 6, max: 10 },
+            hotspots: 0,
+            horizon: 360.0,
+            max_jobs: 0,
+        },
+        replay: false,
+    });
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "pareto-burst",
+        "streamed on/off bursts with heavy-tail Pareto job sizes - mice and elephants",
+    );
+    s.workload.laxity = (2.0, 3.2);
+    s.stream = Some(StreamRecipe {
+        open_loop: OpenLoopSpec {
+            process: RateProcess::OnOff {
+                on_rate: 1.0,
+                off_rate: 0.05,
+                mean_on: 25.0,
+                mean_off: 55.0,
+            },
+            sizes: SizeMix::Pareto {
+                alpha: 1.6,
+                min: 4,
+                cap: 40,
+            },
+            hotspots: 5,
+            horizon: 300.0,
+            max_jobs: 0,
+        },
+        replay: false,
+    });
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "replayed-trace",
+        "Poisson stream recorded to an in-memory JSONL trace and replayed - every cell is a record/replay round-trip",
+    );
+    s.stream = Some(StreamRecipe {
+        open_loop: OpenLoopSpec {
+            process: RateProcess::Poisson { rate: 0.6 },
+            sizes: SizeMix::Uniform { min: 5, max: 11 },
+            hotspots: 0,
+            horizon: 240.0,
+            max_jobs: 120,
+        },
+        replay: true,
+    });
+    scenarios.push(s);
+
     scenarios
 }
 
@@ -200,6 +270,7 @@ pub fn scenario_names() -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtds_workload::WorkloadSource;
     use std::collections::BTreeSet;
 
     #[test]
@@ -212,8 +283,20 @@ mod tests {
             assert!(!s.description.is_empty(), "{}", s.name);
             let net = s.build_network(1);
             assert!(net.is_connected(), "{}", s.name);
-            let jobs = s.build_workload(&net, 1);
-            assert!(!jobs.is_empty(), "{} generates no jobs", s.name);
+            match s.stream {
+                None => {
+                    let jobs = s.build_workload(&net, 1);
+                    assert!(!jobs.is_empty(), "{} generates no jobs", s.name);
+                }
+                Some(stream) => {
+                    let mut source = stream.open_loop.build(net.site_count(), 1);
+                    assert!(
+                        source.next_arrival().is_some(),
+                        "{} streams no arrivals",
+                        s.name
+                    );
+                }
+            }
             s.config
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", s.name));
@@ -223,6 +306,28 @@ mod tests {
                 assert!(t >= 30.0, "{} perturbs at {t} < 30", s.name);
             }
         }
+    }
+
+    #[test]
+    fn streaming_scenarios_are_registered() {
+        for name in ["diurnal-wave", "pareto-burst", "replayed-trace"] {
+            let s = find_scenario(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(s.stream.is_some(), "{name} is not a streaming scenario");
+        }
+        assert!(
+            find_scenario("replayed-trace")
+                .unwrap()
+                .stream
+                .unwrap()
+                .replay
+        );
+        assert!(
+            !find_scenario("diurnal-wave")
+                .unwrap()
+                .stream
+                .unwrap()
+                .replay
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! `rtds_bench::parallel_sweep`, which spawned one thread per input).
 
 use crate::json::Json;
-use crate::spec::{mix_seed, Scenario};
-use rtds_core::{JobOutcomeKind, RtdsSystem, RunReport};
+use crate::spec::{mix_seed, Scenario, StreamRecipe};
+use rtds_core::{JobOutcomeKind, RtdsSystem, RunReport, StreamOptions, StreamReport};
+use rtds_workload::{reader_from_string, record_to_string, JobFactory, OpenLoopSource};
 
 /// Runs `work` over `inputs` on `threads` worker threads (round-robin
 /// sharding, one scoped thread per shard) and returns the results in input
@@ -173,6 +174,35 @@ impl CellReport {
         }
     }
 
+    fn from_stream(scenario: &str, seed: u64, report: &StreamReport) -> Self {
+        let stats = &report.stats;
+        let messages_lost = stats.named("sim_lost_random")
+            + stats.named("sim_lost_link_down")
+            + stats.named("sim_lost_unreachable")
+            + stats.named("sim_dropped_site_down")
+            + stats.named("sim_dropped_arrival_site_down")
+            + stats.named("sim_dropped_timer_site_down");
+        CellReport {
+            scenario: scenario.to_string(),
+            seed,
+            submitted: report.guarantee.submitted,
+            accepted_locally: report.guarantee.accepted_locally,
+            accepted_distributed: report.guarantee.accepted_distributed,
+            rejected: report.guarantee.rejected,
+            deadline_misses: report.deadline_misses(),
+            guarantee_ratio: report.guarantee_ratio(),
+            messages_per_job: report.messages_per_job,
+            messages_sent: stats.messages_sent,
+            messages_delivered: stats.messages_delivered,
+            mean_slack: report.mean_slack,
+            min_slack: report.min_slack,
+            faults_injected: stats.named("sim_fault_events"),
+            messages_lost,
+            finished_at: report.finished_at,
+            events_processed: report.events_processed,
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::object(vec![
             ("seed", Json::UInt(self.seed)),
@@ -329,20 +359,65 @@ impl SweepReport {
 
 /// Runs one `(scenario, seed)` cell: builds the network and workload,
 /// expands and schedules the perturbation plan, runs to quiescence and
-/// extracts the cell metrics.
+/// extracts the cell metrics. Scenarios with a [`StreamRecipe`] run through
+/// the bounded-memory streaming path (pulling arrivals on demand), the rest
+/// through the classic batch path; both are bit-deterministic per seed.
 pub fn run_cell(scenario: &Scenario, seed: u64) -> CellReport {
     let network = scenario.build_network(seed);
-    let jobs = scenario.build_workload(&network, seed);
     let faults = scenario.perturbations.expand(&network, mix_seed(seed, 3));
+    let site_count = network.site_count();
+    let batch_jobs = match scenario.stream {
+        None => Some(scenario.build_workload(&network, seed)),
+        Some(_) => None,
+    };
     let mut system = RtdsSystem::new(network, scenario.config, mix_seed(seed, 5));
     system.set_fault_seed(mix_seed(seed, 4));
     system.set_max_events(scenario.max_events);
     for (time, fault) in faults {
         system.schedule_fault(time.max(0.0), fault);
     }
-    system.submit_workload(jobs);
-    let report = system.run();
-    CellReport::from_run(&scenario.name, seed, &report, system.events_processed())
+    match scenario.stream {
+        None => {
+            system.submit_workload(batch_jobs.expect("built above"));
+            let report = system.run();
+            CellReport::from_run(&scenario.name, seed, &report, system.events_processed())
+        }
+        Some(stream) => {
+            let report = run_stream_cell(scenario, &stream, &mut system, site_count, seed);
+            CellReport::from_stream(&scenario.name, seed, &report)
+        }
+    }
+}
+
+/// Streams one cell's workload through the system. With `replay` set, the
+/// source is first drained into an in-memory JSONL trace which is then
+/// replayed — every such cell is a full record → replay round-trip.
+fn run_stream_cell(
+    scenario: &Scenario,
+    stream: &StreamRecipe,
+    system: &mut RtdsSystem,
+    site_count: usize,
+    seed: u64,
+) -> StreamReport {
+    let source: OpenLoopSource = stream.open_loop.build(site_count, mix_seed(seed, 2));
+    let template = scenario.job_template();
+    let options = StreamOptions::default();
+    if stream.replay {
+        let mut live = source;
+        let trace = record_to_string(
+            &mut live,
+            &[
+                ("scenario", Json::str(&scenario.name)),
+                ("seed", Json::UInt(seed)),
+                ("template", template.describe()),
+            ],
+        );
+        let mut factory = JobFactory::new(reader_from_string(trace), template);
+        system.run_streaming(&mut factory, &options)
+    } else {
+        let mut factory = JobFactory::new(source, template);
+        system.run_streaming(&mut factory, &options)
+    }
 }
 
 /// Runs the full sweep `scenarios × config.seeds` on `config.threads`
@@ -441,6 +516,36 @@ mod tests {
             report.scenarios[0].cells[0].submitted,
             report.scenarios[1].cells[0].submitted
         );
+    }
+
+    #[test]
+    fn streaming_cells_run_and_are_reproducible() {
+        for name in ["diurnal-wave", "pareto-burst", "replayed-trace"] {
+            let scenario = find_scenario(name).unwrap();
+            let a = run_cell(&scenario, 3);
+            let b = run_cell(&scenario, 3);
+            assert_eq!(a, b, "{name}");
+            assert!(a.submitted > 0, "{name}");
+            assert_eq!(a.deadline_misses, 0, "{name}");
+            let c = run_cell(&scenario, 4);
+            assert_ne!(a, c, "{name} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn replaying_a_cell_reproduces_the_live_run_exactly() {
+        // The same open-loop stream with and without the in-memory
+        // record → replay round-trip must yield the identical cell report.
+        let replayed = find_scenario("replayed-trace").unwrap();
+        let mut live = replayed.clone();
+        live.stream = live.stream.map(|s| StreamRecipe { replay: false, ..s });
+        for seed in [1, 2, 9] {
+            assert_eq!(
+                run_cell(&replayed, seed),
+                run_cell(&live, seed),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use rtds_net::generators::{
 };
 use rtds_net::{Network, SiteId};
 use rtds_sim::arrivals::{ArrivalProcess, ArrivalSchedule};
+use rtds_workload::{JobTemplate, OpenLoopSpec};
 use serde::{Deserialize, Serialize};
 
 /// Mixes a sweep seed with a fixed salt into an independent stream seed
@@ -203,6 +204,22 @@ impl WorkloadRecipe {
     }
 }
 
+/// Streaming workload recipe: when present on a [`Scenario`], arrivals are
+/// pulled lazily from an open-loop `rtds-workload` source through the
+/// bounded-memory streaming path instead of being materialized up front.
+/// The DAG-shaping fields of the scenario's [`WorkloadRecipe`] (`shape`,
+/// `costs`, `ccr`, `laxity`) still apply — they become the
+/// [`JobTemplate`] expanding each compact arrival into a concrete job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamRecipe {
+    /// Arrival process, size mix, hotspots, horizon and job cap.
+    pub open_loop: OpenLoopSpec,
+    /// Route the stream through an in-memory record → replay round-trip
+    /// (the `replayed-trace` scenario: every cell exercises the trace
+    /// format and proves the replay reproduces the live arrivals).
+    pub replay: bool,
+}
+
 /// A named, seeded, fully declarative experiment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -214,6 +231,10 @@ pub struct Scenario {
     pub topology: TopologySpec,
     /// Workload recipe.
     pub workload: WorkloadRecipe,
+    /// Streaming workload recipe; when set, it replaces the batch workload
+    /// (whose arrival fields are ignored) and the cell runs through
+    /// [`rtds_core::RtdsSystem::run_streaming`].
+    pub stream: Option<StreamRecipe>,
     /// Fault-injection plan (may be empty).
     pub perturbations: PerturbationPlan,
     /// Protocol configuration.
@@ -238,6 +259,7 @@ impl Scenario {
                 speeds: SpeedRecipe::Identical,
             },
             workload: WorkloadRecipe::default(),
+            stream: None,
             perturbations: PerturbationPlan::none(),
             config: RtdsConfig::default(),
             max_events: 50_000_000,
@@ -252,6 +274,17 @@ impl Scenario {
     /// Instantiates the workload for a sweep seed.
     pub fn build_workload(&self, network: &Network, sweep_seed: u64) -> Vec<Job> {
         self.workload.build(network, mix_seed(sweep_seed, 2))
+    }
+
+    /// The job template expanding streaming arrivals into concrete jobs
+    /// (the DAG-shaping fields of the workload recipe).
+    pub fn job_template(&self) -> JobTemplate {
+        JobTemplate {
+            shape: self.workload.shape,
+            costs: self.workload.costs,
+            ccr: self.workload.ccr,
+            laxity: self.workload.laxity,
+        }
     }
 }
 

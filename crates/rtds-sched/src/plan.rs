@@ -219,6 +219,29 @@ impl SchedulePlan {
         before - self.reservations.len()
     }
 
+    /// Removes and returns every reservation that has fully completed by
+    /// `cutoff` (end `<= cutoff`), preserving the start-time order of both
+    /// the removed and the surviving reservations.
+    ///
+    /// This is the pruning primitive of the streaming execution path: past
+    /// reservations can never influence an admission or validation test
+    /// again (those only look at `[now, ·)` windows), so a long open-loop
+    /// run periodically drains them to keep the plan sized by the *active*
+    /// window instead of the whole history. The drained records carry the
+    /// completion times the streaming report aggregates.
+    pub fn drain_completed(&mut self, cutoff: f64) -> Vec<Reservation> {
+        let mut done = Vec::new();
+        self.reservations.retain(|r| {
+            if r.end <= cutoff + TIME_EPS {
+                done.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
     /// The first instant at or after `t` at which the processor is idle.
     pub fn next_idle_time(&self, t: f64) -> f64 {
         let mut cursor = t;
@@ -386,6 +409,28 @@ mod tests {
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.next_idle_time(0.0), 0.0);
         assert_eq!(plan.remove_job(JobId(99)), 0);
+    }
+
+    #[test]
+    fn drain_completed_prunes_the_past_only() {
+        let mut plan = SchedulePlan::new();
+        plan.insert(res(1, 0, 0.0, 10.0)).unwrap();
+        plan.insert(res(2, 0, 10.0, 30.0)).unwrap();
+        plan.insert(res(1, 1, 30.0, 35.0)).unwrap();
+        let drained = plan.drain_completed(10.0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].job, JobId(1));
+        assert_eq!(drained[0].end, 10.0);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.check_invariants());
+        // Queries over the remaining window are unaffected by pruning.
+        assert_eq!(plan.earliest_fit(10.0, 60.0, 5.0), Some(35.0));
+        assert_eq!(plan.job_completion(JobId(2)), Some(30.0));
+        // Draining everything empties the plan.
+        let rest = plan.drain_completed(f64::INFINITY);
+        assert_eq!(rest.len(), 2);
+        assert!(plan.is_empty());
+        assert!(plan.drain_completed(100.0).is_empty());
     }
 
     #[test]

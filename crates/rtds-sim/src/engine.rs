@@ -167,6 +167,24 @@ impl<'a, M> Context<'a, M> {
     }
 }
 
+/// A pull-based stream of external arrivals for
+/// [`Simulator::run_streaming`]: the engine asks for the next arrival time
+/// and takes arrivals one at a time as the clock reaches them, instead of
+/// requiring the whole workload to be injected (and held in the event heap)
+/// up front.
+///
+/// Implementations must yield arrivals in non-decreasing time order. The
+/// open-loop generators and trace replayers of the `rtds-workload` crate
+/// feed this trait through the job layer in `rtds-core`.
+pub trait ArrivalSource<M> {
+    /// Time of the next arrival, if any. Must not change between a
+    /// `peek_time` and the following `take`.
+    fn peek_time(&mut self) -> Option<f64>;
+
+    /// Takes the next arrival: `(time, site, message)`.
+    fn take(&mut self) -> Option<(f64, SiteId, M)>;
+}
+
 /// The discrete-event simulator: a network, one protocol instance per site,
 /// an event queue and accumulated statistics.
 pub struct Simulator<P: Protocol> {
@@ -263,6 +281,12 @@ impl<P: Protocol> Simulator<P> {
         self.events_processed
     }
 
+    /// Number of pending events in the queue (in a streaming run this is the
+    /// in-flight traffic only, never the whole workload).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Injects an external stimulus (for example a job arrival) at an
     /// absolute simulated time.
     pub fn inject_at(&mut self, time: f64, site: SiteId, msg: P::Msg) {
@@ -326,12 +350,74 @@ impl<P: Protocol> Simulator<P> {
     /// `horizon`. Returns the final simulated time.
     pub fn run_until(&mut self, horizon: f64) -> f64 {
         self.ensure_started();
-        while let Some(next_time) = self.queue.peek_time() {
-            if next_time > horizon {
-                break;
-            }
+        while self.process_next_event(horizon) {}
+        self.now
+    }
+
+    /// Runs with a pull-based arrival stream: before every event, arrivals
+    /// that are due not later than the next queued event (and not later than
+    /// `horizon`) are taken from `source` and injected, so the event heap
+    /// only ever holds in-flight traffic plus the handful of arrivals due
+    /// right now — a million-arrival run needs memory for the in-flight
+    /// work, not for the whole workload.
+    ///
+    /// Because external events outrank deliveries and timers at equal
+    /// timestamps (see [`crate::event`]), a streaming run is event-for-event
+    /// identical to pre-injecting the same arrivals up front.
+    ///
+    /// Returns the final simulated time; call again with a later horizon to
+    /// continue (the experiment layer interleaves chunks with plan pruning).
+    pub fn run_streaming<S: ArrivalSource<P::Msg> + ?Sized>(
+        &mut self,
+        source: &mut S,
+        horizon: f64,
+    ) -> f64 {
+        self.ensure_started();
+        loop {
             if self.events_processed >= self.max_events {
                 break;
+            }
+            while let Some(t) = source.peek_time() {
+                if t > horizon {
+                    break;
+                }
+                if let Some(queued) = self.queue.peek_time() {
+                    if t > queued {
+                        break;
+                    }
+                }
+                let (time, site, msg) = source.take().expect("peeked arrival exists");
+                assert!(
+                    time + 1e-12 >= self.now,
+                    "arrival source went backwards (now {}, arrival {time})",
+                    self.now
+                );
+                self.queue.push(
+                    time.max(self.now),
+                    site,
+                    EventPayload::External { message: msg },
+                );
+            }
+            if !self.process_next_event(horizon) {
+                break;
+            }
+        }
+        self.now
+    }
+
+    /// Pops and dispatches the earliest event if it fires at or before
+    /// `horizon` and the event cap is not exhausted. Returns whether an
+    /// event was processed.
+    fn process_next_event(&mut self, horizon: f64) -> bool {
+        {
+            let Some(next_time) = self.queue.peek_time() else {
+                return false;
+            };
+            if next_time > horizon {
+                return false;
+            }
+            if self.events_processed >= self.max_events {
+                return false;
             }
             let event = self.queue.pop().expect("peeked event exists");
             self.events_processed += 1;
@@ -342,7 +428,7 @@ impl<P: Protocol> Simulator<P> {
                 EventPayload::Deliver { from, message } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_site_down", 1);
-                        continue;
+                        return true;
                     }
                     self.stats.messages_delivered += 1;
                     self.dispatch_with_ctx(target, |node, ctx| node.on_message(from, message, ctx));
@@ -350,7 +436,7 @@ impl<P: Protocol> Simulator<P> {
                 EventPayload::External { message } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_arrival_site_down", 1);
-                        continue;
+                        return true;
                     }
                     self.dispatch_with_ctx(target, |node, ctx| {
                         node.on_message(target, message, ctx)
@@ -359,7 +445,7 @@ impl<P: Protocol> Simulator<P> {
                 EventPayload::Timer { timer_id } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_timer_site_down", 1);
-                        continue;
+                        return true;
                     }
                     self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
                 }
@@ -369,7 +455,7 @@ impl<P: Protocol> Simulator<P> {
                 }
             }
         }
-        self.now
+        true
     }
 
     fn dispatch_with_ctx(
@@ -835,6 +921,177 @@ mod tests {
         let net = line(3, DelayDistribution::Constant(1.0), 0);
         let mut sim = Simulator::new(net, |_| Bad);
         sim.run_to_quiescence();
+    }
+
+    /// A slice-backed arrival source for streaming tests.
+    struct SliceArrivals<M: Clone> {
+        arrivals: Vec<(f64, SiteId, M)>,
+        next: usize,
+    }
+
+    impl<M: Clone> ArrivalSource<M> for SliceArrivals<M> {
+        fn peek_time(&mut self) -> Option<f64> {
+            self.arrivals.get(self.next).map(|(t, _, _)| *t)
+        }
+
+        fn take(&mut self) -> Option<(f64, SiteId, M)> {
+            let item = self.arrivals.get(self.next).cloned();
+            self.next += item.is_some() as usize;
+            item
+        }
+    }
+
+    #[test]
+    fn streaming_matches_pre_injected_arrivals() {
+        let arrivals = vec![
+            (1.0, SiteId(2), "a"),
+            (4.0, SiteId(0), "b"),
+            (4.0, SiteId(1), "c"),
+            (9.0, SiteId(2), "d"),
+        ];
+        // Pre-materialized run: everything injected before the run starts.
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut pre = Simulator::new(net, |_| TimerEcho::default());
+        for (t, s, m) in &arrivals {
+            pre.inject_at(*t, *s, *m);
+        }
+        let pre_end = pre.run_to_quiescence();
+        // Streaming run: arrivals pulled on demand.
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut streamed = Simulator::new(net, |_| TimerEcho::default());
+        let mut source = SliceArrivals { arrivals, next: 0 };
+        let end = streamed.run_streaming(&mut source, f64::INFINITY);
+        assert_eq!(end, pre_end);
+        assert_eq!(streamed.events_processed(), pre.events_processed());
+        for s in 0..3 {
+            assert_eq!(
+                streamed.node(SiteId(s)).received,
+                pre.node(SiteId(s)).received,
+                "site {s}"
+            );
+        }
+        // The source was fully drained and the queue never held the whole
+        // workload at once.
+        assert_eq!(source.next, 4);
+        assert_eq!(streamed.queue_len(), 0);
+    }
+
+    #[test]
+    fn streaming_respects_horizon_and_resumes() {
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        let mut source = SliceArrivals {
+            arrivals: vec![(2.0, SiteId(0), "early"), (50.0, SiteId(1), "late")],
+            next: 0,
+        };
+        sim.run_streaming(&mut source, 10.0);
+        // The late arrival is beyond the horizon: neither injected nor lost.
+        assert_eq!(source.next, 1);
+        assert_eq!(sim.node(SiteId(0)).received, vec![(SiteId(0), "early")]);
+        assert!(sim.node(SiteId(1)).received.is_empty());
+        sim.run_streaming(&mut source, f64::INFINITY);
+        assert_eq!(sim.node(SiteId(1)).received, vec![(SiteId(1), "late")]);
+        assert_eq!(source.next, 2);
+    }
+
+    #[test]
+    fn streaming_honours_the_event_cap() {
+        let net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.set_max_events(1);
+        let mut source = SliceArrivals {
+            arrivals: (0..100).map(|i| (i as f64, SiteId(0), "x")).collect(),
+            next: 0,
+        };
+        sim.run_streaming(&mut source, f64::INFINITY);
+        assert_eq!(sim.events_processed(), 1);
+        // Once the cap is hit the loop stops pulling instead of buffering
+        // the rest of the stream into the heap.
+        assert!(
+            source.next <= 2,
+            "pulled {} arrivals past the cap",
+            source.next
+        );
+    }
+
+    #[test]
+    fn faults_recovery_scheduled_before_failure_leaves_the_link_down() {
+        // A LinkUp for a healthy link is a no-op; the later LinkDown wins
+        // and the link stays failed to the end of the run.
+        let net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| CachedFlood::default());
+        sim.schedule_fault(
+            0.5,
+            FaultEvent::LinkUp {
+                a: SiteId(1),
+                b: SiteId(2),
+            },
+        );
+        sim.schedule_fault(
+            1.0,
+            FaultEvent::LinkDown {
+                a: SiteId(1),
+                b: SiteId(2),
+            },
+        );
+        sim.run_to_quiescence();
+        assert!(sim.faults().link_is_failed(SiteId(1), SiteId(2)));
+        assert_eq!(sim.network().link_delay(SiteId(1), SiteId(2)), None);
+        assert_eq!(sim.node(SiteId(2)).seen_at, None);
+        assert_eq!(sim.stats().named("sim_fault_events"), 2);
+    }
+
+    #[test]
+    fn faults_duplicate_site_crash_is_idempotent() {
+        // Crashing an already-crashed site is absorbed: a single SiteUp
+        // still recovers it (down/up is a state, not a counter).
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.schedule_fault(1.0, FaultEvent::SiteDown { site: SiteId(1) });
+        sim.schedule_fault(2.0, FaultEvent::SiteDown { site: SiteId(1) });
+        sim.schedule_fault(3.0, FaultEvent::SiteUp { site: SiteId(1) });
+        sim.inject_at(2.5, SiteId(1), "dropped");
+        sim.inject_at(4.0, SiteId(1), "kept");
+        sim.run_to_quiescence();
+        assert!(!sim.faults().site_is_down(SiteId(1)));
+        assert_eq!(sim.node(SiteId(1)).received, vec![(SiteId(1), "kept")]);
+        assert_eq!(sim.stats().named("sim_dropped_arrival_site_down"), 1);
+    }
+
+    #[test]
+    fn faults_on_a_removed_link_are_ignored() {
+        // Failing an already-failed link must not overwrite the remembered
+        // recovery delay, and jitter on a never-existing link is a no-op.
+        let net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        let down = FaultEvent::LinkDown {
+            a: SiteId(0),
+            b: SiteId(1),
+        };
+        sim.schedule_fault(1.0, down);
+        sim.schedule_fault(2.0, down); // duplicate failure: ignored
+        sim.schedule_fault(
+            3.0,
+            FaultEvent::SetLinkDelay {
+                a: SiteId(0),
+                b: SiteId(2), // never a link on the 3-line
+                delay: 9.0,
+            },
+        );
+        sim.schedule_fault(
+            4.0,
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.run_to_quiescence();
+        // Recovery restores the original delay exactly once.
+        assert!(!sim.faults().link_is_failed(SiteId(0), SiteId(1)));
+        assert_eq!(sim.network().link_delay(SiteId(0), SiteId(1)), Some(2.0));
+        assert_eq!(sim.network().link_delay(SiteId(0), SiteId(2)), None);
+        assert_eq!(sim.network().link_count(), 2);
+        assert_eq!(sim.stats().named("sim_fault_events"), 4);
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //!
 //! * `time` — simulated firing time;
 //! * `class` — [`EventPayload::class_rank`]: fault/perturbation events rank
-//!   before protocol events at the same timestamp, so a link that fails at
-//!   time `t` already affects every message delivered at `t` and the
-//!   interleaving of perturbations with protocol traffic is pinned rather
-//!   than an accident of scheduling order;
+//!   before everything else at the same timestamp, so a link that fails at
+//!   time `t` already affects every message delivered at `t`; external
+//!   arrivals rank next, before deliveries and timers, so the position of a
+//!   same-time arrival does not depend on *when* it was scheduled — a
+//!   pre-materialized workload (all arrivals injected before the run, with
+//!   the lowest sequence numbers) and a streaming workload (arrivals pulled
+//!   from an [`crate::engine::ArrivalSource`] mid-run) produce the identical
+//!   event order, which the record/replay equivalence of the workload layer
+//!   relies on;
 //! * `sequence` — assigned at scheduling time and strictly increasing.
 //!
 //! This order gives two guarantees the paper relies on:
@@ -47,14 +52,15 @@ pub enum EventPayload<M> {
 
 impl<M> EventPayload<M> {
     /// Tie-breaking class of the payload at equal timestamps: faults apply
-    /// before any protocol event, protocol events keep their scheduling
-    /// order relative to each other.
+    /// before any protocol event, external arrivals before deliveries and
+    /// timers (so arrival position is independent of scheduling time — see
+    /// the module docs), and deliveries/timers keep their scheduling order
+    /// relative to each other.
     pub fn class_rank(&self) -> u8 {
         match self {
             EventPayload::Fault { .. } => 0,
-            EventPayload::Deliver { .. }
-            | EventPayload::Timer { .. }
-            | EventPayload::External { .. } => 1,
+            EventPayload::External { .. } => 1,
+            EventPayload::Deliver { .. } | EventPayload::Timer { .. } => 2,
         }
     }
 }
@@ -234,7 +240,28 @@ mod tests {
         let order: Vec<u8> = std::iter::from_fn(|| q.pop())
             .map(|e| e.payload.class_rank())
             .collect();
-        assert_eq!(order, vec![0, 1, 1]);
+        assert_eq!(order, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn external_arrivals_rank_before_deliveries_at_the_same_time() {
+        // Scheduled after the delivery (higher seq), but the same-time
+        // arrival must still pop first — this pins streaming injection to
+        // the pre-materialized order.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            3.0,
+            SiteId(0),
+            EventPayload::Deliver {
+                from: SiteId(1),
+                message: 1,
+            },
+        );
+        q.push(3.0, SiteId(0), EventPayload::External { message: 2 });
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.payload.class_rank())
+            .collect();
+        assert_eq!(order, vec![1, 2]);
     }
 
     #[test]
@@ -250,7 +277,7 @@ mod tests {
         q.push(1.0, SiteId(0), EventPayload::Timer { timer_id: 1 });
         let first = q.pop().unwrap();
         assert_eq!(first.time, 1.0);
-        assert_eq!(first.payload.class_rank(), 1);
+        assert_eq!(first.payload.class_rank(), 2);
     }
 
     #[test]

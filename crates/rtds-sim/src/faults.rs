@@ -305,6 +305,66 @@ mod tests {
     }
 
     #[test]
+    fn recovery_before_failure_is_a_noop() {
+        // LinkUp without a prior LinkDown must not invent a link or corrupt
+        // the remembered-delay table used by later recoveries.
+        let mut net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut faults = FaultState::new(3, 0);
+        faults.apply(
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+            &mut net,
+        );
+        assert_eq!(net.link_count(), 2);
+        assert_eq!(net.link_delay(SiteId(0), SiteId(1)), Some(2.0));
+        faults.apply(
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+            &mut net,
+        );
+        assert!(faults.link_is_failed(SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn duplicate_failures_keep_the_original_recovery_delay() {
+        let mut net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut faults = FaultState::new(3, 0);
+        let down = FaultEvent::LinkDown {
+            a: SiteId(0),
+            b: SiteId(1),
+        };
+        faults.apply(down, &mut net);
+        // Jitter the *live* remainder of the network, then fail the same
+        // link again: the second failure sees no link and must not clobber
+        // the remembered delay of 2.0.
+        faults.apply(down, &mut net);
+        faults.apply(
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+            &mut net,
+        );
+        assert_eq!(net.link_delay(SiteId(0), SiteId(1)), Some(2.0));
+        assert!(!faults.link_is_failed(SiteId(0), SiteId(1)));
+    }
+
+    #[test]
+    fn duplicate_site_crashes_collapse_to_one_state_flag() {
+        let mut net = line(2, DelayDistribution::Constant(1.0), 0);
+        let mut faults = FaultState::new(2, 0);
+        faults.apply(FaultEvent::SiteDown { site: SiteId(0) }, &mut net);
+        faults.apply(FaultEvent::SiteDown { site: SiteId(0) }, &mut net);
+        assert!(faults.site_is_down(SiteId(0)));
+        faults.apply(FaultEvent::SiteUp { site: SiteId(0) }, &mut net);
+        assert!(!faults.site_is_down(SiteId(0)));
+    }
+
+    #[test]
     fn message_loss_probability_and_rolls() {
         let mut faults = FaultState::new(1, 42);
         assert_eq!(faults.loss_probability(), 0.0);

@@ -16,7 +16,14 @@
 //!   relies on this for reproducibility (the parallelism of the harness is
 //!   across *runs*, not inside one run),
 //! * [`arrivals`] generates sporadic job-arrival processes (Poisson,
-//!   periodic-with-jitter, bursty),
+//!   periodic-with-jitter, bursty); [`engine::ArrivalSource`] is the
+//!   pull-based streaming counterpart used by
+//!   [`engine::Simulator::run_streaming`] to inject arrivals on demand so
+//!   run length is bounded by time, not by how many arrivals fit in memory
+//!   (the open-loop generators live in the `rtds-workload` crate),
+//! * [`json`] is the deterministic hand-rolled JSON layer behind every
+//!   report and workload trace (the workspace `serde` is an offline no-op
+//!   stub),
 //! * [`faults`] injects timed perturbations beyond the paper's base model
 //!   (link latency jitter, link failure/recovery, site crash/recovery,
 //!   probabilistic message loss) for the §13 dynamic-network scenarios; a
@@ -38,12 +45,14 @@ pub mod arrivals;
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod json;
 pub mod stats;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, ArrivalSchedule};
-pub use engine::{Context, Protocol, Simulator};
+pub use engine::{ArrivalSource, Context, Protocol, Simulator};
 pub use event::{Event, EventPayload};
 pub use faults::{FaultEvent, FaultState};
+pub use json::Json;
 pub use stats::{GuaranteeStats, SimStats};
 pub use trace::{Trace, TraceEvent};

@@ -20,11 +20,19 @@
 //! * [`scenarios`] — the declarative scenario engine: named seeded
 //!   scenarios composing topology, workload and fault-injection recipes
 //!   (link jitter/failure, partitions, site crashes, message loss), a
-//!   built-in registry and a sharded deterministic sweep runner.
+//!   built-in registry and a sharded deterministic sweep runner,
+//! * [`workload`] — the streaming open-loop workload subsystem: composable
+//!   seeded arrival processes (Poisson, bursty on/off, diurnal, heavy-tail
+//!   Pareto size mixes), a deterministic JSONL trace format with
+//!   record/replay, and the job factory feeding the bounded-memory
+//!   streaming execution path (`rtds::core::RtdsSystem::run_streaming`) —
+//!   a million-job run keeps only the in-flight jobs resident.
 //!
 //! Architecture notes with protocol state-machine diagrams live in
 //! `docs/ARCHITECTURE.md`; the measurement methodology behind the recorded
-//! `BENCH_<n>.json` performance trajectory lives in `docs/PERFORMANCE.md`.
+//! `BENCH_<n>.json` performance trajectory lives in `docs/PERFORMANCE.md`;
+//! the workload trace format and replay semantics live in
+//! `docs/WORKLOADS.md`.
 //!
 //! ## Quickstart
 //!
@@ -52,3 +60,4 @@ pub use rtds_net as net;
 pub use rtds_scenarios as scenarios;
 pub use rtds_sched as sched;
 pub use rtds_sim as sim;
+pub use rtds_workload as workload;

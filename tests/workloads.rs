@@ -1,0 +1,93 @@
+//! Facade-level integration of the streaming workload subsystem: open-loop
+//! sources drive the bounded-memory execution path through `rtds::workload`
+//! and `rtds::core`, streaming scenario cells replay deterministically, and
+//! a moderately long run keeps its resident state flat.
+
+use rtds::core::{RtdsConfig, RtdsSystem, StreamOptions};
+use rtds::net::generators::{grid, DelayDistribution};
+use rtds::scenarios::{find_scenario, run_cell};
+use rtds::workload::{JobFactory, JobTemplate, MergedSource, OpenLoopSpec, RateProcess, SizeMix};
+
+fn poisson(rate: f64, max_jobs: u64, hotspots: usize) -> OpenLoopSpec {
+    OpenLoopSpec {
+        process: RateProcess::Poisson { rate },
+        sizes: SizeMix::Uniform { min: 5, max: 10 },
+        hotspots,
+        horizon: f64::INFINITY,
+        max_jobs,
+    }
+}
+
+#[test]
+fn long_streaming_run_keeps_resident_state_flat() {
+    // 4,000 jobs through a 5x5 grid: the whole point of the subsystem is
+    // that the in-flight population stays tiny while the run goes on.
+    let network = grid(5, 5, false, DelayDistribution::Constant(1.0), 9);
+    let mut system = RtdsSystem::new(network, RtdsConfig::default(), 9);
+    let mut jobs = JobFactory::new(
+        poisson(0.25, 4_000, 0).build(25, 33),
+        JobTemplate::default(),
+    );
+    let report = system.run_streaming(&mut jobs, &StreamOptions::default());
+    assert_eq!(report.guarantee.submitted, 4_000);
+    assert_eq!(report.deadline_misses(), 0);
+    assert_eq!(report.unharvested_completions, 0);
+    assert!(
+        report.guarantee_ratio() > 0.5,
+        "{}",
+        report.guarantee_ratio()
+    );
+    assert!(
+        report.peak_inflight_jobs < 200,
+        "peak in-flight {} for a 4000-job run",
+        report.peak_inflight_jobs
+    );
+    assert!(
+        report.peak_plan_reservations < 500,
+        "plans were not pruned: {}",
+        report.peak_plan_reservations
+    );
+    assert!(report.harvests > 100);
+}
+
+#[test]
+fn merged_sources_compose_into_one_run() {
+    // A background Poisson load merged with a bursty hotspot stream.
+    let background = poisson(0.2, 150, 0).build(16, 1);
+    let bursts = OpenLoopSpec {
+        process: RateProcess::OnOff {
+            on_rate: 1.2,
+            off_rate: 0.0,
+            mean_on: 15.0,
+            mean_off: 60.0,
+        },
+        sizes: SizeMix::Pareto {
+            alpha: 1.8,
+            min: 4,
+            cap: 20,
+        },
+        hotspots: 2,
+        horizon: 400.0,
+        max_jobs: 0,
+    }
+    .build(16, 2);
+    let network = grid(4, 4, false, DelayDistribution::Constant(1.0), 3);
+    let mut system = RtdsSystem::new(network, RtdsConfig::default(), 3);
+    let mut jobs = JobFactory::new(
+        MergedSource::new(background, bursts),
+        JobTemplate::default(),
+    );
+    let report = system.run_streaming(&mut jobs, &StreamOptions::default());
+    assert!(report.guarantee.submitted > 150);
+    assert_eq!(report.deadline_misses(), 0);
+}
+
+#[test]
+fn streaming_registry_cells_are_deterministic_through_the_facade() {
+    let scenario = find_scenario("diurnal-wave").expect("registry scenario");
+    let a = run_cell(&scenario, 7);
+    let b = run_cell(&scenario, 7);
+    assert_eq!(a, b);
+    assert!(a.submitted > 0);
+    assert_eq!(a.deadline_misses, 0);
+}

@@ -36,16 +36,18 @@ use rtds_bench::{write_json_report, ExpArgs};
 use rtds_core::{RtdsConfig, RtdsSystem, StreamOptions, StreamReport};
 use rtds_net::generators::{grid, DelayDistribution};
 use rtds_scenarios::{mix_seed, Json};
+use rtds_sim::metrics_json::metrics_to_json;
 use rtds_workload::{
-    JobFactory, JobTemplate, OpenLoopSpec, RateProcess, RecordingSource, SizeMix, TraceReader,
-    WorkloadSource,
+    JobFactory, JobSpec, JobTemplate, OpenLoopSpec, RateProcess, RecordingSource, SizeMix,
+    TraceReader, WorkloadSource,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::time::Instant;
 
 /// Identifier of the report schema (bump on breaking field changes).
-const WORKLOADS_SCHEMA: &str = "rtds-exp-workloads/1";
+/// Version 2 added the deterministic `metrics` section.
+const WORKLOADS_SCHEMA: &str = "rtds-exp-workloads/2";
 
 fn main() {
     let args = ExpArgs::parse(
@@ -175,12 +177,48 @@ fn replay(path: &str, args: &ExpArgs) {
     }
     let side = (sites as f64).sqrt().round() as usize;
     if side * side != sites {
-        eprintln!("trace {path} header has non-square site count {sites}");
+        eprintln!(
+            "trace {path} header claims {sites} sites, but exp_workloads builds square grids \
+             only — {side}x{side} would give {} sites; the header cannot be honoured",
+            side * side
+        );
         std::process::exit(1);
     }
     println!("exp_workloads: replaying {path} ({jobs} jobs, {side}x{side} grid, seed {seed})");
-    let (report, _) = run_stream(reader, seed, side, jobs);
+    // The header's site count is a claim about the topology, not a fact:
+    // guard every replayed arrival against the grid actually built so a
+    // hand-edited or corrupted trace fails with a clear message instead of
+    // an assertion deep inside the engine.
+    let checked = SiteBoundsCheck {
+        inner: reader,
+        sites,
+        path: path.to_string(),
+    };
+    let (report, _) = run_stream(checked, seed, side, jobs);
     print_and_write(&report, seed, sites, args);
+}
+
+/// Wraps a replayed trace and validates each arrival's site against the
+/// topology actually built (see `replay`).
+struct SiteBoundsCheck<S: WorkloadSource> {
+    inner: S,
+    sites: usize,
+    path: String,
+}
+
+impl<S: WorkloadSource> WorkloadSource for SiteBoundsCheck<S> {
+    fn next_arrival(&mut self) -> Option<(f64, JobSpec)> {
+        let (time, spec) = self.inner.next_arrival()?;
+        if spec.site >= self.sites {
+            eprintln!(
+                "trace {} is inconsistent: arrival at t = {time} targets site {} but the header's \
+                 topology has only sites 0..{}",
+                self.path, spec.site, self.sites
+            );
+            std::process::exit(1);
+        }
+        Some((time, spec))
+    }
 }
 
 /// Maps a `--process` name to an arrival process with aggregate rate
@@ -347,5 +385,10 @@ fn to_json(report: &StreamReport, seed: u64, sites: usize) -> Json {
             "unharvested_completions",
             Json::UInt(report.unharvested_completions),
         ),
+        // Full telemetry with scope detail (per-site plan gauges, workload
+        // inter-arrival jitter, latency/laxity histograms). Every summary
+        // is a pure function of the trace, so live and replay renderings
+        // stay byte-identical.
+        ("metrics", metrics_to_json(&report.metrics, true)),
     ])
 }

@@ -21,10 +21,18 @@
 
 use rtds_core::{JobOutcomeKind, RtdsSystem};
 use rtds_scenarios::{find_scenario, mix_seed, Json, Scenario, TopologyRecipe};
+use rtds_sim::metrics_json::metrics_to_json;
+use rtds_sim::MetricsRegistry;
 use std::time::{Duration, Instant};
 
 /// Identifier of the report schema (bump on breaking field changes).
-pub const PERF_SCHEMA: &str = "rtds-exp-perf/1";
+/// Version 2 added the deterministic per-workload `metrics` section
+/// (latency/laxity histogram summaries, protocol counters).
+pub const PERF_SCHEMA: &str = "rtds-exp-perf/2";
+
+/// The previous schema (no `metrics` sections). `--baseline` still accepts
+/// v1 recordings by comparing only the fields both schemas share.
+pub const PERF_SCHEMA_V1: &str = "rtds-exp-perf/1";
 
 /// The site-count tiers of the scaled scenarios.
 pub const PERF_TIERS: [usize; 3] = [16, 64, 256];
@@ -130,6 +138,9 @@ pub struct WorkloadResult {
     pub events_processed: u64,
     /// Final simulated time.
     pub finished_at: f64,
+    /// Full telemetry of the run (histograms, counters); every summary in
+    /// the report's `metrics` section is deterministic.
+    pub metrics: MetricsRegistry,
     /// Wall-clock time of the simulation run (nondeterministic).
     pub wall: Duration,
 }
@@ -161,6 +172,10 @@ impl WorkloadResult {
             ("messages_per_job", Json::Num(self.messages_per_job)),
             ("events_processed", Json::UInt(self.events_processed)),
             ("finished_at", Json::Num(self.finished_at)),
+            // Full scope detail: phase-labelled routing fan-out summaries
+            // render individually. Deterministic, unlike the two timing
+            // fields below.
+            ("metrics", metrics_to_json(&self.metrics, true)),
             ("wall_ms", timing(self.wall.as_secs_f64() * 1e3)),
             ("events_per_sec", timing(self.events_per_sec())),
         ])
@@ -293,11 +308,47 @@ impl BaselineComparison {
     }
 }
 
+/// Recursively removes every `metrics` section from a parsed report,
+/// producing the field set a v1 (`rtds-exp-perf/1`) recording carries —
+/// the shared shape `--baseline` compares across schema versions.
+pub fn strip_metrics(json: &mut Json) {
+    match json {
+        Json::Object(fields) => {
+            fields.retain(|(key, _)| key != "metrics");
+            for (_, value) in fields {
+                strip_metrics(value);
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                strip_metrics(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Projects a parsed v2 report onto the v1 field set: drops the `metrics`
+/// sections and retags the schema, leaving every field a v1 recording
+/// pinned byte-identical. The single definition of the cross-schema
+/// comparison rule.
+pub fn project_to_v1(json: &mut Json) {
+    strip_metrics(json);
+    if let Json::Object(fields) = json {
+        for (key, value) in fields.iter_mut() {
+            if key == "schema" {
+                *value = Json::str(PERF_SCHEMA_V1);
+            }
+        }
+    }
+}
+
 /// Diffs this run against a previously recorded report (`--baseline`): the
 /// deterministic fields must match byte-for-byte after nulling timings, and
 /// the recorded aggregate events/sec is surfaced for the regression
-/// tripwire. Fails if the baseline is not valid JSON of the same schema,
-/// seed and suite shape cue (`smoke`).
+/// tripwire. A v1 baseline (recorded before the `metrics` sections existed)
+/// is compared on the fields both schemas share. Fails if the baseline is
+/// not valid JSON of a known schema.
 pub fn compare_with_baseline(
     current: &PerfReport,
     baseline_text: &str,
@@ -305,18 +356,28 @@ pub fn compare_with_baseline(
     let mut baseline =
         Json::parse(baseline_text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let schema = baseline.get("schema").and_then(Json::as_str);
-    if schema != Some(PERF_SCHEMA) {
-        return Err(format!(
-            "baseline schema {schema:?} does not match {PERF_SCHEMA:?}"
-        ));
-    }
+    let v1_baseline = match schema {
+        Some(PERF_SCHEMA) => false,
+        Some(PERF_SCHEMA_V1) => true,
+        _ => {
+            return Err(format!(
+                "baseline schema {schema:?} is neither {PERF_SCHEMA:?} nor {PERF_SCHEMA_V1:?}"
+            ))
+        }
+    };
     let baseline_events_per_sec = baseline
         .get("totals")
         .and_then(|t| t.get("events_per_sec"))
         .and_then(Json::as_f64);
     null_timings(&mut baseline);
     let canonical_baseline = baseline.render();
-    let canonical_current = current.to_json(false);
+    let canonical_current = if v1_baseline {
+        let mut projected = Json::parse(&current.to_json(false)).expect("our own rendering parses");
+        project_to_v1(&mut projected);
+        projected.render()
+    } else {
+        current.to_json(false)
+    };
     let mut mismatches = Vec::new();
     if canonical_baseline != canonical_current {
         let old: Vec<&str> = canonical_baseline.lines().collect();
@@ -390,6 +451,7 @@ pub fn run_workload(workload: &PerfWorkload, seed: u64) -> WorkloadResult {
         messages_per_job: report.messages_per_job,
         events_processed: system.events_processed(),
         finished_at: report.finished_at,
+        metrics: report.metrics,
         wall,
     }
 }
@@ -463,6 +525,24 @@ mod tests {
         // Garbage and wrong-schema baselines are rejected.
         assert!(compare_with_baseline(&report, "not json").is_err());
         assert!(compare_with_baseline(&report, "{\"schema\": \"other/1\"}\n").is_err());
+    }
+
+    #[test]
+    fn v1_baselines_compare_on_the_shared_field_set() {
+        let report = run_perf_suite(7, true);
+        // Fabricate the v1 recording of this exact run: same fields minus
+        // the metrics sections, tagged with the old schema id.
+        let mut v1 = Json::parse(&report.to_json(true)).unwrap();
+        project_to_v1(&mut v1);
+        let cmp = compare_with_baseline(&report, &v1.render()).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+        assert!(cmp.baseline_events_per_sec.is_some());
+        // A doctored shared field still trips the diff.
+        let tampered = v1
+            .render()
+            .replace("\"deadline_misses\": 0", "\"deadline_misses\": 1");
+        let cmp = compare_with_baseline(&report, &tampered).unwrap();
+        assert!(!cmp.fields_match());
     }
 
     #[test]

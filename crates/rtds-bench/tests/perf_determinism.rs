@@ -50,10 +50,19 @@ fn smoke_report_has_the_fixed_schema() {
         &std::env::temp_dir().join("rtds_perf_schema.json"),
         &["--smoke"],
     );
-    assert!(report.contains("\"schema\": \"rtds-exp-perf/1\""));
+    assert!(report.contains("\"schema\": \"rtds-exp-perf/2\""));
     assert!(report.contains("\"seed\": 7"));
     assert!(report.contains("\"smoke\": true"));
     assert!(report.contains("\"name\": \"paper-baseline\""));
     assert!(report.contains("\"name\": \"wide-low-degree/16\""));
     assert!(report.contains("\"deadline_misses\": 0"));
+    // The v2 metrics section: deterministic histogram summaries, including
+    // the per-phase routing fan-out and the latency/laxity distributions.
+    assert!(report.contains("\"metrics\": {"));
+    assert!(report.contains("\"accept_latency\": {"));
+    assert!(report.contains("\"accept_laxity\": {"));
+    assert!(report.contains("\"trial_mapping_latency\": {"));
+    assert!(report.contains("\"routing_fanout/phase1\": {"));
+    assert!(report.contains("\"response_time\": {"));
+    assert!(report.contains("\"p99\": "));
 }

@@ -71,6 +71,12 @@ struct Inflight {
     /// initiator's own copy and every member's message).
     tasks_per_logical: Arc<[Vec<TaskSpec>]>,
     validation: Option<ValidationRound>,
+    /// Simulated time the distribution started (enrollment fan-out), for
+    /// the `distribution_latency` histogram.
+    started_at: f64,
+    /// Simulated time the Trial-Mapping broadcast went out, for the
+    /// `trial_mapping_latency` histogram (mapping → validation verdict).
+    mapped_at: Option<f64>,
 }
 
 /// The RTDS protocol instance running on one site.
@@ -226,6 +232,8 @@ impl RtdsNode {
                 distributed: false,
             });
             ctx.count("accepted_local", 1);
+            ctx.record("accept_latency", now - job.arrival_time.max(0.0));
+            ctx.record("accept_laxity", job.deadline() - now);
             ctx.trace(
                 "local-accept",
                 format!(
@@ -296,6 +304,8 @@ impl RtdsNode {
                 members: Vec::new(),
                 tasks_per_logical: Vec::new().into(),
                 validation: None,
+                started_at: now,
+                mapped_at: None,
             },
         );
     }
@@ -428,6 +438,7 @@ impl RtdsNode {
         inflight.members = members;
         inflight.tasks_per_logical = tasks_per_logical;
         inflight.validation = Some(validation);
+        inflight.mapped_at = Some(now);
         self.inflight.insert(job_id, inflight);
         self.try_finish_validation(job_id, ctx);
     }
@@ -458,6 +469,10 @@ impl RtdsNode {
             return;
         }
         let inflight = self.inflight.remove(&job_id).expect("checked above");
+        if let Some(mapped_at) = inflight.mapped_at {
+            // Broadcast → full validation verdict, in simulated time.
+            ctx.record("trial_mapping_latency", ctx.now() - mapped_at);
+        }
         let outcome = inflight
             .validation
             .as_ref()
@@ -529,6 +544,10 @@ impl RtdsNode {
             distributed: true,
         });
         ctx.count("accepted_distributed", 1);
+        let now = ctx.now();
+        ctx.record("accept_latency", now - inflight.job.arrival_time.max(0.0));
+        ctx.record("accept_laxity", inflight.job.deadline() - now);
+        ctx.record("distribution_latency", now - inflight.started_at);
         ctx.trace("job-accepted", job_label(&inflight.job));
         self.release_own_lock(job_id, ctx);
     }
@@ -686,6 +705,22 @@ impl RtdsNode {
     }
 }
 
+/// Records one `routing_fanout` sample per phase broadcast contained in a
+/// PCS send batch (one `on_update` can cascade several phases), scoped by
+/// routing phase so the per-phase fan-out distributions stay separable.
+fn record_routing_fanout(sends: &[crate::pcs::PcsSend], ctx: &mut Context<'_, RtdsMsg>) {
+    let mut start = 0;
+    while start < sends.len() {
+        let phase = sends[start].phase;
+        let run = sends[start..]
+            .iter()
+            .take_while(|s| s.phase == phase)
+            .count();
+        ctx.record_phase("routing_fanout", phase as u32, run as f64);
+        start += run;
+    }
+}
+
 fn job_label(job: &Job) -> String {
     format!(
         "{} ({} tasks, d = {:.1})",
@@ -699,7 +734,9 @@ impl Protocol for RtdsNode {
     type Msg = RtdsMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, RtdsMsg>) {
-        for send in self.pcs.start() {
+        let sends = self.pcs.start();
+        record_routing_fanout(&sends, ctx);
+        for send in sends {
             ctx.count("routing_update", 1);
             ctx.send(
                 send.to,
@@ -715,7 +752,9 @@ impl Protocol for RtdsNode {
     fn on_message(&mut self, from: SiteId, msg: RtdsMsg, ctx: &mut Context<'_, RtdsMsg>) {
         match msg {
             RtdsMsg::RoutingUpdate { phase, lines } => {
-                for send in self.pcs.on_update(from, phase, lines) {
+                let sends = self.pcs.on_update(from, phase, lines);
+                record_routing_fanout(&sends, ctx);
+                for send in sends {
                     ctx.count("routing_update", 1);
                     ctx.send(
                         send.to,

@@ -34,6 +34,7 @@ use crate::messages::RtdsMsg;
 use crate::node::RtdsNode;
 use crate::system::RtdsSystem;
 use rtds_graph::{Job, JobId};
+use rtds_metrics::{MetricsRegistry, Scope};
 use rtds_net::SiteId;
 use rtds_sim::engine::ArrivalSource;
 use rtds_sim::stats::{GuaranteeStats, SimStats};
@@ -44,6 +45,15 @@ use std::collections::BTreeMap;
 pub trait JobSource {
     /// The next job, or `None` when the workload is exhausted.
     fn next_job(&mut self) -> Option<Job>;
+
+    /// Hands over the telemetry the source accumulated while generating
+    /// jobs (inter-arrival jitter, size mixes, …), resetting it. The
+    /// streaming runner merges this into [`StreamReport::metrics`] at the
+    /// end of the run. Sources without instrumentation return an empty
+    /// registry (the default).
+    fn take_metrics(&mut self) -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
 }
 
 /// Any job iterator is a source (used to stream pre-materialized workloads,
@@ -106,6 +116,13 @@ pub struct StreamReport {
     /// Accepted jobs finalized without a recorded completion (a protocol
     /// invariant violation — must stay zero).
     pub unharvested_completions: u64,
+    /// The full telemetry registry: the protocol instruments of
+    /// [`StreamReport::stats`] plus the harvest-side end-to-end histograms
+    /// (`response_time`, `completion_slack`), the workload-source
+    /// instruments ([`JobSource::take_metrics`]) and the memory high-water
+    /// gauges (`inflight_jobs`, `queue_len`, per-site `plan_reservations`).
+    /// Deterministic — a pure function of the job stream and the seeds.
+    pub metrics: MetricsRegistry,
 }
 
 impl StreamReport {
@@ -122,6 +139,7 @@ impl StreamReport {
 
 /// Per-job bookkeeping between injection and finalization.
 struct Pending {
+    arrival: f64,
     deadline: f64,
     accepted: bool,
 }
@@ -141,6 +159,11 @@ struct HarvestState {
     peak_plan: u64,
     peak_queue: u64,
     harvests: u64,
+    /// Harvest-side telemetry (end-to-end histograms, per-site plan
+    /// gauges); merged into [`StreamReport::metrics`] at the end. Kept out
+    /// of the engine's [`SimStats`] so the protocol-level statistics stay
+    /// event-for-event identical to a batch run of the same jobs.
+    metrics: MetricsRegistry,
 }
 
 /// Adapter from a [`JobSource`] to the engine's [`ArrivalSource`]: pulls one
@@ -180,6 +203,7 @@ impl ArrivalSource<RtdsMsg> for StreamAdapter<'_> {
         self.inflight.insert(
             job.id,
             Pending {
+                arrival: job.arrival_time.max(0.0),
                 deadline: job.deadline(),
                 accepted: false,
             },
@@ -202,6 +226,11 @@ fn harvest(sim: &mut Simulator<RtdsNode>, cutoff: f64, st: &mut HarvestState) {
     for s in 0..site_count {
         let node = sim.node_mut(SiteId(s));
         st.peak_plan = st.peak_plan.max(node.plan.len() as u64);
+        st.metrics.gauge_set_scoped(
+            "plan_reservations",
+            Scope::Site(s as u32),
+            node.plan.len() as f64,
+        );
         for accepted in std::mem::take(&mut node.accepted) {
             if let Some(pending) = st.inflight.get_mut(&accepted.job) {
                 pending.accepted = true;
@@ -239,8 +268,14 @@ fn harvest(sim: &mut Simulator<RtdsNode>, cutoff: f64, st: &mut HarvestState) {
                 if slack < st.slack_min {
                     st.slack_min = slack;
                 }
+                st.metrics.record("response_time", c - pending.arrival);
+                st.metrics.record("completion_slack", slack);
             }
-            Some(_) => st.misses += 1,
+            Some(c) => {
+                st.misses += 1;
+                st.metrics.record("response_time", c - pending.arrival);
+                st.metrics.record("completion_slack", pending.deadline - c);
+            }
             None => st.unharvested += 1,
         }
     }
@@ -325,6 +360,16 @@ impl RtdsSystem {
         } else {
             (0.0, 0.0)
         };
+        // Report-level telemetry: protocol instruments + harvest histograms
+        // + workload-source instruments + the memory high-water gauges that
+        // prove the boundedness claim. Merge order is irrelevant (the
+        // registry merge is commutative), so the result is byte-identical
+        // to a batch run's histograms for the same jobs.
+        let mut metrics = stats.metrics().clone();
+        metrics.merge(&st.metrics);
+        metrics.merge(&source.take_metrics());
+        metrics.gauge_set("inflight_jobs", st.peak_inflight as f64);
+        metrics.gauge_set("queue_len", st.peak_queue as f64);
         StreamReport {
             guarantee,
             finished_at: self.sim().now(),
@@ -338,6 +383,7 @@ impl RtdsSystem {
             harvests: st.harvests,
             unharvested_completions: st.unharvested,
             stats,
+            metrics,
         }
     }
 }
@@ -420,6 +466,22 @@ mod tests {
         assert_eq!(stream_report.guarantee.completed_on_time, on_time);
         assert!((stream_report.mean_slack - slack_sum / on_time as f64).abs() < 1e-6);
         assert!((stream_report.min_slack - slack_min).abs() < 1e-9);
+        // The telemetry histograms agree sample-for-sample: the protocol
+        // instruments ride in `stats` (asserted equal above) and the
+        // end-to-end histograms are recorded incrementally by the harvest
+        // loop vs. in one batch fold — merge commutativity makes them
+        // bit-identical anyway.
+        for name in ["response_time", "completion_slack", "accept_latency"] {
+            assert_eq!(
+                stream_report.metrics.histogram(name),
+                batch_report.metrics.histogram(name),
+                "{name}"
+            );
+            assert!(!stream_report.metrics.histogram(name).is_empty(), "{name}");
+        }
+        // The boundedness gauges exist only on the streaming side.
+        assert!(stream_report.metrics.gauge("inflight_jobs").is_some());
+        assert!(batch_report.metrics.gauge("inflight_jobs").is_none());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::config::RtdsConfig;
 use crate::messages::RtdsMsg;
 use crate::node::{GlobalDistances, RtdsNode};
 use rtds_graph::{Job, JobId};
+use rtds_metrics::MetricsRegistry;
 use rtds_net::dijkstra::all_pairs_shortest_paths;
 use rtds_net::{Network, SiteId};
 use rtds_sched::executor;
@@ -38,6 +39,8 @@ pub struct JobReport {
     pub job: JobId,
     /// Arrival site.
     pub arrival_site: usize,
+    /// Arrival time (clamped to the start of the run).
+    pub arrival: f64,
     /// Outcome.
     pub outcome: JobOutcomeKind,
     /// Completion time across all sites (None for rejected jobs).
@@ -64,6 +67,11 @@ pub struct RunReport {
     pub finished_at: f64,
     /// Average number of distribution messages per submitted job.
     pub messages_per_job: f64,
+    /// The full telemetry registry: every protocol instrument from
+    /// [`SimStats`] plus the report-level end-to-end histograms
+    /// (`response_time`, `completion_slack`) folded over the per-job
+    /// outcomes. Deterministic — a pure function of the run's inputs.
+    pub metrics: MetricsRegistry,
 }
 
 impl RunReport {
@@ -81,7 +89,8 @@ impl RunReport {
 /// A deployed RTDS system: network + nodes + simulator + workload.
 pub struct RtdsSystem {
     sim: Simulator<RtdsNode>,
-    submitted: Vec<(JobId, usize, f64)>,
+    /// `(job, arrival site, arrival time, deadline)` of every submission.
+    submitted: Vec<(JobId, usize, f64, f64)>,
     #[allow(dead_code)]
     seed: u64,
 }
@@ -143,9 +152,9 @@ impl RtdsSystem {
             site.0 < self.sim.network().site_count(),
             "arrival site {site} does not exist"
         );
-        self.submitted
-            .push((job.id, job.arrival_site, job.deadline()));
         let time = job.arrival_time.max(0.0);
+        self.submitted
+            .push((job.id, job.arrival_site, time, job.deadline()));
         self.sim.inject_at(time, site, RtdsMsg::JobArrival { job });
     }
 
@@ -219,7 +228,7 @@ impl RtdsSystem {
         let plans: Vec<&SchedulePlan> = self.sim.nodes().map(|n| &n.plan).collect();
 
         let mut jobs = Vec::new();
-        for (job, site, deadline) in &self.submitted {
+        for (job, site, arrival, deadline) in &self.submitted {
             let (outcome, completion, met) = match accepted.get(job) {
                 Some((distributed, _)) => {
                     let completion = executor::job_completion(&plans, *job);
@@ -236,6 +245,7 @@ impl RtdsSystem {
             jobs.push(JobReport {
                 job: *job,
                 arrival_site: *site,
+                arrival: *arrival,
                 outcome,
                 completion,
                 deadline: *deadline,
@@ -259,6 +269,21 @@ impl RtdsSystem {
         }
 
         let stats = self.sim.stats().clone();
+        // Report-level telemetry: the protocol registry plus the end-to-end
+        // per-job histograms. Folding here (instead of inside the engine)
+        // keeps `stats` a pure protocol observable, and histogram merging is
+        // commutative, so this matches the streaming path's incremental
+        // recording sample-for-sample.
+        let mut metrics = stats.metrics().clone();
+        for j in &jobs {
+            if j.outcome == JobOutcomeKind::Rejected {
+                continue;
+            }
+            if let Some(completion) = j.completion {
+                metrics.record("response_time", completion - j.arrival);
+                metrics.record("completion_slack", j.deadline - completion);
+            }
+        }
         let submitted_count = self.submitted.len() as u64;
         let messages_per_job = if submitted_count > 0 {
             stats.named("distribution_messages") as f64 / submitted_count as f64
@@ -272,6 +297,7 @@ impl RtdsSystem {
             jobs,
             finished_at: self.sim.now(),
             messages_per_job,
+            metrics,
         }
     }
 }

@@ -1,0 +1,383 @@
+//! The named-instrument registry: counters, gauges and histograms under
+//! `&'static str` names with optional scoped labels.
+//!
+//! Instruments are keyed by a static name (every instrument name in the
+//! workspace is a literal, so the hot path never allocates a `String` per
+//! bump) plus a [`Scope`] label — `Global`, `Phase(n)` (one routing-exchange
+//! phase, one harvest pass, …) or `Site(n)` (one site of the simulated
+//! network). Storage is ordered (`BTreeMap` keyed by name then scope), so
+//! iteration order — and therefore any JSON rendering — is deterministic.
+//!
+//! [`MetricsRegistry::merge`] folds a whole registry into another:
+//! counters add, gauges fold by maximum, histograms merge bucket-wise. All
+//! three operations are associative and commutative, which makes a merged
+//! registry independent of merge order — the property the sharded sweep
+//! runner and the per-scenario aggregates rely on for byte-identical
+//! reports at any thread count.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+
+/// The label dimension of an instrument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Scope {
+    /// Unscoped (the default for [`MetricsRegistry::add`] and friends).
+    Global,
+    /// One phase of a phased computation (routing exchange, harvest, …).
+    Phase(u32),
+    /// One site of the simulated network.
+    Site(u32),
+}
+
+impl Scope {
+    /// The suffix appended to the instrument name in flattened exports
+    /// (empty for `Global`, `/phase<n>` and `/site<n>` otherwise).
+    pub fn suffix(&self) -> String {
+        match self {
+            Scope::Global => String::new(),
+            Scope::Phase(p) => format!("/phase{p}"),
+            Scope::Site(s) => format!("/site{s}"),
+        }
+    }
+}
+
+/// A gauge: the last value set and the peak (high-water mark) ever set.
+/// Merging two gauges keeps the maxima of both fields, so a merged gauge
+/// reports the global high-water mark regardless of merge order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauge {
+    /// Most recently set value (under merge: the maximum of the two).
+    pub last: f64,
+    /// Largest value ever set.
+    pub peak: f64,
+}
+
+impl Gauge {
+    fn set(&mut self, value: f64) {
+        self.last = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    fn merge(&mut self, other: &Gauge) {
+        self.last = self.last.max(other.last);
+        self.peak = self.peak.max(other.peak);
+    }
+}
+
+/// The registry of named instruments (see the module docs).
+///
+/// Global counters — the by-far hottest instrument (several bumps per
+/// protocol message) — live in a flat single-level map, exactly the
+/// structure the pre-metrics `SimStats` used, so the per-message cost is
+/// one ordered-map walk. The rarer scoped counters, and the cold gauges
+/// and histograms, use nested per-scope maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    /// `Scope::Global` counters (the hot path).
+    counters: BTreeMap<&'static str, u64>,
+    /// Non-global counters only (`add_scoped` with `Global` routes to the
+    /// flat map, keeping the representation canonical).
+    scoped_counters: BTreeMap<&'static str, BTreeMap<Scope, u64>>,
+    gauges: BTreeMap<&'static str, BTreeMap<Scope, Gauge>>,
+    histograms: BTreeMap<&'static str, BTreeMap<Scope, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (the identity element of [`MetricsRegistry::merge`]).
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Whether no instrument was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.scoped_counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    // ----- counters -------------------------------------------------------
+
+    /// Adds to a global counter, creating it at zero if needed. One flat
+    /// map walk — this is the per-protocol-message hot path.
+    pub fn add(&mut self, name: &'static str, amount: u64) {
+        *self.counters.entry(name).or_insert(0) += amount;
+    }
+
+    /// Adds to a scoped counter.
+    pub fn add_scoped(&mut self, name: &'static str, scope: Scope, amount: u64) {
+        match scope {
+            Scope::Global => self.add(name, amount),
+            scope => {
+                *self
+                    .scoped_counters
+                    .entry(name)
+                    .or_default()
+                    .entry(scope)
+                    .or_insert(0) += amount;
+            }
+        }
+    }
+
+    /// Total of a counter across all scopes (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+            + self
+                .scoped_counters
+                .get(name)
+                .map(|scopes| scopes.values().sum())
+                .unwrap_or(0)
+    }
+
+    /// Value of one scoped counter entry (zero if never touched).
+    pub fn counter_scoped(&self, name: &str, scope: Scope) -> u64 {
+        match scope {
+            Scope::Global => self.counters.get(name).copied().unwrap_or(0),
+            scope => self
+                .scoped_counters
+                .get(name)
+                .and_then(|scopes| scopes.get(&scope).copied())
+                .unwrap_or(0),
+        }
+    }
+
+    /// All counter families in name order: `(name, per-scope values)` with
+    /// the scopes of each name in `Scope` order (`Global` first). Export
+    /// path — allocates the merged view.
+    pub fn counter_families(&self) -> Vec<(&'static str, Vec<(Scope, u64)>)> {
+        let mut families: BTreeMap<&'static str, Vec<(Scope, u64)>> = BTreeMap::new();
+        for (name, value) in &self.counters {
+            families
+                .entry(name)
+                .or_default()
+                .push((Scope::Global, *value));
+        }
+        for (name, scopes) in &self.scoped_counters {
+            let family = families.entry(name).or_default();
+            family.extend(scopes.iter().map(|(s, v)| (*s, *v)));
+            // Global (pushed first when present) already precedes the
+            // nested scopes, which iterate in Scope order themselves.
+        }
+        families.into_iter().collect()
+    }
+
+    // ----- gauges ---------------------------------------------------------
+
+    /// Sets a global gauge (tracks both the last and the peak value).
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.gauge_set_scoped(name, Scope::Global, value);
+    }
+
+    /// Sets a scoped gauge.
+    pub fn gauge_set_scoped(&mut self, name: &'static str, scope: Scope, value: f64) {
+        self.gauges
+            .entry(name)
+            .or_default()
+            .entry(scope)
+            .or_insert(Gauge {
+                last: f64::NEG_INFINITY,
+                peak: f64::NEG_INFINITY,
+            })
+            .set(value);
+    }
+
+    /// A gauge merged across all its scopes (None if never set).
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        let scopes = self.gauges.get(name)?;
+        let mut merged: Option<Gauge> = None;
+        for g in scopes.values() {
+            match merged.as_mut() {
+                Some(m) => m.merge(g),
+                None => merged = Some(*g),
+            }
+        }
+        merged
+    }
+
+    /// One scoped gauge entry.
+    pub fn gauge_scoped(&self, name: &str, scope: Scope) -> Option<Gauge> {
+        self.gauges
+            .get(name)
+            .and_then(|scopes| scopes.get(&scope))
+            .copied()
+    }
+
+    /// All gauge families in name order.
+    pub fn gauge_families(&self) -> impl Iterator<Item = (&'static str, &BTreeMap<Scope, Gauge>)> {
+        self.gauges.iter().map(|(k, v)| (*k, v))
+    }
+
+    // ----- histograms -----------------------------------------------------
+
+    /// Records a sample into a global histogram.
+    pub fn record(&mut self, name: &'static str, value: f64) {
+        self.record_scoped(name, Scope::Global, value);
+    }
+
+    /// Records a sample into a scoped histogram.
+    pub fn record_scoped(&mut self, name: &'static str, scope: Scope, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_default()
+            .entry(scope)
+            .or_default()
+            .record(value);
+    }
+
+    /// A histogram merged across all its scopes (empty if never recorded).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut merged = Histogram::new();
+        if let Some(scopes) = self.histograms.get(name) {
+            for h in scopes.values() {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// One scoped histogram entry.
+    pub fn histogram_scoped(&self, name: &str, scope: Scope) -> Option<&Histogram> {
+        self.histograms
+            .get(name)
+            .and_then(|scopes| scopes.get(&scope))
+    }
+
+    /// All histogram families in name order.
+    pub fn histogram_families(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &BTreeMap<Scope, Histogram>)> {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    // ----- aggregation ----------------------------------------------------
+
+    /// Folds another registry into this one: counters add, gauges keep
+    /// maxima, histograms merge bucket-wise. Associative and commutative,
+    /// with the empty registry as identity.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, scopes) in &other.scoped_counters {
+            let mine = self.scoped_counters.entry(name).or_default();
+            for (scope, value) in scopes {
+                *mine.entry(*scope).or_insert(0) += value;
+            }
+        }
+        for (name, scopes) in &other.gauges {
+            let mine = self.gauges.entry(name).or_default();
+            for (scope, gauge) in scopes {
+                mine.entry(*scope).or_insert(*gauge).merge(gauge);
+            }
+        }
+        for (name, scopes) in &other.histograms {
+            let mine = self.histograms.entry(name).or_default();
+            for (scope, histogram) in scopes {
+                mine.entry(*scope).or_default().merge(histogram);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_total_across_scopes() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        m.add("msgs", 3);
+        m.add_scoped("msgs", Scope::Site(2), 4);
+        m.add_scoped("msgs", Scope::Phase(1), 1);
+        assert_eq!(m.counter("msgs"), 8);
+        assert_eq!(m.counter_scoped("msgs", Scope::Global), 3);
+        assert_eq!(m.counter_scoped("msgs", Scope::Site(2)), 4);
+        assert_eq!(m.counter("absent"), 0);
+        assert!(!m.is_empty());
+        // Family iteration surfaces scopes in Ord order: Global, Phase, Site.
+        let families = m.counter_families();
+        let (name, scopes) = &families[0];
+        assert_eq!(*name, "msgs");
+        let order: Vec<Scope> = scopes.iter().map(|(s, _)| *s).collect();
+        assert_eq!(order, vec![Scope::Global, Scope::Phase(1), Scope::Site(2)]);
+        // A purely scoped counter still shows up as a family.
+        let mut scoped_only = MetricsRegistry::new();
+        scoped_only.add_scoped("only", Scope::Phase(4), 2);
+        assert_eq!(scoped_only.counter("only"), 2);
+        assert_eq!(scoped_only.counter_families().len(), 1);
+    }
+
+    #[test]
+    fn gauges_track_last_and_peak() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("inflight", 5.0);
+        m.gauge_set("inflight", 12.0);
+        m.gauge_set("inflight", 3.0);
+        let g = m.gauge("inflight").unwrap();
+        assert_eq!(g.last, 3.0);
+        assert_eq!(g.peak, 12.0);
+        assert!(m.gauge("absent").is_none());
+        m.gauge_set_scoped("inflight", Scope::Site(1), 40.0);
+        // The merged view keeps the global high-water mark.
+        assert_eq!(m.gauge("inflight").unwrap().peak, 40.0);
+        assert_eq!(
+            m.gauge_scoped("inflight", Scope::Global).unwrap().peak,
+            12.0
+        );
+    }
+
+    #[test]
+    fn histograms_roll_up_across_scopes() {
+        let mut m = MetricsRegistry::new();
+        m.record_scoped("fanout", Scope::Phase(1), 4.0);
+        m.record_scoped("fanout", Scope::Phase(2), 4.0);
+        m.record_scoped("fanout", Scope::Phase(2), 16.0);
+        assert_eq!(m.histogram("fanout").count(), 3);
+        assert_eq!(m.histogram("fanout").max(), 16.0);
+        assert_eq!(
+            m.histogram_scoped("fanout", Scope::Phase(2))
+                .unwrap()
+                .count(),
+            2
+        );
+        assert!(m.histogram_scoped("fanout", Scope::Site(9)).is_none());
+        assert!(m.histogram("absent").is_empty());
+    }
+
+    #[test]
+    fn merge_combines_every_family() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 1);
+        a.gauge_set("g", 10.0);
+        a.record("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 2);
+        b.add_scoped("c", Scope::Site(0), 5);
+        b.gauge_set("g", 4.0);
+        b.record("h", 50.0);
+        b.record_scoped("h", Scope::Phase(3), 1.0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 8);
+        assert_eq!(ab.gauge("g").unwrap().peak, 10.0);
+        assert_eq!(ab.histogram("h").count(), 3);
+        // Identity.
+        let mut with_empty = ab.clone();
+        with_empty.merge(&MetricsRegistry::new());
+        assert_eq!(with_empty, ab);
+    }
+
+    #[test]
+    fn scope_suffixes() {
+        assert_eq!(Scope::Global.suffix(), "");
+        assert_eq!(Scope::Phase(2).suffix(), "/phase2");
+        assert_eq!(Scope::Site(17).suffix(), "/site17");
+    }
+}

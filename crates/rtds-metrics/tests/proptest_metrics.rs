@@ -1,0 +1,145 @@
+//! Property tests for the telemetry algebra: histogram and registry merge
+//! must be associative and commutative (with the empty value as identity),
+//! and every summary must be a pure function of the recorded multiset —
+//! independent of sample order and of how the samples were partitioned
+//! across histograms before merging. These are exactly the properties the
+//! sharded sweep runner depends on for byte-identical reports at any
+//! thread count.
+
+use proptest::prelude::*;
+use rtds_metrics::{Histogram, MetricsRegistry, Scope};
+
+fn fill(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Samples spanning the interesting ranges: zero, sub-bucket tiny values,
+/// mid-range latencies and overflow-bucket monsters.
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0),
+            1e-9f64..1e-6,
+            0.01f64..1.0,
+            1.0f64..1e3,
+            1e3f64..1e6,
+            1e12f64..1e15,
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_commutative(a in sample_vec(), b in sample_vec()) {
+        let (ha, hb) = (fill(&a), fill(&b));
+        prop_assert_eq!(merged(&ha, &hb), merged(&hb, &ha));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in sample_vec(),
+        b in sample_vec(),
+        c in sample_vec(),
+    ) {
+        let (ha, hb, hc) = (fill(&a), fill(&b), fill(&c));
+        let left = merged(&merged(&ha, &hb), &hc);
+        let right = merged(&ha, &merged(&hb, &hc));
+        prop_assert_eq!(&left, &right);
+        // The empty histogram is the identity on both sides.
+        prop_assert_eq!(merged(&left, &Histogram::new()), left.clone());
+        prop_assert_eq!(merged(&Histogram::new(), &left), left);
+    }
+
+    #[test]
+    fn summaries_only_depend_on_the_sample_multiset(
+        samples in sample_vec(),
+        split in 0usize..81,
+    ) {
+        // One histogram fed everything vs. two fed a partition and merged:
+        // identical state, hence identical summaries and quantiles.
+        let whole = fill(&samples);
+        let cut = split.min(samples.len());
+        let parts = merged(&fill(&samples[..cut]), &fill(&samples[cut..]));
+        prop_assert_eq!(&whole, &parts);
+        prop_assert_eq!(whole.summary(), parts.summary());
+        // Reversing the sample order changes nothing either.
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        prop_assert_eq!(fill(&reversed), whole);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(samples in sample_vec()) {
+        let h = fill(&samples);
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        for pair in qs.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {qs:?}");
+        }
+        if !samples.is_empty() {
+            prop_assert!(h.quantile(0.0) >= h.min() - f64::EPSILON);
+            prop_assert!(h.quantile(1.0) <= h.max() + f64::EPSILON);
+            // A bucket bound is within 2x of the true order statistic for
+            // positive samples (the determinism/resolution trade).
+            let mut sorted = samples.clone();
+            sorted.sort_by(f64::total_cmp);
+            let true_median = sorted[(sorted.len() - 1) / 2];
+            if true_median > 0.0 {
+                let reported = h.quantile(0.5);
+                prop_assert!(
+                    reported <= (true_median * 2.0).max(h.max())
+                        && reported >= true_median / 2.0,
+                    "p50 {reported} vs true median {true_median}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_associative_and_commutative(
+        a in sample_vec(),
+        b in sample_vec(),
+        c in sample_vec(),
+    ) {
+        let build = |samples: &[f64]| {
+            let mut m = MetricsRegistry::new();
+            for (i, &v) in samples.iter().enumerate() {
+                m.record("hist", v);
+                m.record_scoped("scoped", Scope::Site((i % 3) as u32), v);
+                m.add("count", 1);
+                m.gauge_set("gauge", v);
+            }
+            m
+        };
+        let (ma, mb, mc) = (build(&a), build(&b), build(&c));
+        let merge = |x: &MetricsRegistry, y: &MetricsRegistry| {
+            let mut out = x.clone();
+            out.merge(y);
+            out
+        };
+        prop_assert_eq!(merge(&ma, &mb), merge(&mb, &ma));
+        prop_assert_eq!(
+            merge(&merge(&ma, &mb), &mc),
+            merge(&ma, &merge(&mb, &mc))
+        );
+        prop_assert_eq!(merge(&ma, &MetricsRegistry::new()), ma.clone());
+        // The scoped rollup equals the global histogram: same samples.
+        let all = merge(&merge(&ma, &mb), &mc);
+        prop_assert_eq!(all.histogram("scoped"), all.histogram("hist"));
+    }
+}

@@ -10,6 +10,8 @@
 use crate::json::Json;
 use crate::spec::{mix_seed, Scenario, StreamRecipe};
 use rtds_core::{JobOutcomeKind, RtdsSystem, RunReport, StreamOptions, StreamReport};
+use rtds_sim::metrics_json::metrics_to_json;
+use rtds_sim::MetricsRegistry;
 use rtds_workload::{reader_from_string, record_to_string, JobFactory, OpenLoopSource};
 
 /// Runs `work` over `inputs` on `threads` worker threads (round-robin
@@ -119,6 +121,9 @@ pub struct CellReport {
     pub finished_at: f64,
     /// Events processed by the engine.
     pub events_processed: u64,
+    /// Full telemetry of the cell run (latency/laxity histograms, protocol
+    /// counters, streaming gauges). Deterministic per `(scenario, seed)`.
+    pub metrics: MetricsRegistry,
 }
 
 impl CellReport {
@@ -171,6 +176,7 @@ impl CellReport {
             messages_lost,
             finished_at: report.finished_at,
             events_processed,
+            metrics: report.metrics.clone(),
         }
     }
 
@@ -200,6 +206,7 @@ impl CellReport {
             messages_lost,
             finished_at: report.finished_at,
             events_processed: report.events_processed,
+            metrics: report.metrics.clone(),
         }
     }
 
@@ -224,6 +231,7 @@ impl CellReport {
             ("messages_lost", Json::UInt(self.messages_lost)),
             ("finished_at", Json::Num(self.finished_at)),
             ("events_processed", Json::UInt(self.events_processed)),
+            ("metrics", metrics_to_json(&self.metrics, false)),
         ])
     }
 }
@@ -253,6 +261,10 @@ pub struct ScenarioSummary {
     pub total_faults_injected: u64,
     /// Total lost/dropped messages across seeds.
     pub total_messages_lost: u64,
+    /// Scenario-scoped telemetry: every cell's registry merged. The merge
+    /// is associative and commutative, so this aggregate — and its JSON
+    /// rendering — is identical for any sweep thread count.
+    pub metrics: MetricsRegistry,
 }
 
 impl ScenarioSummary {
@@ -287,6 +299,13 @@ impl ScenarioSummary {
             total_deadline_misses: cells.iter().map(|c| c.deadline_misses).sum(),
             total_faults_injected: cells.iter().map(|c| c.faults_injected).sum(),
             total_messages_lost: cells.iter().map(|c| c.messages_lost).sum(),
+            metrics: {
+                let mut merged = MetricsRegistry::new();
+                for cell in &cells {
+                    merged.merge(&cell.metrics);
+                }
+                merged
+            },
             cells,
         }
     }
@@ -312,6 +331,7 @@ impl ScenarioSummary {
                 Json::UInt(self.total_faults_injected),
             ),
             ("total_messages_lost", Json::UInt(self.total_messages_lost)),
+            ("metrics", metrics_to_json(&self.metrics, false)),
             (
                 "cells",
                 Json::Array(self.cells.iter().map(CellReport::to_json).collect()),

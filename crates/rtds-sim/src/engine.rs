@@ -11,6 +11,7 @@ use crate::event::{EventPayload, EventQueue};
 use crate::faults::{FaultEvent, FaultState};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent};
+use rtds_metrics::Scope;
 use rtds_net::{Network, SiteId};
 use std::fmt::Debug;
 
@@ -135,6 +136,38 @@ impl<'a, M> Context<'a, M> {
     /// that per-message counter bumps never allocate.
     pub fn count(&mut self, name: &'static str, amount: u64) {
         self.stats.add(name, amount);
+    }
+
+    /// Increments a named counter scoped to this site.
+    pub fn count_site(&mut self, name: &'static str, amount: u64) {
+        self.stats
+            .metrics_mut()
+            .add_scoped(name, Scope::Site(self.site.0 as u32), amount);
+    }
+
+    /// Records a sample into a named streaming histogram (log-bucketed;
+    /// summaries are deterministic — see `rtds_metrics`).
+    pub fn record(&mut self, name: &'static str, value: f64) {
+        self.stats.metrics_mut().record(name, value);
+    }
+
+    /// Records a sample into a histogram scoped to a phase label.
+    pub fn record_phase(&mut self, name: &'static str, phase: u32, value: f64) {
+        self.stats
+            .metrics_mut()
+            .record_scoped(name, Scope::Phase(phase), value);
+    }
+
+    /// Records a sample into a histogram scoped to this site.
+    pub fn record_site(&mut self, name: &'static str, value: f64) {
+        self.stats
+            .metrics_mut()
+            .record_scoped(name, Scope::Site(self.site.0 as u32), value);
+    }
+
+    /// Sets a named gauge (tracks both the last and the peak value).
+    pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.stats.metrics_mut().gauge_set(name, value);
     }
 
     /// Sends `msg` over every direct link of this site (the broadcast step

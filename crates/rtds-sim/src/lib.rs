@@ -29,7 +29,11 @@
 //!   probabilistic message loss) for the §13 dynamic-network scenarios; a
 //!   quiet fault plane leaves runs bit-identical to the unperturbed engine,
 //! * [`stats`] aggregates message counts, named protocol counters and the
-//!   real-time metrics the paper's claims are judged by (guarantee ratio),
+//!   real-time metrics the paper's claims are judged by (guarantee ratio);
+//!   it is backed by the [`rtds_metrics`] registry, whose histograms and
+//!   gauges protocols feed through [`engine::Context::record`] and which
+//!   [`metrics_json`] renders as the deterministic `metrics` section of
+//!   every report (see `docs/METRICS.md`),
 //! * [`trace`] records structured per-site events for debugging, golden tests
 //!   and the Fig. 1 protocol-walkthrough binary.
 //!
@@ -46,6 +50,7 @@ pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod json;
+pub mod metrics_json;
 pub mod stats;
 pub mod trace;
 
@@ -54,5 +59,7 @@ pub use engine::{ArrivalSource, Context, Protocol, Simulator};
 pub use event::{Event, EventPayload};
 pub use faults::{FaultEvent, FaultState};
 pub use json::Json;
+pub use metrics_json::{metrics_to_json, summary_to_json};
+pub use rtds_metrics::{Gauge, Histogram, HistogramSummary, MetricsRegistry, Scope};
 pub use stats::{GuaranteeStats, SimStats};
 pub use trace::{Trace, TraceEvent};

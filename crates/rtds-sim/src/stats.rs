@@ -11,14 +11,17 @@
 //!   the number of accepted (executed) jobs"), captured by
 //!   [`GuaranteeStats`].
 
+use rtds_metrics::MetricsRegistry;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
-/// Engine-level and protocol-level counters.
+/// Engine-level and protocol-level telemetry.
 ///
-/// Counter names are `&'static str`: every name in the workspace is a
-/// literal, and the hot path (`Context::count` fires several times per
-/// protocol message) must not allocate a `String` per bump.
+/// Backed by an [`rtds_metrics::MetricsRegistry`]: the historical named
+/// counters are the registry's counter family (names are `&'static str`
+/// literals, so the hot path — `Context::count` fires several times per
+/// protocol message — never allocates a `String` per bump), and the same
+/// registry now also carries the streaming histograms and gauges recorded
+/// through [`crate::engine::Context::record`] and friends.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Messages handed to the engine for delivery.
@@ -26,44 +29,58 @@ pub struct SimStats {
     /// Messages actually delivered (equal to `messages_sent` once the run is
     /// quiescent, unless fault injection lost or dropped some).
     pub messages_delivered: u64,
-    /// Named protocol counters (for example `"enroll"`, `"trial_mapping"`,
-    /// `"bid"`), kept ordered for deterministic reports.
-    named: BTreeMap<&'static str, u64>,
+    /// The instrument registry: named counters (for example `"enroll"`,
+    /// `"trial_mapping"`), gauges and log-bucketed histograms.
+    metrics: MetricsRegistry,
 }
 
 impl SimStats {
     /// Adds to a named counter, creating it at zero if needed.
     pub fn add(&mut self, name: &'static str, amount: u64) {
-        *self.named.entry(name).or_insert(0) += amount;
+        self.metrics.add(name, amount);
     }
 
-    /// Value of a named counter (zero if never touched).
+    /// Value of a named counter, totalled across scopes (zero if never
+    /// touched).
     pub fn named(&self, name: &str) -> u64 {
-        self.named.get(name).copied().unwrap_or(0)
+        self.metrics.counter(name)
     }
 
-    /// All named counters in name order.
-    pub fn named_counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.named.iter().map(|(k, v)| (*k, *v))
+    /// All named counters in name order (each totalled across its scopes).
+    pub fn named_counters(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        self.metrics
+            .counter_families()
+            .into_iter()
+            .map(|(name, scopes)| (name, scopes.iter().map(|(_, v)| *v).sum()))
     }
 
     /// Sum of all named counters whose name starts with the given prefix.
     pub fn named_with_prefix(&self, prefix: &str) -> u64 {
-        self.named
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| *v)
+        self.named_counters()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, total)| total)
             .sum()
     }
 
+    /// Read access to the full instrument registry (histograms, gauges,
+    /// scoped counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the instrument registry.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
     /// Merges another statistics record into this one (used when aggregating
-    /// across independent simulation runs).
+    /// across independent simulation runs). Counters add, gauges keep their
+    /// maxima, histograms merge bucket-wise — associative and commutative,
+    /// so aggregate reports do not depend on merge order.
     pub fn merge(&mut self, other: &SimStats) {
         self.messages_sent += other.messages_sent;
         self.messages_delivered += other.messages_delivered;
-        for (k, v) in &other.named {
-            *self.named.entry(k).or_insert(0) += v;
-        }
+        self.metrics.merge(&other.metrics);
     }
 }
 

@@ -16,6 +16,7 @@ use crate::source::WorkloadSource;
 use rtds_core::streaming::JobSource;
 use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
 use rtds_graph::Job;
+use rtds_metrics::MetricsRegistry;
 use rtds_sim::json::Json;
 use serde::{Deserialize, Serialize};
 
@@ -63,10 +64,19 @@ impl JobTemplate {
 
 /// Expands a [`WorkloadSource`] into a stream of concrete jobs (see the
 /// module docs).
+///
+/// The factory instruments the stream as it flows through: the
+/// `interarrival` histogram records the gap between consecutive arrivals
+/// (the jitter profile of the arrival process) and the `job_tasks`
+/// histogram records the emitted task counts (the realized size mix). The
+/// streaming runner collects both via [`JobSource::take_metrics`] into
+/// [`rtds_core::StreamReport::metrics`].
 #[derive(Debug)]
 pub struct JobFactory<S: WorkloadSource> {
     source: S,
     generator: DagGenerator,
+    metrics: MetricsRegistry,
+    last_arrival: Option<f64>,
 }
 
 impl<S: WorkloadSource> JobFactory<S> {
@@ -83,6 +93,8 @@ impl<S: WorkloadSource> JobFactory<S> {
             source,
             // The seed is irrelevant: every job reseeds from its spec.
             generator: DagGenerator::new(config, 0),
+            metrics: MetricsRegistry::new(),
+            last_arrival: None,
         }
     }
 
@@ -91,14 +103,29 @@ impl<S: WorkloadSource> JobFactory<S> {
     pub fn into_source(self) -> S {
         self.source
     }
+
+    /// The stream telemetry accumulated so far (inter-arrival jitter and
+    /// realized size mix).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
 }
 
 impl<S: WorkloadSource> JobSource for JobFactory<S> {
     fn next_job(&mut self) -> Option<Job> {
         let (time, spec) = self.source.next_arrival()?;
+        if let Some(last) = self.last_arrival {
+            self.metrics.record("interarrival", time - last);
+        }
+        self.last_arrival = Some(time);
+        self.metrics.record("job_tasks", spec.tasks as f64);
         self.generator.reseed(spec.seed);
         self.generator.set_task_count(spec.tasks);
         Some(self.generator.generate_job(spec.site, time))
+    }
+
+    fn take_metrics(&mut self) -> MetricsRegistry {
+        std::mem::take(&mut self.metrics)
     }
 }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Perf smoke: two exp_perf runs of the smallest tier must agree on every
+# deterministic field (everything except wall_ms / events_per_sec), now
+# including the per-workload metrics sections (latency/laxity histogram
+# summaries). Used by CI and runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_perf -- --seed 7 --smoke --json "$out/perf-smoke.json"
+cargo run --release --bin exp_perf -- --seed 7 --smoke --json "$out/perf-smoke-b.json"
+grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke.json" > "$out/perf-smoke.det"
+grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke-b.json" > "$out/perf-smoke-b.det"
+cmp "$out/perf-smoke.det" "$out/perf-smoke-b.det"
+# The v2 schema must actually carry the histogram summaries.
+grep -q '"accept_latency": {' "$out/perf-smoke.json"
+grep -q '"accept_laxity": {' "$out/perf-smoke.json"
+echo "perf smoke OK: deterministic fields (incl. metrics) are byte-identical"

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Scenario smoke: registry listing plus one seeded fault-injection sweep,
+# re-run on two worker threads to pin thread-count invariance of the report
+# (byte-compare). Used by CI and runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_scenarios -- --list
+cargo run --release --bin exp_scenarios -- --scenario lossy-messages --seed 1 --seeds 2 \
+    --json "$out/scenario-smoke.json"
+cargo run --release --bin exp_scenarios -- --scenario lossy-messages --seed 1 --seeds 2 \
+    --threads 2 --json "$out/scenario-smoke-t2.json"
+cmp "$out/scenario-smoke.json" "$out/scenario-smoke-t2.json"
+echo "scenario smoke OK: sweep report is thread-count invariant"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Workload smoke: a streaming run recorded to a JSONL trace must replay to a
+# byte-identical JSON report (including the metrics section), and the
+# diurnal process must run clean. Used by CI and runnable locally from the
+# repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_workloads -- --seed 3 --jobs 500 --rate 0.4 --sites 16 \
+    --record "$out/workload-smoke.jsonl" --json "$out/workload-live.json"
+cargo run --release --bin exp_workloads -- --replay "$out/workload-smoke.jsonl" \
+    --json "$out/workload-replay.json"
+cmp "$out/workload-live.json" "$out/workload-replay.json"
+cargo run --release --bin exp_workloads -- --seed 3 --jobs 300 --rate 0.4 --sites 16 \
+    --process diurnal --json "$out/workload-diurnal.json"
+# A trace whose header disagrees with the topology it claims must be
+# rejected with a clear message, not an engine assertion.
+sed 's/"sites":16/"sites":17/' "$out/workload-smoke.jsonl" > "$out/workload-bad-sites.jsonl"
+if cargo run --release --bin exp_workloads -- --replay "$out/workload-bad-sites.jsonl" \
+    2> "$out/workload-bad-sites.err"; then
+    echo "expected the tampered trace to be rejected" >&2
+    exit 1
+fi
+grep -q 'square grids' "$out/workload-bad-sites.err"
+echo "workload smoke OK: record/replay round-trip is byte-identical"

@@ -10,6 +10,10 @@
 //!   Bellman–Ford of §7 and hop-bounded spheres,
 //! * [`sim`] — the deterministic discrete-event simulation engine (sites,
 //!   messages, sporadic arrivals, statistics),
+//! * [`metrics`] — deterministic streaming telemetry: counters, gauges and
+//!   log-bucketed histograms whose percentile summaries are byte-identical
+//!   across runs and thread counts; every report format renders a registry
+//!   as its `metrics` section (see `docs/METRICS.md`),
 //! * [`sched`] — the per-site local scheduler (§5): reservation plans, idle
 //!   intervals, admission tests and surplus,
 //! * [`core`] — the RTDS protocol itself: Potential/Available Computing
@@ -56,6 +60,7 @@
 pub use rtds_baselines as baselines;
 pub use rtds_core as core;
 pub use rtds_graph as graph;
+pub use rtds_metrics as metrics;
 pub use rtds_net as net;
 pub use rtds_scenarios as scenarios;
 pub use rtds_sched as sched;

@@ -1,0 +1,98 @@
+//! End-to-end determinism of the telemetry subsystem: the metrics sections
+//! of every report must be byte-identical across runs and across sweep
+//! thread counts, and must round-trip through the deterministic JSON layer.
+
+use rtds::scenarios::{find_scenario, run_cell, run_sweep, SweepConfig};
+use rtds::sim::metrics_json::metrics_to_json;
+use rtds::sim::Json;
+
+/// The sweep used throughout: two scenarios (one batch, one streaming) so
+/// both execution paths contribute histograms and gauges.
+fn scenario_pair() -> Vec<rtds::scenarios::Scenario> {
+    vec![
+        find_scenario("paper-baseline").unwrap(),
+        find_scenario("diurnal-wave").unwrap(),
+    ]
+}
+
+#[test]
+fn sweep_metric_summaries_are_identical_across_thread_counts() {
+    let scenarios = scenario_pair();
+    let reports: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| run_sweep(&scenarios, &SweepConfig::new(5, 4, threads)))
+        .collect();
+    // The whole reports (cells, per-scenario merged registries, JSON
+    // renderings) agree for 1, 2 and 4 worker threads.
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+    let json = reports[0].to_json();
+    assert_eq!(json, reports[1].to_json());
+    assert_eq!(json, reports[2].to_json());
+    // And the summaries are non-trivial: latency histograms actually fired.
+    for summary in &reports[0].scenarios {
+        let latency = summary.metrics.histogram("accept_latency");
+        assert!(
+            latency.count() > 0,
+            "{}: no accept_latency samples",
+            summary.name
+        );
+        let s = latency.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+    }
+    // The streaming scenario carries the workload-layer instruments.
+    let streaming = reports[0].scenario("diurnal-wave").unwrap();
+    assert!(streaming.metrics.histogram("interarrival").count() > 0);
+    assert!(streaming.metrics.gauge("inflight_jobs").is_some());
+}
+
+#[test]
+fn cell_metrics_are_reproducible_and_laxity_aware() {
+    let scenario = find_scenario("tight-laxity-storm").unwrap();
+    let a = run_cell(&scenario, 3);
+    let b = run_cell(&scenario, 3);
+    assert_eq!(a.metrics, b.metrics);
+    // Laxity slack at acceptance is strictly positive: a job accepted after
+    // its deadline would be a protocol bug.
+    let laxity = a.metrics.histogram("accept_laxity");
+    if laxity.count() > 0 {
+        assert!(laxity.min() > 0.0, "accepted a job with no slack left");
+    }
+    // Completion slack of on-time jobs is non-negative (no deadline misses).
+    assert_eq!(a.deadline_misses, 0);
+    let slack = a.metrics.histogram("completion_slack");
+    if slack.count() > 0 {
+        assert!(
+            slack.min() >= -1e-9,
+            "on-time completions with negative slack"
+        );
+    }
+}
+
+#[test]
+fn metrics_sections_round_trip_through_json_parse() {
+    let scenario = find_scenario("paper-baseline").unwrap();
+    let cell = run_cell(&scenario, 9);
+    for detail in [false, true] {
+        let section = metrics_to_json(&cell.metrics, detail);
+        let rendered = section.render();
+        let reparsed = Json::parse(&rendered).expect("metrics JSON parses");
+        assert_eq!(reparsed, section, "detail = {detail}");
+        // Shortest-round-trip floats make render → parse → render a
+        // byte fixpoint — the same invariant the trace layer relies on.
+        assert_eq!(reparsed.render(), rendered, "detail = {detail}");
+        // Structured access into the reparsed section works.
+        let histograms = reparsed.get("histograms").expect("histograms section");
+        let latency = histograms.get("accept_latency").expect("accept_latency");
+        assert!(latency.get("count").and_then(Json::as_u64).unwrap() > 0);
+        let p50 = latency.get("p50").and_then(Json::as_f64).unwrap();
+        let p99 = latency.get("p99").and_then(Json::as_f64).unwrap();
+        assert!(p50 <= p99);
+    }
+    // The full sweep report (which embeds the metrics sections) also
+    // round-trips byte-for-byte.
+    let report = run_sweep(&scenario_pair(), &SweepConfig::new(1, 2, 2));
+    let rendered = report.to_json();
+    let reparsed = Json::parse(&rendered).expect("sweep JSON parses");
+    assert_eq!(reparsed.render(), rendered);
+}

@@ -4,14 +4,18 @@
 //!
 //! Run with: `cargo run -p rtds-bench --bin exp_fig1_overview`
 //! (`--seed <u64>` defaults to 1 and seeds the system; `--json <path>`
-//! dumps the stage counts).
+//! dumps the stage counts; `--trace-out <p>` / `--chrome-trace <p>` export
+//! the captured span trace as `rtds-trace/1` JSONL / Chrome `about:tracing`
+//! JSON — see `docs/TRACING.md`).
 
-use rtds_bench::ExpArgs;
+use rtds_bench::{ExpArgs, TraceSetup, TRACE_FLAGS};
 use rtds_core::{RtdsConfig, RtdsSystem};
 use rtds_graph::paper_instance::paper_job;
 use rtds_graph::{Job, JobId, JobParams, TaskGraph, TaskId};
 use rtds_net::generators::{line, DelayDistribution};
 use rtds_scenarios::Json;
+use rtds_sim::trace::{render_jsonl, Value as TraceValue};
+use rtds_sim::Trace;
 
 fn blocking_job(id: u64, site: usize) -> Job {
     // A 60-unit filler job that keeps the arrival site busy so the paper job
@@ -22,7 +26,8 @@ fn blocking_job(id: u64, site: usize) -> Job {
 }
 
 fn main() {
-    let args = ExpArgs::parse(&[], &[]);
+    let args = ExpArgs::parse(&TRACE_FLAGS, &[]);
+    let tracing = TraceSetup::from_args(&args);
     let seed = args.seed(1);
     let network = line(4, DelayDistribution::Constant(1.0), 0);
     let config = RtdsConfig {
@@ -30,7 +35,9 @@ fn main() {
         ..RtdsConfig::default()
     };
     let mut system = RtdsSystem::new(network, config, seed);
-    system.enable_trace();
+    // The walkthrough renders the events afterwards, so the recorder is
+    // always ring-backed; `--trace-out` writes the rendered document.
+    system.set_trace(Trace::ring(tracing.ring_capacity()));
 
     // Load site 1, then submit the paper's worked-example job there.
     system.submit_job(blocking_job(1, 1));
@@ -82,6 +89,16 @@ fn main() {
         ("deadline_misses", Json::UInt(report.deadline_misses())),
         ("stages", Json::Array(json_stages)),
     ]));
+    if tracing.is_active() {
+        let document = render_jsonl(
+            &[
+                ("experiment", TraceValue::Str("fig1_overview".into())),
+                ("seed", TraceValue::U64(seed)),
+            ],
+            &system.trace().events(),
+        );
+        tracing.export_document(&document);
+    }
     println!();
     println!("RESULT: every stage of the Fig. 1 pipeline was exercised.");
 }

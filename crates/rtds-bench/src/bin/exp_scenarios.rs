@@ -12,13 +12,23 @@
 //! * `--seeds <n>` — consecutive seeds per scenario (default 3),
 //! * `--threads <n>` — worker threads (default: available parallelism; the
 //!   report is byte-identical for any value),
-//! * `--json <path>` — write the aggregate report as JSON.
+//! * `--json <path>` — write the aggregate report as JSON,
+//! * `--trace-out <p>` / `--trace-ring <n>` / `--chrome-trace <p>` — after
+//!   the sweep, re-run one cell (first selected scenario, base seed) with a
+//!   bounded span trace installed and export it as `rtds-trace/1` JSONL /
+//!   Chrome `about:tracing` JSON (see `docs/TRACING.md`); byte-identical
+//!   for any `--threads` value, since the traced cell runs alone.
 
-use rtds_bench::ExpArgs;
-use rtds_scenarios::{builtin_scenarios, find_scenario, run_sweep, Scenario, SweepConfig};
+use rtds_bench::{ExpArgs, TraceSetup, TRACE_FLAGS};
+use rtds_scenarios::{
+    builtin_scenarios, find_scenario, run_cell_traced, run_sweep, Scenario, SweepConfig,
+};
 
 fn main() {
-    let args = ExpArgs::parse(&["scenario", "seeds", "threads"], &["list"]);
+    let mut flags = vec!["scenario", "seeds", "threads"];
+    flags.extend(TRACE_FLAGS);
+    let args = ExpArgs::parse(&flags, &["list"]);
+    let tracing = TraceSetup::from_args(&args);
     let scenarios = builtin_scenarios();
 
     if args.has("list") {
@@ -87,5 +97,16 @@ fn main() {
 
     if let Some(path) = args.json_path() {
         rtds_bench::write_json_report(path, &report.to_json());
+    }
+
+    if tracing.is_active() {
+        let traced = &selected[0];
+        let (cell, document) = run_cell_traced(traced, base_seed, tracing.ring_capacity());
+        println!();
+        println!(
+            "traced cell: {} seed {} ({} jobs submitted)",
+            traced.name, base_seed, cell.submitted
+        );
+        tracing.export_document(&document);
     }
 }

@@ -12,8 +12,14 @@
 //!               [--process poisson|onoff|diurnal|pareto]
 //!               [--sites <n>] [--hotspots <n>]
 //!               [--record <trace.jsonl>] [--json <path>]
+//!               [--trace-out <p> | --trace-ring <n>] [--chrome-trace <p>]
 //! exp_workloads --replay <trace.jsonl> [--json <path>]
 //! ```
+//!
+//! The `--trace-*` flags record the *protocol* span trace (`rtds-trace/1`,
+//! see `docs/TRACING.md`) — distinct from the `--record` workload-arrival
+//! trace. `--trace-ring` keeps tracing bounded for million-job runs; they
+//! also compose with `--replay`.
 //!
 //! `--rate` is the aggregate arrival rate (jobs per simulated time unit
 //! over the whole system); `--jobs` caps the stream length. `--record`
@@ -32,11 +38,12 @@
 //! resident job count thousands of times smaller than the total (see
 //! `docs/WORKLOADS.md` for recorded numbers).
 
-use rtds_bench::{write_json_report, ExpArgs};
+use rtds_bench::{write_json_report, ExpArgs, TraceSetup, TRACE_FLAGS};
 use rtds_core::{RtdsConfig, RtdsSystem, StreamOptions, StreamReport};
 use rtds_net::generators::{grid, DelayDistribution};
 use rtds_scenarios::{mix_seed, Json};
 use rtds_sim::metrics_json::metrics_to_json;
+use rtds_sim::trace::Value as TraceValue;
 use rtds_workload::{
     JobFactory, JobSpec, JobTemplate, OpenLoopSpec, RateProcess, RecordingSource, SizeMix,
     TraceReader, WorkloadSource,
@@ -50,15 +57,16 @@ use std::time::Instant;
 const WORKLOADS_SCHEMA: &str = "rtds-exp-workloads/2";
 
 fn main() {
-    let args = ExpArgs::parse(
-        &[
-            "jobs", "rate", "process", "sites", "hotspots", "record", "replay",
-        ],
-        &[],
-    );
+    let mut flags = vec![
+        "jobs", "rate", "process", "sites", "hotspots", "record", "replay",
+    ];
+    flags.extend(TRACE_FLAGS);
+    let args = ExpArgs::parse(&flags, &[]);
     if args.has("replay") {
         // Replay reconstructs the whole run from the trace header; every
         // live-mode flag would be silently overridden, so reject them all.
+        // (The protocol-trace flags stay legal: tracing a replay is how a
+        // recorded workload gets inspected.)
         for flag in [
             "record", "seed", "jobs", "rate", "process", "sites", "hotspots",
         ] {
@@ -78,6 +86,7 @@ fn main() {
 
 /// A live run: generate the stream (optionally teeing it into a trace).
 fn live(args: &ExpArgs) {
+    let tracing = TraceSetup::from_args(args);
     let seed = args.seed(7);
     let jobs = args.u64_of("jobs", 10_000);
     let rate = args.f64_of("rate", 0.5);
@@ -122,7 +131,7 @@ fn live(args: &ExpArgs) {
                     eprintln!("cannot write trace header to {path}: {e}");
                     std::process::exit(1);
                 });
-            let (report, recording) = run_stream(recording, seed, side, jobs);
+            let (report, recording) = run_stream(recording, seed, side, jobs, &tracing);
             let (_, _writer) = recording.finish().unwrap_or_else(|e| {
                 eprintln!("cannot flush trace {path}: {e}");
                 std::process::exit(1);
@@ -131,7 +140,7 @@ fn live(args: &ExpArgs) {
             print_and_write(&report, seed, sites, args);
         }
         None => {
-            let (report, _) = run_stream(source, seed, side, jobs);
+            let (report, _) = run_stream(source, seed, side, jobs, &tracing);
             print_and_write(&report, seed, sites, args);
         }
     }
@@ -140,6 +149,7 @@ fn live(args: &ExpArgs) {
 /// A replay run: everything (seeds, topology, workload) comes from the
 /// trace, so the deterministic report is byte-identical to the live run's.
 fn replay(path: &str, args: &ExpArgs) {
+    let tracing = TraceSetup::from_args(args);
     let file = File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open trace {path}: {e}");
         std::process::exit(1);
@@ -194,7 +204,7 @@ fn replay(path: &str, args: &ExpArgs) {
         sites,
         path: path.to_string(),
     };
-    let (report, _) = run_stream(checked, seed, side, jobs);
+    let (report, _) = run_stream(checked, seed, side, jobs, &tracing);
     print_and_write(&report, seed, sites, args);
 }
 
@@ -269,6 +279,7 @@ fn run_stream<S: WorkloadSource>(
     seed: u64,
     side: usize,
     jobs: u64,
+    tracing: &TraceSetup,
 ) -> (StreamReport, S) {
     let network = grid(
         side,
@@ -278,6 +289,15 @@ fn run_stream<S: WorkloadSource>(
         mix_seed(seed, 1),
     );
     let mut system = RtdsSystem::new(network, RtdsConfig::default(), mix_seed(seed, 5));
+    tracing.install(
+        &mut system,
+        &[
+            ("experiment", TraceValue::Str("workloads".into())),
+            ("seed", TraceValue::U64(seed)),
+            ("sites", TraceValue::U64((side * side) as u64)),
+            ("jobs", TraceValue::U64(jobs)),
+        ],
+    );
     system.set_fault_seed(mix_seed(seed, 4));
     // Backstop against protocol bugs, far above any real event count.
     system.set_max_events(jobs.max(10_000).saturating_mul(10_000));
@@ -285,6 +305,7 @@ fn run_stream<S: WorkloadSource>(
     let start = Instant::now();
     let report = system.run_streaming(&mut factory, &StreamOptions::default());
     let wall = start.elapsed();
+    tracing.finish(&mut system);
     // The wall clock is nondeterministic and stays on stdout only — the
     // JSON report must be byte-identical between a live run and its replay.
     println!();

@@ -39,6 +39,7 @@
 pub mod args;
 pub mod harness;
 pub mod perf;
+pub mod tracing;
 
 pub use perf::{run_perf_suite, PerfReport};
 
@@ -46,6 +47,7 @@ pub use args::{write_json_report, ExpArgs};
 pub use harness::{
     comparison_row, parallel_sweep, policy_comparison, workload, ComparisonRow, WorkloadSpec,
 };
+pub use tracing::{TraceSetup, TRACE_FLAGS};
 // The sharded generalisation of `parallel_sweep` lives with the scenario
 // sweep runner; re-exported here so harness users find both in one place.
 pub use rtds_scenarios::parallel_sweep_sharded;

@@ -41,6 +41,7 @@ use rtds_sched::feasibility::{satisfiable, TaskRequest};
 use rtds_sched::SchedulePlan;
 use rtds_sim::engine::Context;
 use rtds_sim::stats::GuaranteeStats;
+use rtds_sim::trace::{DeferReason, Phase, RejectReason, SpanId, TracePayload};
 use rtds_sim::Protocol;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -192,8 +193,18 @@ impl RtdsNode {
     // ----- job arrival handling (initiator side) -------------------------
 
     fn handle_arrival(&mut self, job: Job, ctx: &mut Context<'_, RtdsMsg>, count_submission: bool) {
+        let id = job.id;
+        let tasks = job.graph.task_count() as u32;
+        let deadline = job.deadline();
         if count_submission {
             self.guarantee.submitted += 1;
+            // Root of this job's span tree: every later stage links back
+            // (directly or transitively) to this event.
+            ctx.trace(root_span(id), SpanId::NONE, || TracePayload::Arrival {
+                job: id.0,
+                tasks,
+                deadline,
+            });
         }
         // Defer the job while the site is locked for another distribution or
         // while the one-time PCS construction has not completed yet (the
@@ -201,18 +212,22 @@ impl RtdsNode {
         // before any job arrives).
         if self.lock.is_some() || !self.pcs.is_finished() {
             let reason = if self.lock.is_some() {
-                "site locked"
+                DeferReason::SiteLocked
             } else {
-                "PCS under construction"
+                DeferReason::PcsConstruction
             };
-            ctx.trace(
-                "arrival-deferred",
-                format!("{} ({reason})", job_label(&job)),
-            );
+            ctx.trace(root_span(id), SpanId::NONE, || {
+                TracePayload::ArrivalDeferred { job: id.0, reason }
+            });
             self.queued.push_back(job);
             return;
         }
-        ctx.trace("local-test", job_label(&job));
+        let acceptance = phase_span(id, Phase::Acceptance, self.site);
+        ctx.trace(acceptance, root_span(id), || TracePayload::LocalTest {
+            job: id.0,
+            tasks,
+            deadline,
+        });
         let now = ctx.now();
         // §5 local guarantee test.
         if let Some(admission) = admit_dag_locally(
@@ -234,17 +249,16 @@ impl RtdsNode {
             ctx.count("accepted_local", 1);
             ctx.record("accept_latency", now - job.arrival_time.max(0.0));
             ctx.record("accept_laxity", job.deadline() - now);
-            ctx.trace(
-                "local-accept",
-                format!(
-                    "{} completes at {:.3}",
-                    job_label(&job),
-                    admission.completion
-                ),
-            );
+            let completion = admission.completion;
+            ctx.trace(acceptance, root_span(id), || TracePayload::LocalAccept {
+                job: id.0,
+                completion,
+            });
             return;
         }
-        ctx.trace("local-reject", job_label(&job));
+        ctx.trace(acceptance, root_span(id), || TracePayload::LocalReject {
+            job: id.0,
+        });
         self.start_distribution(job, ctx);
     }
 
@@ -269,10 +283,11 @@ impl RtdsNode {
             // No neighborhood to distribute over: the job is rejected.
             self.guarantee.rejected += 1;
             ctx.count("rejected_no_acs", 1);
-            ctx.trace(
-                "reject",
-                format!("{} (empty computing sphere)", job_label(&job)),
-            );
+            let id = job.id;
+            ctx.trace(root_span(id), SpanId::NONE, || TracePayload::Reject {
+                job: id.0,
+                reason: RejectReason::EmptySphere,
+            });
             return;
         }
         // Lock ourselves: our own arrivals queue until this job is resolved.
@@ -282,9 +297,15 @@ impl RtdsNode {
             .surplus(now, self.config.observation_window)
             .max(self.config.surplus_floor);
         let acs = AcsCollection::new(self.site, own_surplus, self.effective_speed(), &peers);
+        let id = job.id;
+        let peer_count = peers.len() as u32;
         ctx.trace(
-            "acs-enroll",
-            format!("{} contacting {} PCS peers", job_label(&job), peers.len()),
+            phase_span(id, Phase::Enrollment, self.site),
+            phase_span(id, Phase::Acceptance, self.site),
+            || TracePayload::AcsEnroll {
+                job: id.0,
+                peers: peer_count,
+            },
         );
         for (peer, _) in &peers {
             self.send_protocol(
@@ -360,19 +381,22 @@ impl RtdsNode {
             surplus_floor: self.config.surplus_floor,
         };
         let Some(result) = map_dag(&input) else {
-            self.finish_rejected(&inflight, ctx, "mapper produced no mapping");
+            self.finish_rejected(&inflight, ctx, RejectReason::MapperFailed);
             return;
         };
+        let used = result.used_count() as u32;
+        let makespan = result.makespan;
+        let makespan_star = result.makespan_star;
         ctx.trace(
-            "trial-mapping",
-            format!(
-                "{}: |U| = {}, M = {:.3}, M* = {:.3}, omega = {:.3}",
-                job_label(&inflight.job),
-                result.used_count(),
-                result.makespan,
-                result.makespan_star,
-                comm_delay
-            ),
+            phase_span(job_id, Phase::Mapping, self.site),
+            phase_span(job_id, Phase::Enrollment, self.site),
+            || TracePayload::TrialMapping {
+                job: job_id.0,
+                used,
+                makespan,
+                makespan_star,
+                omega: comm_delay,
+            },
         );
         let adjusted = adjust_mapping(
             graph,
@@ -386,7 +410,7 @@ impl RtdsNode {
             release, deadline, ..
         } = adjusted
         else {
-            self.finish_rejected(&inflight, ctx, "adjustment case (i): M* exceeds the window");
+            self.finish_rejected(&inflight, ctx, RejectReason::AdjustmentWindow);
             return;
         };
 
@@ -480,13 +504,14 @@ impl RtdsNode {
             .conclude();
         match outcome {
             ValidationOutcome::Accepted { assignment } => {
+                let coupling = assignment.len() as u32;
                 ctx.trace(
-                    "mapping-validated",
-                    format!(
-                        "{} coupling of size {} found",
-                        job_label(&inflight.job),
-                        assignment.len()
-                    ),
+                    phase_span(job_id, Phase::Dispatch, self.site),
+                    phase_span(job_id, Phase::Mapping, self.site),
+                    || TracePayload::MappingValidated {
+                        job: job_id.0,
+                        coupling,
+                    },
                 );
                 self.dispatch_permutation(&inflight, &assignment, ctx);
             }
@@ -497,7 +522,10 @@ impl RtdsNode {
                 self.finish_rejected(
                     &inflight,
                     ctx,
-                    &format!("coupling {coupling_size} < |U| = {required}"),
+                    RejectReason::CouplingTooSmall {
+                        size: coupling_size as u32,
+                        required: required as u32,
+                    },
                 );
             }
         }
@@ -516,11 +544,21 @@ impl RtdsNode {
         for (logical, site) in assignment.iter().enumerate() {
             per_site.insert(*site, Some(logical));
         }
+        // The initiator's dispatch span was opened by the mapping-validated
+        // event; committed tasks and placement failures record under it.
+        let dispatch = phase_span(job_id, Phase::Dispatch, self.site);
+        let mapping = phase_span(job_id, Phase::Mapping, self.site);
         for member in &inflight.members {
             let logical = per_site.get(&member.site).copied().flatten();
             if member.site == self.site {
                 if let Some(l) = logical {
-                    self.commit_logical(job_id, &inflight.tasks_per_logical[l], ctx);
+                    self.commit_logical(
+                        job_id,
+                        &inflight.tasks_per_logical[l],
+                        dispatch,
+                        mapping,
+                        ctx,
+                    );
                 }
             } else {
                 let tasks = logical
@@ -548,7 +586,12 @@ impl RtdsNode {
         ctx.record("accept_latency", now - inflight.job.arrival_time.max(0.0));
         ctx.record("accept_laxity", inflight.job.deadline() - now);
         ctx.record("distribution_latency", now - inflight.started_at);
-        ctx.trace("job-accepted", job_label(&inflight.job));
+        ctx.trace(root_span(job_id), SpanId::NONE, || {
+            TracePayload::JobAccepted {
+                job: job_id.0,
+                distributed: true,
+            }
+        });
         self.release_own_lock(job_id, ctx);
     }
 
@@ -556,7 +599,7 @@ impl RtdsNode {
         &mut self,
         inflight: &Inflight,
         ctx: &mut Context<'_, RtdsMsg>,
-        reason: &str,
+        reason: RejectReason,
     ) {
         let job_id = inflight.job.id;
         // Unlock every remote member that positively enrolled.
@@ -572,7 +615,10 @@ impl RtdsNode {
         }
         self.guarantee.rejected += 1;
         ctx.count("rejected_distributed", 1);
-        ctx.trace("reject", format!("{} ({reason})", job_label(&inflight.job)));
+        ctx.trace(root_span(job_id), SpanId::NONE, || TracePayload::Reject {
+            job: job_id.0,
+            reason,
+        });
         self.release_own_lock(job_id, ctx);
     }
 
@@ -610,9 +656,16 @@ impl RtdsNode {
             .plan
             .surplus(ctx.now(), self.config.observation_window)
             .max(self.config.surplus_floor);
+        // Child of the *initiator's* enrollment span: the causal link that
+        // stitches the member-side tree to the fan-out that triggered it.
         ctx.trace(
-            "acs-joined",
-            format!("locked for {initiator}, surplus {surplus:.3}"),
+            phase_span(job, Phase::Enrollment, self.site),
+            phase_span(job, Phase::Enrollment, initiator),
+            || TracePayload::AcsJoined {
+                job: job.0,
+                initiator: initiator.0 as u32,
+                surplus,
+            },
         );
         self.send_protocol(
             ctx,
@@ -639,13 +692,16 @@ impl RtdsNode {
             self.effective_speed(),
             self.config.preemptive,
         );
+        let endorsable_count = endorsable.len() as u32;
+        let total = tasks_per_logical.len() as u32;
         ctx.trace(
-            "validation",
-            format!(
-                "can endorse {} of {} logical processors",
-                endorsable.len(),
-                tasks_per_logical.len()
-            ),
+            phase_span(job, Phase::Validation, self.site),
+            phase_span(job, Phase::Mapping, from),
+            || TracePayload::Validation {
+                job: job.0,
+                endorsable: endorsable_count,
+                total,
+            },
         );
         self.send_protocol(ctx, from, RtdsMsg::ValidationReply { job, endorsable });
     }
@@ -657,16 +713,39 @@ impl RtdsNode {
         tasks: Vec<TaskSpec>,
         ctx: &mut Context<'_, RtdsMsg>,
     ) {
+        let dispatch = phase_span(job, Phase::Dispatch, self.site);
+        // The permutation came from the initiator's dispatch fan-out; the
+        // lock remembers who that was (fall back to a root span if the lock
+        // was already cleared by an unlock race).
+        let parent = match self.lock {
+            Some((initiator, locked)) if locked == job => {
+                phase_span(job, Phase::Dispatch, initiator)
+            }
+            _ => SpanId::NONE,
+        };
         if let Some(l) = logical {
-            ctx.trace("execute", format!("{job} as logical processor {l}"));
-            self.commit_logical(job, &tasks, ctx);
+            let logical_index = l as u32;
+            ctx.trace(dispatch, parent, || TracePayload::Execute {
+                job: job.0,
+                logical: logical_index,
+            });
+            self.commit_logical(job, &tasks, dispatch, parent, ctx);
         } else {
-            ctx.trace("not-selected", format!("{job}"));
+            ctx.trace(dispatch, parent, || TracePayload::NotSelected {
+                job: job.0,
+            });
         }
         self.unlock_for(job, ctx);
     }
 
-    fn commit_logical(&mut self, job: JobId, tasks: &[TaskSpec], ctx: &mut Context<'_, RtdsMsg>) {
+    fn commit_logical(
+        &mut self,
+        job: JobId,
+        tasks: &[TaskSpec],
+        span: SpanId,
+        parent: SpanId,
+        ctx: &mut Context<'_, RtdsMsg>,
+    ) {
         let speed = self.effective_speed();
         let requests: Vec<TaskRequest> = tasks
             .iter()
@@ -690,7 +769,9 @@ impl RtdsNode {
                 // (the plan is frozen between validation and commit); counted
                 // so experiments would surface a protocol bug immediately.
                 ctx.count("placement_failures", 1);
-                ctx.trace("placement-failure", format!("{job}"));
+                ctx.trace(span, parent, || TracePayload::PlacementFailure {
+                    job: job.0,
+                });
             }
         }
     }
@@ -709,6 +790,7 @@ impl RtdsNode {
 /// PCS send batch (one `on_update` can cascade several phases), scoped by
 /// routing phase so the per-phase fan-out distributions stay separable.
 fn record_routing_fanout(sends: &[crate::pcs::PcsSend], ctx: &mut Context<'_, RtdsMsg>) {
+    let site = ctx.site().0 as u32;
     let mut start = 0;
     while start < sends.len() {
         let phase = sends[start].phase;
@@ -717,17 +799,26 @@ fn record_routing_fanout(sends: &[crate::pcs::PcsSend], ctx: &mut Context<'_, Rt
             .take_while(|s| s.phase == phase)
             .count();
         ctx.record_phase("routing_fanout", phase as u32, run as f64);
+        // Routing work is site-scoped, not job-scoped: it records onto the
+        // per-site routing root span.
+        ctx.trace(SpanId::site_root(site), SpanId::NONE, || {
+            TracePayload::RoutingFanout {
+                phase: phase as u32,
+                fanout: run as u32,
+            }
+        });
         start += run;
     }
 }
 
-fn job_label(job: &Job) -> String {
-    format!(
-        "{} ({} tasks, d = {:.1})",
-        job.id,
-        job.graph.task_count(),
-        job.deadline()
-    )
+/// The per-job root span (arrival + final verdict).
+fn root_span(job: JobId) -> SpanId {
+    SpanId::job_root(job.0)
+}
+
+/// The span of one protocol stage for one job on one site.
+fn phase_span(job: JobId, phase: Phase, site: SiteId) -> SpanId {
+    SpanId::derive(job.0, phase, site.0 as u32, 0)
 }
 
 impl Protocol for RtdsNode {
@@ -815,7 +906,17 @@ impl Protocol for RtdsNode {
                 self.handle_permutation(job, logical, tasks, ctx);
             }
             RtdsMsg::Unlock { job } => {
-                ctx.trace("unlocked", format!("{job}"));
+                let parent = match self.lock {
+                    Some((initiator, locked)) if locked == job => {
+                        phase_span(job, Phase::Enrollment, initiator)
+                    }
+                    _ => SpanId::NONE,
+                };
+                ctx.trace(
+                    phase_span(job, Phase::Enrollment, self.site),
+                    parent,
+                    || TracePayload::Unlocked { job: job.0 },
+                );
                 self.unlock_for(job, ctx);
             }
         }

@@ -124,14 +124,39 @@ impl RtdsSystem {
         }
     }
 
-    /// Enables structured tracing (used by the Fig. 1 walkthrough binary).
+    /// Enables structured tracing as a bounded flight recorder (used by the
+    /// Fig. 1 walkthrough binary); see [`RtdsSystem::set_trace`] for
+    /// explicit ring sizes or streaming JSONL sinks.
     pub fn enable_trace(&mut self) {
         self.sim.enable_trace();
+    }
+
+    /// Installs an explicit trace recorder (ring, streaming JSONL, or
+    /// disabled).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.sim.set_trace(trace);
     }
 
     /// The structured trace recorded so far.
     pub fn trace(&self) -> &Trace {
         self.sim.trace()
+    }
+
+    /// Mutable access to the trace recorder (to flush a streaming sink).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        self.sim.trace_mut()
+    }
+
+    /// Enables engine self-profiling (per-event-class dispatch metrics; see
+    /// [`rtds_sim::engine::Simulator::enable_profiling`]). Opt-in because
+    /// the profile metrics become part of deterministic reports.
+    pub fn enable_profiling(&mut self) {
+        self.sim.enable_profiling();
+    }
+
+    /// The engine self-profile collected so far.
+    pub fn profile(&self) -> rtds_sim::EngineProfile {
+        self.sim.profile()
     }
 
     /// Read access to the simulated network.

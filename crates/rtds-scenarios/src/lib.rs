@@ -55,8 +55,8 @@ pub use registry::{builtin_scenarios, find_scenario, scenario_names};
 pub use rtds_sim::json;
 pub use rtds_sim::json::Json;
 pub use runner::{
-    parallel_sweep_sharded, run_cell, run_sweep, CellReport, ScenarioSummary, SweepConfig,
-    SweepReport,
+    parallel_sweep_sharded, run_cell, run_cell_traced, run_sweep, CellReport, ScenarioSummary,
+    SweepConfig, SweepReport,
 };
 pub use spec::{
     mix_seed, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe,

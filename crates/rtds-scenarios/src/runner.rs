@@ -11,7 +11,8 @@ use crate::json::Json;
 use crate::spec::{mix_seed, Scenario, StreamRecipe};
 use rtds_core::{JobOutcomeKind, RtdsSystem, RunReport, StreamOptions, StreamReport};
 use rtds_sim::metrics_json::metrics_to_json;
-use rtds_sim::MetricsRegistry;
+use rtds_sim::trace::{render_jsonl, Value as TraceValue};
+use rtds_sim::{MetricsRegistry, Trace};
 use rtds_workload::{reader_from_string, record_to_string, JobFactory, OpenLoopSource};
 
 /// Runs `work` over `inputs` on `threads` worker threads (round-robin
@@ -383,6 +384,25 @@ impl SweepReport {
 /// the bounded-memory streaming path (pulling arrivals on demand), the rest
 /// through the classic batch path; both are bit-deterministic per seed.
 pub fn run_cell(scenario: &Scenario, seed: u64) -> CellReport {
+    run_cell_with(scenario, seed, None).0
+}
+
+/// Runs one cell with a bounded ring trace installed and returns the cell
+/// report plus the retained protocol events rendered as an `rtds-trace/1`
+/// JSONL document (the header carries the scenario name and seed, so the
+/// file is self-contained). Byte-deterministic per `(scenario, seed,
+/// capacity)`, independent of sweep thread counts — the span ids are
+/// derived, never allocated.
+pub fn run_cell_traced(scenario: &Scenario, seed: u64, capacity: usize) -> (CellReport, String) {
+    let (cell, rendered) = run_cell_with(scenario, seed, Some(Trace::ring(capacity)));
+    (cell, rendered.expect("trace was installed"))
+}
+
+fn run_cell_with(
+    scenario: &Scenario,
+    seed: u64,
+    trace: Option<Trace>,
+) -> (CellReport, Option<String>) {
     let network = scenario.build_network(seed);
     let faults = scenario.perturbations.expand(&network, mix_seed(seed, 3));
     let site_count = network.site_count();
@@ -391,12 +411,16 @@ pub fn run_cell(scenario: &Scenario, seed: u64) -> CellReport {
         Some(_) => None,
     };
     let mut system = RtdsSystem::new(network, scenario.config, mix_seed(seed, 5));
+    let want_trace = trace.is_some();
+    if let Some(trace) = trace {
+        system.set_trace(trace);
+    }
     system.set_fault_seed(mix_seed(seed, 4));
     system.set_max_events(scenario.max_events);
     for (time, fault) in faults {
         system.schedule_fault(time.max(0.0), fault);
     }
-    match scenario.stream {
+    let cell = match scenario.stream {
         None => {
             system.submit_workload(batch_jobs.expect("built above"));
             let report = system.run();
@@ -406,7 +430,17 @@ pub fn run_cell(scenario: &Scenario, seed: u64) -> CellReport {
             let report = run_stream_cell(scenario, &stream, &mut system, site_count, seed);
             CellReport::from_stream(&scenario.name, seed, &report)
         }
-    }
+    };
+    let rendered = want_trace.then(|| {
+        render_jsonl(
+            &[
+                ("scenario", TraceValue::Str(scenario.name.clone())),
+                ("seed", TraceValue::U64(seed)),
+            ],
+            &system.trace().events(),
+        )
+    });
+    (cell, rendered)
 }
 
 /// Streams one cell's workload through the system. With `replay` set, the

@@ -10,10 +10,11 @@
 use crate::event::{EventPayload, EventQueue};
 use crate::faults::{FaultEvent, FaultState};
 use crate::stats::SimStats;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{SpanId, Trace, TraceEvent, TracePayload};
 use rtds_metrics::Scope;
 use rtds_net::{Network, SiteId};
 use std::fmt::Debug;
+use std::time::{Duration, Instant};
 
 /// Behaviour of one site. `Msg` is the wire-message type of the protocol.
 pub trait Protocol: Sized {
@@ -189,14 +190,27 @@ impl<'a, M> Context<'a, M> {
         }
     }
 
-    /// Records a structured trace event for this site at the current time.
-    pub fn trace(&mut self, kind: &str, detail: impl Into<String>) {
-        self.trace.record(TraceEvent {
-            time: self.now,
-            site: self.site,
-            kind: kind.to_string(),
-            detail: detail.into(),
-        });
+    /// Records a typed trace event for this site at the current time, under
+    /// the given span with the given causal parent. The payload closure is
+    /// evaluated **only when tracing is enabled**, so call sites pay one
+    /// branch — never an allocation or a format — on untraced runs.
+    pub fn trace(&mut self, span: SpanId, parent: SpanId, payload: impl FnOnce() -> TracePayload) {
+        if self.trace.is_enabled() {
+            let event = TraceEvent {
+                time: self.now,
+                site: self.site.0 as u32,
+                span,
+                parent,
+                payload: payload(),
+            };
+            self.trace.record(&event);
+        }
+    }
+
+    /// Returns `true` if trace events are being recorded — for call sites
+    /// that need several correlated records and want to gate once.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
     }
 }
 
@@ -218,6 +232,23 @@ pub trait ArrivalSource<M> {
     fn take(&mut self) -> Option<(f64, SiteId, M)>;
 }
 
+/// Names of the four engine event classes, indexed like
+/// [`EngineProfile::dispatch_counts`] (and the `Scope::Phase` index of the
+/// `engine_dispatch` / `engine_time_advance` metrics).
+pub const EVENT_CLASS_NAMES: [&str; 4] = ["deliver", "external", "timer", "fault"];
+
+/// Engine self-profile: how dispatch work split across event classes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineProfile {
+    /// Events dispatched per class (deliver/external/timer/fault). Counted
+    /// unconditionally — deterministic and free.
+    pub dispatch_counts: [u64; 4],
+    /// Wall-clock time spent dispatching each class. **NONDETERMINISTIC**:
+    /// never fold into reports that are byte-compared across runs (the same
+    /// discipline `exp_perf` applies to its timing fields).
+    pub wall: [Duration; 4],
+}
+
 /// The discrete-event simulator: a network, one protocol instance per site,
 /// an event queue and accumulated statistics.
 pub struct Simulator<P: Protocol> {
@@ -235,6 +266,12 @@ pub struct Simulator<P: Protocol> {
     /// dispatching an event does not allocate once the high-water mark is
     /// reached.
     outgoing_scratch: Vec<Outgoing<P::Msg>>,
+    /// When `true`, per-class dispatch metrics (and wall-clock timers) flow
+    /// into the metrics registry. Opt-in: the metrics become part of
+    /// deterministic reports, so default runs must not grow extra keys.
+    profiling: bool,
+    dispatch_counts: [u64; 4],
+    wall_by_class: [Duration; 4],
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -258,13 +295,50 @@ impl<P: Protocol> Simulator<P> {
             max_events: u64::MAX,
             events_processed: 0,
             outgoing_scratch: Vec::new(),
+            profiling: false,
+            dispatch_counts: [0; 4],
+            wall_by_class: [Duration::ZERO; 4],
         }
     }
 
-    /// Enables structured tracing (disabled by default to keep long runs
-    /// cheap).
+    /// Enables structured tracing as a bounded flight recorder (a ring of
+    /// [`crate::trace::DEFAULT_RING_CAPACITY`] events with drop counters) —
+    /// safe on arbitrarily long runs. Tracing is disabled by default; use
+    /// [`Simulator::set_trace`] for an explicit ring size or a streaming
+    /// JSONL sink.
     pub fn enable_trace(&mut self) {
-        self.trace = Trace::enabled();
+        self.trace = Trace::flight_recorder();
+    }
+
+    /// Installs an explicit trace recorder (ring, JSONL, or disabled).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Mutable access to the trace recorder (to flush a streaming sink).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Enables engine self-profiling: per-class dispatch counters and
+    /// simulated-time-advance histograms are recorded into the metrics
+    /// registry under `engine_dispatch` / `engine_time_advance` (scoped by
+    /// event class, see [`EVENT_CLASS_NAMES`]), and wall-clock dispatch
+    /// timers accumulate into [`EngineProfile::wall`]. Opt-in because the
+    /// metrics keys become part of deterministic reports.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// The engine self-profile collected so far. Dispatch counts are always
+    /// maintained; wall-clock fields stay zero unless
+    /// [`Simulator::enable_profiling`] was called (and are nondeterministic
+    /// when set — see [`EngineProfile`]).
+    pub fn profile(&self) -> EngineProfile {
+        EngineProfile {
+            dispatch_counts: self.dispatch_counts,
+            wall: self.wall_by_class,
+        }
     }
 
     /// Caps the number of processed events (a safety net against protocol
@@ -455,37 +529,61 @@ impl<P: Protocol> Simulator<P> {
             let event = self.queue.pop().expect("peeked event exists");
             self.events_processed += 1;
             debug_assert!(event.time + 1e-9 >= self.now, "time went backwards");
+            let prev_now = self.now;
             self.now = self.now.max(event.time);
+            let class = match &event.payload {
+                EventPayload::Deliver { .. } => 0usize,
+                EventPayload::External { .. } => 1,
+                EventPayload::Timer { .. } => 2,
+                EventPayload::Fault { .. } => 3,
+            };
+            self.dispatch_counts[class] += 1;
+            // Wall timers only when profiling: `Instant::now` is a syscall on
+            // some platforms and the result is nondeterministic anyway.
+            let wall_start = if self.profiling {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let target = event.target;
             match event.payload {
                 EventPayload::Deliver { from, message } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_site_down", 1);
-                        return true;
+                    } else {
+                        self.stats.messages_delivered += 1;
+                        self.dispatch_with_ctx(target, |node, ctx| {
+                            node.on_message(from, message, ctx)
+                        });
                     }
-                    self.stats.messages_delivered += 1;
-                    self.dispatch_with_ctx(target, |node, ctx| node.on_message(from, message, ctx));
                 }
                 EventPayload::External { message } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_arrival_site_down", 1);
-                        return true;
+                    } else {
+                        self.dispatch_with_ctx(target, |node, ctx| {
+                            node.on_message(target, message, ctx)
+                        });
                     }
-                    self.dispatch_with_ctx(target, |node, ctx| {
-                        node.on_message(target, message, ctx)
-                    });
                 }
                 EventPayload::Timer { timer_id } => {
                     if self.faults.site_is_down(target) {
                         self.stats.add("sim_dropped_timer_site_down", 1);
-                        return true;
+                    } else {
+                        self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
                     }
-                    self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
                 }
                 EventPayload::Fault { fault } => {
                     self.stats.add("sim_fault_events", 1);
                     self.faults.apply(fault, &mut self.network);
                 }
+            }
+            if let Some(start) = wall_start {
+                self.wall_by_class[class] += start.elapsed();
+                let scope = Scope::Phase(class as u32);
+                let metrics = self.stats.metrics_mut();
+                metrics.add_scoped("engine_dispatch", scope, 1);
+                metrics.record_scoped("engine_time_advance", scope, self.now - prev_now);
             }
         }
         true
@@ -582,8 +680,13 @@ mod tests {
         fn on_message(&mut self, _from: SiteId, msg: u32, ctx: &mut Context<'_, u32>) {
             assert_eq!(msg, 7);
             if self.seen_at.is_none() {
-                self.seen_at = Some(ctx.now());
-                ctx.trace("first-seen", format!("t={}", ctx.now()));
+                let now = ctx.now();
+                self.seen_at = Some(now);
+                let span = SpanId::derive(7, crate::trace::Phase::Custom, ctx.site().0 as u32, 0);
+                ctx.trace(span, SpanId::NONE, || TracePayload::Mark {
+                    tag: 1,
+                    value: now,
+                });
                 ctx.broadcast(7);
             }
         }
@@ -604,6 +707,63 @@ mod tests {
         assert_eq!(sim.stats().named("floods"), 1);
         assert!(sim.stats().messages_sent >= 4);
         assert_eq!(sim.trace().events().len(), 4); // sites 1..4 record once
+    }
+
+    #[test]
+    fn profiling_splits_dispatch_by_event_class() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| TimerEcho::default());
+        sim.enable_profiling();
+        sim.inject_at(1.0, SiteId(2), "arrival");
+        sim.schedule_fault(2.0, FaultEvent::SiteDown { site: SiteId(1) });
+        sim.run_to_quiescence();
+        let profile = sim.profile();
+        // Timers 2 and 1 (class 2), one arrival (class 1), one fault (class
+        // 3) and the routed "hello" delivery (class 0).
+        assert_eq!(profile.dispatch_counts[1], 1);
+        assert_eq!(profile.dispatch_counts[2], 2);
+        assert_eq!(profile.dispatch_counts[3], 1);
+        assert_eq!(
+            profile.dispatch_counts.iter().sum::<u64>(),
+            sim.events_processed()
+        );
+        let metrics = sim.stats().metrics();
+        assert_eq!(
+            metrics.counter_scoped("engine_dispatch", Scope::Phase(2)),
+            2
+        );
+        assert!(metrics
+            .histogram_scoped("engine_time_advance", Scope::Phase(2))
+            .is_some());
+        // Without profiling, the metrics keys must not appear (reports are
+        // byte-compared across runs).
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut plain = Simulator::new(net, |_| TimerEcho::default());
+        plain.run_to_quiescence();
+        assert!(plain
+            .stats()
+            .metrics()
+            .counter_families()
+            .iter()
+            .all(|(name, _)| *name != "engine_dispatch"));
+        assert_eq!(
+            plain.profile().dispatch_counts.iter().sum::<u64>(),
+            plain.events_processed()
+        );
+        assert_eq!(plain.profile().wall, [Duration::ZERO; 4]);
+    }
+
+    #[test]
+    fn trace_ring_bounds_memory_and_counts_drops() {
+        let net = line(5, DelayDistribution::Constant(2.0), 0);
+        let mut sim = Simulator::new(net, |_| Flood::default());
+        sim.set_trace(Trace::ring(2));
+        sim.run_to_quiescence();
+        // Sites 1..4 each record one mark; the 2-slot ring keeps the last 2.
+        assert_eq!(sim.trace().recorded(), 4);
+        assert_eq!(sim.trace().len(), 2);
+        assert_eq!(sim.trace().dropped(), 2);
+        assert_eq!(sim.trace().ring_capacity(), Some(2));
     }
 
     #[test]

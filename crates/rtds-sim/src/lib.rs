@@ -34,8 +34,12 @@
 //!   gauges protocols feed through [`engine::Context::record`] and which
 //!   [`metrics_json`] renders as the deterministic `metrics` section of
 //!   every report (see `docs/METRICS.md`),
-//! * [`trace`] records structured per-site events for debugging, golden tests
-//!   and the Fig. 1 protocol-walkthrough binary.
+//! * [`trace`] records typed, causally-linked per-site events into the
+//!   bounded/streaming sinks of the `rtds-trace` crate — for debugging,
+//!   golden tests, the Fig. 1 protocol-walkthrough binary and
+//!   chrome://tracing exports (see `docs/TRACING.md`); the engine itself can
+//!   self-profile dispatch work per event class via
+//!   [`engine::Simulator::enable_profiling`].
 //!
 //! The topology the engine simulates over comes from [`rtds_net`]; the
 //! production [`engine::Protocol`] implementation is the RTDS node of
@@ -55,11 +59,11 @@ pub mod stats;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, ArrivalSchedule};
-pub use engine::{ArrivalSource, Context, Protocol, Simulator};
+pub use engine::{ArrivalSource, Context, EngineProfile, Protocol, Simulator, EVENT_CLASS_NAMES};
 pub use event::{Event, EventPayload};
 pub use faults::{FaultEvent, FaultState};
 pub use json::Json;
 pub use metrics_json::{metrics_to_json, summary_to_json};
 pub use rtds_metrics::{Gauge, Histogram, HistogramSummary, MetricsRegistry, Scope};
 pub use stats::{GuaranteeStats, SimStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Phase, SpanId, Trace, TraceEvent, TracePayload, TraceSink};

@@ -1,102 +1,198 @@
-//! Structured event traces.
+//! Structured event traces, backed by `rtds-trace` sinks.
 //!
 //! Traces serve three purposes: debugging protocol implementations, asserting
 //! protocol-level properties in integration tests (for example "every Enroll
 //! is eventually matched by an Unlock"), and rendering the Fig. 1 algorithm
 //! overview as an actual message/stage timeline in the experiment harness.
+//!
+//! This module is a thin façade over [`rtds_trace`]: [`Trace`] owns one of
+//! the three sink kinds (null / bounded ring / streaming JSONL) and the
+//! engine's [`crate::engine::Context::trace`] records typed
+//! [`TracePayload`]s into it lazily — when the sink is disabled the payload
+//! closure is never even evaluated, so tracing costs one branch on hot
+//! paths. The default enabled mode is a bounded *flight recorder* (a ring of
+//! [`DEFAULT_RING_CAPACITY`] events with drop counters), so million-job
+//! streaming runs can keep tracing on without unbounded memory growth.
 
 use rtds_net::SiteId;
-use serde::{Deserialize, Serialize};
+use rtds_trace::{JsonlSink, NullSink, RingSink};
+use std::fmt::Write as _;
+use std::io::Write;
 
-/// One recorded event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TraceEvent {
-    /// Simulated time of the event.
-    pub time: f64,
-    /// Site that recorded it.
-    pub site: SiteId,
-    /// Short machine-readable kind (for example `"local-test"`,
-    /// `"acs-enroll"`, `"mapping-validated"`).
-    pub kind: String,
-    /// Free-form human-readable detail.
-    pub detail: String,
+pub use rtds_trace::{
+    check_well_formed, chrome_trace, read_jsonl, render_jsonl, render_jsonl_with_header,
+    DeferReason, Phase, RejectReason, SpanId, TraceEvent, TracePayload, TraceSink, Value,
+    TRACE_SCHEMA,
+};
+
+/// Ring capacity used by [`Trace::flight_recorder`] (64 Ki events ≈ 4 MiB).
+pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+enum Sink {
+    Null(NullSink),
+    Ring(RingSink),
+    Jsonl(JsonlSink<Box<dyn Write + Send>>),
 }
 
-/// A trace recorder. Disabled recorders drop events, so tracing can stay in
-/// the protocol code paths without costing anything in large experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A trace recorder: one of the `rtds-trace` sinks behind a uniform API.
+/// Disabled recorders drop events before payloads are even built, so tracing
+/// can stay in the protocol code paths without costing anything in large
+/// experiments.
 pub struct Trace {
-    enabled: bool,
-    events: Vec<TraceEvent>,
+    sink: Sink,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.sink {
+            Sink::Null(_) => f.debug_struct("Trace").field("sink", &"null").finish(),
+            Sink::Ring(ring) => f
+                .debug_struct("Trace")
+                .field("sink", &"ring")
+                .field("capacity", &ring.capacity())
+                .field("recorded", &ring.recorded())
+                .finish(),
+            Sink::Jsonl(sink) => f
+                .debug_struct("Trace")
+                .field("sink", &"jsonl")
+                .field("recorded", &sink.recorded())
+                .finish(),
+        }
+    }
 }
 
 impl Trace {
-    /// A recorder that stores events.
-    pub fn enabled() -> Self {
-        Trace {
-            enabled: true,
-            events: Vec::new(),
-        }
-    }
-
-    /// A recorder that drops events.
+    /// A recorder that drops events (the default).
     pub fn disabled() -> Self {
         Trace {
-            enabled: false,
-            events: Vec::new(),
+            sink: Sink::Null(NullSink),
         }
     }
 
-    /// Returns `true` if events are being stored.
+    /// A bounded flight recorder: keeps the most recent
+    /// [`DEFAULT_RING_CAPACITY`] events and counts drops.
+    pub fn flight_recorder() -> Self {
+        Trace::ring(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A bounded ring recorder with an explicit capacity.
+    pub fn ring(capacity: usize) -> Self {
+        Trace {
+            sink: Sink::Ring(RingSink::new(capacity)),
+        }
+    }
+
+    /// A streaming `rtds-trace/1` JSONL recorder. The header (schema plus
+    /// `metadata`) is written immediately; each recorded event becomes one
+    /// line. Memory use is one line buffer regardless of run length.
+    pub fn jsonl(out: Box<dyn Write + Send>, metadata: &[(&str, Value)]) -> Self {
+        Trace {
+            sink: Sink::Jsonl(JsonlSink::new(out, metadata)),
+        }
+    }
+
+    /// Returns `true` if events are being recorded.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Records an event (no-op when disabled).
-    pub fn record(&mut self, event: TraceEvent) {
-        if self.enabled {
-            self.events.push(event);
+        match &self.sink {
+            Sink::Null(_) => false,
+            Sink::Ring(_) | Sink::Jsonl(_) => true,
         }
     }
 
-    /// All recorded events in recording order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Records an event (no-op when disabled). Producers should gate on
+    /// [`Trace::is_enabled`] to skip payload construction entirely — the
+    /// engine's `Context::trace` does.
+    pub fn record(&mut self, event: &TraceEvent) {
+        match &mut self.sink {
+            Sink::Null(_) => {}
+            Sink::Ring(ring) => ring.record_event(event),
+            Sink::Jsonl(sink) => sink.record_event(event),
+        }
     }
 
-    /// Events of a given kind.
-    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.kind == kind)
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        match &self.sink {
+            Sink::Null(_) => 0,
+            Sink::Ring(ring) => ring.recorded(),
+            Sink::Jsonl(sink) => sink.recorded(),
+        }
     }
 
-    /// Events recorded by a given site.
-    pub fn of_site(&self, site: SiteId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.site == site)
+    /// Events dropped by a full ring (always 0 for the other sinks).
+    pub fn dropped(&self) -> u64 {
+        match &self.sink {
+            Sink::Ring(ring) => ring.dropped(),
+            _ => 0,
+        }
     }
 
-    /// Number of recorded events.
+    /// The ring capacity, if this recorder is ring-backed.
+    pub fn ring_capacity(&self) -> Option<usize> {
+        match &self.sink {
+            Sink::Ring(ring) => Some(ring.capacity()),
+            _ => None,
+        }
+    }
+
+    /// Number of retained events (ring only; a JSONL recorder retains
+    /// nothing in memory).
     pub fn len(&self) -> usize {
-        self.events.len()
+        match &self.sink {
+            Sink::Ring(ring) => ring.len(),
+            _ => 0,
+        }
     }
 
-    /// Returns `true` if nothing was recorded.
+    /// Returns `true` if no events are retained in memory.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
-    /// Renders the trace as aligned text lines (used by the Fig. 1 binary).
+    /// Snapshot of the retained events in chronological order (empty for
+    /// null and JSONL recorders — the JSONL stream already left the process).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.sink {
+            Sink::Ring(ring) => ring.snapshot(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Retained events of a given kind.
+    pub fn of_kind<'k>(&self, kind: &'k str) -> impl Iterator<Item = TraceEvent> + 'k {
+        self.events().into_iter().filter(move |e| e.kind() == kind)
+    }
+
+    /// Retained events recorded by a given site.
+    pub fn of_site(&self, site: SiteId) -> impl Iterator<Item = TraceEvent> {
+        self.events()
+            .into_iter()
+            .filter(move |e| e.site == site.0 as u32)
+    }
+
+    /// Renders the retained events as aligned text lines (used by the Fig. 1
+    /// binary).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.events {
-            out.push_str(&format!(
-                "[{:>10.3}] {:>6}  {:<24} {}\n",
+        for e in self.events() {
+            let site = format!("s{}", e.site);
+            let _ = writeln!(
+                out,
+                "[{:>10.3}] {:>6}  {:<24} {}",
                 e.time,
-                e.site.to_string(),
-                e.kind,
-                e.detail
-            ));
+                site,
+                e.kind(),
+                e.payload.describe()
+            );
         }
         out
+    }
+
+    /// Flushes a streaming recorder (no-op otherwise).
+    pub fn flush(&mut self) {
+        if let Sink::Jsonl(sink) = &mut self.sink {
+            sink.flush();
+        }
     }
 }
 
@@ -110,39 +206,75 @@ impl Default for Trace {
 mod tests {
     use super::*;
 
-    fn ev(time: f64, site: usize, kind: &str) -> TraceEvent {
+    fn ev(time: f64, site: u32, payload: TracePayload) -> TraceEvent {
         TraceEvent {
             time,
-            site: SiteId(site),
-            kind: kind.to_string(),
-            detail: format!("detail-{kind}"),
+            site,
+            span: SpanId::derive(1, Phase::Custom, site, 0),
+            parent: SpanId::NONE,
+            payload,
         }
     }
 
     #[test]
-    fn enabled_trace_records() {
-        let mut t = Trace::enabled();
+    fn ring_trace_records_and_filters() {
+        let mut t = Trace::flight_recorder();
         assert!(t.is_enabled());
         assert!(t.is_empty());
-        t.record(ev(1.0, 0, "local-test"));
-        t.record(ev(2.0, 1, "acs-enroll"));
-        t.record(ev(3.0, 0, "acs-enroll"));
+        t.record(&ev(
+            1.0,
+            0,
+            TracePayload::LocalTest {
+                job: 1,
+                tasks: 2,
+                deadline: 9.0,
+            },
+        ));
+        t.record(&ev(2.0, 1, TracePayload::AcsEnroll { job: 1, peers: 3 }));
+        t.record(&ev(3.0, 0, TracePayload::AcsEnroll { job: 2, peers: 3 }));
         assert_eq!(t.len(), 3);
         assert_eq!(t.of_kind("acs-enroll").count(), 2);
         assert_eq!(t.of_site(SiteId(0)).count(), 2);
+        assert_eq!(t.dropped(), 0);
         let text = t.render();
         assert!(text.contains("local-test"));
+        assert!(text.contains("s1"));
         assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn small_ring_drops_oldest_and_counts() {
+        let mut t = Trace::ring(2);
+        assert_eq!(t.ring_capacity(), Some(2));
+        for i in 0..5u32 {
+            t.record(&ev(i as f64, i, TracePayload::Mark { tag: i, value: 0.0 }));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 3);
+        let kept: Vec<u32> = t.events().iter().map(|e| e.site).collect();
+        assert_eq!(kept, vec![3, 4]);
     }
 
     #[test]
     fn disabled_trace_drops_events() {
         let mut t = Trace::disabled();
         assert!(!t.is_enabled());
-        t.record(ev(1.0, 0, "x"));
+        t.record(&ev(1.0, 0, TracePayload::Mark { tag: 0, value: 0.0 }));
         assert!(t.is_empty());
-        assert_eq!(t.events().len(), 0);
+        assert_eq!(t.recorded(), 0);
         let d = Trace::default();
         assert!(!d.is_enabled());
+    }
+
+    #[test]
+    fn jsonl_trace_streams_instead_of_retaining() {
+        let mut t = Trace::jsonl(Box::new(Vec::new()), &[("seed", Value::U64(1))]);
+        assert!(t.is_enabled());
+        t.record(&ev(1.0, 0, TracePayload::Mark { tag: 0, value: 0.5 }));
+        t.flush();
+        assert_eq!(t.recorded(), 1);
+        assert_eq!(t.len(), 0);
+        assert!(t.events().is_empty());
     }
 }

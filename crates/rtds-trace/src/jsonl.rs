@@ -1,0 +1,811 @@
+//! The `rtds-trace/1` JSONL wire format.
+//!
+//! One JSON object per line, in the same hand-rolled deterministic dialect as
+//! `rtds_sim::json` (shortest-round-trip floats via `{:?}`, non-finite floats
+//! as `null`, minimal escapes, compact objects, insertion-ordered keys). The
+//! first line is a self-contained header:
+//!
+//! ```text
+//! {"schema":"rtds-trace/1","scenario":"paper-baseline","seed":42}
+//! ```
+//!
+//! followed by one event per line:
+//!
+//! ```text
+//! {"t":0.0,"site":0,"span":17052..,"parent":0,"kind":"arrival","job":10,"tasks":3,"deadline":70.0}
+//! ```
+//!
+//! Because the writer and [`parse_event_line`] agree field-for-field and the
+//! float formats are shortest-round-trip, record → parse → re-render is a
+//! byte fixpoint — mirroring the `rtds-workload-trace/1` design.
+
+use crate::event::{Arg, DeferReason, RejectReason, TraceEvent, TracePayload};
+use crate::span::SpanId;
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// Schema tag written into (and required in) every trace header.
+pub const TRACE_SCHEMA: &str = "rtds-trace/1";
+
+/// An owned header-metadata value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+// ---------------------------------------------------------------------------
+// Writer — byte-for-byte the rtds_sim::json compact dialect.
+// ---------------------------------------------------------------------------
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    write_escaped(out, s);
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Renders the header line (without trailing newline): the schema field
+/// first, then `metadata` in the given order.
+pub fn header_line(metadata: &[(&str, Value)]) -> String {
+    let mut out = String::with_capacity(64);
+    out.push_str("{\"schema\":\"");
+    out.push_str(TRACE_SCHEMA);
+    out.push('"');
+    for (key, value) in metadata {
+        out.push(',');
+        write_str(&mut out, key);
+        out.push(':');
+        write_value(&mut out, value);
+    }
+    out.push('}');
+    out
+}
+
+/// Appends one event line (without trailing newline) to `out`.
+pub fn write_event_line(out: &mut String, event: &TraceEvent) {
+    out.push_str("{\"t\":");
+    write_f64(out, event.time);
+    let _ = write!(out, ",\"site\":{}", event.site);
+    let _ = write!(out, ",\"span\":{}", event.span.0);
+    let _ = write!(out, ",\"parent\":{}", event.parent.0);
+    out.push_str(",\"kind\":");
+    write_str(out, event.kind());
+    event.payload.for_each_arg(&mut |name, arg| {
+        out.push(',');
+        write_str(out, name);
+        out.push(':');
+        match arg {
+            Arg::U64(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Arg::F64(x) => write_f64(out, x),
+            Arg::Str(s) => write_str(out, s),
+            Arg::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+        }
+    });
+    out.push('}');
+}
+
+/// Renders a complete trace document: header plus one line per event, each
+/// newline-terminated.
+pub fn render_jsonl(metadata: &[(&str, Value)], events: &[TraceEvent]) -> String {
+    render_jsonl_with_header(&header_line(metadata), events)
+}
+
+/// Renders a trace document reusing an existing header line verbatim — the
+/// re-render half of the byte-fixpoint round trip.
+pub fn render_jsonl_with_header(header: &str, events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(header.len() + 1 + events.len() * 96);
+    out.push_str(header);
+    out.push('\n');
+    for event in events {
+        write_event_line(&mut out, event);
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser — strict, flat, order-preserving.
+// ---------------------------------------------------------------------------
+
+/// A parsed scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    UInt(u64),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// One parsed line: field names and scalar values in file order.
+#[derive(Debug, Clone)]
+struct LineObject {
+    fields: Vec<(String, Scalar)>,
+}
+
+impl LineObject {
+    fn get(&self, name: &str) -> Option<&Scalar> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn u64_field(&self, name: &str) -> Result<u64, String> {
+        match self.get(name) {
+            Some(Scalar::UInt(u)) => Ok(*u),
+            other => Err(format!("field {name:?}: expected integer, got {other:?}")),
+        }
+    }
+
+    fn u32_field(&self, name: &str) -> Result<u32, String> {
+        let u = self.u64_field(name)?;
+        u32::try_from(u).map_err(|_| format!("field {name:?}: {u} exceeds u32"))
+    }
+
+    fn f64_field(&self, name: &str) -> Result<f64, String> {
+        match self.get(name) {
+            Some(Scalar::Num(x)) => Ok(*x),
+            // An integer-valued field position may legally hold a float that
+            // happened to print without a fraction — never the other way.
+            Some(Scalar::UInt(u)) => Ok(*u as f64),
+            Some(Scalar::Null) => Ok(f64::NAN),
+            other => Err(format!("field {name:?}: expected number, got {other:?}")),
+        }
+    }
+
+    fn str_field(&self, name: &str) -> Result<&str, String> {
+        match self.get(name) {
+            Some(Scalar::Str(s)) => Ok(s),
+            other => Err(format!("field {name:?}: expected string, got {other:?}")),
+        }
+    }
+
+    fn bool_field(&self, name: &str) -> Result<bool, String> {
+        match self.get(name) {
+            Some(Scalar::Bool(b)) => Ok(*b),
+            other => Err(format!("field {name:?}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self
+            .peek()
+            .ok_or_else(|| "unexpected end of line".to_string())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char,
+                self.pos - 1,
+                got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()? as char;
+                            let v = d
+                                .to_digit(16)
+                                .ok_or_else(|| format!("bad \\u escape digit {d:?}"))?;
+                            code = code * 16 + v;
+                        }
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("bad \\u escape code {code:#x}"))?;
+                        out.push(c);
+                    }
+                    other => return Err(format!("unsupported escape \\{}", other as char)),
+                },
+                byte => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if byte < 0x80 {
+                        out.push(byte as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = match byte {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            0xF0..=0xF7 => 4,
+                            _ => return Err(format!("invalid UTF-8 lead byte {byte:#x}")),
+                        };
+                        for _ in 1..width {
+                            self.bump()?;
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| format!("invalid UTF-8 in string: {e}"))?;
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(Scalar::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(Scalar::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(Scalar::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let token = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid number token: {e}"))?;
+                if token.contains(['.', 'e', 'E']) {
+                    token
+                        .parse::<f64>()
+                        .map(Scalar::Num)
+                        .map_err(|e| format!("bad float {token:?}: {e}"))
+                } else {
+                    token
+                        .parse::<u64>()
+                        .map(Scalar::UInt)
+                        .map_err(|e| format!("bad integer {token:?}: {e}"))
+                }
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        for &b in word.as_bytes() {
+            self.expect(b)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one line as a flat JSON object of scalar fields.
+fn parse_line_object(line: &str) -> Result<LineObject, String> {
+    let mut cur = Cursor {
+        bytes: line.trim_end().as_bytes(),
+        pos: 0,
+    };
+    cur.expect(b'{')?;
+    let mut fields = Vec::new();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            let key = cur.parse_string()?;
+            cur.expect(b':')?;
+            let value = cur.parse_scalar()?;
+            fields.push((key, value));
+            match cur.bump()? {
+                b',' => continue,
+                b'}' => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        cur.pos - 1,
+                        other as char
+                    ))
+                }
+            }
+        }
+    }
+    if cur.pos != cur.bytes.len() {
+        return Err(format!("trailing bytes after object at byte {}", cur.pos));
+    }
+    Ok(LineObject { fields })
+}
+
+fn payload_from(kind: &str, obj: &LineObject) -> Result<TracePayload, String> {
+    let payload = match kind {
+        "arrival" => TracePayload::Arrival {
+            job: obj.u64_field("job")?,
+            tasks: obj.u32_field("tasks")?,
+            deadline: obj.f64_field("deadline")?,
+        },
+        "arrival-deferred" => TracePayload::ArrivalDeferred {
+            job: obj.u64_field("job")?,
+            reason: {
+                let wire = obj.str_field("reason")?;
+                DeferReason::from_wire(wire)
+                    .ok_or_else(|| format!("unknown defer reason {wire:?}"))?
+            },
+        },
+        "local-test" => TracePayload::LocalTest {
+            job: obj.u64_field("job")?,
+            tasks: obj.u32_field("tasks")?,
+            deadline: obj.f64_field("deadline")?,
+        },
+        "local-accept" => TracePayload::LocalAccept {
+            job: obj.u64_field("job")?,
+            completion: obj.f64_field("completion")?,
+        },
+        "local-reject" => TracePayload::LocalReject {
+            job: obj.u64_field("job")?,
+        },
+        "acs-enroll" => TracePayload::AcsEnroll {
+            job: obj.u64_field("job")?,
+            peers: obj.u32_field("peers")?,
+        },
+        "acs-joined" => TracePayload::AcsJoined {
+            job: obj.u64_field("job")?,
+            initiator: obj.u32_field("initiator")?,
+            surplus: obj.f64_field("surplus")?,
+        },
+        "trial-mapping" => TracePayload::TrialMapping {
+            job: obj.u64_field("job")?,
+            used: obj.u32_field("used")?,
+            makespan: obj.f64_field("makespan")?,
+            makespan_star: obj.f64_field("makespan_star")?,
+            omega: obj.f64_field("omega")?,
+        },
+        "validation" => TracePayload::Validation {
+            job: obj.u64_field("job")?,
+            endorsable: obj.u32_field("endorsable")?,
+            total: obj.u32_field("total")?,
+        },
+        "mapping-validated" => TracePayload::MappingValidated {
+            job: obj.u64_field("job")?,
+            coupling: obj.u32_field("coupling")?,
+        },
+        "job-accepted" => TracePayload::JobAccepted {
+            job: obj.u64_field("job")?,
+            distributed: obj.bool_field("distributed")?,
+        },
+        "reject" => TracePayload::Reject {
+            job: obj.u64_field("job")?,
+            reason: match obj.str_field("reason")? {
+                "empty-sphere" => RejectReason::EmptySphere,
+                "mapper-failed" => RejectReason::MapperFailed,
+                "adjustment-window" => RejectReason::AdjustmentWindow,
+                "coupling-too-small" => RejectReason::CouplingTooSmall {
+                    size: obj.u32_field("size")?,
+                    required: obj.u32_field("required")?,
+                },
+                other => return Err(format!("unknown reject reason {other:?}")),
+            },
+        },
+        "execute" => TracePayload::Execute {
+            job: obj.u64_field("job")?,
+            logical: obj.u32_field("logical")?,
+        },
+        "not-selected" => TracePayload::NotSelected {
+            job: obj.u64_field("job")?,
+        },
+        "placement-failure" => TracePayload::PlacementFailure {
+            job: obj.u64_field("job")?,
+        },
+        "unlocked" => TracePayload::Unlocked {
+            job: obj.u64_field("job")?,
+        },
+        "routing-fanout" => TracePayload::RoutingFanout {
+            phase: obj.u32_field("phase")?,
+            fanout: obj.u32_field("fanout")?,
+        },
+        "mark" => TracePayload::Mark {
+            tag: obj.u32_field("tag")?,
+            value: obj.f64_field("value")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(payload)
+}
+
+/// Parses one event line back into a [`TraceEvent`].
+pub fn parse_event_line(line: &str) -> Result<TraceEvent, String> {
+    let obj = parse_line_object(line)?;
+    let kind = obj.str_field("kind")?.to_string();
+    Ok(TraceEvent {
+        time: obj.f64_field("t")?,
+        site: obj.u32_field("site")?,
+        span: SpanId(obj.u64_field("span")?),
+        parent: SpanId(obj.u64_field("parent")?),
+        payload: payload_from(&kind, &obj)?,
+    })
+}
+
+/// Streaming reader over an `rtds-trace/1` document. Construction validates
+/// the header; malformed lines panic with their line number, matching the
+/// artifact-reader convention used by `rtds-workload`'s `TraceReader`.
+pub struct JsonlReader<R: BufRead> {
+    input: R,
+    header_line: String,
+    header: Vec<(String, Value)>,
+    line_no: usize,
+    buf: String,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Reads and validates the header line.
+    ///
+    /// # Panics
+    /// If the input is empty, the header is malformed, or the schema is not
+    /// [`TRACE_SCHEMA`].
+    pub fn new(mut input: R) -> JsonlReader<R> {
+        let mut header_line = String::new();
+        let n = input
+            .read_line(&mut header_line)
+            .expect("rtds-trace: failed to read trace header");
+        assert!(n > 0, "rtds-trace: empty trace input (missing header)");
+        let trimmed = header_line.trim_end().to_string();
+        let obj = parse_line_object(&trimmed)
+            .unwrap_or_else(|e| panic!("rtds-trace: malformed header line: {e}"));
+        match obj.get("schema") {
+            Some(Scalar::Str(s)) if s == TRACE_SCHEMA => {}
+            other => {
+                panic!("rtds-trace: unsupported trace schema {other:?} (expected {TRACE_SCHEMA:?})")
+            }
+        }
+        let header = obj
+            .fields
+            .iter()
+            .filter(|(k, _)| k != "schema")
+            .map(|(k, v)| {
+                let value = match v {
+                    Scalar::UInt(u) => Value::U64(*u),
+                    Scalar::Num(x) => Value::F64(*x),
+                    Scalar::Str(s) => Value::Str(s.clone()),
+                    Scalar::Bool(b) => Value::Bool(*b),
+                    Scalar::Null => Value::F64(f64::NAN),
+                };
+                (k.clone(), value)
+            })
+            .collect();
+        JsonlReader {
+            input,
+            header_line: trimmed,
+            header,
+            line_no: 1,
+            buf: String::new(),
+        }
+    }
+
+    /// The raw header line (no trailing newline), reusable verbatim by
+    /// [`render_jsonl_with_header`].
+    pub fn header_line(&self) -> &str {
+        &self.header_line
+    }
+
+    /// Header metadata fields (schema excluded), in file order.
+    pub fn header(&self) -> &[(String, Value)] {
+        &self.header
+    }
+
+    /// Reads the next event, or `None` at end of input.
+    ///
+    /// # Panics
+    /// On I/O errors or malformed event lines (with the line number).
+    pub fn next_event(&mut self) -> Option<TraceEvent> {
+        loop {
+            self.buf.clear();
+            let n = self
+                .input
+                .read_line(&mut self.buf)
+                .expect("rtds-trace: failed to read trace line");
+            if n == 0 {
+                return None;
+            }
+            self.line_no += 1;
+            if self.buf.trim().is_empty() {
+                continue;
+            }
+            let event = parse_event_line(&self.buf)
+                .unwrap_or_else(|e| panic!("rtds-trace: line {}: {e}", self.line_no));
+            return Some(event);
+        }
+    }
+}
+
+/// Parses a whole trace document, returning the raw header line and every
+/// event. Errors (rather than panics) so tools can report bad inputs.
+pub fn read_jsonl(text: &str) -> Result<(String, Vec<TraceEvent>), String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty trace document")?.to_string();
+    let obj = parse_line_object(&header).map_err(|e| format!("header: {e}"))?;
+    match obj.get("schema") {
+        Some(Scalar::Str(s)) if s == TRACE_SCHEMA => {}
+        other => {
+            return Err(format!(
+                "unsupported trace schema {other:?} (expected {TRACE_SCHEMA:?})"
+            ))
+        }
+    }
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_event_line(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+        events.push(event);
+    }
+    Ok((header, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let root = SpanId::job_root(10);
+        let acc = SpanId::derive(10, Phase::Acceptance, 0, 0);
+        vec![
+            TraceEvent {
+                time: 0.0,
+                site: 0,
+                span: root,
+                parent: SpanId::NONE,
+                payload: TracePayload::Arrival {
+                    job: 10,
+                    tasks: 3,
+                    deadline: 70.0,
+                },
+            },
+            TraceEvent {
+                time: 0.0,
+                site: 0,
+                span: acc,
+                parent: root,
+                payload: TracePayload::LocalTest {
+                    job: 10,
+                    tasks: 3,
+                    deadline: 70.0,
+                },
+            },
+            TraceEvent {
+                time: 0.125,
+                site: 2,
+                span: SpanId::derive(10, Phase::Enrollment, 2, 0),
+                parent: SpanId::derive(10, Phase::Enrollment, 0, 0),
+                payload: TracePayload::AcsJoined {
+                    job: 10,
+                    initiator: 0,
+                    surplus: 12.5,
+                },
+            },
+            TraceEvent {
+                time: 1.5,
+                site: 0,
+                span: root,
+                parent: SpanId::NONE,
+                payload: TracePayload::Reject {
+                    job: 10,
+                    reason: RejectReason::CouplingTooSmall {
+                        size: 1,
+                        required: 3,
+                    },
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn record_then_rerender_is_a_byte_fixpoint() {
+        let metadata = [
+            ("scenario", Value::Str("paper-baseline".to_string())),
+            ("seed", Value::U64(42)),
+        ];
+        let doc = render_jsonl(&metadata, &sample_events());
+        let (header, events) = read_jsonl(&doc).unwrap();
+        assert_eq!(events, sample_events());
+        let again = render_jsonl_with_header(&header, &events);
+        assert_eq!(doc, again);
+    }
+
+    #[test]
+    fn every_payload_variant_round_trips() {
+        let variants = vec![
+            TracePayload::Arrival {
+                job: 1,
+                tasks: 2,
+                deadline: 3.5,
+            },
+            TracePayload::ArrivalDeferred {
+                job: 1,
+                reason: DeferReason::SiteLocked,
+            },
+            TracePayload::ArrivalDeferred {
+                job: 1,
+                reason: DeferReason::PcsConstruction,
+            },
+            TracePayload::LocalTest {
+                job: 1,
+                tasks: 2,
+                deadline: 3.5,
+            },
+            TracePayload::LocalAccept {
+                job: 1,
+                completion: 9.25,
+            },
+            TracePayload::LocalReject { job: 1 },
+            TracePayload::AcsEnroll { job: 1, peers: 4 },
+            TracePayload::AcsJoined {
+                job: 1,
+                initiator: 2,
+                surplus: 0.5,
+            },
+            TracePayload::TrialMapping {
+                job: 1,
+                used: 2,
+                makespan: 10.0,
+                makespan_star: 8.0,
+                omega: 1.5,
+            },
+            TracePayload::Validation {
+                job: 1,
+                endorsable: 2,
+                total: 3,
+            },
+            TracePayload::MappingValidated {
+                job: 1,
+                coupling: 3,
+            },
+            TracePayload::JobAccepted {
+                job: 1,
+                distributed: true,
+            },
+            TracePayload::JobAccepted {
+                job: 1,
+                distributed: false,
+            },
+            TracePayload::Reject {
+                job: 1,
+                reason: RejectReason::EmptySphere,
+            },
+            TracePayload::Reject {
+                job: 1,
+                reason: RejectReason::MapperFailed,
+            },
+            TracePayload::Reject {
+                job: 1,
+                reason: RejectReason::AdjustmentWindow,
+            },
+            TracePayload::Reject {
+                job: 1,
+                reason: RejectReason::CouplingTooSmall {
+                    size: 1,
+                    required: 2,
+                },
+            },
+            TracePayload::Execute { job: 1, logical: 0 },
+            TracePayload::NotSelected { job: 1 },
+            TracePayload::PlacementFailure { job: 1 },
+            TracePayload::Unlocked { job: 1 },
+            TracePayload::RoutingFanout {
+                phase: 2,
+                fanout: 5,
+            },
+            TracePayload::Mark {
+                tag: 7,
+                value: 0.75,
+            },
+        ];
+        for (i, payload) in variants.into_iter().enumerate() {
+            let event = TraceEvent {
+                time: i as f64 + 0.5,
+                site: i as u32,
+                span: SpanId::derive(1, Phase::Custom, i as u32, 0),
+                parent: SpanId::NONE,
+                payload,
+            };
+            let mut line = String::new();
+            write_event_line(&mut line, &event);
+            let parsed = parse_event_line(&line).unwrap();
+            assert_eq!(parsed, event, "variant {i} failed to round-trip");
+            let mut again = String::new();
+            write_event_line(&mut again, &parsed);
+            assert_eq!(line, again, "variant {i} is not a byte fixpoint");
+        }
+    }
+
+    #[test]
+    fn reader_streams_events_and_keeps_the_header_line() {
+        let doc = render_jsonl(&[("seed", Value::U64(7))], &sample_events());
+        let mut reader = JsonlReader::new(doc.as_bytes());
+        assert!(reader.header_line().contains("\"seed\":7"));
+        assert_eq!(reader.header().len(), 1);
+        let mut n = 0;
+        while let Some(event) = reader.next_event() {
+            assert_eq!(event, sample_events()[n]);
+            n += 1;
+        }
+        assert_eq!(n, sample_events().len());
+    }
+
+    #[test]
+    fn reader_rejects_a_wrong_schema() {
+        let result = std::panic::catch_unwind(|| {
+            JsonlReader::new("{\"schema\":\"rtds-workload-trace/1\"}\n".as_bytes())
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let header = header_line(&[("label", Value::Str("a\"b\\c\nd\te\u{1}".to_string()))]);
+        let obj = parse_line_object(&header).unwrap();
+        assert_eq!(
+            obj.get("label"),
+            Some(&Scalar::Str("a\"b\\c\nd\te\u{1}".to_string()))
+        );
+    }
+}

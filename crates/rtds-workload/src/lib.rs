@@ -27,6 +27,12 @@
 //! in `rtds-scenarios`; the `exp_workloads` binary in `rtds-bench` drives
 //! million-job runs with `--record`/`--replay`. See `docs/WORKLOADS.md`.
 //!
+//! The workload trace records *arrivals* (what enters the system); the
+//! protocol *span* trace (`rtds-trace`, `docs/TRACING.md`) records what the
+//! protocol then did with them. The two compose: `exp_workloads --replay
+//! t.jsonl --trace-out spans.jsonl` replays a recorded workload while
+//! streaming the causal span trace of its execution.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Trace smoke: the span-trace subsystem's CLI surface end to end. Recording
+# the same scenario cell twice must produce byte-identical rtds-trace/1
+# JSONL (span ids are derived, not allocated), the Chrome export must be
+# well-formed, and the streaming path must report bounded ring retention.
+# Used by CI and runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_scenarios -- --scenario paper-baseline --seeds 1 \
+    --trace-out "$out/trace-smoke-a.jsonl" --chrome-trace "$out/trace-smoke.chrome.json"
+cargo run --release --bin exp_scenarios -- --scenario paper-baseline --seeds 1 \
+    --trace-out "$out/trace-smoke-b.jsonl"
+cmp "$out/trace-smoke-a.jsonl" "$out/trace-smoke-b.jsonl"
+head -1 "$out/trace-smoke-a.jsonl" | grep -q '"schema":"rtds-trace/1"'
+grep -q '"traceEvents"' "$out/trace-smoke.chrome.json"
+# The bounded flight recorder must overflow on a real run and say so.
+cargo run --release --bin exp_workloads -- --seed 3 --jobs 500 --rate 0.4 --sites 16 \
+    --trace-ring 128 > "$out/trace-smoke-ring.txt"
+grep -q 'dropped' "$out/trace-smoke-ring.txt"
+# Streaming and Chrome export compose with the Fig. 1 walkthrough too.
+cargo run --release --bin exp_fig1_overview -- \
+    --trace-out "$out/trace-smoke-fig1.jsonl" \
+    --chrome-trace "$out/trace-smoke-fig1.chrome.json" > /dev/null
+grep -q '"kind":"acs-enroll"' "$out/trace-smoke-fig1.jsonl"
+echo "trace smoke OK: same-seed traces are byte-identical and exports are well-formed"

@@ -14,6 +14,11 @@
 //!   log-bucketed histograms whose percentile summaries are byte-identical
 //!   across runs and thread counts; every report format renders a registry
 //!   as its `metrics` section (see `docs/METRICS.md`),
+//! * [`trace`] — causal span tracing: deterministic derived span ids,
+//!   typed protocol event payloads, bounded-ring / streaming-JSONL sinks
+//!   (`rtds-trace/1`) and a Chrome `about:tracing` exporter; the engine can
+//!   also self-profile per-event-class dispatch into the metrics registry
+//!   (see `docs/TRACING.md`),
 //! * [`sched`] — the per-site local scheduler (§5): reservation plans, idle
 //!   intervals, admission tests and surplus,
 //! * [`core`] — the RTDS protocol itself: Potential/Available Computing
@@ -65,4 +70,5 @@ pub use rtds_net as net;
 pub use rtds_scenarios as scenarios;
 pub use rtds_sched as sched;
 pub use rtds_sim as sim;
+pub use rtds_trace as trace;
 pub use rtds_workload as workload;

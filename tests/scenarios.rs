@@ -9,11 +9,11 @@ use rtds::core::{RtdsSystem, RunReport};
 use rtds::scenarios::{
     builtin_scenarios, find_scenario, mix_seed, run_cell, Perturbation, PerturbationPlan, Scenario,
 };
-use rtds::sim::Trace;
+use rtds::sim::TraceEvent;
 
 /// Runs one scenario cell by hand (mirroring `runner::run_cell`) with
 /// tracing enabled, so tests can compare protocol-visible event streams.
-fn traced_run(scenario: &Scenario, seed: u64) -> (RunReport, Trace) {
+fn traced_run(scenario: &Scenario, seed: u64) -> (RunReport, Vec<TraceEvent>) {
     let network = scenario.build_network(seed);
     let jobs = scenario.build_workload(&network, seed);
     let faults = scenario.perturbations.expand(&network, mix_seed(seed, 3));
@@ -25,7 +25,7 @@ fn traced_run(scenario: &Scenario, seed: u64) -> (RunReport, Trace) {
     }
     system.submit_workload(jobs);
     let report = system.run();
-    let trace = system.trace().clone();
+    let trace = system.trace().events();
     (report, trace)
 }
 
@@ -88,7 +88,7 @@ proptest! {
             zero_faults.stats.messages_delivered
         );
         prop_assert_eq!(unperturbed.messages_per_job, zero_faults.messages_per_job);
-        prop_assert_eq!(trace_a.events(), trace_b.events());
+        prop_assert_eq!(trace_a, trace_b);
         prop_assert_eq!(zero_faults.stats.named("sim_lost_random"), 0);
     }
 }

@@ -9,6 +9,7 @@
 //!
 //! ```text
 //! exp_perf [--seed <u64>] [--json <path>] [--smoke] [--baseline <BENCH_N.json>]
+//!          [--soak <events> [--checkpoint <path>]] [--resume <path>]
 //! ```
 //!
 //! `--smoke` runs only the native paper baseline and the 16-site tier (the
@@ -17,15 +18,62 @@
 //! aggregate events/sec regression of more than 20 % against the recorded
 //! throughput, exits nonzero — `exp_perf --baseline BENCH_1.json` is the
 //! one-line "did I break or slow down the engine" check.
+//!
+//! `--soak <events>` adds the streaming soak tier: an open-ended Poisson
+//! stream on a 256-site grid, capped only by the event budget, reported in
+//! the `soak` section of the JSON (absent budgets render the key as
+//! `null`, and the section is never compared against baselines). With
+//! `--checkpoint <path>` the soak pauses at half the budget, writes the
+//! `rtds-stream-snapshot/1` document to the path and resumes from the
+//! written bytes — exercising the full serialize → disk → deserialize
+//! cycle while leaving the file behind. `--resume <path>` instead restores
+//! a previously written soak snapshot (same `--seed`!) and drives it to
+//! its original cap.
 
 use rtds_bench::perf::{compare_with_baseline, run_perf_suite, PERF_TIERS};
-use rtds_bench::{write_json_report, ExpArgs};
+use rtds_bench::{resume_soak, run_soak, write_json_report, ExpArgs, SoakResult};
 
 /// Tolerated aggregate events/sec drop before `--baseline` fails the run.
 const REGRESSION_TOLERANCE: f64 = 0.2;
 
+/// Runs (or resumes) the optional soak tier according to the CLI flags.
+fn soak_tier(args: &ExpArgs, seed: u64) -> Option<SoakResult> {
+    if let Some(path) = args.value_of("resume") {
+        if args.has("soak") || args.has("checkpoint") {
+            eprintln!("--resume excludes --soak/--checkpoint: the snapshot carries the budget");
+            std::process::exit(1);
+        }
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        return Some(resume_soak(seed, &text).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }));
+    }
+    if !args.has("soak") {
+        if args.has("checkpoint") {
+            eprintln!("--checkpoint only applies to a --soak run");
+            std::process::exit(1);
+        }
+        return None;
+    }
+    let events = args.u64_of("soak", 0);
+    if events == 0 {
+        eprintln!("--soak needs a positive event budget");
+        std::process::exit(1);
+    }
+    Some(
+        run_soak(seed, events, args.value_of("checkpoint")).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }),
+    )
+}
+
 fn main() {
-    let args = ExpArgs::parse(&["baseline"], &["smoke"]);
+    let args = ExpArgs::parse(&["baseline", "soak", "checkpoint", "resume"], &["smoke"]);
     let seed = args.seed(7);
     let smoke = args.has("smoke");
     println!(
@@ -37,7 +85,7 @@ fn main() {
         "{:<26} {:>5} {:>5} {:>6} {:>9} {:>9} {:>10} {:>9} {:>12}",
         "workload", "sites", "jobs", "ratio", "msgs", "msgs/job", "events", "wall ms", "events/s"
     );
-    let report = run_perf_suite(seed, smoke);
+    let mut report = run_perf_suite(seed, smoke);
     for w in &report.workloads {
         println!(
             "{:<26} {:>5} {:>5} {:>6.3} {:>9} {:>9.1} {:>10} {:>9.1} {:>12.0}",
@@ -60,6 +108,35 @@ fn main() {
                 report.tier_events_per_sec(tier)
             );
         }
+    }
+    report.soak = soak_tier(&args, seed);
+    if let Some(soak) = &report.soak {
+        println!();
+        println!(
+            "soak: {} events in {:.1} ms ({:.0} events/s){}",
+            soak.events_processed,
+            soak.wall.as_secs_f64() * 1e3,
+            soak.events_per_sec(),
+            if soak.checkpointed {
+                ", through a checkpoint"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "      {} jobs submitted, {} accepted locally, {} distributed, {} deadline misses",
+            soak.submitted, soak.accepted_locally, soak.accepted_distributed, soak.deadline_misses
+        );
+        println!(
+            "      peaks: {} in-flight jobs, {} reservations, {} pending events{}",
+            soak.peak_inflight_jobs,
+            soak.peak_plan_reservations,
+            soak.peak_queue_len,
+            match soak.peak_rss_kb {
+                Some(kb) => format!(", {kb} kB RSS"),
+                None => String::new(),
+            }
+        );
     }
     if let Some(path) = args.json_path() {
         write_json_report(path, &report.to_json(true));

@@ -41,7 +41,7 @@ pub mod harness;
 pub mod perf;
 pub mod tracing;
 
-pub use perf::{run_perf_suite, PerfReport};
+pub use perf::{resume_soak, run_perf_suite, run_soak, PerfReport, SoakResult};
 
 pub use args::{write_json_report, ExpArgs};
 pub use harness::{

@@ -19,19 +19,30 @@
 //! determinism suite pins (two `exp_perf --seed 7` runs must agree on every
 //! non-timing field).
 
-use rtds_core::{JobOutcomeKind, RtdsSystem};
+use rtds_core::{
+    JobOutcomeKind, RtdsConfig, RtdsSystem, StreamOptions, StreamPause, StreamReport, StreamRun,
+};
+use rtds_net::generators::{grid, DelayDistribution};
 use rtds_scenarios::{find_scenario, mix_seed, Json, Scenario, TopologyRecipe};
 use rtds_sim::metrics_json::metrics_to_json;
 use rtds_sim::MetricsRegistry;
+use rtds_workload::{JobFactory, JobTemplate, OpenLoopSource, OpenLoopSpec, RateProcess, SizeMix};
 use std::time::{Duration, Instant};
 
 /// Identifier of the report schema (bump on breaking field changes).
-/// Version 2 added the deterministic per-workload `metrics` section
-/// (latency/laxity histogram summaries, protocol counters).
-pub const PERF_SCHEMA: &str = "rtds-exp-perf/2";
+/// Version 3 added the always-present `soak` section (null unless the
+/// optional `--soak` streaming tier ran) and the `peak_rss_kb`
+/// machine-dependent field inside it. Version 2 added the deterministic
+/// per-workload `metrics` section (latency/laxity histogram summaries,
+/// protocol counters).
+pub const PERF_SCHEMA: &str = "rtds-exp-perf/3";
 
-/// The previous schema (no `metrics` sections). `--baseline` still accepts
-/// v1 recordings by comparing only the fields both schemas share.
+/// The v2 schema (no `soak` section). `--baseline` still accepts v2
+/// recordings by dropping the section before comparing.
+pub const PERF_SCHEMA_V2: &str = "rtds-exp-perf/2";
+
+/// The original schema (no `metrics` sections either). `--baseline` still
+/// accepts v1 recordings by comparing only the fields all schemas share.
 pub const PERF_SCHEMA_V1: &str = "rtds-exp-perf/1";
 
 /// The site-count tiers of the scaled scenarios.
@@ -182,6 +193,235 @@ impl WorkloadResult {
     }
 }
 
+/// Grid side of the soak tier's network (16×16 = 256 sites, the largest
+/// regular tier of the suite).
+pub const SOAK_SIDE: usize = 16;
+
+/// Result of the optional `--soak <events>` tier: an open-loop Poisson
+/// stream driven through a 16×16 grid until the engine's event cap stops
+/// it. The workload is unbounded — only the event budget ends the run — so
+/// the peak-residency fields prove the streaming path's bounded-memory
+/// claim at whatever scale the budget buys, and `peak_rss_kb` records the
+/// process high-water mark to back it with an OS-level number.
+#[derive(Debug, Clone)]
+pub struct SoakResult {
+    /// The `--soak` event budget (0 when resuming from a snapshot file,
+    /// whose engine carries the original cap).
+    pub requested_events: u64,
+    /// Whether the run went through a checkpoint → resume cycle
+    /// (`--checkpoint` / `--resume`) instead of running uninterrupted.
+    pub checkpointed: bool,
+    /// Events actually processed (= the budget, up to quiescence slack).
+    pub events_processed: u64,
+    /// Final simulated time.
+    pub finished_at: f64,
+    /// Jobs injected before the cap hit.
+    pub submitted: u64,
+    /// Jobs accepted by their arrival site.
+    pub accepted_locally: u64,
+    /// Jobs accepted after distribution.
+    pub accepted_distributed: u64,
+    /// Accepted jobs that missed their deadline (must stay zero).
+    pub deadline_misses: u64,
+    /// Accepted jobs still in flight when the event cap cut the run. Unlike
+    /// the horizon-drained scenarios this is not required to be zero — the
+    /// cap truncates mid-schedule — but it stays within the in-flight
+    /// high-water mark.
+    pub unharvested_completions: u64,
+    /// High-water mark of in-flight jobs — bounded and tiny relative to
+    /// `submitted` is the whole point of the tier.
+    pub peak_inflight_jobs: u64,
+    /// High-water mark of committed reservations at any single site.
+    pub peak_plan_reservations: u64,
+    /// High-water mark of pending engine events.
+    pub peak_queue_len: u64,
+    /// Harvest passes performed.
+    pub harvests: u64,
+    /// Wall-clock time of the run (nondeterministic).
+    pub wall: Duration,
+    /// Peak resident set size of the whole process in kB, read from
+    /// `/proc/self/status` `VmHWM` (None off Linux). Machine-dependent,
+    /// nulled in the canonical report form like the timings.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl SoakResult {
+    /// Events per wall-clock second (nondeterministic).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_processed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self, timings: bool) -> Json {
+        let timing = |v: f64| if timings { Json::Num(v) } else { Json::Null };
+        Json::object(vec![
+            ("requested_events", Json::UInt(self.requested_events)),
+            ("checkpointed", Json::Bool(self.checkpointed)),
+            ("events_processed", Json::UInt(self.events_processed)),
+            ("finished_at", Json::Num(self.finished_at)),
+            ("submitted", Json::UInt(self.submitted)),
+            ("accepted_locally", Json::UInt(self.accepted_locally)),
+            (
+                "accepted_distributed",
+                Json::UInt(self.accepted_distributed),
+            ),
+            ("deadline_misses", Json::UInt(self.deadline_misses)),
+            (
+                "unharvested_completions",
+                Json::UInt(self.unharvested_completions),
+            ),
+            ("peak_inflight_jobs", Json::UInt(self.peak_inflight_jobs)),
+            (
+                "peak_plan_reservations",
+                Json::UInt(self.peak_plan_reservations),
+            ),
+            ("peak_queue_len", Json::UInt(self.peak_queue_len)),
+            ("harvests", Json::UInt(self.harvests)),
+            ("wall_ms", timing(self.wall.as_secs_f64() * 1e3)),
+            ("events_per_sec", timing(self.events_per_sec())),
+            (
+                "peak_rss_kb",
+                match self.peak_rss_kb {
+                    Some(kb) if timings => Json::UInt(kb),
+                    _ => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); None where the procfs field is unavailable.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|line| line.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// The soak tier's system: a 16×16 constant-delay grid with the event cap
+/// as the only stopping condition.
+fn soak_system(seed: u64, max_events: u64) -> RtdsSystem {
+    let network = grid(
+        SOAK_SIDE,
+        SOAK_SIDE,
+        false,
+        DelayDistribution::Constant(1.0),
+        mix_seed(seed, 1),
+    );
+    let mut system = RtdsSystem::new(network, RtdsConfig::default(), mix_seed(seed, 5));
+    system.set_fault_seed(mix_seed(seed, 4));
+    system.set_max_events(max_events);
+    system
+}
+
+/// The soak tier's job source: an unbounded Poisson stream (no horizon, no
+/// job cap) — deterministic per seed, which the `--checkpoint`/`--resume`
+/// cycle relies on to rebuild it fresh.
+fn soak_source(seed: u64) -> JobFactory<OpenLoopSource> {
+    let spec = OpenLoopSpec {
+        process: RateProcess::Poisson { rate: 1.0 },
+        sizes: SizeMix::Uniform { min: 5, max: 9 },
+        hotspots: 0,
+        horizon: f64::INFINITY,
+        max_jobs: 0,
+    };
+    JobFactory::new(
+        spec.build(SOAK_SIDE * SOAK_SIDE, mix_seed(seed, 2)),
+        JobTemplate::default(),
+    )
+}
+
+fn soak_result(
+    requested_events: u64,
+    checkpointed: bool,
+    report: &StreamReport,
+    wall: Duration,
+) -> SoakResult {
+    SoakResult {
+        requested_events,
+        checkpointed,
+        events_processed: report.events_processed,
+        finished_at: report.finished_at,
+        submitted: report.guarantee.submitted,
+        accepted_locally: report.guarantee.accepted_locally,
+        accepted_distributed: report.guarantee.accepted_distributed,
+        deadline_misses: report.deadline_misses(),
+        unharvested_completions: report.unharvested_completions,
+        peak_inflight_jobs: report.peak_inflight_jobs,
+        peak_plan_reservations: report.peak_plan_reservations,
+        peak_queue_len: report.peak_queue_len,
+        harvests: report.harvests,
+        wall,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Runs the soak tier for `events` engine events. With `checkpoint_path`
+/// set, the run pauses at half the budget, writes the
+/// `rtds-stream-snapshot/1` document to the path, then resumes **from the
+/// written bytes** with a fresh source — so every checkpointed soak also
+/// exercises the full serialize → disk → deserialize cycle, and its report
+/// is identical to an uninterrupted run's (a divergence panics).
+pub fn run_soak(
+    seed: u64,
+    events: u64,
+    checkpoint_path: Option<&str>,
+) -> Result<SoakResult, String> {
+    assert!(events > 0, "soak needs a positive event budget");
+    let start = Instant::now();
+    let report = match checkpoint_path {
+        None => {
+            let mut system = soak_system(seed, events);
+            let mut source = soak_source(seed);
+            system.run_streaming(&mut source, &StreamOptions::default())
+        }
+        Some(path) => {
+            let mut system = soak_system(seed, events);
+            let mut live = soak_source(seed);
+            match system.run_streaming_checkpoint(
+                &mut live,
+                &StreamOptions::default(),
+                &StreamPause::AfterEvents(events / 2),
+            ) {
+                StreamRun::Paused(text) => {
+                    std::fs::write(path, &text)
+                        .map_err(|e| format!("cannot write snapshot {path}: {e}"))?;
+                    let written = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot re-read snapshot {path}: {e}"))?;
+                    let mut fresh = soak_source(seed);
+                    RtdsSystem::resume_streaming(&written, &mut fresh)
+                        .map_err(|e| format!("snapshot {path} does not resume: {e}"))?
+                }
+                StreamRun::Finished(report) => *report,
+            }
+        }
+    };
+    let wall = start.elapsed();
+    Ok(soak_result(
+        events,
+        checkpoint_path.is_some(),
+        &report,
+        wall,
+    ))
+}
+
+/// Resumes a soak from a snapshot file written by `--checkpoint` and drives
+/// it to its original event cap (the cap rides in the engine snapshot). The
+/// seed must match the checkpointed run's so the rebuilt source replays the
+/// same stream.
+pub fn resume_soak(seed: u64, snapshot: &str) -> Result<SoakResult, String> {
+    let start = Instant::now();
+    let mut fresh = soak_source(seed);
+    let report = RtdsSystem::resume_streaming(snapshot, &mut fresh)
+        .map_err(|e| format!("snapshot does not resume: {e}"))?;
+    let wall = start.elapsed();
+    Ok(soak_result(0, true, &report, wall))
+}
+
 /// The aggregate report of one `exp_perf` run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -191,6 +431,9 @@ pub struct PerfReport {
     pub smoke: bool,
     /// One result per workload, in suite order.
     pub workloads: Vec<WorkloadResult>,
+    /// The optional `--soak` streaming tier (renders as `null` when absent,
+    /// keeping the schema shape fixed).
+    pub soak: Option<SoakResult>,
 }
 
 impl PerfReport {
@@ -249,19 +492,26 @@ impl PerfReport {
                     ),
                 ]),
             ),
+            (
+                "soak",
+                match &self.soak {
+                    Some(soak) => soak.to_json(timings),
+                    None => Json::Null,
+                },
+            ),
         ])
         .render()
     }
 }
 
-/// Recursively nulls every nondeterministic timing field (`wall_ms`,
-/// `events_per_sec`) of a parsed report, producing the canonical form that
-/// [`PerfReport::to_json`] emits with `timings: false`.
+/// Recursively nulls every nondeterministic field (`wall_ms`,
+/// `events_per_sec`, `peak_rss_kb`) of a parsed report, producing the
+/// canonical form that [`PerfReport::to_json`] emits with `timings: false`.
 pub fn null_timings(json: &mut Json) {
     match json {
         Json::Object(fields) => {
             for (key, value) in fields {
-                if key == "wall_ms" || key == "events_per_sec" {
+                if key == "wall_ms" || key == "events_per_sec" || key == "peak_rss_kb" {
                     *value = Json::Null;
                 } else {
                     null_timings(value);
@@ -328,27 +578,50 @@ pub fn strip_metrics(json: &mut Json) {
     }
 }
 
-/// Projects a parsed v2 report onto the v1 field set: drops the `metrics`
-/// sections and retags the schema, leaving every field a v1 recording
-/// pinned byte-identical. The single definition of the cross-schema
-/// comparison rule.
-pub fn project_to_v1(json: &mut Json) {
-    strip_metrics(json);
+/// Removes the top-level `soak` section from a parsed report. The soak tier
+/// is optional and sized by a CLI flag, so it never participates in the
+/// baseline byte-comparison — only the fixed suite is pinned.
+pub fn strip_soak(json: &mut Json) {
+    if let Json::Object(fields) = json {
+        fields.retain(|(key, _)| key != "soak");
+    }
+}
+
+fn retag_schema(json: &mut Json, schema: &str) {
     if let Json::Object(fields) = json {
         for (key, value) in fields.iter_mut() {
             if key == "schema" {
-                *value = Json::str(PERF_SCHEMA_V1);
+                *value = Json::str(schema);
             }
         }
     }
 }
 
+/// Projects a parsed v3 report onto the v2 field set: drops the `soak`
+/// section and retags the schema, leaving every field a v2 recording
+/// pinned byte-identical.
+pub fn project_to_v2(json: &mut Json) {
+    strip_soak(json);
+    retag_schema(json, PERF_SCHEMA_V2);
+}
+
+/// Projects a parsed report onto the v1 field set: drops the `soak` and
+/// `metrics` sections and retags the schema, leaving every field a v1
+/// recording pinned byte-identical. The single definition of the
+/// cross-schema comparison rule.
+pub fn project_to_v1(json: &mut Json) {
+    strip_soak(json);
+    strip_metrics(json);
+    retag_schema(json, PERF_SCHEMA_V1);
+}
+
 /// Diffs this run against a previously recorded report (`--baseline`): the
-/// deterministic fields must match byte-for-byte after nulling timings, and
-/// the recorded aggregate events/sec is surfaced for the regression
-/// tripwire. A v1 baseline (recorded before the `metrics` sections existed)
-/// is compared on the fields both schemas share. Fails if the baseline is
-/// not valid JSON of a known schema.
+/// deterministic fields must match byte-for-byte after nulling timings and
+/// dropping the optional `soak` section, and the recorded aggregate
+/// events/sec is surfaced for the regression tripwire. Older baselines
+/// (v2: no soak section; v1: no metrics sections either) are compared on
+/// the fields both schemas share. Fails if the baseline is not valid JSON
+/// of a known schema.
 pub fn compare_with_baseline(
     current: &PerfReport,
     baseline_text: &str,
@@ -356,12 +629,13 @@ pub fn compare_with_baseline(
     let mut baseline =
         Json::parse(baseline_text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let schema = baseline.get("schema").and_then(Json::as_str);
-    let v1_baseline = match schema {
-        Some(PERF_SCHEMA) => false,
-        Some(PERF_SCHEMA_V1) => true,
+    let project: fn(&mut Json) = match schema {
+        Some(PERF_SCHEMA) => strip_soak,
+        Some(PERF_SCHEMA_V2) => project_to_v2,
+        Some(PERF_SCHEMA_V1) => project_to_v1,
         _ => {
             return Err(format!(
-                "baseline schema {schema:?} is neither {PERF_SCHEMA:?} nor {PERF_SCHEMA_V1:?}"
+                "baseline schema {schema:?} is none of {PERF_SCHEMA:?}, {PERF_SCHEMA_V2:?}, {PERF_SCHEMA_V1:?}"
             ))
         }
     };
@@ -370,14 +644,11 @@ pub fn compare_with_baseline(
         .and_then(|t| t.get("events_per_sec"))
         .and_then(Json::as_f64);
     null_timings(&mut baseline);
+    strip_soak(&mut baseline);
     let canonical_baseline = baseline.render();
-    let canonical_current = if v1_baseline {
-        let mut projected = Json::parse(&current.to_json(false)).expect("our own rendering parses");
-        project_to_v1(&mut projected);
-        projected.render()
-    } else {
-        current.to_json(false)
-    };
+    let mut projected = Json::parse(&current.to_json(false)).expect("our own rendering parses");
+    project(&mut projected);
+    let canonical_current = projected.render();
     let mut mismatches = Vec::new();
     if canonical_baseline != canonical_current {
         let old: Vec<&str> = canonical_baseline.lines().collect();
@@ -466,6 +737,7 @@ pub fn run_perf_suite(seed: u64, smoke: bool) -> PerfReport {
         seed,
         smoke,
         workloads,
+        soak: None,
     }
 }
 
@@ -543,6 +815,84 @@ mod tests {
             .replace("\"deadline_misses\": 0", "\"deadline_misses\": 1");
         let cmp = compare_with_baseline(&report, &tampered).unwrap();
         assert!(!cmp.fields_match());
+    }
+
+    #[test]
+    fn v2_baselines_compare_on_the_shared_field_set() {
+        let report = run_perf_suite(7, true);
+        // Fabricate the v2 recording of this exact run: same fields minus
+        // the soak section, tagged with the previous schema id.
+        let mut v2 = Json::parse(&report.to_json(true)).unwrap();
+        project_to_v2(&mut v2);
+        let rendered = v2.render();
+        assert!(rendered.contains(PERF_SCHEMA_V2));
+        assert!(!rendered.contains("\"soak\""));
+        let cmp = compare_with_baseline(&report, &rendered).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+        assert!(cmp.baseline_events_per_sec.is_some());
+        // The v2 metrics sections still participate in the diff.
+        let tampered = rendered.replace("\"deadline_misses\": 0", "\"deadline_misses\": 1");
+        let cmp = compare_with_baseline(&report, &tampered).unwrap();
+        assert!(!cmp.fields_match());
+    }
+
+    #[test]
+    fn soak_section_is_ignored_by_the_baseline_diff() {
+        // The soak tier is opt-in and CLI-sized, never part of the pinned
+        // trajectory: a current report that carries one still matches a
+        // baseline recorded without it, and vice versa.
+        let baseline = run_perf_suite(7, true);
+        let recorded = baseline.to_json(true);
+        let mut with_soak = baseline.clone();
+        with_soak.soak = Some(run_soak(7, 5_000, None).unwrap());
+        assert!(with_soak
+            .to_json(false)
+            .contains("\"requested_events\": 5000"));
+        let cmp = compare_with_baseline(&with_soak, &recorded).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+        let cmp = compare_with_baseline(&baseline, &with_soak.to_json(true)).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+    }
+
+    #[test]
+    fn soak_runs_deterministically_and_survives_its_checkpoint_cycle() {
+        let plain = run_soak(7, 20_000, None).unwrap();
+        let again = run_soak(7, 20_000, None).unwrap();
+        assert_eq!(plain.to_json(false).render(), again.to_json(false).render());
+        assert_eq!(plain.requested_events, 20_000);
+        assert!(!plain.checkpointed);
+        assert!(plain.events_processed >= 20_000);
+        assert_eq!(plain.deadline_misses, 0);
+        // The cap truncates mid-schedule, so a handful of accepted jobs may
+        // still be in flight — but never more than the in-flight peak.
+        assert!(plain.unharvested_completions <= plain.peak_inflight_jobs);
+        assert!(plain.submitted > 0);
+        assert!(
+            plain.peak_inflight_jobs < plain.submitted,
+            "in-flight state must stay bounded: {} peak vs {} submitted",
+            plain.peak_inflight_jobs,
+            plain.submitted
+        );
+
+        // The checkpointed variant (pause → write → re-read → resume) and a
+        // later --resume from the same file both reproduce the plain run's
+        // deterministic fields exactly.
+        let path = std::env::temp_dir().join("rtds_soak_unit.snapshot.json");
+        let path_str = path.to_str().unwrap();
+        let through = run_soak(7, 20_000, Some(path_str)).unwrap();
+        let snapshot = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(through.checkpointed);
+        assert!(snapshot.contains("rtds-stream-snapshot/1"));
+        let resumed = resume_soak(7, &snapshot).unwrap();
+        let canonical = |r: &SoakResult| {
+            r.to_json(false)
+                .render()
+                .replace("\"checkpointed\": true", "\"checkpointed\": false")
+                .replace("\"requested_events\": 0", "\"requested_events\": 20000")
+        };
+        assert_eq!(canonical(&through), plain.to_json(false).render());
+        assert_eq!(canonical(&resumed), plain.to_json(false).render());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod matching;
 pub mod messages;
 pub mod node;
 pub mod pcs;
+pub mod snapshot;
 pub mod streaming;
 pub mod system;
 pub mod validate;
@@ -53,5 +54,6 @@ pub use matching::{
 };
 pub use messages::{RtdsMsg, TaskSpec};
 pub use node::RtdsNode;
-pub use streaming::{JobSource, StreamOptions, StreamReport};
+pub use snapshot::{SnapshotError, STREAM_SNAPSHOT_SCHEMA, SYSTEM_SNAPSHOT_SCHEMA};
+pub use streaming::{JobSource, StreamOptions, StreamPause, StreamReport, StreamRun};
 pub use system::{JobOutcomeKind, JobReport, RtdsSystem, RunReport};

@@ -32,6 +32,7 @@ use crate::config::RtdsConfig;
 use crate::mapper::{map_dag, MapperInput};
 use crate::messages::{RtdsMsg, TaskSpec};
 use crate::pcs::PcsState;
+use crate::snapshot as snap;
 use crate::validate::{endorsable_logical_processors, ValidationOutcome, ValidationRound};
 use rtds_graph::{Job, JobId, TaskId};
 use rtds_net::sphere::Sphere;
@@ -40,6 +41,9 @@ use rtds_sched::admission::admit_dag_locally;
 use rtds_sched::feasibility::{satisfiable, TaskRequest};
 use rtds_sched::SchedulePlan;
 use rtds_sim::engine::Context;
+use rtds_sim::json::Json;
+use rtds_sim::snapshot as sim_snap;
+use rtds_sim::snapshot::SnapshotError;
 use rtds_sim::stats::GuaranteeStats;
 use rtds_sim::trace::{DeferReason, Phase, RejectReason, SpanId, TracePayload};
 use rtds_sim::Protocol;
@@ -783,6 +787,174 @@ impl RtdsNode {
             }
         }
         self.process_queue(ctx);
+    }
+
+    /// The shared exact-distance table, if the `exact_acs_diameter` ablation
+    /// is enabled (snapshot support: the system layer serializes it once,
+    /// verbatim — faults may have mutated the topology since construction,
+    /// so it must not be recomputed on restore).
+    pub(crate) fn global_distances(&self) -> Option<&GlobalDistances> {
+        self.global_distances.as_ref()
+    }
+
+    /// Serializes the full node state (snapshot support; see
+    /// [`crate::snapshot`]).
+    pub(crate) fn encode_snapshot(&self) -> Json {
+        Json::object(vec![
+            ("site", snap::encode_site(self.site)),
+            ("config", snap::encode_config(&self.config)),
+            ("speed", sim_snap::f64_bits(self.speed)),
+            ("pcs", self.pcs.encode_snapshot()),
+            (
+                "sphere",
+                match &self.sphere {
+                    Some(s) => snap::encode_sphere(s),
+                    None => Json::Null,
+                },
+            ),
+            ("plan", snap::encode_plan(&self.plan)),
+            (
+                "lock",
+                match self.lock {
+                    Some((holder, job)) => {
+                        Json::Array(vec![snap::encode_site(holder), snap::encode_job_id(job)])
+                    }
+                    None => Json::Null,
+                },
+            ),
+            (
+                "queued",
+                Json::Array(self.queued.iter().map(snap::encode_job).collect()),
+            ),
+            (
+                "inflight",
+                Json::Array(
+                    self.inflight
+                        .iter()
+                        .map(|(id, inflight)| {
+                            Json::Array(vec![snap::encode_job_id(*id), inflight.encode_snapshot()])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("guarantee", snap::encode_guarantee(&self.guarantee)),
+            (
+                "accepted",
+                Json::Array(self.accepted.iter().map(snap::encode_accepted).collect()),
+            ),
+        ])
+    }
+
+    /// Inverse of [`RtdsNode::encode_snapshot`]. The exact-distance table is
+    /// supplied by the system layer (it is shared by every node).
+    pub(crate) fn decode_snapshot(
+        doc: &Json,
+        global_distances: Option<GlobalDistances>,
+    ) -> Result<Self, SnapshotError> {
+        let mut inflight = BTreeMap::new();
+        for entry in sim_snap::get_items(doc, "inflight")? {
+            let pair = sim_snap::as_items(entry, "inflight entry")?;
+            if pair.len() != 2 {
+                return Err(SnapshotError(
+                    "inflight entry: expected [job, state]".into(),
+                ));
+            }
+            inflight.insert(
+                snap::decode_job_id(&pair[0], "inflight job")?,
+                Inflight::decode_snapshot(&pair[1])?,
+            );
+        }
+        Ok(RtdsNode {
+            site: snap::decode_site(sim_snap::get(doc, "site")?, "node site")?,
+            config: snap::decode_config(sim_snap::get(doc, "config")?)?,
+            speed: sim_snap::get_f64(doc, "speed")?,
+            pcs: PcsState::decode_snapshot(sim_snap::get(doc, "pcs")?)?,
+            sphere: match sim_snap::get(doc, "sphere")? {
+                Json::Null => None,
+                other => Some(snap::decode_sphere(other)?),
+            },
+            plan: snap::decode_plan(sim_snap::get(doc, "plan")?, "node plan")?,
+            lock: match sim_snap::get(doc, "lock")? {
+                Json::Null => None,
+                other => {
+                    let pair = sim_snap::as_items(other, "node lock")?;
+                    if pair.len() != 2 {
+                        return Err(SnapshotError("node lock: expected [holder, job]".into()));
+                    }
+                    Some((
+                        snap::decode_site(&pair[0], "lock holder")?,
+                        snap::decode_job_id(&pair[1], "lock job")?,
+                    ))
+                }
+            },
+            queued: sim_snap::get_items(doc, "queued")?
+                .iter()
+                .map(snap::decode_job)
+                .collect::<Result<VecDeque<Job>, SnapshotError>>()?,
+            inflight,
+            guarantee: snap::decode_guarantee(sim_snap::get(doc, "guarantee")?)?,
+            accepted: sim_snap::get_items(doc, "accepted")?
+                .iter()
+                .map(snap::decode_accepted)
+                .collect::<Result<Vec<AcceptedJob>, SnapshotError>>()?,
+            global_distances,
+        })
+    }
+}
+
+impl Inflight {
+    fn encode_snapshot(&self) -> Json {
+        Json::object(vec![
+            ("job", snap::encode_job(&self.job)),
+            ("acs", self.acs.encode_snapshot()),
+            (
+                "members",
+                Json::Array(self.members.iter().map(crate::acs::encode_member).collect()),
+            ),
+            (
+                "tpl",
+                snap::encode_tasks_per_logical(&self.tasks_per_logical),
+            ),
+            (
+                "validation",
+                match &self.validation {
+                    Some(v) => v.encode_snapshot(),
+                    None => Json::Null,
+                },
+            ),
+            ("started_at", sim_snap::f64_bits(self.started_at)),
+            (
+                "mapped_at",
+                match self.mapped_at {
+                    Some(t) => sim_snap::f64_bits(t),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn decode_snapshot(doc: &Json) -> Result<Self, SnapshotError> {
+        Ok(Inflight {
+            job: snap::decode_job(sim_snap::get(doc, "job")?)?,
+            acs: AcsCollection::decode_snapshot(sim_snap::get(doc, "acs")?)?,
+            members: sim_snap::get_items(doc, "members")?
+                .iter()
+                .map(crate::acs::decode_member)
+                .collect::<Result<Vec<AcsMember>, SnapshotError>>()?,
+            tasks_per_logical: snap::decode_tasks_per_logical(
+                sim_snap::get(doc, "tpl")?,
+                "inflight tpl",
+            )?,
+            validation: match sim_snap::get(doc, "validation")? {
+                Json::Null => None,
+                other => Some(ValidationRound::decode_snapshot(other)?),
+            },
+            started_at: sim_snap::get_f64(doc, "started_at")?,
+            mapped_at: match sim_snap::get(doc, "mapped_at")? {
+                Json::Null => None,
+                other => Some(sim_snap::f64_from_bits(other, "mapped_at")?),
+            },
+        })
     }
 }
 

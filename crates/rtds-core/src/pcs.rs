@@ -12,9 +12,13 @@
 //! independently unit-testable and lets the property tests compare its result
 //! against the centralized [`rtds_net::bellman_ford::phased_apsp`] reference.
 
+use crate::snapshot as snap;
 use rtds_net::routing::{RouteEntry, RoutingTable};
 use rtds_net::sphere::Sphere;
 use rtds_net::SiteId;
+use rtds_sim::json::Json;
+use rtds_sim::snapshot as sim_snap;
+use rtds_sim::snapshot::SnapshotError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -99,8 +103,11 @@ impl PcsState {
 
     fn try_advance(&mut self) -> Vec<PcsSend> {
         let mut out = Vec::new();
+        let mut improved: Vec<SiteId> = Vec::new();
         while !self.is_finished() && self.pending.len() == self.neighbors.len() {
-            // Merge everything received in this phase.
+            // Merge everything received in this phase, tracking which
+            // destinations improved.
+            improved.clear();
             let received = std::mem::take(&mut self.pending);
             for (from, lines) in received {
                 let delay = self
@@ -109,7 +116,7 @@ impl PcsState {
                     .find(|(n, _)| *n == from)
                     .map(|(_, d)| *d)
                     .expect("update from a non-neighbor");
-                self.table.merge_from_neighbor(from, delay, &lines);
+                self.table.merge_tracked(from, delay, &lines, &mut improved);
             }
             self.current_phase += 1;
             if self.is_finished() {
@@ -119,14 +126,32 @@ impl PcsState {
             if let Some(early) = self.future.remove(&self.current_phase) {
                 self.pending = early;
             }
-            out.extend(self.broadcast(self.current_phase));
+            // Delta broadcast: only the lines that improved this phase. A
+            // line that did not improve was broadcast at its current value
+            // in the phase it last changed (or in the phase-1 full table),
+            // and the §7.1 merge is monotone, so every neighbor already
+            // holds a route at least as good as re-merging it would yield —
+            // omitting it cannot change any table. Empty deltas are still
+            // sent: the α-synchroniser needs one message per neighbor per
+            // phase, so message counts (and every deterministic report
+            // field) are unchanged.
+            improved.sort_unstable();
+            improved.dedup();
+            let lines: Arc<[RouteEntry]> = improved
+                .iter()
+                .map(|d| *self.table.route(*d).expect("improved route exists"))
+                .collect();
+            out.extend(self.broadcast_lines(self.current_phase, lines));
         }
         out
     }
 
     fn broadcast(&self, phase: usize) -> Vec<PcsSend> {
         // One snapshot, shared by every neighbor's message.
-        let lines: Arc<[RouteEntry]> = self.table.lines().into();
+        self.broadcast_lines(phase, self.table.lines().into())
+    }
+
+    fn broadcast_lines(&self, phase: usize, lines: Arc<[RouteEntry]>) -> Vec<PcsSend> {
         self.neighbors
             .iter()
             .map(|(n, _)| PcsSend {
@@ -171,6 +196,109 @@ impl PcsState {
     /// Sphere radius `h`.
     pub fn radius(&self) -> usize {
         self.radius
+    }
+
+    /// Serializes the full construction state (snapshot support; see
+    /// [`crate::snapshot`]).
+    pub(crate) fn encode_snapshot(&self) -> Json {
+        let lines_doc = |lines: &Arc<[RouteEntry]>| snap::encode_route_lines(lines);
+        let pending: Vec<Json> = self
+            .pending
+            .iter()
+            .map(|(site, lines)| Json::Array(vec![snap::encode_site(*site), lines_doc(lines)]))
+            .collect();
+        let future: Vec<Json> = self
+            .future
+            .iter()
+            .map(|(phase, tables)| {
+                let entries: Vec<Json> = tables
+                    .iter()
+                    .map(|(site, lines)| {
+                        Json::Array(vec![snap::encode_site(*site), lines_doc(lines)])
+                    })
+                    .collect();
+                Json::Array(vec![Json::UInt(*phase as u64), Json::Array(entries)])
+            })
+            .collect();
+        Json::object(vec![
+            ("owner", snap::encode_site(self.owner)),
+            (
+                "neighbors",
+                Json::Array(
+                    self.neighbors
+                        .iter()
+                        .map(|(n, d)| {
+                            Json::Array(vec![snap::encode_site(*n), sim_snap::f64_bits(*d)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("table", snap::encode_route_lines(&self.table.lines())),
+            ("total_phases", Json::UInt(self.total_phases as u64)),
+            ("current_phase", Json::UInt(self.current_phase as u64)),
+            ("pending", Json::Array(pending)),
+            ("future", Json::Array(future)),
+            ("radius", Json::UInt(self.radius as u64)),
+        ])
+    }
+
+    /// Inverse of [`PcsState::encode_snapshot`].
+    pub(crate) fn decode_snapshot(doc: &Json) -> Result<Self, SnapshotError> {
+        let parse_err = |m: &str| SnapshotError(m.to_string());
+        let decode_tables =
+            |j: &Json, what: &str| -> Result<BTreeMap<SiteId, Arc<[RouteEntry]>>, SnapshotError> {
+                let mut tables = BTreeMap::new();
+                for entry in sim_snap::as_items(j, what)? {
+                    let pair = sim_snap::as_items(entry, "pending table")?;
+                    if pair.len() != 2 {
+                        return Err(parse_err("pending table: expected [site, lines]"));
+                    }
+                    tables.insert(
+                        snap::decode_site(&pair[0], "pending sender")?,
+                        snap::decode_route_lines(&pair[1], "pending lines")?.into(),
+                    );
+                }
+                Ok(tables)
+            };
+        let owner = snap::decode_site(sim_snap::get(doc, "owner")?, "pcs owner")?;
+        let neighbors = sim_snap::get_items(doc, "neighbors")?
+            .iter()
+            .map(|n| {
+                let pair = sim_snap::as_items(n, "pcs neighbor")?;
+                if pair.len() != 2 {
+                    return Err(parse_err("pcs neighbor: expected [site, delay]"));
+                }
+                Ok((
+                    snap::decode_site(&pair[0], "neighbor site")?,
+                    sim_snap::f64_from_bits(&pair[1], "neighbor delay")?,
+                ))
+            })
+            .collect::<Result<Vec<(SiteId, f64)>, SnapshotError>>()?;
+        let table = RoutingTable::from_entries(
+            owner,
+            snap::decode_route_lines(sim_snap::get(doc, "table")?, "pcs table")?,
+        );
+        let mut future = BTreeMap::new();
+        for entry in sim_snap::get_items(doc, "future")? {
+            let pair = sim_snap::as_items(entry, "future phase")?;
+            if pair.len() != 2 {
+                return Err(parse_err("future phase: expected [phase, tables]"));
+            }
+            future.insert(
+                sim_snap::as_u64(&pair[0], "future phase number")? as usize,
+                decode_tables(&pair[1], "future tables")?,
+            );
+        }
+        Ok(PcsState {
+            owner,
+            neighbors,
+            table,
+            total_phases: sim_snap::get_u64(doc, "total_phases")? as usize,
+            current_phase: sim_snap::get_u64(doc, "current_phase")? as usize,
+            pending: decode_tables(sim_snap::get(doc, "pending")?, "pending")?,
+            future,
+            radius: sim_snap::get_u64(doc, "radius")? as usize,
+        })
     }
 }
 

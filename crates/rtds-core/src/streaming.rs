@@ -32,11 +32,15 @@
 
 use crate::messages::RtdsMsg;
 use crate::node::RtdsNode;
+use crate::snapshot::{self as snap, STREAM_SNAPSHOT_SCHEMA};
 use crate::system::RtdsSystem;
 use rtds_graph::{Job, JobId};
 use rtds_metrics::{MetricsRegistry, Scope};
 use rtds_net::SiteId;
 use rtds_sim::engine::ArrivalSource;
+use rtds_sim::json::Json;
+use rtds_sim::snapshot as sim_snap;
+use rtds_sim::snapshot::SnapshotError;
 use rtds_sim::stats::{GuaranteeStats, SimStats};
 use rtds_sim::Simulator;
 use std::collections::BTreeMap;
@@ -135,6 +139,38 @@ impl StreamReport {
     pub fn deadline_misses(&self) -> u64 {
         self.guarantee.deadline_misses
     }
+}
+
+/// When a checkpointable streaming run should pause
+/// ([`RtdsSystem::run_streaming_checkpoint`]).
+///
+/// The pause is taken at the first *harvest boundary* at or past the given
+/// point, never mid-chunk — harvest boundaries are the only instants where
+/// the loop's state is fully explicit (no borrowed adapter, no half-drained
+/// plans), and their cadence is a pure function of the job stream, so the
+/// pause point is deterministic and resuming reproduces the uninterrupted
+/// run byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamPause {
+    /// Pause at the first harvest boundary with simulated time `>=` this.
+    AtTime(f64),
+    /// Pause at the first harvest boundary with at least this many engine
+    /// events processed.
+    AfterEvents(u64),
+}
+
+/// Outcome of [`RtdsSystem::run_streaming_checkpoint`]: either the run
+/// drained before reaching the pause point, or it paused and handed back a
+/// serialized `rtds-stream-snapshot/1` document for
+/// [`RtdsSystem::resume_streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamRun {
+    /// The run paused; the string is the checkpoint document.
+    Paused(String),
+    /// The workload drained to quiescence before the pause point. Boxed:
+    /// a report is an order of magnitude larger than the checkpoint
+    /// string's stack footprint.
+    Finished(Box<StreamReport>),
 }
 
 /// Per-job bookkeeping between injection and finalization.
@@ -281,6 +317,113 @@ fn harvest(sim: &mut Simulator<RtdsNode>, cutoff: f64, st: &mut HarvestState) {
     }
 }
 
+/// The harvest accumulators as a snapshot document fragment. All floats as
+/// bit patterns; the in-flight and completion tables in `BTreeMap` (job id)
+/// order, which is deterministic.
+fn encode_harvest(st: &HarvestState) -> Json {
+    Json::object(vec![
+        (
+            "inflight",
+            Json::Array(
+                st.inflight
+                    .iter()
+                    .map(|(id, p)| {
+                        Json::Array(vec![
+                            snap::encode_job_id(*id),
+                            sim_snap::f64_bits(p.arrival),
+                            sim_snap::f64_bits(p.deadline),
+                            Json::Bool(p.accepted),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "completions",
+            Json::Array(
+                st.completions
+                    .iter()
+                    .map(|(id, c)| {
+                        Json::Array(vec![snap::encode_job_id(*id), sim_snap::f64_bits(*c)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("injected", Json::UInt(st.injected)),
+        ("completed_on_time", Json::UInt(st.completed_on_time)),
+        ("misses", Json::UInt(st.misses)),
+        ("unharvested", Json::UInt(st.unharvested)),
+        ("slack_sum", sim_snap::f64_bits(st.slack_sum)),
+        ("slack_min", sim_snap::f64_bits(st.slack_min)),
+        ("peak_inflight", Json::UInt(st.peak_inflight)),
+        ("peak_plan", Json::UInt(st.peak_plan)),
+        ("peak_queue", Json::UInt(st.peak_queue)),
+        ("harvests", Json::UInt(st.harvests)),
+        ("metrics", sim_snap::encode_registry(&st.metrics)),
+    ])
+}
+
+/// Inverse of [`encode_harvest`].
+fn decode_harvest(doc: &Json) -> Result<HarvestState, SnapshotError> {
+    let mut inflight = BTreeMap::new();
+    for row in sim_snap::get_items(doc, "inflight")? {
+        let cells = sim_snap::as_items(row, "inflight row")?;
+        if cells.len() != 4 {
+            return Err(SnapshotError(format!(
+                "inflight row has {} cells, want 4",
+                cells.len()
+            )));
+        }
+        let accepted = match &cells[3] {
+            Json::Bool(b) => *b,
+            other => {
+                return Err(SnapshotError(format!(
+                    "inflight accepted flag is {other:?}, want bool"
+                )))
+            }
+        };
+        inflight.insert(
+            snap::decode_job_id(&cells[0], "inflight job id")?,
+            Pending {
+                arrival: sim_snap::f64_from_bits(&cells[1], "inflight arrival")?,
+                deadline: sim_snap::f64_from_bits(&cells[2], "inflight deadline")?,
+                accepted,
+            },
+        );
+    }
+    let mut completions = BTreeMap::new();
+    for row in sim_snap::get_items(doc, "completions")? {
+        let cells = sim_snap::as_items(row, "completion row")?;
+        if cells.len() != 2 {
+            return Err(SnapshotError(format!(
+                "completion row has {} cells, want 2",
+                cells.len()
+            )));
+        }
+        completions.insert(
+            snap::decode_job_id(&cells[0], "completion job id")?,
+            sim_snap::f64_from_bits(&cells[1], "completion time")?,
+        );
+    }
+    let mut metrics = MetricsRegistry::new();
+    sim_snap::decode_registry_into(&mut metrics, sim_snap::get(doc, "metrics")?)?;
+    Ok(HarvestState {
+        inflight,
+        completions,
+        injected: sim_snap::get_u64(doc, "injected")?,
+        completed_on_time: sim_snap::get_u64(doc, "completed_on_time")?,
+        misses: sim_snap::get_u64(doc, "misses")?,
+        unharvested: sim_snap::get_u64(doc, "unharvested")?,
+        slack_sum: sim_snap::get_f64(doc, "slack_sum")?,
+        slack_min: sim_snap::get_f64(doc, "slack_min")?,
+        peak_inflight: sim_snap::get_u64(doc, "peak_inflight")?,
+        peak_plan: sim_snap::get_u64(doc, "peak_plan")?,
+        peak_queue: sim_snap::get_u64(doc, "peak_queue")?,
+        harvests: sim_snap::get_u64(doc, "harvests")?,
+        metrics,
+    })
+}
+
 impl RtdsSystem {
     /// Runs an open-loop workload to exhaustion and quiescence, pulling each
     /// job from `source` only when the clock reaches its arrival and
@@ -296,17 +439,99 @@ impl RtdsSystem {
         source: &mut dyn JobSource,
         options: &StreamOptions,
     ) -> StreamReport {
+        let mut buffered = source.next_job();
+        let mut st = HarvestState {
+            slack_min: f64::INFINITY,
+            ..HarvestState::default()
+        };
+        let paused = self.drive_streaming(source, options, &mut st, &mut buffered, None);
+        debug_assert!(!paused, "no pause requested");
+        self.finish_streaming(source, st)
+    }
+
+    /// Like [`RtdsSystem::run_streaming`], but pauses at the first harvest
+    /// boundary past `pause` and returns the serialized checkpoint
+    /// (`rtds-stream-snapshot/1`). If the workload drains first, the run
+    /// finishes normally — a finishing run is never truncated into a pause.
+    ///
+    /// Feeding the checkpoint and a **fresh instance of the same job
+    /// source** to [`RtdsSystem::resume_streaming`] yields a
+    /// [`StreamReport`] byte-identical to the uninterrupted run's.
+    pub fn run_streaming_checkpoint(
+        &mut self,
+        source: &mut dyn JobSource,
+        options: &StreamOptions,
+        pause: &StreamPause,
+    ) -> StreamRun {
+        let mut buffered = source.next_job();
+        let mut st = HarvestState {
+            slack_min: f64::INFINITY,
+            ..HarvestState::default()
+        };
+        if self.drive_streaming(source, options, &mut st, &mut buffered, Some(pause)) {
+            StreamRun::Paused(self.stream_checkpoint_doc(options, &st, &buffered).render())
+        } else {
+            StreamRun::Finished(Box::new(self.finish_streaming(source, st)))
+        }
+    }
+
+    /// Resumes a run paused by [`RtdsSystem::run_streaming_checkpoint`] and
+    /// drives it to completion. `source` must be a fresh instance of the
+    /// source the paused run used: the resume discards the jobs the paused
+    /// run already pulled (re-accumulating the source's own telemetry
+    /// identically) and continues from the serialized look-ahead job, so the
+    /// source must be deterministic — which every `rtds-workload` generator
+    /// and trace replayer is.
+    pub fn resume_streaming(
+        text: &str,
+        source: &mut dyn JobSource,
+    ) -> Result<StreamReport, SnapshotError> {
+        let doc = Json::parse(text)
+            .map_err(|e| SnapshotError(format!("stream checkpoint does not parse: {e:?}")))?;
+        let schema = sim_snap::as_str(sim_snap::get(&doc, "schema")?, "schema")?;
+        if schema != STREAM_SNAPSHOT_SCHEMA {
+            return Err(SnapshotError(format!(
+                "unsupported stream snapshot schema {schema:?}, want {STREAM_SNAPSHOT_SCHEMA:?}"
+            )));
+        }
+        let options = StreamOptions {
+            harvest_interval: sim_snap::get_f64(&doc, "harvest_interval")?,
+        };
+        let pulls = sim_snap::get_u64(&doc, "pulls")?;
+        let mut buffered = match sim_snap::get(&doc, "buffered")? {
+            Json::Null => None,
+            job => Some(snap::decode_job(job)?),
+        };
+        let mut st = decode_harvest(sim_snap::get(&doc, "harvest")?)?;
+        let mut system = RtdsSystem::resume_doc(sim_snap::get(&doc, "system")?)?;
+        // Fast-forward the fresh source past everything the paused run
+        // pulled (the one-ahead look-ahead plus one pull per injected job).
+        for _ in 0..pulls {
+            source.next_job();
+        }
+        let paused = system.drive_streaming(source, &options, &mut st, &mut buffered, None);
+        debug_assert!(!paused, "no pause requested");
+        Ok(system.finish_streaming(source, st))
+    }
+
+    /// The harvest loop shared by the plain, checkpointing and resuming
+    /// paths. Returns `true` when it stopped at a pause point (state fully
+    /// captured in `st` and `buffered`), `false` when the run drained to
+    /// quiescence or hit the event cap.
+    fn drive_streaming(
+        &mut self,
+        source: &mut dyn JobSource,
+        options: &StreamOptions,
+        st: &mut HarvestState,
+        buffered: &mut Option<Job>,
+        pause: Option<&StreamPause>,
+    ) -> bool {
         assert!(
             options.harvest_interval.is_finite() && options.harvest_interval > 0.0,
             "harvest interval must be positive and finite, got {}",
             options.harvest_interval
         );
         let site_count = self.network().site_count();
-        let mut buffered = source.next_job();
-        let mut st = HarvestState {
-            slack_min: f64::INFINITY,
-            ..HarvestState::default()
-        };
         loop {
             let target = match buffered.as_ref() {
                 // Chunk to the harvest cadence, but never stall short of the
@@ -318,7 +543,7 @@ impl RtdsSystem {
             {
                 let mut adapter = StreamAdapter {
                     source,
-                    buffered: &mut buffered,
+                    buffered,
                     inflight: &mut st.inflight,
                     injected: &mut st.injected,
                     peak_inflight: &mut st.peak_inflight,
@@ -327,16 +552,65 @@ impl RtdsSystem {
                 self.sim_mut().run_streaming(&mut adapter, target);
             }
             let now = self.sim().now();
-            harvest(self.sim_mut(), now, &mut st);
+            harvest(self.sim_mut(), now, st);
             let quiescent = self.sim().queue_len() == 0;
             if buffered.is_none() && quiescent {
-                break;
+                return false;
             }
             if self.sim().events_processed() == before {
                 // No progress with work left: the event cap was reached.
-                break;
+                return false;
+            }
+            // Pause only after the termination checks: a run that would
+            // finish inside this chunk finishes instead of pausing.
+            if let Some(pause) = pause {
+                let reached = match *pause {
+                    StreamPause::AtTime(t) => self.sim().now() >= t,
+                    StreamPause::AfterEvents(n) => self.sim().events_processed() >= n,
+                };
+                if reached {
+                    return true;
+                }
             }
         }
+    }
+
+    /// The paused loop as a `rtds-stream-snapshot/1` document: the loop's
+    /// own accumulators plus the full system checkpoint. `pulls` counts
+    /// calls to [`JobSource::next_job`] so far (the initial look-ahead plus
+    /// one per injected job) — resume discards that many jobs from a fresh
+    /// source.
+    fn stream_checkpoint_doc(
+        &self,
+        options: &StreamOptions,
+        st: &HarvestState,
+        buffered: &Option<Job>,
+    ) -> Json {
+        Json::object(vec![
+            ("schema", Json::str(STREAM_SNAPSHOT_SCHEMA)),
+            (
+                "harvest_interval",
+                sim_snap::f64_bits(options.harvest_interval),
+            ),
+            ("pulls", Json::UInt(1 + st.injected)),
+            (
+                "buffered",
+                match buffered {
+                    Some(job) => snap::encode_job(job),
+                    None => Json::Null,
+                },
+            ),
+            ("harvest", encode_harvest(st)),
+            ("system", self.checkpoint_doc()),
+        ])
+    }
+
+    /// Final harvest and report assembly, shared by every streaming path.
+    fn finish_streaming(
+        &mut self,
+        source: &mut dyn JobSource,
+        mut st: HarvestState,
+    ) -> StreamReport {
         // Final pass: drain every remaining reservation and settle every
         // remaining job (reservations may extend past the last event time).
         harvest(self.sim_mut(), f64::INFINITY, &mut st);

@@ -9,12 +9,16 @@
 use crate::config::RtdsConfig;
 use crate::messages::RtdsMsg;
 use crate::node::{GlobalDistances, RtdsNode};
+use crate::snapshot::{self as snap, SYSTEM_SNAPSHOT_SCHEMA};
 use rtds_graph::{Job, JobId};
 use rtds_metrics::MetricsRegistry;
 use rtds_net::dijkstra::all_pairs_shortest_paths;
 use rtds_net::{Network, SiteId};
 use rtds_sched::executor;
 use rtds_sched::SchedulePlan;
+use rtds_sim::json::Json;
+use rtds_sim::snapshot as sim_snap;
+use rtds_sim::snapshot::SnapshotError;
 use rtds_sim::stats::{GuaranteeStats, SimStats};
 use rtds_sim::{FaultEvent, Simulator, Trace};
 use serde::{Deserialize, Serialize};
@@ -91,7 +95,6 @@ pub struct RtdsSystem {
     sim: Simulator<RtdsNode>,
     /// `(job, arrival site, arrival time, deadline)` of every submission.
     submitted: Vec<(JobId, usize, f64, f64)>,
-    #[allow(dead_code)]
     seed: u64,
 }
 
@@ -227,6 +230,135 @@ impl RtdsSystem {
     /// Mutable engine access for the streaming execution path.
     pub(crate) fn sim_mut(&mut self) -> &mut Simulator<RtdsNode> {
         &mut self.sim
+    }
+
+    /// Enables the engine-level ordering log: the next `capacity` processed
+    /// events record their `(time, class, seq)` dispatch triple (see
+    /// [`rtds_sim::engine::Simulator::enable_order_log`]).
+    pub fn enable_order_log(&mut self, capacity: usize) {
+        self.sim.enable_order_log(capacity);
+    }
+
+    /// The ordering triples recorded so far.
+    pub fn order_log(&self) -> &[(f64, u8, u64)] {
+        self.sim.order_log()
+    }
+
+    /// Serializes the complete system state — engine, nodes, workload
+    /// bookkeeping — as a deterministic JSON document
+    /// (`rtds-system-snapshot/1`). [`RtdsSystem::resume`] rebuilds a system
+    /// that continues the run event-for-event identically, so a checkpointed
+    /// run's final report is byte-identical to an uninterrupted one. Trace
+    /// recorders, profiling and the ordering log are observability surfaces
+    /// and restart disabled (see [`rtds_sim::snapshot`]).
+    pub fn checkpoint(&self) -> String {
+        self.checkpoint_doc().render()
+    }
+
+    /// The checkpoint as a JSON document (used by the streaming checkpoint,
+    /// which wraps it with the harvest-loop state).
+    pub(crate) fn checkpoint_doc(&self) -> Json {
+        let submitted: Vec<Json> = self
+            .submitted
+            .iter()
+            .map(|(job, site, arrival, deadline)| {
+                Json::Array(vec![
+                    snap::encode_job_id(*job),
+                    Json::UInt(*site as u64),
+                    sim_snap::f64_bits(*arrival),
+                    sim_snap::f64_bits(*deadline),
+                ])
+            })
+            .collect();
+        // The exact-distance table is shared by every node; serialize it
+        // once, verbatim — faults may have mutated the topology since
+        // construction, so recomputing it on restore would diverge.
+        let global = self
+            .sim
+            .nodes()
+            .next()
+            .and_then(|n| n.global_distances().cloned());
+        let global_doc = match &global {
+            Some(dist) => Json::Array(
+                dist.iter()
+                    .map(|row| Json::Array(row.iter().map(|&d| sim_snap::f64_bits(d)).collect()))
+                    .collect(),
+            ),
+            None => Json::Null,
+        };
+        Json::object(vec![
+            ("schema", Json::str(SYSTEM_SNAPSHOT_SCHEMA)),
+            ("seed", Json::UInt(self.seed)),
+            ("submitted", Json::Array(submitted)),
+            ("global_distances", global_doc),
+            (
+                "engine",
+                sim_snap::snapshot_engine(
+                    &self.sim,
+                    |_, node| node.encode_snapshot(),
+                    snap::encode_msg,
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a system from a document written by
+    /// [`RtdsSystem::checkpoint`].
+    pub fn resume(text: &str) -> Result<RtdsSystem, SnapshotError> {
+        let doc = Json::parse(text)
+            .map_err(|e| SnapshotError(format!("checkpoint does not parse: {e:?}")))?;
+        Self::resume_doc(&doc)
+    }
+
+    /// [`RtdsSystem::resume`] over an already-parsed document.
+    pub(crate) fn resume_doc(doc: &Json) -> Result<RtdsSystem, SnapshotError> {
+        let schema = sim_snap::as_str(sim_snap::get(doc, "schema")?, "schema")?;
+        if schema != SYSTEM_SNAPSHOT_SCHEMA {
+            return Err(SnapshotError(format!(
+                "unsupported system snapshot schema {schema:?} (expected {SYSTEM_SNAPSHOT_SCHEMA:?})"
+            )));
+        }
+        let global: Option<GlobalDistances> = match sim_snap::get(doc, "global_distances")? {
+            Json::Null => None,
+            rows => Some(Arc::new(
+                sim_snap::as_items(rows, "global_distances")?
+                    .iter()
+                    .map(|row| {
+                        sim_snap::as_items(row, "distance row")?
+                            .iter()
+                            .map(|d| sim_snap::f64_from_bits(d, "distance"))
+                            .collect::<Result<Vec<f64>, SnapshotError>>()
+                    })
+                    .collect::<Result<Vec<Vec<f64>>, SnapshotError>>()?,
+            )),
+        };
+        let submitted = sim_snap::get_items(doc, "submitted")?
+            .iter()
+            .map(|entry| {
+                let fields = sim_snap::as_items(entry, "submission")?;
+                if fields.len() != 4 {
+                    return Err(SnapshotError(
+                        "submission: expected [job, site, arrival, deadline]".into(),
+                    ));
+                }
+                Ok((
+                    snap::decode_job_id(&fields[0], "submission job")?,
+                    sim_snap::as_u64(&fields[1], "submission site")? as usize,
+                    sim_snap::f64_from_bits(&fields[2], "submission arrival")?,
+                    sim_snap::f64_from_bits(&fields[3], "submission deadline")?,
+                ))
+            })
+            .collect::<Result<Vec<(JobId, usize, f64, f64)>, SnapshotError>>()?;
+        let sim = sim_snap::restore_engine(
+            sim_snap::get(doc, "engine")?,
+            |_, node_doc| RtdsNode::decode_snapshot(node_doc, global.clone()),
+            snap::decode_msg,
+        )?;
+        Ok(RtdsSystem {
+            sim,
+            submitted,
+            seed: sim_snap::get_u64(doc, "seed")?,
+        })
     }
 
     /// Runs the simulation to quiescence and produces the report.

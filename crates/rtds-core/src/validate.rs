@@ -12,10 +12,14 @@
 
 use crate::matching::{matching_size, maximum_bipartite_matching_csr, with_matching_workspace};
 use crate::messages::TaskSpec;
+use crate::snapshot as snap;
 use rtds_graph::JobId;
 use rtds_net::SiteId;
 use rtds_sched::feasibility::{satisfiable, TaskRequest};
 use rtds_sched::SchedulePlan;
+use rtds_sim::json::Json;
+use rtds_sim::snapshot as sim_snap;
+use rtds_sim::snapshot::SnapshotError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -105,6 +109,66 @@ impl ValidationRound {
     /// Number of replies still missing.
     pub fn outstanding(&self) -> usize {
         self.expected.len() - self.replies.len()
+    }
+
+    /// Serializes the round (snapshot support; see [`crate::snapshot`]).
+    pub(crate) fn encode_snapshot(&self) -> Json {
+        Json::object(vec![
+            ("logical_count", Json::UInt(self.logical_count as u64)),
+            (
+                "expected",
+                Json::Array(
+                    self.expected
+                        .iter()
+                        .map(|&s| snap::encode_site(s))
+                        .collect(),
+                ),
+            ),
+            (
+                "replies",
+                Json::Array(
+                    self.replies
+                        .iter()
+                        .map(|(site, endorsable)| {
+                            Json::Array(vec![
+                                snap::encode_site(*site),
+                                Json::Array(
+                                    endorsable.iter().map(|&i| Json::UInt(i as u64)).collect(),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Inverse of [`ValidationRound::encode_snapshot`].
+    pub(crate) fn decode_snapshot(doc: &Json) -> Result<Self, SnapshotError> {
+        let mut replies = BTreeMap::new();
+        for entry in sim_snap::get_items(doc, "replies")? {
+            let pair = sim_snap::as_items(entry, "validation reply")?;
+            if pair.len() != 2 {
+                return Err(SnapshotError(
+                    "validation reply: expected [site, endorsable]".into(),
+                ));
+            }
+            replies.insert(
+                snap::decode_site(&pair[0], "reply site")?,
+                sim_snap::as_items(&pair[1], "reply endorsable")?
+                    .iter()
+                    .map(|i| Ok(sim_snap::as_u64(i, "endorsable index")? as usize))
+                    .collect::<Result<Vec<usize>, SnapshotError>>()?,
+            );
+        }
+        Ok(ValidationRound {
+            logical_count: sim_snap::get_u64(doc, "logical_count")? as usize,
+            expected: sim_snap::get_items(doc, "expected")?
+                .iter()
+                .map(|s| snap::decode_site(s, "expected site"))
+                .collect::<Result<Vec<SiteId>, SnapshotError>>()?,
+            replies,
+        })
     }
 
     /// Computes the §10 maximum coupling and extracts the permutation.

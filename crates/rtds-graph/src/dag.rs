@@ -51,6 +51,10 @@ impl std::fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// One task's adjacency: the `(neighbor, edge data)` pairs in insertion
+/// order (which is semantic — see [`TaskGraph::raw_adjacency`]).
+pub type EdgeList = Vec<(TaskId, EdgeData)>;
+
 /// A directed acyclic graph of tasks with precedence constraints.
 ///
 /// Tasks are stored densely and addressed by [`TaskId`]. Predecessor and
@@ -137,6 +141,36 @@ impl TaskGraph {
         self.preds[succ.0].push((pred, data));
         self.edge_count += 1;
         Ok(())
+    }
+
+    /// The raw `(succs, preds)` adjacency, exposed for snapshot
+    /// serialization. Per-list **insertion order** is semantic (scheduling
+    /// and message fan-out iterate these lists in order), and the two views
+    /// interleave edges differently when edges were not added in
+    /// source-major order — so a faithful snapshot must capture both lists
+    /// verbatim rather than re-derive one from the other.
+    pub fn raw_adjacency(&self) -> (&[EdgeList], &[EdgeList]) {
+        (&self.succs, &self.preds)
+    }
+
+    /// Rebuilds a graph from tasks plus the adjacency captured by
+    /// [`TaskGraph::raw_adjacency`]. The two views must describe the same
+    /// edge set; the edge count is recomputed from `succs`.
+    pub fn from_raw_parts(tasks: Vec<Task>, succs: Vec<EdgeList>, preds: Vec<EdgeList>) -> Self {
+        assert_eq!(tasks.len(), succs.len(), "one successor list per task");
+        assert_eq!(tasks.len(), preds.len(), "one predecessor list per task");
+        let edge_count = succs.iter().map(Vec::len).sum::<usize>();
+        debug_assert_eq!(
+            edge_count,
+            preds.iter().map(Vec::len).sum::<usize>(),
+            "succs and preds must describe the same edge set"
+        );
+        TaskGraph {
+            tasks,
+            succs,
+            preds,
+            edge_count,
+        }
     }
 
     /// Number of tasks `|T|`.

@@ -202,6 +202,24 @@ impl Histogram {
         }
     }
 
+    /// The raw state `(count, min, max, buckets)` — the exact internal
+    /// representation, including the `±inf` min/max sentinels of an empty
+    /// histogram. Snapshot path: [`Histogram::from_raw_parts`] rebuilds a
+    /// bit-identical histogram from these values.
+    pub fn raw_parts(&self) -> (u64, f64, f64, &[u64; BUCKET_COUNT]) {
+        (self.count, self.min, self.max, &self.buckets)
+    }
+
+    /// Rebuilds a histogram from state captured by [`Histogram::raw_parts`].
+    pub fn from_raw_parts(count: u64, min: f64, max: f64, buckets: [u64; BUCKET_COUNT]) -> Self {
+        Histogram {
+            count,
+            min,
+            max,
+            buckets,
+        }
+    }
+
     /// The non-empty buckets as `(upper_bound, count)` pairs, in value
     /// order (exposed for tests and custom exports).
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {

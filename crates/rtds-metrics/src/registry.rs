@@ -66,22 +66,126 @@ impl Gauge {
     }
 }
 
+/// Open-addressed `(name ptr, name len) → slot` cache backing the counter
+/// hot path. Every counter name in the workspace is a `&'static str`
+/// literal, so its address is stable for the life of the process and can
+/// key a hash lookup with no byte comparison at all on a hit. Distinct
+/// literals with equal content (possible across codegen units) simply
+/// occupy two cache entries pointing at the same slot — the canonical
+/// name→slot map resolves content equality on the one-time miss path.
+#[derive(Debug, Clone, Default)]
+struct CounterIndex {
+    /// `(ptr, len, slot)`; `ptr == 0` marks an empty bucket (no real
+    /// `&'static str` has address zero). Length is a power of two.
+    buckets: Vec<(usize, u32, u32)>,
+    len: usize,
+}
+
+impl CounterIndex {
+    #[inline]
+    fn bucket_mask(&self) -> usize {
+        self.buckets.len() - 1
+    }
+
+    #[inline]
+    fn probe_start(&self, ptr: usize) -> usize {
+        // Fibonacci hashing on the address; low bits of static addresses
+        // are alignment-biased, the multiply spreads them.
+        let h = (ptr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.bucket_mask()
+    }
+
+    #[inline]
+    fn get(&self, ptr: usize, len: u32) -> Option<u32> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.bucket_mask();
+        let mut i = self.probe_start(ptr);
+        loop {
+            let (p, l, slot) = self.buckets[i];
+            if p == ptr && l == len {
+                return Some(slot);
+            }
+            if p == 0 {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, ptr: usize, len: u32, slot: u32) {
+        // Keep load below 1/2 so hit probes stay short.
+        if self.buckets.len() < 2 * (self.len + 1) {
+            let new_cap = (self.buckets.len() * 2).max(64);
+            let old = std::mem::replace(&mut self.buckets, vec![(0, 0, 0); new_cap]);
+            for (p, l, s) in old {
+                if p != 0 {
+                    self.insert_raw(p, l, s);
+                }
+            }
+        }
+        if self.insert_raw(ptr, len, slot) {
+            self.len += 1;
+        }
+    }
+
+    /// Inserts without growing; returns `false` if the key was present.
+    fn insert_raw(&mut self, ptr: usize, len: u32, slot: u32) -> bool {
+        let mask = self.bucket_mask();
+        let mut i = self.probe_start(ptr);
+        while self.buckets[i].0 != 0 {
+            if self.buckets[i].0 == ptr && self.buckets[i].1 == len {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+        self.buckets[i] = (ptr, len, slot);
+        true
+    }
+}
+
 /// The registry of named instruments (see the module docs).
 ///
 /// Global counters — the by-far hottest instrument (several bumps per
-/// protocol message) — live in a flat single-level map, exactly the
-/// structure the pre-metrics `SimStats` used, so the per-message cost is
-/// one ordered-map walk. The rarer scoped counters, and the cold gauges
-/// and histograms, use nested per-scope maps.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// protocol message) — live in a dense `Vec<u64>` of slots. A bump is a
+/// pointer-keyed cache hit (`CounterIndex`) plus one array add; the
+/// ordered name→slot map is consulted only the first time each name (by
+/// address) is seen and for exports, which iterate it in name order so
+/// every rendering stays deterministic. The rarer scoped counters, and
+/// the cold gauges and histograms, use nested per-scope maps.
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    /// `Scope::Global` counters (the hot path).
-    counters: BTreeMap<&'static str, u64>,
+    /// `Scope::Global` counter values, indexed by slot (creation order).
+    counter_slots: Vec<u64>,
+    /// Canonical name → slot map; iteration order is export order.
+    counter_names: BTreeMap<&'static str, usize>,
+    /// Hot-path address cache (derived state, never compared).
+    counter_index: CounterIndex,
     /// Non-global counters only (`add_scoped` with `Global` routes to the
-    /// flat map, keeping the representation canonical).
+    /// flat slots, keeping the representation canonical).
     scoped_counters: BTreeMap<&'static str, BTreeMap<Scope, u64>>,
     gauges: BTreeMap<&'static str, BTreeMap<Scope, Gauge>>,
     histograms: BTreeMap<&'static str, BTreeMap<Scope, Histogram>>,
+}
+
+impl PartialEq for MetricsRegistry {
+    /// Equality compares name → value (slot numbering and the address
+    /// cache are representation details that differ between registries
+    /// whose counters were first touched in different orders).
+    fn eq(&self, other: &Self) -> bool {
+        self.counter_names.len() == other.counter_names.len()
+            && self.counter_names.iter().all(|(name, &slot)| {
+                other
+                    .counter_names
+                    .get(name)
+                    .map(|&o| other.counter_slots[o])
+                    == Some(self.counter_slots[slot])
+            })
+            && self.scoped_counters == other.scoped_counters
+            && self.gauges == other.gauges
+            && self.histograms == other.histograms
+    }
 }
 
 impl MetricsRegistry {
@@ -92,7 +196,7 @@ impl MetricsRegistry {
 
     /// Whether no instrument was ever touched.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.counter_names.is_empty()
             && self.scoped_counters.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
@@ -100,10 +204,41 @@ impl MetricsRegistry {
 
     // ----- counters -------------------------------------------------------
 
-    /// Adds to a global counter, creating it at zero if needed. One flat
-    /// map walk — this is the per-protocol-message hot path.
+    /// Adds to a global counter, creating it at zero if needed. One
+    /// address-cache probe plus one array add — this is the
+    /// per-protocol-message hot path.
+    #[inline]
     pub fn add(&mut self, name: &'static str, amount: u64) {
-        *self.counters.entry(name).or_insert(0) += amount;
+        let ptr = name.as_ptr() as usize;
+        let len = name.len() as u32;
+        if let Some(slot) = self.counter_index.get(ptr, len) {
+            self.counter_slots[slot as usize] += amount;
+        } else {
+            self.add_miss(name, amount);
+        }
+    }
+
+    /// Cache-miss half of [`MetricsRegistry::add`]: resolve (or create)
+    /// the canonical slot, then remember this address for next time.
+    #[cold]
+    fn add_miss(&mut self, name: &'static str, amount: u64) {
+        let slot = self.counter_slot(name);
+        self.counter_index
+            .insert(name.as_ptr() as usize, name.len() as u32, slot as u32);
+        self.counter_slots[slot] += amount;
+    }
+
+    /// Slot of a global counter in the canonical map, creating it at zero.
+    fn counter_slot(&mut self, name: &'static str) -> usize {
+        match self.counter_names.get(name) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.counter_slots.len();
+                self.counter_slots.push(0);
+                self.counter_names.insert(name, slot);
+                slot
+            }
+        }
     }
 
     /// Adds to a scoped counter.
@@ -121,9 +256,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// Value of a global counter by canonical-name lookup (zero if never
+    /// touched).
+    fn global_counter(&self, name: &str) -> u64 {
+        self.counter_names
+            .get(name)
+            .map(|&slot| self.counter_slots[slot])
+            .unwrap_or(0)
+    }
+
     /// Total of a counter across all scopes (zero if never touched).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.global_counter(name)
             + self
                 .scoped_counters
                 .get(name)
@@ -134,7 +278,7 @@ impl MetricsRegistry {
     /// Value of one scoped counter entry (zero if never touched).
     pub fn counter_scoped(&self, name: &str, scope: Scope) -> u64 {
         match scope {
-            Scope::Global => self.counters.get(name).copied().unwrap_or(0),
+            Scope::Global => self.global_counter(name),
             scope => self
                 .scoped_counters
                 .get(name)
@@ -143,16 +287,31 @@ impl MetricsRegistry {
         }
     }
 
+    /// The global (unscoped) counters in name order — the raw state behind
+    /// [`MetricsRegistry::counter_families`], exposed for snapshotting.
+    pub fn global_counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counter_names
+            .iter()
+            .map(|(name, &slot)| (*name, self.counter_slots[slot]))
+    }
+
+    /// The non-global counter families in name order, for snapshotting.
+    pub fn scoped_counter_families(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &BTreeMap<Scope, u64>)> {
+        self.scoped_counters.iter().map(|(k, v)| (*k, v))
+    }
+
     /// All counter families in name order: `(name, per-scope values)` with
     /// the scopes of each name in `Scope` order (`Global` first). Export
     /// path — allocates the merged view.
     pub fn counter_families(&self) -> Vec<(&'static str, Vec<(Scope, u64)>)> {
         let mut families: BTreeMap<&'static str, Vec<(Scope, u64)>> = BTreeMap::new();
-        for (name, value) in &self.counters {
+        for (name, &slot) in &self.counter_names {
             families
                 .entry(name)
                 .or_default()
-                .push((Scope::Global, *value));
+                .push((Scope::Global, self.counter_slots[slot]));
         }
         for (name, scopes) in &self.scoped_counters {
             let family = families.entry(name).or_default();
@@ -181,6 +340,13 @@ impl MetricsRegistry {
                 peak: f64::NEG_INFINITY,
             })
             .set(value);
+    }
+
+    /// Restores a gauge entry verbatim (snapshot path — unlike
+    /// [`MetricsRegistry::gauge_set_scoped`] this can install a `last`
+    /// below the recorded `peak`).
+    pub fn gauge_restore(&mut self, name: &'static str, scope: Scope, gauge: Gauge) {
+        self.gauges.entry(name).or_default().insert(scope, gauge);
     }
 
     /// A gauge merged across all its scopes (None if never set).
@@ -226,6 +392,14 @@ impl MetricsRegistry {
             .record(value);
     }
 
+    /// Restores a histogram entry verbatim (snapshot path).
+    pub fn histogram_restore(&mut self, name: &'static str, scope: Scope, histogram: Histogram) {
+        self.histograms
+            .entry(name)
+            .or_default()
+            .insert(scope, histogram);
+    }
+
     /// A histogram merged across all its scopes (empty if never recorded).
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut merged = Histogram::new();
@@ -257,8 +431,9 @@ impl MetricsRegistry {
     /// maxima, histograms merge bucket-wise. Associative and commutative,
     /// with the empty registry as identity.
     pub fn merge(&mut self, other: &MetricsRegistry) {
-        for (name, value) in &other.counters {
-            *self.counters.entry(name).or_insert(0) += value;
+        for (name, &slot) in &other.counter_names {
+            let mine = self.counter_slot(name);
+            self.counter_slots[mine] += other.counter_slots[slot];
         }
         for (name, scopes) in &other.scoped_counters {
             let mine = self.scoped_counters.entry(name).or_default();
@@ -372,6 +547,37 @@ mod tests {
         let mut with_empty = ab.clone();
         with_empty.merge(&MetricsRegistry::new());
         assert_eq!(with_empty, ab);
+    }
+
+    #[test]
+    fn equality_ignores_slot_creation_order() {
+        // Same final counts reached through different first-touch orders:
+        // slot numbering differs, registries must still compare equal.
+        let mut a = MetricsRegistry::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = MetricsRegistry::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.add("x", 1);
+        assert_ne!(a, b);
+        // Many distinct names: exercises index growth past the initial
+        // table size and the canonical fallback.
+        const NAMES: [&str; 20] = [
+            "n00", "n01", "n02", "n03", "n04", "n05", "n06", "n07", "n08", "n09", "n10", "n11",
+            "n12", "n13", "n14", "n15", "n16", "n17", "n18", "n19",
+        ];
+        let mut m = MetricsRegistry::new();
+        for round in 1..=100u64 {
+            for name in NAMES {
+                m.add(name, round);
+            }
+        }
+        for name in NAMES {
+            assert_eq!(m.counter(name), 5050);
+        }
+        assert_eq!(m.counter_families().len(), NAMES.len());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct RoutingTable {
     entries: Vec<Option<RouteEntry>>,
     /// Number of `Some` entries (known destinations).
     known: usize,
+    /// Bumped on every entry improvement (not part of table equality; used
+    /// by [`RoutingTable::merge_from_neighbor`] to report change).
+    version: u64,
 }
 
 impl PartialEq for RoutingTable {
@@ -62,6 +65,7 @@ impl RoutingTable {
             owner,
             entries: vec![None; capacity],
             known: 0,
+            version: 0,
         };
         table.set(RouteEntry {
             destination: owner,
@@ -90,6 +94,23 @@ impl RoutingTable {
             self.known += 1;
         }
         self.entries[idx] = Some(entry);
+    }
+
+    /// Rebuilds a table from route lines captured by
+    /// [`RoutingTable::entries`]. The change-tracking version restarts at
+    /// zero — it is transient merge bookkeeping, not part of table
+    /// equality.
+    pub fn from_entries(owner: SiteId, entries: impl IntoIterator<Item = RouteEntry>) -> Self {
+        let mut table = RoutingTable {
+            owner,
+            entries: Vec::new(),
+            known: 0,
+            version: 0,
+        };
+        for entry in entries {
+            table.set(entry);
+        }
+        table
     }
 
     /// The site owning this table.
@@ -151,7 +172,25 @@ impl RoutingTable {
         link_delay: f64,
         lines: &[RouteEntry],
     ) -> bool {
-        let mut changed = false;
+        let before = self.version;
+        self.merge_tracked(neighbor, link_delay, lines, &mut Vec::new());
+        self.version != before
+    }
+
+    /// [`RoutingTable::merge_from_neighbor`], additionally appending the
+    /// destination of every line that improved to `improved` (possibly with
+    /// duplicates across calls — callers sort and dedup). This is the
+    /// tracking half of the classical delta optimisation: a line that did
+    /// not improve in a phase was already broadcast at its current value in
+    /// an earlier phase, so re-sending it is provably a no-op for every
+    /// neighbor and the next broadcast can carry only the improved lines.
+    pub fn merge_tracked(
+        &mut self,
+        neighbor: SiteId,
+        link_delay: f64,
+        lines: &[RouteEntry],
+        improved: &mut Vec<SiteId>,
+    ) {
         for line in lines {
             let dest = line.destination;
             if dest == self.owner {
@@ -173,10 +212,10 @@ impl RoutingTable {
             };
             if better {
                 self.set(candidate);
-                changed = true;
+                self.version += 1;
+                improved.push(dest);
             }
         }
-        changed
     }
 
     /// Snapshot of the route lines, suitable for inclusion in a routing-update

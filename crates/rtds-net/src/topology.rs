@@ -71,10 +71,14 @@ impl std::error::Error for NetworkError {}
 /// layer — the topology only records connectivity and delays, plus an
 /// optional per-site relative *computing power* used by the §13
 /// uniform-machines extension (1.0 for the identical-machines base model).
+/// One site's adjacency: `(neighbor, delay)` pairs in insertion order
+/// (which is semantic — see [`Network::raw_adjacency`]).
+pub type NeighborList = Vec<(SiteId, f64)>;
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Network {
     /// `adjacency[i]` lists `(neighbor, delay)` pairs in insertion order.
-    adjacency: Vec<Vec<(SiteId, f64)>>,
+    adjacency: Vec<NeighborList>,
     /// Relative computing power of every site (1.0 = reference speed).
     speeds: Vec<f64>,
     link_count: usize,
@@ -87,6 +91,40 @@ impl Network {
             adjacency: vec![Vec::new(); n],
             speeds: vec![1.0; n],
             link_count: 0,
+        }
+    }
+
+    /// The raw adjacency lists, in per-site insertion order, plus the
+    /// per-site speeds. Insertion order is semantic — neighbor iteration
+    /// (and therefore protocol broadcast order) follows it — so a snapshot
+    /// must capture the lists verbatim rather than re-adding links.
+    pub fn raw_adjacency(&self) -> (&[NeighborList], &[f64]) {
+        (&self.adjacency, &self.speeds)
+    }
+
+    /// Rebuilds a network from raw adjacency lists captured by
+    /// [`Network::raw_adjacency`]. The lists must be symmetric (every
+    /// `(b, d)` in `adjacency[a]` has a matching `(a, d)` in
+    /// `adjacency[b]`); the link count is recomputed from them.
+    ///
+    /// # Panics
+    /// Panics if `speeds` and `adjacency` disagree on the site count or if
+    /// the directed edge count is odd (asymmetric lists).
+    pub fn from_raw_adjacency(adjacency: Vec<NeighborList>, speeds: Vec<f64>) -> Self {
+        assert_eq!(
+            adjacency.len(),
+            speeds.len(),
+            "adjacency and speeds must cover the same sites"
+        );
+        let directed: usize = adjacency.iter().map(Vec::len).sum();
+        assert!(
+            directed % 2 == 0,
+            "adjacency lists must be symmetric (got {directed} directed edges)"
+        );
+        Network {
+            adjacency,
+            speeds,
+            link_count: directed / 2,
         }
     }
 

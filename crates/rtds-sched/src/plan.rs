@@ -79,6 +79,21 @@ impl SchedulePlan {
         SchedulePlan::default()
     }
 
+    /// Rebuilds a plan from reservations captured by
+    /// [`SchedulePlan::reservations`].
+    ///
+    /// # Panics
+    /// Panics if the reservations are not in start-time order — the order
+    /// is an invariant every query relies on, and a snapshot written by
+    /// this crate always satisfies it.
+    pub fn from_reservations(reservations: Vec<Reservation>) -> Self {
+        assert!(
+            reservations.windows(2).all(|w| w[0].start <= w[1].start),
+            "reservations must be sorted by start time"
+        );
+        SchedulePlan { reservations }
+    }
+
     /// Committed reservations in start-time order.
     pub fn reservations(&self) -> &[Reservation] {
         &self.reservations

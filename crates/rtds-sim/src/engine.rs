@@ -7,8 +7,9 @@
 //! the end-to-end delay supplied by the caller — routing decisions themselves
 //! belong to the protocol, as in the paper).
 
-use crate::event::{EventPayload, EventQueue};
+use crate::event::{Event, EventPayload};
 use crate::faults::{FaultEvent, FaultState};
+use crate::queue::CalendarQueue;
 use crate::stats::SimStats;
 use crate::trace::{SpanId, Trace, TraceEvent, TracePayload};
 use rtds_metrics::Scope;
@@ -249,12 +250,16 @@ pub struct EngineProfile {
     pub wall: [Duration; 4],
 }
 
+/// The engine-level ordering trace: the recorded `(time, class_rank, seq)`
+/// dispatch triples plus the recording capacity.
+type OrderLog = (Vec<(f64, u8, u64)>, usize);
+
 /// The discrete-event simulator: a network, one protocol instance per site,
 /// an event queue and accumulated statistics.
 pub struct Simulator<P: Protocol> {
     network: Network,
     nodes: Vec<P>,
-    queue: EventQueue<P::Msg>,
+    queue: CalendarQueue<P::Msg>,
     now: f64,
     started: bool,
     stats: SimStats,
@@ -272,6 +277,12 @@ pub struct Simulator<P: Protocol> {
     profiling: bool,
     dispatch_counts: [u64; 4],
     wall_by_class: [Duration; 4],
+    /// Reused buffer for batched same-timestamp dispatch.
+    batch_scratch: Vec<Event<P::Msg>>,
+    /// When set, the engine appends the `(time, class_rank, seq)` ordering
+    /// triple of every dispatched event until the capacity is reached —
+    /// the engine-level ordering trace behind `tests/determinism.rs`.
+    order_log: Option<OrderLog>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -282,7 +293,7 @@ impl<P: Protocol> Simulator<P> {
     pub fn new(network: Network, mut factory: impl FnMut(SiteId) -> P) -> Self {
         let nodes: Vec<P> = network.sites().map(&mut factory).collect();
         let faults = FaultState::new(nodes.len(), 0);
-        let queue = EventQueue::with_capacity(4 * network.link_count() + 16);
+        let queue = CalendarQueue::with_capacity(4 * network.link_count() + 16);
         Simulator {
             network,
             nodes,
@@ -298,7 +309,26 @@ impl<P: Protocol> Simulator<P> {
             profiling: false,
             dispatch_counts: [0; 4],
             wall_by_class: [Duration::ZERO; 4],
+            batch_scratch: Vec::new(),
+            order_log: None,
         }
+    }
+
+    /// Starts recording the `(time, class_rank, seq)` ordering triple of
+    /// every dispatched event, up to `capacity` entries. A queue-order
+    /// regression then fails with a pinpointed triple diff instead of a
+    /// byte-mismatch blob in the final report.
+    pub fn enable_order_log(&mut self, capacity: usize) {
+        self.order_log = Some((Vec::with_capacity(capacity.min(1 << 20)), capacity));
+    }
+
+    /// The ordering triples recorded so far (empty unless
+    /// [`Simulator::enable_order_log`] was called).
+    pub fn order_log(&self) -> &[(f64, u8, u64)] {
+        self.order_log
+            .as_ref()
+            .map(|(v, _)| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Enables structured tracing as a bounded flight recorder (a ring of
@@ -437,6 +467,58 @@ impl<P: Protocol> Simulator<P> {
         &self.faults
     }
 
+    /// The pending-event queue (snapshot serialization reads it with
+    /// `for_each_sorted`).
+    pub(crate) fn queue(&self) -> &CalendarQueue<P::Msg> {
+        &self.queue
+    }
+
+    /// Whether the per-site `on_start` wave already ran.
+    pub(crate) fn started(&self) -> bool {
+        self.started
+    }
+
+    /// The configured event cap.
+    pub(crate) fn max_events(&self) -> u64 {
+        self.max_events
+    }
+
+    /// Rebuilds a simulator from restored state (see `crate::snapshot`).
+    /// Trace recording, profiling and the order log restart disabled — they
+    /// are observability surfaces, not simulation state.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_restored(
+        network: Network,
+        nodes: Vec<P>,
+        queue: CalendarQueue<P::Msg>,
+        now: f64,
+        started: bool,
+        stats: SimStats,
+        faults: FaultState,
+        max_events: u64,
+        events_processed: u64,
+        dispatch_counts: [u64; 4],
+    ) -> Self {
+        Simulator {
+            network,
+            nodes,
+            queue,
+            now,
+            started,
+            stats,
+            trace: Trace::disabled(),
+            faults,
+            max_events,
+            events_processed,
+            outgoing_scratch: Vec::new(),
+            profiling: false,
+            dispatch_counts,
+            wall_by_class: [Duration::ZERO; 4],
+            batch_scratch: Vec::new(),
+            order_log: None,
+        }
+    }
+
     fn ensure_started(&mut self) {
         if self.started {
             return;
@@ -457,7 +539,7 @@ impl<P: Protocol> Simulator<P> {
     /// `horizon`. Returns the final simulated time.
     pub fn run_until(&mut self, horizon: f64) -> f64 {
         self.ensure_started();
-        while self.process_next_event(horizon) {}
+        while self.process_next_batch(horizon) {}
         self.now
     }
 
@@ -505,17 +587,22 @@ impl<P: Protocol> Simulator<P> {
                     EventPayload::External { message: msg },
                 );
             }
-            if !self.process_next_event(horizon) {
+            if !self.process_next_batch(horizon) {
                 break;
             }
         }
         self.now
     }
 
-    /// Pops and dispatches the earliest event if it fires at or before
-    /// `horizon` and the event cap is not exhausted. Returns whether an
-    /// event was processed.
-    fn process_next_event(&mut self, horizon: f64) -> bool {
+    /// Pops and dispatches every event sharing the earliest pending
+    /// timestamp, if that timestamp is at or before `horizon` and the
+    /// event cap is not exhausted. The batch is drained from the calendar
+    /// queue in one pass (amortizing the ordering machinery), then
+    /// dispatched in `(class, seq)` order — the exact order the old
+    /// per-event loop produced, because events scheduled *by* the batch
+    /// carry higher sequence numbers and join the next batch. Returns
+    /// whether any event was processed.
+    fn process_next_batch(&mut self, horizon: f64) -> bool {
         {
             let Some(next_time) = self.queue.peek_time() else {
                 return false;
@@ -526,65 +613,82 @@ impl<P: Protocol> Simulator<P> {
             if self.events_processed >= self.max_events {
                 return false;
             }
-            let event = self.queue.pop().expect("peeked event exists");
-            self.events_processed += 1;
-            debug_assert!(event.time + 1e-9 >= self.now, "time went backwards");
+            let budget = (self.max_events - self.events_processed).min(usize::MAX as u64) as usize;
+            let mut batch = std::mem::take(&mut self.batch_scratch);
+            self.queue.pop_batch(&mut batch, budget);
+            debug_assert!(!batch.is_empty());
             let prev_now = self.now;
-            self.now = self.now.max(event.time);
-            let class = match &event.payload {
-                EventPayload::Deliver { .. } => 0usize,
-                EventPayload::External { .. } => 1,
-                EventPayload::Timer { .. } => 2,
-                EventPayload::Fault { .. } => 3,
-            };
-            self.dispatch_counts[class] += 1;
-            // Wall timers only when profiling: `Instant::now` is a syscall on
-            // some platforms and the result is nondeterministic anyway.
-            let wall_start = if self.profiling {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            let target = event.target;
-            match event.payload {
-                EventPayload::Deliver { from, message } => {
-                    if self.faults.site_is_down(target) {
-                        self.stats.add("sim_dropped_site_down", 1);
-                    } else {
-                        self.stats.messages_delivered += 1;
-                        self.dispatch_with_ctx(target, |node, ctx| {
-                            node.on_message(from, message, ctx)
-                        });
+            self.now = self.now.max(next_time);
+            let mut first = true;
+            for event in batch.drain(..) {
+                self.events_processed += 1;
+                debug_assert!(event.time + 1e-9 >= prev_now, "time went backwards");
+                if let Some((log, cap)) = self.order_log.as_mut() {
+                    if log.len() < *cap {
+                        log.push((event.time, event.payload.class_rank(), event.seq));
                     }
                 }
-                EventPayload::External { message } => {
-                    if self.faults.site_is_down(target) {
-                        self.stats.add("sim_dropped_arrival_site_down", 1);
-                    } else {
-                        self.dispatch_with_ctx(target, |node, ctx| {
-                            node.on_message(target, message, ctx)
-                        });
+                let class = match &event.payload {
+                    EventPayload::Deliver { .. } => 0usize,
+                    EventPayload::External { .. } => 1,
+                    EventPayload::Timer { .. } => 2,
+                    EventPayload::Fault { .. } => 3,
+                };
+                self.dispatch_counts[class] += 1;
+                // Wall timers only when profiling: `Instant::now` is a
+                // syscall on some platforms and the result is
+                // nondeterministic anyway.
+                let wall_start = if self.profiling {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let target = event.target;
+                match event.payload {
+                    EventPayload::Deliver { from, message } => {
+                        if self.faults.site_is_down(target) {
+                            self.stats.add("sim_dropped_site_down", 1);
+                        } else {
+                            self.stats.messages_delivered += 1;
+                            self.dispatch_with_ctx(target, |node, ctx| {
+                                node.on_message(from, message, ctx)
+                            });
+                        }
+                    }
+                    EventPayload::External { message } => {
+                        if self.faults.site_is_down(target) {
+                            self.stats.add("sim_dropped_arrival_site_down", 1);
+                        } else {
+                            self.dispatch_with_ctx(target, |node, ctx| {
+                                node.on_message(target, message, ctx)
+                            });
+                        }
+                    }
+                    EventPayload::Timer { timer_id } => {
+                        if self.faults.site_is_down(target) {
+                            self.stats.add("sim_dropped_timer_site_down", 1);
+                        } else {
+                            self.dispatch_with_ctx(target, |node, ctx| {
+                                node.on_timer(timer_id, ctx)
+                            });
+                        }
+                    }
+                    EventPayload::Fault { fault } => {
+                        self.stats.add("sim_fault_events", 1);
+                        self.faults.apply(fault, &mut self.network);
                     }
                 }
-                EventPayload::Timer { timer_id } => {
-                    if self.faults.site_is_down(target) {
-                        self.stats.add("sim_dropped_timer_site_down", 1);
-                    } else {
-                        self.dispatch_with_ctx(target, |node, ctx| node.on_timer(timer_id, ctx));
-                    }
+                if let Some(start) = wall_start {
+                    self.wall_by_class[class] += start.elapsed();
+                    let scope = Scope::Phase(class as u32);
+                    let advance = if first { self.now - prev_now } else { 0.0 };
+                    let metrics = self.stats.metrics_mut();
+                    metrics.add_scoped("engine_dispatch", scope, 1);
+                    metrics.record_scoped("engine_time_advance", scope, advance);
                 }
-                EventPayload::Fault { fault } => {
-                    self.stats.add("sim_fault_events", 1);
-                    self.faults.apply(fault, &mut self.network);
-                }
+                first = false;
             }
-            if let Some(start) = wall_start {
-                self.wall_by_class[class] += start.elapsed();
-                let scope = Scope::Phase(class as u32);
-                let metrics = self.stats.metrics_mut();
-                metrics.add_scoped("engine_dispatch", scope, 1);
-                metrics.record_scoped("engine_time_advance", scope, self.now - prev_now);
-            }
+            self.batch_scratch = batch;
         }
         true
     }

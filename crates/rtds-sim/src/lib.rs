@@ -55,6 +55,8 @@ pub mod event;
 pub mod faults;
 pub mod json;
 pub mod metrics_json;
+pub mod queue;
+pub mod snapshot;
 pub mod stats;
 pub mod trace;
 
@@ -64,6 +66,8 @@ pub use event::{Event, EventPayload};
 pub use faults::{FaultEvent, FaultState};
 pub use json::Json;
 pub use metrics_json::{metrics_to_json, summary_to_json};
+pub use queue::{CalendarQueue, EventId};
 pub use rtds_metrics::{Gauge, Histogram, HistogramSummary, MetricsRegistry, Scope};
+pub use snapshot::{restore_engine, snapshot_engine, SnapshotError, ENGINE_SNAPSHOT_SCHEMA};
 pub use stats::{GuaranteeStats, SimStats};
 pub use trace::{Phase, SpanId, Trace, TraceEvent, TracePayload, TraceSink};

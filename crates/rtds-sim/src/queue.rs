@@ -1,0 +1,701 @@
+//! The slab-backed calendar queue behind [`crate::engine::Simulator`].
+//!
+//! [`crate::event::EventQueue`] (a `BinaryHeap<Event<M>>`) defines the
+//! engine's total order: events pop by `(time, class, seq)` — time
+//! ascending, then [`EventPayload::class_rank`] (faults before externals
+//! before deliveries/timers), then insertion sequence. That structure moves
+//! whole `Event<M>` values (≈ 100 bytes for the production message type)
+//! on every sift, and costs `O(log n)` comparisons per operation.
+//!
+//! [`CalendarQueue`] keeps the *identical* pop order while making the hot
+//! loop allocation-free and mostly `O(1)`:
+//!
+//! * **Packed keys.** Each pending event is a 128-bit key
+//!   `time_bits(time) << 64 | class_rank << 62 | seq`, where `time_bits`
+//!   is the standard IEEE-754 total-order mapping (flip all bits of
+//!   negatives, set the sign bit of non-negatives, normalize `-0.0` to
+//!   `+0.0`). Unsigned comparison of keys is exactly the
+//!   `(time, class, seq)` order of the heap — the differential suite in
+//!   `tests/event_core.rs` pins this against the retained heap oracle.
+//! * **Slab payloads.** Payloads live in a slab of reusable slots; the
+//!   priority structure only ever moves `(u128, u32)` pairs. Slots are
+//!   recycled through a free list, and every slot carries a generation
+//!   counter so a stale [`EventId`] (cancelled, or already delivered) can
+//!   never reach a recycled payload.
+//! * **Calendar buckets.** Future keys are binned by
+//!   `floor(time / width)` into a bounded window of buckets
+//!   (`NUM_BUCKETS`); the earliest bucket is kept as a small binary
+//!   min-heap (the *serving* set), and keys beyond the window wait in an
+//!   overflow list. When the window is exhausted the calendar re-anchors
+//!   on the overflow and re-tunes the bucket width from the observed time
+//!   span — all of it a pure function of the push/pop history, so runs
+//!   stay deterministic.
+//!
+//! Why the pop order cannot depend on the calendar layout: `bucket_of` is
+//! a monotone function of time, so every key in a future bucket has a
+//! strictly greater time than every key in the serving set, and keys with
+//! equal times always land in the same bucket, where the serving heap
+//! orders them by the packed key. The snapshot layer
+//! ([`crate::snapshot`]) relies on this: a snapshot stores only the sorted
+//! event list (not the bucket layout), and a restored queue — whatever
+//! width it re-tunes to — pops the same sequence.
+
+use crate::event::{Event, EventPayload};
+use rtds_net::SiteId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of calendar buckets in the active window. Keys further than
+/// `NUM_BUCKETS × width` ahead of the serving bucket wait in the overflow
+/// list until the calendar re-anchors.
+const NUM_BUCKETS: i64 = 512;
+
+/// Lower bound for the re-tuned bucket width (guards against a degenerate
+/// zero-span overflow collapsing the calendar).
+const MIN_WIDTH: f64 = 1e-9;
+
+/// Handle to a pending event in the slab (index + generation). A handle
+/// goes stale as soon as the event is delivered or cancelled; stale
+/// handles are rejected by [`CalendarQueue::cancel`] and can never observe
+/// a recycled slot's new payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId {
+    index: u32,
+    gen: u32,
+}
+
+/// One slab slot: either a pending event or a link in the free list.
+#[derive(Debug, Clone)]
+enum Slot<M> {
+    Occupied {
+        gen: u32,
+        seq: u64,
+        time: f64,
+        target: SiteId,
+        payload: EventPayload<M>,
+    },
+    Free {
+        gen: u32,
+        next_free: u32,
+    },
+}
+
+/// Maps a finite `f64` timestamp to a `u64` whose unsigned order is the
+/// numeric order (IEEE-754 total-order trick; `-0.0` normalized to `+0.0`
+/// so the two zeros compare equal, exactly as the heap's `partial_cmp`
+/// treats them).
+#[inline]
+fn time_bits(time: f64) -> u64 {
+    let time = if time == 0.0 { 0.0 } else { time };
+    let bits = time.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// Packs `(time, class, seq)` into the 128-bit comparison key.
+#[inline]
+fn pack_key(time: f64, class: u8, seq: u64) -> u128 {
+    debug_assert!(seq < (1 << 62), "event sequence space exhausted");
+    ((time_bits(time) as u128) << 64) | ((class as u128) << 62) | seq as u128
+}
+
+/// The slab-backed calendar queue. Generic over the protocol message type
+/// `M`; see the module docs for the design.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<M> {
+    slab: Vec<Slot<M>>,
+    free_head: u32,
+    /// Pending (not cancelled, not delivered) events.
+    live: usize,
+    next_seq: u64,
+    /// Keys due in the current serving bucket (or earlier), as a min-heap.
+    serving: BinaryHeap<Reverse<(u128, u32)>>,
+    /// Consecutive buckets after the serving one: `buckets[i]` holds keys
+    /// with `bucket_of(time) == cur_bucket + 1 + i`, unsorted.
+    buckets: std::collections::VecDeque<Vec<(u128, u32)>>,
+    /// Recycled bucket vectors (keeps steady-state pushes allocation-free).
+    spare: Vec<Vec<(u128, u32)>>,
+    /// Keys beyond the bucket window.
+    overflow: Vec<(u128, u32)>,
+    cur_bucket: i64,
+    /// Last bucket index of the current window (fixed at anchor time).
+    /// Every overflow key has a bucket index past `window_end`, so it is
+    /// strictly later than every bucketed key — even after `cur_bucket`
+    /// advances within the window.
+    window_end: i64,
+    width: f64,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl<M> CalendarQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CalendarQueue::with_capacity(0)
+    }
+
+    /// Creates an empty queue with slab space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CalendarQueue {
+            slab: Vec::with_capacity(capacity),
+            free_head: NO_SLOT,
+            live: 0,
+            next_seq: 0,
+            serving: BinaryHeap::with_capacity(64),
+            buckets: std::collections::VecDeque::new(),
+            spare: Vec::new(),
+            overflow: Vec::new(),
+            cur_bucket: 0,
+            window_end: NUM_BUCKETS,
+            width: 0.25,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The sequence number the next push will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Forces the sequence counter (snapshot restore only; panics if the
+    /// queue already handed out sequence numbers at or past `seq`).
+    pub fn set_next_seq(&mut self, seq: u64) {
+        assert!(
+            seq >= self.next_seq,
+            "set_next_seq would reuse sequence numbers"
+        );
+        self.next_seq = seq;
+    }
+
+    #[inline]
+    fn bucket_of(&self, time: f64) -> i64 {
+        (time / self.width).floor() as i64
+    }
+
+    fn alloc_slot(
+        &mut self,
+        seq: u64,
+        time: f64,
+        target: SiteId,
+        payload: EventPayload<M>,
+    ) -> EventId {
+        if self.free_head != NO_SLOT {
+            let index = self.free_head;
+            let (gen, next_free) = match self.slab[index as usize] {
+                Slot::Free { gen, next_free } => (gen, next_free),
+                Slot::Occupied { .. } => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            self.slab[index as usize] = Slot::Occupied {
+                gen,
+                seq,
+                time,
+                target,
+                payload,
+            };
+            EventId { index, gen }
+        } else {
+            let index = self.slab.len() as u32;
+            self.slab.push(Slot::Occupied {
+                gen: 0,
+                seq,
+                time,
+                target,
+                payload,
+            });
+            EventId { index, gen: 0 }
+        }
+    }
+
+    fn free_slot(&mut self, index: u32) {
+        let gen = match self.slab[index as usize] {
+            Slot::Occupied { gen, .. } => gen,
+            Slot::Free { .. } => unreachable!("double free of slab slot"),
+        };
+        self.slab[index as usize] = Slot::Free {
+            gen: gen.wrapping_add(1),
+            next_free: self.free_head,
+        };
+        self.free_head = index;
+    }
+
+    /// Files a packed key into the serving heap, a calendar bucket or the
+    /// overflow list.
+    fn file(&mut self, key: u128, slot: u32, time: f64) {
+        let b = self.bucket_of(time);
+        if b <= self.cur_bucket {
+            self.serving.push(Reverse((key, slot)));
+        } else if b <= self.window_end {
+            let idx = (b - self.cur_bucket - 1) as usize;
+            while self.buckets.len() <= idx {
+                let v = self.spare.pop().unwrap_or_default();
+                self.buckets.push_back(v);
+            }
+            self.buckets[idx].push((key, slot));
+        } else {
+            self.overflow.push((key, slot));
+        }
+    }
+
+    /// Schedules an event; the next sequence number is assigned
+    /// automatically (same contract as `EventQueue::push`). Returns a
+    /// handle usable with [`CalendarQueue::cancel`].
+    pub fn push(&mut self, time: f64, target: SiteId, payload: EventPayload<M>) -> EventId {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_with_seq(time, seq, target, payload)
+    }
+
+    /// Schedules an event under an explicit sequence number (snapshot
+    /// restore). Does not advance the automatic counter; callers must
+    /// finish with [`CalendarQueue::set_next_seq`].
+    pub fn push_raw(
+        &mut self,
+        time: f64,
+        seq: u64,
+        target: SiteId,
+        payload: EventPayload<M>,
+    ) -> EventId {
+        assert!(time.is_finite(), "event time must be finite, got {time}");
+        self.push_with_seq(time, seq, target, payload)
+    }
+
+    fn push_with_seq(
+        &mut self,
+        time: f64,
+        seq: u64,
+        target: SiteId,
+        payload: EventPayload<M>,
+    ) -> EventId {
+        let class = payload.class_rank();
+        let id = self.alloc_slot(seq, time, target, payload);
+        let key = pack_key(time, class, seq);
+        self.file(key, id.index, time);
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a pending event. Returns `true` if the handle was live (the
+    /// payload is dropped and the slot recycled); `false` if it was
+    /// already delivered, cancelled, or never valid.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self.slab.get(id.index as usize) {
+            Some(Slot::Occupied { gen, .. }) if *gen == id.gen => {
+                self.free_slot(id.index);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Discards stale serving keys and advances the calendar until the
+    /// serving heap holds the globally minimal live key (or the queue is
+    /// empty).
+    fn settle(&mut self) {
+        loop {
+            // Drop keys whose slab slot was cancelled (and possibly
+            // recycled under a different sequence number) since filing.
+            while let Some(&Reverse((key, slot))) = self.serving.peek() {
+                let seq = (key & ((1 << 62) - 1)) as u64;
+                let stale = !matches!(
+                    self.slab.get(slot as usize),
+                    Some(Slot::Occupied { seq: s, .. }) if *s == seq
+                );
+                if stale {
+                    self.serving.pop();
+                } else {
+                    return;
+                }
+            }
+            if self.live == 0 {
+                // Nothing pending anywhere; recycle bucket storage. The
+                // buckets and overflow may still hold stale keys from
+                // cancelled events — discard them.
+                while let Some(mut v) = self.buckets.pop_front() {
+                    v.clear();
+                    self.spare.push(v);
+                }
+                self.overflow.clear();
+                return;
+            }
+            if let Some(mut front) = self.buckets.pop_front() {
+                self.cur_bucket += 1;
+                self.serving.extend(front.drain(..).map(Reverse));
+                self.spare.push(front);
+            } else {
+                self.reanchor();
+            }
+        }
+    }
+
+    /// Re-anchors the calendar on the overflow list, re-tuning the bucket
+    /// width from the observed span (a pure function of the pending keys,
+    /// so deterministic).
+    fn reanchor(&mut self) {
+        debug_assert!(!self.overflow.is_empty());
+        let min_bits = (self.overflow.iter().map(|&(k, _)| k).min().unwrap() >> 64) as u64;
+        let max_bits = (self.overflow.iter().map(|&(k, _)| k).max().unwrap() >> 64) as u64;
+        let tmin = bits_time(min_bits);
+        let tmax = bits_time(max_bits);
+        if tmax > tmin {
+            self.width = ((tmax - tmin) / (NUM_BUCKETS as f64 / 2.0)).max(MIN_WIDTH);
+        }
+        self.cur_bucket = self.bucket_of(tmin);
+        self.window_end = self.cur_bucket.saturating_add(NUM_BUCKETS);
+        let pending = std::mem::take(&mut self.overflow);
+        for (key, slot) in pending {
+            let time = match self.slab.get(slot as usize) {
+                Some(Slot::Occupied { seq, time, .. })
+                    if *seq == (key & ((1 << 62) - 1)) as u64 =>
+                {
+                    *time
+                }
+                // Cancelled while waiting in the overflow: drop the key.
+                _ => continue,
+            };
+            self.file(key, slot, time);
+        }
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.settle();
+        let &Reverse((key, _)) = self.serving.peek()?;
+        Some(bits_time((key >> 64) as u64))
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.settle();
+        let Reverse((key, slot)) = self.serving.pop()?;
+        let seq = (key & ((1 << 62) - 1)) as u64;
+        let (time, target, payload) = self.take_slot(slot);
+        self.live -= 1;
+        Some(Event {
+            time,
+            seq,
+            target,
+            payload,
+        })
+    }
+
+    /// Pops every event sharing the earliest pending timestamp (bit-equal
+    /// times) into `batch`, up to `max` events. Events scheduled *during*
+    /// the batch's dispatch carry higher sequence numbers, so deferring
+    /// them to the next batch preserves the heap's pop order exactly.
+    pub fn pop_batch(&mut self, batch: &mut Vec<Event<M>>, max: usize) {
+        batch.clear();
+        if max == 0 {
+            return;
+        }
+        self.settle();
+        let Some(&Reverse((first_key, _))) = self.serving.peek() else {
+            return;
+        };
+        let batch_bits = (first_key >> 64) as u64;
+        while batch.len() < max {
+            match self.serving.peek() {
+                Some(&Reverse((key, _))) if (key >> 64) as u64 == batch_bits => {}
+                _ => break,
+            }
+            let Reverse((key, slot)) = self.serving.pop().expect("peeked key exists");
+            let seq = (key & ((1 << 62) - 1)) as u64;
+            // The serving heap only holds settled (non-stale) tops, but
+            // keys below the top may have gone stale since settling.
+            let fresh = matches!(
+                self.slab.get(slot as usize),
+                Some(Slot::Occupied { seq: s, .. }) if *s == seq
+            );
+            if !fresh {
+                continue;
+            }
+            let (time, target, payload) = self.take_slot(slot);
+            self.live -= 1;
+            batch.push(Event {
+                time,
+                seq,
+                target,
+                payload,
+            });
+        }
+    }
+
+    fn take_slot(&mut self, slot: u32) -> (f64, SiteId, EventPayload<M>) {
+        let gen = match &self.slab[slot as usize] {
+            Slot::Occupied { gen, .. } => *gen,
+            Slot::Free { .. } => unreachable!("popped key points at free slot"),
+        };
+        let taken = std::mem::replace(
+            &mut self.slab[slot as usize],
+            Slot::Free {
+                gen: gen.wrapping_add(1),
+                next_free: self.free_head,
+            },
+        );
+        self.free_head = slot;
+        match taken {
+            Slot::Occupied {
+                time,
+                target,
+                payload,
+                ..
+            } => (time, target, payload),
+            Slot::Free { .. } => unreachable!(),
+        }
+    }
+
+    /// Visits every pending event in pop order without disturbing the
+    /// queue: `(time, seq, target, payload)`. Snapshot serialization uses
+    /// this; restore re-pushes the list with [`CalendarQueue::push_raw`].
+    pub fn for_each_sorted(&self, mut f: impl FnMut(f64, u64, SiteId, &EventPayload<M>)) {
+        let mut keys: Vec<(u128, u32)> = Vec::with_capacity(self.live);
+        keys.extend(self.serving.iter().map(|&Reverse(p)| p));
+        for bucket in &self.buckets {
+            keys.extend(bucket.iter().copied());
+        }
+        keys.extend(self.overflow.iter().copied());
+        keys.sort_unstable();
+        for (key, slot) in keys {
+            let seq = (key & ((1 << 62) - 1)) as u64;
+            if let Some(Slot::Occupied {
+                seq: s,
+                time,
+                target,
+                payload,
+                ..
+            }) = self.slab.get(slot as usize)
+            {
+                if *s == seq {
+                    f(*time, seq, *target, payload);
+                }
+            }
+        }
+    }
+}
+
+impl<M> Default for CalendarQueue<M> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+/// Inverse of [`time_bits`].
+#[inline]
+fn bits_time(bits: u64) -> f64 {
+    if bits >> 63 == 1 {
+        f64::from_bits(bits ^ (1 << 63))
+    } else {
+        f64::from_bits(!bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+
+    fn payload(tag: u32) -> EventPayload<u32> {
+        EventPayload::External { message: tag }
+    }
+
+    #[test]
+    fn key_order_is_time_class_seq() {
+        let fault = pack_key(
+            1.0,
+            EventPayload::<u32>::Fault {
+                fault: crate::faults::FaultEvent::SiteDown { site: SiteId(0) },
+            }
+            .class_rank(),
+            5,
+        );
+        let external = pack_key(1.0, payload(0).class_rank(), 4);
+        let deliver = pack_key(
+            1.0,
+            EventPayload::Deliver {
+                from: SiteId(0),
+                message: 0u32,
+            }
+            .class_rank(),
+            3,
+        );
+        let later = pack_key(1.5, 0, 0);
+        assert!(fault < external && external < deliver && deliver < later);
+        // Equal time and class: sequence breaks the tie.
+        assert!(pack_key(1.0, 2, 7) < pack_key(1.0, 2, 8));
+        // Negative and zero timestamps order numerically; -0.0 == +0.0.
+        assert!(pack_key(-1.0, 0, 0) < pack_key(-0.5, 0, 0));
+        assert!(pack_key(-0.5, 0, 0) < pack_key(0.0, 0, 0));
+        assert_eq!(time_bits(-0.0), time_bits(0.0));
+        // The time mapping round-trips.
+        for t in [-3.5, -0.0, 0.0, 1e-300, 2.25, 1e12] {
+            assert_eq!(bits_time(time_bits(t)), if t == 0.0 { 0.0 } else { t });
+        }
+    }
+
+    #[test]
+    fn matches_heap_order_across_bucket_boundaries() {
+        let times = [
+            0.0, 0.1, 0.1, 5.0, 1000.0, 1000.0, 0.25, 3.75, 999.875, 0.1, 250.0, 0.5,
+        ];
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.push(t, SiteId(i % 3), payload(i as u32));
+            heap.push(t, SiteId(i % 3), payload(i as u32));
+        }
+        assert_eq!(cal.len(), heap.len());
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        (a.time, a.seq, a.target, a.payload),
+                        (b.time, b.seq, b.target, b.payload)
+                    );
+                }
+                (None, None) => break,
+                (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_reanchors() {
+        let mut cal = CalendarQueue::new();
+        let mut heap = EventQueue::new();
+        // Push far-future events (overflow), drain a little, then push
+        // near-term events, forcing re-anchor and width re-tuning.
+        for i in 0..50u32 {
+            let t = 1_000.0 + i as f64 * 17.0;
+            cal.push(t, SiteId(0), payload(i));
+            heap.push(t, SiteId(0), payload(i));
+        }
+        for _ in 0..10 {
+            let a = cal.pop().unwrap();
+            let b = heap.pop().unwrap();
+            assert_eq!((a.time, a.seq), (b.time, b.seq));
+        }
+        for i in 50..80u32 {
+            let t = 1_200.0 + (i as f64 - 50.0) * 0.001;
+            cal.push(t, SiteId(1), payload(i));
+            heap.push(t, SiteId(1), payload(i));
+        }
+        while let Some(b) = heap.pop() {
+            let a = cal.pop().unwrap();
+            assert_eq!((a.time, a.seq, a.payload), (b.time, b.seq, b.payload));
+        }
+        assert!(cal.is_empty());
+        assert_eq!(cal.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_prevents_delivery_and_recycles_slot() {
+        let mut cal = CalendarQueue::new();
+        let keep = cal.push(1.0, SiteId(0), payload(1));
+        let victim = cal.push(2.0, SiteId(0), payload(2));
+        assert_eq!(cal.len(), 2);
+        assert!(cal.cancel(victim));
+        assert!(!cal.cancel(victim), "second cancel is a no-op");
+        assert_eq!(cal.len(), 1);
+        // The slot is recycled; the stale handle must not cancel the new
+        // occupant.
+        let recycled = cal.push(3.0, SiteId(1), payload(3));
+        assert!(!cal.cancel(victim));
+        assert_eq!(cal.len(), 2);
+        let first = cal.pop().unwrap();
+        assert_eq!(first.payload, payload(1));
+        assert!(!cal.cancel(keep), "delivered events cannot be cancelled");
+        let second = cal.pop().unwrap();
+        assert_eq!(second.payload, payload(3));
+        assert!(cal.pop().is_none());
+        let _ = recycled;
+    }
+
+    #[test]
+    fn cancelled_overflow_keys_are_dropped_at_reanchor() {
+        let mut cal = CalendarQueue::new();
+        let far = cal.push(1_000_000.0, SiteId(0), payload(9));
+        cal.push(0.5, SiteId(0), payload(1));
+        assert!(cal.cancel(far));
+        assert_eq!(cal.pop().unwrap().payload, payload(1));
+        assert!(cal.pop().is_none());
+        assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_groups_equal_timestamps() {
+        let mut cal = CalendarQueue::new();
+        for i in 0..4u32 {
+            cal.push(1.0, SiteId(i as usize), payload(i));
+        }
+        cal.push(2.0, SiteId(0), payload(9));
+        let mut batch = Vec::new();
+        cal.pop_batch(&mut batch, usize::MAX);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            batch.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        cal.pop_batch(&mut batch, usize::MAX);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].time, 2.0);
+        cal.pop_batch(&mut batch, usize::MAX);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_respects_cap() {
+        let mut cal = CalendarQueue::new();
+        for i in 0..5u32 {
+            cal.push(1.0, SiteId(0), payload(i));
+        }
+        let mut batch = Vec::new();
+        cal.pop_batch(&mut batch, 2);
+        assert_eq!(batch.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(cal.len(), 3);
+        cal.pop_batch(&mut batch, 0);
+        assert!(batch.is_empty());
+        assert_eq!(cal.len(), 3);
+    }
+
+    #[test]
+    fn push_raw_and_for_each_sorted_round_trip() {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+        cal.push(2.0, SiteId(0), payload(0));
+        cal.push(1.0, SiteId(1), payload(1));
+        let cancelled = cal.push(1.5, SiteId(2), payload(2));
+        cal.cancel(cancelled);
+        let mut listed = Vec::new();
+        cal.for_each_sorted(|time, seq, target, p| listed.push((time, seq, target, p.clone())));
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].0, 1.0);
+        assert_eq!(listed[1].0, 2.0);
+
+        let mut restored: CalendarQueue<u32> = CalendarQueue::new();
+        for (time, seq, target, p) in &listed {
+            restored.push_raw(*time, *seq, *target, p.clone());
+        }
+        restored.set_next_seq(cal.next_seq());
+        assert_eq!(restored.next_seq(), 3);
+        let a = restored.pop().unwrap();
+        assert_eq!((a.time, a.seq), (1.0, 1));
+        let b = restored.pop().unwrap();
+        assert_eq!((b.time, b.seq), (2.0, 0));
+        // New pushes continue the original sequence space.
+        restored.push(5.0, SiteId(0), payload(9));
+        assert_eq!(restored.pop().unwrap().seq, 3);
+    }
+}

@@ -1,0 +1,928 @@
+//! Deterministic engine snapshot/restore (`rtds-engine-snapshot/1`).
+//!
+//! A snapshot captures everything the engine needs to continue a run with
+//! bit-identical behaviour: the pending-event queue (in pop order, with
+//! sequence numbers), the clock, the fault plane including the exact
+//! message-loss RNG position, the mutated topology (per-site adjacency
+//! **insertion order** is semantic — broadcast order follows it), the
+//! statistics registry and the dispatch counters. Protocol node state and
+//! wire messages are domain types the engine knows nothing about, so
+//! [`snapshot_engine`] / [`restore_engine`] take codec closures; the RTDS
+//! node codecs live in `rtds-core`.
+//!
+//! Deliberately **not** captured: trace recorders, the engine self-profile
+//! wall clocks and the ordering log. They are observability surfaces whose
+//! content is allowed to differ between an interrupted and an
+//! uninterrupted run; a restored engine restarts them disabled.
+//!
+//! Every `f64` is serialized as its IEEE-754 bit pattern (a JSON integer),
+//! so restore is exact by construction — including the `±inf` min/max
+//! sentinels of empty histograms, which the workspace's JSON layer would
+//! otherwise flatten to `null`.
+
+use crate::engine::{Protocol, Simulator};
+use crate::event::EventPayload;
+use crate::faults::{FaultEvent, FaultState};
+use crate::json::Json;
+use crate::queue::CalendarQueue;
+use crate::stats::SimStats;
+use rtds_metrics::{Gauge, Histogram, MetricsRegistry, Scope, BUCKET_COUNT};
+use rtds_net::{Network, SiteId};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Schema tag of the engine snapshot format.
+pub const ENGINE_SNAPSHOT_SCHEMA: &str = "rtds-engine-snapshot/1";
+
+/// Error raised when a snapshot document cannot be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err(message: impl Into<String>) -> SnapshotError {
+    SnapshotError(message.into())
+}
+
+// ----- field helpers -------------------------------------------------------
+
+/// Serializes an `f64` as its exact bit pattern.
+pub fn f64_bits(x: f64) -> Json {
+    Json::UInt(x.to_bits())
+}
+
+/// Inverse of [`f64_bits`].
+pub fn f64_from_bits(j: &Json, what: &str) -> Result<f64, SnapshotError> {
+    j.as_u64()
+        .map(f64::from_bits)
+        .ok_or_else(|| err(format!("{what}: expected f64 bit pattern")))
+}
+
+/// Looks up a required object field.
+pub fn get<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, SnapshotError> {
+    doc.get(key)
+        .ok_or_else(|| err(format!("missing field {key:?}")))
+}
+
+/// Looks up a required unsigned-integer field.
+pub fn get_u64(doc: &Json, key: &str) -> Result<u64, SnapshotError> {
+    get(doc, key)?
+        .as_u64()
+        .ok_or_else(|| err(format!("{key}: expected unsigned integer")))
+}
+
+/// Looks up a required bit-pattern-encoded `f64` field.
+pub fn get_f64(doc: &Json, key: &str) -> Result<f64, SnapshotError> {
+    f64_from_bits(get(doc, key)?, key)
+}
+
+/// Looks up a required boolean field.
+pub fn get_bool(doc: &Json, key: &str) -> Result<bool, SnapshotError> {
+    match get(doc, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(err(format!("{key}: expected bool"))),
+    }
+}
+
+/// Looks up a required array field.
+pub fn get_items<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], SnapshotError> {
+    get(doc, key)?
+        .items()
+        .ok_or_else(|| err(format!("{key}: expected array")))
+}
+
+/// Interprets a value as an unsigned integer.
+pub fn as_u64(j: &Json, what: &str) -> Result<u64, SnapshotError> {
+    j.as_u64()
+        .ok_or_else(|| err(format!("{what}: expected unsigned integer")))
+}
+
+/// Interprets a value as an array.
+pub fn as_items<'a>(j: &'a Json, what: &str) -> Result<&'a [Json], SnapshotError> {
+    j.items()
+        .ok_or_else(|| err(format!("{what}: expected array")))
+}
+
+/// Interprets a value as a string.
+pub fn as_str<'a>(j: &'a Json, what: &str) -> Result<&'a str, SnapshotError> {
+    j.as_str()
+        .ok_or_else(|| err(format!("{what}: expected string")))
+}
+
+// ----- name interning ------------------------------------------------------
+
+/// Process-wide intern table for instrument names read back from snapshots.
+/// The registry keys instruments by `&'static str`; a restored name is
+/// leaked exactly once per distinct string, so repeated restores in one
+/// process do not accumulate memory.
+static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+
+/// Returns a `&'static str` with the given content (leaked once per
+/// distinct name, process-wide).
+pub fn intern(name: &str) -> &'static str {
+    let mut table = INTERNED.lock().expect("intern table poisoned");
+    if let Some(&interned) = table.get(name) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.insert(name.to_owned(), leaked);
+    leaked
+}
+
+// ----- metrics -------------------------------------------------------------
+
+fn encode_scope(scope: Scope) -> Json {
+    match scope {
+        Scope::Global => Json::str("g"),
+        Scope::Phase(p) => Json::Array(vec![Json::str("p"), Json::UInt(p as u64)]),
+        Scope::Site(s) => Json::Array(vec![Json::str("s"), Json::UInt(s as u64)]),
+    }
+}
+
+fn decode_scope(j: &Json) -> Result<Scope, SnapshotError> {
+    if let Some("g") = j.as_str() {
+        return Ok(Scope::Global);
+    }
+    let parts = as_items(j, "scope")?;
+    if parts.len() != 2 {
+        return Err(err("scope: expected [kind, index]"));
+    }
+    let n = as_u64(&parts[1], "scope index")? as u32;
+    match as_str(&parts[0], "scope kind")? {
+        "p" => Ok(Scope::Phase(n)),
+        "s" => Ok(Scope::Site(n)),
+        other => Err(err(format!("scope: unknown kind {other:?}"))),
+    }
+}
+
+fn encode_histogram(h: &Histogram) -> Json {
+    let (count, min, max, buckets) = h.raw_parts();
+    let nonzero: Vec<Json> = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, &n)| Json::Array(vec![Json::UInt(i as u64), Json::UInt(n)]))
+        .collect();
+    Json::object(vec![
+        ("count", Json::UInt(count)),
+        ("min", f64_bits(min)),
+        ("max", f64_bits(max)),
+        ("buckets", Json::Array(nonzero)),
+    ])
+}
+
+fn decode_histogram(doc: &Json) -> Result<Histogram, SnapshotError> {
+    let mut buckets = [0u64; BUCKET_COUNT];
+    for entry in get_items(doc, "buckets")? {
+        let pair = as_items(entry, "histogram bucket")?;
+        if pair.len() != 2 {
+            return Err(err("histogram bucket: expected [index, count]"));
+        }
+        let index = as_u64(&pair[0], "bucket index")? as usize;
+        if index >= BUCKET_COUNT {
+            return Err(err(format!("bucket index {index} out of range")));
+        }
+        buckets[index] = as_u64(&pair[1], "bucket count")?;
+    }
+    Ok(Histogram::from_raw_parts(
+        get_u64(doc, "count")?,
+        get_f64(doc, "min")?,
+        get_f64(doc, "max")?,
+        buckets,
+    ))
+}
+
+/// Serializes a metrics registry (counters, scoped counters, gauges,
+/// histograms) with exact float bits.
+pub fn encode_registry(reg: &MetricsRegistry) -> Json {
+    let counters: Vec<Json> = reg
+        .global_counters()
+        .map(|(name, value)| Json::Array(vec![Json::str(name), Json::UInt(value)]))
+        .collect();
+    let scoped: Vec<Json> = reg
+        .scoped_counter_families()
+        .map(|(name, scopes)| {
+            let entries: Vec<Json> = scopes
+                .iter()
+                .map(|(s, v)| Json::Array(vec![encode_scope(*s), Json::UInt(*v)]))
+                .collect();
+            Json::Array(vec![Json::str(name), Json::Array(entries)])
+        })
+        .collect();
+    let gauges: Vec<Json> = reg
+        .gauge_families()
+        .map(|(name, scopes)| {
+            let entries: Vec<Json> = scopes
+                .iter()
+                .map(|(s, g)| {
+                    Json::Array(vec![encode_scope(*s), f64_bits(g.last), f64_bits(g.peak)])
+                })
+                .collect();
+            Json::Array(vec![Json::str(name), Json::Array(entries)])
+        })
+        .collect();
+    let histograms: Vec<Json> = reg
+        .histogram_families()
+        .map(|(name, scopes)| {
+            let entries: Vec<Json> = scopes
+                .iter()
+                .map(|(s, h)| Json::Array(vec![encode_scope(*s), encode_histogram(h)]))
+                .collect();
+            Json::Array(vec![Json::str(name), Json::Array(entries)])
+        })
+        .collect();
+    Json::object(vec![
+        ("counters", Json::Array(counters)),
+        ("scoped", Json::Array(scoped)),
+        ("gauges", Json::Array(gauges)),
+        ("histograms", Json::Array(histograms)),
+    ])
+}
+
+/// Restores a registry serialized by [`encode_registry`] into `reg`
+/// (which should be empty).
+pub fn decode_registry_into(reg: &mut MetricsRegistry, doc: &Json) -> Result<(), SnapshotError> {
+    for entry in get_items(doc, "counters")? {
+        let pair = as_items(entry, "counter")?;
+        if pair.len() != 2 {
+            return Err(err("counter: expected [name, value]"));
+        }
+        reg.add(
+            intern(as_str(&pair[0], "counter name")?),
+            as_u64(&pair[1], "counter value")?,
+        );
+    }
+    for entry in get_items(doc, "scoped")? {
+        let pair = as_items(entry, "scoped counter")?;
+        if pair.len() != 2 {
+            return Err(err("scoped counter: expected [name, entries]"));
+        }
+        let name = intern(as_str(&pair[0], "scoped counter name")?);
+        for scoped in as_items(&pair[1], "scoped counter entries")? {
+            let sv = as_items(scoped, "scoped counter entry")?;
+            if sv.len() != 2 {
+                return Err(err("scoped counter entry: expected [scope, value]"));
+            }
+            reg.add_scoped(name, decode_scope(&sv[0])?, as_u64(&sv[1], "scoped value")?);
+        }
+    }
+    for entry in get_items(doc, "gauges")? {
+        let pair = as_items(entry, "gauge")?;
+        if pair.len() != 2 {
+            return Err(err("gauge: expected [name, entries]"));
+        }
+        let name = intern(as_str(&pair[0], "gauge name")?);
+        for scoped in as_items(&pair[1], "gauge entries")? {
+            let sv = as_items(scoped, "gauge entry")?;
+            if sv.len() != 3 {
+                return Err(err("gauge entry: expected [scope, last, peak]"));
+            }
+            let gauge = Gauge {
+                last: f64_from_bits(&sv[1], "gauge last")?,
+                peak: f64_from_bits(&sv[2], "gauge peak")?,
+            };
+            reg.gauge_restore(name, decode_scope(&sv[0])?, gauge);
+        }
+    }
+    for entry in get_items(doc, "histograms")? {
+        let pair = as_items(entry, "histogram")?;
+        if pair.len() != 2 {
+            return Err(err("histogram: expected [name, entries]"));
+        }
+        let name = intern(as_str(&pair[0], "histogram name")?);
+        for scoped in as_items(&pair[1], "histogram entries")? {
+            let sv = as_items(scoped, "histogram entry")?;
+            if sv.len() != 2 {
+                return Err(err("histogram entry: expected [scope, state]"));
+            }
+            reg.histogram_restore(name, decode_scope(&sv[0])?, decode_histogram(&sv[1])?);
+        }
+    }
+    Ok(())
+}
+
+// ----- stats ---------------------------------------------------------------
+
+/// Serializes the engine statistics (message counters + registry).
+pub fn encode_stats(stats: &SimStats) -> Json {
+    Json::object(vec![
+        ("messages_sent", Json::UInt(stats.messages_sent)),
+        ("messages_delivered", Json::UInt(stats.messages_delivered)),
+        ("metrics", encode_registry(stats.metrics())),
+    ])
+}
+
+/// Inverse of [`encode_stats`].
+pub fn decode_stats(doc: &Json) -> Result<SimStats, SnapshotError> {
+    let mut stats = SimStats::default();
+    stats.messages_sent = get_u64(doc, "messages_sent")?;
+    stats.messages_delivered = get_u64(doc, "messages_delivered")?;
+    decode_registry_into(stats.metrics_mut(), get(doc, "metrics")?)?;
+    Ok(stats)
+}
+
+// ----- topology ------------------------------------------------------------
+
+/// Serializes the (possibly fault-mutated) topology with its exact
+/// adjacency insertion order.
+pub fn encode_network(net: &Network) -> Json {
+    let (adjacency, speeds) = net.raw_adjacency();
+    let adjacency: Vec<Json> = adjacency
+        .iter()
+        .map(|neighbors| {
+            Json::Array(
+                neighbors
+                    .iter()
+                    .map(|(n, d)| Json::Array(vec![Json::UInt(n.0 as u64), f64_bits(*d)]))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::object(vec![
+        ("adjacency", Json::Array(adjacency)),
+        (
+            "speeds",
+            Json::Array(speeds.iter().map(|&s| f64_bits(s)).collect()),
+        ),
+    ])
+}
+
+/// Inverse of [`encode_network`].
+pub fn decode_network(doc: &Json) -> Result<Network, SnapshotError> {
+    let mut adjacency = Vec::new();
+    for site in get_items(doc, "adjacency")? {
+        let mut neighbors = Vec::new();
+        for link in as_items(site, "adjacency row")? {
+            let pair = as_items(link, "adjacency link")?;
+            if pair.len() != 2 {
+                return Err(err("adjacency link: expected [neighbor, delay]"));
+            }
+            neighbors.push((
+                SiteId(as_u64(&pair[0], "neighbor")? as usize),
+                f64_from_bits(&pair[1], "link delay")?,
+            ));
+        }
+        adjacency.push(neighbors);
+    }
+    let speeds = get_items(doc, "speeds")?
+        .iter()
+        .map(|s| f64_from_bits(s, "speed"))
+        .collect::<Result<Vec<f64>, SnapshotError>>()?;
+    if adjacency.len() != speeds.len() {
+        return Err(err("network: adjacency/speeds length mismatch"));
+    }
+    Ok(Network::from_raw_adjacency(adjacency, speeds))
+}
+
+// ----- faults --------------------------------------------------------------
+
+/// Serializes the fault plane, including the message-loss RNG position.
+pub fn encode_faults(faults: &FaultState) -> Json {
+    let (failed_links, down_sites, loss, rng) = faults.raw_parts();
+    let failed: Vec<Json> = failed_links
+        .iter()
+        .map(|(&(a, b), &delay)| {
+            Json::Array(vec![
+                Json::UInt(a as u64),
+                Json::UInt(b as u64),
+                f64_bits(delay),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("failed_links", Json::Array(failed)),
+        (
+            "down_sites",
+            Json::Array(down_sites.iter().map(|&d| Json::Bool(d)).collect()),
+        ),
+        ("loss_probability", f64_bits(loss)),
+        (
+            "rng",
+            Json::Array(rng.iter().map(|&w| Json::UInt(w)).collect()),
+        ),
+    ])
+}
+
+/// Inverse of [`encode_faults`].
+pub fn decode_faults(doc: &Json) -> Result<FaultState, SnapshotError> {
+    let mut failed_links = BTreeMap::new();
+    for link in get_items(doc, "failed_links")? {
+        let triple = as_items(link, "failed link")?;
+        if triple.len() != 3 {
+            return Err(err("failed link: expected [a, b, delay]"));
+        }
+        failed_links.insert(
+            (
+                as_u64(&triple[0], "failed link endpoint")? as usize,
+                as_u64(&triple[1], "failed link endpoint")? as usize,
+            ),
+            f64_from_bits(&triple[2], "failed link delay")?,
+        );
+    }
+    let down_sites = get_items(doc, "down_sites")?
+        .iter()
+        .map(|j| match j {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(err("down_sites: expected bool")),
+        })
+        .collect::<Result<Vec<bool>, SnapshotError>>()?;
+    let rng_words = get_items(doc, "rng")?;
+    if rng_words.len() != 4 {
+        return Err(err("rng: expected 4 state words"));
+    }
+    let mut rng = [0u64; 4];
+    for (slot, word) in rng.iter_mut().zip(rng_words) {
+        *slot = as_u64(word, "rng word")?;
+    }
+    Ok(FaultState::from_raw_parts(
+        failed_links,
+        down_sites,
+        get_f64(doc, "loss_probability")?,
+        rng,
+    ))
+}
+
+// ----- fault events (queue payloads) ---------------------------------------
+
+/// Serializes a scheduled perturbation.
+pub fn encode_fault_event(fault: &FaultEvent) -> Json {
+    match *fault {
+        FaultEvent::SetLinkDelay { a, b, delay } => Json::object(vec![
+            ("k", Json::str("delay")),
+            ("a", Json::UInt(a.0 as u64)),
+            ("b", Json::UInt(b.0 as u64)),
+            ("d", f64_bits(delay)),
+        ]),
+        FaultEvent::LinkDown { a, b } => Json::object(vec![
+            ("k", Json::str("link_down")),
+            ("a", Json::UInt(a.0 as u64)),
+            ("b", Json::UInt(b.0 as u64)),
+        ]),
+        FaultEvent::LinkUp { a, b } => Json::object(vec![
+            ("k", Json::str("link_up")),
+            ("a", Json::UInt(a.0 as u64)),
+            ("b", Json::UInt(b.0 as u64)),
+        ]),
+        FaultEvent::SiteDown { site } => Json::object(vec![
+            ("k", Json::str("site_down")),
+            ("s", Json::UInt(site.0 as u64)),
+        ]),
+        FaultEvent::SiteUp { site } => Json::object(vec![
+            ("k", Json::str("site_up")),
+            ("s", Json::UInt(site.0 as u64)),
+        ]),
+        FaultEvent::SetMessageLoss { probability } => {
+            Json::object(vec![("k", Json::str("loss")), ("p", f64_bits(probability))])
+        }
+    }
+}
+
+/// Inverse of [`encode_fault_event`].
+pub fn decode_fault_event(doc: &Json) -> Result<FaultEvent, SnapshotError> {
+    let site =
+        |key: &str| -> Result<SiteId, SnapshotError> { Ok(SiteId(get_u64(doc, key)? as usize)) };
+    match as_str(get(doc, "k")?, "fault kind")? {
+        "delay" => Ok(FaultEvent::SetLinkDelay {
+            a: site("a")?,
+            b: site("b")?,
+            delay: get_f64(doc, "d")?,
+        }),
+        "link_down" => Ok(FaultEvent::LinkDown {
+            a: site("a")?,
+            b: site("b")?,
+        }),
+        "link_up" => Ok(FaultEvent::LinkUp {
+            a: site("a")?,
+            b: site("b")?,
+        }),
+        "site_down" => Ok(FaultEvent::SiteDown { site: site("s")? }),
+        "site_up" => Ok(FaultEvent::SiteUp { site: site("s")? }),
+        "loss" => Ok(FaultEvent::SetMessageLoss {
+            probability: get_f64(doc, "p")?,
+        }),
+        other => Err(err(format!("unknown fault kind {other:?}"))),
+    }
+}
+
+// ----- event payloads ------------------------------------------------------
+
+fn encode_payload<M>(payload: &EventPayload<M>, encode_msg: &impl Fn(&M) -> Json) -> Json {
+    match payload {
+        EventPayload::Deliver { from, message } => Json::object(vec![
+            ("k", Json::str("d")),
+            ("from", Json::UInt(from.0 as u64)),
+            ("msg", encode_msg(message)),
+        ]),
+        EventPayload::External { message } => {
+            Json::object(vec![("k", Json::str("e")), ("msg", encode_msg(message))])
+        }
+        EventPayload::Timer { timer_id } => {
+            Json::object(vec![("k", Json::str("t")), ("id", Json::UInt(*timer_id))])
+        }
+        EventPayload::Fault { fault } => Json::object(vec![
+            ("k", Json::str("f")),
+            ("fault", encode_fault_event(fault)),
+        ]),
+    }
+}
+
+fn decode_payload<M>(
+    doc: &Json,
+    decode_msg: &impl Fn(&Json) -> Result<M, SnapshotError>,
+) -> Result<EventPayload<M>, SnapshotError> {
+    match as_str(get(doc, "k")?, "payload kind")? {
+        "d" => Ok(EventPayload::Deliver {
+            from: SiteId(get_u64(doc, "from")? as usize),
+            message: decode_msg(get(doc, "msg")?)?,
+        }),
+        "e" => Ok(EventPayload::External {
+            message: decode_msg(get(doc, "msg")?)?,
+        }),
+        "t" => Ok(EventPayload::Timer {
+            timer_id: get_u64(doc, "id")?,
+        }),
+        "f" => Ok(EventPayload::Fault {
+            fault: decode_fault_event(get(doc, "fault")?)?,
+        }),
+        other => Err(err(format!("unknown payload kind {other:?}"))),
+    }
+}
+
+// ----- engine --------------------------------------------------------------
+
+/// Serializes the engine-owned state of a simulator. `encode_node` and
+/// `encode_msg` are the domain codecs (protocol node state and wire
+/// messages); the engine state itself — clock, queue, faults, topology,
+/// statistics — is captured exactly.
+pub fn snapshot_engine<P: Protocol>(
+    sim: &Simulator<P>,
+    encode_node: impl Fn(usize, &P) -> Json,
+    encode_msg: impl Fn(&P::Msg) -> Json,
+) -> Json {
+    let queue = sim.queue();
+    let mut events = Vec::with_capacity(queue.len());
+    queue.for_each_sorted(|time, seq, target, payload| {
+        events.push(Json::Array(vec![
+            f64_bits(time),
+            Json::UInt(seq),
+            Json::UInt(target.0 as u64),
+            encode_payload(payload, &encode_msg),
+        ]));
+    });
+    let dispatch = sim.profile().dispatch_counts;
+    Json::object(vec![
+        ("schema", Json::str(ENGINE_SNAPSHOT_SCHEMA)),
+        ("now", f64_bits(sim.now())),
+        ("started", Json::Bool(sim.started())),
+        ("max_events", Json::UInt(sim.max_events())),
+        ("events_processed", Json::UInt(sim.events_processed())),
+        (
+            "dispatch_counts",
+            Json::Array(dispatch.iter().map(|&c| Json::UInt(c)).collect()),
+        ),
+        ("stats", encode_stats(sim.stats())),
+        ("faults", encode_faults(sim.faults())),
+        ("network", encode_network(sim.network())),
+        (
+            "queue",
+            Json::object(vec![
+                ("next_seq", Json::UInt(queue.next_seq())),
+                ("events", Json::Array(events)),
+            ]),
+        ),
+        (
+            "nodes",
+            Json::Array(
+                sim.nodes()
+                    .enumerate()
+                    .map(|(i, n)| encode_node(i, n))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Rebuilds a simulator from a document written by [`snapshot_engine`].
+/// The restored engine continues the run event-for-event identically to
+/// the uninterrupted one; trace recording, profiling and the order log
+/// restart disabled.
+pub fn restore_engine<P: Protocol>(
+    doc: &Json,
+    decode_node: impl Fn(usize, &Json) -> Result<P, SnapshotError>,
+    decode_msg: impl Fn(&Json) -> Result<P::Msg, SnapshotError>,
+) -> Result<Simulator<P>, SnapshotError> {
+    let schema = as_str(get(doc, "schema")?, "schema")?;
+    if schema != ENGINE_SNAPSHOT_SCHEMA {
+        return Err(err(format!(
+            "unsupported snapshot schema {schema:?} (expected {ENGINE_SNAPSHOT_SCHEMA:?})"
+        )));
+    }
+    let network = decode_network(get(doc, "network")?)?;
+    let nodes = get_items(doc, "nodes")?
+        .iter()
+        .enumerate()
+        .map(|(i, j)| decode_node(i, j))
+        .collect::<Result<Vec<P>, SnapshotError>>()?;
+    if nodes.len() != network.site_count() {
+        return Err(err("snapshot: node count does not match the topology"));
+    }
+    let queue_doc = get(doc, "queue")?;
+    let events = get_items(queue_doc, "events")?;
+    let mut queue: CalendarQueue<P::Msg> = CalendarQueue::with_capacity(events.len() + 16);
+    for event in events {
+        let fields = as_items(event, "queued event")?;
+        if fields.len() != 4 {
+            return Err(err("queued event: expected [time, seq, target, payload]"));
+        }
+        queue.push_raw(
+            f64_from_bits(&fields[0], "event time")?,
+            as_u64(&fields[1], "event seq")?,
+            SiteId(as_u64(&fields[2], "event target")? as usize),
+            decode_payload(&fields[3], &decode_msg)?,
+        );
+    }
+    queue.set_next_seq(get_u64(queue_doc, "next_seq")?);
+    let dispatch_items = get_items(doc, "dispatch_counts")?;
+    if dispatch_items.len() != 4 {
+        return Err(err("dispatch_counts: expected 4 entries"));
+    }
+    let mut dispatch_counts = [0u64; 4];
+    for (slot, j) in dispatch_counts.iter_mut().zip(dispatch_items) {
+        *slot = as_u64(j, "dispatch count")?;
+    }
+    Ok(Simulator::from_restored(
+        network,
+        nodes,
+        queue,
+        get_f64(doc, "now")?,
+        get_bool(doc, "started")?,
+        decode_stats(get(doc, "stats")?)?,
+        decode_faults(get(doc, "faults")?)?,
+        get_u64(doc, "max_events")?,
+        get_u64(doc, "events_processed")?,
+        dispatch_counts,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Context;
+    use rtds_net::generators::{line, ring, DelayDistribution};
+
+    fn encode_u32(m: &u32) -> Json {
+        Json::UInt(*m as u64)
+    }
+
+    fn decode_u32(j: &Json) -> Result<u32, SnapshotError> {
+        Ok(as_u64(j, "msg")? as u32)
+    }
+
+    /// A protocol with nontrivial state: floods a token, counts sightings,
+    /// keeps a periodic timer running and records a histogram.
+    #[derive(Debug, Default, PartialEq)]
+    struct Gossip {
+        seen: u32,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            if ctx.site() == SiteId(0) {
+                ctx.broadcast(1);
+                ctx.set_timer(3.0, 7);
+            }
+        }
+
+        fn on_message(&mut self, _from: SiteId, msg: u32, ctx: &mut Context<'_, u32>) {
+            self.seen += 1;
+            ctx.count("gossip_seen", 1);
+            ctx.record("gossip_hop", msg as f64);
+            if msg < 4 {
+                ctx.broadcast(msg + 1);
+            }
+        }
+
+        fn on_timer(&mut self, timer_id: u64, ctx: &mut Context<'_, u32>) {
+            if ctx.now() < 20.0 {
+                ctx.set_timer(3.0, timer_id);
+                ctx.count("gossip_timer", 1);
+            }
+        }
+    }
+
+    fn encode_gossip(_i: usize, node: &Gossip) -> Json {
+        Json::object(vec![("seen", Json::UInt(node.seen as u64))])
+    }
+
+    fn decode_gossip(_i: usize, j: &Json) -> Result<Gossip, SnapshotError> {
+        Ok(Gossip {
+            seen: get_u64(j, "seen")? as u32,
+        })
+    }
+
+    /// Runs a gossip sim to `pause`, snapshots (through a render → parse
+    /// cycle), restores, finishes both, and demands identical end state.
+    fn round_trip_at(pause: f64, loss: Option<(u64, f64)>) {
+        let build = || {
+            let net = ring(6, DelayDistribution::Uniform { min: 1.0, max: 3.0 }, 11);
+            let mut sim = Simulator::new(net, |_| Gossip::default());
+            if let Some((seed, p)) = loss {
+                sim.set_fault_seed(seed);
+                sim.schedule_fault(0.5, FaultEvent::SetMessageLoss { probability: p });
+            }
+            sim.schedule_fault(
+                2.0,
+                FaultEvent::LinkDown {
+                    a: SiteId(1),
+                    b: SiteId(2),
+                },
+            );
+            sim.schedule_fault(
+                8.0,
+                FaultEvent::LinkUp {
+                    a: SiteId(1),
+                    b: SiteId(2),
+                },
+            );
+            sim
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = build();
+        reference.run_to_quiescence();
+
+        // Interrupted run: pause, serialize, parse back, restore, finish.
+        let mut paused = build();
+        paused.run_until(pause);
+        let doc = snapshot_engine(&paused, encode_gossip, encode_u32);
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("snapshot parses");
+        // render → parse → render is a byte fixpoint (integers only).
+        assert_eq!(parsed.render(), text);
+        let mut restored: Simulator<Gossip> =
+            restore_engine(&parsed, decode_gossip, decode_u32).expect("snapshot restores");
+        restored.run_to_quiescence();
+
+        assert_eq!(restored.now(), reference.now(), "final clock");
+        assert_eq!(
+            restored.events_processed(),
+            reference.events_processed(),
+            "event count"
+        );
+        assert_eq!(
+            restored.stats().messages_sent,
+            reference.stats().messages_sent
+        );
+        assert_eq!(
+            restored.stats().messages_delivered,
+            reference.stats().messages_delivered
+        );
+        assert_eq!(restored.stats().metrics(), reference.stats().metrics());
+        assert_eq!(
+            restored.profile().dispatch_counts,
+            reference.profile().dispatch_counts
+        );
+        for s in 0..6 {
+            assert_eq!(
+                restored.node(SiteId(s)),
+                reference.node(SiteId(s)),
+                "site {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_mid_flood_matches_uninterrupted_run() {
+        round_trip_at(2.5, None);
+    }
+
+    #[test]
+    fn round_trip_before_start_matches() {
+        // Pause at 0: the on_start wave has run (run_until ensures start),
+        // but almost everything is still queued.
+        round_trip_at(0.0, None);
+    }
+
+    #[test]
+    fn round_trip_preserves_the_loss_rng_stream() {
+        // With message loss active, the restored run must continue the
+        // exact RNG stream — a reseed would diverge immediately.
+        round_trip_at(4.0, Some((42, 0.3)));
+        round_trip_at(9.5, Some((7, 0.5)));
+    }
+
+    #[test]
+    fn round_trip_preserves_fault_mutated_topology() {
+        let mut sim = {
+            let net = line(4, DelayDistribution::Constant(2.0), 0);
+            let mut sim = Simulator::new(net, |_| Gossip::default());
+            sim.schedule_fault(
+                1.0,
+                FaultEvent::LinkDown {
+                    a: SiteId(2),
+                    b: SiteId(3),
+                },
+            );
+            sim.schedule_fault(
+                1.5,
+                FaultEvent::SetLinkDelay {
+                    a: SiteId(0),
+                    b: SiteId(1),
+                    delay: 9.0,
+                },
+            );
+            sim
+        };
+        sim.run_until(3.0);
+        let doc = snapshot_engine(&sim, encode_gossip, encode_u32);
+        let restored: Simulator<Gossip> = restore_engine(&doc, decode_gossip, decode_u32).unwrap();
+        assert!(restored.faults().link_is_failed(SiteId(2), SiteId(3)));
+        assert_eq!(
+            restored.network().link_delay(SiteId(0), SiteId(1)),
+            Some(9.0)
+        );
+        assert_eq!(restored.network().link_count(), 2);
+        assert_eq!(restored.now(), sim.now());
+    }
+
+    #[test]
+    fn restore_rejects_bad_documents() {
+        let missing = Json::object(vec![("schema", Json::str("rtds-engine-snapshot/1"))]);
+        assert!(restore_engine::<Gossip>(&missing, decode_gossip, decode_u32).is_err());
+        let wrong = Json::object(vec![("schema", Json::str("something-else/9"))]);
+        let e = match restore_engine::<Gossip>(&wrong, decode_gossip, decode_u32) {
+            Err(e) => e,
+            Ok(_) => panic!("wrong schema must be rejected"),
+        };
+        assert!(e.to_string().contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn fault_event_codec_round_trips_every_variant() {
+        let variants = [
+            FaultEvent::SetLinkDelay {
+                a: SiteId(1),
+                b: SiteId(2),
+                delay: 0.1 + 0.2, // a value with no short decimal form
+            },
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(5),
+            },
+            FaultEvent::LinkUp {
+                a: SiteId(3),
+                b: SiteId(4),
+            },
+            FaultEvent::SiteDown { site: SiteId(9) },
+            FaultEvent::SiteUp { site: SiteId(9) },
+            FaultEvent::SetMessageLoss { probability: 0.37 },
+        ];
+        for fault in variants {
+            let doc = encode_fault_event(&fault);
+            let text = doc.render_compact();
+            let back = decode_fault_event(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, fault);
+        }
+    }
+
+    #[test]
+    fn registry_codec_round_trips_exactly() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("alpha", 3);
+        reg.add("beta", 1 << 60);
+        reg.add_scoped("alpha", Scope::Site(4), 2);
+        reg.add_scoped("alpha", Scope::Phase(1), 7);
+        reg.gauge_set("queue", 12.0);
+        reg.gauge_set("queue", 5.0); // last below peak
+        reg.record("lat", 0.125);
+        reg.record("lat", 1e9);
+        reg.record_scoped("lat", Scope::Phase(2), f64::NAN);
+        let doc = encode_registry(&reg);
+        let text = doc.render();
+        let parsed = Json::parse(&text).unwrap();
+        let mut back = MetricsRegistry::new();
+        decode_registry_into(&mut back, &parsed).unwrap();
+        assert_eq!(back, reg);
+        // Gauge last/peak restore exactly (set() could not produce this).
+        let g = back.gauge_scoped("queue", Scope::Global).unwrap();
+        assert_eq!((g.last, g.peak), (5.0, 12.0));
+        // Re-encoding the restored registry is byte-identical.
+        assert_eq!(encode_registry(&back).render(), text);
+    }
+
+    #[test]
+    fn interning_returns_one_address_per_name() {
+        let a = intern("snapshot-test-name");
+        let b = intern("snapshot-test-name");
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, "snapshot-test-name");
+    }
+}

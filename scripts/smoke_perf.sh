@@ -12,7 +12,30 @@ cargo run --release --bin exp_perf -- --seed 7 --smoke --json "$out/perf-smoke-b
 grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke.json" > "$out/perf-smoke.det"
 grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke-b.json" > "$out/perf-smoke-b.det"
 cmp "$out/perf-smoke.det" "$out/perf-smoke-b.det"
-# The v2 schema must actually carry the histogram summaries.
+# The v3 schema must actually carry the histogram summaries, and without
+# --soak the soak section renders as null.
+grep -q '"schema": "rtds-exp-perf/3"' "$out/perf-smoke.json"
 grep -q '"accept_latency": {' "$out/perf-smoke.json"
 grep -q '"accept_laxity": {' "$out/perf-smoke.json"
+grep -q '"soak": null' "$out/perf-smoke.json"
+
+# Streaming soak smoke at a reduced budget: an uninterrupted run, a run
+# through a checkpoint → write → resume cycle, and a standalone --resume
+# from the written snapshot must all agree on every deterministic soak
+# field. (checkpointed / requested_events record the path taken and
+# peak_rss_kb is machine state, so those are stripped along with timings.)
+soak_det='wall_ms|events_per_sec|peak_rss_kb|checkpointed|requested_events'
+cargo run --release --bin exp_perf -- --seed 7 --smoke --soak 20000 \
+  --json "$out/perf-soak-plain.json"
+cargo run --release --bin exp_perf -- --seed 7 --smoke --soak 20000 \
+  --checkpoint "$out/perf-soak.snapshot.json" --json "$out/perf-soak-ckpt.json"
+cargo run --release --bin exp_perf -- --seed 7 --smoke \
+  --resume "$out/perf-soak.snapshot.json" --json "$out/perf-soak-resume.json"
+grep -q '"schema": "rtds-stream-snapshot/1"' "$out/perf-soak.snapshot.json"
+for r in plain ckpt resume; do
+  grep -v -E "$soak_det" "$out/perf-soak-$r.json" > "$out/perf-soak-$r.det"
+done
+cmp "$out/perf-soak-plain.det" "$out/perf-soak-ckpt.det"
+cmp "$out/perf-soak-plain.det" "$out/perf-soak-resume.det"
 echo "perf smoke OK: deterministic fields (incl. metrics) are byte-identical"
+echo "soak smoke OK: checkpoint -> resume reproduces the uninterrupted run"

@@ -85,3 +85,59 @@ fn sweep_reports_are_byte_identical_for_any_thread_count() {
     let scenario = find_scenario("site-crash-wave").unwrap();
     assert_eq!(run_cell(&scenario, 3), run_cell(&scenario, 3));
 }
+
+#[test]
+fn engine_dispatch_order_is_reproducible_event_for_event() {
+    // Determinism at the finest granularity the engine exposes: the order
+    // log records a `(time, class, seq)` triple for every dispatched event,
+    // so two seeded runs must agree on the entire dispatch *sequence*, not
+    // just on the aggregated report. This is the trace the calendar queue
+    // must reproduce exactly to be a drop-in replacement for the heap —
+    // a layout-dependent tie-break would show up here first.
+    let capacity = 10_000;
+    let run_logged = || {
+        let network = grid(
+            4,
+            3,
+            false,
+            DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+            11,
+        );
+        let jobs = workload(
+            &network,
+            WorkloadSpec {
+                rate: 0.25,
+                horizon: 220.0,
+                seed: 42,
+                ..WorkloadSpec::default()
+            },
+        );
+        let mut system = RtdsSystem::new(network, RtdsConfig::default(), 7);
+        system.enable_order_log(capacity);
+        system.submit_workload(jobs);
+        let report = system.run();
+        (report, system.order_log().to_vec())
+    };
+    let (first_report, first_log) = run_logged();
+    let (second_report, second_log) = run_logged();
+    assert_eq!(first_report, second_report);
+    assert!(
+        first_log.len() >= 5_000,
+        "the run must be long enough to be meaningful, got {} events",
+        first_log.len()
+    );
+    assert_eq!(
+        first_log, second_log,
+        "dispatch sequences must be identical"
+    );
+    // The log respects the documented total order: (time, class, seq)
+    // non-decreasing in time, with class and seq breaking ties.
+    for pair in first_log.windows(2) {
+        let (t0, c0, s0) = pair[0];
+        let (t1, c1, s1) = pair[1];
+        assert!(
+            t0 < t1 || (t0 == t1 && (c0 < c1 || (c0 == c1 && s0 < s1))),
+            "dispatch order violated: ({t0}, {c0}, {s0}) then ({t1}, {c1}, {s1})"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Differential tests of the event core: the slab-backed
+//! [`CalendarQueue`] that now powers the engine against the retained
+//! binary-heap [`EventQueue`] oracle, over arbitrary interleavings of
+//! pushes, pops, batched pops and cancellations.
+//!
+//! The two structures promise the same total order — `(time, class, seq)`
+//! with faults before external arrivals before deliveries/timers — but get
+//! there very differently (bucketed calendar + serving heap + free-list
+//! slab vs. one `BinaryHeap`), so any divergence here is a real ordering or
+//! slab-soundness bug, not a test artifact. Timestamps are drawn from a
+//! small grid of quarter-ticks to force plenty of exact collisions, which
+//! is where the tie-breaking (and the same-timestamp batching) lives.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rtds::net::SiteId;
+use rtds::sim::event::EventQueue;
+use rtds::sim::{CalendarQueue, EventPayload, FaultEvent};
+
+type Msg = u64;
+
+/// One scripted step against both queues.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push with a time from the collision-heavy grid and a payload class.
+    Push { ticks: u16, class: u8 },
+    /// Pop one event from both queues and compare.
+    Pop,
+}
+
+fn arbitrary_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        ((0u16..64), (0u8..4)).prop_map(|(ticks, class)| Op::Push { ticks, class }),
+        Just(Op::Pop),
+    ]
+}
+
+/// Payloads covering every tie-breaking class; `tag` makes each push
+/// distinguishable so order comparisons are exact.
+fn payload(class: u8, tag: u64) -> EventPayload<Msg> {
+    match class % 4 {
+        0 => EventPayload::Fault {
+            fault: FaultEvent::SetLinkDelay {
+                a: SiteId((tag % 3) as usize),
+                b: SiteId((tag % 3) as usize + 1),
+                delay: 1.0 + (tag % 5) as f64,
+            },
+        },
+        1 => EventPayload::External { message: tag },
+        2 => EventPayload::Deliver {
+            from: SiteId((tag % 7) as usize),
+            message: tag,
+        },
+        _ => EventPayload::Timer { timer_id: tag },
+    }
+}
+
+fn grid_time(ticks: u16) -> f64 {
+    ticks as f64 * 0.25
+}
+
+proptest! {
+    /// Interleaved pushes and pops agree event-for-event (time, sequence
+    /// number, target and payload) between the calendar and the heap.
+    #[test]
+    fn calendar_pops_in_heap_order(ops in vec(arbitrary_op(), 0..400)) {
+        let mut calendar: CalendarQueue<Msg> = CalendarQueue::new();
+        let mut oracle: EventQueue<Msg> = EventQueue::new();
+        let mut tag = 0u64;
+        for op in ops {
+            match op {
+                Op::Push { ticks, class } => {
+                    let time = grid_time(ticks);
+                    let target = SiteId((tag % 9) as usize);
+                    calendar.push(time, target, payload(class, tag));
+                    oracle.push(time, target, payload(class, tag));
+                    tag += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(calendar.peek_time(), oracle.peek_time());
+                    prop_assert_eq!(calendar.pop(), oracle.pop());
+                }
+            }
+            prop_assert_eq!(calendar.len(), oracle.len());
+        }
+        // Drain whatever is left: the tails must agree too.
+        while let Some(expected) = oracle.pop() {
+            prop_assert_eq!(calendar.pop(), Some(expected));
+        }
+        prop_assert!(calendar.is_empty());
+        prop_assert_eq!(calendar.pop(), None);
+    }
+
+    /// Draining through the same-timestamp batch interface yields exactly
+    /// the heap's pop sequence, and every batch really is one timestamp.
+    #[test]
+    fn batched_dispatch_preserves_pop_order(
+        ops in vec(((0u16..32), (0u8..4)), 1..300),
+        max in 1usize..17,
+    ) {
+        let mut calendar: CalendarQueue<Msg> = CalendarQueue::new();
+        let mut oracle: EventQueue<Msg> = EventQueue::new();
+        for (tag, &(ticks, class)) in ops.iter().enumerate() {
+            let time = grid_time(ticks);
+            let target = SiteId(tag % 5);
+            calendar.push(time, target, payload(class, tag as u64));
+            oracle.push(time, target, payload(class, tag as u64));
+        }
+        let mut batch = Vec::new();
+        loop {
+            calendar.pop_batch(&mut batch, max);
+            if batch.is_empty() {
+                break;
+            }
+            prop_assert!(batch.len() <= max);
+            for event in &batch {
+                prop_assert_eq!(event.time.to_bits(), batch[0].time.to_bits());
+                prop_assert_eq!(Some(event), oracle.pop().as_ref());
+            }
+        }
+        prop_assert!(oracle.is_empty());
+        prop_assert!(calendar.is_empty());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events: the
+    /// survivors still pop in heap order with their original sequence
+    /// numbers, each live handle cancels exactly once, and a cancelled
+    /// handle never resurfaces.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        pushes in vec(((0u16..48), (0u8..4), proptest::bool::ANY), 1..250),
+    ) {
+        let mut calendar: CalendarQueue<Msg> = CalendarQueue::new();
+        let mut oracle: EventQueue<Msg> = EventQueue::new();
+        let mut cancelled_tags = Vec::new();
+        let mut handles = Vec::new();
+        for (tag, &(ticks, class, cancel)) in pushes.iter().enumerate() {
+            let time = grid_time(ticks);
+            let target = SiteId(tag % 4);
+            let id = calendar.push(time, target, payload(class, tag as u64));
+            oracle.push(time, target, payload(class, tag as u64));
+            handles.push((id, cancel));
+            if cancel {
+                cancelled_tags.push(tag as u64);
+            }
+        }
+        for &(id, cancel) in &handles {
+            if cancel {
+                prop_assert!(calendar.cancel(id), "live handle must cancel");
+                prop_assert!(!calendar.cancel(id), "double cancel must be a no-op");
+            }
+        }
+        // The oracle has no cancel: skip the cancelled tags while popping.
+        let survivor = |e: &rtds::sim::Event<Msg>| {
+            let tag = match &e.payload {
+                EventPayload::External { message } => *message,
+                EventPayload::Deliver { message, .. } => *message,
+                EventPayload::Timer { timer_id } => *timer_id,
+                EventPayload::Fault { .. } => e.seq,
+            };
+            !cancelled_tags.contains(&tag)
+        };
+        while let Some(expected) = oracle.pop() {
+            if !survivor(&expected) {
+                continue;
+            }
+            prop_assert_eq!(calendar.pop(), Some(expected));
+        }
+        prop_assert!(calendar.is_empty());
+        // Cancelled handles stay dead even once their slots are free.
+        for &(id, cancel) in &handles {
+            if cancel {
+                prop_assert!(!calendar.cancel(id));
+            }
+        }
+    }
+}
+
+/// Slab free-list soundness: a popped or cancelled slot is recycled for the
+/// next push under a bumped generation, so the stale handle can neither
+/// cancel nor otherwise disturb the slot's new occupant.
+#[test]
+fn stale_handles_cannot_touch_recycled_slots() {
+    let mut q: CalendarQueue<Msg> = CalendarQueue::new();
+    let site = SiteId(0);
+
+    // Cancel frees the slot; the stale handle is then inert.
+    let first = q.push(1.0, site, EventPayload::External { message: 1 });
+    assert!(q.cancel(first));
+    let second = q.push(2.0, site, EventPayload::External { message: 2 });
+    assert!(
+        !q.cancel(first),
+        "stale handle must not cancel the new event"
+    );
+    assert_eq!(q.len(), 1);
+    let event = q.pop().expect("second event is live");
+    assert_eq!(event.payload, EventPayload::External { message: 2 });
+    assert!(!q.cancel(second), "delivery invalidates the handle");
+
+    // Pop frees the slot the same way.
+    let third = q.push(3.0, site, EventPayload::Timer { timer_id: 3 });
+    assert!(q.pop().is_some());
+    let fourth = q.push(4.0, site, EventPayload::Timer { timer_id: 4 });
+    assert!(!q.cancel(third), "handle of a delivered event is stale");
+    assert!(q.cancel(fourth), "the recycled slot's new handle is live");
+    assert!(q.is_empty());
+    assert_eq!(q.pop(), None);
+}
+
+/// The snapshot view ([`CalendarQueue::for_each_sorted`]) lists pending
+/// events in exact pop order regardless of the internal bucket layout, and
+/// rebuilding through `push_raw` + `set_next_seq` reproduces the queue.
+#[test]
+fn sorted_view_matches_pop_order_and_round_trips() {
+    let mut q: CalendarQueue<Msg> = CalendarQueue::new();
+    for tag in 0u64..200 {
+        // A mix of far-flung and colliding timestamps across all classes.
+        let time = ((tag * 37) % 50) as f64 * 0.5;
+        q.push(
+            time,
+            SiteId((tag % 6) as usize),
+            payload((tag % 4) as u8, tag),
+        );
+    }
+    // Pop a prefix so the serving heap, buckets and free list all hold state.
+    for _ in 0..60 {
+        q.pop();
+    }
+    let mut listed = Vec::new();
+    q.for_each_sorted(|time, seq, target, payload| {
+        listed.push((time, seq, target, payload.clone()));
+    });
+    let mut rebuilt: CalendarQueue<Msg> = CalendarQueue::new();
+    for (time, seq, target, payload) in &listed {
+        rebuilt.push_raw(*time, *seq, *target, payload.clone());
+    }
+    rebuilt.set_next_seq(q.next_seq());
+    for (time, seq, target, payload) in listed {
+        let original = q.pop().expect("listed events are pending");
+        assert_eq!(
+            (
+                original.time,
+                original.seq,
+                original.target,
+                &original.payload
+            ),
+            (time, seq, target, &payload)
+        );
+        assert_eq!(rebuilt.pop(), Some(original));
+    }
+    assert!(q.is_empty());
+    assert!(rebuilt.is_empty());
+    assert_eq!(rebuilt.next_seq(), q.next_seq());
+}

@@ -1,0 +1,273 @@
+//! `exp_flows` — E7: the shared-bandwidth flow plane under contention.
+//!
+//! Runs the registry's flow scenarios (`incast-storm`,
+//! `bandwidth-starved-sphere`, `transfer-vs-compute`), where every §11
+//! permutation ships its input data through `rtds-flow`'s max-min
+//! fair-share model instead of a delay-only send, and reports the
+//! transfer-time/flow-rate/link-utilization telemetry per scenario. The
+//! whole report (`rtds-exp-flows/1`) is deterministic — a pure function of
+//! `--seed` — so two runs with the same flags are byte-identical.
+//!
+//! ```text
+//! exp_flows [--scenario <name|all>] [--seed <u64>] [--seeds <n>]
+//!           [--json <path>] [--assert-contention]
+//! ```
+//!
+//! `--assert-contention` is the CI tripwire for the model itself: under
+//! `incast-storm` (six-job bursts funnelled at one hotspot of a line
+//! network) the p99 transfer time must land **strictly above** the
+//! uncontended analytic bound `max(shipped volume) / min(link bandwidth)`.
+//! Any single flow alone in the network finishes within that bound, so
+//! exceeding it proves transfers actually share bandwidth — if the flow
+//! plane ever degraded to per-flow full capacity, this exits nonzero.
+
+use rtds_bench::{write_json_report, ExpArgs};
+use rtds_scenarios::{builtin_scenarios, find_scenario, run_cell, CellReport, Json, Scenario};
+use rtds_sim::metrics_json::summary_to_json;
+use rtds_sim::Histogram;
+
+/// Identifier of the report schema (bump on breaking field changes).
+const FLOWS_SCHEMA: &str = "rtds-exp-flows/1";
+
+/// Deterministic flow telemetry of one scenario, aggregated over its seeds.
+struct ScenarioFlows {
+    scenario: Scenario,
+    cells: Vec<CellReport>,
+    transfer_time: Histogram,
+    flow_rate: Histogram,
+    link_utilization: Histogram,
+    task_data_volume: Histogram,
+    /// Smallest link capacity over every seed's built network.
+    min_bandwidth: f64,
+}
+
+impl ScenarioFlows {
+    fn run(scenario: Scenario, seeds: &[u64]) -> Self {
+        let mut out = ScenarioFlows {
+            cells: Vec::new(),
+            transfer_time: Histogram::new(),
+            flow_rate: Histogram::new(),
+            link_utilization: Histogram::new(),
+            task_data_volume: Histogram::new(),
+            min_bandwidth: f64::INFINITY,
+            scenario,
+        };
+        for &seed in seeds {
+            let network = out.scenario.build_network(seed);
+            for (a, b, _) in network.links().collect::<Vec<_>>() {
+                let capacity = network.link_bandwidth(a, b).unwrap_or(f64::INFINITY);
+                out.min_bandwidth = out.min_bandwidth.min(capacity);
+            }
+            let cell = run_cell(&out.scenario, seed);
+            out.transfer_time
+                .merge(&cell.metrics.histogram("transfer_time"));
+            out.flow_rate.merge(&cell.metrics.histogram("flow_rate"));
+            out.link_utilization
+                .merge(&cell.metrics.histogram("link_utilization"));
+            out.task_data_volume
+                .merge(&cell.metrics.histogram("task_data_volume"));
+            out.cells.push(cell);
+        }
+        out
+    }
+
+    /// The analytic bound no *uncontended* transfer can exceed: shipping
+    /// even the largest volume across even the slowest link, alone, takes
+    /// at most `max_volume / min_bandwidth` (a multi-hop path is pinned at
+    /// its bottleneck link). A p99 transfer time above it proves flows
+    /// were sharing bandwidth.
+    fn uncontended_bound(&self) -> f64 {
+        self.task_data_volume.max() / self.min_bandwidth
+    }
+
+    fn p99_transfer_time(&self) -> f64 {
+        self.transfer_time.quantile(0.99)
+    }
+
+    fn contended(&self) -> bool {
+        !self.transfer_time.is_empty() && self.p99_transfer_time() > self.uncontended_bound()
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.cells.iter().map(|c| c.metrics.counter(name)).sum()
+    }
+
+    fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::object(vec![
+                    ("seed", Json::UInt(c.seed)),
+                    ("submitted", Json::UInt(c.submitted)),
+                    ("accepted_locally", Json::UInt(c.accepted_locally)),
+                    ("accepted_distributed", Json::UInt(c.accepted_distributed)),
+                    ("rejected", Json::UInt(c.rejected)),
+                    ("deadline_misses", Json::UInt(c.deadline_misses)),
+                    ("guarantee_ratio", Json::Num(c.guarantee_ratio)),
+                    (
+                        "flows_started",
+                        Json::UInt(c.metrics.counter("sim_flow_started")),
+                    ),
+                    (
+                        "flows_finished",
+                        Json::UInt(c.metrics.counter("sim_flow_finished")),
+                    ),
+                    (
+                        "stale_finishes",
+                        Json::UInt(c.metrics.counter("sim_flow_stale_finish")),
+                    ),
+                    (
+                        "task_data_sent",
+                        Json::UInt(c.metrics.counter("task_data_sent")),
+                    ),
+                    (
+                        "task_data_received",
+                        Json::UInt(c.metrics.counter("task_data_received")),
+                    ),
+                    ("finished_at", Json::Num(c.finished_at)),
+                    ("events_processed", Json::UInt(c.events_processed)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("name", Json::str(&self.scenario.name)),
+            ("description", Json::str(&self.scenario.description)),
+            ("cells", Json::Array(cells)),
+            (
+                "transfer_time",
+                summary_to_json(&self.transfer_time.summary()),
+            ),
+            ("flow_rate", summary_to_json(&self.flow_rate.summary())),
+            (
+                "link_utilization",
+                summary_to_json(&self.link_utilization.summary()),
+            ),
+            (
+                "task_data_volume",
+                summary_to_json(&self.task_data_volume.summary()),
+            ),
+            (
+                "contention",
+                Json::object(vec![
+                    ("max_volume", Json::Num(self.task_data_volume.max())),
+                    ("min_bandwidth", Json::Num(self.min_bandwidth)),
+                    ("uncontended_bound", Json::Num(self.uncontended_bound())),
+                    ("p99_transfer_time", Json::Num(self.p99_transfer_time())),
+                    ("contended", Json::Bool(self.contended())),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse(&["scenario", "seeds"], &["assert-contention"]);
+    let flow_scenarios: Vec<Scenario> = builtin_scenarios()
+        .into_iter()
+        .filter(|s| s.config.flow_transfers)
+        .collect();
+    let selected: Vec<Scenario> = match args.value_of("scenario") {
+        None | Some("all") => flow_scenarios,
+        Some(name) => match find_scenario(name).filter(|s| s.config.flow_transfers) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown flow scenario {name:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let base_seed = args.seed(1);
+    let seed_count = args.usize_of("seeds", 3).max(1);
+    let seeds: Vec<u64> = (0..seed_count as u64).map(|i| base_seed + i).collect();
+
+    println!(
+        "== E7: flow plane under contention ({} scenario(s) x {} seed(s) from {}) ==",
+        selected.len(),
+        seeds.len(),
+        base_seed
+    );
+    println!();
+    println!(
+        "{:<26} {:>6} {:>7} {:>7} {:>10} {:>10} {:>10}",
+        "scenario", "ratio", "flows", "data", "p99 xfer", "bound", "contended"
+    );
+
+    let mut results = Vec::new();
+    for scenario in selected {
+        let result = ScenarioFlows::run(scenario, &seeds);
+        let submitted: u64 = result.cells.iter().map(|c| c.submitted).sum();
+        let accepted: u64 = result
+            .cells
+            .iter()
+            .map(|c| c.accepted_locally + c.accepted_distributed)
+            .sum();
+        println!(
+            "{:<26} {:>6.3} {:>7} {:>7} {:>10.2} {:>10.2} {:>10}",
+            result.scenario.name,
+            accepted as f64 / submitted.max(1) as f64,
+            result.counter("sim_flow_finished"),
+            result.counter("task_data_sent"),
+            result.p99_transfer_time(),
+            result.uncontended_bound(),
+            result.contended(),
+        );
+        for cell in &result.cells {
+            assert_eq!(
+                cell.deadline_misses, 0,
+                "accepted jobs must never miss deadlines, even under contention"
+            );
+        }
+        assert_eq!(
+            result.counter("task_data_sent"),
+            result.counter("task_data_received"),
+            "every shipped input must arrive (flow scenarios lose no messages)"
+        );
+        results.push(result);
+    }
+    println!();
+    println!("The bound is max(shipped volume) / min(link bandwidth): the worst time any");
+    println!("transfer could take with the network to itself. p99 above it = real sharing.");
+
+    if let Some(path) = args.json_path() {
+        let report = Json::object(vec![
+            ("schema", Json::str(FLOWS_SCHEMA)),
+            ("seed", Json::UInt(base_seed)),
+            (
+                "seeds",
+                Json::Array(seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            (
+                "scenarios",
+                Json::Array(results.iter().map(ScenarioFlows::to_json).collect()),
+            ),
+        ]);
+        write_json_report(path, &report.render());
+    }
+
+    if args.has("assert-contention") {
+        let incast = results
+            .iter()
+            .find(|r| r.scenario.name == "incast-storm")
+            .unwrap_or_else(|| {
+                eprintln!("--assert-contention needs incast-storm in the selection");
+                std::process::exit(2);
+            });
+        if incast.contended() {
+            println!();
+            println!(
+                "contention check: incast-storm p99 {:.2} > uncontended bound {:.2} — flows share bandwidth",
+                incast.p99_transfer_time(),
+                incast.uncontended_bound()
+            );
+        } else {
+            eprintln!(
+                "contention check FAILED: incast-storm p99 {:.2} <= bound {:.2} — transfers look uncontended",
+                incast.p99_transfer_time(),
+                incast.uncontended_bound()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //! trajectory.
 //!
 //! Runs the paper-baseline scenario plus three registry scenarios scaled to
-//! 16/64/256 sites (see [`rtds_bench::perf`]), printing a throughput table
-//! and writing the deterministic-schema JSON report. Timings (`wall_ms`,
-//! `events_per_sec`) are the only nondeterministic fields; everything else
-//! is a pure function of `--seed`.
+//! 16/64/256 sites, plus the three native-sized flow scenarios of the
+//! report's `flows` section (see [`rtds_bench::perf`]), printing a
+//! throughput table and writing the deterministic-schema JSON report.
+//! Timings (`wall_ms`, `events_per_sec`) are the only nondeterministic
+//! fields; everything else is a pure function of `--seed`.
 //!
 //! ```text
 //! exp_perf [--seed <u64>] [--json <path>] [--smoke] [--baseline <BENCH_N.json>]
@@ -86,7 +87,7 @@ fn main() {
         "workload", "sites", "jobs", "ratio", "msgs", "msgs/job", "events", "wall ms", "events/s"
     );
     let mut report = run_perf_suite(seed, smoke);
-    for w in &report.workloads {
+    for w in report.workloads.iter().chain(&report.flows) {
         println!(
             "{:<26} {:>5} {:>5} {:>6.3} {:>9} {:>9.1} {:>10} {:>9.1} {:>12.0}",
             w.name,

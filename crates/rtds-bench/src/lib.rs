@@ -18,6 +18,10 @@
 //!   * `exp_scenarios` — the declarative scenario engine: registry listing,
 //!     fault-injection scenarios and the sharded seed sweep (see
 //!     [`rtds_scenarios`]),
+//!   * `exp_flows` — E7: the shared-bandwidth flow plane under contention
+//!     (the registry flow scenarios through `rtds-flow`, with the
+//!     `--assert-contention` tripwire proving transfers really share
+//!     bandwidth; see `docs/NETWORK.md`),
 //!   * `exp_perf` — the fixed performance suite behind the recorded
 //!     `BENCH_<n>.json` trajectory (see [`perf`] and `docs/PERFORMANCE.md`);
 //!     its `--baseline <BENCH_N.json>` mode diffs a run against a recorded

@@ -12,6 +12,11 @@
 //! * `hetero-speed-sites/N` — a connected Erdős–Rényi graph with ~3 average
 //!   degree and a 6× speed spread under the §13 uniform-machines extension.
 //!
+//! Since v4 the report also carries a `flows` section: the three registry
+//! flow scenarios (`incast-storm`, `bandwidth-starved-sphere`,
+//! `transfer-vs-compute`) at their native sizes, pinning the shared-bandwidth
+//! flow plane's trajectory alongside the scaling tiers.
+//!
 //! Each workload is one fully deterministic single-threaded simulation; the
 //! only nondeterministic fields of the report are the timings (`wall_ms`,
 //! `events_per_sec`). Everything else — event counts, message counts,
@@ -30,15 +35,22 @@ use rtds_workload::{JobFactory, JobTemplate, OpenLoopSource, OpenLoopSpec, RateP
 use std::time::{Duration, Instant};
 
 /// Identifier of the report schema (bump on breaking field changes).
-/// Version 3 added the always-present `soak` section (null unless the
-/// optional `--soak` streaming tier ran) and the `peak_rss_kb`
+/// Version 4 added the always-present `flows` section: the three registry
+/// flow scenarios (shared-bandwidth transfers through `rtds-flow`) run at
+/// their native sizes, reported with the same per-workload field set as the
+/// main suite. Version 3 added the always-present `soak` section (null
+/// unless the optional `--soak` streaming tier ran) and the `peak_rss_kb`
 /// machine-dependent field inside it. Version 2 added the deterministic
 /// per-workload `metrics` section (latency/laxity histogram summaries,
 /// protocol counters).
-pub const PERF_SCHEMA: &str = "rtds-exp-perf/3";
+pub const PERF_SCHEMA: &str = "rtds-exp-perf/4";
 
-/// The v2 schema (no `soak` section). `--baseline` still accepts v2
+/// The v3 schema (no `flows` section). `--baseline` still accepts v3
 /// recordings by dropping the section before comparing.
+pub const PERF_SCHEMA_V3: &str = "rtds-exp-perf/3";
+
+/// The v2 schema (no `soak` section either). `--baseline` still accepts v2
+/// recordings by dropping both sections before comparing.
 pub const PERF_SCHEMA_V2: &str = "rtds-exp-perf/2";
 
 /// The original schema (no `metrics` sections either). `--baseline` still
@@ -89,6 +101,15 @@ pub fn scaled_scenario(name: &str, sites: usize) -> Scenario {
     scenario.name = format!("{name}/{sites}");
     scenario
 }
+
+/// The registry flow scenarios of the v4 `flows` section, in run order.
+/// They run at their native sizes — the section tracks the flow plane's
+/// trajectory, not the scaling tiers.
+pub const FLOW_SUITE: [&str; 3] = [
+    "incast-storm",
+    "bandwidth-starved-sphere",
+    "transfer-vs-compute",
+];
 
 /// The fixed suite, in run order. `smoke` keeps only the native paper
 /// baseline and the smallest tier (the CI smoke configuration).
@@ -431,6 +452,10 @@ pub struct PerfReport {
     pub smoke: bool,
     /// One result per workload, in suite order.
     pub workloads: Vec<WorkloadResult>,
+    /// One result per [`FLOW_SUITE`] scenario, in order — the v4 `flows`
+    /// section. Excluded from `tiers`/`totals`, which stay about the main
+    /// suite (and so from the regression tripwire's aggregate).
+    pub flows: Vec<WorkloadResult>,
     /// The optional `--soak` streaming tier (renders as `null` when absent,
     /// keeping the schema shape fixed).
     pub soak: Option<SoakResult>,
@@ -479,6 +504,10 @@ impl PerfReport {
             (
                 "workloads",
                 Json::Array(self.workloads.iter().map(|w| w.to_json(timings)).collect()),
+            ),
+            (
+                "flows",
+                Json::Array(self.flows.iter().map(|w| w.to_json(timings)).collect()),
             ),
             ("tiers", Json::Array(tiers)),
             (
@@ -587,6 +616,14 @@ pub fn strip_soak(json: &mut Json) {
     }
 }
 
+/// Removes the top-level `flows` section from a parsed report — the field
+/// pre-v4 recordings lack.
+pub fn strip_flows(json: &mut Json) {
+    if let Json::Object(fields) = json {
+        fields.retain(|(key, _)| key != "flows");
+    }
+}
+
 fn retag_schema(json: &mut Json, schema: &str) {
     if let Json::Object(fields) = json {
         for (key, value) in fields.iter_mut() {
@@ -597,31 +634,48 @@ fn retag_schema(json: &mut Json, schema: &str) {
     }
 }
 
-/// Projects a parsed v3 report onto the v2 field set: drops the `soak`
-/// section and retags the schema, leaving every field a v2 recording
+/// Projects a parsed v4 report onto the v3 field set: drops the `flows`
+/// section and retags the schema, leaving every field a v3 recording
 /// pinned byte-identical.
+pub fn project_to_v3(json: &mut Json) {
+    strip_flows(json);
+    retag_schema(json, PERF_SCHEMA_V3);
+}
+
+/// Projects a parsed report onto the v2 field set: drops the `flows` and
+/// `soak` sections and retags the schema, leaving every field a v2
+/// recording pinned byte-identical.
 pub fn project_to_v2(json: &mut Json) {
+    strip_flows(json);
     strip_soak(json);
     retag_schema(json, PERF_SCHEMA_V2);
 }
 
-/// Projects a parsed report onto the v1 field set: drops the `soak` and
-/// `metrics` sections and retags the schema, leaving every field a v1
-/// recording pinned byte-identical. The single definition of the
-/// cross-schema comparison rule.
+/// Projects a parsed report onto the v1 field set: drops the `flows`,
+/// `soak` and `metrics` sections and retags the schema, leaving every
+/// field a v1 recording pinned byte-identical. The single definition of
+/// the cross-schema comparison rule.
 pub fn project_to_v1(json: &mut Json) {
+    strip_flows(json);
     strip_soak(json);
     strip_metrics(json);
     retag_schema(json, PERF_SCHEMA_V1);
+}
+
+/// The current-report projection for a v3 baseline: the v3 field set, minus
+/// the `soak` section the comparison always drops from both sides.
+fn project_to_v3_sans_soak(json: &mut Json) {
+    project_to_v3(json);
+    strip_soak(json);
 }
 
 /// Diffs this run against a previously recorded report (`--baseline`): the
 /// deterministic fields must match byte-for-byte after nulling timings and
 /// dropping the optional `soak` section, and the recorded aggregate
 /// events/sec is surfaced for the regression tripwire. Older baselines
-/// (v2: no soak section; v1: no metrics sections either) are compared on
-/// the fields both schemas share. Fails if the baseline is not valid JSON
-/// of a known schema.
+/// (v3: no flows section; v2: no soak section either; v1: no metrics
+/// sections either) are compared on the fields both schemas share. Fails
+/// if the baseline is not valid JSON of a known schema.
 pub fn compare_with_baseline(
     current: &PerfReport,
     baseline_text: &str,
@@ -631,11 +685,12 @@ pub fn compare_with_baseline(
     let schema = baseline.get("schema").and_then(Json::as_str);
     let project: fn(&mut Json) = match schema {
         Some(PERF_SCHEMA) => strip_soak,
+        Some(PERF_SCHEMA_V3) => project_to_v3_sans_soak,
         Some(PERF_SCHEMA_V2) => project_to_v2,
         Some(PERF_SCHEMA_V1) => project_to_v1,
         _ => {
             return Err(format!(
-                "baseline schema {schema:?} is none of {PERF_SCHEMA:?}, {PERF_SCHEMA_V2:?}, {PERF_SCHEMA_V1:?}"
+                "baseline schema {schema:?} is none of {PERF_SCHEMA:?}, {PERF_SCHEMA_V3:?}, {PERF_SCHEMA_V2:?}, {PERF_SCHEMA_V1:?}"
             ))
         }
     };
@@ -727,16 +782,29 @@ pub fn run_workload(workload: &PerfWorkload, seed: u64) -> WorkloadResult {
     }
 }
 
-/// Runs the full (or smoke) suite for one seed.
+/// Runs the full (or smoke) suite for one seed. The [`FLOW_SUITE`] section
+/// runs in both modes — the flow scenarios are native-sized and cheap.
 pub fn run_perf_suite(seed: u64, smoke: bool) -> PerfReport {
     let workloads = perf_suite(smoke)
         .iter()
         .map(|w| run_workload(w, seed))
         .collect();
+    let flows = FLOW_SUITE
+        .iter()
+        .map(|name| {
+            let workload = PerfWorkload {
+                name: (*name).to_string(),
+                scenario: find_scenario(name).expect("registry flow scenario"),
+                tier: 0,
+            };
+            run_workload(&workload, seed)
+        })
+        .collect();
     PerfReport {
         seed,
         smoke,
         workloads,
+        flows,
         soak: None,
     }
 }
@@ -815,6 +883,40 @@ mod tests {
             .replace("\"deadline_misses\": 0", "\"deadline_misses\": 1");
         let cmp = compare_with_baseline(&report, &tampered).unwrap();
         assert!(!cmp.fields_match());
+    }
+
+    #[test]
+    fn v3_baselines_compare_on_the_shared_field_set() {
+        let report = run_perf_suite(7, true);
+        // Fabricate the v3 recording of this exact run: same fields minus
+        // the flows section, tagged with the previous schema id.
+        let mut v3 = Json::parse(&report.to_json(true)).unwrap();
+        project_to_v3(&mut v3);
+        let rendered = v3.render();
+        assert!(rendered.contains(PERF_SCHEMA_V3));
+        assert!(!rendered.contains("\"flows\""));
+        let cmp = compare_with_baseline(&report, &rendered).unwrap();
+        assert!(cmp.fields_match(), "{:?}", cmp.mismatches);
+        assert!(cmp.baseline_events_per_sec.is_some());
+        // The v3 metrics sections still participate in the diff.
+        let tampered = rendered.replace("\"deadline_misses\": 0", "\"deadline_misses\": 1");
+        let cmp = compare_with_baseline(&report, &tampered).unwrap();
+        assert!(!cmp.fields_match());
+    }
+
+    #[test]
+    fn flows_section_is_deterministic_and_actually_flows() {
+        let report = run_perf_suite(7, true);
+        assert_eq!(report.flows.len(), FLOW_SUITE.len());
+        for (flow, name) in report.flows.iter().zip(FLOW_SUITE) {
+            assert_eq!(flow.name, name);
+            assert_eq!(flow.deadline_misses, 0, "{name}");
+            assert!(flow.metrics.counter("sim_flow_started") > 0, "{name}");
+            assert!(flow.metrics.counter("task_data_sent") > 0, "{name}");
+        }
+        let again = run_perf_suite(7, true);
+        assert_eq!(report.to_json(false), again.to_json(false));
+        assert!(report.to_json(false).contains("\"flows\""));
     }
 
     #[test]

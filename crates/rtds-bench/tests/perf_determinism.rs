@@ -50,11 +50,14 @@ fn smoke_report_has_the_fixed_schema() {
         &std::env::temp_dir().join("rtds_perf_schema.json"),
         &["--smoke"],
     );
-    assert!(report.contains("\"schema\": \"rtds-exp-perf/3\""));
+    assert!(report.contains("\"schema\": \"rtds-exp-perf/4\""));
     assert!(report.contains("\"seed\": 7"));
     assert!(report.contains("\"smoke\": true"));
     // The soak tier is opt-in; without --soak the key is present but null.
     assert!(report.contains("\"soak\": null"));
+    // The v4 flows section runs the registry flow scenarios at native size.
+    assert!(report.contains("\"flows\": ["));
+    assert!(report.contains("\"name\": \"incast-storm\""));
     assert!(report.contains("\"name\": \"paper-baseline\""));
     assert!(report.contains("\"name\": \"wide-low-degree/16\""));
     assert!(report.contains("\"deadline_misses\": 0"));

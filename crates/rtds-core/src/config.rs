@@ -48,6 +48,13 @@ pub struct RtdsConfig {
     /// actually available to the initiator in the distributed setting) it is
     /// over-estimated as `max_{a,b ∈ ACS} (δ(k,a) + δ(k,b))`.
     pub exact_acs_diameter: bool,
+    /// Move task input data through the engine's shared-bandwidth flow plane
+    /// instead of treating volumes as a pure delay term: committed
+    /// distributed jobs ship each remote member's input volume as a flow
+    /// that contends for link bandwidth with every concurrent transfer.
+    /// `false` (the default) keeps runs byte-identical to the pre-flow
+    /// engine; zero-volume workloads never start flows either way.
+    pub flow_transfers: bool,
 }
 
 impl Default for RtdsConfig {
@@ -63,6 +70,7 @@ impl Default for RtdsConfig {
             throughput: 1.0,
             surplus_floor: 0.05,
             exact_acs_diameter: false,
+            flow_transfers: false,
         }
     }
 }
@@ -83,6 +91,9 @@ impl RtdsConfig {
         }
         if self.data_volume_aware && self.throughput <= 0.0 {
             return Err("throughput must be positive when data_volume_aware".into());
+        }
+        if self.flow_transfers && !self.data_volume_aware {
+            return Err("flow_transfers requires data_volume_aware (volumes drive flows)".into());
         }
         Ok(())
     }
@@ -123,6 +134,18 @@ mod tests {
             ..RtdsConfig::default()
         };
         assert!(c.validate().is_err());
+        let c = RtdsConfig {
+            flow_transfers: true,
+            data_volume_aware: false,
+            ..RtdsConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = RtdsConfig {
+            flow_transfers: true,
+            data_volume_aware: true,
+            ..RtdsConfig::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

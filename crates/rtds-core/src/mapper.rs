@@ -171,26 +171,41 @@ pub fn map_dag(input: &MapperInput<'_>) -> Option<MapperResult> {
     let mut avail = vec![input.release; m];
     let mut processor_order: Vec<Vec<TaskId>> = vec![Vec::new(); m];
 
-    // Greedy EFT list scheduling for S.
+    // Greedy EFT list scheduling for S. When per-edge data volumes are in
+    // play, ties on the finishing time (within the float tolerance) break
+    // towards the processor pulling the *least* cross-processor data — a
+    // data-locality refinement that changes nothing on volume-free graphs
+    // (every candidate's cross-traffic is 0 there).
     for &t in &order {
-        let mut best: Option<(usize, f64, f64)> = None; // (proc, start, finish)
+        let mut best: Option<(usize, f64, f64, f64)> = None; // (proc, start, finish, cross)
         for p in 0..m {
             let mut est = avail[p].max(input.release);
+            let mut cross = 0.0f64;
             for pred in graph.predecessors(t) {
                 let same = assignment[pred.0] == p;
                 est = est.max(finish[pred.0] + comm(pred, t, same));
+                if !same {
+                    if let Some(f) = input.data_volume_delay {
+                        cross += f(pred, t);
+                    }
+                }
             }
             let dur = graph.cost(t) / rate_s[p];
             let eft = est + dur;
             let better = match best {
                 None => true,
-                Some((_, _, best_eft)) => eft < best_eft - 1e-12,
+                Some((_, _, best_eft, best_cross)) => {
+                    eft < best_eft - 1e-12
+                        || (input.data_volume_delay.is_some()
+                            && (eft - best_eft).abs() <= 1e-12
+                            && cross < best_cross - 1e-12)
+                }
             };
             if better {
-                best = Some((p, est, eft));
+                best = Some((p, est, eft, cross));
             }
         }
-        let (p, s, f) = best.expect("at least one processor");
+        let (p, s, f, _) = best.expect("at least one processor");
         assignment[t.0] = p;
         start[t.0] = s;
         finish[t.0] = f;
@@ -422,6 +437,53 @@ mod tests {
         };
         let result = map_dag(&input).unwrap();
         assert_eq!(result.assignment, vec![1, 1]);
+    }
+
+    #[test]
+    fn finish_time_ties_break_towards_data_locality() {
+        // Diamond-ish shape: t3 is a long straggler every candidate must wait
+        // for, so t2's finishing time ties across all three processors and
+        // only the cross-processor data volume separates them.
+        let mut graph = TaskGraph::from_costs(&[1.0, 1.0, 1.0, 10.0]);
+        graph
+            .add_edge_with_volume(TaskId(0), TaskId(2), 1.0)
+            .unwrap();
+        graph
+            .add_edge_with_volume(TaskId(1), TaskId(2), 3.0)
+            .unwrap();
+        graph
+            .add_edge_with_volume(TaskId(3), TaskId(2), 0.0)
+            .unwrap();
+        let processors = vec![
+            ProcessorSpec::with_surplus(1.0),
+            ProcessorSpec::with_surplus(1.0),
+            ProcessorSpec::with_surplus(1.0),
+        ];
+        let volume_delay = |from: TaskId, to: TaskId| graph.data_volume(from, to).unwrap_or(0.0);
+        let input = MapperInput {
+            graph: &graph,
+            release: 0.0,
+            processors: &processors,
+            comm_delay: 0.0,
+            data_volume_delay: Some(&volume_delay),
+            surplus_floor: 1e-3,
+        };
+        let result = map_dag(&input).unwrap();
+        // Greedy spread: t3 (longest) on p0, then t0 on p1, t1 on p2. All
+        // three candidates finish t2 at the same instant (waiting on t3), so
+        // the tie breaks to p2, which pulls only t0's volume 1 across.
+        assert_eq!(result.assignment[3], 0);
+        assert_eq!(result.assignment[0], 1);
+        assert_eq!(result.assignment[1], 2);
+        assert_eq!(
+            result.assignment[2], 2,
+            "tie must break to least cross-traffic"
+        );
+        // Without volumes the same tie is broken by processor index, as
+        // before this refinement.
+        let input = MapperInput::new(&graph, 0.0, &processors, 0.0);
+        let result = map_dag(&input).unwrap();
+        assert_eq!(result.assignment[2], 0);
     }
 
     #[test]

@@ -116,6 +116,20 @@ pub enum RtdsMsg {
         /// The job the lock was held for.
         job: JobId,
     },
+    /// The job's input data for an executing member, shipped alongside the
+    /// §11 permutation through the engine's shared-bandwidth flow plane
+    /// (`Context::transfer`) instead of a routed send. Only produced when
+    /// `RtdsConfig::flow_transfers` is enabled and the member's logical
+    /// processor consumes a positive cross-processor data volume; it arrives
+    /// when the flow completes, i.e. after contending for link bandwidth
+    /// with every concurrent transfer.
+    TaskData {
+        /// The job the data belongs to.
+        job: JobId,
+        /// Total input volume shipped to the member (graph data-volume
+        /// units).
+        volume: f64,
+    },
 }
 
 impl RtdsMsg {
@@ -131,6 +145,7 @@ impl RtdsMsg {
             RtdsMsg::ValidationReply { .. } => "validation_reply",
             RtdsMsg::Permutation { .. } => "permutation",
             RtdsMsg::Unlock { .. } => "unlock",
+            RtdsMsg::TaskData { .. } => "task_data",
         }
     }
 
@@ -190,6 +205,12 @@ mod tests {
         assert_eq!(a.kind(), "enroll_ack");
         let b = RtdsMsg::EnrollBusy { job: JobId(3) };
         assert_eq!(b.kind(), "enroll_busy");
+        let d = RtdsMsg::TaskData {
+            job: JobId(3),
+            volume: 7.5,
+        };
+        assert_eq!(d.kind(), "task_data");
+        assert!(d.is_distribution_message());
     }
 
     #[test]

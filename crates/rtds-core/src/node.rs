@@ -34,7 +34,7 @@ use crate::messages::{RtdsMsg, TaskSpec};
 use crate::pcs::PcsState;
 use crate::snapshot as snap;
 use crate::validate::{endorsable_logical_processors, ValidationOutcome, ValidationRound};
-use rtds_graph::{Job, JobId, TaskId};
+use rtds_graph::{Job, JobId, TaskGraph, TaskId};
 use rtds_net::sphere::Sphere;
 use rtds_net::SiteId;
 use rtds_sched::admission::admit_dag_locally;
@@ -365,7 +365,26 @@ impl RtdsNode {
         // dispatch pipeline so no reservation starts in the past.
         let max_member_delay = members.iter().map(|m| m.delay).fold(0.0f64, f64::max);
         let pipeline_margin = 3.0 * max_member_delay;
-        let release_floor = inflight.job.release().max(now + pipeline_margin);
+        // When input data ships through the shared-bandwidth flow plane the
+        // dispatch pipeline also includes the transfer itself: charge an
+        // upper bound — the largest single edge volume at nominal throughput
+        // — into the release floor so the laxity the adjustment checks
+        // against already accounts for data movement.
+        let transfer_margin = if self.config.flow_transfers {
+            let g = &inflight.job.graph;
+            let max_edge_volume = g
+                .task_ids()
+                .flat_map(|t| g.successor_edges(t).iter())
+                .map(|(_, e)| e.data_volume)
+                .fold(0.0f64, f64::max);
+            max_edge_volume / self.config.throughput
+        } else {
+            0.0
+        };
+        let release_floor = inflight
+            .job
+            .release()
+            .max(now + pipeline_margin + transfer_margin);
 
         let graph = &inflight.job.graph;
         let throughput = self.config.throughput;
@@ -577,6 +596,27 @@ impl RtdsNode {
                         tasks,
                     },
                 );
+                // Ship the member's input data through the flow plane: the
+                // volume of every edge crossing into its logical processor
+                // contends for link bandwidth with all concurrent transfers.
+                if self.config.flow_transfers {
+                    if let Some(l) = logical {
+                        let volume =
+                            cross_input_volume(&inflight.job.graph, &inflight.tasks_per_logical, l);
+                        if volume > 0.0 {
+                            ctx.count("task_data_sent", 1);
+                            ctx.record("task_data_volume", volume);
+                            ctx.transfer(
+                                member.site,
+                                volume,
+                                RtdsMsg::TaskData {
+                                    job: job_id,
+                                    volume,
+                                },
+                            );
+                        }
+                    }
+                }
             }
         }
         self.guarantee.accepted_distributed += 1;
@@ -958,6 +998,27 @@ impl Inflight {
     }
 }
 
+/// Total data volume the tasks of logical processor `l` consume from
+/// predecessors mapped on *other* logical processors — the input data an
+/// executing member must receive before running its share of the job.
+fn cross_input_volume(graph: &TaskGraph, tasks_per_logical: &[Vec<TaskSpec>], l: usize) -> f64 {
+    let mut logical_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, specs) in tasks_per_logical.iter().enumerate() {
+        for spec in specs {
+            logical_of.insert(spec.task.0, i);
+        }
+    }
+    let mut volume = 0.0;
+    for spec in &tasks_per_logical[l] {
+        for (pred, edge) in graph.predecessor_edges(spec.task) {
+            if logical_of.get(&pred.0) != Some(&l) {
+                volume += edge.data_volume;
+            }
+        }
+    }
+    volume
+}
+
 /// Records one `routing_fanout` sample per phase broadcast contained in a
 /// PCS send batch (one `on_update` can cascade several phases), scoped by
 /// routing phase so the per-phase fan-out distributions stay separable.
@@ -1076,6 +1137,13 @@ impl Protocol for RtdsNode {
                 tasks,
             } => {
                 self.handle_permutation(job, logical, tasks, ctx);
+            }
+            RtdsMsg::TaskData { job: _, volume } => {
+                // Input data landed after contending for bandwidth on the
+                // flow plane; the reservation itself was committed when the
+                // permutation arrived, so receipt is purely accounted.
+                ctx.count("task_data_received", 1);
+                ctx.record("task_data_volume_received", volume);
             }
             RtdsMsg::Unlock { job } => {
                 let parent = match self.lock {

@@ -377,6 +377,11 @@ pub(crate) fn encode_msg(msg: &RtdsMsg) -> Json {
         RtdsMsg::Unlock { job } => {
             Json::object(vec![("k", Json::str("ul")), ("job", encode_job_id(*job))])
         }
+        RtdsMsg::TaskData { job, volume } => Json::object(vec![
+            ("k", Json::str("td")),
+            ("job", encode_job_id(*job)),
+            ("vol", f64_bits(*volume)),
+        ]),
     }
 }
 
@@ -426,6 +431,10 @@ pub(crate) fn decode_msg(doc: &Json) -> Result<RtdsMsg, SnapshotError> {
                 .collect::<Result<Vec<TaskSpec>, SnapshotError>>()?,
         }),
         "ul" => Ok(RtdsMsg::Unlock { job: job("job")? }),
+        "td" => Ok(RtdsMsg::TaskData {
+            job: job("job")?,
+            volume: f64_from_bits(get(doc, "vol")?, "task data volume")?,
+        }),
         other => Err(err(format!("unknown message kind {other:?}"))),
     }
 }
@@ -450,6 +459,7 @@ pub(crate) fn encode_config(c: &RtdsConfig) -> Json {
         ("throughput", f64_bits(c.throughput)),
         ("surplus_floor", f64_bits(c.surplus_floor)),
         ("exact_acs_diameter", Json::Bool(c.exact_acs_diameter)),
+        ("flow_transfers", Json::Bool(c.flow_transfers)),
     ])
 }
 
@@ -469,6 +479,13 @@ pub(crate) fn decode_config(doc: &Json) -> Result<RtdsConfig, SnapshotError> {
         throughput: get_f64(doc, "throughput")?,
         surplus_floor: get_f64(doc, "surplus_floor")?,
         exact_acs_diameter: get_bool(doc, "exact_acs_diameter")?,
+        // Absent in snapshots taken before the flow plane existed: those
+        // runs could not have transfers in flight, so `false` is exact.
+        flow_transfers: if get(doc, "flow_transfers").is_ok() {
+            get_bool(doc, "flow_transfers")?
+        } else {
+            false
+        },
     })
 }
 
@@ -635,6 +652,10 @@ mod tests {
             tasks: vec![],
         });
         round_trip_msg(RtdsMsg::Unlock { job: JobId(9) });
+        round_trip_msg(RtdsMsg::TaskData {
+            job: JobId(9),
+            volume: 12.5,
+        });
     }
 
     #[test]
@@ -668,6 +689,28 @@ mod tests {
             let back = decode_config(&encode_config(&config)).expect("config decodes");
             assert_eq!(back, config);
         }
+        let config = RtdsConfig {
+            data_volume_aware: true,
+            flow_transfers: true,
+            ..RtdsConfig::default()
+        };
+        let back = decode_config(&encode_config(&config)).expect("config decodes");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn pre_flow_configs_decode_with_flow_transfers_off() {
+        // Snapshots taken before the flow plane existed have no
+        // `flow_transfers` key; they decode to the exact pre-flow behavior.
+        let mut doc = encode_config(&RtdsConfig::default());
+        if let Json::Object(fields) = &mut doc {
+            fields.retain(|(k, _)| *k != "flow_transfers");
+        }
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("legacy config parses");
+        let back = decode_config(&parsed).expect("legacy config decodes");
+        assert!(!back.flow_transfers);
+        assert_eq!(back, RtdsConfig::default());
     }
 
     #[test]

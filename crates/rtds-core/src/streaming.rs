@@ -804,6 +804,97 @@ mod tests {
     }
 
     #[test]
+    fn streaming_checkpoint_mid_transfer_resumes_identically() {
+        // The streaming checkpoint must capture in-flight shared-bandwidth
+        // transfers: pause a volume-decorated stream at an instant with a
+        // flow mid-transfer, resume from the text with a fresh source, and
+        // the final report must equal the uninterrupted run's.
+        // A heavy chain fills site 1, then a volume-decorated fork-join at
+        // the same site must distribute — shipping its branch inputs through
+        // the flow plane (the batch-path flow test's construction, arriving
+        // as a stream). Harvest chunks never stall short of the next
+        // arrival, so a trickle of tiny filler jobs keeps the chunk
+        // boundaries — the only legal pause instants — dense enough to land
+        // inside a transfer window.
+        let flow_jobs = || -> Vec<Job> {
+            use rtds_graph::{JobParams, TaskGraph, TaskId};
+            let mut jobs = vec![Job::new(
+                JobId(0),
+                TaskGraph::from_costs(&[60.0]),
+                JobParams::new(0.0, 70.0),
+                1,
+            )];
+            let mut g = TaskGraph::from_costs(&[1.0, 10.0, 10.0, 10.0, 1.0]);
+            for mid in 1..=3 {
+                g.add_edge_with_volume(TaskId(0), TaskId(mid), 2.0).unwrap();
+                g.add_edge_with_volume(TaskId(mid), TaskId(4), 2.0).unwrap();
+            }
+            jobs.push(Job::new(JobId(1), g, JobParams::new(0.5, 55.5), 1));
+            for j in 1..=50u64 {
+                let site = [0, 2, 3, 4, 5, 6, 7, 8][(j as usize) % 8];
+                let at = j as f64;
+                jobs.push(Job::new(
+                    JobId(100 + j),
+                    TaskGraph::from_costs(&[0.2]),
+                    JobParams::new(at, at + 20.0),
+                    site,
+                ));
+            }
+            jobs
+        };
+        let flow_system = |seed: u64| -> RtdsSystem {
+            let mut net = grid(3, 3, false, DelayDistribution::Constant(1.0), seed);
+            let links: Vec<_> = net.links().map(|(a, b, _)| (a, b)).collect();
+            for (a, b) in links {
+                net.set_link_bandwidth(a, b, 0.5).unwrap();
+            }
+            let config = RtdsConfig {
+                data_volume_aware: true,
+                flow_transfers: true,
+                ..RtdsConfig::default()
+            };
+            RtdsSystem::new(net, config, seed)
+        };
+
+        // A fine harvest cadence so pause instants are dense enough to land
+        // inside a transfer window (pauses only happen on chunk boundaries).
+        let options = StreamOptions {
+            harvest_interval: 0.5,
+        };
+        let mut plain = flow_system(1);
+        let mut source = flow_jobs().into_iter();
+        let reference = plain.run_streaming(&mut source, &options);
+        assert!(reference.stats.named("sim_flow_finished") > 0);
+
+        // Scan pause instants until one catches a transfer in flight — the
+        // flow snapshot then carries a non-empty active-flow list.
+        let mut paused_text = None;
+        for t in 1..200 {
+            let mut system = flow_system(1);
+            let mut source = flow_jobs().into_iter();
+            match system.run_streaming_checkpoint(
+                &mut source,
+                &options,
+                &StreamPause::AtTime(t as f64),
+            ) {
+                StreamRun::Paused(text) => {
+                    if text.contains("\"flows\": [\n") {
+                        paused_text = Some(text);
+                        break;
+                    }
+                }
+                StreamRun::Finished(_) => break,
+            }
+        }
+        let text = paused_text.expect("no pause instant caught a transfer in flight");
+        assert!(text.contains("\"rtds-flow-snapshot/1\""));
+        let mut fresh = flow_jobs().into_iter();
+        let resumed =
+            RtdsSystem::resume_streaming(&text, &mut fresh).expect("mid-transfer stream resumes");
+        assert_eq!(resumed, reference);
+    }
+
+    #[test]
     #[should_panic(expected = "sorted by arrival time")]
     fn unsorted_sources_panic() {
         let mut jobs = workload(5, 1);

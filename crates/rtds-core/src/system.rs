@@ -546,6 +546,124 @@ mod tests {
     }
 
     #[test]
+    fn flow_transfers_ship_input_data_through_the_flow_plane() {
+        // A fork-join job with per-edge data volumes, distributed off a busy
+        // site over a ring whose links have finite bandwidth: the committed
+        // members' input data must travel as flows (started, finished,
+        // counted on both ends) rather than as instantaneous sends.
+        let fork_join = |id: u64, release: f64, deadline: f64, site: usize| {
+            let mut g = TaskGraph::from_costs(&[1.0, 10.0, 10.0, 10.0, 1.0]);
+            for mid in 1..=3 {
+                g.add_edge_with_volume(TaskId(0), TaskId(mid), 2.0).unwrap();
+                g.add_edge_with_volume(TaskId(mid), TaskId(4), 2.0).unwrap();
+            }
+            Job::new(JobId(id), g, JobParams::new(release, deadline), site)
+        };
+        let mut net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let links: Vec<(SiteId, SiteId)> = net.links().map(|(a, b, _)| (a, b)).collect();
+        for (a, b) in links {
+            net.set_link_bandwidth(a, b, 0.5).unwrap();
+        }
+        let config = RtdsConfig {
+            data_volume_aware: true,
+            flow_transfers: true,
+            ..RtdsConfig::default()
+        };
+        let mut system = RtdsSystem::new(net, config, 1);
+        // Pre-load site 2 so the fork-join job cannot be guaranteed locally.
+        system.submit_job(chain_job(10, &[60.0], 0.0, 70.0, 2));
+        system.submit_job(fork_join(11, 0.0, 55.0, 2));
+        let report = system.run();
+        assert_eq!(report.guarantee.accepted_locally, 1);
+        assert_eq!(report.guarantee.accepted_distributed, 1);
+        assert_eq!(report.deadline_misses(), 0);
+        // Input data moved through the flow plane and fully arrived.
+        let sent = report.stats.named("task_data_sent");
+        assert!(sent >= 1, "expected at least one flow transfer, got {sent}");
+        assert_eq!(report.stats.named("task_data_received"), sent);
+        assert_eq!(report.stats.named("sim_flow_started"), sent);
+        assert_eq!(report.stats.named("sim_flow_finished"), sent);
+    }
+
+    #[test]
+    fn checkpoint_mid_transfer_resumes_to_the_identical_report() {
+        // Pause the flow-transfer run at an instant with a transfer still in
+        // flight, round-trip the whole system through its checkpoint text,
+        // and finish: the final report must equal the uninterrupted run's.
+        let fork_join = |id: u64| {
+            let mut g = TaskGraph::from_costs(&[1.0, 10.0, 10.0, 10.0, 1.0]);
+            for mid in 1..=3 {
+                g.add_edge_with_volume(TaskId(0), TaskId(mid), 2.0).unwrap();
+                g.add_edge_with_volume(TaskId(mid), TaskId(4), 2.0).unwrap();
+            }
+            Job::new(JobId(id), g, JobParams::new(0.0, 55.0), 2)
+        };
+        let build = || {
+            let mut net = ring(6, DelayDistribution::Constant(1.0), 0);
+            let links: Vec<(SiteId, SiteId)> = net.links().map(|(a, b, _)| (a, b)).collect();
+            for (a, b) in links {
+                net.set_link_bandwidth(a, b, 0.5).unwrap();
+            }
+            let config = RtdsConfig {
+                data_volume_aware: true,
+                flow_transfers: true,
+                ..RtdsConfig::default()
+            };
+            let mut system = RtdsSystem::new(net, config, 1);
+            system.submit_job(chain_job(10, &[60.0], 0.0, 70.0, 2));
+            system.submit_job(fork_join(11));
+            system
+        };
+        let reference = build().run();
+        assert!(reference.stats.named("sim_flow_finished") > 0);
+
+        let mut paused = build();
+        let mut snapshot = None;
+        for t in 1..=60 {
+            let partial = paused.run_until(t as f64);
+            if partial.stats.named("sim_flow_started") > partial.stats.named("sim_flow_finished") {
+                snapshot = Some(paused.checkpoint());
+                break;
+            }
+        }
+        let text = snapshot.expect("no pause instant caught a transfer in flight");
+        assert!(text.contains(r#""rtds-flow-snapshot/1""#));
+        let mut resumed = RtdsSystem::resume(&text).expect("mid-transfer checkpoint resumes");
+        assert_eq!(resumed.run(), reference);
+    }
+
+    #[test]
+    fn zero_volume_graphs_leave_flow_transfer_runs_identical() {
+        // With no data volumes the flow path is never taken: a run with
+        // `flow_transfers` enabled renders the exact same report as one
+        // without it.
+        let run = |flow_transfers: bool| {
+            let net = ring(6, DelayDistribution::Constant(1.0), 0);
+            let config = RtdsConfig {
+                data_volume_aware: true,
+                flow_transfers,
+                ..RtdsConfig::default()
+            };
+            let mut system = RtdsSystem::new(net, config, 1);
+            system.submit_job(chain_job(1, &[30.0], 0.0, 40.0, 2));
+            system.submit_job(chain_job(2, &[30.0], 0.0, 40.0, 2));
+            let report = system.run();
+            let mut stats: Vec<(String, u64)> = report
+                .stats
+                .named_counters()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            stats.sort();
+            (
+                report.guarantee.accepted(),
+                report.finished_at.to_bits(),
+                stats,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     fn impossible_job_is_rejected_without_deadline_misses() {
         let net = ring(5, DelayDistribution::Constant(1.0), 0);
         let mut system = RtdsSystem::new(net, RtdsConfig::default(), 3);

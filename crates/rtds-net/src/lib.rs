@@ -42,4 +42,4 @@ pub use generators::DelayDistribution;
 pub use routing::{RouteEntry, RoutingTable};
 pub use siteset::SiteSet;
 pub use sphere::Sphere;
-pub use topology::{Network, SiteId};
+pub use topology::{LinkState, Network, SiteId};

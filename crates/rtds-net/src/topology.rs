@@ -45,6 +45,9 @@ pub enum NetworkError {
     DuplicateLink(SiteId, SiteId),
     /// A negative or non-finite delay was supplied.
     InvalidDelay(f64),
+    /// A negative or NaN bandwidth was supplied (`f64::INFINITY` is the
+    /// legal "unconstrained" capacity; zero models a stalled link).
+    InvalidBandwidth(f64),
     /// The two sites are not linked (raised by mutation of a missing link).
     MissingLink(SiteId, SiteId),
 }
@@ -56,6 +59,7 @@ impl fmt::Display for NetworkError {
             NetworkError::SelfLink(s) => write!(f, "self link on {s}"),
             NetworkError::DuplicateLink(a, b) => write!(f, "duplicate link {a} -- {b}"),
             NetworkError::InvalidDelay(d) => write!(f, "invalid link delay {d}"),
+            NetworkError::InvalidBandwidth(b) => write!(f, "invalid link bandwidth {b}"),
             NetworkError::MissingLink(a, b) => write!(f, "no link {a} -- {b}"),
         }
     }
@@ -75,13 +79,53 @@ impl std::error::Error for NetworkError {}
 /// (which is semantic — see [`Network::raw_adjacency`]).
 pub type NeighborList = Vec<(SiteId, f64)>;
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The full state of one undirected link: propagation delay plus bandwidth
+/// capacity (`f64::INFINITY` for the pure-latency base model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Propagation delay of the link.
+    pub delay: f64,
+    /// Bandwidth capacity shared max-min fairly by concurrent transfers
+    /// (see `rtds-flow`); `f64::INFINITY` means unconstrained.
+    pub bandwidth: f64,
+}
+
+/// The mutations [`Network::mutate_link`] applies — the single internal
+/// change path shared by delay jitter, bandwidth changes and link removal,
+/// so adjacency and bandwidth lists can never drift apart and every change
+/// bumps the same [`Network::version`] counter.
+enum LinkChange {
+    SetDelay(f64),
+    SetBandwidth(f64),
+    Remove,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Network {
     /// `adjacency[i]` lists `(neighbor, delay)` pairs in insertion order.
     adjacency: Vec<NeighborList>,
+    /// `bandwidths[i][k]` is the capacity of the link behind
+    /// `adjacency[i][k]` — kept parallel by the single mutation path.
+    bandwidths: Vec<Vec<f64>>,
     /// Relative computing power of every site (1.0 = reference speed).
     speeds: Vec<f64>,
     link_count: usize,
+    /// Bumped by every successful link mutation (add / delay / bandwidth /
+    /// remove); lets derived state (routing tables, in-flight flows)
+    /// detect staleness cheaply. Excluded from equality.
+    version: u64,
+}
+
+/// Structural equality ignores the mutation [`version`](Network::version):
+/// two networks that agree on sites, links, delays, bandwidths and speeds
+/// are equal however many mutations produced them.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.adjacency == other.adjacency
+            && self.bandwidths == other.bandwidths
+            && self.speeds == other.speeds
+            && self.link_count == other.link_count
+    }
 }
 
 impl Network {
@@ -89,8 +133,10 @@ impl Network {
     pub fn new(n: usize) -> Self {
         Network {
             adjacency: vec![Vec::new(); n],
+            bandwidths: vec![Vec::new(); n],
             speeds: vec![1.0; n],
             link_count: 0,
+            version: 0,
         }
     }
 
@@ -102,20 +148,60 @@ impl Network {
         (&self.adjacency, &self.speeds)
     }
 
+    /// The raw per-neighbor bandwidth lists, parallel to
+    /// [`Network::raw_adjacency`]'s adjacency lists entry-for-entry.
+    pub fn raw_bandwidths(&self) -> &[Vec<f64>] {
+        &self.bandwidths
+    }
+
     /// Rebuilds a network from raw adjacency lists captured by
     /// [`Network::raw_adjacency`]. The lists must be symmetric (every
     /// `(b, d)` in `adjacency[a]` has a matching `(a, d)` in
-    /// `adjacency[b]`); the link count is recomputed from them.
+    /// `adjacency[b]`); the link count is recomputed from them. Every link
+    /// gets unconstrained (`f64::INFINITY`) bandwidth — snapshots that
+    /// carry capacities use [`Network::from_raw_parts`] instead.
     ///
     /// # Panics
     /// Panics if `speeds` and `adjacency` disagree on the site count or if
     /// the directed edge count is odd (asymmetric lists).
     pub fn from_raw_adjacency(adjacency: Vec<NeighborList>, speeds: Vec<f64>) -> Self {
+        let bandwidths = adjacency
+            .iter()
+            .map(|list| vec![f64::INFINITY; list.len()])
+            .collect();
+        Self::from_raw_parts(adjacency, bandwidths, speeds)
+    }
+
+    /// Rebuilds a network from raw adjacency, bandwidth and speed lists
+    /// (the snapshot path). The bandwidth lists must be entry-parallel to
+    /// the adjacency lists. The restored network starts at mutation
+    /// version 0.
+    ///
+    /// # Panics
+    /// Panics if the lists disagree on the site count or per-site entry
+    /// counts, or if the directed edge count is odd (asymmetric lists).
+    pub fn from_raw_parts(
+        adjacency: Vec<NeighborList>,
+        bandwidths: Vec<Vec<f64>>,
+        speeds: Vec<f64>,
+    ) -> Self {
         assert_eq!(
             adjacency.len(),
             speeds.len(),
             "adjacency and speeds must cover the same sites"
         );
+        assert_eq!(
+            adjacency.len(),
+            bandwidths.len(),
+            "adjacency and bandwidths must cover the same sites"
+        );
+        for (list, bws) in adjacency.iter().zip(&bandwidths) {
+            assert_eq!(
+                list.len(),
+                bws.len(),
+                "bandwidth lists must be entry-parallel to adjacency lists"
+            );
+        }
         let directed: usize = adjacency.iter().map(Vec::len).sum();
         assert!(
             directed % 2 == 0,
@@ -123,9 +209,23 @@ impl Network {
         );
         Network {
             adjacency,
+            bandwidths,
             speeds,
             link_count: directed / 2,
+            version: 0,
         }
+    }
+
+    /// The link-mutation version: bumped once per successful
+    /// [`add_link`](Network::add_link) /
+    /// [`set_link_delay`](Network::set_link_delay) /
+    /// [`set_link_bandwidth`](Network::set_link_bandwidth) /
+    /// [`remove_link`](Network::remove_link), so derived state (routing
+    /// tables, in-flight flows) can detect topology change without
+    /// diffing. Not part of structural equality and reset to 0 on
+    /// snapshot restore.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of sites.
@@ -143,8 +243,21 @@ impl Network {
         (0..self.adjacency.len()).map(SiteId)
     }
 
-    /// Adds an undirected link with the given propagation delay.
+    /// Adds an undirected link with the given propagation delay and
+    /// unconstrained (`f64::INFINITY`) bandwidth.
     pub fn add_link(&mut self, a: SiteId, b: SiteId, delay: f64) -> Result<(), NetworkError> {
+        self.add_link_with_bandwidth(a, b, delay, f64::INFINITY)
+    }
+
+    /// Adds an undirected link with the given propagation delay and
+    /// bandwidth capacity.
+    pub fn add_link_with_bandwidth(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        delay: f64,
+        bandwidth: f64,
+    ) -> Result<(), NetworkError> {
         let n = self.adjacency.len();
         if a.0 >= n {
             return Err(NetworkError::UnknownSite(a));
@@ -158,18 +271,32 @@ impl Network {
         if !(delay.is_finite() && delay >= 0.0) {
             return Err(NetworkError::InvalidDelay(delay));
         }
+        if bandwidth.is_nan() || bandwidth < 0.0 {
+            return Err(NetworkError::InvalidBandwidth(bandwidth));
+        }
         if self.adjacency[a.0].iter().any(|(s, _)| *s == b) {
             return Err(NetworkError::DuplicateLink(a, b));
         }
         self.adjacency[a.0].push((b, delay));
+        self.bandwidths[a.0].push(bandwidth);
         self.adjacency[b.0].push((a, delay));
+        self.bandwidths[b.0].push(bandwidth);
         self.link_count += 1;
+        self.version += 1;
         Ok(())
     }
 
-    /// Changes the propagation delay of an existing link (dynamic-network
-    /// support: latency jitter applied by the fault-injection layer).
-    pub fn set_link_delay(&mut self, a: SiteId, b: SiteId, delay: f64) -> Result<(), NetworkError> {
+    /// The shared mutation path: locates the `a -> b` and `b -> a`
+    /// adjacency entries, applies the change to both sides (and the
+    /// parallel bandwidth entries), and bumps the version exactly once.
+    /// Every dynamic link mutator funnels through here so no caller can
+    /// observe a half-applied change or a stale version.
+    fn mutate_link(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        change: LinkChange,
+    ) -> Result<LinkState, NetworkError> {
         let n = self.adjacency.len();
         if a.0 >= n {
             return Err(NetworkError::UnknownSite(a));
@@ -177,39 +304,84 @@ impl Network {
         if b.0 >= n {
             return Err(NetworkError::UnknownSite(b));
         }
-        if !(delay.is_finite() && delay >= 0.0) {
-            return Err(NetworkError::InvalidDelay(delay));
-        }
-        let forward = self.adjacency[a.0].iter_mut().find(|(s, _)| *s == b);
-        match forward {
-            Some((_, d)) => *d = delay,
+        let forward = self.adjacency[a.0].iter().position(|(s, _)| *s == b);
+        let fwd = match forward {
+            Some(pos) => pos,
             None => return Err(NetworkError::MissingLink(a, b)),
-        }
-        let backward = self.adjacency[b.0]
-            .iter_mut()
-            .find(|(s, _)| *s == a)
-            .expect("adjacency lists are symmetric");
-        backward.1 = delay;
-        Ok(())
-    }
-
-    /// Removes an undirected link, returning its delay (dynamic-network
-    /// support: link failure applied by the fault-injection layer). Returns
-    /// `None` if the link does not exist.
-    pub fn remove_link(&mut self, a: SiteId, b: SiteId) -> Option<f64> {
-        let n = self.adjacency.len();
-        if a.0 >= n || b.0 >= n {
-            return None;
-        }
-        let pos = self.adjacency[a.0].iter().position(|(s, _)| *s == b)?;
-        let (_, delay) = self.adjacency[a.0].remove(pos);
+        };
         let rev = self.adjacency[b.0]
             .iter()
             .position(|(s, _)| *s == a)
             .expect("adjacency lists are symmetric");
-        self.adjacency[b.0].remove(rev);
-        self.link_count -= 1;
-        Some(delay)
+        let previous = LinkState {
+            delay: self.adjacency[a.0][fwd].1,
+            bandwidth: self.bandwidths[a.0][fwd],
+        };
+        match change {
+            LinkChange::SetDelay(delay) => {
+                self.adjacency[a.0][fwd].1 = delay;
+                self.adjacency[b.0][rev].1 = delay;
+            }
+            LinkChange::SetBandwidth(bandwidth) => {
+                self.bandwidths[a.0][fwd] = bandwidth;
+                self.bandwidths[b.0][rev] = bandwidth;
+            }
+            LinkChange::Remove => {
+                self.adjacency[a.0].remove(fwd);
+                self.bandwidths[a.0].remove(fwd);
+                self.adjacency[b.0].remove(rev);
+                self.bandwidths[b.0].remove(rev);
+                self.link_count -= 1;
+            }
+        }
+        self.version += 1;
+        Ok(previous)
+    }
+
+    /// Changes the propagation delay of an existing link (dynamic-network
+    /// support: latency jitter applied by the fault-injection layer).
+    pub fn set_link_delay(&mut self, a: SiteId, b: SiteId, delay: f64) -> Result<(), NetworkError> {
+        if !(delay.is_finite() && delay >= 0.0) {
+            return Err(NetworkError::InvalidDelay(delay));
+        }
+        self.mutate_link(a, b, LinkChange::SetDelay(delay))
+            .map(|_| ())
+    }
+
+    /// Changes the bandwidth capacity of an existing link
+    /// (dynamic-network support: brownouts and capacity upgrades applied
+    /// by the fault-injection layer). `f64::INFINITY` removes the
+    /// constraint; zero stalls in-flight transfers until a later change.
+    pub fn set_link_bandwidth(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        bandwidth: f64,
+    ) -> Result<(), NetworkError> {
+        if bandwidth.is_nan() || bandwidth < 0.0 {
+            return Err(NetworkError::InvalidBandwidth(bandwidth));
+        }
+        self.mutate_link(a, b, LinkChange::SetBandwidth(bandwidth))
+            .map(|_| ())
+    }
+
+    /// Removes an undirected link, returning its full state (dynamic-
+    /// network support: link failure applied by the fault-injection layer,
+    /// which re-adds the link with the same state on recovery). Returns
+    /// `None` if the link does not exist.
+    pub fn remove_link(&mut self, a: SiteId, b: SiteId) -> Option<LinkState> {
+        self.mutate_link(a, b, LinkChange::Remove).ok()
+    }
+
+    /// Restores a link with the full state captured by
+    /// [`Network::remove_link`].
+    pub fn restore_link(
+        &mut self,
+        a: SiteId,
+        b: SiteId,
+        state: LinkState,
+    ) -> Result<(), NetworkError> {
+        self.add_link_with_bandwidth(a, b, state.delay, state.bandwidth)
     }
 
     /// Neighbors of a site with link delays.
@@ -235,6 +407,26 @@ impl Network {
             .map(|(_, d)| *d)
     }
 
+    /// Bandwidth capacity of the direct link between two sites, if any.
+    pub fn link_bandwidth(&self, a: SiteId, b: SiteId) -> Option<f64> {
+        self.adjacency[a.0]
+            .iter()
+            .position(|(s, _)| *s == b)
+            .map(|pos| self.bandwidths[a.0][pos])
+    }
+
+    /// Full state (delay + bandwidth) of the direct link between two
+    /// sites, if any.
+    pub fn link_state(&self, a: SiteId, b: SiteId) -> Option<LinkState> {
+        self.adjacency[a.0]
+            .iter()
+            .position(|(s, _)| *s == b)
+            .map(|pos| LinkState {
+                delay: self.adjacency[a.0][pos].1,
+                bandwidth: self.bandwidths[a.0][pos],
+            })
+    }
+
     /// Returns `true` if a direct link exists between two sites.
     pub fn has_link(&self, a: SiteId, b: SiteId) -> bool {
         self.link_delay(a, b).is_some()
@@ -247,6 +439,27 @@ impl Network {
                 .iter()
                 .filter(move |(b, _)| a.0 < b.0)
                 .map(move |(b, d)| (a, *b, *d))
+        })
+    }
+
+    /// Iterator over every undirected link as `(a, b, state)` with
+    /// `a < b`, in the same order as [`Network::links`].
+    pub fn link_states(&self) -> impl Iterator<Item = (SiteId, SiteId, LinkState)> + '_ {
+        self.sites().flat_map(move |a| {
+            self.adjacency[a.0]
+                .iter()
+                .enumerate()
+                .filter(move |(_, (b, _))| a.0 < b.0)
+                .map(move |(pos, (b, d))| {
+                    (
+                        a,
+                        *b,
+                        LinkState {
+                            delay: *d,
+                            bandwidth: self.bandwidths[a.0][pos],
+                        },
+                    )
+                })
         })
     }
 
@@ -474,7 +687,13 @@ mod tests {
     #[test]
     fn link_removal_and_restoration() {
         let mut n = triangle();
-        assert_eq!(n.remove_link(SiteId(0), SiteId(1)), Some(1.0));
+        assert_eq!(
+            n.remove_link(SiteId(0), SiteId(1)),
+            Some(LinkState {
+                delay: 1.0,
+                bandwidth: f64::INFINITY
+            })
+        );
         assert_eq!(n.link_count(), 2);
         assert!(!n.has_link(SiteId(0), SiteId(1)));
         assert!(!n.has_link(SiteId(1), SiteId(0)));
@@ -485,6 +704,133 @@ mod tests {
         n.add_link(SiteId(0), SiteId(1), 1.0).unwrap();
         assert_eq!(n.link_count(), 3);
         assert_eq!(n.link_delay(SiteId(0), SiteId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn bandwidth_defaults_and_mutation() {
+        let mut n = triangle();
+        assert_eq!(n.link_bandwidth(SiteId(0), SiteId(1)), Some(f64::INFINITY));
+        assert_eq!(n.link_bandwidth(SiteId(0), SiteId(0)), None);
+        n.set_link_bandwidth(SiteId(0), SiteId(1), 4.0).unwrap();
+        assert_eq!(n.link_bandwidth(SiteId(0), SiteId(1)), Some(4.0));
+        assert_eq!(n.link_bandwidth(SiteId(1), SiteId(0)), Some(4.0));
+        assert_eq!(
+            n.link_state(SiteId(0), SiteId(1)),
+            Some(LinkState {
+                delay: 1.0,
+                bandwidth: 4.0
+            })
+        );
+        // Delay mutation leaves bandwidth alone and vice versa.
+        n.set_link_delay(SiteId(0), SiteId(1), 2.5).unwrap();
+        assert_eq!(
+            n.link_state(SiteId(0), SiteId(1)),
+            Some(LinkState {
+                delay: 2.5,
+                bandwidth: 4.0
+            })
+        );
+        assert_eq!(
+            n.set_link_bandwidth(SiteId(0), SiteId(1), -1.0),
+            Err(NetworkError::InvalidBandwidth(-1.0))
+        );
+        assert_eq!(
+            n.set_link_bandwidth(SiteId(0), SiteId(9), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        assert_eq!(
+            n.set_link_bandwidth(SiteId(9), SiteId(0), 1.0),
+            Err(NetworkError::UnknownSite(SiteId(9)))
+        );
+        let mut m = Network::new(3);
+        m.add_link_with_bandwidth(SiteId(0), SiteId(1), 1.0, 8.0)
+            .unwrap();
+        assert_eq!(m.link_bandwidth(SiteId(0), SiteId(1)), Some(8.0));
+        assert_eq!(
+            m.set_link_bandwidth(SiteId(0), SiteId(2), 1.0),
+            Err(NetworkError::MissingLink(SiteId(0), SiteId(2)))
+        );
+        assert!(matches!(
+            m.add_link_with_bandwidth(SiteId(0), SiteId(2), 1.0, f64::NAN),
+            Err(NetworkError::InvalidBandwidth(b)) if b.is_nan()
+        ));
+        assert!(NetworkError::InvalidBandwidth(-1.0)
+            .to_string()
+            .contains("bandwidth"));
+    }
+
+    #[test]
+    fn every_link_mutation_bumps_the_shared_version() {
+        let mut n = triangle();
+        let v0 = n.version();
+        assert_eq!(v0, 3); // three add_link calls
+        n.set_link_delay(SiteId(0), SiteId(1), 2.0).unwrap();
+        assert_eq!(n.version(), v0 + 1);
+        n.set_link_bandwidth(SiteId(0), SiteId(1), 9.0).unwrap();
+        assert_eq!(n.version(), v0 + 2);
+        let state = n.remove_link(SiteId(0), SiteId(1)).unwrap();
+        assert_eq!(n.version(), v0 + 3);
+        n.restore_link(SiteId(0), SiteId(1), state).unwrap();
+        assert_eq!(n.version(), v0 + 4);
+        assert_eq!(
+            n.link_state(SiteId(0), SiteId(1)),
+            Some(LinkState {
+                delay: 2.0,
+                bandwidth: 9.0
+            })
+        );
+        // Failed mutations do not bump the version.
+        assert!(n.set_link_delay(SiteId(0), SiteId(1), -1.0).is_err());
+        assert!(n.set_link_bandwidth(SiteId(0), SiteId(9), 1.0).is_err());
+        assert!(n.remove_link(SiteId(0), SiteId(9)).is_none());
+        assert_eq!(n.version(), v0 + 4);
+    }
+
+    #[test]
+    fn structural_equality_ignores_version() {
+        let a = triangle();
+        let mut b = triangle();
+        b.set_link_delay(SiteId(0), SiteId(1), 7.0).unwrap();
+        b.set_link_delay(SiteId(0), SiteId(1), 1.0).unwrap();
+        assert_ne!(a.version(), b.version());
+        assert_eq!(a, b);
+        b.set_link_bandwidth(SiteId(0), SiteId(1), 3.0).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_bandwidths() {
+        let mut n = triangle();
+        n.set_link_bandwidth(SiteId(1), SiteId(2), 6.5).unwrap();
+        let (adjacency, speeds) = n.raw_adjacency();
+        let rebuilt = Network::from_raw_parts(
+            adjacency.to_vec(),
+            n.raw_bandwidths().to_vec(),
+            speeds.to_vec(),
+        );
+        assert_eq!(rebuilt, n);
+        assert_eq!(rebuilt.version(), 0);
+        assert_eq!(rebuilt.link_bandwidth(SiteId(2), SiteId(1)), Some(6.5));
+        // The legacy entry point defaults every capacity to infinity.
+        let legacy = Network::from_raw_adjacency(adjacency.to_vec(), speeds.to_vec());
+        assert_eq!(
+            legacy.link_bandwidth(SiteId(1), SiteId(2)),
+            Some(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn link_states_parallel_links_iterator() {
+        let mut n = triangle();
+        n.set_link_bandwidth(SiteId(0), SiteId(2), 2.0).unwrap();
+        let plain: Vec<_> = n.links().collect();
+        let full: Vec<_> = n.link_states().collect();
+        assert_eq!(plain.len(), full.len());
+        for ((a1, b1, d1), (a2, b2, st)) in plain.iter().zip(&full) {
+            assert_eq!((a1, b1), (a2, b2));
+            assert_eq!(*d1, st.delay);
+            assert_eq!(st.bandwidth, n.link_bandwidth(*a2, *b2).unwrap());
+        }
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum Perturbation {
         count: usize,
         downtime: f64,
     },
+    /// Every `period` time units in `[start, end)`, set the bandwidth of a
+    /// random `fraction` of links to a capacity drawn uniformly from
+    /// `capacity` (absolute volume-per-time units) — brownouts on the flow
+    /// plane. In-flight transfers crossing an affected link re-solve their
+    /// fair-share rates at the fault instant.
+    BandwidthBrownout {
+        start: f64,
+        end: f64,
+        period: f64,
+        fraction: f64,
+        capacity: (f64, f64),
+    },
     /// Bernoulli message loss with the given probability over `[start, end)`
     /// (an explicit `SetMessageLoss` pair is emitted even when the
     /// probability is zero — a zero-probability plane is a no-op by
@@ -180,6 +192,33 @@ fn expand_one(
                 let site = SiteId(rng.random_range(0..n));
                 events.push((t, FaultEvent::SiteDown { site }));
                 events.push((t + downtime.max(0.0), FaultEvent::SiteUp { site }));
+            }
+        }
+        Perturbation::BandwidthBrownout {
+            start,
+            end,
+            period,
+            fraction,
+            capacity,
+        } => {
+            if fraction <= 0.0 || period <= 0.0 || links.is_empty() {
+                return;
+            }
+            let per_tick = ((links.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize)
+                .clamp(1, links.len());
+            let mut t = start;
+            while t < end {
+                for _ in 0..per_tick {
+                    let (a, b, _) = links[rng.random_range(0..links.len())];
+                    let bandwidth = if capacity.1 > capacity.0 {
+                        rng.random_range(capacity.0..=capacity.1)
+                    } else {
+                        capacity.0
+                    };
+                    let bandwidth = bandwidth.max(1e-6);
+                    events.push((t, FaultEvent::SetLinkBandwidth { a, b, bandwidth }));
+                }
+                t += period;
             }
         }
         Perturbation::MessageLoss {
@@ -319,6 +358,32 @@ mod tests {
         assert!(events.iter().all(
             |(_, e)| matches!(e, FaultEvent::SetMessageLoss { probability } if *probability == 0.0)
         ));
+    }
+
+    #[test]
+    fn bandwidth_brownouts_emit_bounded_set_bandwidth_events() {
+        let n = net();
+        let plan = PerturbationPlan::new(vec![Perturbation::BandwidthBrownout {
+            start: 30.0,
+            end: 90.0,
+            period: 20.0,
+            fraction: 0.25,
+            capacity: (0.2, 1.0),
+        }]);
+        let events = plan.expand(&n, 3);
+        // A 4x4 grid has 24 links; 25% rounds to 6 links per tick, with
+        // ticks at t = 30, 50 and 70.
+        assert_eq!(events.len(), 18);
+        for (t, e) in &events {
+            assert!((30.0..90.0).contains(t));
+            match e {
+                FaultEvent::SetLinkBandwidth { bandwidth, .. } => {
+                    assert!((0.2..=1.0).contains(bandwidth), "capacity {bandwidth}");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(events, plan.expand(&n, 3));
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The built-in scenario registry.
 //!
-//! Thirteen named scenarios spanning the paper's baseline and the §13
+//! Sixteen named scenarios spanning the paper's baseline and the §13
 //! extensions it only sketches: sporadic overload, dynamic networks (flaky
 //! links, partitions), heterogeneous sites, wide low-degree topologies,
-//! hard workload shapes, outright fault storms, and three *streaming*
-//! scenarios (diurnal-wave, pareto-burst, replayed-trace) whose arrivals
-//! are pulled lazily from open-loop `rtds-workload` sources — the last one
-//! routing every cell through an in-memory trace record/replay round-trip.
+//! hard workload shapes, outright fault storms, three *flow-plane*
+//! scenarios (incast-storm, bandwidth-starved-sphere, transfer-vs-compute)
+//! where input data contends for finite link bandwidth, and three
+//! *streaming* scenarios (diurnal-wave, pareto-burst, replayed-trace)
+//! whose arrivals are pulled lazily from open-loop `rtds-workload` sources
+//! — the last one routing every cell through an in-memory trace
+//! record/replay round-trip.
 //! Every perturbation plan starts at `t >= 30`, after the one-time PCS
 //! construction (see [`crate::perturb`]).
 //!
@@ -17,7 +20,8 @@
 
 use crate::perturb::{Perturbation, PerturbationPlan};
 use crate::spec::{
-    Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe,
+    BandwidthRecipe, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec,
+    WorkloadRecipe,
 };
 use rtds_core::RtdsConfig;
 use rtds_graph::generators::{CostDistribution, DagShape};
@@ -118,6 +122,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
             edge_prob: 0.12,
         },
         delays: DelayDistribution::Uniform { min: 0.5, max: 2.0 },
+        bandwidths: BandwidthRecipe::Unlimited,
         speeds: SpeedRecipe::UniformRandom { min: 0.5, max: 3.0 },
     };
     s.workload = WorkloadRecipe {
@@ -188,6 +193,84 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         count: 6,
         downtime: 40.0,
     }]);
+    scenarios.push(s);
+
+    // --- flow-plane scenarios (finite bandwidth, data-aware transfers) ---
+
+    let mut s = Scenario::named(
+        "incast-storm",
+        "bursty hotspot at the end of a line squeezes every input transfer through one slow link",
+    );
+    s.topology = TopologySpec {
+        recipe: TopologyRecipe::Line { sites: 10 },
+        delays: DelayDistribution::Constant(1.0),
+        bandwidths: BandwidthRecipe::Constant(0.5),
+        speeds: SpeedRecipe::Identical,
+    };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Bursty {
+            window: 40.0,
+            burst_size: 6,
+        },
+        horizon: 240.0,
+        hotspots: 1,
+        ccr: 2.0,
+        laxity: (2.5, 4.0),
+        ..WorkloadRecipe::default()
+    };
+    s.config = RtdsConfig {
+        data_volume_aware: true,
+        flow_transfers: true,
+        ..RtdsConfig::default()
+    };
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "bandwidth-starved-sphere",
+        "grid with randomly starved link capacities plus brownouts - transfers contend and re-solve",
+    );
+    s.topology.bandwidths = BandwidthRecipe::UniformRandom { min: 0.2, max: 1.0 };
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+        horizon: 240.0,
+        hotspots: 4,
+        ccr: 1.0,
+        ..WorkloadRecipe::default()
+    };
+    s.config = RtdsConfig {
+        data_volume_aware: true,
+        flow_transfers: true,
+        ..RtdsConfig::default()
+    };
+    s.perturbations = PerturbationPlan::new(vec![Perturbation::BandwidthBrownout {
+        start: 30.0,
+        end: 200.0,
+        period: 25.0,
+        fraction: 0.1,
+        capacity: (0.05, 0.4),
+    }]);
+    scenarios.push(s);
+
+    let mut s = Scenario::named(
+        "transfer-vs-compute",
+        "communication-heavy DAGs (ccr 3) on ample bandwidth - when shipping data rivals computing",
+    );
+    s.topology.bandwidths = BandwidthRecipe::Constant(2.0);
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.06 },
+        horizon: 240.0,
+        hotspots: 2,
+        ccr: 3.0,
+        // Deadlines are set from compute-only critical paths, so at ccr 3
+        // the laxity factors must leave room for the shipping time.
+        laxity: (3.5, 5.0),
+        ..WorkloadRecipe::default()
+    };
+    s.config = RtdsConfig {
+        data_volume_aware: true,
+        flow_transfers: true,
+        ..RtdsConfig::default()
+    };
     scenarios.push(s);
 
     // --- streaming scenarios (open-loop rtds-workload sources) -----------
@@ -328,6 +411,38 @@ mod tests {
                 .unwrap()
                 .replay
         );
+    }
+
+    #[test]
+    fn flow_scenarios_are_registered_with_finite_bandwidth() {
+        for name in [
+            "incast-storm",
+            "bandwidth-starved-sphere",
+            "transfer-vs-compute",
+        ] {
+            let s = find_scenario(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(s.config.flow_transfers, "{name} must enable flow transfers");
+            assert!(s.config.data_volume_aware, "{name} must be volume-aware");
+            assert!(s.workload.ccr > 0.0, "{name} must decorate edge volumes");
+            assert!(
+                !matches!(s.topology.bandwidths, BandwidthRecipe::Unlimited),
+                "{name} must capacitate its links"
+            );
+            let net = s.build_network(1);
+            for (a, b, _) in net.links().collect::<Vec<_>>() {
+                let bw = net.link_bandwidth(a, b).unwrap();
+                assert!(bw.is_finite() && bw > 0.0, "{name}: link {a:?}-{b:?}");
+            }
+        }
+        // The brownout plan of the starved sphere expands to bandwidth
+        // faults (and nothing before the PCS construction window).
+        let s = find_scenario("bandwidth-starved-sphere").unwrap();
+        let net = s.build_network(1);
+        let events = s.perturbations.expand(&net, 1);
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .all(|(_, e)| matches!(e, rtds_sim::FaultEvent::SetLinkBandwidth { .. })));
     }
 
     #[test]

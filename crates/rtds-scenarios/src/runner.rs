@@ -603,6 +603,62 @@ mod tests {
     }
 
     #[test]
+    fn flow_cells_ship_data_and_are_reproducible() {
+        for name in [
+            "incast-storm",
+            "bandwidth-starved-sphere",
+            "transfer-vs-compute",
+        ] {
+            let scenario = find_scenario(name).unwrap();
+            let a = run_cell(&scenario, 5);
+            let b = run_cell(&scenario, 5);
+            assert_eq!(a, b, "{name}");
+            assert!(a.submitted > 0, "{name}");
+            assert_eq!(a.deadline_misses, 0, "{name}");
+            // Input data actually travelled through the flow plane.
+            assert!(a.metrics.counter("task_data_sent") > 0, "{name}");
+            assert!(a.metrics.counter("sim_flow_finished") > 0, "{name}");
+            assert!(!a.metrics.histogram("transfer_time").is_empty(), "{name}");
+            let c = run_cell(&scenario, 6);
+            assert_ne!(a, c, "{name} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn zero_volume_flow_plane_reproduces_pre_flow_sweeps_byte_identically() {
+        // Enabling the flow plane on a zero-volume workload must be a
+        // perfect no-op: every pre-flow registry scenario, swept with edge
+        // volumes forced to zero and transfers switched on, renders the
+        // byte-identical report at 1, 2, and 4 worker threads.
+        use crate::registry::builtin_scenarios;
+        let mut baseline = Vec::new();
+        let mut flowed = Vec::new();
+        for scenario in builtin_scenarios() {
+            if scenario.config.flow_transfers {
+                continue;
+            }
+            let mut base = scenario.clone();
+            base.workload.ccr = 0.0;
+            let mut flow = base.clone();
+            flow.config.data_volume_aware = true;
+            flow.config.flow_transfers = true;
+            baseline.push(base);
+            flowed.push(flow);
+        }
+        assert!(baseline.len() >= 8, "registry shrank");
+        let reference = run_sweep(&baseline, &SweepConfig::new(1, 1, 2));
+        for threads in [1, 2, 4] {
+            let flow = run_sweep(&flowed, &SweepConfig::new(1, 1, threads));
+            assert_eq!(reference, flow, "threads = {threads}");
+            assert_eq!(reference.to_json(), flow.to_json(), "threads = {threads}");
+        }
+        // The equivalence is not vacuous: the same scenarios with their
+        // shipped volumes restored do move data through the flow plane.
+        let probe = find_scenario("incast-storm").unwrap();
+        assert!(run_cell(&probe, 1).metrics.counter("sim_flow_started") > 0);
+    }
+
+    #[test]
     fn faults_actually_fire_in_perturbed_cells() {
         let scenario = find_scenario("site-crash-wave").unwrap();
         let cell = run_cell(&scenario, 2);

@@ -75,13 +75,31 @@ pub enum SpeedRecipe {
     UniformRandom { min: f64, max: f64 },
 }
 
-/// Topology recipe plus link delays and site speeds.
+/// How link bandwidth capacities are assigned. Finite capacities feed the
+/// engine's shared-bandwidth flow plane: concurrent transfers crossing a
+/// link split its capacity max-min fairly. `Unlimited` (the base model)
+/// leaves every link uncapacitated and the generated network bit-identical
+/// to the pre-flow generators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BandwidthRecipe {
+    /// Every link has unlimited capacity (flows never contend).
+    Unlimited,
+    /// Every link has the same finite capacity (volume units per time unit).
+    Constant(f64),
+    /// Capacities drawn uniformly from `[min, max]`, in the network's
+    /// canonical link order.
+    UniformRandom { min: f64, max: f64 },
+}
+
+/// Topology recipe plus link delays, bandwidths and site speeds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TopologySpec {
     /// Network family.
     pub recipe: TopologyRecipe,
     /// Link propagation delays.
     pub delays: DelayDistribution,
+    /// Link bandwidth capacities.
+    pub bandwidths: BandwidthRecipe,
     /// Site computing powers.
     pub speeds: SpeedRecipe,
 }
@@ -112,6 +130,33 @@ impl TopologySpec {
                 random_geometric(sites, radius, d, seed)
             }
         };
+        match self.bandwidths {
+            BandwidthRecipe::Unlimited => {}
+            BandwidthRecipe::Constant(capacity) => {
+                let links: Vec<(SiteId, SiteId)> =
+                    network.links().map(|(a, b, _)| (a, b)).collect();
+                for (a, b) in links {
+                    network
+                        .set_link_bandwidth(a, b, capacity)
+                        .expect("generated links exist");
+                }
+            }
+            BandwidthRecipe::UniformRandom { min, max } => {
+                let mut rng = StdRng::seed_from_u64(mix_seed(seed, 0xba2d));
+                let links: Vec<(SiteId, SiteId)> =
+                    network.links().map(|(a, b, _)| (a, b)).collect();
+                for (a, b) in links {
+                    let capacity = if max > min {
+                        rng.random_range(min..=max)
+                    } else {
+                        min
+                    };
+                    network
+                        .set_link_bandwidth(a, b, capacity)
+                        .expect("generated links exist");
+                }
+            }
+        }
         match self.speeds {
             SpeedRecipe::Identical => {}
             SpeedRecipe::AlternatingFast { factor } => {
@@ -256,6 +301,7 @@ impl Scenario {
                     wrap: false,
                 },
                 delays: DelayDistribution::Constant(1.0),
+                bandwidths: BandwidthRecipe::Unlimited,
                 speeds: SpeedRecipe::Identical,
             },
             workload: WorkloadRecipe::default(),
@@ -330,6 +376,7 @@ mod tests {
             let spec = TopologySpec {
                 recipe,
                 delays: DelayDistribution::Constant(1.0),
+                bandwidths: BandwidthRecipe::Unlimited,
                 speeds: SpeedRecipe::Identical,
             };
             let net = spec.build(3);
@@ -345,6 +392,7 @@ mod tests {
         let base = TopologySpec {
             recipe: TopologyRecipe::Ring { sites: 6 },
             delays: DelayDistribution::Constant(1.0),
+            bandwidths: BandwidthRecipe::Unlimited,
             speeds: SpeedRecipe::AlternatingFast { factor: 2.0 },
         };
         let net = base.build(1);
@@ -370,6 +418,7 @@ mod tests {
                 wrap: false,
             },
             delays: DelayDistribution::Constant(1.0),
+            bandwidths: BandwidthRecipe::Unlimited,
             speeds: SpeedRecipe::Identical,
         };
         let net = spec.build(2);

@@ -9,11 +9,12 @@
 
 use crate::event::{Event, EventPayload};
 use crate::faults::{FaultEvent, FaultState};
+use crate::flow::FlowPlane;
 use crate::queue::CalendarQueue;
 use crate::stats::SimStats;
 use crate::trace::{SpanId, Trace, TraceEvent, TracePayload};
 use rtds_metrics::Scope;
-use rtds_net::{Network, SiteId};
+use rtds_net::{shortest_paths, Network, SiteId};
 use std::fmt::Debug;
 use std::time::{Duration, Instant};
 
@@ -46,6 +47,13 @@ enum Outgoing<M> {
     Timer {
         delay: f64,
         timer_id: u64,
+    },
+    /// Move `volume` units of data to `to` through the shared-bandwidth
+    /// plane; `msg` is delivered when the transfer completes.
+    Transfer {
+        to: SiteId,
+        volume: f64,
+        msg: M,
     },
 }
 
@@ -123,6 +131,26 @@ impl<'a, M> Context<'a, M> {
             msg,
             delay: Some(delay),
         });
+    }
+
+    /// Initiates a data transfer of `volume` units to an arbitrary site
+    /// through the shared-bandwidth flow plane: after the minimum-delay
+    /// path's propagation delay the data starts occupying bandwidth on
+    /// that path (splitting each link's capacity max-min fairly with
+    /// every concurrent flow), and `msg` is delivered to `to` when the
+    /// last byte arrives. A zero-volume transfer degenerates to a routed
+    /// send charged the shortest-path delay. If link failures have cut
+    /// the sender off from `to` at initiation time, the transfer is lost
+    /// (counted as `sim_lost_unreachable`), like a routed send.
+    ///
+    /// # Panics
+    /// Panics if the volume is negative or not finite.
+    pub fn transfer(&mut self, to: SiteId, volume: f64, msg: M) {
+        assert!(
+            volume.is_finite() && volume >= 0.0,
+            "transfer volume must be finite and non-negative, got {volume}"
+        );
+        self.outgoing.push(Outgoing::Transfer { to, volume, msg });
     }
 
     /// Sets a timer firing `delay` time units from now.
@@ -233,21 +261,29 @@ pub trait ArrivalSource<M> {
     fn take(&mut self) -> Option<(f64, SiteId, M)>;
 }
 
-/// Names of the four engine event classes, indexed like
+/// Names of the six engine event classes, indexed like
 /// [`EngineProfile::dispatch_counts`] (and the `Scope::Phase` index of the
 /// `engine_dispatch` / `engine_time_advance` metrics).
-pub const EVENT_CLASS_NAMES: [&str; 4] = ["deliver", "external", "timer", "fault"];
+pub const EVENT_CLASS_NAMES: [&str; 6] = [
+    "deliver",
+    "external",
+    "timer",
+    "fault",
+    "flow_start",
+    "flow_finish",
+];
 
 /// Engine self-profile: how dispatch work split across event classes.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineProfile {
-    /// Events dispatched per class (deliver/external/timer/fault). Counted
-    /// unconditionally — deterministic and free.
-    pub dispatch_counts: [u64; 4],
+    /// Events dispatched per class (deliver/external/timer/fault/
+    /// flow_start/flow_finish). Counted unconditionally — deterministic
+    /// and free.
+    pub dispatch_counts: [u64; 6],
     /// Wall-clock time spent dispatching each class. **NONDETERMINISTIC**:
     /// never fold into reports that are byte-compared across runs (the same
     /// discipline `exp_perf` applies to its timing fields).
-    pub wall: [Duration; 4],
+    pub wall: [Duration; 6],
 }
 
 /// The engine-level ordering trace: the recorded `(time, class_rank, seq)`
@@ -275,8 +311,10 @@ pub struct Simulator<P: Protocol> {
     /// into the metrics registry. Opt-in: the metrics become part of
     /// deterministic reports, so default runs must not grow extra keys.
     profiling: bool,
-    dispatch_counts: [u64; 4],
-    wall_by_class: [Duration; 4],
+    dispatch_counts: [u64; 6],
+    wall_by_class: [Duration; 6],
+    /// Shared-bandwidth plane tracking in-flight [`Context::transfer`]s.
+    flows: FlowPlane<P::Msg>,
     /// Reused buffer for batched same-timestamp dispatch.
     batch_scratch: Vec<Event<P::Msg>>,
     /// When set, the engine appends the `(time, class_rank, seq)` ordering
@@ -294,6 +332,8 @@ impl<P: Protocol> Simulator<P> {
         let nodes: Vec<P> = network.sites().map(&mut factory).collect();
         let faults = FaultState::new(nodes.len(), 0);
         let queue = CalendarQueue::with_capacity(4 * network.link_count() + 16);
+        let mut flows = FlowPlane::new();
+        flows.topo_version = network.version();
         Simulator {
             network,
             nodes,
@@ -307,8 +347,9 @@ impl<P: Protocol> Simulator<P> {
             events_processed: 0,
             outgoing_scratch: Vec::new(),
             profiling: false,
-            dispatch_counts: [0; 4],
-            wall_by_class: [Duration::ZERO; 4],
+            dispatch_counts: [0; 6],
+            wall_by_class: [Duration::ZERO; 6],
+            flows,
             batch_scratch: Vec::new(),
             order_log: None,
         }
@@ -467,6 +508,16 @@ impl<P: Protocol> Simulator<P> {
         &self.faults
     }
 
+    /// Number of transfers currently occupying bandwidth.
+    pub fn flows_in_flight(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The shared-bandwidth plane (snapshot serialization reads it).
+    pub(crate) fn flow_plane(&self) -> &FlowPlane<P::Msg> {
+        &self.flows
+    }
+
     /// The pending-event queue (snapshot serialization reads it with
     /// `for_each_sorted`).
     pub(crate) fn queue(&self) -> &CalendarQueue<P::Msg> {
@@ -497,8 +548,12 @@ impl<P: Protocol> Simulator<P> {
         faults: FaultState,
         max_events: u64,
         events_processed: u64,
-        dispatch_counts: [u64; 4],
+        dispatch_counts: [u64; 6],
+        mut flows: FlowPlane<P::Msg>,
     ) -> Self {
+        // A restored network restarts its mutation version from zero; align
+        // the plane so the first fault after resume still triggers a resync.
+        flows.topo_version = network.version();
         Simulator {
             network,
             nodes,
@@ -513,7 +568,8 @@ impl<P: Protocol> Simulator<P> {
             outgoing_scratch: Vec::new(),
             profiling: false,
             dispatch_counts,
-            wall_by_class: [Duration::ZERO; 4],
+            wall_by_class: [Duration::ZERO; 6],
+            flows,
             batch_scratch: Vec::new(),
             order_log: None,
         }
@@ -633,6 +689,8 @@ impl<P: Protocol> Simulator<P> {
                     EventPayload::External { .. } => 1,
                     EventPayload::Timer { .. } => 2,
                     EventPayload::Fault { .. } => 3,
+                    EventPayload::FlowStart { .. } => 4,
+                    EventPayload::FlowFinish { .. } => 5,
                 };
                 self.dispatch_counts[class] += 1;
                 // Wall timers only when profiling: `Instant::now` is a
@@ -676,6 +734,73 @@ impl<P: Protocol> Simulator<P> {
                     EventPayload::Fault { fault } => {
                         self.stats.add("sim_fault_events", 1);
                         self.faults.apply(fault, &mut self.network);
+                        // Mirror any link change into the flow plane so
+                        // in-flight transfers see the new capacities (a
+                        // removed link stalls its flows; a revived or
+                        // re-provisioned one reshapes rates). The sync runs
+                        // even with no flow in flight to keep cached link
+                        // capacities current for future transfers.
+                        if self.flows.sync_with_network(&self.network) && !self.flows.is_empty() {
+                            self.reschedule_flows();
+                        }
+                    }
+                    EventPayload::FlowStart {
+                        from,
+                        volume,
+                        message,
+                    } => {
+                        match shortest_paths(&self.network, from).path_to(target) {
+                            Some(path) => {
+                                self.stats.add("sim_flow_started", 1);
+                                self.flows.start(
+                                    self.now,
+                                    from,
+                                    target,
+                                    volume,
+                                    message,
+                                    &path,
+                                    &self.network,
+                                );
+                                self.reschedule_flows();
+                            }
+                            None => {
+                                // The topology changed between initiation
+                                // and start: no path remains, the data is
+                                // lost in the partition.
+                                self.stats.add("sim_flow_no_path", 1);
+                            }
+                        }
+                    }
+                    EventPayload::FlowFinish { flow, epoch } => {
+                        if !self.flows.finish_is_current(flow, epoch) {
+                            self.stats.add("sim_flow_stale_finish", 1);
+                        } else {
+                            let done = self
+                                .flows
+                                .finish(self.now, flow)
+                                .expect("current flow exists in the plane");
+                            self.stats.add("sim_flow_finished", 1);
+                            let elapsed = self.now - done.started;
+                            self.stats.metrics_mut().record("transfer_time", elapsed);
+                            if elapsed > 0.0 {
+                                self.stats
+                                    .metrics_mut()
+                                    .record("flow_rate", done.volume / elapsed);
+                            }
+                            if !self.flows.is_empty() {
+                                self.reschedule_flows();
+                            }
+                            if self.faults.site_is_down(target) {
+                                self.stats.add("sim_dropped_site_down", 1);
+                            } else {
+                                self.stats.messages_delivered += 1;
+                                let from = done.from;
+                                let message = done.message;
+                                self.dispatch_with_ctx(target, |node, ctx| {
+                                    node.on_message(from, message, ctx)
+                                });
+                            }
+                        }
                     }
                 }
                 if let Some(start) = wall_start {
@@ -691,6 +816,27 @@ impl<P: Protocol> Simulator<P> {
             self.batch_scratch = batch;
         }
         true
+    }
+
+    /// Re-solves the fair-share assignment at the current time and pushes a
+    /// fresh completion event for every flow whose prediction changed, then
+    /// samples per-link utilization into the metrics registry.
+    fn reschedule_flows(&mut self) {
+        for sched in self.flows.reschedule(self.now) {
+            self.queue.push(
+                sched.time,
+                sched.to,
+                EventPayload::FlowFinish {
+                    flow: sched.flow,
+                    epoch: sched.epoch,
+                },
+            );
+        }
+        for (_, _, utilization) in self.flows.link_utilization() {
+            self.stats
+                .metrics_mut()
+                .record("link_utilization", utilization);
+        }
     }
 
     fn dispatch_with_ctx(
@@ -751,6 +897,38 @@ impl<P: Protocol> Simulator<P> {
                 Outgoing::Timer { delay, timer_id } => {
                     self.queue
                         .push(self.now + delay, site, EventPayload::Timer { timer_id });
+                }
+                Outgoing::Transfer { to, volume, msg } => {
+                    self.stats.messages_sent += 1;
+                    // The head of the transfer travels the minimum-delay
+                    // path; bandwidth is occupied from the moment it
+                    // arrives (FlowStart) until the last byte does
+                    // (FlowFinish). An infinite distance means link
+                    // failures cut the sender off — lost like a routed
+                    // send, before the loss roll (which must consume RNG
+                    // draws identically either way).
+                    let head_delay = if site == to {
+                        0.0
+                    } else {
+                        shortest_paths(&self.network, site).dist[to.0]
+                    };
+                    if !head_delay.is_finite() {
+                        self.stats.add("sim_lost_unreachable", 1);
+                        continue;
+                    }
+                    if self.faults.roll_message_loss() {
+                        self.stats.add("sim_lost_random", 1);
+                        continue;
+                    }
+                    self.queue.push(
+                        self.now + head_delay,
+                        to,
+                        EventPayload::FlowStart {
+                            from: site,
+                            volume,
+                            message: msg,
+                        },
+                    );
                 }
             }
         }
@@ -854,7 +1032,7 @@ mod tests {
             plain.profile().dispatch_counts.iter().sum::<u64>(),
             plain.events_processed()
         );
-        assert_eq!(plain.profile().wall, [Duration::ZERO; 4]);
+        assert_eq!(plain.profile().wall, [Duration::ZERO; 6]);
     }
 
     #[test]
@@ -1218,6 +1396,169 @@ mod tests {
         let net = line(3, DelayDistribution::Constant(1.0), 0);
         let mut sim = Simulator::new(net, |_| Bad);
         sim.run_to_quiescence();
+    }
+
+    /// A protocol exercising the shared-bandwidth transfer plane: an
+    /// external kick `1000 + v` initiates a transfer of volume `v` to the
+    /// highest-numbered site; deliveries are recorded with their arrival
+    /// time.
+    #[derive(Debug, Default)]
+    struct Shipper {
+        received: Vec<(SiteId, u32, f64)>,
+    }
+
+    impl Protocol for Shipper {
+        type Msg = u32;
+
+        fn on_start(&mut self, _ctx: &mut Context<'_, u32>) {}
+
+        fn on_message(&mut self, from: SiteId, msg: u32, ctx: &mut Context<'_, u32>) {
+            if msg >= 1000 {
+                let volume = msg - 1000;
+                let to = SiteId(ctx.network().site_count() - 1);
+                ctx.transfer(to, volume as f64, volume);
+            } else {
+                self.received.push((from, msg, ctx.now()));
+            }
+        }
+    }
+
+    /// 0 —1— 1 —1— 2 with finite bandwidth on both links.
+    fn line3_bw(bandwidth: f64) -> Network {
+        let mut net = Network::new(3);
+        net.add_link_with_bandwidth(SiteId(0), SiteId(1), 1.0, bandwidth)
+            .unwrap();
+        net.add_link_with_bandwidth(SiteId(1), SiteId(2), 1.0, bandwidth)
+            .unwrap();
+        net
+    }
+
+    /// One zero-delay link 0-1 with the given bandwidth (delays out of the
+    /// way, so completion times are pure transmission times).
+    fn pipe(bandwidth: f64) -> Network {
+        let mut net = Network::new(2);
+        net.add_link_with_bandwidth(SiteId(0), SiteId(1), 0.0, bandwidth)
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn transfer_completes_after_head_delay_plus_transmission() {
+        let mut sim = Simulator::new(line3_bw(2.0), |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1004); // 4 units to site 2
+        sim.run_to_quiescence();
+        // Head travels the 2-delay path, then 4 units at rate 2 take 2 more.
+        assert_eq!(sim.node(SiteId(2)).received, vec![(SiteId(0), 4, 4.0)]);
+        assert_eq!(sim.stats().named("sim_flow_started"), 1);
+        assert_eq!(sim.stats().named("sim_flow_finished"), 1);
+        assert_eq!(sim.flows_in_flight(), 0);
+        let transfer = sim
+            .stats()
+            .metrics()
+            .histogram_scoped("transfer_time", Scope::Global)
+            .expect("transfer_time recorded");
+        assert_eq!(transfer.summary().count, 1);
+        assert_eq!(transfer.summary().max, 2.0);
+        // The lone flow saturated its bottleneck: utilization 1.
+        let util = sim
+            .stats()
+            .metrics()
+            .histogram_scoped("link_utilization", Scope::Global)
+            .expect("link_utilization recorded");
+        assert_eq!(util.summary().max, 1.0);
+    }
+
+    #[test]
+    fn concurrent_transfers_split_bandwidth_and_reschedule_each_other() {
+        let mut sim = Simulator::new(pipe(2.0), |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1004); // A: 4 units at t = 0
+        sim.inject_at(1.0, SiteId(0), 1006); // B: 6 units at t = 1
+        sim.run_to_quiescence();
+        // A alone until t = 1 (2 units moved), then both at rate 1: A's
+        // remaining 2 land at t = 3; B then speeds up to rate 2 and its
+        // remaining 4 land at t = 5.
+        assert_eq!(
+            sim.node(SiteId(1)).received,
+            vec![(SiteId(0), 4, 3.0), (SiteId(0), 6, 5.0)]
+        );
+        // Both original completion predictions were superseded once.
+        assert_eq!(sim.stats().named("sim_flow_stale_finish"), 2);
+        assert_eq!(sim.stats().named("sim_flow_finished"), 2);
+    }
+
+    #[test]
+    fn zero_volume_transfer_degenerates_to_a_routed_send() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let mut sim = Simulator::new(net, |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1000); // 0 units to site 2
+        sim.run_to_quiescence();
+        // Delivered after exactly the shortest-path delay, like send_routed.
+        assert_eq!(sim.node(SiteId(2)).received, vec![(SiteId(0), 0, 2.0)]);
+        assert_eq!(sim.stats().named("sim_flow_finished"), 1);
+    }
+
+    #[test]
+    fn bandwidth_fault_mid_transfer_reshapes_the_completion() {
+        // Regression test for the shared mutation path: a bandwidth change
+        // applied through the fault plane must reach in-flight flows.
+        let mut sim = Simulator::new(pipe(2.0), |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1008); // 8 units, predicted done at 4
+        sim.schedule_fault(
+            2.0,
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(0),
+                b: SiteId(1),
+                bandwidth: 1.0,
+            },
+        );
+        sim.run_to_quiescence();
+        // 4 units moved by t = 2; the remaining 4 at rate 1 land at t = 6.
+        assert_eq!(sim.node(SiteId(1)).received, vec![(SiteId(0), 8, 6.0)]);
+        assert_eq!(sim.stats().named("sim_flow_stale_finish"), 1);
+        assert_eq!(
+            sim.network().link_bandwidth(SiteId(0), SiteId(1)),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn link_failure_stalls_a_flow_and_recovery_revives_it() {
+        let mut sim = Simulator::new(pipe(2.0), |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1008); // 8 units, predicted done at 4
+        sim.schedule_fault(
+            2.0,
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.schedule_fault(
+            6.0,
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+        );
+        sim.run_to_quiescence();
+        // 4 units moved by t = 2; stalled until t = 6 (recovery restores
+        // the 2.0 bandwidth with the link); remaining 4 land at t = 8.
+        assert_eq!(sim.node(SiteId(1)).received, vec![(SiteId(0), 8, 8.0)]);
+        assert_eq!(sim.stats().named("sim_flow_stale_finish"), 1);
+        assert_eq!(sim.stats().named("sim_flow_finished"), 1);
+    }
+
+    #[test]
+    fn transfer_to_an_unreachable_site_is_lost() {
+        // Sites 0-1 linked; site 2 isolated from the start.
+        let mut net = Network::new(3);
+        net.add_link_with_bandwidth(SiteId(0), SiteId(1), 1.0, 2.0)
+            .unwrap();
+        let mut sim = Simulator::new(net, |_| Shipper::default());
+        sim.inject_at(0.0, SiteId(0), 1004);
+        sim.run_to_quiescence();
+        assert!(sim.node(SiteId(2)).received.is_empty());
+        assert_eq!(sim.stats().named("sim_lost_unreachable"), 1);
+        assert_eq!(sim.stats().named("sim_flow_started"), 0);
     }
 
     /// A slice-backed arrival source for streaming tests.

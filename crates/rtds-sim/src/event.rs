@@ -48,19 +48,44 @@ pub enum EventPayload<M> {
     /// A perturbation applied by the engine itself (never dispatched to a
     /// protocol handler). The target site is ignored.
     Fault { fault: FaultEvent },
+    /// A data transfer initiated by [`crate::engine::Context::transfer`]
+    /// begins occupying bandwidth toward the target site. Fires after the
+    /// path's propagation delay; the engine then registers a flow in the
+    /// shared-bandwidth model and schedules its completion.
+    FlowStart {
+        /// The site that initiated the transfer.
+        from: SiteId,
+        /// Data volume to move across the path.
+        volume: f64,
+        /// Message delivered to the target when the transfer completes.
+        message: M,
+    },
+    /// A previously started flow is predicted to complete. Carries the
+    /// epoch at which the prediction was made: rate recomputations bump
+    /// the flow's epoch and schedule a fresh completion, so a mismatching
+    /// event is stale and ignored (counted as `sim_flow_stale_finish`).
+    FlowFinish {
+        /// Engine-side flow id.
+        flow: u64,
+        /// Scheduling epoch of the prediction.
+        epoch: u64,
+    },
 }
 
 impl<M> EventPayload<M> {
     /// Tie-breaking class of the payload at equal timestamps: faults apply
     /// before any protocol event, external arrivals before deliveries and
     /// timers (so arrival position is independent of scheduling time — see
-    /// the module docs), and deliveries/timers keep their scheduling order
-    /// relative to each other.
+    /// the module docs), deliveries/timers keep their scheduling order
+    /// relative to each other, and flow events rank last so a same-time
+    /// delivery (whose handler may start or reshape transfers) is applied
+    /// before the bandwidth plane is re-solved.
     pub fn class_rank(&self) -> u8 {
         match self {
             EventPayload::Fault { .. } => 0,
             EventPayload::External { .. } => 1,
             EventPayload::Deliver { .. } | EventPayload::Timer { .. } => 2,
+            EventPayload::FlowStart { .. } | EventPayload::FlowFinish { .. } => 3,
         }
     }
 }
@@ -262,6 +287,44 @@ mod tests {
             .map(|e| e.payload.class_rank())
             .collect();
         assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn flow_events_rank_after_protocol_events_at_the_same_time() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::FlowFinish { flow: 0, epoch: 0 },
+        );
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::FlowStart {
+                from: SiteId(1),
+                volume: 3.0,
+                message: 7,
+            },
+        );
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Deliver {
+                from: SiteId(1),
+                message: 9,
+            },
+        );
+        q.push(
+            2.0,
+            SiteId(0),
+            EventPayload::Fault {
+                fault: FaultEvent::SiteDown { site: SiteId(0) },
+            },
+        );
+        let order: Vec<u8> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.payload.class_rank())
+            .collect();
+        assert_eq!(order, vec![0, 2, 3, 3]);
     }
 
     #[test]

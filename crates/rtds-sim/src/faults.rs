@@ -37,7 +37,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rtds_net::{Network, SiteId};
+use rtds_net::{LinkState, Network, SiteId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -85,6 +85,19 @@ pub enum FaultEvent {
         /// Per-message drop probability in `[0, 1]`.
         probability: f64,
     },
+    /// Sets the bandwidth capacity of an existing link (brownout or
+    /// capacity upgrade). In-flight flows re-solve their fair-share rates
+    /// at the fault time; zero stalls them until a later change. If the
+    /// link is currently failed, the remembered recovery bandwidth is
+    /// updated instead.
+    SetLinkBandwidth {
+        /// One endpoint.
+        a: SiteId,
+        /// Other endpoint.
+        b: SiteId,
+        /// New bandwidth capacity (`f64::INFINITY` removes the constraint).
+        bandwidth: f64,
+    },
 }
 
 fn link_key(a: SiteId, b: SiteId) -> (usize, usize) {
@@ -96,14 +109,20 @@ fn link_key(a: SiteId, b: SiteId) -> (usize, usize) {
 }
 
 /// The borrowed fault-plane state returned by [`FaultState::raw_parts`]:
-/// `(failed_links, down_sites, loss probability, RNG state words)`.
-pub type RawFaultParts<'a> = (&'a BTreeMap<(usize, usize), f64>, &'a [bool], f64, [u64; 4]);
+/// `(failed_links, down_sites, loss probability, RNG state words)`. Each
+/// failed link remembers the full [`LinkState`] to restore on recovery.
+pub type RawFaultParts<'a> = (
+    &'a BTreeMap<(usize, usize), LinkState>,
+    &'a [bool],
+    f64,
+    [u64; 4],
+);
 
-/// Engine-side fault bookkeeping: which links are failed (with the delay to
+/// Engine-side fault bookkeeping: which links are failed (with the state to
 /// restore), which sites are down, and the message-loss plane.
 #[derive(Debug)]
 pub struct FaultState {
-    failed_links: BTreeMap<(usize, usize), f64>,
+    failed_links: BTreeMap<(usize, usize), LinkState>,
     down_sites: Vec<bool>,
     loss_probability: f64,
     rng: StdRng,
@@ -142,7 +161,7 @@ impl FaultState {
     /// Rebuilds a fault plane from state captured by
     /// [`FaultState::raw_parts`].
     pub fn from_raw_parts(
-        failed_links: BTreeMap<(usize, usize), f64>,
+        failed_links: BTreeMap<(usize, usize), LinkState>,
         down_sites: Vec<bool>,
         loss_probability: f64,
         rng_state: [u64; 4],
@@ -203,19 +222,29 @@ impl FaultState {
                     return;
                 }
                 if let Some(remembered) = self.failed_links.get_mut(&link_key(a, b)) {
-                    *remembered = delay;
+                    remembered.delay = delay;
                 } else {
                     let _ = network.set_link_delay(a, b, delay);
                 }
             }
+            FaultEvent::SetLinkBandwidth { a, b, bandwidth } => {
+                if bandwidth.is_nan() || bandwidth < 0.0 {
+                    return;
+                }
+                if let Some(remembered) = self.failed_links.get_mut(&link_key(a, b)) {
+                    remembered.bandwidth = bandwidth;
+                } else {
+                    let _ = network.set_link_bandwidth(a, b, bandwidth);
+                }
+            }
             FaultEvent::LinkDown { a, b } => {
-                if let Some(delay) = network.remove_link(a, b) {
-                    self.failed_links.insert(link_key(a, b), delay);
+                if let Some(state) = network.remove_link(a, b) {
+                    self.failed_links.insert(link_key(a, b), state);
                 }
             }
             FaultEvent::LinkUp { a, b } => {
-                if let Some(delay) = self.failed_links.remove(&link_key(a, b)) {
-                    let _ = network.add_link(a, b, delay);
+                if let Some(state) = self.failed_links.remove(&link_key(a, b)) {
+                    let _ = network.restore_link(a, b, state);
                 }
             }
             FaultEvent::SiteDown { site } => {
@@ -321,6 +350,64 @@ mod tests {
             &mut net,
         );
         assert_eq!(net.link_count(), 2);
+    }
+
+    #[test]
+    fn bandwidth_faults_hit_live_links_and_failed_link_memory() {
+        let mut net = line(3, DelayDistribution::Constant(2.0), 0);
+        let mut faults = FaultState::new(3, 0);
+        faults.apply(
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(0),
+                b: SiteId(1),
+                bandwidth: 4.0,
+            },
+            &mut net,
+        );
+        assert_eq!(net.link_bandwidth(SiteId(0), SiteId(1)), Some(4.0));
+        // Invalid bandwidth and missing links are ignored.
+        faults.apply(
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(0),
+                b: SiteId(1),
+                bandwidth: -1.0,
+            },
+            &mut net,
+        );
+        assert_eq!(net.link_bandwidth(SiteId(0), SiteId(1)), Some(4.0));
+        faults.apply(
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(0),
+                b: SiteId(2),
+                bandwidth: 1.0,
+            },
+            &mut net,
+        );
+        // A brownout while failed updates the remembered recovery state.
+        faults.apply(
+            FaultEvent::LinkDown {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+            &mut net,
+        );
+        faults.apply(
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(0),
+                b: SiteId(1),
+                bandwidth: 0.5,
+            },
+            &mut net,
+        );
+        faults.apply(
+            FaultEvent::LinkUp {
+                a: SiteId(0),
+                b: SiteId(1),
+            },
+            &mut net,
+        );
+        assert_eq!(net.link_delay(SiteId(0), SiteId(1)), Some(2.0));
+        assert_eq!(net.link_bandwidth(SiteId(0), SiteId(1)), Some(0.5));
     }
 
     #[test]

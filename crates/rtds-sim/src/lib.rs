@@ -25,9 +25,15 @@
 //!   report and workload trace (the workspace `serde` is an offline no-op
 //!   stub),
 //! * [`faults`] injects timed perturbations beyond the paper's base model
-//!   (link latency jitter, link failure/recovery, site crash/recovery,
-//!   probabilistic message loss) for the §13 dynamic-network scenarios; a
-//!   quiet fault plane leaves runs bit-identical to the unperturbed engine,
+//!   (link latency jitter, bandwidth brownouts, link failure/recovery, site
+//!   crash/recovery, probabilistic message loss) for the §13
+//!   dynamic-network scenarios; a quiet fault plane leaves runs
+//!   bit-identical to the unperturbed engine,
+//! * bulk data moves through a shared-bandwidth flow plane
+//!   ([`engine::Context::transfer`]): concurrent transfers split link
+//!   capacities max-min fairly (`rtds_flow`), and every start, finish or
+//!   link fault re-solves the rates and reschedules in-flight completions
+//!   under the same `(time, class, seq)` total order,
 //! * [`stats`] aggregates message counts, named protocol counters and the
 //!   real-time metrics the paper's claims are judged by (guarantee ratio);
 //!   it is backed by the [`rtds_metrics`] registry, whose histograms and
@@ -53,6 +59,7 @@ pub mod arrivals;
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub(crate) mod flow;
 pub mod json;
 pub mod metrics_json;
 pub mod queue;

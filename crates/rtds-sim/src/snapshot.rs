@@ -23,16 +23,21 @@
 use crate::engine::{Protocol, Simulator};
 use crate::event::EventPayload;
 use crate::faults::{FaultEvent, FaultState};
+use crate::flow::{EngineFlow, FlowPlane};
 use crate::json::Json;
 use crate::queue::CalendarQueue;
 use crate::stats::SimStats;
+use rtds_flow::FlowModel;
 use rtds_metrics::{Gauge, Histogram, MetricsRegistry, Scope, BUCKET_COUNT};
-use rtds_net::{Network, SiteId};
+use rtds_net::{LinkState, Network, SiteId};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Schema tag of the engine snapshot format.
 pub const ENGINE_SNAPSHOT_SCHEMA: &str = "rtds-engine-snapshot/1";
+
+/// Schema tag of the embedded shared-bandwidth plane section.
+pub const FLOW_SNAPSHOT_SCHEMA: &str = "rtds-flow-snapshot/1";
 
 /// Error raised when a snapshot document cannot be decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -330,16 +335,22 @@ pub fn decode_stats(doc: &Json) -> Result<SimStats, SnapshotError> {
 // ----- topology ------------------------------------------------------------
 
 /// Serializes the (possibly fault-mutated) topology with its exact
-/// adjacency insertion order.
+/// adjacency insertion order. Each adjacency entry is
+/// `[neighbor, delay_bits, bandwidth_bits]`.
 pub fn encode_network(net: &Network) -> Json {
     let (adjacency, speeds) = net.raw_adjacency();
+    let bandwidths = net.raw_bandwidths();
     let adjacency: Vec<Json> = adjacency
         .iter()
-        .map(|neighbors| {
+        .zip(bandwidths)
+        .map(|(neighbors, bws)| {
             Json::Array(
                 neighbors
                     .iter()
-                    .map(|(n, d)| Json::Array(vec![Json::UInt(n.0 as u64), f64_bits(*d)]))
+                    .zip(bws)
+                    .map(|((n, d), bw)| {
+                        Json::Array(vec![Json::UInt(n.0 as u64), f64_bits(*d), f64_bits(*bw)])
+                    })
                     .collect(),
             )
         })
@@ -353,22 +364,33 @@ pub fn encode_network(net: &Network) -> Json {
     ])
 }
 
-/// Inverse of [`encode_network`].
+/// Inverse of [`encode_network`]. Accepts two-entry adjacency links
+/// (`[neighbor, delay]`, written before links carried bandwidths) as
+/// unlimited-bandwidth links.
 pub fn decode_network(doc: &Json) -> Result<Network, SnapshotError> {
     let mut adjacency = Vec::new();
+    let mut bandwidths = Vec::new();
     for site in get_items(doc, "adjacency")? {
         let mut neighbors = Vec::new();
+        let mut bws = Vec::new();
         for link in as_items(site, "adjacency row")? {
-            let pair = as_items(link, "adjacency link")?;
-            if pair.len() != 2 {
-                return Err(err("adjacency link: expected [neighbor, delay]"));
+            let entry = as_items(link, "adjacency link")?;
+            if entry.len() != 2 && entry.len() != 3 {
+                return Err(err(
+                    "adjacency link: expected [neighbor, delay] or [neighbor, delay, bandwidth]",
+                ));
             }
             neighbors.push((
-                SiteId(as_u64(&pair[0], "neighbor")? as usize),
-                f64_from_bits(&pair[1], "link delay")?,
+                SiteId(as_u64(&entry[0], "neighbor")? as usize),
+                f64_from_bits(&entry[1], "link delay")?,
             ));
+            bws.push(match entry.get(2) {
+                Some(bw) => f64_from_bits(bw, "link bandwidth")?,
+                None => f64::INFINITY,
+            });
         }
         adjacency.push(neighbors);
+        bandwidths.push(bws);
     }
     let speeds = get_items(doc, "speeds")?
         .iter()
@@ -377,7 +399,7 @@ pub fn decode_network(doc: &Json) -> Result<Network, SnapshotError> {
     if adjacency.len() != speeds.len() {
         return Err(err("network: adjacency/speeds length mismatch"));
     }
-    Ok(Network::from_raw_adjacency(adjacency, speeds))
+    Ok(Network::from_raw_parts(adjacency, bandwidths, speeds))
 }
 
 // ----- faults --------------------------------------------------------------
@@ -387,11 +409,12 @@ pub fn encode_faults(faults: &FaultState) -> Json {
     let (failed_links, down_sites, loss, rng) = faults.raw_parts();
     let failed: Vec<Json> = failed_links
         .iter()
-        .map(|(&(a, b), &delay)| {
+        .map(|(&(a, b), state)| {
             Json::Array(vec![
                 Json::UInt(a as u64),
                 Json::UInt(b as u64),
-                f64_bits(delay),
+                f64_bits(state.delay),
+                f64_bits(state.bandwidth),
             ])
         })
         .collect();
@@ -413,16 +436,24 @@ pub fn encode_faults(faults: &FaultState) -> Json {
 pub fn decode_faults(doc: &Json) -> Result<FaultState, SnapshotError> {
     let mut failed_links = BTreeMap::new();
     for link in get_items(doc, "failed_links")? {
-        let triple = as_items(link, "failed link")?;
-        if triple.len() != 3 {
-            return Err(err("failed link: expected [a, b, delay]"));
+        let entry = as_items(link, "failed link")?;
+        if entry.len() != 3 && entry.len() != 4 {
+            return Err(err(
+                "failed link: expected [a, b, delay] or [a, b, delay, bandwidth]",
+            ));
         }
         failed_links.insert(
             (
-                as_u64(&triple[0], "failed link endpoint")? as usize,
-                as_u64(&triple[1], "failed link endpoint")? as usize,
+                as_u64(&entry[0], "failed link endpoint")? as usize,
+                as_u64(&entry[1], "failed link endpoint")? as usize,
             ),
-            f64_from_bits(&triple[2], "failed link delay")?,
+            LinkState {
+                delay: f64_from_bits(&entry[2], "failed link delay")?,
+                bandwidth: match entry.get(3) {
+                    Some(bw) => f64_from_bits(bw, "failed link bandwidth")?,
+                    None => f64::INFINITY,
+                },
+            },
         );
     }
     let down_sites = get_items(doc, "down_sites")?
@@ -480,6 +511,12 @@ pub fn encode_fault_event(fault: &FaultEvent) -> Json {
         FaultEvent::SetMessageLoss { probability } => {
             Json::object(vec![("k", Json::str("loss")), ("p", f64_bits(probability))])
         }
+        FaultEvent::SetLinkBandwidth { a, b, bandwidth } => Json::object(vec![
+            ("k", Json::str("bw")),
+            ("a", Json::UInt(a.0 as u64)),
+            ("b", Json::UInt(b.0 as u64)),
+            ("w", f64_bits(bandwidth)),
+        ]),
     }
 }
 
@@ -506,6 +543,11 @@ pub fn decode_fault_event(doc: &Json) -> Result<FaultEvent, SnapshotError> {
         "loss" => Ok(FaultEvent::SetMessageLoss {
             probability: get_f64(doc, "p")?,
         }),
+        "bw" => Ok(FaultEvent::SetLinkBandwidth {
+            a: site("a")?,
+            b: site("b")?,
+            bandwidth: get_f64(doc, "w")?,
+        }),
         other => Err(err(format!("unknown fault kind {other:?}"))),
     }
 }
@@ -529,6 +571,21 @@ fn encode_payload<M>(payload: &EventPayload<M>, encode_msg: &impl Fn(&M) -> Json
             ("k", Json::str("f")),
             ("fault", encode_fault_event(fault)),
         ]),
+        EventPayload::FlowStart {
+            from,
+            volume,
+            message,
+        } => Json::object(vec![
+            ("k", Json::str("fs")),
+            ("from", Json::UInt(from.0 as u64)),
+            ("vol", f64_bits(*volume)),
+            ("msg", encode_msg(message)),
+        ]),
+        EventPayload::FlowFinish { flow, epoch } => Json::object(vec![
+            ("k", Json::str("ff")),
+            ("id", Json::UInt(*flow)),
+            ("ep", Json::UInt(*epoch)),
+        ]),
     }
 }
 
@@ -550,8 +607,163 @@ fn decode_payload<M>(
         "f" => Ok(EventPayload::Fault {
             fault: decode_fault_event(get(doc, "fault")?)?,
         }),
+        "fs" => Ok(EventPayload::FlowStart {
+            from: SiteId(get_u64(doc, "from")? as usize),
+            volume: get_f64(doc, "vol")?,
+            message: decode_msg(get(doc, "msg")?)?,
+        }),
+        "ff" => Ok(EventPayload::FlowFinish {
+            flow: get_u64(doc, "id")?,
+            epoch: get_u64(doc, "ep")?,
+        }),
         other => Err(err(format!("unknown payload kind {other:?}"))),
     }
+}
+
+// ----- flow plane ----------------------------------------------------------
+
+/// Serializes the shared-bandwidth plane (`rtds-flow-snapshot/1`): the
+/// plane-allocated link table with exact capacities, and every in-flight
+/// flow with its exact remaining volume and rate — rates are restored
+/// verbatim, **not** recomputed, so a restored run replays the same
+/// completion predictions bit-for-bit.
+fn encode_flow_plane<M>(plane: &FlowPlane<M>, encode_msg: &impl Fn(&M) -> Json) -> Json {
+    let links: Vec<Json> = plane
+        .link_ids
+        .iter()
+        .map(|(&(a, b), &id)| {
+            Json::Array(vec![
+                Json::UInt(a as u64),
+                Json::UInt(b as u64),
+                Json::UInt(id as u64),
+                f64_bits(plane.model.link_capacity(id)),
+            ])
+        })
+        .collect();
+    let flows: Vec<Json> = plane
+        .flows
+        .iter()
+        .map(|(&id, f)| {
+            Json::object(vec![
+                ("id", Json::UInt(id)),
+                ("from", Json::UInt(f.from.0 as u64)),
+                ("to", Json::UInt(f.to.0 as u64)),
+                ("vol", f64_bits(f.volume)),
+                ("start", f64_bits(f.started)),
+                ("ep", Json::UInt(f.epoch)),
+                ("fin", f64_bits(f.finish)),
+                ("rem", f64_bits(plane.model.remaining(id))),
+                ("rate", f64_bits(plane.model.rate(id))),
+                (
+                    "links",
+                    Json::Array(
+                        f.links
+                            .iter()
+                            .map(|&(a, b)| {
+                                Json::Array(vec![Json::UInt(a as u64), Json::UInt(b as u64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("msg", encode_msg(&f.message)),
+            ])
+        })
+        .collect();
+    Json::object(vec![
+        ("schema", Json::str(FLOW_SNAPSHOT_SCHEMA)),
+        ("time", f64_bits(plane.model.time())),
+        ("next_id", Json::UInt(plane.model.next_id())),
+        ("next_epoch", Json::UInt(plane.next_epoch)),
+        ("links", Json::Array(links)),
+        ("flows", Json::Array(flows)),
+    ])
+}
+
+/// Inverse of [`encode_flow_plane`].
+fn decode_flow_plane<M>(
+    doc: &Json,
+    decode_msg: &impl Fn(&Json) -> Result<M, SnapshotError>,
+) -> Result<FlowPlane<M>, SnapshotError> {
+    let schema = as_str(get(doc, "schema")?, "flow schema")?;
+    if schema != FLOW_SNAPSHOT_SCHEMA {
+        return Err(err(format!(
+            "unsupported flow snapshot schema {schema:?} (expected {FLOW_SNAPSHOT_SCHEMA:?})"
+        )));
+    }
+    let mut link_ids = BTreeMap::new();
+    let mut by_id: Vec<(u32, f64)> = Vec::new();
+    for entry in get_items(doc, "links")? {
+        let fields = as_items(entry, "flow link")?;
+        if fields.len() != 4 {
+            return Err(err("flow link: expected [a, b, id, capacity]"));
+        }
+        let a = as_u64(&fields[0], "flow link endpoint")? as usize;
+        let b = as_u64(&fields[1], "flow link endpoint")? as usize;
+        let id = as_u64(&fields[2], "flow link id")? as u32;
+        link_ids.insert((a, b), id);
+        by_id.push((id, f64_from_bits(&fields[3], "flow link capacity")?));
+    }
+    by_id.sort_by_key(|&(id, _)| id);
+    if by_id
+        .iter()
+        .enumerate()
+        .any(|(i, &(id, _))| id as usize != i)
+    {
+        return Err(err("flow links: ids must be dense from 0"));
+    }
+    let capacities: Vec<f64> = by_id.into_iter().map(|(_, cap)| cap).collect();
+    let mut model_flows = Vec::new();
+    let mut flows = BTreeMap::new();
+    for entry in get_items(doc, "flows")? {
+        let id = get_u64(entry, "id")?;
+        let mut pair_links = Vec::new();
+        let mut model_links = Vec::new();
+        for link in get_items(entry, "links")? {
+            let pair = as_items(link, "flow path link")?;
+            if pair.len() != 2 {
+                return Err(err("flow path link: expected [a, b]"));
+            }
+            let a = as_u64(&pair[0], "flow path endpoint")? as usize;
+            let b = as_u64(&pair[1], "flow path endpoint")? as usize;
+            let link_id = *link_ids
+                .get(&(a, b))
+                .ok_or_else(|| err(format!("flow {id}: unknown path link ({a}, {b})")))?;
+            pair_links.push((a, b));
+            model_links.push(link_id);
+        }
+        model_flows.push((
+            id,
+            model_links,
+            get_f64(entry, "rem")?,
+            get_f64(entry, "rate")?,
+        ));
+        flows.insert(
+            id,
+            EngineFlow {
+                from: SiteId(get_u64(entry, "from")? as usize),
+                to: SiteId(get_u64(entry, "to")? as usize),
+                message: decode_msg(get(entry, "msg")?)?,
+                volume: get_f64(entry, "vol")?,
+                started: get_f64(entry, "start")?,
+                epoch: get_u64(entry, "ep")?,
+                links: pair_links,
+                finish: get_f64(entry, "fin")?,
+            },
+        );
+    }
+    let model = FlowModel::from_raw_parts(
+        capacities,
+        get_f64(doc, "time")?,
+        get_u64(doc, "next_id")?,
+        model_flows,
+    );
+    Ok(FlowPlane {
+        model,
+        flows,
+        link_ids,
+        next_epoch: get_u64(doc, "next_epoch")?,
+        topo_version: 0,
+    })
 }
 
 // ----- engine --------------------------------------------------------------
@@ -589,6 +801,7 @@ pub fn snapshot_engine<P: Protocol>(
         ("stats", encode_stats(sim.stats())),
         ("faults", encode_faults(sim.faults())),
         ("network", encode_network(sim.network())),
+        ("flows", encode_flow_plane(sim.flow_plane(), &encode_msg)),
         (
             "queue",
             Json::object(vec![
@@ -649,13 +862,21 @@ pub fn restore_engine<P: Protocol>(
     }
     queue.set_next_seq(get_u64(queue_doc, "next_seq")?);
     let dispatch_items = get_items(doc, "dispatch_counts")?;
-    if dispatch_items.len() != 4 {
-        return Err(err("dispatch_counts: expected 4 entries"));
+    // Four entries predate the flow event classes; their counters restore
+    // as zero.
+    if dispatch_items.len() != 4 && dispatch_items.len() != 6 {
+        return Err(err("dispatch_counts: expected 4 or 6 entries"));
     }
-    let mut dispatch_counts = [0u64; 4];
+    let mut dispatch_counts = [0u64; 6];
     for (slot, j) in dispatch_counts.iter_mut().zip(dispatch_items) {
         *slot = as_u64(j, "dispatch count")?;
     }
+    // Snapshots written before the shared-bandwidth plane have no flow
+    // section; they restore with an empty plane.
+    let flows = match doc.get("flows") {
+        Some(section) => decode_flow_plane(section, &decode_msg)?,
+        None => FlowPlane::new(),
+    };
     Ok(Simulator::from_restored(
         network,
         nodes,
@@ -667,6 +888,7 @@ pub fn restore_engine<P: Protocol>(
         get_u64(doc, "max_events")?,
         get_u64(doc, "events_processed")?,
         dispatch_counts,
+        flows,
     ))
 }
 
@@ -853,6 +1075,206 @@ mod tests {
         assert_eq!(restored.now(), sim.now());
     }
 
+    /// A transfer-driven protocol for mid-flow snapshot tests: an external
+    /// kick `1000 + v` moves `v` units to the last site.
+    #[derive(Debug, Default, PartialEq)]
+    struct Mover {
+        received: Vec<(usize, u32, u64)>, // (from, volume, arrival bits)
+    }
+
+    impl Protocol for Mover {
+        type Msg = u32;
+
+        fn on_start(&mut self, _ctx: &mut Context<'_, u32>) {}
+
+        fn on_message(&mut self, from: SiteId, msg: u32, ctx: &mut Context<'_, u32>) {
+            if msg >= 1000 {
+                let volume = msg - 1000;
+                let to = SiteId(ctx.network().site_count() - 1);
+                ctx.transfer(to, volume as f64, volume);
+            } else {
+                self.received.push((from.0, msg, ctx.now().to_bits()));
+            }
+        }
+    }
+
+    fn encode_mover(_i: usize, node: &Mover) -> Json {
+        Json::Array(
+            node.received
+                .iter()
+                .map(|&(from, msg, bits)| {
+                    Json::Array(vec![
+                        Json::UInt(from as u64),
+                        Json::UInt(msg as u64),
+                        Json::UInt(bits),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn decode_mover(_i: usize, j: &Json) -> Result<Mover, SnapshotError> {
+        let mut received = Vec::new();
+        for entry in as_items(j, "mover state")? {
+            let triple = as_items(entry, "mover entry")?;
+            if triple.len() != 3 {
+                return Err(err("mover entry: expected [from, msg, time]"));
+            }
+            received.push((
+                as_u64(&triple[0], "from")? as usize,
+                as_u64(&triple[1], "msg")? as u32,
+                as_u64(&triple[2], "time")?,
+            ));
+        }
+        Ok(Mover { received })
+    }
+
+    #[test]
+    fn round_trip_mid_transfer_resumes_flows_bit_exactly() {
+        let build = || {
+            // 0 —(delay 1, bandwidth 0.5)— 1: transfers are slow, so the
+            // pause lands with flows in flight.
+            let mut net = Network::new(2);
+            net.add_link_with_bandwidth(SiteId(0), SiteId(1), 1.0, 0.5)
+                .unwrap();
+            let mut sim = Simulator::new(net, |_| Mover::default());
+            sim.inject_at(0.0, SiteId(0), 1008); // 8 units: alone, done at 17
+            sim.inject_at(2.0, SiteId(0), 1004); // 4 units: contends from t = 3
+                                                 // Mid-flight bandwidth brownout after the pause point, so the
+                                                 // restored plane must also replay fault-driven rescheduling.
+            sim.schedule_fault(
+                9.0,
+                FaultEvent::SetLinkBandwidth {
+                    a: SiteId(0),
+                    b: SiteId(1),
+                    bandwidth: 0.25,
+                },
+            );
+            sim
+        };
+
+        let mut reference = build();
+        reference.run_to_quiescence();
+        assert_eq!(reference.stats().named("sim_flow_finished"), 2);
+
+        let mut paused = build();
+        paused.run_until(5.0);
+        assert!(
+            paused.flows_in_flight() > 0,
+            "pause must land mid-transfer for this test to bite"
+        );
+        let doc = snapshot_engine(&paused, encode_mover, encode_u32);
+        let text = doc.render();
+        assert!(
+            text.contains(FLOW_SNAPSHOT_SCHEMA),
+            "snapshot must carry the versioned flow section"
+        );
+        let parsed = Json::parse(&text).expect("snapshot parses");
+        assert_eq!(parsed.render(), text);
+        let mut restored: Simulator<Mover> =
+            restore_engine(&parsed, decode_mover, decode_u32).expect("snapshot restores");
+        assert_eq!(restored.flows_in_flight(), paused.flows_in_flight());
+        restored.run_to_quiescence();
+
+        assert_eq!(restored.now(), reference.now(), "final clock");
+        assert_eq!(restored.events_processed(), reference.events_processed());
+        assert_eq!(restored.stats().metrics(), reference.stats().metrics());
+        assert_eq!(
+            restored.profile().dispatch_counts,
+            reference.profile().dispatch_counts
+        );
+        assert_eq!(restored.node(SiteId(1)), reference.node(SiteId(1)));
+    }
+
+    #[test]
+    fn restore_accepts_pre_flow_snapshots() {
+        // A snapshot written before links carried bandwidths (two-entry
+        // adjacency links, three-entry failed links, four dispatch counts,
+        // no flow section) must restore with an empty plane and unlimited
+        // bandwidths.
+        let mut sim = {
+            let net = line(3, DelayDistribution::Constant(2.0), 0);
+            let mut sim = Simulator::new(net, |_| Gossip::default());
+            sim.schedule_fault(
+                1.0,
+                FaultEvent::LinkDown {
+                    a: SiteId(1),
+                    b: SiteId(2),
+                },
+            );
+            sim
+        };
+        sim.run_until(3.0);
+        let text = snapshot_engine(&sim, encode_gossip, encode_u32).render();
+        // Rewrite the document into the legacy shape.
+        let doc = Json::parse(&text).unwrap();
+        let network = get(&doc, "network").unwrap();
+        let legacy_adjacency: Vec<Json> = get_items(network, "adjacency")
+            .unwrap()
+            .iter()
+            .map(|row| {
+                Json::Array(
+                    row.items()
+                        .unwrap()
+                        .iter()
+                        .map(|link| Json::Array(link.items().unwrap()[..2].to_vec()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let legacy_network = Json::object(vec![
+            ("adjacency", Json::Array(legacy_adjacency)),
+            ("speeds", get(network, "speeds").unwrap().clone()),
+        ]);
+        let faults = get(&doc, "faults").unwrap();
+        let legacy_failed: Vec<Json> = get_items(faults, "failed_links")
+            .unwrap()
+            .iter()
+            .map(|entry| Json::Array(entry.items().unwrap()[..3].to_vec()))
+            .collect();
+        let legacy_faults = Json::object(vec![
+            ("failed_links", Json::Array(legacy_failed)),
+            ("down_sites", get(faults, "down_sites").unwrap().clone()),
+            (
+                "loss_probability",
+                get(faults, "loss_probability").unwrap().clone(),
+            ),
+            ("rng", get(faults, "rng").unwrap().clone()),
+        ]);
+        let legacy_dispatch =
+            Json::Array(get_items(&doc, "dispatch_counts").unwrap()[..4].to_vec());
+        let legacy = Json::object(vec![
+            ("schema", Json::str(ENGINE_SNAPSHOT_SCHEMA)),
+            ("now", get(&doc, "now").unwrap().clone()),
+            ("started", get(&doc, "started").unwrap().clone()),
+            ("max_events", get(&doc, "max_events").unwrap().clone()),
+            (
+                "events_processed",
+                get(&doc, "events_processed").unwrap().clone(),
+            ),
+            ("dispatch_counts", legacy_dispatch),
+            ("stats", get(&doc, "stats").unwrap().clone()),
+            ("faults", legacy_faults),
+            ("network", legacy_network),
+            ("queue", get(&doc, "queue").unwrap().clone()),
+            ("nodes", get(&doc, "nodes").unwrap().clone()),
+        ]);
+        let mut restored: Simulator<Gossip> =
+            restore_engine(&legacy, decode_gossip, decode_u32).expect("legacy snapshot restores");
+        assert_eq!(restored.flows_in_flight(), 0);
+        assert_eq!(
+            restored.network().link_bandwidth(SiteId(0), SiteId(1)),
+            Some(f64::INFINITY)
+        );
+        // The legacy run still finishes identically to the current one.
+        let mut current: Simulator<Gossip> =
+            restore_engine(&doc, decode_gossip, decode_u32).unwrap();
+        restored.run_to_quiescence();
+        current.run_to_quiescence();
+        assert_eq!(restored.now(), current.now());
+        assert_eq!(restored.events_processed(), current.events_processed());
+    }
+
     #[test]
     fn restore_rejects_bad_documents() {
         let missing = Json::object(vec![("schema", Json::str("rtds-engine-snapshot/1"))]);
@@ -884,6 +1306,11 @@ mod tests {
             FaultEvent::SiteDown { site: SiteId(9) },
             FaultEvent::SiteUp { site: SiteId(9) },
             FaultEvent::SetMessageLoss { probability: 0.37 },
+            FaultEvent::SetLinkBandwidth {
+                a: SiteId(2),
+                b: SiteId(6),
+                bandwidth: 1.0 / 3.0,
+            },
         ];
         for fault in variants {
             let doc = encode_fault_event(&fault);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Flow smoke: two same-seed exp_flows runs must produce byte-identical
+# reports (the rtds-exp-flows/1 schema carries no timing fields at all),
+# and the incast-storm contention tripwire must hold: p99 transfer time
+# strictly above the uncontended bound max(volume)/min(bandwidth), proving
+# transfers share link bandwidth instead of each enjoying full capacity.
+# Used by CI and runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_flows -- --seed 1 --seeds 2 --json "$out/flow-smoke.json" \
+    --assert-contention
+cargo run --release --bin exp_flows -- --seed 1 --seeds 2 --json "$out/flow-smoke-b.json"
+cmp "$out/flow-smoke.json" "$out/flow-smoke-b.json"
+grep -q '"schema": "rtds-exp-flows/1"' "$out/flow-smoke.json"
+grep -q '"name": "incast-storm"' "$out/flow-smoke.json"
+grep -q '"contended": true' "$out/flow-smoke.json"
+# A single-scenario run exercises the --scenario filter.
+cargo run --release --bin exp_flows -- --scenario incast-storm --seed 1 --seeds 2 \
+    --json "$out/flow-smoke-incast.json" --assert-contention
+echo "flow smoke OK: report is byte-identical and incast transfers really contend"

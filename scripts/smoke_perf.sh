@@ -12,11 +12,12 @@ cargo run --release --bin exp_perf -- --seed 7 --smoke --json "$out/perf-smoke-b
 grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke.json" > "$out/perf-smoke.det"
 grep -v -E 'wall_ms|events_per_sec' "$out/perf-smoke-b.json" > "$out/perf-smoke-b.det"
 cmp "$out/perf-smoke.det" "$out/perf-smoke-b.det"
-# The v3 schema must actually carry the histogram summaries, and without
-# --soak the soak section renders as null.
-grep -q '"schema": "rtds-exp-perf/3"' "$out/perf-smoke.json"
+# The v4 schema must actually carry the histogram summaries and the flows
+# section, and without --soak the soak section renders as null.
+grep -q '"schema": "rtds-exp-perf/4"' "$out/perf-smoke.json"
 grep -q '"accept_latency": {' "$out/perf-smoke.json"
 grep -q '"accept_laxity": {' "$out/perf-smoke.json"
+grep -q '"flows": \[' "$out/perf-smoke.json"
 grep -q '"soak": null' "$out/perf-smoke.json"
 
 # Streaming soak smoke at a reduced budget: an uninterrupted run, a run

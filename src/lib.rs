@@ -7,7 +7,12 @@
 //! * [`graph`] — the DAG job model (tasks, precedence, critical paths,
 //!   workload generators, the paper's Fig. 2 instance),
 //! * [`net`] — network topologies, routing tables, the phased distributed
-//!   Bellman–Ford of §7 and hop-bounded spheres,
+//!   Bellman–Ford of §7 and hop-bounded spheres; links carry a bandwidth
+//!   capacity alongside their delay,
+//! * [`flow`] — the shared-bandwidth flow-level network model: a
+//!   dependency-free max-min fair-share rate solver with event-driven
+//!   recomputation, driven by the engine's `FlowStart`/`FlowFinish`
+//!   events (see `docs/NETWORK.md`),
 //! * [`sim`] — the deterministic discrete-event simulation engine (sites,
 //!   messages, sporadic arrivals, statistics),
 //! * [`metrics`] — deterministic streaming telemetry: counters, gauges and
@@ -64,6 +69,7 @@
 
 pub use rtds_baselines as baselines;
 pub use rtds_core as core;
+pub use rtds_flow as flow;
 pub use rtds_graph as graph;
 pub use rtds_metrics as metrics;
 pub use rtds_net as net;

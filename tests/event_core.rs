@@ -30,15 +30,16 @@ enum Op {
 
 fn arbitrary_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        ((0u16..64), (0u8..4)).prop_map(|(ticks, class)| Op::Push { ticks, class }),
+        ((0u16..64), (0u8..6)).prop_map(|(ticks, class)| Op::Push { ticks, class }),
         Just(Op::Pop),
     ]
 }
 
-/// Payloads covering every tie-breaking class; `tag` makes each push
+/// Payloads covering every tie-breaking class (including the flow-plane
+/// events, which rank last at equal timestamps); `tag` makes each push
 /// distinguishable so order comparisons are exact.
 fn payload(class: u8, tag: u64) -> EventPayload<Msg> {
-    match class % 4 {
+    match class % 6 {
         0 => EventPayload::Fault {
             fault: FaultEvent::SetLinkDelay {
                 a: SiteId((tag % 3) as usize),
@@ -51,7 +52,16 @@ fn payload(class: u8, tag: u64) -> EventPayload<Msg> {
             from: SiteId((tag % 7) as usize),
             message: tag,
         },
-        _ => EventPayload::Timer { timer_id: tag },
+        3 => EventPayload::Timer { timer_id: tag },
+        4 => EventPayload::FlowStart {
+            from: SiteId((tag % 7) as usize),
+            volume: 1.0 + (tag % 9) as f64,
+            message: tag,
+        },
+        _ => EventPayload::FlowFinish {
+            flow: tag,
+            epoch: tag % 3,
+        },
     }
 }
 
@@ -95,7 +105,7 @@ proptest! {
     /// the heap's pop sequence, and every batch really is one timestamp.
     #[test]
     fn batched_dispatch_preserves_pop_order(
-        ops in vec(((0u16..32), (0u8..4)), 1..300),
+        ops in vec(((0u16..32), (0u8..6)), 1..300),
         max in 1usize..17,
     ) {
         let mut calendar: CalendarQueue<Msg> = CalendarQueue::new();
@@ -128,7 +138,7 @@ proptest! {
     /// handle never resurfaces.
     #[test]
     fn cancellation_removes_exactly_the_cancelled(
-        pushes in vec(((0u16..48), (0u8..4), proptest::bool::ANY), 1..250),
+        pushes in vec(((0u16..48), (0u8..6), proptest::bool::ANY), 1..250),
     ) {
         let mut calendar: CalendarQueue<Msg> = CalendarQueue::new();
         let mut oracle: EventQueue<Msg> = EventQueue::new();
@@ -156,6 +166,8 @@ proptest! {
                 EventPayload::External { message } => *message,
                 EventPayload::Deliver { message, .. } => *message,
                 EventPayload::Timer { timer_id } => *timer_id,
+                EventPayload::FlowStart { message, .. } => *message,
+                EventPayload::FlowFinish { flow, .. } => *flow,
                 EventPayload::Fault { .. } => e.seq,
             };
             !cancelled_tags.contains(&tag)

@@ -25,9 +25,8 @@ use crate::policy::PolicyReport;
 use rtds_graph::Job;
 use rtds_net::dijkstra::shortest_paths;
 use rtds_net::{Network, SiteId};
-use rtds_sched::admission::admit_dag_locally;
 use rtds_sched::executor;
-use rtds_sched::SchedulePlan;
+use rtds_sched::{ProtocolScheduler, SchedulePlan, Scheduler, SiteResources};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the broadcast-bidding policy.
@@ -58,7 +57,16 @@ pub fn run_broadcast_bidding(
     config: BiddingConfig,
 ) -> PolicyReport {
     let n = network.site_count();
-    let mut plans: Vec<SchedulePlan> = (0..n).map(|_| SchedulePlan::new()).collect();
+    let mut scheds: Vec<ProtocolScheduler> = network
+        .sites()
+        .map(|s| {
+            ProtocolScheduler::new(
+                SiteResources::default(),
+                network.speed(s),
+                config.preemptive,
+            )
+        })
+        .collect();
     let mut report = PolicyReport::default();
     let mut ordered: Vec<&Job> = jobs.iter().collect();
     ordered.sort_by(|a, b| {
@@ -73,15 +81,9 @@ pub fn run_broadcast_bidding(
         let arrival = SiteId(job.arrival_site);
         let now = job.arrival_time;
         // Local attempt first.
-        if let Some(adm) = admit_dag_locally(
-            &plans[arrival.0],
-            job,
-            now,
-            network.speed(arrival),
-            config.preemptive,
-        ) {
-            plans[arrival.0]
-                .insert_all(&adm.reservations)
+        if let Some(adm) = scheds[arrival.0].admit_dag(job, now, None) {
+            scheds[arrival.0]
+                .reserve_dag(&adm)
                 .expect("admission placements fit");
             report.accepted_locally += 1;
             accepted.push((job.id, job.deadline()));
@@ -97,7 +99,7 @@ pub fn run_broadcast_bidding(
         let mut bidders: Vec<(SiteId, f64, f64)> = (0..n)
             .filter(|&s| s != arrival.0)
             .map(|s| {
-                let surplus = plans[s].surplus(now, config.observation_window);
+                let surplus = scheds[s].surplus(now, config.observation_window);
                 (SiteId(s), surplus, sp.dist[s])
             })
             .collect();
@@ -114,15 +116,9 @@ pub fn run_broadcast_bidding(
             // The job (and later its results) must travel to the remote site:
             // its effective earliest start accounts for the transfer delay.
             let effective_now = now + dist;
-            if let Some(adm) = admit_dag_locally(
-                &plans[site.0],
-                job,
-                effective_now,
-                network.speed(site),
-                config.preemptive,
-            ) {
-                plans[site.0]
-                    .insert_all(&adm.reservations)
+            if let Some(adm) = scheds[site.0].admit_dag(job, effective_now, None) {
+                scheds[site.0]
+                    .reserve_dag(&adm)
                     .expect("admission placements fit");
                 report.accepted_remotely += 1;
                 accepted.push((job.id, job.deadline()));
@@ -134,7 +130,7 @@ pub fn run_broadcast_bidding(
             report.rejected += 1;
         }
     }
-    let plan_refs: Vec<&SchedulePlan> = plans.iter().collect();
+    let plan_refs: Vec<&SchedulePlan> = scheds.iter().flat_map(|s| s.core_plans()).collect();
     for (job, deadline) in accepted {
         if !executor::meets_deadline(&plan_refs, job, deadline) {
             report.deadline_misses += 1;

@@ -13,15 +13,19 @@ use crate::policy::PolicyReport;
 use rtds_graph::{critical_path_tasks, Job};
 use rtds_net::dijkstra::all_pairs_shortest_paths;
 use rtds_net::{Network, SiteId};
-use rtds_sched::admission::{admit_dag_locally, priority_order};
+use rtds_sched::admission::priority_order;
 use rtds_sched::executor;
-use rtds_sched::{Reservation, SchedulePlan};
+use rtds_sched::{ProtocolScheduler, Reservation, SchedulePlan, Scheduler, SiteResources};
 
 /// Runs the centralized oracle over a workload.
 pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool) -> PolicyReport {
-    let n = network.site_count();
     let aps = all_pairs_shortest_paths(network);
-    let mut plans: Vec<SchedulePlan> = (0..n).map(|_| SchedulePlan::new()).collect();
+    // Committed state lives in one single-core protocol scheduler per site;
+    // the multi-site split explores scratch copies of their exact plans.
+    let mut scheds: Vec<ProtocolScheduler> = network
+        .sites()
+        .map(|s| ProtocolScheduler::new(SiteResources::default(), network.speed(s), preemptive))
+        .collect();
     let mut report = PolicyReport::default();
     let mut ordered: Vec<&Job> = jobs.iter().collect();
     ordered.sort_by(|a, b| {
@@ -38,31 +42,25 @@ pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool)
         // Whole-DAG placement: pick the single site with the earliest
         // completion, accounting for the one-way transfer delay from the
         // arrival site.
-        let mut best: Option<(SiteId, f64, Vec<Reservation>)> = None;
+        let mut best: Option<(SiteId, rtds_sched::DagSchedule)> = None;
         for s in network.sites() {
             let transfer = aps[arrival.0].dist[s.0];
             if !transfer.is_finite() {
                 continue;
             }
-            if let Some(adm) = admit_dag_locally(
-                &plans[s.0],
-                job,
-                now + transfer,
-                network.speed(s),
-                preemptive,
-            ) {
+            if let Some(adm) = scheds[s.0].admit_dag(job, now + transfer, None) {
                 let better = best
                     .as_ref()
-                    .map(|(_, c, _)| adm.completion < *c - 1e-12)
+                    .map(|(_, b)| adm.completion < b.completion - 1e-12)
                     .unwrap_or(true);
                 if better {
-                    best = Some((s, adm.completion, adm.reservations));
+                    best = Some((s, adm));
                 }
             }
         }
-        if let Some((s, _, reservations)) = best {
-            plans[s.0]
-                .insert_all(&reservations)
+        if let Some((s, admission)) = best {
+            scheds[s.0]
+                .reserve_dag(&admission)
                 .expect("admission placements fit");
             if s == arrival {
                 report.accepted_locally += 1;
@@ -73,11 +71,18 @@ pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool)
             continue;
         }
         // Multi-site split with exact knowledge.
-        if let Some(placements) = split_across_sites(network, &aps, &plans, job, now, preemptive) {
+        let exact_plans: Vec<SchedulePlan> =
+            scheds.iter().map(|s| s.core_plans()[0].clone()).collect();
+        if let Some(placements) =
+            split_across_sites(network, &aps, &exact_plans, job, now, preemptive)
+        {
             let remote = placements.iter().any(|(site, _)| *site != arrival);
             for (site, reservation) in &placements {
-                plans[site.0]
-                    .insert(*reservation)
+                scheds[site.0]
+                    .reserve(&[rtds_sched::Placement {
+                        core: 0,
+                        reservation: *reservation,
+                    }])
                     .expect("oracle placements fit");
             }
             if remote {
@@ -90,7 +95,7 @@ pub fn run_centralized_oracle(network: &Network, jobs: &[Job], preemptive: bool)
         }
         report.rejected += 1;
     }
-    let plan_refs: Vec<&SchedulePlan> = plans.iter().collect();
+    let plan_refs: Vec<&SchedulePlan> = scheds.iter().flat_map(|s| s.core_plans()).collect();
     for (job, deadline) in accepted {
         if !executor::meets_deadline(&plan_refs, job, deadline) {
             report.deadline_misses += 1;

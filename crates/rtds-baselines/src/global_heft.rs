@@ -1,0 +1,204 @@
+//! Global HEFT: centralized insertion-based list scheduling with
+//! communication-inclusive upward ranks (Topcuoglu et al.).
+//!
+//! Like the [`crate::centralized`] oracle this policy has exact global
+//! knowledge and zero protocol cost, but it schedules every job with the
+//! classic HEFT heuristic instead of the whole-DAG-first strategy: tasks are
+//! ordered by [`rtds_sched::heft_upward_rank`] — which folds per-edge data
+//! volumes into the priority, unlike the compute-only critical path — and
+//! each task is placed on the site minimising its earliest finish time over
+//! the *exact* per-site plans (insertion-based: idle gaps between existing
+//! reservations are candidates too). A job is accepted only if every task
+//! fits before the deadline, so accepted jobs never miss.
+//!
+//! Inter-site data movement is charged at the exact pairwise propagation
+//! delay, the same model the oracle's split phase uses; volumes shape the
+//! task order, not the link occupancy.
+
+use crate::policy::PolicyReport;
+use rtds_graph::Job;
+use rtds_net::dijkstra::all_pairs_shortest_paths;
+use rtds_net::{Network, SiteId};
+use rtds_sched::admission::priority_order;
+use rtds_sched::executor;
+use rtds_sched::{heft_upward_rank, Reservation, SchedulePlan};
+
+/// Runs global HEFT over a workload.
+pub fn run_global_heft(network: &Network, jobs: &[Job], preemptive: bool) -> PolicyReport {
+    let n = network.site_count();
+    let aps = all_pairs_shortest_paths(network);
+    let mut plans: Vec<SchedulePlan> = (0..n).map(|_| SchedulePlan::new()).collect();
+    let mut report = PolicyReport::default();
+    let mut ordered: Vec<&Job> = jobs.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.arrival_time
+            .partial_cmp(&b.arrival_time)
+            .unwrap()
+            .then(a.id.cmp(&b.id))
+    });
+    // HEFT places each task contiguously; the preemptive flag is accepted
+    // for signature parity with the other centralized baseline.
+    let _ = preemptive;
+    let mut accepted = Vec::new();
+    for job in ordered {
+        report.submitted += 1;
+        match schedule_job(network, &aps, &plans, job) {
+            Some(placements) => {
+                let arrival = SiteId(job.arrival_site);
+                let remote = placements.iter().any(|(site, _)| *site != arrival);
+                for (site, reservation) in &placements {
+                    plans[site.0]
+                        .insert(*reservation)
+                        .expect("HEFT placements fit");
+                }
+                if remote {
+                    report.accepted_remotely += 1;
+                } else {
+                    report.accepted_locally += 1;
+                }
+                accepted.push((job.id, job.deadline()));
+            }
+            None => report.rejected += 1,
+        }
+    }
+    let plan_refs: Vec<&SchedulePlan> = plans.iter().collect();
+    for (job, deadline) in accepted {
+        if !executor::meets_deadline(&plan_refs, job, deadline) {
+            report.deadline_misses += 1;
+        }
+    }
+    report
+}
+
+/// Schedules one DAG with insertion-based HEFT over the exact plans.
+fn schedule_job(
+    network: &Network,
+    aps: &[rtds_net::dijkstra::ShortestPaths],
+    plans: &[SchedulePlan],
+    job: &Job,
+) -> Option<Vec<(SiteId, Reservation)>> {
+    let graph = &job.graph;
+    let n_tasks = graph.task_count();
+    if n_tasks == 0 {
+        return Some(Vec::new());
+    }
+    let arrival = SiteId(job.arrival_site);
+    let deadline = job.deadline();
+    let rank = heft_upward_rank(graph);
+    let order = priority_order(graph, &rank);
+    let mut scratch: Vec<SchedulePlan> = plans.to_vec();
+    let mut placed_site = vec![SiteId(0); n_tasks];
+    let mut finish = vec![0.0f64; n_tasks];
+    let mut out = Vec::new();
+    for t in order {
+        let cost = graph.cost(t);
+        let mut best: Option<(SiteId, f64, f64)> = None;
+        for s in network.sites() {
+            let transfer = aps[arrival.0].dist[s.0];
+            if !transfer.is_finite() {
+                continue;
+            }
+            let mut ready = job.arrival_time.max(job.release()) + transfer;
+            for p in graph.predecessors(t) {
+                let delay = if placed_site[p.0] == s {
+                    0.0
+                } else {
+                    aps[placed_site[p.0].0].dist[s.0]
+                };
+                ready = ready.max(finish[p.0] + delay);
+            }
+            let duration = cost / network.speed(s);
+            if let Some(start) = scratch[s.0].earliest_fit(ready, deadline, duration) {
+                let end = start + duration;
+                let better = best.map(|(_, _, e)| end < e - 1e-12).unwrap_or(true);
+                if better {
+                    best = Some((s, start, end));
+                }
+            }
+        }
+        let (s, start, end) = best?;
+        let reservation = Reservation {
+            job: job.id,
+            task: t,
+            start,
+            end,
+        };
+        scratch[s.0].insert(reservation).ok()?;
+        placed_site[t.0] = s;
+        finish[t.0] = end;
+        out.push((s, reservation));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_only::run_local_only;
+    use rtds_graph::{JobId, JobParams, TaskGraph, TaskId};
+    use rtds_net::generators::{ring, DelayDistribution};
+
+    fn chain_job(id: u64, costs: &[f64], release: f64, deadline: f64, site: usize) -> Job {
+        let mut g = TaskGraph::from_costs(costs);
+        for i in 1..costs.len() {
+            g.add_edge(TaskId(i - 1), TaskId(i)).unwrap();
+        }
+        Job::new(JobId(id), g, JobParams::new(release, deadline), site)
+    }
+
+    fn fork_job(id: u64, width: usize, cost: f64, deadline: f64, site: usize) -> Job {
+        let mut g = TaskGraph::new();
+        let src = g.add_task(1.0);
+        let branches: Vec<_> = (0..width).map(|_| g.add_task(cost)).collect();
+        let sink = g.add_task(1.0);
+        for t in &branches {
+            g.add_edge(src, *t).unwrap();
+            g.add_edge(*t, sink).unwrap();
+        }
+        Job::new(JobId(id), g, JobParams::new(0.0, deadline), site)
+    }
+
+    #[test]
+    fn heft_dominates_local_only_and_never_misses() {
+        let net = ring(6, DelayDistribution::Constant(1.0), 0);
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| chain_job(i, &[30.0], (i / 2) as f64, (i / 2) as f64 + 40.0, 0))
+            .collect();
+        let local = run_local_only(&net, &jobs, false);
+        let heft = run_global_heft(&net, &jobs, false);
+        assert!(heft.accepted() > local.accepted());
+        assert_eq!(heft.deadline_misses, 0);
+        assert_eq!(heft.distribution_messages, 0);
+    }
+
+    #[test]
+    fn heft_splits_wide_jobs_across_sites() {
+        let net = ring(8, DelayDistribution::Constant(1.0), 0);
+        let jobs = vec![fork_job(1, 6, 30.0, 45.0, 0)];
+        let heft = run_global_heft(&net, &jobs, false);
+        assert_eq!(heft.accepted(), 1);
+        assert_eq!(heft.accepted_remotely, 1);
+        assert_eq!(heft.deadline_misses, 0);
+    }
+
+    #[test]
+    fn infeasible_jobs_are_rejected() {
+        let net = ring(4, DelayDistribution::Constant(1.0), 0);
+        let jobs = vec![chain_job(1, &[100.0], 0.0, 20.0, 0)];
+        let heft = run_global_heft(&net, &jobs, false);
+        assert_eq!(heft.rejected, 1);
+        assert_eq!(heft.accepted(), 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let net = ring(7, DelayDistribution::Uniform { min: 0.5, max: 2.0 }, 3);
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| chain_job(i, &[12.0, 8.0], i as f64, i as f64 + 50.0, (i % 7) as usize))
+            .collect();
+        assert_eq!(
+            run_global_heft(&net, &jobs, false),
+            run_global_heft(&net, &jobs, false)
+        );
+    }
+}

@@ -19,8 +19,12 @@
 //! * [`centralized`] — an omniscient centralized scheduler with exact global
 //!   knowledge and zero protocol cost; an upper bound on what any on-line
 //!   distribution scheme could accept,
-//! * [`policy`] — the common report type shared by every policy so the
-//!   harness can print comparable rows.
+//! * [`global_heft`] — centralized insertion-based HEFT list scheduling
+//!   with communication-inclusive upward ranks (Topcuoglu et al.); the
+//!   classic DAG-scheduling heuristic as a distribution baseline,
+//! * [`policy`] — the common report type and the [`DistributionPolicy`]
+//!   trait unifying all five entry points, so harnesses iterate over
+//!   `Box<dyn DistributionPolicy>` instead of hand-wiring each signature.
 //!
 //! Every policy consumes the same ingredients as RTDS itself — networks from
 //! [`rtds_net`], jobs from [`rtds_graph`], plans from [`rtds_sched`] — and is
@@ -29,12 +33,17 @@
 
 pub mod broadcast_bidding;
 pub mod centralized;
+pub mod global_heft;
 pub mod local_only;
 pub mod policy;
 pub mod random_offload;
 
 pub use broadcast_bidding::{run_broadcast_bidding, BiddingConfig};
 pub use centralized::run_centralized_oracle;
+pub use global_heft::run_global_heft;
 pub use local_only::run_local_only;
-pub use policy::PolicyReport;
+pub use policy::{
+    all_policies, BroadcastBidding, CentralizedOracle, DistributionPolicy, GlobalHeft, LocalOnly,
+    PolicyReport, RandomOffload,
+};
 pub use random_offload::{run_random_offload, RandomOffloadConfig};

@@ -12,9 +12,8 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use rtds_graph::Job;
 use rtds_net::{Network, SiteId};
-use rtds_sched::admission::admit_dag_locally;
 use rtds_sched::executor;
-use rtds_sched::SchedulePlan;
+use rtds_sched::{ProtocolScheduler, SchedulePlan, Scheduler, SiteResources};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the random-offload policy.
@@ -45,8 +44,15 @@ pub fn run_random_offload(
     config: RandomOffloadConfig,
 ) -> PolicyReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut plans: Vec<SchedulePlan> = (0..network.site_count())
-        .map(|_| SchedulePlan::new())
+    let mut scheds: Vec<ProtocolScheduler> = network
+        .sites()
+        .map(|s| {
+            ProtocolScheduler::new(
+                SiteResources::default(),
+                network.speed(s),
+                config.preemptive,
+            )
+        })
         .collect();
     let mut report = PolicyReport::default();
     let mut ordered: Vec<&Job> = jobs.iter().collect();
@@ -66,12 +72,9 @@ pub fn run_random_offload(
         let mut now = job.arrival_time;
         let mut placed = false;
         for hop in 0..=config.max_hops {
-            let speed = network.speed(current);
-            if let Some(adm) =
-                admit_dag_locally(&plans[current.0], job, now, speed, config.preemptive)
-            {
-                plans[current.0]
-                    .insert_all(&adm.reservations)
+            if let Some(adm) = scheds[current.0].admit_dag(job, now, None) {
+                scheds[current.0]
+                    .reserve_dag(&adm)
                     .expect("admission placements fit");
                 if hop == 0 {
                     report.accepted_locally += 1;
@@ -105,7 +108,7 @@ pub fn run_random_offload(
             report.rejected += 1;
         }
     }
-    let plan_refs: Vec<&SchedulePlan> = plans.iter().collect();
+    let plan_refs: Vec<&SchedulePlan> = scheds.iter().flat_map(|s| s.core_plans()).collect();
     for (job, deadline) in accepted {
         if !executor::meets_deadline(&plan_refs, job, deadline) {
             report.deadline_misses += 1;

@@ -18,8 +18,8 @@ fn main() {
     println!("== E1: acceptance ratio vs. arrival rate (25-site grid, 4 hotspot sites) ==");
     println!();
     println!(
-        "{:>8} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "rate", "jobs", "rtds", "local", "random", "bcast", "oracle"
+        "{:>8} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "rate", "jobs", "rtds", "local", "random", "bcast", "heft", "oracle"
     );
     let net = network.clone();
     let rows = parallel_sweep(rates.clone(), move |rate| {
@@ -41,17 +41,18 @@ fn main() {
         let ratio = |name: &str| {
             rows.iter()
                 .find(|r| r.policy == name)
-                .map(|r| r.ratio)
+                .and_then(|r| r.ratio)
                 .unwrap_or(f64::NAN)
         };
         println!(
-            "{:>8.3} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            "{:>8.3} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             rate,
             njobs,
             ratio("rtds"),
             ratio("local-only"),
             ratio("random-offload"),
             ratio("broadcast-bidding"),
+            ratio("global-heft"),
             ratio("centralized-oracle"),
         );
         assert!(rows.iter().all(|r| r.misses == 0), "deadline miss detected");
@@ -62,6 +63,7 @@ fn main() {
             ("local_only", Json::Num(ratio("local-only"))),
             ("random_offload", Json::Num(ratio("random-offload"))),
             ("broadcast_bidding", Json::Num(ratio("broadcast-bidding"))),
+            ("global_heft", Json::Num(ratio("global-heft"))),
             ("centralized_oracle", Json::Num(ratio("centralized-oracle"))),
         ]));
     }

@@ -85,15 +85,23 @@ fn main() {
         let row = comparison_row(label, &network, &jobs, config, 4);
         println!(
             "{:<34} {:>4}/{:<4} {:>8.3} {:>8} {:>12.1}",
-            label, row.accepted, row.submitted, row.ratio, row.misses, row.messages_per_job
+            label,
+            row.accepted,
+            row.submitted,
+            row.ratio.unwrap_or(f64::NAN),
+            row.misses,
+            row.messages_per_job.unwrap_or(f64::NAN)
         );
         assert_eq!(row.misses, 0);
         json_rows.push(Json::object(vec![
             ("configuration", Json::str(label)),
             ("accepted", Json::UInt(row.accepted)),
             ("submitted", Json::UInt(row.submitted)),
-            ("ratio", Json::Num(row.ratio)),
-            ("messages_per_job", Json::Num(row.messages_per_job)),
+            ("ratio", row.ratio.map(Json::Num).unwrap_or(Json::Null)),
+            (
+                "messages_per_job",
+                row.messages_per_job.map(Json::Num).unwrap_or(Json::Null),
+            ),
         ]));
     }
     args.write_json(&Json::object(vec![

@@ -43,7 +43,7 @@ fn main() {
         let ratio = |name: &str| {
             rows.iter()
                 .find(|r| r.policy == name)
-                .map(|r| r.ratio)
+                .and_then(|r| r.ratio)
                 .unwrap_or(f64::NAN)
         };
         println!(

@@ -12,6 +12,10 @@ use rtds_core::RtdsConfig;
 use rtds_net::generators::{barabasi_albert, DelayDistribution};
 use rtds_scenarios::Json;
 
+fn opt_num(value: Option<f64>) -> Json {
+    value.map(Json::Num).unwrap_or(Json::Null)
+}
+
 fn main() {
     let args = ExpArgs::parse(&[], &[]);
     let seed = args.seed(5);
@@ -53,24 +57,24 @@ fn main() {
             "{:>7} {:>6} | {:>14.1} {:>14.1} | {:>10.3} {:>10.3}",
             n,
             njobs,
-            rtds.messages_per_job,
-            bcast.messages_per_job(),
-            rtds.ratio,
-            bcast.guarantee_ratio(),
+            rtds.messages_per_job.unwrap_or(f64::NAN),
+            bcast.messages_per_job().unwrap_or(f64::NAN),
+            rtds.ratio.unwrap_or(f64::NAN),
+            bcast.guarantee_ratio().unwrap_or(f64::NAN),
         );
         assert_eq!(rtds.misses, 0);
         json_rows.push(Json::object(vec![
             ("sites", Json::UInt(n as u64)),
             ("jobs", Json::UInt(njobs as u64)),
-            ("rtds_messages_per_job", Json::Num(rtds.messages_per_job)),
+            ("rtds_messages_per_job", opt_num(rtds.messages_per_job)),
             (
                 "broadcast_messages_per_job",
-                Json::Num(bcast.messages_per_job()),
+                opt_num(bcast.messages_per_job()),
             ),
-            ("rtds_ratio", Json::Num(rtds.ratio)),
-            ("broadcast_ratio", Json::Num(bcast.guarantee_ratio())),
+            ("rtds_ratio", opt_num(rtds.ratio)),
+            ("broadcast_ratio", opt_num(bcast.guarantee_ratio())),
         ]));
-        rtds_costs.push(rtds.messages_per_job);
+        rtds_costs.push(rtds.messages_per_job.unwrap_or(0.0));
     }
     args.write_json(&Json::object(vec![
         ("experiment", Json::str("overhead_vs_size")),

@@ -1,0 +1,233 @@
+//! `exp_sched` — E8: local scheduler comparison (protocol vs HEFT vs
+//! lookahead).
+//!
+//! Re-runs registry scenarios with each site's local scheduler swapped
+//! between the paper's §5/§12 critical-path list scheduler (`protocol`),
+//! insertion-based HEFT (`heft`) and one-step lookahead (`lookahead`), and
+//! reports the guarantee ratio and distribution messages per job for every
+//! `(scenario, scheduler)` pair. The report (`rtds-exp-sched/1`) is a pure
+//! function of `--seed`, so two runs with the same flags are byte-identical.
+//!
+//! ```text
+//! exp_sched [--scenario <name|all>] [--seed <u64>] [--seeds <n>]
+//!           [--json <path>]
+//! ```
+//!
+//! Whatever the scheduler, an accepted job must never miss its deadline —
+//! the binary exits nonzero if any cell reports a miss. Undefined ratios
+//! (a cell that submitted zero jobs) are printed as `-` and serialized as
+//! `null`, never as a fake `1.0` or `0.0`.
+
+use rtds_bench::{write_json_report, ExpArgs};
+use rtds_scenarios::{builtin_scenarios, find_scenario, run_cell, CellReport, Json, Scenario};
+use rtds_sched::SchedulerKind;
+
+/// Identifier of the report schema (bump on breaking field changes).
+const SCHED_SCHEMA: &str = "rtds-exp-sched/1";
+
+/// The three local schedulers under comparison, in report order.
+const KINDS: [SchedulerKind; 3] = [
+    SchedulerKind::Protocol,
+    SchedulerKind::Heft,
+    SchedulerKind::Lookahead,
+];
+
+/// One scenario run under one scheduler, aggregated over its seeds.
+struct VariantResult {
+    kind: SchedulerKind,
+    cells: Vec<CellReport>,
+}
+
+impl VariantResult {
+    fn run(scenario: &Scenario, kind: SchedulerKind, seeds: &[u64]) -> Self {
+        let mut variant = scenario.clone();
+        variant.config.scheduler = kind;
+        VariantResult {
+            kind,
+            cells: seeds.iter().map(|&seed| run_cell(&variant, seed)).collect(),
+        }
+    }
+
+    fn submitted(&self) -> u64 {
+        self.cells.iter().map(|c| c.submitted).sum()
+    }
+
+    fn accepted(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.accepted_locally + c.accepted_distributed)
+            .sum()
+    }
+
+    fn deadline_misses(&self) -> u64 {
+        self.cells.iter().map(|c| c.deadline_misses).sum()
+    }
+
+    /// Aggregate guarantee ratio; `None` when no job was submitted (a 0/0
+    /// ratio must stay undefined, not masquerade as `1.0`).
+    fn guarantee_ratio(&self) -> Option<f64> {
+        let submitted = self.submitted();
+        (submitted > 0).then(|| self.accepted() as f64 / submitted as f64)
+    }
+
+    /// Aggregate distribution messages per submitted job; `None` on an
+    /// empty workload.
+    fn messages_per_job(&self) -> Option<f64> {
+        let submitted = self.submitted();
+        let messages: f64 = self
+            .cells
+            .iter()
+            .map(|c| c.messages_per_job * c.submitted as f64)
+            .sum();
+        (submitted > 0).then(|| messages / submitted as f64)
+    }
+
+    fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::object(vec![
+                    ("seed", Json::UInt(c.seed)),
+                    ("submitted", Json::UInt(c.submitted)),
+                    ("accepted_locally", Json::UInt(c.accepted_locally)),
+                    ("accepted_distributed", Json::UInt(c.accepted_distributed)),
+                    ("rejected", Json::UInt(c.rejected)),
+                    ("deadline_misses", Json::UInt(c.deadline_misses)),
+                    (
+                        "guarantee_ratio",
+                        opt((c.submitted > 0).then_some(c.guarantee_ratio)),
+                    ),
+                    (
+                        "messages_per_job",
+                        opt((c.submitted > 0).then_some(c.messages_per_job)),
+                    ),
+                    ("events_processed", Json::UInt(c.events_processed)),
+                    ("finished_at", Json::Num(c.finished_at)),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("scheduler", Json::str(self.kind.name())),
+            ("submitted", Json::UInt(self.submitted())),
+            ("accepted", Json::UInt(self.accepted())),
+            ("deadline_misses", Json::UInt(self.deadline_misses())),
+            ("guarantee_ratio", opt(self.guarantee_ratio())),
+            ("messages_per_job", opt(self.messages_per_job())),
+            ("cells", Json::Array(cells)),
+        ])
+    }
+}
+
+/// All three scheduler variants of one scenario.
+struct ScenarioResult {
+    scenario: Scenario,
+    variants: Vec<VariantResult>,
+}
+
+impl ScenarioResult {
+    fn run(scenario: Scenario, seeds: &[u64]) -> Self {
+        let variants = KINDS
+            .iter()
+            .map(|&kind| VariantResult::run(&scenario, kind, seeds))
+            .collect();
+        ScenarioResult { scenario, variants }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("name", Json::str(&self.scenario.name)),
+            ("description", Json::str(&self.scenario.description)),
+            (
+                "schedulers",
+                Json::Array(self.variants.iter().map(VariantResult::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse(&["scenario", "seeds"], &[]);
+    let selected: Vec<Scenario> = match args.value_of("scenario") {
+        None | Some("all") => builtin_scenarios(),
+        Some(name) => match find_scenario(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario {name:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let base_seed = args.seed(1);
+    let seed_count = args.usize_of("seeds", 2).max(1);
+    let seeds: Vec<u64> = (0..seed_count as u64).map(|i| base_seed + i).collect();
+
+    println!(
+        "== E8: local scheduler comparison ({} scenario(s) x {} scheduler(s) x {} seed(s) from {}) ==",
+        selected.len(),
+        KINDS.len(),
+        seeds.len(),
+        base_seed
+    );
+    println!();
+    println!(
+        "{:<26} {:<10} {:>9} {:>7} {:>7} {:>9}",
+        "scenario", "scheduler", "acc/sub", "ratio", "misses", "msgs/job"
+    );
+
+    let mut results = Vec::new();
+    let mut misses = 0u64;
+    for scenario in selected {
+        let result = ScenarioResult::run(scenario, &seeds);
+        for v in &result.variants {
+            println!(
+                "{:<26} {:<10} {:>4}/{:<4} {:>7} {:>7} {:>9}",
+                result.scenario.name,
+                v.kind.name(),
+                v.accepted(),
+                v.submitted(),
+                fmt_opt(v.guarantee_ratio()),
+                v.deadline_misses(),
+                fmt_opt(v.messages_per_job()),
+            );
+            misses += v.deadline_misses();
+        }
+        results.push(result);
+    }
+    println!();
+
+    if let Some(path) = args.json_path() {
+        let report = Json::object(vec![
+            ("schema", Json::str(SCHED_SCHEMA)),
+            ("seed", Json::UInt(base_seed)),
+            (
+                "seeds",
+                Json::Array(seeds.iter().map(|&s| Json::UInt(s)).collect()),
+            ),
+            (
+                "schedulers",
+                Json::Array(KINDS.iter().map(|k| Json::str(k.name())).collect()),
+            ),
+            (
+                "scenarios",
+                Json::Array(results.iter().map(ScenarioResult::to_json).collect()),
+            ),
+        ]);
+        write_json_report(path, &report.render());
+    }
+
+    if misses > 0 {
+        eprintln!("deadline-miss check FAILED: {misses} accepted job(s) missed their deadline");
+        std::process::exit(1);
+    }
+    println!("deadline-miss check: zero misses across every scheduler and scenario");
+}

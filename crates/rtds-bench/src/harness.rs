@@ -2,8 +2,8 @@
 //! a small parallel sweep driver.
 
 use rtds_baselines::{
-    run_broadcast_bidding, run_centralized_oracle, run_local_only, run_random_offload,
-    BiddingConfig, PolicyReport, RandomOffloadConfig,
+    BiddingConfig, BroadcastBidding, CentralizedOracle, DistributionPolicy, GlobalHeft, LocalOnly,
+    PolicyReport, RandomOffload, RandomOffloadConfig,
 };
 use rtds_core::{RtdsConfig, RtdsSystem, RunReport};
 use rtds_graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
@@ -86,12 +86,13 @@ pub struct ComparisonRow {
     pub accepted: u64,
     /// Jobs submitted.
     pub submitted: u64,
-    /// Guarantee ratio.
-    pub ratio: f64,
+    /// Guarantee ratio (`None` for an empty workload — a 0/0 ratio).
+    pub ratio: Option<f64>,
     /// Deadline misses among accepted jobs (must be zero).
     pub misses: u64,
-    /// Distribution messages per submitted job.
-    pub messages_per_job: f64,
+    /// Distribution messages per submitted job (`None` for an empty
+    /// workload).
+    pub messages_per_job: Option<f64>,
 }
 
 impl ComparisonRow {
@@ -111,22 +112,25 @@ impl ComparisonRow {
             policy: label.to_string(),
             accepted: report.guarantee.accepted(),
             submitted: report.jobs_submitted,
-            ratio: report.guarantee_ratio(),
+            ratio: (report.jobs_submitted > 0).then(|| report.guarantee_ratio()),
             misses: report.deadline_misses(),
-            messages_per_job: report.messages_per_job,
+            messages_per_job: (report.jobs_submitted > 0).then_some(report.messages_per_job),
         }
     }
 
-    /// Renders the row for a fixed-width table.
+    /// Renders the row for a fixed-width table (`-` for undefined ratios).
     pub fn render(&self) -> String {
+        let ratio = match self.ratio {
+            Some(r) => format!("{r:>7.3}"),
+            None => format!("{:>7}", "-"),
+        };
+        let mpj = match self.messages_per_job {
+            Some(m) => format!("{m:>12.1}"),
+            None => format!("{:>12}", "-"),
+        };
         format!(
-            "{:<22} {:>8}/{:<8} {:>7.3} {:>7} {:>12.1}",
-            self.policy,
-            self.accepted,
-            self.submitted,
-            self.ratio,
-            self.misses,
-            self.messages_per_job
+            "{:<22} {:>8}/{:<8} {ratio} {:>7} {mpj}",
+            self.policy, self.accepted, self.submitted, self.misses,
         )
     }
 }
@@ -153,47 +157,49 @@ pub fn comparison_row(
     ComparisonRow::from_rtds(label, &report)
 }
 
-/// Runs RTDS plus all four baselines on the same workload.
+/// The five baselines parameterised for a comparison against `config`.
+pub fn baseline_policies(config: &RtdsConfig, seed: u64) -> Vec<Box<dyn DistributionPolicy>> {
+    vec![
+        Box::new(LocalOnly {
+            preemptive: config.preemptive,
+        }),
+        Box::new(RandomOffload {
+            config: RandomOffloadConfig {
+                seed,
+                preemptive: config.preemptive,
+                ..RandomOffloadConfig::default()
+            },
+        }),
+        Box::new(BroadcastBidding {
+            config: BiddingConfig {
+                preemptive: config.preemptive,
+                ..BiddingConfig::default()
+            },
+        }),
+        Box::new(GlobalHeft {
+            preemptive: config.preemptive,
+        }),
+        Box::new(CentralizedOracle {
+            preemptive: config.preemptive,
+        }),
+    ]
+}
+
+/// Runs RTDS plus all five baselines on the same workload.
 pub fn policy_comparison(
     network: &Network,
     jobs: &[Job],
     config: RtdsConfig,
     seed: u64,
 ) -> Vec<ComparisonRow> {
-    vec![
-        comparison_row("rtds", network, jobs, config, seed),
-        ComparisonRow::from_policy(
-            "local-only",
-            &run_local_only(network, jobs, config.preemptive),
-        ),
-        ComparisonRow::from_policy(
-            "random-offload",
-            &run_random_offload(
-                network,
-                jobs,
-                RandomOffloadConfig {
-                    seed,
-                    preemptive: config.preemptive,
-                    ..RandomOffloadConfig::default()
-                },
-            ),
-        ),
-        ComparisonRow::from_policy(
-            "broadcast-bidding",
-            &run_broadcast_bidding(
-                network,
-                jobs,
-                BiddingConfig {
-                    preemptive: config.preemptive,
-                    ..BiddingConfig::default()
-                },
-            ),
-        ),
-        ComparisonRow::from_policy(
-            "centralized-oracle",
-            &run_centralized_oracle(network, jobs, config.preemptive),
-        ),
-    ]
+    let mut rows = vec![comparison_row("rtds", network, jobs, config, seed)];
+    for policy in baseline_policies(&config, seed) {
+        rows.push(ComparisonRow::from_policy(
+            policy.name(),
+            &policy.run(network, jobs),
+        ));
+    }
+    rows
 }
 
 /// Runs `work` for every element of `inputs` in parallel (one scoped thread
@@ -255,7 +261,8 @@ mod tests {
             },
         );
         let rows = policy_comparison(&net, &jobs, RtdsConfig::default(), 1);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().any(|r| r.policy == "global-heft"));
         assert!(rows.iter().all(|r| r.misses == 0));
         assert!(rows.iter().all(|r| r.submitted == jobs.len() as u64));
         // Header and rows render with consistent widths.

@@ -49,7 +49,8 @@ pub use perf::{resume_soak, run_perf_suite, run_soak, PerfReport, SoakResult};
 
 pub use args::{write_json_report, ExpArgs};
 pub use harness::{
-    comparison_row, parallel_sweep, policy_comparison, workload, ComparisonRow, WorkloadSpec,
+    baseline_policies, comparison_row, parallel_sweep, policy_comparison, workload, ComparisonRow,
+    WorkloadSpec,
 };
 pub use tracing::{TraceSetup, TRACE_FLAGS};
 // The sharded generalisation of `parallel_sweep` lives with the scenario

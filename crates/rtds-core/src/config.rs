@@ -1,5 +1,7 @@
 //! Configuration of an RTDS deployment.
 
+use rtds_graph::TaskGraph;
+use rtds_sched::{SchedulerKind, SpeedupFn, TaskDemand};
 use serde::{Deserialize, Serialize};
 
 /// How the extra laxity of case (iii) is scattered over the tasks (§12.2 and
@@ -12,6 +14,81 @@ pub enum LaxityDispatch {
     /// §13: tasks on the longest critical paths receive laxity proportional
     /// to the busyness `1 - I` of the processor they are mapped on.
     BusynessWeighted,
+}
+
+/// How per-task resource demands are derived from a job's task graph.
+///
+/// Deterministic by construction (no RNG): the same graph always yields the
+/// same demands, so sweeps stay byte-identical across thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum DemandRule {
+    /// Every task is a default single-core demand (the paper's model; the
+    /// default). Schedulers receive `None` and take their degenerate fast
+    /// paths.
+    #[default]
+    SingleCore,
+    /// Tasks cycle through widths `1..=cores` by task id, each scaling by
+    /// Amdahl's law with the given parallel fraction and holding `memory`
+    /// units while resident.
+    WideTasks {
+        /// Maximum task width (clamped per-site to the cores that exist).
+        cores: usize,
+        /// Amdahl parallel fraction in `[0, 1]`.
+        parallel_fraction: f64,
+        /// Memory held by each task for the span of its reservations.
+        memory: f64,
+    },
+}
+
+impl DemandRule {
+    /// Demands for each task of `graph`, or `None` for the single-core rule
+    /// (which lets schedulers delegate to the original single-plan
+    /// primitives verbatim).
+    pub fn demands_for(&self, graph: &TaskGraph) -> Option<Vec<TaskDemand>> {
+        match *self {
+            DemandRule::SingleCore => None,
+            DemandRule::WideTasks {
+                cores,
+                parallel_fraction,
+                memory,
+            } => {
+                let span = cores.max(1);
+                Some(
+                    graph
+                        .task_ids()
+                        .map(|t| TaskDemand {
+                            cores: 1 + t.0 % span,
+                            memory,
+                            speedup: SpeedupFn::Amdahl { parallel_fraction },
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Validates the rule.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            DemandRule::SingleCore => Ok(()),
+            DemandRule::WideTasks {
+                cores,
+                parallel_fraction,
+                memory,
+            } => {
+                if cores == 0 {
+                    return Err("WideTasks cores must be >= 1".into());
+                }
+                if !(0.0..=1.0).contains(&parallel_fraction) {
+                    return Err("WideTasks parallel_fraction must lie in [0, 1]".into());
+                }
+                if !(memory >= 0.0 && memory.is_finite()) {
+                    return Err("WideTasks memory must be finite and >= 0".into());
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Tunable parameters of the RTDS protocol.
@@ -55,6 +132,14 @@ pub struct RtdsConfig {
     /// `false` (the default) keeps runs byte-identical to the pre-flow
     /// engine; zero-volume workloads never start flows either way.
     pub flow_transfers: bool,
+    /// Which local scheduling policy every site runs. The default
+    /// ([`SchedulerKind::Protocol`]) is the paper's §5/§12 list scheduler
+    /// and, on single-core sites, reproduces pre-multicore behaviour
+    /// bit-identically.
+    pub scheduler: SchedulerKind,
+    /// How per-task core/memory/speedup demands are derived from each job's
+    /// graph. The default ([`DemandRule::SingleCore`]) is the paper's model.
+    pub demand: DemandRule,
 }
 
 impl Default for RtdsConfig {
@@ -71,6 +156,8 @@ impl Default for RtdsConfig {
             surplus_floor: 0.05,
             exact_acs_diameter: false,
             flow_transfers: false,
+            scheduler: SchedulerKind::Protocol,
+            demand: DemandRule::SingleCore,
         }
     }
 }
@@ -95,6 +182,7 @@ impl RtdsConfig {
         if self.flow_transfers && !self.data_volume_aware {
             return Err("flow_transfers requires data_volume_aware (volumes drive flows)".into());
         }
+        self.demand.validate()?;
         Ok(())
     }
 }
@@ -146,6 +234,63 @@ mod tests {
             ..RtdsConfig::default()
         };
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn default_scheduler_and_demand_are_the_paper_model() {
+        let c = RtdsConfig::default();
+        assert_eq!(c.scheduler, SchedulerKind::Protocol);
+        assert_eq!(c.demand, DemandRule::SingleCore);
+        let g = TaskGraph::from_costs(&[1.0, 2.0, 3.0]);
+        assert!(c.demand.demands_for(&g).is_none());
+    }
+
+    #[test]
+    fn wide_tasks_demands_cycle_widths_deterministically() {
+        let rule = DemandRule::WideTasks {
+            cores: 2,
+            parallel_fraction: 0.9,
+            memory: 4.0,
+        };
+        assert!(rule.validate().is_ok());
+        let g = TaskGraph::from_costs(&[1.0, 1.0, 1.0, 1.0]);
+        let demands = rule.demands_for(&g).unwrap();
+        assert_eq!(demands.len(), 4);
+        let widths: Vec<usize> = demands.iter().map(|d| d.cores).collect();
+        assert_eq!(widths, vec![1, 2, 1, 2]);
+        assert!(demands.iter().all(|d| d.memory == 4.0));
+        assert_eq!(rule.demands_for(&g).unwrap(), demands);
+
+        assert!(DemandRule::WideTasks {
+            cores: 0,
+            parallel_fraction: 0.5,
+            memory: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(DemandRule::WideTasks {
+            cores: 2,
+            parallel_fraction: 1.5,
+            memory: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(DemandRule::WideTasks {
+            cores: 2,
+            parallel_fraction: 0.5,
+            memory: -1.0
+        }
+        .validate()
+        .is_err());
+        let c = RtdsConfig {
+            demand: DemandRule::WideTasks {
+                cores: 0,
+                parallel_fraction: 0.5,
+                memory: 0.0,
+            },
+            ..RtdsConfig::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]

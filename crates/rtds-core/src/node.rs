@@ -33,13 +33,12 @@ use crate::mapper::{map_dag, MapperInput};
 use crate::messages::{RtdsMsg, TaskSpec};
 use crate::pcs::PcsState;
 use crate::snapshot as snap;
-use crate::validate::{endorsable_logical_processors, ValidationOutcome, ValidationRound};
+use crate::validate::{endorsable_with, ValidationOutcome, ValidationRound};
 use rtds_graph::{Job, JobId, TaskGraph, TaskId};
 use rtds_net::sphere::Sphere;
 use rtds_net::SiteId;
-use rtds_sched::admission::admit_dag_locally;
-use rtds_sched::feasibility::{satisfiable, TaskRequest};
-use rtds_sched::SchedulePlan;
+use rtds_sched::feasibility::TaskRequest;
+use rtds_sched::{SchedulePlan, Scheduler, SiteResources, SiteScheduler};
 use rtds_sim::engine::Context;
 use rtds_sim::json::Json;
 use rtds_sim::snapshot as sim_snap;
@@ -94,8 +93,9 @@ pub struct RtdsNode {
     speed: f64,
     pcs: PcsState,
     sphere: Option<Sphere>,
-    /// Committed reservations of the computation processor.
-    pub plan: SchedulePlan,
+    /// The local scheduler: per-core committed plans plus the policy chosen
+    /// by [`RtdsConfig::scheduler`] over this site's [`SiteResources`].
+    pub(crate) sched: SiteScheduler,
     /// Current lock: the initiator holding it and the job it serves.
     lock: Option<(SiteId, JobId)>,
     /// Arrivals deferred while locked.
@@ -111,9 +111,102 @@ pub struct RtdsNode {
     global_distances: Option<GlobalDistances>,
 }
 
+/// Builder for [`RtdsNode`]. Every field has a sensible default (no
+/// neighbors, unit speed, default configuration, single-core resources), so
+/// adding site parameters never ripples through call sites again.
+#[derive(Debug, Clone)]
+pub struct NodeBuilder {
+    site: SiteId,
+    neighbors: Vec<(SiteId, f64)>,
+    speed: f64,
+    config: RtdsConfig,
+    resources: SiteResources,
+    global_distances: Option<GlobalDistances>,
+}
+
+impl NodeBuilder {
+    /// Starts a builder for the node of `site`.
+    pub fn new(site: SiteId) -> Self {
+        NodeBuilder {
+            site,
+            neighbors: Vec::new(),
+            speed: 1.0,
+            config: RtdsConfig::default(),
+            resources: SiteResources::default(),
+            global_distances: None,
+        }
+    }
+
+    /// Adjacency of the site: `(neighbor, link delay)` pairs.
+    pub fn neighbors(mut self, neighbors: Vec<(SiteId, f64)>) -> Self {
+        self.neighbors = neighbors;
+        self
+    }
+
+    /// Relative computing power (honoured when `uniform_machines` is set).
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.speed = speed;
+        self
+    }
+
+    /// Protocol configuration.
+    pub fn config(mut self, config: RtdsConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Compute resources of the site (cores, speed multiplier, memory). The
+    /// default single-core bundle reproduces the paper's model exactly.
+    pub fn resources(mut self, resources: SiteResources) -> Self {
+        self.resources = resources;
+        self
+    }
+
+    /// Shared exact-distance table for the `exact_acs_diameter` ablation.
+    pub fn global_distances(mut self, global_distances: Option<GlobalDistances>) -> Self {
+        self.global_distances = global_distances;
+        self
+    }
+
+    /// Builds the node.
+    pub fn build(self) -> RtdsNode {
+        let pcs = PcsState::new(self.site, self.neighbors, self.config.sphere_radius);
+        let base_speed = if self.config.uniform_machines {
+            self.speed
+        } else {
+            1.0
+        };
+        let sched = SiteScheduler::new(
+            self.config.scheduler,
+            self.resources,
+            base_speed,
+            self.config.preemptive,
+        );
+        RtdsNode {
+            site: self.site,
+            config: self.config,
+            speed: self.speed,
+            pcs,
+            sphere: None,
+            sched,
+            lock: None,
+            queued: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            guarantee: GuaranteeStats::default(),
+            accepted: Vec::new(),
+            global_distances: self.global_distances,
+        }
+    }
+}
+
 impl RtdsNode {
     /// Creates the node for `site` with the given adjacency, speed and
     /// configuration.
+    #[deprecated(
+        since = "0.10.0",
+        note = "use NodeBuilder: positional arguments cannot absorb new site \
+                parameters such as SiteResources"
+    )]
     pub fn new(
         site: SiteId,
         neighbors: Vec<(SiteId, f64)>,
@@ -121,21 +214,12 @@ impl RtdsNode {
         config: RtdsConfig,
         global_distances: Option<GlobalDistances>,
     ) -> Self {
-        let pcs = PcsState::new(site, neighbors, config.sphere_radius);
-        RtdsNode {
-            site,
-            config,
-            speed,
-            pcs,
-            sphere: None,
-            plan: SchedulePlan::new(),
-            lock: None,
-            queued: VecDeque::new(),
-            inflight: BTreeMap::new(),
-            guarantee: GuaranteeStats::default(),
-            accepted: Vec::new(),
-            global_distances,
-        }
+        NodeBuilder::new(site)
+            .neighbors(neighbors)
+            .speed(speed)
+            .config(config)
+            .global_distances(global_distances)
+            .build()
     }
 
     /// The site this node runs on.
@@ -158,12 +242,44 @@ impl RtdsNode {
         self.queued.len()
     }
 
+    /// The site's local scheduler (policy + per-core committed plans).
+    pub fn scheduler(&self) -> &SiteScheduler {
+        &self.sched
+    }
+
+    /// Committed per-core plans of the computation processor.
+    pub fn plans(&self) -> &[SchedulePlan] {
+        self.sched.core_plans()
+    }
+
+    /// Total committed reservations across all cores.
+    pub fn plan_len(&self) -> usize {
+        self.sched.reservation_count()
+    }
+
+    /// Returns `true` when no core holds a reservation.
+    pub fn plan_is_empty(&self) -> bool {
+        self.sched.reservation_count() == 0
+    }
+
+    /// Removes and returns every placement whose reservation ends at or
+    /// before `cutoff`, pruning the matching memory holds.
+    pub fn drain_completed(&mut self, cutoff: f64) -> Vec<rtds_sched::Placement> {
+        self.sched.drain_completed(cutoff)
+    }
+
+    /// Plan invariants hold on every core.
+    pub fn check_plan_invariants(&self) -> bool {
+        self.sched
+            .core_plans()
+            .iter()
+            .all(SchedulePlan::check_invariants)
+    }
+
     fn effective_speed(&self) -> f64 {
-        if self.config.uniform_machines {
-            self.speed
-        } else {
-            1.0
-        }
+        // The scheduler composes the uniform-machines base speed with the
+        // resource bundle's multiplier.
+        self.sched.effective_speed()
     }
 
     fn route_delay(&self, to: SiteId) -> f64 {
@@ -233,16 +349,13 @@ impl RtdsNode {
             deadline,
         });
         let now = ctx.now();
-        // §5 local guarantee test.
-        if let Some(admission) = admit_dag_locally(
-            &self.plan,
-            &job,
-            now,
-            self.effective_speed(),
-            self.config.preemptive,
-        ) {
-            self.plan
-                .insert_all(&admission.reservations)
+        // §5 local guarantee test, generalised to the site's scheduler (on
+        // the default single-core bundle this is the original test
+        // verbatim).
+        let demands = self.config.demand.demands_for(&job.graph);
+        if let Some(admission) = self.sched.admit_dag(&job, now, demands.as_deref()) {
+            self.sched
+                .reserve_dag(&admission)
                 .expect("admission placements are compatible by construction");
             self.guarantee.accepted_locally += 1;
             self.accepted.push(AcceptedJob {
@@ -297,7 +410,7 @@ impl RtdsNode {
         // Lock ourselves: our own arrivals queue until this job is resolved.
         self.lock = Some((self.site, job.id));
         let own_surplus = self
-            .plan
+            .sched
             .surplus(now, self.config.observation_window)
             .max(self.config.surplus_floor);
         let acs = AcsCollection::new(self.site, own_surplus, self.effective_speed(), &peers);
@@ -463,12 +576,11 @@ impl RtdsNode {
         let mut validation = ValidationRound::new(tasks_per_logical.len(), expected);
         for member in &members {
             if member.site == self.site {
-                let endorsable = endorsable_logical_processors(
-                    &self.plan,
+                let endorsable = endorsable_with(
+                    &self.sched,
                     job_id,
                     &tasks_per_logical,
                     self.effective_speed(),
-                    self.config.preemptive,
                 );
                 validation.record_reply(self.site, endorsable);
             } else {
@@ -697,7 +809,7 @@ impl RtdsNode {
         }
         self.lock = Some((initiator, job));
         let surplus = self
-            .plan
+            .sched
             .surplus(ctx.now(), self.config.observation_window)
             .max(self.config.surplus_floor);
         // Child of the *initiator's* enrollment span: the causal link that
@@ -729,13 +841,8 @@ impl RtdsNode {
         tasks_per_logical: Arc<[Vec<TaskSpec>]>,
         ctx: &mut Context<'_, RtdsMsg>,
     ) {
-        let endorsable = endorsable_logical_processors(
-            &self.plan,
-            job,
-            &tasks_per_logical,
-            self.effective_speed(),
-            self.config.preemptive,
-        );
+        let endorsable =
+            endorsable_with(&self.sched, job, &tasks_per_logical, self.effective_speed());
         let endorsable_count = endorsable.len() as u32;
         let total = tasks_per_logical.len() as u32;
         ctx.trace(
@@ -801,10 +908,10 @@ impl RtdsNode {
                 duration: s.cost / speed,
             })
             .collect();
-        match satisfiable(&self.plan, &requests, self.config.preemptive) {
+        match self.sched.satisfiable(&requests) {
             Some(placements) => {
-                self.plan
-                    .insert_all(&placements)
+                self.sched
+                    .reserve(&placements)
                     .expect("satisfiable placements are non-overlapping");
                 ctx.count("tasks_committed", placements.len() as u64);
             }
@@ -852,7 +959,7 @@ impl RtdsNode {
                     None => Json::Null,
                 },
             ),
-            ("plan", snap::encode_plan(&self.plan)),
+            ("sched", snap::encode_sched(&self.sched)),
             (
                 "lock",
                 match self.lock {
@@ -904,16 +1011,34 @@ impl RtdsNode {
                 Inflight::decode_snapshot(&pair[1])?,
             );
         }
+        let config = snap::decode_config(sim_snap::get(doc, "config")?)?;
+        let speed = sim_snap::get_f64(doc, "speed")?;
+        let sched = if let Ok(sched_doc) = sim_snap::get(doc, "sched") {
+            snap::decode_sched(sched_doc)?
+        } else {
+            // Legacy snapshot (pre rtds-sched-snapshot/1): a bare
+            // single-core plan; rebuild the degenerate protocol scheduler.
+            let plan = snap::decode_plan(sim_snap::get(doc, "plan")?, "node plan")?;
+            let base_speed = if config.uniform_machines { speed } else { 1.0 };
+            SiteScheduler::from_parts(
+                config.scheduler,
+                SiteResources::default(),
+                base_speed,
+                config.preemptive,
+                vec![plan],
+                Vec::new(),
+            )
+        };
         Ok(RtdsNode {
             site: snap::decode_site(sim_snap::get(doc, "site")?, "node site")?,
-            config: snap::decode_config(sim_snap::get(doc, "config")?)?,
-            speed: sim_snap::get_f64(doc, "speed")?,
+            config,
+            speed,
             pcs: PcsState::decode_snapshot(sim_snap::get(doc, "pcs")?)?,
             sphere: match sim_snap::get(doc, "sphere")? {
                 Json::Null => None,
                 other => Some(snap::decode_sphere(other)?),
             },
-            plan: snap::decode_plan(sim_snap::get(doc, "plan")?, "node plan")?,
+            sched,
             lock: match sim_snap::get(doc, "lock")? {
                 Json::Null => None,
                 other => {
@@ -1171,18 +1296,18 @@ mod tests {
     #[test]
     fn node_construction_and_accessors() {
         let net = line(3, DelayDistribution::Constant(1.0), 0);
-        let node = RtdsNode::new(
-            SiteId(1),
-            net.neighbors(SiteId(1)).to_vec(),
-            1.0,
-            RtdsConfig::default(),
-            None,
-        );
+        let node = NodeBuilder::new(SiteId(1))
+            .neighbors(net.neighbors(SiteId(1)).to_vec())
+            .build();
         assert_eq!(node.site(), SiteId(1));
         assert!(!node.is_locked());
         assert_eq!(node.queued_len(), 0);
         assert!(node.sphere().is_none());
-        assert!(node.plan.is_empty());
+        assert!(node.plan_is_empty());
+        assert_eq!(node.plan_len(), 0);
+        assert!(node.check_plan_invariants());
+        assert_eq!(node.plans().len(), 1);
+        assert!(node.scheduler().resources().is_degenerate());
         assert_eq!(node.guarantee.submitted, 0);
     }
 
@@ -1190,10 +1315,54 @@ mod tests {
     fn effective_speed_follows_uniform_machines_flag() {
         let net = line(2, DelayDistribution::Constant(1.0), 0);
         let mut cfg = RtdsConfig::default();
-        let node = RtdsNode::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 2.5, cfg, None);
+        let node = NodeBuilder::new(SiteId(0))
+            .neighbors(net.neighbors(SiteId(0)).to_vec())
+            .speed(2.5)
+            .config(cfg)
+            .build();
         assert_eq!(node.effective_speed(), 1.0);
         cfg.uniform_machines = true;
-        let node = RtdsNode::new(SiteId(0), net.neighbors(SiteId(0)).to_vec(), 2.5, cfg, None);
+        let node = NodeBuilder::new(SiteId(0))
+            .neighbors(net.neighbors(SiteId(0)).to_vec())
+            .speed(2.5)
+            .config(cfg)
+            .build();
         assert_eq!(node.effective_speed(), 2.5);
+        // The resource multiplier composes with the uniform-machines speed.
+        let node = NodeBuilder::new(SiteId(0))
+            .speed(2.5)
+            .config(cfg)
+            .resources(SiteResources::single_core(2.0))
+            .build();
+        assert_eq!(node.effective_speed(), 5.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_the_builder() {
+        let net = line(3, DelayDistribution::Constant(1.0), 0);
+        let old = RtdsNode::new(
+            SiteId(1),
+            net.neighbors(SiteId(1)).to_vec(),
+            2.0,
+            RtdsConfig::default(),
+            None,
+        );
+        let new = NodeBuilder::new(SiteId(1))
+            .neighbors(net.neighbors(SiteId(1)).to_vec())
+            .speed(2.0)
+            .config(RtdsConfig::default())
+            .build();
+        assert_eq!(old.site(), new.site());
+        assert_eq!(old.scheduler(), new.scheduler());
+    }
+
+    #[test]
+    fn multicore_builder_sizes_the_scheduler() {
+        let node = NodeBuilder::new(SiteId(0))
+            .resources(SiteResources::multicore(4, 1.0))
+            .build();
+        assert_eq!(node.plans().len(), 4);
+        assert_eq!(node.scheduler().kind(), rtds_sched::SchedulerKind::Protocol);
     }
 }

@@ -17,14 +17,16 @@
 //! `streaming`) because they read private fields; this module holds only
 //! the shared leaf codecs.
 
-use crate::config::{LaxityDispatch, RtdsConfig};
+use crate::config::{DemandRule, LaxityDispatch, RtdsConfig};
 use crate::messages::{RtdsMsg, TaskSpec};
 use crate::node::AcceptedJob;
 use rtds_graph::{EdgeData, Job, JobId, JobParams, Task, TaskGraph, TaskId};
 use rtds_net::routing::RouteEntry;
 use rtds_net::sphere::Sphere;
 use rtds_net::SiteId;
-use rtds_sched::{Reservation, SchedulePlan};
+use rtds_sched::{
+    MemHold, Reservation, SchedulePlan, Scheduler, SchedulerKind, SiteResources, SiteScheduler,
+};
 use rtds_sim::json::Json;
 use rtds_sim::snapshot::{
     as_items, as_str, as_u64, f64_bits, f64_from_bits, get, get_bool, get_f64, get_items, get_u64,
@@ -40,6 +42,10 @@ pub const SYSTEM_SNAPSHOT_SCHEMA: &str = "rtds-system-snapshot/1";
 /// Schema tag of the streaming-run checkpoint format (wraps a system
 /// snapshot plus the harvest-loop state).
 pub const STREAM_SNAPSHOT_SCHEMA: &str = "rtds-stream-snapshot/1";
+
+/// Schema tag of the per-site scheduler section inside node snapshots
+/// (policy kind, resource bundle, per-core plans, memory holds).
+pub const SCHED_SNAPSHOT_SCHEMA: &str = "rtds-sched-snapshot/1";
 
 fn err(message: impl Into<String>) -> SnapshotError {
     SnapshotError(message.into())
@@ -460,6 +466,22 @@ pub(crate) fn encode_config(c: &RtdsConfig) -> Json {
         ("surplus_floor", f64_bits(c.surplus_floor)),
         ("exact_acs_diameter", Json::Bool(c.exact_acs_diameter)),
         ("flow_transfers", Json::Bool(c.flow_transfers)),
+        ("scheduler", Json::str(c.scheduler.name())),
+        (
+            "demand",
+            match c.demand {
+                DemandRule::SingleCore => Json::Null,
+                DemandRule::WideTasks {
+                    cores,
+                    parallel_fraction,
+                    memory,
+                } => Json::Array(vec![
+                    Json::UInt(cores as u64),
+                    f64_bits(parallel_fraction),
+                    f64_bits(memory),
+                ]),
+            },
+        ),
     ])
 }
 
@@ -485,6 +507,29 @@ pub(crate) fn decode_config(doc: &Json) -> Result<RtdsConfig, SnapshotError> {
             get_bool(doc, "flow_transfers")?
         } else {
             false
+        },
+        // Absent in snapshots taken before the multicore model: those runs
+        // used the protocol scheduler with single-core demands.
+        scheduler: if let Ok(j) = get(doc, "scheduler") {
+            let name = as_str(j, "scheduler")?;
+            SchedulerKind::parse(name)
+                .ok_or_else(|| err(format!("unknown scheduler kind {name:?}")))?
+        } else {
+            SchedulerKind::Protocol
+        },
+        demand: match get(doc, "demand") {
+            Ok(Json::Null) | Err(_) => DemandRule::SingleCore,
+            Ok(j) => {
+                let fields = as_items(j, "demand")?;
+                if fields.len() != 3 {
+                    return Err(err("demand: expected [cores, parallel_fraction, memory]"));
+                }
+                DemandRule::WideTasks {
+                    cores: as_u64(&fields[0], "demand cores")? as usize,
+                    parallel_fraction: f64_from_bits(&fields[1], "demand parallel_fraction")?,
+                    memory: f64_from_bits(&fields[2], "demand memory")?,
+                }
+            }
         },
     })
 }
@@ -554,6 +599,95 @@ pub(crate) fn decode_plan(j: &Json, what: &str) -> Result<SchedulePlan, Snapshot
         })
         .collect::<Result<Vec<Reservation>, SnapshotError>>()?;
     Ok(SchedulePlan::from_reservations(reservations))
+}
+
+// ----- site scheduler (`rtds-sched-snapshot/1`) ----------------------------
+
+/// The full per-site scheduler state: policy kind, resource bundle, base
+/// speed, per-core plans and committed memory holds.
+pub(crate) fn encode_sched(s: &SiteScheduler) -> Json {
+    let (base_speed, preemptive, holds) = s.snapshot_parts();
+    let resources = s.resources();
+    Json::object(vec![
+        ("schema", Json::str(SCHED_SNAPSHOT_SCHEMA)),
+        ("kind", Json::str(s.kind().name())),
+        ("cores", Json::UInt(resources.cores as u64)),
+        ("speed", f64_bits(resources.speed)),
+        ("memory", f64_bits(resources.memory)),
+        ("base_speed", f64_bits(base_speed)),
+        ("preemptive", Json::Bool(preemptive)),
+        (
+            "plans",
+            Json::Array(s.core_plans().iter().map(encode_plan).collect()),
+        ),
+        (
+            "holds",
+            Json::Array(
+                holds
+                    .iter()
+                    .map(|h| {
+                        Json::Array(vec![
+                            encode_job_id(h.job),
+                            f64_bits(h.start),
+                            f64_bits(h.end),
+                            f64_bits(h.bytes),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+pub(crate) fn decode_sched(doc: &Json) -> Result<SiteScheduler, SnapshotError> {
+    let schema = as_str(get(doc, "schema")?, "sched schema")?;
+    if schema != SCHED_SNAPSHOT_SCHEMA {
+        return Err(err(format!(
+            "unsupported scheduler snapshot schema {schema:?} (expected {SCHED_SNAPSHOT_SCHEMA:?})"
+        )));
+    }
+    let kind_name = as_str(get(doc, "kind")?, "sched kind")?;
+    let kind = SchedulerKind::parse(kind_name)
+        .ok_or_else(|| err(format!("unknown scheduler kind {kind_name:?}")))?;
+    let resources = SiteResources {
+        cores: get_u64(doc, "cores")? as usize,
+        speed: get_f64(doc, "speed")?,
+        memory: get_f64(doc, "memory")?,
+    };
+    let plans = get_items(doc, "plans")?
+        .iter()
+        .map(|p| decode_plan(p, "core plan"))
+        .collect::<Result<Vec<SchedulePlan>, SnapshotError>>()?;
+    if plans.len() != resources.cores {
+        return Err(err(format!(
+            "scheduler snapshot has {} plans for {} cores",
+            plans.len(),
+            resources.cores
+        )));
+    }
+    let holds = get_items(doc, "holds")?
+        .iter()
+        .map(|h| {
+            let fields = as_items(h, "memory hold")?;
+            if fields.len() != 4 {
+                return Err(err("memory hold: expected [job, start, end, bytes]"));
+            }
+            Ok(MemHold {
+                job: decode_job_id(&fields[0], "hold job")?,
+                start: f64_from_bits(&fields[1], "hold start")?,
+                end: f64_from_bits(&fields[2], "hold end")?,
+                bytes: f64_from_bits(&fields[3], "hold bytes")?,
+            })
+        })
+        .collect::<Result<Vec<MemHold>, SnapshotError>>()?;
+    Ok(SiteScheduler::from_parts(
+        kind,
+        resources,
+        get_f64(doc, "base_speed")?,
+        get_bool(doc, "preemptive")?,
+        plans,
+        holds,
+    ))
 }
 
 // ----- accepted jobs -------------------------------------------------------
@@ -742,5 +876,102 @@ mod tests {
         .unwrap();
         let back = decode_plan(&encode_plan(&plan), "plan").expect("plan decodes");
         assert_eq!(back.reservations(), plan.reservations());
+    }
+
+    #[test]
+    fn config_round_trip_scheduler_and_demand() {
+        let config = RtdsConfig {
+            scheduler: SchedulerKind::Heft,
+            demand: DemandRule::WideTasks {
+                cores: 3,
+                parallel_fraction: 0.75,
+                memory: 8.0,
+            },
+            ..RtdsConfig::default()
+        };
+        let back = decode_config(&encode_config(&config)).expect("config decodes");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn pre_multicore_configs_decode_with_protocol_scheduler() {
+        // Snapshots taken before the multicore model have neither key; they
+        // decode to the exact pre-multicore behavior.
+        let mut doc = encode_config(&RtdsConfig::default());
+        if let Json::Object(fields) = &mut doc {
+            fields.retain(|(k, _)| *k != "scheduler" && *k != "demand");
+        }
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("legacy config parses");
+        let back = decode_config(&parsed).expect("legacy config decodes");
+        assert_eq!(back.scheduler, SchedulerKind::Protocol);
+        assert_eq!(back.demand, DemandRule::SingleCore);
+        assert_eq!(back, RtdsConfig::default());
+    }
+
+    #[test]
+    fn sched_section_round_trips_through_text() {
+        use rtds_sched::Placement;
+        let mut sched = SiteScheduler::new(
+            SchedulerKind::Lookahead,
+            SiteResources {
+                cores: 2,
+                speed: 1.5,
+                memory: 32.0,
+            },
+            2.0,
+            true,
+        );
+        sched
+            .reserve(&[
+                Placement {
+                    core: 0,
+                    reservation: Reservation {
+                        job: JobId(1),
+                        task: TaskId(0),
+                        start: 0.5,
+                        end: 2.5,
+                    },
+                },
+                Placement {
+                    core: 1,
+                    reservation: Reservation {
+                        job: JobId(1),
+                        task: TaskId(1),
+                        start: 1.0,
+                        end: 4.0,
+                    },
+                },
+            ])
+            .unwrap();
+        sched
+            .reserve_dag(&rtds_sched::DagSchedule {
+                placements: Vec::new(),
+                holds: vec![MemHold {
+                    job: JobId(1),
+                    start: 0.5,
+                    end: 4.0,
+                    bytes: 16.0,
+                }],
+                completion: 4.0,
+            })
+            .unwrap();
+        let doc = encode_sched(&sched);
+        let text = doc.render();
+        assert!(text.contains(SCHED_SNAPSHOT_SCHEMA));
+        let parsed = Json::parse(&text).expect("sched section parses");
+        let back = decode_sched(&parsed).expect("sched section decodes");
+        assert_eq!(back, sched);
+        // Infinite memory (the default bundle) survives the bit-pattern trip.
+        let default = SiteScheduler::new(
+            SchedulerKind::Protocol,
+            SiteResources::default(),
+            1.0,
+            false,
+        );
+        let back = decode_sched(&Json::parse(&encode_sched(&default).render()).unwrap())
+            .expect("default sched decodes");
+        assert_eq!(back, default);
+        assert!(back.resources().memory.is_infinite());
     }
 }

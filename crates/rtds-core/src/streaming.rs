@@ -37,6 +37,7 @@ use crate::system::RtdsSystem;
 use rtds_graph::{Job, JobId};
 use rtds_metrics::{MetricsRegistry, Scope};
 use rtds_net::SiteId;
+use rtds_sched::Scheduler;
 use rtds_sim::engine::ArrivalSource;
 use rtds_sim::json::Json;
 use rtds_sim::snapshot as sim_snap;
@@ -261,24 +262,39 @@ fn harvest(sim: &mut Simulator<RtdsNode>, cutoff: f64, st: &mut HarvestState) {
     let site_count = sim.network().site_count();
     for s in 0..site_count {
         let node = sim.node_mut(SiteId(s));
-        st.peak_plan = st.peak_plan.max(node.plan.len() as u64);
+        st.peak_plan = st.peak_plan.max(node.plan_len() as u64);
         st.metrics.gauge_set_scoped(
             "plan_reservations",
             Scope::Site(s as u32),
-            node.plan.len() as f64,
+            node.plan_len() as f64,
         );
+        // Multicore-only gauges: on default (degenerate) bundles these are
+        // omitted entirely so the metrics JSON stays byte-identical to the
+        // single-capacity engine.
+        if !node.scheduler().resources().is_degenerate() {
+            st.metrics.gauge_set_scoped(
+                "core_busy",
+                Scope::Site(s as u32),
+                node.scheduler().busy_cores(cutoff) as f64,
+            );
+            st.metrics.gauge_set_scoped(
+                "mem_used",
+                Scope::Site(s as u32),
+                node.scheduler().mem_used(cutoff),
+            );
+        }
         for accepted in std::mem::take(&mut node.accepted) {
             if let Some(pending) = st.inflight.get_mut(&accepted.job) {
                 pending.accepted = true;
             }
         }
-        for reservation in node.plan.drain_completed(cutoff) {
+        for placement in node.drain_completed(cutoff) {
             let latest = st
                 .completions
-                .entry(reservation.job)
+                .entry(placement.reservation.job)
                 .or_insert(f64::NEG_INFINITY);
-            if reservation.end > *latest {
-                *latest = reservation.end;
+            if placement.reservation.end > *latest {
+                *latest = placement.reservation.end;
             }
         }
     }
@@ -799,7 +815,7 @@ mod tests {
         assert_eq!(report.unharvested_completions, 0);
         // Every node's plan was fully drained by the final harvest.
         for s in 0..system.network().site_count() {
-            assert!(system.node(SiteId(s)).plan.is_empty());
+            assert!(system.node(SiteId(s)).plan_is_empty());
         }
     }
 

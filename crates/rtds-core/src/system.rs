@@ -8,14 +8,14 @@
 
 use crate::config::RtdsConfig;
 use crate::messages::RtdsMsg;
-use crate::node::{GlobalDistances, RtdsNode};
+use crate::node::{GlobalDistances, NodeBuilder, RtdsNode};
 use crate::snapshot::{self as snap, SYSTEM_SNAPSHOT_SCHEMA};
 use rtds_graph::{Job, JobId};
 use rtds_metrics::MetricsRegistry;
 use rtds_net::dijkstra::all_pairs_shortest_paths;
 use rtds_net::{Network, SiteId};
 use rtds_sched::executor;
-use rtds_sched::SchedulePlan;
+use rtds_sched::{SchedulePlan, SiteResources};
 use rtds_sim::json::Json;
 use rtds_sim::snapshot as sim_snap;
 use rtds_sim::snapshot::SnapshotError;
@@ -103,7 +103,28 @@ impl RtdsSystem {
     /// is kept for future stochastic extensions and for symmetry with the
     /// baseline policies (the RTDS protocol itself is deterministic).
     pub fn new(network: Network, config: RtdsConfig, seed: u64) -> Self {
+        let sites = network.site_count();
+        Self::with_resources(network, config, seed, vec![SiteResources::default(); sites])
+    }
+
+    /// Builds a system whose sites carry explicit resource bundles (one
+    /// entry per site, in site order). [`RtdsSystem::new`] is the
+    /// all-default-bundles special case — the paper's single-capacity model.
+    pub fn with_resources(
+        network: Network,
+        config: RtdsConfig,
+        seed: u64,
+        resources: Vec<SiteResources>,
+    ) -> Self {
         config.validate().expect("invalid RTDS configuration");
+        assert_eq!(
+            resources.len(),
+            network.site_count(),
+            "one resource bundle per site"
+        );
+        for r in &resources {
+            r.validate().expect("invalid site resources");
+        }
         let global: Option<GlobalDistances> = if config.exact_acs_diameter {
             let aps = all_pairs_shortest_paths(&network);
             Some(Arc::new(aps.into_iter().map(|sp| sp.dist).collect()))
@@ -112,13 +133,13 @@ impl RtdsSystem {
         };
         let topology = network.clone();
         let sim = Simulator::new(network, |site: SiteId| {
-            RtdsNode::new(
-                site,
-                topology.neighbors(site).to_vec(),
-                topology.speed(site),
-                config,
-                global.clone(),
-            )
+            NodeBuilder::new(site)
+                .neighbors(topology.neighbors(site).to_vec())
+                .speed(topology.speed(site))
+                .config(config)
+                .resources(resources[site.0])
+                .global_distances(global.clone())
+                .build()
         });
         RtdsSystem {
             sim,
@@ -382,7 +403,7 @@ impl RtdsSystem {
                 accepted.insert(a.job, (a.distributed, a.deadline));
             }
         }
-        let plans: Vec<&SchedulePlan> = self.sim.nodes().map(|n| &n.plan).collect();
+        let plans: Vec<&SchedulePlan> = self.sim.nodes().flat_map(|n| n.plans().iter()).collect();
 
         let mut jobs = Vec::new();
         for (job, site, arrival, deadline) in &self.submitted {

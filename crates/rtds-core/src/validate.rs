@@ -16,7 +16,7 @@ use crate::snapshot as snap;
 use rtds_graph::JobId;
 use rtds_net::SiteId;
 use rtds_sched::feasibility::{satisfiable, TaskRequest};
-use rtds_sched::SchedulePlan;
+use rtds_sched::{SchedulePlan, Scheduler};
 use rtds_sim::json::Json;
 use rtds_sim::snapshot as sim_snap;
 use rtds_sim::snapshot::SnapshotError;
@@ -50,6 +50,37 @@ pub fn endorsable_logical_processors(
             })
             .collect();
         if satisfiable(plan, &requests, preemptive).is_some() {
+            endorsable.push(i);
+        }
+    }
+    endorsable
+}
+
+/// Member side over a pluggable [`Scheduler`]: which logical processors can
+/// this site endorse, given its committed per-core plans? Durations are
+/// `cost / speed` with the given effective site speed. On a single-core
+/// scheduler this is exactly [`endorsable_logical_processors`] (the
+/// scheduler's satisfiability query delegates to the same §10 test).
+pub fn endorsable_with(
+    scheduler: &dyn Scheduler,
+    job: JobId,
+    tasks_per_logical: &[Vec<TaskSpec>],
+    speed: f64,
+) -> Vec<usize> {
+    assert!(speed > 0.0, "site speed must be positive");
+    let mut endorsable = Vec::new();
+    for (i, specs) in tasks_per_logical.iter().enumerate() {
+        let requests: Vec<TaskRequest> = specs
+            .iter()
+            .map(|s| TaskRequest {
+                job,
+                task: s.task,
+                release: s.release,
+                deadline: s.deadline,
+                duration: s.cost / speed,
+            })
+            .collect();
+        if scheduler.satisfiable(&requests).is_some() {
             endorsable.push(i);
         }
     }
@@ -251,6 +282,45 @@ mod tests {
         assert_eq!(endorsable_idle, vec![0, 1]);
         // An empty mapping is trivially endorsed (no logical processors).
         assert!(endorsable_logical_processors(&idle, JobId(1), &[], 1.0, false).is_empty());
+    }
+
+    #[test]
+    fn scheduler_endorsement_matches_the_plan_based_test_on_one_core() {
+        use rtds_sched::{SchedulerKind, SiteResources, SiteScheduler};
+        let mut plan = SchedulePlan::new();
+        plan.insert(Reservation {
+            job: JobId(9),
+            task: TaskId(0),
+            start: 0.0,
+            end: 30.0,
+        })
+        .unwrap();
+        let mapping = vec![
+            vec![spec(0, 0.0, 20.0, 10.0)],
+            vec![spec(1, 0.0, 60.0, 10.0), spec(2, 0.0, 60.0, 5.0)],
+        ];
+        let sched = SiteScheduler::from_parts(
+            SchedulerKind::Protocol,
+            SiteResources::default(),
+            1.0,
+            false,
+            vec![plan.clone()],
+            Vec::new(),
+        );
+        assert_eq!(
+            endorsable_with(&sched, JobId(1), &mapping, 1.0),
+            endorsable_logical_processors(&plan, JobId(1), &mapping, 1.0, false)
+        );
+        // A second core lets the blocked logical processor through.
+        let dual = SiteScheduler::from_parts(
+            SchedulerKind::Protocol,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+            vec![plan, SchedulePlan::new()],
+            Vec::new(),
+        );
+        assert_eq!(endorsable_with(&dual, JobId(1), &mapping, 1.0), vec![0, 1]);
     }
 
     #[test]

@@ -59,5 +59,6 @@ pub use runner::{
     SweepConfig, SweepReport,
 };
 pub use spec::{
-    mix_seed, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec, WorkloadRecipe,
+    mix_seed, ResourceRecipe, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec,
+    WorkloadRecipe,
 };

@@ -20,12 +20,13 @@
 
 use crate::perturb::{Perturbation, PerturbationPlan};
 use crate::spec::{
-    BandwidthRecipe, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe, TopologySpec,
-    WorkloadRecipe,
+    BandwidthRecipe, ResourceRecipe, Scenario, SpeedRecipe, StreamRecipe, TopologyRecipe,
+    TopologySpec, WorkloadRecipe,
 };
-use rtds_core::RtdsConfig;
+use rtds_core::{DemandRule, RtdsConfig};
 use rtds_graph::generators::{CostDistribution, DagShape};
 use rtds_net::generators::DelayDistribution;
+use rtds_sched::SchedulerKind;
 use rtds_sim::arrivals::ArrivalProcess;
 use rtds_workload::{OpenLoopSpec, RateProcess, SizeMix};
 
@@ -337,6 +338,43 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     });
     scenarios.push(s);
 
+    // --- multicore scenario (heterogeneous resource bundles) --------------
+
+    let mut s = Scenario::named(
+        "hetero-multicore",
+        "sites cycle through 1-4 cores with finite memory; wide Amdahl tasks under HEFT",
+    );
+    s.workload = WorkloadRecipe {
+        arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+        horizon: 240.0,
+        hotspots: 4,
+        tasks_per_job: 12,
+        shape: DagShape::LayeredRandom {
+            layers: 4,
+            edge_prob: 0.4,
+        },
+        // Nonzero CCR separates HEFT's comm-inclusive upward rank from the
+        // plain critical-path rank the protocol scheduler uses.
+        ccr: 0.5,
+        laxity: (1.8, 3.0),
+        ..WorkloadRecipe::default()
+    };
+    s.resources = ResourceRecipe::Heterogeneous {
+        min_cores: 1,
+        max_cores: 4,
+        memory: 64.0,
+    };
+    s.config = RtdsConfig {
+        scheduler: SchedulerKind::Heft,
+        demand: DemandRule::WideTasks {
+            cores: 4,
+            parallel_fraction: 0.9,
+            memory: 8.0,
+        },
+        ..RtdsConfig::default()
+    };
+    scenarios.push(s);
+
     scenarios
 }
 
@@ -381,6 +419,9 @@ mod tests {
                 }
             }
             s.config
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            s.resources
                 .validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", s.name));
             // Perturbation plans expand cleanly and never start before the
@@ -443,6 +484,37 @@ mod tests {
         assert!(events
             .iter()
             .all(|(_, e)| matches!(e, rtds_sim::FaultEvent::SetLinkBandwidth { .. })));
+    }
+
+    #[test]
+    fn hetero_multicore_is_registered_with_non_default_resources() {
+        let s = find_scenario("hetero-multicore").unwrap();
+        assert!(!s.resources.is_degenerate());
+        assert_eq!(s.config.scheduler, SchedulerKind::Heft);
+        assert!(matches!(s.config.demand, DemandRule::WideTasks { .. }));
+        let net = s.build_network(1);
+        let bundles = s.resources.bundles(net.site_count());
+        assert_eq!(bundles.len(), net.site_count());
+        assert!(bundles.iter().any(|b| b.cores > 1));
+        assert!(bundles.iter().all(|b| b.memory.is_finite()));
+        // Every other scenario keeps the degenerate pre-multicore model.
+        for other in builtin_scenarios() {
+            if other.name != "hetero-multicore" {
+                assert!(other.resources.is_degenerate(), "{}", other.name);
+                assert_eq!(
+                    other.config.scheduler,
+                    SchedulerKind::Protocol,
+                    "{}",
+                    other.name
+                );
+                assert_eq!(
+                    other.config.demand,
+                    DemandRule::SingleCore,
+                    "{}",
+                    other.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -410,7 +410,12 @@ fn run_cell_with(
         None => Some(scenario.build_workload(&network, seed)),
         Some(_) => None,
     };
-    let mut system = RtdsSystem::new(network, scenario.config, mix_seed(seed, 5));
+    let mut system = RtdsSystem::with_resources(
+        network,
+        scenario.config,
+        mix_seed(seed, 5),
+        scenario.resources.bundles(site_count),
+    );
     let want_trace = trace.is_some();
     if let Some(trace) = trace {
         system.set_trace(trace);

@@ -18,6 +18,7 @@ use rtds_net::generators::{
     random_tree, ring, star, DelayDistribution,
 };
 use rtds_net::{Network, SiteId};
+use rtds_sched::SiteResources;
 use rtds_sim::arrivals::{ArrivalProcess, ArrivalSchedule};
 use rtds_workload::{JobTemplate, OpenLoopSpec};
 use serde::{Deserialize, Serialize};
@@ -182,6 +183,95 @@ impl TopologySpec {
     }
 }
 
+/// How per-site resource bundles (cores, memory) are assigned. Like every
+/// other recipe this expands deterministically — heterogeneity comes from
+/// the site index, never from an RNG — so sweeps stay bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ResourceRecipe {
+    /// Every site is a single unit-speed core with unlimited memory (the
+    /// paper's model; the default). Schedulers take their degenerate fast
+    /// paths and runs are byte-identical to the pre-multicore engine.
+    #[default]
+    SingleCore,
+    /// Every site has the same `cores` and `memory`.
+    Uniform { cores: usize, memory: f64 },
+    /// Site `s` gets `min_cores + s % (max_cores - min_cores + 1)` cores,
+    /// all with the same `memory`.
+    Heterogeneous {
+        min_cores: usize,
+        max_cores: usize,
+        memory: f64,
+    },
+}
+
+impl ResourceRecipe {
+    /// `true` for the recipe that reproduces the pre-multicore model.
+    pub fn is_degenerate(&self) -> bool {
+        matches!(self, ResourceRecipe::SingleCore)
+    }
+
+    /// Expands the recipe into one bundle per site, in site order.
+    pub fn bundles(&self, site_count: usize) -> Vec<SiteResources> {
+        match *self {
+            ResourceRecipe::SingleCore => vec![SiteResources::default(); site_count],
+            ResourceRecipe::Uniform { cores, memory } => {
+                let bundle = SiteResources {
+                    cores,
+                    memory,
+                    ..SiteResources::default()
+                };
+                vec![bundle; site_count]
+            }
+            ResourceRecipe::Heterogeneous {
+                min_cores,
+                max_cores,
+                memory,
+            } => {
+                let span = max_cores.saturating_sub(min_cores) + 1;
+                (0..site_count)
+                    .map(|s| SiteResources {
+                        cores: min_cores + s % span,
+                        memory,
+                        ..SiteResources::default()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Validates the recipe.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ResourceRecipe::SingleCore => Ok(()),
+            ResourceRecipe::Uniform { cores, memory } => {
+                if cores == 0 {
+                    return Err("Uniform cores must be >= 1".into());
+                }
+                if memory.is_nan() || memory <= 0.0 {
+                    return Err("Uniform memory must be positive".into());
+                }
+                Ok(())
+            }
+            ResourceRecipe::Heterogeneous {
+                min_cores,
+                max_cores,
+                memory,
+            } => {
+                if min_cores == 0 {
+                    return Err("Heterogeneous min_cores must be >= 1".into());
+                }
+                if max_cores < min_cores {
+                    return Err("Heterogeneous max_cores must be >= min_cores".into());
+                }
+                if memory.is_nan() || memory <= 0.0 {
+                    return Err("Heterogeneous memory must be positive".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Workload recipe: how jobs arrive and what each job looks like.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadRecipe {
@@ -284,6 +374,8 @@ pub struct Scenario {
     pub perturbations: PerturbationPlan,
     /// Protocol configuration.
     pub config: RtdsConfig,
+    /// Per-site resource bundles (cores, memory).
+    pub resources: ResourceRecipe,
     /// Safety cap on processed simulation events per run.
     pub max_events: u64,
 }
@@ -308,6 +400,7 @@ impl Scenario {
             stream: None,
             perturbations: PerturbationPlan::none(),
             config: RtdsConfig::default(),
+            resources: ResourceRecipe::SingleCore,
             max_events: 50_000_000,
         }
     }
@@ -447,10 +540,53 @@ mod tests {
     }
 
     #[test]
+    fn resource_recipes_expand_deterministically() {
+        assert!(ResourceRecipe::SingleCore.is_degenerate());
+        assert!(ResourceRecipe::SingleCore
+            .bundles(3)
+            .iter()
+            .all(|b| *b == SiteResources::default()));
+
+        let uniform = ResourceRecipe::Uniform {
+            cores: 4,
+            memory: 64.0,
+        };
+        assert!(!uniform.is_degenerate());
+        assert!(uniform.validate().is_ok());
+        let bundles = uniform.bundles(3);
+        assert!(bundles.iter().all(|b| b.cores == 4 && b.memory == 64.0));
+
+        let hetero = ResourceRecipe::Heterogeneous {
+            min_cores: 1,
+            max_cores: 3,
+            memory: 32.0,
+        };
+        assert!(hetero.validate().is_ok());
+        let cores: Vec<usize> = hetero.bundles(5).iter().map(|b| b.cores).collect();
+        assert_eq!(cores, vec![1, 2, 3, 1, 2]);
+        assert_eq!(hetero.bundles(5), hetero.bundles(5));
+
+        assert!(ResourceRecipe::Uniform {
+            cores: 0,
+            memory: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ResourceRecipe::Heterogeneous {
+            min_cores: 3,
+            max_cores: 2,
+            memory: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
     fn named_scenario_defaults_are_sane() {
         let s = Scenario::named("test", "a test scenario");
         assert_eq!(s.name, "test");
         assert!(s.perturbations.is_empty());
+        assert!(s.resources.is_degenerate());
         let net = s.build_network(1);
         assert_eq!(net.site_count(), 25);
         let jobs = s.build_workload(&net, 1);

@@ -18,7 +18,15 @@
 //! * [`feasibility`] — the §10 per-logical-processor satisfiability test,
 //! * [`mod@surplus`] — observation-window surplus and busyness helpers,
 //! * [`executor`] — turns committed reservations into completion records and
-//!   deadline-miss checks (the run-time side of the computation processor).
+//!   deadline-miss checks (the run-time side of the computation processor),
+//! * [`resources`] — the multicore site resource model
+//!   ([`resources::SiteResources`], per-task [`resources::TaskDemand`] with
+//!   amdahl/linear/flat [`resources::SpeedupFn`] laws),
+//! * [`scheduler`] — the pluggable [`scheduler::Scheduler`] trait over
+//!   per-core plans, with the paper's protocol policy plus HEFT-style and
+//!   one-step-lookahead baselines; the `cores = 1, memory = ∞` degenerate
+//!   case delegates verbatim to [`admission`] / [`feasibility`], keeping all
+//!   pre-multicore behaviour bit-identical.
 //!
 //! Jobs and task graphs come from [`rtds_graph`]; the admission and
 //! satisfiability answers computed here feed the protocol node of
@@ -31,10 +39,18 @@ pub mod executor;
 pub mod feasibility;
 pub mod interval;
 pub mod plan;
+pub mod resources;
+pub mod scheduler;
 pub mod surplus;
 
 pub use admission::{admit_dag_locally, DagAdmission};
 pub use feasibility::{satisfiable, TaskRequest};
 pub use interval::TimeInterval;
 pub use plan::{PlanError, Reservation, SchedulePlan};
+pub use resources::{SiteResources, SpeedupFn, TaskDemand};
+pub use scheduler::{
+    brute_force_satisfiable, heft_upward_rank, CoreId, DagSchedule, HeftScheduler,
+    LookaheadScheduler, MemHold, Placement, ProtocolScheduler, Scheduler, SchedulerKind,
+    SiteScheduler,
+};
 pub use surplus::{busyness, surplus};

@@ -1,0 +1,1406 @@
+//! The pluggable local scheduling policy.
+//!
+//! The paper leaves the local scheduler unspecified beyond the §5 insertion
+//! idea; `rtds-core` and every baseline used to call the single-plan
+//! primitives ([`crate::admission`], [`crate::feasibility`]) directly. This
+//! module extracts that decision behind the [`Scheduler`] trait over a
+//! multicore [`SiteResources`] bundle, with three implementations:
+//!
+//! * [`ProtocolScheduler`] — the paper's §5/§12 critical-path list
+//!   scheduler, generalised to place each task on the core with the
+//!   earliest fit. On the degenerate single-core bundle it *delegates
+//!   verbatim* to [`admit_dag_locally`] and [`feasibility::satisfiable`],
+//!   so every pre-multicore report stays byte-identical.
+//! * [`HeftScheduler`] — HEFT-style list scheduling (Topcuoglu et al.):
+//!   tasks ordered by communication-inclusive upward rank, each placed on
+//!   the core minimising its earliest finish time (insertion-based EFT).
+//! * [`LookaheadScheduler`] — the one-step lookahead variant: a task's core
+//!   is chosen to minimise the worst earliest finish time of its *children*
+//!   given the tentative placement (ties broken by own EFT, then core id).
+//!
+//! All three share the same mechanics (per-core [`SchedulePlan`]s, gang
+//! fits for multi-core task demands, a memory ledger) via the concrete
+//! [`SiteScheduler`], which is also what the protocol node stores — being a
+//! plain enum-dispatched struct it stays `Clone + PartialEq` and snapshots
+//! cleanly (`rtds-sched-snapshot/1`, encoded by `rtds-core`).
+
+use crate::admission::{admit_dag_locally, priority_order};
+use crate::feasibility::{self, TaskRequest};
+use crate::interval::TimeInterval;
+use crate::plan::{PlanError, Reservation, SchedulePlan};
+use crate::resources::{SiteResources, TaskDemand};
+use rtds_graph::{critical_path_tasks, Job, JobId, TaskGraph, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// Tolerance mirrored from the plan layer.
+const TIME_EPS: f64 = 1e-9;
+
+/// Index of one core within a site.
+pub type CoreId = usize;
+
+/// A reservation bound to a specific core.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Core executing the reservation.
+    pub core: CoreId,
+    /// The reservation itself.
+    pub reservation: Reservation,
+}
+
+/// Memory held by one job's task for the duration of its reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemHold {
+    /// Owning job.
+    pub job: JobId,
+    /// Start of the residency.
+    pub start: f64,
+    /// End of the residency.
+    pub end: f64,
+    /// Memory units held.
+    pub bytes: f64,
+}
+
+/// Result of a successful whole-DAG admission: the per-core placements to
+/// commit, the memory residencies they imply, and the job completion time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagSchedule {
+    /// Placements realising the DAG (a gang task yields one placement per
+    /// occupied core, all with identical `[start, end)`).
+    pub placements: Vec<Placement>,
+    /// Memory residencies (empty when no demands were given).
+    pub holds: Vec<MemHold>,
+    /// Completion time of the last task.
+    pub completion: f64,
+}
+
+/// Which scheduling policy a site runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// The paper's §5/§12 critical-path list scheduler (the default).
+    #[default]
+    Protocol,
+    /// HEFT-style insertion-based EFT list scheduling.
+    Heft,
+    /// One-step lookahead over child finish times.
+    Lookahead,
+}
+
+impl SchedulerKind {
+    /// Stable lowercase name (used in reports and snapshots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Protocol => "protocol",
+            SchedulerKind::Heft => "heft",
+            SchedulerKind::Lookahead => "lookahead",
+        }
+    }
+
+    /// Inverse of [`SchedulerKind::name`].
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "protocol" => Some(SchedulerKind::Protocol),
+            "heft" => Some(SchedulerKind::Heft),
+            "lookahead" => Some(SchedulerKind::Lookahead),
+            _ => None,
+        }
+    }
+
+    /// All kinds, in a stable order.
+    pub fn all() -> [SchedulerKind; 3] {
+        [
+            SchedulerKind::Protocol,
+            SchedulerKind::Heft,
+            SchedulerKind::Lookahead,
+        ]
+    }
+}
+
+/// The local scheduling decision of one site, abstracted over policy.
+///
+/// Contract every implementation upholds:
+///
+/// * Queries ([`Scheduler::admit_dag`], [`Scheduler::satisfiable`],
+///   [`Scheduler::earliest_finish`]) never mutate the committed plans.
+/// * An admission/satisfiability answer is *constructive and committable*:
+///   passing it to [`Scheduler::reserve_dag`] / [`Scheduler::reserve`]
+///   immediately afterwards always succeeds.
+/// * Accepted work never overlaps on a core and never ends after the
+///   deadline it was tested against — accepted jobs cannot miss deadlines.
+/// * All answers are deterministic functions of the committed state.
+pub trait Scheduler {
+    /// Which policy this is.
+    fn kind(&self) -> SchedulerKind;
+
+    /// The site's resource bundle.
+    fn resources(&self) -> &SiteResources;
+
+    /// Committed per-core plans, indexed by [`CoreId`].
+    fn core_plans(&self) -> &[SchedulePlan];
+
+    /// The §5 local guarantee test: can the whole DAG run on this site,
+    /// in-between the committed reservations, before its deadline?
+    /// `demands` (parallel to task ids) adds core/memory/speedup demands;
+    /// `None` means every task is a default single-core demand.
+    fn admit_dag(&self, job: &Job, now: f64, demands: Option<&[TaskDemand]>)
+        -> Option<DagSchedule>;
+
+    /// The §10 validation question: can this task set (durations already
+    /// scaled by the caller) be placed in-between the committed
+    /// reservations? Requests are single-core.
+    fn satisfiable(&self, requests: &[TaskRequest]) -> Option<Vec<Placement>>;
+
+    /// Commits placements previously returned by [`Scheduler::satisfiable`]
+    /// (atomic: all or nothing).
+    fn reserve(&mut self, placements: &[Placement]) -> Result<(), PlanError>;
+
+    /// Commits a whole [`DagSchedule`] including its memory holds (atomic).
+    fn reserve_dag(&mut self, schedule: &DagSchedule) -> Result<(), PlanError>;
+
+    /// Releases every reservation and memory hold of a job; returns the
+    /// number of reservations removed.
+    fn release(&mut self, job: JobId) -> usize;
+
+    /// Earliest-finish estimate for one single-core unit of work: the core
+    /// and finish time of the earliest non-preemptive fit, if any.
+    fn earliest_finish(&self, release: f64, deadline: f64, duration: f64) -> Option<(CoreId, f64)>;
+
+    /// The §2 surplus over `[now, now + window)`: idle core-time as a
+    /// fraction of total core-time.
+    fn surplus(&self, now: f64, window: f64) -> f64;
+
+    /// Removes and returns every placement fully completed by `cutoff`
+    /// (core-major order), pruning expired memory holds as well.
+    fn drain_completed(&mut self, cutoff: f64) -> Vec<Placement>;
+
+    /// Completion time of a job on this site (latest reservation end over
+    /// all cores), if any of its tasks run here.
+    fn job_completion(&self, job: JobId) -> Option<f64>;
+
+    /// Total committed reservations over all cores.
+    fn reservation_count(&self) -> usize;
+
+    /// Number of cores executing a reservation at time `t`.
+    fn busy_cores(&self, t: f64) -> usize;
+
+    /// Memory held at time `t` by committed residencies.
+    fn mem_used(&self, t: f64) -> f64;
+}
+
+/// Concrete enum-dispatched scheduler: the state shared by all policies
+/// plus the [`SchedulerKind`] selecting the placement rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteScheduler {
+    kind: SchedulerKind,
+    resources: SiteResources,
+    /// Effective base speed of the site (the §13 uniform-machines factor);
+    /// composed with `resources.speed`.
+    base_speed: f64,
+    preemptive: bool,
+    cores: Vec<SchedulePlan>,
+    holds: Vec<MemHold>,
+}
+
+impl SiteScheduler {
+    /// Creates an empty scheduler of the given kind.
+    pub fn new(
+        kind: SchedulerKind,
+        resources: SiteResources,
+        base_speed: f64,
+        preemptive: bool,
+    ) -> Self {
+        assert!(base_speed > 0.0, "site speed must be positive");
+        resources.validate().expect("valid site resources");
+        SiteScheduler {
+            kind,
+            resources,
+            base_speed,
+            preemptive,
+            cores: vec![SchedulePlan::new(); resources.cores],
+            holds: Vec::new(),
+        }
+    }
+
+    /// Rebuilds a scheduler from snapshot parts. Panics if the plan count
+    /// does not match the resource bundle.
+    pub fn from_parts(
+        kind: SchedulerKind,
+        resources: SiteResources,
+        base_speed: f64,
+        preemptive: bool,
+        cores: Vec<SchedulePlan>,
+        holds: Vec<MemHold>,
+    ) -> Self {
+        assert_eq!(cores.len(), resources.cores, "one plan per core");
+        let mut s = SiteScheduler::new(kind, resources, base_speed, preemptive);
+        s.cores = cores;
+        s.holds = holds;
+        s
+    }
+
+    /// Snapshot accessors: `(base_speed, preemptive, holds)` — kind,
+    /// resources and plans have trait accessors.
+    pub fn snapshot_parts(&self) -> (f64, bool, &[MemHold]) {
+        (self.base_speed, self.preemptive, &self.holds)
+    }
+
+    /// The site's effective single-core speed: base speed × resource
+    /// multiplier.
+    pub fn effective_speed(&self) -> f64 {
+        self.base_speed * self.resources.speed
+    }
+
+    /// Whether preemptive placement (§13) is enabled.
+    pub fn preemptive(&self) -> bool {
+        self.preemptive
+    }
+
+    /// True when every query delegates verbatim to the single-plan
+    /// primitives (one core, default demands).
+    fn is_single_core(&self) -> bool {
+        self.cores.len() == 1
+    }
+
+    // ----- placement helpers ------------------------------------------------
+
+    /// Earliest single-core fit across all cores under the given selection
+    /// rule; returns `(core, start, completion)`.
+    fn best_single_fit(
+        cores: &[SchedulePlan],
+        ready: f64,
+        deadline: f64,
+        duration: f64,
+    ) -> Option<(CoreId, f64, f64)> {
+        let mut best: Option<(CoreId, f64, f64)> = None;
+        for (c, plan) in cores.iter().enumerate() {
+            if let Some(start) = plan.earliest_fit(ready, deadline, duration) {
+                let finish = start + duration;
+                // Homogeneous cores: earliest start == earliest finish, so
+                // the protocol and HEFT selection rules coincide per task;
+                // ties go to the lowest core id for determinism.
+                if best.map_or(true, |(_, s, _)| start < s - TIME_EPS) {
+                    best = Some((c, start, finish));
+                }
+            }
+        }
+        best
+    }
+
+    /// Earliest gang fit: the earliest start `t >= ready` at which `k`
+    /// cores are simultaneously idle over `[t, t + duration)` with
+    /// `t + duration <= deadline`. Returns the occupied cores (lowest ids
+    /// first) and the start.
+    fn earliest_gang_fit(
+        cores: &[SchedulePlan],
+        ready: f64,
+        deadline: f64,
+        duration: f64,
+        k: usize,
+    ) -> Option<(Vec<CoreId>, f64)> {
+        if k > cores.len() || duration < 0.0 {
+            return None;
+        }
+        // Candidate starts: the ready time plus every reservation end after
+        // it (a gang can only become feasible when some core frees up).
+        let mut candidates: Vec<f64> = vec![ready];
+        for plan in cores {
+            for r in plan.reservations() {
+                if r.end > ready + TIME_EPS {
+                    candidates.push(r.end);
+                }
+            }
+        }
+        candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        candidates.dedup_by(|a, b| (*a - *b).abs() <= TIME_EPS);
+        for &t in &candidates {
+            if t + duration > deadline + TIME_EPS {
+                return None;
+            }
+            let window = TimeInterval::new(t, t + duration);
+            let idle: Vec<CoreId> = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_idle(window))
+                .map(|(c, _)| c)
+                .collect();
+            if idle.len() >= k {
+                return Some((idle.into_iter().take(k).collect(), t));
+            }
+        }
+        None
+    }
+
+    /// Task priorities for the list-scheduling order of this kind.
+    fn rank(&self, graph: &TaskGraph) -> Vec<f64> {
+        match self.kind {
+            SchedulerKind::Protocol | SchedulerKind::Lookahead => critical_path_tasks(graph).upward,
+            SchedulerKind::Heft => heft_upward_rank(graph),
+        }
+    }
+
+    /// Places one single-core task according to this scheduler's rule,
+    /// inserting into `scratch`. Returns the finish time.
+    #[allow(clippy::too_many_arguments)]
+    fn place_single(
+        &self,
+        scratch: &mut [SchedulePlan],
+        graph: &TaskGraph,
+        job: JobId,
+        t: TaskId,
+        ready: f64,
+        deadline: f64,
+        duration: f64,
+        durations: &[f64],
+        finish: &[f64],
+        out: &mut Vec<Placement>,
+    ) -> Option<f64> {
+        if self.preemptive {
+            // Preemptive placement: fill idle windows on the core whose
+            // chunks complete earliest (ties to the lowest core id).
+            let mut best: Option<(CoreId, Vec<TimeInterval>, f64)> = None;
+            for (c, plan) in scratch.iter().enumerate() {
+                if let Some(chunks) = plan.earliest_fit_preemptive(ready, deadline, duration) {
+                    let end = chunks.last().map_or(ready, |ch| ch.end);
+                    if best.as_ref().map_or(true, |(_, _, e)| end < *e - TIME_EPS) {
+                        best = Some((c, chunks, end));
+                    }
+                }
+            }
+            let (core, chunks, end) = best?;
+            for chunk in &chunks {
+                let r = Reservation {
+                    job,
+                    task: t,
+                    start: chunk.start,
+                    end: chunk.end,
+                };
+                scratch[core].insert(r).ok()?;
+                out.push(Placement {
+                    core,
+                    reservation: r,
+                });
+            }
+            return Some(end.max(ready));
+        }
+        let core = match self.kind {
+            SchedulerKind::Lookahead => self.lookahead_core(
+                scratch, graph, job, t, ready, deadline, duration, durations, finish,
+            )?,
+            _ => Self::best_single_fit(scratch, ready, deadline, duration)?.0,
+        };
+        let start = scratch[core].earliest_fit(ready, deadline, duration)?;
+        let r = Reservation {
+            job,
+            task: t,
+            start,
+            end: start + duration,
+        };
+        scratch[core].insert(r).ok()?;
+        out.push(Placement {
+            core,
+            reservation: r,
+        });
+        Some(start + duration)
+    }
+
+    /// The one-step lookahead core choice: minimise, over the task's
+    /// children, the worst insertion-based EFT the child could still get
+    /// with the task tentatively placed — ties broken by own EFT, then by
+    /// core id. Falls back to the plain EFT rule for childless tasks.
+    #[allow(clippy::too_many_arguments)]
+    fn lookahead_core(
+        &self,
+        scratch: &[SchedulePlan],
+        graph: &TaskGraph,
+        job: JobId,
+        t: TaskId,
+        ready: f64,
+        deadline: f64,
+        duration: f64,
+        durations: &[f64],
+        finish: &[f64],
+    ) -> Option<CoreId> {
+        let children: Vec<TaskId> = graph.successors(t).collect();
+        let mut best: Option<(f64, f64, CoreId)> = None;
+        for (c, plan) in scratch.iter().enumerate() {
+            let start = match plan.earliest_fit(ready, deadline, duration) {
+                Some(s) => s,
+                None => continue,
+            };
+            let own_eft = start + duration;
+            // Tentatively occupy the slot and score each child's best EFT.
+            let mut tentative: Vec<SchedulePlan> = scratch.to_vec();
+            let r = Reservation {
+                job,
+                task: t,
+                start,
+                end: own_eft,
+            };
+            tentative[c].insert(r).ok()?;
+            let mut score = own_eft;
+            for &child in &children {
+                // The child's ready time, counting already-placed parents
+                // and this tentative finish (unplaced parents unknown).
+                let child_ready = graph
+                    .predecessors(child)
+                    .map(|p| finish[p.0])
+                    .fold(own_eft, f64::max);
+                let child_eft =
+                    Self::best_single_fit(&tentative, child_ready, deadline, durations[child.0])
+                        .map(|(_, _, f)| f);
+                match child_eft {
+                    Some(f) => score = score.max(f),
+                    None => {
+                        score = f64::INFINITY;
+                        break;
+                    }
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((s, e, _)) => {
+                    score < s - TIME_EPS
+                        || ((score - s).abs() <= TIME_EPS && e > own_eft + TIME_EPS)
+                }
+            };
+            if better {
+                best = Some((score, own_eft, c));
+            }
+        }
+        best.map(|(_, _, c)| c)
+    }
+
+    /// Peak-memory check: with the new holds added to the committed ledger,
+    /// does concurrent residency ever exceed the site's memory?
+    fn memory_fits(&self, new_holds: &[MemHold]) -> bool {
+        if self.resources.memory.is_infinite() || new_holds.is_empty() {
+            return true;
+        }
+        let mut events: Vec<(f64, f64)> = Vec::new();
+        for h in self.holds.iter().chain(new_holds) {
+            if h.bytes > 0.0 && h.end > h.start {
+                events.push((h.start, h.bytes));
+                events.push((h.end, -h.bytes));
+            }
+        }
+        // Ends sort before starts at the same instant (closed-open holds).
+        events.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(a.1.partial_cmp(&b.1).unwrap())
+        });
+        let mut used = 0.0;
+        for (_, delta) in events {
+            used += delta;
+            if used > self.resources.memory + TIME_EPS {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// HEFT upward rank: `rank(t) = cost(t) + max over children c of
+/// (volume(t, c) + rank(c))`. Unlike the node-weight-only §12 rank, edge
+/// data volumes count as communication cost, exactly as in Topcuoglu et
+/// al. (with a single site class, the mean execution cost is the cost
+/// itself).
+pub fn heft_upward_rank(graph: &TaskGraph) -> Vec<f64> {
+    let mut rank = vec![0.0f64; graph.task_count()];
+    let order = graph
+        .reverse_topological_order()
+        .expect("task graphs are acyclic");
+    for t in order {
+        let mut best = 0.0f64;
+        for c in graph.successors(t) {
+            let comm = graph.data_volume(t, c).unwrap_or(0.0);
+            best = best.max(comm + rank[c.0]);
+        }
+        rank[t.0] = graph.cost(t) + best;
+    }
+    rank
+}
+
+impl Scheduler for SiteScheduler {
+    fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    fn resources(&self) -> &SiteResources {
+        &self.resources
+    }
+
+    fn core_plans(&self) -> &[SchedulePlan] {
+        &self.cores
+    }
+
+    fn admit_dag(
+        &self,
+        job: &Job,
+        now: f64,
+        demands: Option<&[TaskDemand]>,
+    ) -> Option<DagSchedule> {
+        let graph = &job.graph;
+        // Degenerate fast path: the paper's single-plan admission, verbatim.
+        if self.kind == SchedulerKind::Protocol && self.is_single_core() && demands.is_none() {
+            let adm = admit_dag_locally(
+                &self.cores[0],
+                job,
+                now,
+                self.effective_speed(),
+                self.preemptive,
+            )?;
+            return Some(DagSchedule {
+                placements: adm
+                    .reservations
+                    .into_iter()
+                    .map(|reservation| Placement {
+                        core: 0,
+                        reservation,
+                    })
+                    .collect(),
+                holds: Vec::new(),
+                completion: adm.completion,
+            });
+        }
+        let start_floor = now.max(job.release());
+        if graph.task_count() == 0 {
+            return Some(DagSchedule {
+                placements: Vec::new(),
+                holds: Vec::new(),
+                completion: start_floor,
+            });
+        }
+        if let Some(d) = demands {
+            assert_eq!(d.len(), graph.task_count(), "one demand per task");
+        }
+        let deadline = job.deadline();
+        let default_demand = TaskDemand::default();
+        let demand_of = |t: TaskId| demands.map_or(default_demand, |d| d[t.0]);
+        let durations: Vec<f64> = graph
+            .task_ids()
+            .map(|t| demand_of(t).duration(graph.cost(t), self.base_speed, &self.resources))
+            .collect();
+        let order = priority_order(graph, &self.rank(graph));
+
+        let mut scratch = self.cores.clone();
+        let mut finish = vec![0.0f64; graph.task_count()];
+        let mut placements = Vec::new();
+        let mut holds = Vec::new();
+        for t in order {
+            let demand = demand_of(t);
+            let k = demand.granted_cores(&self.resources);
+            let duration = durations[t.0];
+            let ready = graph
+                .predecessors(t)
+                .map(|p| finish[p.0])
+                .fold(start_floor, f64::max);
+            let end = if k > 1 {
+                // Gang tasks occupy k cores for one contiguous slot (no
+                // preemptive splitting for gangs).
+                let (gang, start) =
+                    Self::earliest_gang_fit(&scratch, ready, deadline, duration, k)?;
+                for &core in &gang {
+                    let r = Reservation {
+                        job: job.id,
+                        task: t,
+                        start,
+                        end: start + duration,
+                    };
+                    scratch[core].insert(r).ok()?;
+                    placements.push(Placement {
+                        core,
+                        reservation: r,
+                    });
+                }
+                start + duration
+            } else {
+                self.place_single(
+                    &mut scratch,
+                    graph,
+                    job.id,
+                    t,
+                    ready,
+                    deadline,
+                    duration,
+                    &durations,
+                    &finish,
+                    &mut placements,
+                )?
+            };
+            if end > deadline + TIME_EPS {
+                return None;
+            }
+            finish[t.0] = end;
+            if demand.memory > 0.0 {
+                let start = placements
+                    .iter()
+                    .rev()
+                    .take_while(|p| p.reservation.task == t)
+                    .map(|p| p.reservation.start)
+                    .fold(end, f64::min);
+                holds.push(MemHold {
+                    job: job.id,
+                    start,
+                    end,
+                    bytes: demand.memory,
+                });
+            }
+        }
+        if !self.memory_fits(&holds) {
+            return None;
+        }
+        let completion = finish.iter().copied().fold(start_floor, f64::max);
+        Some(DagSchedule {
+            placements,
+            holds,
+            completion,
+        })
+    }
+
+    fn satisfiable(&self, requests: &[TaskRequest]) -> Option<Vec<Placement>> {
+        // Degenerate fast path: the paper's §10 test, verbatim.
+        if self.is_single_core() {
+            return feasibility::satisfiable(&self.cores[0], requests, self.preemptive).map(
+                |reservations| {
+                    reservations
+                        .into_iter()
+                        .map(|reservation| Placement {
+                            core: 0,
+                            reservation,
+                        })
+                        .collect()
+                },
+            );
+        }
+        if requests.iter().any(|r| !r.is_well_formed()) {
+            return None;
+        }
+        // Multicore EDF: the same deterministic order as the single-plan
+        // test, each request placed on the core with the earliest fit.
+        let mut ordered: Vec<&TaskRequest> = requests.iter().collect();
+        ordered.sort_by(|a, b| {
+            a.deadline
+                .partial_cmp(&b.deadline)
+                .unwrap()
+                .then(a.release.partial_cmp(&b.release).unwrap())
+                .then(a.task.0.cmp(&b.task.0))
+                .then(a.job.0.cmp(&b.job.0))
+        });
+        let mut scratch = self.cores.clone();
+        let mut placed = Vec::new();
+        for req in ordered {
+            if self.preemptive {
+                let mut best: Option<(CoreId, Vec<TimeInterval>, f64)> = None;
+                for (c, plan) in scratch.iter().enumerate() {
+                    if let Some(chunks) =
+                        plan.earliest_fit_preemptive(req.release, req.deadline, req.duration)
+                    {
+                        let end = chunks.last().map_or(req.release, |ch| ch.end);
+                        if best.as_ref().map_or(true, |(_, _, e)| end < *e - TIME_EPS) {
+                            best = Some((c, chunks, end));
+                        }
+                    }
+                }
+                let (core, chunks, _) = best?;
+                for chunk in chunks {
+                    let r = Reservation {
+                        job: req.job,
+                        task: req.task,
+                        start: chunk.start,
+                        end: chunk.end,
+                    };
+                    scratch[core].insert(r).ok()?;
+                    placed.push(Placement {
+                        core,
+                        reservation: r,
+                    });
+                }
+            } else {
+                let (core, start, _) =
+                    Self::best_single_fit(&scratch, req.release, req.deadline, req.duration)?;
+                let r = Reservation {
+                    job: req.job,
+                    task: req.task,
+                    start,
+                    end: start + req.duration,
+                };
+                scratch[core].insert(r).ok()?;
+                placed.push(Placement {
+                    core,
+                    reservation: r,
+                });
+            }
+        }
+        Some(placed)
+    }
+
+    fn reserve(&mut self, placements: &[Placement]) -> Result<(), PlanError> {
+        let backup = self.cores.clone();
+        for p in placements {
+            if p.core >= self.cores.len() {
+                self.cores = backup;
+                return Err(PlanError::Malformed);
+            }
+            if let Err(e) = self.cores[p.core].insert(p.reservation) {
+                self.cores = backup;
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    fn reserve_dag(&mut self, schedule: &DagSchedule) -> Result<(), PlanError> {
+        self.reserve(&schedule.placements)?;
+        self.holds.extend_from_slice(&schedule.holds);
+        Ok(())
+    }
+
+    fn release(&mut self, job: JobId) -> usize {
+        let removed = self.cores.iter_mut().map(|p| p.remove_job(job)).sum();
+        self.holds.retain(|h| h.job != job);
+        removed
+    }
+
+    fn earliest_finish(&self, release: f64, deadline: f64, duration: f64) -> Option<(CoreId, f64)> {
+        Self::best_single_fit(&self.cores, release, deadline, duration).map(|(c, _, f)| (c, f))
+    }
+
+    fn surplus(&self, now: f64, window: f64) -> f64 {
+        let n = self.cores.len().max(1) as f64;
+        self.cores
+            .iter()
+            .map(|p| p.surplus(now, window))
+            .sum::<f64>()
+            / n
+    }
+
+    fn drain_completed(&mut self, cutoff: f64) -> Vec<Placement> {
+        let mut drained = Vec::new();
+        for (core, plan) in self.cores.iter_mut().enumerate() {
+            for reservation in plan.drain_completed(cutoff) {
+                drained.push(Placement { core, reservation });
+            }
+        }
+        self.holds.retain(|h| h.end > cutoff + TIME_EPS);
+        drained
+    }
+
+    fn job_completion(&self, job: JobId) -> Option<f64> {
+        self.cores
+            .iter()
+            .filter_map(|p| p.job_completion(job))
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+
+    fn reservation_count(&self) -> usize {
+        self.cores.iter().map(SchedulePlan::len).sum()
+    }
+
+    fn busy_cores(&self, t: f64) -> usize {
+        self.cores
+            .iter()
+            .filter(|p| {
+                p.reservations()
+                    .iter()
+                    .any(|r| r.start <= t + TIME_EPS && t < r.end - TIME_EPS)
+            })
+            .count()
+    }
+
+    fn mem_used(&self, t: f64) -> f64 {
+        self.holds
+            .iter()
+            .filter(|h| h.start <= t + TIME_EPS && t < h.end - TIME_EPS)
+            .map(|h| h.bytes)
+            .sum()
+    }
+}
+
+macro_rules! newtype_scheduler {
+    ($(#[$doc:meta])* $name:ident, $kind:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq)]
+        pub struct $name(SiteScheduler);
+
+        impl $name {
+            /// Creates an empty scheduler over the given resources.
+            pub fn new(resources: SiteResources, base_speed: f64, preemptive: bool) -> Self {
+                $name(SiteScheduler::new($kind, resources, base_speed, preemptive))
+            }
+        }
+
+        impl Scheduler for $name {
+            fn kind(&self) -> SchedulerKind {
+                self.0.kind()
+            }
+            fn resources(&self) -> &SiteResources {
+                self.0.resources()
+            }
+            fn core_plans(&self) -> &[SchedulePlan] {
+                self.0.core_plans()
+            }
+            fn admit_dag(
+                &self,
+                job: &Job,
+                now: f64,
+                demands: Option<&[TaskDemand]>,
+            ) -> Option<DagSchedule> {
+                self.0.admit_dag(job, now, demands)
+            }
+            fn satisfiable(&self, requests: &[TaskRequest]) -> Option<Vec<Placement>> {
+                self.0.satisfiable(requests)
+            }
+            fn reserve(&mut self, placements: &[Placement]) -> Result<(), PlanError> {
+                self.0.reserve(placements)
+            }
+            fn reserve_dag(&mut self, schedule: &DagSchedule) -> Result<(), PlanError> {
+                self.0.reserve_dag(schedule)
+            }
+            fn release(&mut self, job: JobId) -> usize {
+                self.0.release(job)
+            }
+            fn earliest_finish(
+                &self,
+                release: f64,
+                deadline: f64,
+                duration: f64,
+            ) -> Option<(CoreId, f64)> {
+                self.0.earliest_finish(release, deadline, duration)
+            }
+            fn surplus(&self, now: f64, window: f64) -> f64 {
+                self.0.surplus(now, window)
+            }
+            fn drain_completed(&mut self, cutoff: f64) -> Vec<Placement> {
+                self.0.drain_completed(cutoff)
+            }
+            fn job_completion(&self, job: JobId) -> Option<f64> {
+                self.0.job_completion(job)
+            }
+            fn reservation_count(&self) -> usize {
+                self.0.reservation_count()
+            }
+            fn busy_cores(&self, t: f64) -> usize {
+                self.0.busy_cores(t)
+            }
+            fn mem_used(&self, t: f64) -> f64 {
+                self.0.mem_used(t)
+            }
+        }
+    };
+}
+
+newtype_scheduler!(
+    /// The paper's §5/§12 critical-path list scheduler, multicore-
+    /// generalised (earliest-fit core choice). Single-core with default
+    /// demands delegates verbatim to the original single-plan primitives.
+    ProtocolScheduler,
+    SchedulerKind::Protocol
+);
+newtype_scheduler!(
+    /// HEFT-style list scheduling: communication-inclusive upward-rank
+    /// order, insertion-based earliest-finish-time core choice.
+    HeftScheduler,
+    SchedulerKind::Heft
+);
+newtype_scheduler!(
+    /// One-step lookahead: a task's core minimises the worst child EFT
+    /// under the tentative placement.
+    LookaheadScheduler,
+    SchedulerKind::Lookahead
+);
+
+/// Exact brute-force feasibility oracle for *non-preemptive, single-core*
+/// request sets on a multicore plan: tries every assignment of requests to
+/// cores and every per-core placement order, placing greedily at the
+/// earliest fit (for a fixed order, greedy earliest-fit placement is
+/// complete, by the standard left-shift exchange argument). Exponential —
+/// property tests only.
+pub fn brute_force_satisfiable(cores: &[SchedulePlan], requests: &[TaskRequest]) -> bool {
+    if requests.iter().any(|r| !r.is_well_formed()) {
+        return false;
+    }
+    fn core_feasible(plan: &SchedulePlan, subset: &[&TaskRequest]) -> bool {
+        fn place(plan: &SchedulePlan, remaining: &mut Vec<&TaskRequest>) -> bool {
+            if remaining.is_empty() {
+                return true;
+            }
+            for i in 0..remaining.len() {
+                let req = remaining[i];
+                if let Some(start) = plan.earliest_fit(req.release, req.deadline, req.duration) {
+                    let mut next = plan.clone();
+                    let inserted = next.insert(Reservation {
+                        job: req.job,
+                        task: req.task,
+                        start,
+                        end: start + req.duration,
+                    });
+                    if inserted.is_ok() {
+                        remaining.swap_remove(i);
+                        if place(&next, remaining) {
+                            return true;
+                        }
+                        remaining.push(req);
+                        let last = remaining.len() - 1;
+                        remaining.swap(i, last);
+                    }
+                }
+            }
+            false
+        }
+        let mut remaining: Vec<&TaskRequest> = subset.to_vec();
+        place(plan, &mut remaining)
+    }
+    fn assign(
+        cores: &[SchedulePlan],
+        requests: &[TaskRequest],
+        sets: &mut Vec<Vec<usize>>,
+    ) -> bool {
+        let next = sets.iter().map(Vec::len).sum::<usize>();
+        if next == requests.len() {
+            return sets.iter().enumerate().all(|(c, set)| {
+                let subset: Vec<&TaskRequest> = set.iter().map(|&i| &requests[i]).collect();
+                core_feasible(&cores[c], &subset)
+            });
+        }
+        for c in 0..cores.len() {
+            sets[c].push(next);
+            if assign(cores, requests, sets) {
+                sets[c].pop();
+                return true;
+            }
+            sets[c].pop();
+        }
+        false
+    }
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); cores.len()];
+    assign(cores, requests, &mut sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtds_graph::{JobParams, TaskGraph};
+
+    fn job_from(graph: TaskGraph, release: f64, deadline: f64) -> Job {
+        Job::new(JobId(1), graph, JobParams::new(release, deadline), 0)
+    }
+
+    fn chain(costs: &[f64]) -> TaskGraph {
+        let mut g = TaskGraph::from_costs(costs);
+        for i in 1..costs.len() {
+            g.add_edge(TaskId(i - 1), TaskId(i)).unwrap();
+        }
+        g
+    }
+
+    fn req(task: usize, release: f64, deadline: f64, duration: f64) -> TaskRequest {
+        TaskRequest {
+            job: JobId(7),
+            task: TaskId(task),
+            release,
+            deadline,
+            duration,
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in SchedulerKind::all() {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("nope"), None);
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Protocol);
+    }
+
+    #[test]
+    fn single_core_protocol_delegates_verbatim() {
+        let sched = ProtocolScheduler::new(SiteResources::single_core(1.5), 2.0, false);
+        let job = job_from(chain(&[6.0, 9.0]), 0.0, 20.0);
+        let via_trait = sched.admit_dag(&job, 0.0, None).unwrap();
+        let direct = admit_dag_locally(&SchedulePlan::new(), &job, 0.0, 3.0, false).unwrap();
+        assert_eq!(via_trait.completion, direct.completion);
+        let got: Vec<Reservation> = via_trait.placements.iter().map(|p| p.reservation).collect();
+        assert_eq!(got, direct.reservations);
+        assert!(via_trait.placements.iter().all(|p| p.core == 0));
+
+        // §10 delegation.
+        let requests = vec![req(0, 0.0, 10.0, 4.0), req(1, 0.0, 8.0, 3.0)];
+        let via_trait = sched.satisfiable(&requests).unwrap();
+        let direct = feasibility::satisfiable(&SchedulePlan::new(), &requests, false).unwrap();
+        let got: Vec<Reservation> = via_trait.iter().map(|p| p.reservation).collect();
+        assert_eq!(got, direct);
+    }
+
+    #[test]
+    fn reserve_release_and_queries() {
+        let mut sched = SiteScheduler::new(
+            SchedulerKind::Protocol,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+        );
+        let requests = vec![req(0, 0.0, 10.0, 6.0), req(1, 0.0, 10.0, 6.0)];
+        let placements = sched.satisfiable(&requests).unwrap();
+        // Two 6-unit tasks due by 10 cannot share one core; they must land
+        // on different cores, both starting at 0.
+        let cores: Vec<CoreId> = placements.iter().map(|p| p.core).collect();
+        assert_eq!(cores, vec![0, 1]);
+        assert!(placements.iter().all(|p| p.reservation.start == 0.0));
+        sched.reserve(&placements).unwrap();
+        assert_eq!(sched.reservation_count(), 2);
+        assert_eq!(sched.busy_cores(3.0), 2);
+        assert_eq!(sched.busy_cores(7.0), 0);
+        assert_eq!(sched.job_completion(JobId(7)), Some(6.0));
+        // Surplus over [0, 12): each core busy 6 of 12.
+        assert!((sched.surplus(0.0, 12.0) - 0.5).abs() < 1e-12);
+        assert_eq!(sched.earliest_finish(0.0, 20.0, 2.0), Some((0, 8.0)));
+        assert_eq!(sched.release(JobId(7)), 2);
+        assert_eq!(sched.reservation_count(), 0);
+        assert_eq!(sched.job_completion(JobId(7)), None);
+        assert_eq!(sched.earliest_finish(0.0, 20.0, 2.0), Some((0, 2.0)));
+    }
+
+    #[test]
+    fn multicore_admission_parallelises_independent_tasks() {
+        // Two independent 8-unit tasks, deadline 10: impossible on one
+        // core, trivial on two.
+        let graph = TaskGraph::from_costs(&[8.0, 8.0]);
+        let job = job_from(graph, 0.0, 10.0);
+        let single = ProtocolScheduler::new(SiteResources::default(), 1.0, false);
+        assert!(single.admit_dag(&job, 0.0, None).is_none());
+        let dual = ProtocolScheduler::new(SiteResources::multicore(2, 1.0), 1.0, false);
+        let schedule = dual.admit_dag(&job, 0.0, None).unwrap();
+        assert_eq!(schedule.completion, 8.0);
+        let cores: std::collections::BTreeSet<CoreId> =
+            schedule.placements.iter().map(|p| p.core).collect();
+        assert_eq!(cores.len(), 2);
+    }
+
+    #[test]
+    fn gang_tasks_occupy_cores_simultaneously() {
+        let graph = TaskGraph::from_costs(&[8.0]);
+        let job = job_from(graph, 0.0, 20.0);
+        let demands = vec![TaskDemand {
+            cores: 2,
+            memory: 0.0,
+            speedup: crate::resources::SpeedupFn::Linear,
+        }];
+        let sched = ProtocolScheduler::new(SiteResources::multicore(2, 1.0), 1.0, false);
+        let schedule = sched.admit_dag(&job, 0.0, Some(&demands)).unwrap();
+        // Linear speedup on 2 cores: 8 / 2 = 4 units, on both cores.
+        assert_eq!(schedule.placements.len(), 2);
+        assert!(schedule
+            .placements
+            .iter()
+            .all(|p| p.reservation.start == 0.0 && p.reservation.end == 4.0));
+        assert_eq!(schedule.completion, 4.0);
+        // A 3-core gang cannot fit on a 2-core site — the demand clamps.
+        let wide = vec![TaskDemand {
+            cores: 3,
+            memory: 0.0,
+            speedup: crate::resources::SpeedupFn::Flat,
+        }];
+        let schedule = sched.admit_dag(&job, 0.0, Some(&wide)).unwrap();
+        assert_eq!(schedule.placements.len(), 2);
+        assert_eq!(schedule.completion, 8.0);
+    }
+
+    #[test]
+    fn memory_capacity_rejects_oversubscription() {
+        let mut resources = SiteResources::multicore(2, 1.0);
+        resources.memory = 3.0;
+        let sched = ProtocolScheduler::new(resources, 1.0, false);
+        let graph = TaskGraph::from_costs(&[5.0, 5.0]);
+        let job = job_from(graph, 0.0, 30.0);
+        let fits = vec![
+            TaskDemand {
+                cores: 1,
+                memory: 1.5,
+                speedup: crate::resources::SpeedupFn::Flat,
+            };
+            2
+        ];
+        let schedule = sched.admit_dag(&job, 0.0, Some(&fits)).unwrap();
+        assert_eq!(schedule.holds.len(), 2);
+        // Both tasks run concurrently on separate cores holding 2.0 each:
+        // 4.0 > 3.0 — rejected even though cores are free.
+        let heavy = vec![
+            TaskDemand {
+                cores: 1,
+                memory: 2.0,
+                speedup: crate::resources::SpeedupFn::Flat,
+            };
+            2
+        ];
+        assert!(sched.admit_dag(&job, 0.0, Some(&heavy)).is_none());
+        // Committed holds count against later admissions.
+        let mut sched = sched;
+        let schedule = sched
+            .admit_dag(&job, 0.0, Some(&fits))
+            .expect("fits memory");
+        sched.reserve_dag(&schedule).unwrap();
+        assert!((sched.mem_used(2.0) - 3.0).abs() < 1e-12);
+        assert_eq!(sched.mem_used(20.0), 0.0);
+        assert_eq!(sched.busy_cores(2.0), 2);
+        sched.release(job.id);
+        assert_eq!(sched.mem_used(2.0), 0.0);
+    }
+
+    #[test]
+    fn heft_rank_counts_communication() {
+        // a -> b with volume 10, a -> c with volume 0; equal costs. The
+        // node-weight rank ties b and c; HEFT must rank through b higher.
+        let mut g = TaskGraph::from_costs(&[1.0, 2.0, 2.0]);
+        g.add_edge_with_volume(TaskId(0), TaskId(1), 10.0).unwrap();
+        g.add_edge_with_volume(TaskId(0), TaskId(2), 0.0).unwrap();
+        let rank = heft_upward_rank(&g);
+        assert_eq!(rank[1], 2.0);
+        assert_eq!(rank[2], 2.0);
+        assert_eq!(rank[0], 1.0 + 10.0 + 2.0);
+        let plain = critical_path_tasks(&g).upward;
+        assert_eq!(plain[0], 3.0);
+    }
+
+    #[test]
+    fn heft_picks_the_eft_optimal_core_on_a_hand_checked_dag() {
+        // Two cores, core 0 busy [0, 6), core 1 busy [0, 2). A 3-unit task:
+        // EFT on core 0 is 9, on core 1 is 5 — HEFT must pick core 1.
+        let mut sched = SiteScheduler::new(
+            SchedulerKind::Heft,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+        );
+        sched
+            .reserve(&[
+                Placement {
+                    core: 0,
+                    reservation: Reservation {
+                        job: JobId(50),
+                        task: TaskId(0),
+                        start: 0.0,
+                        end: 6.0,
+                    },
+                },
+                Placement {
+                    core: 1,
+                    reservation: Reservation {
+                        job: JobId(50),
+                        task: TaskId(0),
+                        start: 0.0,
+                        end: 2.0,
+                    },
+                },
+            ])
+            .unwrap();
+        let job = job_from(TaskGraph::from_costs(&[3.0]), 0.0, 30.0);
+        let schedule = sched.admit_dag(&job, 0.0, None).unwrap();
+        assert_eq!(schedule.placements.len(), 1);
+        assert_eq!(schedule.placements[0].core, 1);
+        assert_eq!(schedule.placements[0].reservation.start, 2.0);
+        assert_eq!(schedule.completion, 5.0);
+        assert_eq!(sched.earliest_finish(0.0, 30.0, 3.0), Some((1, 5.0)));
+    }
+
+    #[test]
+    fn lookahead_places_for_the_children() {
+        // Diamond: a(1) -> {b(8), c(1)} -> d, on two cores with core 1
+        // blocked in [1, 3). Plain EFT puts a on core 0 and then b on
+        // core 0 too... both schedulers must stay feasible; lookahead must
+        // never be worse than HEFT on the final completion here.
+        let mut g = TaskGraph::from_costs(&[1.0, 8.0, 1.0, 1.0]);
+        g.add_edge(TaskId(0), TaskId(1)).unwrap();
+        g.add_edge(TaskId(0), TaskId(2)).unwrap();
+        g.add_edge(TaskId(1), TaskId(3)).unwrap();
+        g.add_edge(TaskId(2), TaskId(3)).unwrap();
+        let job = job_from(g, 0.0, 40.0);
+        let block = Placement {
+            core: 1,
+            reservation: Reservation {
+                job: JobId(50),
+                task: TaskId(0),
+                start: 1.0,
+                end: 3.0,
+            },
+        };
+        let mut heft = SiteScheduler::new(
+            SchedulerKind::Heft,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+        );
+        heft.reserve(&[block]).unwrap();
+        let mut look = SiteScheduler::new(
+            SchedulerKind::Lookahead,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+        );
+        look.reserve(&[block]).unwrap();
+        let h = heft.admit_dag(&job, 0.0, None).unwrap();
+        let l = look.admit_dag(&job, 0.0, None).unwrap();
+        assert!(l.completion <= h.completion + 1e-9);
+        assert_eq!(l.placements.len(), 4);
+    }
+
+    #[test]
+    fn all_kinds_accept_nothing_infeasible() {
+        // Total demand exceeds total core-time before the deadline.
+        let graph = TaskGraph::from_costs(&[6.0, 6.0, 6.0, 6.0, 6.0]);
+        let job = job_from(graph, 0.0, 10.0);
+        for kind in SchedulerKind::all() {
+            let sched = SiteScheduler::new(kind, SiteResources::multicore(2, 1.0), 1.0, false);
+            assert!(sched.admit_dag(&job, 0.0, None).is_none(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn admission_results_are_committable_and_respect_precedence() {
+        let mut g = chain(&[3.0, 4.0, 2.0]);
+        g.add_edge(TaskId(0), TaskId(2)).unwrap();
+        let job = job_from(g, 0.0, 30.0);
+        for kind in SchedulerKind::all() {
+            let mut sched = SiteScheduler::new(kind, SiteResources::multicore(3, 1.0), 1.0, false);
+            let schedule = sched.admit_dag(&job, 0.0, None).unwrap();
+            sched.reserve_dag(&schedule).unwrap();
+            assert!(sched
+                .core_plans()
+                .iter()
+                .all(SchedulePlan::check_invariants));
+            // Precedence: every successor starts at or after its
+            // predecessor's end.
+            let finish_of = |t: usize| {
+                schedule
+                    .placements
+                    .iter()
+                    .filter(|p| p.reservation.task == TaskId(t))
+                    .map(|p| p.reservation.end)
+                    .fold(0.0f64, f64::max)
+            };
+            let start_of = |t: usize| {
+                schedule
+                    .placements
+                    .iter()
+                    .filter(|p| p.reservation.task == TaskId(t))
+                    .map(|p| p.reservation.start)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            assert!(start_of(1) + 1e-9 >= finish_of(0), "{kind:?}");
+            assert!(
+                start_of(2) + 1e-9 >= finish_of(1).max(finish_of(0)),
+                "{kind:?}"
+            );
+            assert!(schedule.completion <= 30.0 + 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn drain_completed_is_core_major_and_prunes_holds() {
+        let mut sched = SiteScheduler::new(
+            SchedulerKind::Protocol,
+            SiteResources::multicore(2, 1.0),
+            1.0,
+            false,
+        );
+        let schedule = DagSchedule {
+            placements: vec![
+                Placement {
+                    core: 1,
+                    reservation: Reservation {
+                        job: JobId(1),
+                        task: TaskId(0),
+                        start: 0.0,
+                        end: 4.0,
+                    },
+                },
+                Placement {
+                    core: 0,
+                    reservation: Reservation {
+                        job: JobId(1),
+                        task: TaskId(1),
+                        start: 0.0,
+                        end: 10.0,
+                    },
+                },
+            ],
+            holds: vec![MemHold {
+                job: JobId(1),
+                start: 0.0,
+                end: 4.0,
+                bytes: 1.0,
+            }],
+            completion: 10.0,
+        };
+        sched.reserve_dag(&schedule).unwrap();
+        let drained = sched.drain_completed(5.0);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].core, 1);
+        assert_eq!(sched.reservation_count(), 1);
+        assert!(sched.snapshot_parts().2.is_empty());
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut sched = SiteScheduler::new(
+            SchedulerKind::Lookahead,
+            SiteResources::multicore(2, 1.5),
+            2.0,
+            true,
+        );
+        sched
+            .reserve(&[Placement {
+                core: 1,
+                reservation: Reservation {
+                    job: JobId(3),
+                    task: TaskId(0),
+                    start: 1.0,
+                    end: 2.0,
+                },
+            }])
+            .unwrap();
+        let (base_speed, preemptive, holds) = sched.snapshot_parts();
+        let rebuilt = SiteScheduler::from_parts(
+            sched.kind(),
+            *sched.resources(),
+            base_speed,
+            preemptive,
+            sched.core_plans().to_vec(),
+            holds.to_vec(),
+        );
+        assert_eq!(rebuilt, sched);
+        assert!((sched.effective_speed() - 3.0).abs() < 1e-12);
+        assert!(sched.preemptive());
+    }
+
+    #[test]
+    fn brute_force_oracle_is_exact_on_hand_checked_sets() {
+        let cores = vec![SchedulePlan::new()];
+        // Feasible only in the non-EDF order: EDF places task 1 (deadline
+        // 10) at [0, 10) — wait, EDF would do the right thing here; build a
+        // set where greedy EDF fails but some order succeeds:
+        // task 0: release 0, deadline 20, duration 10
+        // task 1: release 0, deadline 11, duration 1
+        // EDF places 1 at [0,1), 0 at [1,11)? deadline 20 — fine. Instead
+        // use the classic trap: a long early-deadline task blocking a
+        // release-constrained short one.
+        let trap = vec![req(0, 0.0, 12.0, 10.0), req(1, 10.0, 11.0, 1.0)];
+        // EDF (deadline 11 first) places task 1 at [10, 11), then task 0
+        // cannot fit 10 units by 12. The only feasible order is 0 then 1 —
+        // which also fails ([0,10) then [10,11) works!). Both orders are
+        // tried by the oracle:
+        assert!(brute_force_satisfiable(&cores, &trap));
+        // Truly infeasible: 3 × 10 units due by 20 on two cores.
+        let cores2 = vec![SchedulePlan::new(), SchedulePlan::new()];
+        let over = vec![
+            req(0, 0.0, 20.0, 10.0),
+            req(1, 0.0, 20.0, 10.0),
+            req(2, 0.0, 15.0, 10.0),
+            req(3, 0.0, 20.0, 15.0),
+        ];
+        assert!(!brute_force_satisfiable(&cores2, &over));
+        let ok = vec![req(0, 0.0, 20.0, 10.0), req(1, 0.0, 20.0, 10.0)];
+        assert!(brute_force_satisfiable(&cores2, &ok));
+        assert!(brute_force_satisfiable(&cores, &[]));
+        assert!(!brute_force_satisfiable(&cores, &[req(0, 5.0, 6.0, 3.0)]));
+    }
+}

@@ -8,7 +8,9 @@ use rtds_graph::{JobId, TaskId};
 use rtds_sched::admission::admit_dag_locally;
 use rtds_sched::feasibility::{satisfiable, TaskRequest};
 use rtds_sched::plan::{Reservation, SchedulePlan};
-use rtds_sched::TimeInterval;
+use rtds_sched::{
+    brute_force_satisfiable, Scheduler, SchedulerKind, SiteResources, SiteScheduler, TimeInterval,
+};
 
 /// Builds a plan from arbitrary (start, duration) pairs, skipping the ones
 /// that would overlap — mirrors how a site accumulates commitments over time.
@@ -198,6 +200,111 @@ proptest! {
             // Total reserved time equals the total cost (unit speed).
             let reserved: f64 = adm.reservations.iter().map(|r| r.duration()).sum();
             prop_assert!((reserved - job.total_cost()).abs() < 1e-6);
+        }
+    }
+
+    /// Every `Scheduler` implementation agrees with the brute-force
+    /// feasibility oracle: whenever a policy accepts a request set, the
+    /// oracle confirms a schedule exists, and the returned placements are
+    /// in-window and committable. For singleton sets the policies are also
+    /// complete (accept whenever the oracle does).
+    #[test]
+    fn schedulers_agree_with_the_brute_force_oracle(
+        busy in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..60.0, 1.0f64..10.0), 0..4), 1..4),
+        reqs in proptest::collection::vec((0.0f64..40.0, 4.0f64..30.0, 0.5f64..8.0), 0..5),
+        kind_index in 0usize..3,
+    ) {
+        let cores: Vec<SchedulePlan> = busy.iter().map(|p| plan_from_pairs(p)).collect();
+        let requests: Vec<TaskRequest> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &(release, window, duration))| TaskRequest {
+                job: JobId(7),
+                task: TaskId(i),
+                release,
+                deadline: release + window,
+                duration,
+            })
+            .collect();
+        let kind = SchedulerKind::all()[kind_index];
+        let mut sched = SiteScheduler::from_parts(
+            kind,
+            SiteResources::multicore(cores.len(), 1.0),
+            1.0,
+            false,
+            cores.clone(),
+            Vec::new(),
+        );
+        if let Some(placed) = sched.satisfiable(&requests) {
+            prop_assert!(
+                brute_force_satisfiable(&cores, &requests),
+                "{kind:?} accepted a set the exact oracle rejects"
+            );
+            for p in &placed {
+                let req = requests.iter().find(|q| q.task == p.reservation.task).unwrap();
+                prop_assert!(p.reservation.start + 1e-9 >= req.release);
+                prop_assert!(p.reservation.end <= req.deadline + 1e-6);
+            }
+            // The answer is constructive: committing it succeeds as-is.
+            prop_assert!(sched.reserve(&placed).is_ok());
+            prop_assert!(sched.core_plans().iter().all(SchedulePlan::check_invariants));
+        } else if requests.len() == 1 {
+            prop_assert!(
+                !brute_force_satisfiable(&cores, &requests),
+                "{kind:?} rejected a single request the oracle can place"
+            );
+        }
+    }
+
+    /// On the degenerate single-core bundle, HEFT admissions are a valid
+    /// schedule under the old single-capacity checker: every reservation
+    /// inserts into the pre-existing `SchedulePlan`, stays inside the job
+    /// window and respects precedence.
+    #[test]
+    fn single_core_heft_is_valid_under_the_old_checker(
+        pairs in arbitrary_busy(),
+        n_tasks in 1usize..12,
+        laxity in 1.5f64..6.0,
+        seed in 0u64..300,
+    ) {
+        let cfg = GeneratorConfig {
+            task_count: n_tasks,
+            shape: DagShape::LayeredRandom { layers: 3, edge_prob: 0.3 },
+            costs: CostDistribution::Uniform { min: 1.0, max: 6.0 },
+            ccr: 0.5,
+            laxity_factor: (laxity, laxity),
+        };
+        let mut generator = DagGenerator::new(cfg, seed);
+        let job = generator.generate_job(0, 10.0);
+        let plan = plan_from_pairs(&pairs);
+        let sched = SiteScheduler::from_parts(
+            SchedulerKind::Heft,
+            SiteResources::default(),
+            1.0,
+            false,
+            vec![plan.clone()],
+            Vec::new(),
+        );
+        if let Some(schedule) = sched.admit_dag(&job, 0.0, None) {
+            prop_assert!(schedule.completion <= job.deadline() + 1e-6);
+            let mut check = plan.clone();
+            let mut finish = vec![0.0f64; job.graph.task_count()];
+            let mut start = vec![f64::INFINITY; job.graph.task_count()];
+            for p in &schedule.placements {
+                prop_assert_eq!(p.core, 0, "single-core HEFT must stay on core 0");
+                let r = p.reservation;
+                prop_assert!(r.start + 1e-9 >= job.release());
+                prop_assert!(r.end <= job.deadline() + 1e-6);
+                finish[r.task.0] = finish[r.task.0].max(r.end);
+                start[r.task.0] = start[r.task.0].min(r.start);
+                prop_assert!(check.insert(r).is_ok(), "HEFT overlaps the old plan");
+            }
+            for t in job.graph.task_ids() {
+                for p in job.graph.predecessors(t) {
+                    prop_assert!(start[t.0] + 1e-9 >= finish[p.0]);
+                }
+            }
         }
     }
 }

@@ -6,10 +6,7 @@
 //!
 //! Run with: `cargo run --release --example sporadic_grid`
 
-use rtds::baselines::{
-    run_broadcast_bidding, run_centralized_oracle, run_local_only, run_random_offload,
-    BiddingConfig, RandomOffloadConfig,
-};
+use rtds::baselines::all_policies;
 use rtds::core::{RtdsConfig, RtdsSystem};
 use rtds::graph::generators::{CostDistribution, DagGenerator, DagShape, GeneratorConfig};
 use rtds::graph::Job;
@@ -70,50 +67,24 @@ fn main() {
         rtds.messages_per_job
     );
 
-    let local = run_local_only(&network, &jobs, false);
-    println!(
-        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
-        "local-only",
-        local.accepted(),
-        local.rejected,
-        local.guarantee_ratio(),
-        local.deadline_misses,
-        local.messages_per_job()
-    );
-
-    let random = run_random_offload(&network, &jobs, RandomOffloadConfig::default());
-    println!(
-        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
-        "random-offload",
-        random.accepted(),
-        random.rejected,
-        random.guarantee_ratio(),
-        random.deadline_misses,
-        random.messages_per_job()
-    );
-
-    let bidding = run_broadcast_bidding(&network, &jobs, BiddingConfig::default());
-    println!(
-        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
-        "broadcast-bidding",
-        bidding.accepted(),
-        bidding.rejected,
-        bidding.guarantee_ratio(),
-        bidding.deadline_misses,
-        bidding.messages_per_job()
-    );
-
-    let oracle = run_centralized_oracle(&network, &jobs, false);
-    println!(
-        "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
-        "centralized-oracle",
-        oracle.accepted(),
-        oracle.rejected,
-        oracle.guarantee_ratio(),
-        oracle.deadline_misses,
-        oracle.messages_per_job()
-    );
+    // The five baselines behind the common DistributionPolicy trait.
+    let mut local_accepted = 0;
+    for policy in all_policies() {
+        let report = policy.run(&network, &jobs);
+        println!(
+            "{:<22} {:>9} {:>9} {:>9.3} {:>10} {:>12.1}",
+            policy.name(),
+            report.accepted(),
+            report.rejected,
+            report.guarantee_ratio().unwrap_or(f64::NAN),
+            report.deadline_misses,
+            report.messages_per_job().unwrap_or(f64::NAN)
+        );
+        if policy.name() == "local-only" {
+            local_accepted = report.accepted();
+        }
+    }
 
     assert_eq!(rtds.deadline_misses(), 0);
-    assert!(rtds.guarantee.accepted() >= local.accepted());
+    assert!(rtds.guarantee.accepted() >= local_accepted);
 }

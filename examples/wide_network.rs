@@ -62,9 +62,9 @@ fn main() {
             n,
             jobs.len(),
             rtds.messages_per_job,
-            bidding.messages_per_job(),
+            bidding.messages_per_job().unwrap_or(f64::NAN),
             rtds.guarantee_ratio(),
-            bidding.guarantee_ratio()
+            bidding.guarantee_ratio().unwrap_or(f64::NAN)
         );
         assert_eq!(rtds.deadline_misses(), 0);
     }

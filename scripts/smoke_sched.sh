@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Scheduler smoke: two same-seed exp_sched runs must produce byte-identical
+# rtds-exp-sched/1 reports (the schema carries no timing fields), every
+# scheduler variant must report zero deadline misses (exp_sched exits
+# nonzero otherwise), and the hetero-multicore scenario must be present so
+# the comparison covers the non-degenerate resource model.
+# Used by CI and runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${SMOKE_OUT_DIR:-.}"
+cargo run --release --bin exp_sched -- --seed 1 --seeds 2 --json "$out/sched-smoke.json"
+cargo run --release --bin exp_sched -- --seed 1 --seeds 2 --json "$out/sched-smoke-b.json"
+cmp "$out/sched-smoke.json" "$out/sched-smoke-b.json"
+grep -q '"schema": "rtds-exp-sched/1"' "$out/sched-smoke.json"
+grep -q '"scheduler": "protocol"' "$out/sched-smoke.json"
+grep -q '"scheduler": "heft"' "$out/sched-smoke.json"
+grep -q '"scheduler": "lookahead"' "$out/sched-smoke.json"
+grep -q '"name": "hetero-multicore"' "$out/sched-smoke.json"
+# A single-scenario run exercises the --scenario filter on the one scenario
+# with a non-degenerate resource recipe.
+cargo run --release --bin exp_sched -- --scenario hetero-multicore --seed 1 --seeds 2 \
+    --json "$out/sched-smoke-hetero.json"
+echo "sched smoke OK: report is byte-identical and no scheduler missed a deadline"

@@ -25,12 +25,16 @@
 //!   also self-profile per-event-class dispatch into the metrics registry
 //!   (see `docs/TRACING.md`),
 //! * [`sched`] — the per-site local scheduler (§5): reservation plans, idle
-//!   intervals, admission tests and surplus,
+//!   intervals, admission tests and surplus, plus the multicore resource
+//!   model (`SiteResources`, per-task speedup laws) and the pluggable
+//!   `Scheduler` trait with protocol / HEFT / lookahead policies (see
+//!   `docs/SCHEDULING.md`),
 //! * [`core`] — the RTDS protocol itself: Potential/Available Computing
 //!   Spheres, the Mapper, release/deadline adjustment, Trial-Mapping
 //!   validation by maximum matching and distributed execution,
 //! * [`baselines`] — the comparison policies (local-only, random offload,
-//!   broadcast bidding à la focused addressing, centralized oracle),
+//!   broadcast bidding à la focused addressing, global HEFT, centralized
+//!   oracle) unified behind the `DistributionPolicy` trait,
 //! * [`scenarios`] — the declarative scenario engine: named seeded
 //!   scenarios composing topology, workload and fault-injection recipes
 //!   (link jitter/failure, partitions, site crashes, message loss), a

@@ -113,7 +113,7 @@ proptest! {
         prop_assert_eq!(report.stats.named("placement_failures"), 0);
         for site in network.sites() {
             let node = system.node(site);
-            prop_assert!(node.plan.check_invariants());
+            prop_assert!(node.check_plan_invariants());
             prop_assert!(!node.is_locked());
             prop_assert_eq!(node.queued_len(), 0);
             prop_assert!(node.sphere().is_some());
